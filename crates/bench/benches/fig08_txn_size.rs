@@ -1,0 +1,56 @@
+//! Figure 8: the effect of transaction size on state ratio, holding the
+//! number of updates between reconciliations constant.
+//!
+//! Running this bench prints the regenerated series (transaction size →
+//! state ratio) and measures the wall-clock cost of the underlying
+//! experiment at the two extreme transaction sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{fig08_transaction_size, FigureScale};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::CentralStore;
+use orchestra_workload::{run_scenario, ScenarioConfig, WorkloadConfig};
+use std::time::Duration;
+
+fn scenario_for(transaction_size: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        participants: 10,
+        transactions_between_reconciliations: (20 / transaction_size).max(1),
+        rounds: 2,
+        workload: WorkloadConfig {
+            transaction_size,
+            key_universe: 400,
+            function_pool: 200,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    // Regenerate and print the figure series once.
+    let rows = fig08_transaction_size(FigureScale::Quick);
+    println!("\nFigure 8 (transaction size vs. state ratio, 10 peers):");
+    for row in &rows {
+        println!(
+            "  txn_size={:<3} txns/recon={:<3} state_ratio={:.3}",
+            row.transaction_size, row.transactions_per_reconciliation, row.state_ratio
+        );
+    }
+
+    let mut group = c.benchmark_group("fig08_txn_size");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    for &size in &[1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("central", size), &size, |b, &size| {
+            b.iter(|| run_scenario(CentralStore::new(bioinformatics_schema()), &scenario_for(size)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig08);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 9: the effect of the reconciliation interval on state ratio
+//! (10 participants, single-update transactions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{fig09_recon_interval_ratio, FigureScale};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::CentralStore;
+use orchestra_workload::{run_scenario, ScenarioConfig, WorkloadConfig};
+use std::time::Duration;
+
+fn scenario_for(interval: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        participants: 10,
+        transactions_between_reconciliations: interval,
+        rounds: 2,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 400,
+            function_pool: 200,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let rows = fig09_recon_interval_ratio(FigureScale::Quick);
+    println!("\nFigure 9 (reconciliation interval vs. state ratio, 10 peers):");
+    for row in &rows {
+        println!(
+            "  interval={:<3} state_ratio={:.3}",
+            row.reconciliation_interval, row.state_ratio
+        );
+    }
+
+    let mut group = c.benchmark_group("fig09_recon_interval_ratio");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    for &interval in &[1usize, 20] {
+        group.bench_with_input(BenchmarkId::new("central", interval), &interval, |b, &ri| {
+            b.iter(|| run_scenario(CentralStore::new(bioinformatics_schema()), &scenario_for(ri)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig09);
+criterion_main!(benches);

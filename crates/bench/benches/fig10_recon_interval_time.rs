@@ -1,0 +1,55 @@
+//! Figure 10: reconciliation interval versus execution time per participant,
+//! split into store time and local time, for the centralised and the
+//! DHT-based store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{fig10_recon_interval_time, FigureScale};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::{CentralStore, DhtStore};
+use orchestra_workload::{run_scenario, ScenarioConfig, WorkloadConfig};
+use std::time::Duration;
+
+fn scenario_for(interval: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        participants: 10,
+        transactions_between_reconciliations: interval,
+        rounds: 2,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 400,
+            function_pool: 200,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let rows = fig10_recon_interval_time(FigureScale::Quick);
+    println!("\nFigure 10 (reconciliation interval vs. time per participant):");
+    for row in &rows {
+        println!(
+            "  RI={:<3} store={:<11} store_time={:.6}s local_time={:.6}s",
+            row.reconciliation_interval, row.store_kind, row.store_time_secs, row.local_time_secs
+        );
+    }
+
+    let mut group = c.benchmark_group("fig10_recon_interval_time");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    for &interval in &[4usize, 20] {
+        group.bench_with_input(BenchmarkId::new("central", interval), &interval, |b, &ri| {
+            b.iter(|| run_scenario(CentralStore::new(bioinformatics_schema()), &scenario_for(ri)))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", interval), &interval, |b, &ri| {
+            b.iter(|| run_scenario(DhtStore::new(bioinformatics_schema()), &scenario_for(ri)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 11: the change in state ratio as the number of participants grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{fig11_participants_ratio, FigureScale};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::CentralStore;
+use orchestra_workload::{run_scenario, ScenarioConfig, WorkloadConfig};
+use std::time::Duration;
+
+fn scenario_for(participants: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        participants,
+        transactions_between_reconciliations: 4,
+        rounds: 2,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 400,
+            function_pool: 200,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let rows = fig11_participants_ratio(FigureScale::Quick);
+    println!("\nFigure 11 (participants vs. state ratio):");
+    for row in &rows {
+        println!("  peers={:<3} state_ratio={:.3}", row.participants, row.state_ratio);
+    }
+
+    let mut group = c.benchmark_group("fig11_peers_ratio");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    for &peers in &[5usize, 25] {
+        group.bench_with_input(BenchmarkId::new("central", peers), &peers, |b, &n| {
+            b.iter(|| run_scenario(CentralStore::new(bioinformatics_schema()), &scenario_for(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 12: average time per reconciliation as the number of participants
+//! grows, for the centralised and the DHT-based store.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_bench::{fig12_participants_time, FigureScale};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::{CentralStore, DhtStore};
+use orchestra_workload::{run_scenario, ScenarioConfig, WorkloadConfig};
+use std::time::Duration;
+
+fn scenario_for(participants: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        participants,
+        transactions_between_reconciliations: 4,
+        rounds: 2,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 400,
+            function_pool: 200,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let rows = fig12_participants_time(FigureScale::Quick);
+    println!("\nFigure 12 (participants vs. time per reconciliation):");
+    for row in &rows {
+        println!(
+            "  peers={:<3} store={:<11} store_time={:.6}s local_time={:.6}s",
+            row.participants, row.store_kind, row.store_time_secs, row.local_time_secs
+        );
+    }
+
+    let mut group = c.benchmark_group("fig12_peers_time");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    for &peers in &[10usize, 25] {
+        group.bench_with_input(BenchmarkId::new("central", peers), &peers, |b, &n| {
+            b.iter(|| run_scenario(CentralStore::new(bioinformatics_schema()), &scenario_for(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", peers), &peers, |b, &n| {
+            b.iter(|| run_scenario(DhtStore::new(bioinformatics_schema()), &scenario_for(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the reconciliation building blocks: flattening,
+//! conflict detection between update extensions, and a single
+//! `ReconcileUpdates` run over a synthetic candidate set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{flatten, ParticipantId, Priority, ReconciliationId, Transaction, Tuple, Update};
+use orchestra_recon::{CandidateTransaction, ReconcileEngine, ReconcileInput, SoftState};
+use orchestra_storage::Database;
+use std::time::Duration;
+
+fn p(i: u32) -> ParticipantId {
+    ParticipantId(i)
+}
+
+fn func(key: usize, value: usize) -> Tuple {
+    Tuple::of_text(&[
+        "organism",
+        &format!("prot{key:05}"),
+        &format!("function-{value}"),
+    ])
+}
+
+/// Builds `n` single-insert candidates, a configurable fraction of which
+/// collide pairwise on the same key with divergent values.
+fn candidates(n: usize, conflict_fraction: f64) -> Vec<CandidateTransaction> {
+    let conflicting = (n as f64 * conflict_fraction) as usize;
+    (0..n)
+        .map(|i| {
+            let (key, value) = if i < conflicting {
+                (i / 2, i)
+            } else {
+                (1_000 + i, 0)
+            };
+            let txn = Transaction::from_parts(
+                p(2 + (i % 8) as u32),
+                i as u64,
+                vec![Update::insert("Function", func(key, value), p(2 + (i % 8) as u32))],
+            )
+            .unwrap();
+            CandidateTransaction::new(&txn, Priority(1), vec![])
+        })
+        .collect()
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let schema = bioinformatics_schema();
+    let mut updates = Vec::new();
+    for i in 0..200usize {
+        updates.push(Update::insert("Function", func(i, 0), p(1)));
+        updates.push(Update::modify("Function", func(i, 0), func(i, 1), p(1)));
+        updates.push(Update::modify("Function", func(i, 1), func(i, 2), p(1)));
+    }
+    c.bench_function("flatten_600_updates", |b| b.iter(|| flatten(&schema, &updates)));
+}
+
+fn bench_reconcile(c: &mut Criterion) {
+    let schema = bioinformatics_schema();
+    let mut group = c.benchmark_group("reconcile_candidates");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    for &n in &[50usize, 200, 500] {
+        group.bench_with_input(BenchmarkId::new("ten_pct_conflicts", n), &n, |b, &n| {
+            let cands = candidates(n, 0.1);
+            let engine = ReconcileEngine::new(schema.clone());
+            b.iter(|| {
+                let mut db = Database::new(schema.clone());
+                let mut soft = SoftState::new();
+                engine.reconcile(
+                    ReconcileInput {
+                        recno: ReconciliationId(1),
+                        candidates: cands.clone(),
+                        ..Default::default()
+                    },
+                    &mut db,
+                    &mut soft,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flatten, bench_reconcile);
+criterion_main!(benches);

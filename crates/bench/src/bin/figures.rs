@@ -1,0 +1,159 @@
+//! Regenerates every figure of the paper's evaluation section.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--fig N]... [--full] [--out DIR]
+//! ```
+//!
+//! With no `--fig` arguments, every figure is regenerated. `--full` uses the
+//! paper's parameter ranges (slower); the default "quick" scale finishes in a
+//! few seconds. CSV output is written under `--out` (default
+//! `target/figures`).
+
+use orchestra_bench::{
+    fig08_transaction_size, fig09_recon_interval_ratio, fig10_recon_interval_time,
+    fig11_participants_ratio, fig12_participants_time, render_table, write_csv, FigureScale,
+};
+use std::path::PathBuf;
+
+struct Args {
+    figures: Vec<u32>,
+    scale: FigureScale,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut figures = Vec::new();
+    let mut scale = FigureScale::Quick;
+    let mut out = PathBuf::from("target/figures");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fig" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    figures.push(n);
+                }
+            }
+            "--full" => scale = FigureScale::Full,
+            "--out" => {
+                if let Some(dir) = args.next() {
+                    out = PathBuf::from(dir);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: figures [--fig N]... [--full] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures = vec![8, 9, 10, 11, 12];
+    }
+    Args { figures, scale, out }
+}
+
+fn main() {
+    let args = parse_args();
+    for fig in &args.figures {
+        match fig {
+            8 => {
+                let rows = fig08_transaction_size(args.scale);
+                let table = render_table(
+                    "Figure 8: transaction size vs. state ratio (10 peers, constant updates per reconciliation)",
+                    &["txn_size", "txns/recon", "state_ratio"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.transaction_size.to_string(),
+                                r.transactions_per_reconciliation.to_string(),
+                                format!("{:.3}", r.state_ratio),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                println!("{table}");
+                write_csv(&args.out.join("fig08.csv"), &rows).expect("write fig08.csv");
+            }
+            9 => {
+                let rows = fig09_recon_interval_ratio(args.scale);
+                let table = render_table(
+                    "Figure 9: reconciliation interval vs. state ratio (10 peers, txn size 1)",
+                    &["interval", "state_ratio"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.reconciliation_interval.to_string(),
+                                format!("{:.3}", r.state_ratio),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                println!("{table}");
+                write_csv(&args.out.join("fig09.csv"), &rows).expect("write fig09.csv");
+            }
+            10 => {
+                let rows = fig10_recon_interval_time(args.scale);
+                let table = render_table(
+                    "Figure 10: reconciliation interval vs. total reconciliation time per participant",
+                    &["interval", "store", "store_time_s", "local_time_s"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.reconciliation_interval.to_string(),
+                                r.store_kind.clone(),
+                                format!("{:.6}", r.store_time_secs),
+                                format!("{:.6}", r.local_time_secs),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                println!("{table}");
+                write_csv(&args.out.join("fig10.csv"), &rows).expect("write fig10.csv");
+            }
+            11 => {
+                let rows = fig11_participants_ratio(args.scale);
+                let table = render_table(
+                    "Figure 11: number of participants vs. state ratio",
+                    &["participants", "state_ratio"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![r.participants.to_string(), format!("{:.3}", r.state_ratio)]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                println!("{table}");
+                write_csv(&args.out.join("fig11.csv"), &rows).expect("write fig11.csv");
+            }
+            12 => {
+                let rows = fig12_participants_time(args.scale);
+                let table = render_table(
+                    "Figure 12: number of participants vs. average time per reconciliation",
+                    &["participants", "store", "store_time_s", "local_time_s"],
+                    &rows
+                        .iter()
+                        .map(|r| {
+                            vec![
+                                r.participants.to_string(),
+                                r.store_kind.clone(),
+                                format!("{:.6}", r.store_time_secs),
+                                format!("{:.6}", r.local_time_secs),
+                            ]
+                        })
+                        .collect::<Vec<_>>(),
+                );
+                println!("{table}");
+                write_csv(&args.out.join("fig12.csv"), &rows).expect("write fig12.csv");
+            }
+            other => eprintln!("unknown figure {other}; available: 8, 9, 10, 11, 12"),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types shared across the data model.
+
+use std::fmt;
+
+/// Convenience alias for results produced by model-level operations.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A tuple did not conform to the schema of the relation it targets.
+    SchemaMismatch {
+        /// Relation whose schema was violated.
+        relation: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A relation name was referenced but is not part of the schema.
+    UnknownRelation(String),
+    /// A column name was referenced but does not exist in the relation.
+    UnknownColumn {
+        /// Relation that was searched.
+        relation: String,
+        /// Column that was not found.
+        column: String,
+    },
+    /// An operation referenced a value of the wrong type.
+    TypeMismatch {
+        /// What the schema expected.
+        expected: String,
+        /// What was supplied instead.
+        found: String,
+    },
+    /// An integrity constraint was violated.
+    ConstraintViolation {
+        /// Description of the violated constraint.
+        constraint: String,
+        /// Description of the offending data.
+        detail: String,
+    },
+    /// A schema definition was internally inconsistent (e.g. duplicate
+    /// column names or an out-of-range key column index).
+    InvalidSchema(String),
+    /// A transaction was malformed (e.g. empty, or mixing origins).
+    InvalidTransaction(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::SchemaMismatch { relation, detail } => {
+                write!(f, "tuple does not conform to schema of `{relation}`: {detail}")
+            }
+            ModelError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            ModelError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            ModelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ModelError::ConstraintViolation { constraint, detail } => {
+                write!(f, "constraint `{constraint}` violated: {detail}")
+            }
+            ModelError::InvalidSchema(detail) => write!(f, "invalid schema: {detail}"),
+            ModelError::InvalidTransaction(detail) => write!(f, "invalid transaction: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_relation_name() {
+        let err = ModelError::UnknownRelation("Function".into());
+        assert!(err.to_string().contains("Function"));
+    }
+
+    #[test]
+    fn display_schema_mismatch() {
+        let err = ModelError::SchemaMismatch {
+            relation: "F".into(),
+            detail: "expected 3 columns, got 2".into(),
+        };
+        let s = err.to_string();
+        assert!(s.contains("F") && s.contains("3 columns"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            ModelError::UnknownRelation("R".into()),
+            ModelError::UnknownRelation("R".into())
+        );
+        assert_ne!(
+            ModelError::UnknownRelation("R".into()),
+            ModelError::UnknownRelation("S".into())
+        );
+    }
+}

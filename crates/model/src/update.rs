@@ -1,0 +1,378 @@
+//! Provenance-annotated updates: insertions, deletions and modifications.
+
+use crate::ids::ParticipantId;
+use crate::schema::{RelationSchema, Schema};
+use crate::tuple::{KeyValue, Tuple};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of an update, without its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateKind {
+    /// `+R(ā; i)` — insertion of a tuple.
+    Insert,
+    /// `−R(ā; i)` — deletion of a tuple.
+    Delete,
+    /// `R(ā → ā′; i)` — replacement (modification) of a tuple.
+    Modify,
+}
+
+impl fmt::Display for UpdateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UpdateKind::Insert => "insert",
+            UpdateKind::Delete => "delete",
+            UpdateKind::Modify => "modify",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The payload of an update.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpdateOp {
+    /// Insert a new tuple.
+    Insert(Tuple),
+    /// Delete an existing tuple (identified by its full value, as in the
+    /// paper's `−R(ā; i)` notation).
+    Delete(Tuple),
+    /// Replace an existing tuple `from` with a new tuple `to`.
+    Modify {
+        /// The antecedent tuple value being replaced.
+        from: Tuple,
+        /// The replacement tuple value.
+        to: Tuple,
+    },
+}
+
+/// A single update to a relation, annotated with the identity of the
+/// participant that originated it (its provenance).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Update {
+    /// Name of the relation the update targets.
+    pub relation: String,
+    /// The operation payload.
+    pub op: UpdateOp,
+    /// The participant that originated the update.
+    pub origin: ParticipantId,
+}
+
+impl Update {
+    /// Creates an insertion `+R(ā; i)`.
+    pub fn insert(relation: impl Into<String>, tuple: Tuple, origin: ParticipantId) -> Self {
+        Update { relation: relation.into(), op: UpdateOp::Insert(tuple), origin }
+    }
+
+    /// Creates a deletion `−R(ā; i)`.
+    pub fn delete(relation: impl Into<String>, tuple: Tuple, origin: ParticipantId) -> Self {
+        Update { relation: relation.into(), op: UpdateOp::Delete(tuple), origin }
+    }
+
+    /// Creates a replacement `R(ā → ā′; i)`.
+    pub fn modify(
+        relation: impl Into<String>,
+        from: Tuple,
+        to: Tuple,
+        origin: ParticipantId,
+    ) -> Self {
+        Update { relation: relation.into(), op: UpdateOp::Modify { from, to }, origin }
+    }
+
+    /// The kind of the update.
+    pub fn kind(&self) -> UpdateKind {
+        match self.op {
+            UpdateOp::Insert(_) => UpdateKind::Insert,
+            UpdateOp::Delete(_) => UpdateKind::Delete,
+            UpdateOp::Modify { .. } => UpdateKind::Modify,
+        }
+    }
+
+    /// The tuple value this update reads (its antecedent): the deleted tuple
+    /// for a deletion, the `from` tuple for a modification, `None` for an
+    /// insertion.
+    pub fn read_tuple(&self) -> Option<&Tuple> {
+        match &self.op {
+            UpdateOp::Insert(_) => None,
+            UpdateOp::Delete(t) => Some(t),
+            UpdateOp::Modify { from, .. } => Some(from),
+        }
+    }
+
+    /// The tuple value this update writes: the inserted tuple for an
+    /// insertion, the `to` tuple for a modification, `None` for a deletion.
+    pub fn written_tuple(&self) -> Option<&Tuple> {
+        match &self.op {
+            UpdateOp::Insert(t) => Some(t),
+            UpdateOp::Delete(_) => None,
+            UpdateOp::Modify { to, .. } => Some(to),
+        }
+    }
+
+    /// Key value of the tuple this update reads, if any.
+    pub fn read_key(&self, rel: &RelationSchema) -> Option<KeyValue> {
+        self.read_tuple().map(|t| rel.key_of(t))
+    }
+
+    /// Key value of the tuple this update writes, if any.
+    pub fn written_key(&self, rel: &RelationSchema) -> Option<KeyValue> {
+        self.written_tuple().map(|t| rel.key_of(t))
+    }
+
+    /// All key values this update touches (reads or writes), deduplicated.
+    /// A modification that changes a key attribute touches two keys.
+    pub fn touched_keys(&self, rel: &RelationSchema) -> Vec<KeyValue> {
+        let mut keys = Vec::with_capacity(2);
+        if let Some(k) = self.read_key(rel) {
+            keys.push(k);
+        }
+        if let Some(k) = self.written_key(rel) {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        keys
+    }
+
+    /// Validates that all tuples in this update conform to the schema.
+    pub fn validate(&self, schema: &Schema) -> crate::error::Result<()> {
+        let rel = schema.relation(&self.relation)?;
+        if let Some(t) = self.read_tuple() {
+            rel.validate_tuple(t)?;
+        }
+        if let Some(t) = self.written_tuple() {
+            rel.validate_tuple(t)?;
+        }
+        Ok(())
+    }
+
+    /// Decides whether two updates conflict, per Section 4 of the paper:
+    ///
+    /// 1. both are insertions with the same key attribute values but different
+    ///    values for at least one other attribute; or
+    /// 2. one is a deletion and the other is a replacement or insertion with
+    ///    the same key attribute values; or
+    /// 3. both are replacements with the same source tuple value but
+    ///    different replacement tuples.
+    ///
+    /// Updates over different relations never conflict.
+    pub fn conflicts_with(&self, other: &Update, schema: &Schema) -> bool {
+        self.conflict_kind_with(other, schema).is_some()
+    }
+
+    /// Like [`Update::conflicts_with`] but returns the kind of conflict, which
+    /// the reconciliation algorithm uses to build conflict groups.
+    pub fn conflict_kind_with(
+        &self,
+        other: &Update,
+        schema: &Schema,
+    ) -> Option<(crate::conflict::ConflictKind, KeyValue)> {
+        use crate::conflict::ConflictKind;
+        if self.relation != other.relation {
+            return None;
+        }
+        let rel = schema.relation(&self.relation).ok()?;
+        match (&self.op, &other.op) {
+            (UpdateOp::Insert(a), UpdateOp::Insert(b)) => {
+                if rel.key_of(a) == rel.key_of(b) && a != b {
+                    Some((ConflictKind::DivergentInsert, rel.key_of(a)))
+                } else {
+                    None
+                }
+            }
+            (UpdateOp::Delete(d), UpdateOp::Insert(w))
+            | (UpdateOp::Insert(w), UpdateOp::Delete(d)) => {
+                if rel.key_of(d) == rel.key_of(w) {
+                    Some((ConflictKind::DeleteVersusWrite, rel.key_of(d)))
+                } else {
+                    None
+                }
+            }
+            (UpdateOp::Delete(d), UpdateOp::Modify { from, .. })
+            | (UpdateOp::Modify { from, .. }, UpdateOp::Delete(d)) => {
+                if rel.key_of(d) == rel.key_of(from) {
+                    Some((ConflictKind::DeleteVersusWrite, rel.key_of(d)))
+                } else {
+                    None
+                }
+            }
+            (UpdateOp::Modify { from: f1, to: t1 }, UpdateOp::Modify { from: f2, to: t2 }) => {
+                if f1 == f2 && t1 != t2 {
+                    Some((ConflictKind::DivergentModify, rel.key_of(f1)))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.op {
+            UpdateOp::Insert(t) => write!(f, "+{}{}; {}", self.relation, t, self.origin),
+            UpdateOp::Delete(t) => write!(f, "-{}{}; {}", self.relation, t, self.origin),
+            UpdateOp::Modify { from, to } => {
+                write!(f, "{}({} -> {}); {}", self.relation, from, to, self.origin)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::ConflictKind;
+    use crate::schema::bioinformatics_schema;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    #[test]
+    fn kinds_and_accessors() {
+        let ins = Update::insert("Function", func("rat", "prot1", "immune"), p(3));
+        assert_eq!(ins.kind(), UpdateKind::Insert);
+        assert!(ins.read_tuple().is_none());
+        assert_eq!(ins.written_tuple().unwrap(), &func("rat", "prot1", "immune"));
+
+        let del = Update::delete("Function", func("rat", "prot1", "immune"), p(3));
+        assert_eq!(del.kind(), UpdateKind::Delete);
+        assert!(del.written_tuple().is_none());
+        assert_eq!(del.read_tuple().unwrap(), &func("rat", "prot1", "immune"));
+
+        let m = Update::modify(
+            "Function",
+            func("rat", "prot1", "cell-metab"),
+            func("rat", "prot1", "immune"),
+            p(3),
+        );
+        assert_eq!(m.kind(), UpdateKind::Modify);
+        assert_eq!(m.read_tuple().unwrap(), &func("rat", "prot1", "cell-metab"));
+        assert_eq!(m.written_tuple().unwrap(), &func("rat", "prot1", "immune"));
+    }
+
+    #[test]
+    fn touched_keys_of_key_changing_modify() {
+        let schema = bioinformatics_schema();
+        let rel = schema.relation("Function").unwrap();
+        let m = Update::modify(
+            "Function",
+            func("mouse", "prot2", "cell-resp"),
+            func("mouse", "prot3", "cell-resp"),
+            p(3),
+        );
+        let keys = m.touched_keys(rel);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&KeyValue::of_text(&["mouse", "prot2"])));
+        assert!(keys.contains(&KeyValue::of_text(&["mouse", "prot3"])));
+
+        let m2 = Update::modify(
+            "Function",
+            func("rat", "prot1", "cell-metab"),
+            func("rat", "prot1", "immune"),
+            p(3),
+        );
+        assert_eq!(m2.touched_keys(rel).len(), 1);
+    }
+
+    #[test]
+    fn divergent_inserts_conflict() {
+        let schema = bioinformatics_schema();
+        let a = Update::insert("Function", func("rat", "prot1", "immune"), p(3));
+        let b = Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2));
+        let c = Update::insert("Function", func("rat", "prot1", "immune"), p(2));
+        let d = Update::insert("Function", func("rat", "prot2", "immune"), p(2));
+        assert!(a.conflicts_with(&b, &schema));
+        assert_eq!(
+            a.conflict_kind_with(&b, &schema).unwrap().0,
+            ConflictKind::DivergentInsert
+        );
+        // Identical inserts do not conflict.
+        assert!(!a.conflicts_with(&c, &schema));
+        // Different keys do not conflict.
+        assert!(!a.conflicts_with(&d, &schema));
+    }
+
+    #[test]
+    fn delete_versus_write_conflicts() {
+        let schema = bioinformatics_schema();
+        let del = Update::delete("Function", func("rat", "prot1", "immune"), p(1));
+        let ins = Update::insert("Function", func("rat", "prot1", "other"), p(2));
+        let modify = Update::modify(
+            "Function",
+            func("rat", "prot1", "immune"),
+            func("rat", "prot1", "cell-resp"),
+            p(2),
+        );
+        let unrelated = Update::insert("Function", func("mouse", "prot2", "x"), p(2));
+        assert!(del.conflicts_with(&ins, &schema));
+        assert!(ins.conflicts_with(&del, &schema));
+        assert!(del.conflicts_with(&modify, &schema));
+        assert!(!del.conflicts_with(&unrelated, &schema));
+        assert_eq!(
+            del.conflict_kind_with(&modify, &schema).unwrap().0,
+            ConflictKind::DeleteVersusWrite
+        );
+    }
+
+    #[test]
+    fn divergent_modifies_conflict() {
+        let schema = bioinformatics_schema();
+        let base = func("rat", "prot1", "cell-metab");
+        let m1 = Update::modify("Function", base.clone(), func("rat", "prot1", "immune"), p(3));
+        let m2 = Update::modify("Function", base.clone(), func("rat", "prot1", "cell-resp"), p(2));
+        let m3 = Update::modify("Function", base.clone(), func("rat", "prot1", "immune"), p(2));
+        let other_base = Update::modify(
+            "Function",
+            func("rat", "prot1", "other"),
+            func("rat", "prot1", "cell-resp"),
+            p(2),
+        );
+        assert!(m1.conflicts_with(&m2, &schema));
+        assert_eq!(
+            m1.conflict_kind_with(&m2, &schema).unwrap().0,
+            ConflictKind::DivergentModify
+        );
+        // Same source, same target: no conflict.
+        assert!(!m1.conflicts_with(&m3, &schema));
+        // Different source tuples: no conflict under rule 3.
+        assert!(!m1.conflicts_with(&other_base, &schema));
+    }
+
+    #[test]
+    fn updates_on_different_relations_never_conflict() {
+        let schema = bioinformatics_schema();
+        let a = Update::insert("Function", func("rat", "prot1", "immune"), p(1));
+        let b = Update::insert("XRef", Tuple::of_text(&["rat", "prot1", "db1", "acc1"]), p(2));
+        assert!(!a.conflicts_with(&b, &schema));
+    }
+
+    #[test]
+    fn validation_against_schema() {
+        let schema = bioinformatics_schema();
+        let ok = Update::insert("Function", func("rat", "prot1", "immune"), p(1));
+        assert!(ok.validate(&schema).is_ok());
+        let bad_arity = Update::insert("Function", Tuple::of_text(&["rat", "prot1"]), p(1));
+        assert!(bad_arity.validate(&schema).is_err());
+        let bad_rel = Update::insert("Nope", func("rat", "prot1", "immune"), p(1));
+        assert!(bad_rel.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let ins = Update::insert("F", Tuple::of_text(&["rat", "prot1", "cell-metab"]), p(3));
+        assert_eq!(ins.to_string(), "+F(rat, prot1, cell-metab); p3");
+        let m = Update::modify(
+            "F",
+            Tuple::of_text(&["rat", "prot1", "cell-metab"]),
+            Tuple::of_text(&["rat", "prot1", "immune"]),
+            p(3),
+        );
+        assert!(m.to_string().contains("->"));
+    }
+}

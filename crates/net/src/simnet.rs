@@ -1,0 +1,184 @@
+//! Virtual-time network simulation: per-message latency charging and
+//! message/byte accounting.
+
+use crate::node::NodeId;
+use crate::ring::Ring;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Cumulative statistics of a simulated network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of application-level messages sent (requests and replies).
+    pub messages: u64,
+    /// Number of overlay hops traversed by those messages.
+    pub hops: u64,
+    /// Approximate bytes transferred (as reported by callers).
+    pub bytes: u64,
+    /// Total virtual latency accumulated, in microseconds.
+    pub latency_us: u64,
+}
+
+impl NetworkStats {
+    /// The accumulated virtual latency as a [`Duration`].
+    pub fn latency(&self) -> Duration {
+        Duration::from_micros(self.latency_us)
+    }
+}
+
+/// A deterministic virtual-time network over a DHT overlay.
+///
+/// Every message charged through the network adds `latency_per_message` per
+/// overlay hop to the virtual clock, mirroring the paper's setup where every
+/// message (and reply) transmission is delayed by at least 500 µs. Replies are
+/// modelled as direct (single-hop) messages, as in Pastry, where the reply is
+/// sent straight back to the requester.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimNetwork {
+    ring: Ring,
+    latency_per_message_us: u64,
+    stats: NetworkStats,
+}
+
+impl SimNetwork {
+    /// The latency used by the paper's experimental setup (500 µs).
+    pub const PAPER_LATENCY_US: u64 = 500;
+
+    /// Creates a simulated network over the given overlay members with the
+    /// paper's 500 µs per-message latency.
+    pub fn new(members: Vec<NodeId>) -> SimNetwork {
+        SimNetwork::with_latency(members, Duration::from_micros(Self::PAPER_LATENCY_US))
+    }
+
+    /// Creates a simulated network with a custom per-message latency.
+    pub fn with_latency(members: Vec<NodeId>, latency: Duration) -> SimNetwork {
+        SimNetwork {
+            ring: Ring::new(members),
+            latency_per_message_us: latency.as_micros() as u64,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The overlay.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// Adds a node to the overlay.
+    pub fn join(&mut self, node: NodeId) {
+        self.ring.join(node);
+    }
+
+    /// The per-message latency.
+    pub fn latency_per_message(&self) -> Duration {
+        Duration::from_micros(self.latency_per_message_us)
+    }
+
+    /// Cumulative statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Resets the statistics (e.g. between measured reconciliations).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetworkStats::default();
+    }
+
+    /// Charges a request routed from `from` to the owner of `key`, returning
+    /// the owner. Each overlay hop counts as one message transmission.
+    pub fn send_to_key(&mut self, from: NodeId, key: NodeId, bytes: u64) -> Option<NodeId> {
+        let path = self.ring.route(from, key)?;
+        let hops = path.hop_count() as u64;
+        self.stats.messages += 1;
+        self.stats.hops += hops;
+        self.stats.bytes += bytes;
+        self.stats.latency_us += hops * self.latency_per_message_us;
+        path.destination()
+    }
+
+    /// Charges a direct (single-hop) message from one node to another, e.g. a
+    /// reply to a request.
+    pub fn send_direct(&mut self, _from: NodeId, _to: NodeId, bytes: u64) {
+        self.stats.messages += 1;
+        self.stats.hops += 1;
+        self.stats.bytes += bytes;
+        self.stats.latency_us += self.latency_per_message_us;
+    }
+
+    /// Charges a request/reply round trip: a routed request to the owner of
+    /// `key` followed by a direct reply. Returns the owner.
+    pub fn round_trip(&mut self, from: NodeId, key: NodeId, request_bytes: u64, reply_bytes: u64) -> Option<NodeId> {
+        let owner = self.send_to_key(from, key, request_bytes)?;
+        self.send_direct(owner, from, reply_bytes);
+        Some(owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network(n: usize) -> SimNetwork {
+        SimNetwork::new((0..n).map(|i| NodeId::hash_str(&format!("node-{i}"))).collect())
+    }
+
+    #[test]
+    fn default_latency_matches_the_paper() {
+        let net = network(4);
+        assert_eq!(net.latency_per_message(), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn sending_accumulates_stats() {
+        let mut net = network(8);
+        let from = net.ring().members()[0];
+        let owner = net.send_to_key(from, NodeId::hash_u64(7), 100).unwrap();
+        assert_eq!(Some(owner), net.ring().owner_of(NodeId::hash_u64(7)));
+        let stats = net.stats();
+        assert_eq!(stats.messages, 1);
+        assert!(stats.hops >= 1);
+        assert_eq!(stats.bytes, 100);
+        assert_eq!(stats.latency_us, stats.hops * 500);
+    }
+
+    #[test]
+    fn round_trip_counts_request_and_reply() {
+        let mut net = network(8);
+        let from = net.ring().members()[0];
+        net.round_trip(from, NodeId::hash_u64(9), 64, 256).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.messages, 2);
+        assert!(stats.hops >= 2);
+        assert_eq!(stats.bytes, 320);
+        assert!(stats.latency().as_micros() as u64 == stats.latency_us);
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut net = network(4);
+        let from = net.ring().members()[0];
+        net.round_trip(from, NodeId::hash_u64(1), 1, 1);
+        assert!(net.stats().messages > 0);
+        net.reset_stats();
+        assert_eq!(net.stats(), NetworkStats::default());
+    }
+
+    #[test]
+    fn custom_latency_is_charged() {
+        let mut net = SimNetwork::with_latency(
+            (0..4).map(NodeId::hash_u64).collect(),
+            Duration::from_millis(2),
+        );
+        let from = net.ring().members()[0];
+        net.send_direct(from, net.ring().members()[1], 10);
+        assert_eq!(net.stats().latency_us, 2_000);
+    }
+
+    #[test]
+    fn join_extends_the_overlay() {
+        let mut net = network(2);
+        assert_eq!(net.ring().len(), 2);
+        net.join(NodeId::hash_str("late-joiner"));
+        assert_eq!(net.ring().len(), 3);
+    }
+}

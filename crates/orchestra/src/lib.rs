@@ -1,0 +1,66 @@
+//! Orchestra: a collaborative data sharing system (CDSS) with trust-based
+//! reconciliation.
+//!
+//! This crate is the public face of the workspace: it ties together the data
+//! model, the storage engine, the update stores and the reconciliation engine
+//! into the participant-centric API of the paper:
+//!
+//! * [`Participant`] — an autonomous peer with its own database instance,
+//!   trust policy and soft state. Participants execute local transactions,
+//!   publish them to an update store, reconcile against what others have
+//!   published, and resolve deferred conflicts.
+//! * [`CdssSystem`] — a confederation of participants sharing one update
+//!   store, with convenience drivers for multi-epoch simulations.
+//! * [`metrics`] — the evaluation metrics of Section 6: the *state ratio*
+//!   (average number of distinct per-key values across participants) and
+//!   timing breakdowns split into store time and local time.
+//!
+//! # Quick start
+//!
+//! ```
+//! use orchestra::{CdssSystem, ParticipantConfig};
+//! use orchestra_model::schema::bioinformatics_schema;
+//! use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+//! use orchestra_store::CentralStore;
+//!
+//! let schema = bioinformatics_schema();
+//! let store = CentralStore::new(schema.clone());
+//! let mut system = CdssSystem::new(schema, store);
+//!
+//! // Two participants that trust each other at priority 1.
+//! let p1 = ParticipantId(1);
+//! let p2 = ParticipantId(2);
+//! system.add_participant(ParticipantConfig::new(
+//!     TrustPolicy::new(p1).trusting(p2, 1u32),
+//! ));
+//! system.add_participant(ParticipantConfig::new(
+//!     TrustPolicy::new(p2).trusting(p1, 1u32),
+//! ));
+//!
+//! // p1 inserts a protein-function fact and shares it.
+//! system
+//!     .execute(p1, vec![Update::insert(
+//!         "Function",
+//!         Tuple::of_text(&["rat", "prot1", "immune"]),
+//!         p1,
+//!     )])
+//!     .unwrap();
+//! system.publish_and_reconcile(p1).unwrap();
+//! system.publish_and_reconcile(p2).unwrap();
+//!
+//! // p2 imported the fact.
+//! assert_eq!(system.participant(p2).unwrap().instance().total_tuples(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod participant;
+pub mod report;
+pub mod system;
+
+pub use metrics::{state_ratio, state_ratio_for_relation};
+pub use participant::{Participant, ParticipantConfig};
+pub use report::{ReconcileReport, ResolutionReport, TimingBreakdown};
+pub use system::CdssSystem;

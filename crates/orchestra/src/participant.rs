@@ -1,0 +1,515 @@
+//! A CDSS participant: local instance, trust policy, publication and
+//! reconciliation.
+
+use crate::report::{ReconcileReport, ResolutionReport, TimingBreakdown};
+use orchestra_model::{
+    ParticipantId, Schema, Transaction, TransactionId, TrustPolicy, Update,
+};
+use orchestra_recon::{
+    resolution::resolve_conflicts, ConflictGroup, ReconcileEngine, ReconcileInput,
+    ResolutionChoice, SoftState,
+};
+use orchestra_storage::{Database, Result, StorageError};
+use orchestra_store::UpdateStore;
+use std::time::Instant;
+
+/// Configuration of a participant: its trust policy (which also names the
+/// participant) and, optionally, a pre-populated initial instance.
+#[derive(Debug, Clone)]
+pub struct ParticipantConfig {
+    /// The participant's trust policy (acceptance rules).
+    pub policy: TrustPolicy,
+    /// An optional initial database instance; an empty instance of the
+    /// system schema is used when absent.
+    pub initial_instance: Option<Database>,
+}
+
+impl ParticipantConfig {
+    /// Creates a configuration from a trust policy with an empty initial
+    /// instance.
+    pub fn new(policy: TrustPolicy) -> Self {
+        ParticipantConfig { policy, initial_instance: None }
+    }
+
+    /// Sets an initial instance.
+    pub fn with_instance(mut self, instance: Database) -> Self {
+        self.initial_instance = Some(instance);
+        self
+    }
+}
+
+/// An autonomous participant of the CDSS.
+///
+/// A participant executes transactions against its local instance, publishes
+/// them to the shared update store, and reconciles — importing the trusted,
+/// non-conflicting transactions other participants have published. All
+/// per-participant state besides the instance (deferred transactions, dirty
+/// values, conflict groups) is soft and can be reconstructed from the update
+/// store.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    id: ParticipantId,
+    policy: TrustPolicy,
+    instance: Database,
+    engine: ReconcileEngine,
+    soft: SoftState,
+    next_local_txn: u64,
+    /// Transactions executed locally but not yet published.
+    pending_publish: Vec<Transaction>,
+    /// Updates from the most recent publication, used as the "delta for
+    /// recno" during the following reconciliation.
+    last_published_updates: Vec<Update>,
+    /// Cumulative timing across all operations.
+    total_timing: TimingBreakdown,
+}
+
+impl Participant {
+    /// Creates a participant for the given schema and configuration.
+    pub fn new(schema: Schema, config: ParticipantConfig) -> Self {
+        let id = config.policy.owner();
+        let instance = config.initial_instance.unwrap_or_else(|| Database::new(schema.clone()));
+        Participant {
+            id,
+            policy: config.policy,
+            instance,
+            engine: ReconcileEngine::new(schema),
+            soft: SoftState::new(),
+            next_local_txn: 0,
+            pending_publish: Vec::new(),
+            last_published_updates: Vec::new(),
+            total_timing: TimingBreakdown::default(),
+        }
+    }
+
+    /// Reconstructs a participant from the update store alone: a fresh
+    /// instance is built by replaying, in publication order, every
+    /// transaction the store records as accepted by this participant. This is
+    /// the paper's soft-state property — everything but the trust policy can
+    /// be recovered from the store up to the participant's last
+    /// reconciliation. Deferred conflicts are soft and are rediscovered at
+    /// the next reconciliation.
+    pub fn rebuild_from_store<S: UpdateStore>(
+        schema: Schema,
+        config: ParticipantConfig,
+        store: &S,
+    ) -> Result<Self> {
+        let mut participant = Participant::new(schema, config);
+        let mut max_local = 0u64;
+        for txn in store.accepted_transactions(participant.id) {
+            if txn.origin() == participant.id {
+                max_local = max_local.max(txn.id().local + 1);
+            }
+            for update in txn.updates() {
+                Self::apply_lenient(&mut participant.instance, update);
+            }
+        }
+        participant.next_local_txn = max_local;
+        Ok(participant)
+    }
+
+    /// Applies an update, tolerating effects that are already present or no
+    /// longer applicable (replay of accepted transactions may encounter
+    /// values that a later accepted transaction already superseded).
+    fn apply_lenient(instance: &mut Database, update: &Update) {
+        use orchestra_model::UpdateOp;
+        let already_satisfied = match &update.op {
+            UpdateOp::Insert(t) => instance.contains_tuple_exact(&update.relation, t),
+            UpdateOp::Delete(t) => !instance.key_present(&update.relation, t),
+            UpdateOp::Modify { from, to } => {
+                !instance.contains_tuple_exact(&update.relation, from)
+                    && instance.contains_tuple_exact(&update.relation, to)
+            }
+        };
+        if !already_satisfied {
+            let _ = instance.apply_update(update);
+        }
+    }
+
+    /// The participant's identity.
+    pub fn id(&self) -> ParticipantId {
+        self.id
+    }
+
+    /// The participant's trust policy.
+    pub fn policy(&self) -> &TrustPolicy {
+        &self.policy
+    }
+
+    /// The participant's current database instance.
+    pub fn instance(&self) -> &Database {
+        &self.instance
+    }
+
+    /// The participant's soft state (deferred transactions, dirty values,
+    /// conflict groups).
+    pub fn soft_state(&self) -> &SoftState {
+        &self.soft
+    }
+
+    /// The conflict groups awaiting user resolution.
+    pub fn deferred_conflicts(&self) -> &[ConflictGroup] {
+        self.soft.conflict_groups()
+    }
+
+    /// Transactions executed locally but not yet published.
+    pub fn pending_publications(&self) -> &[Transaction] {
+        &self.pending_publish
+    }
+
+    /// Cumulative timing across every operation performed so far.
+    pub fn total_timing(&self) -> TimingBreakdown {
+        self.total_timing
+    }
+
+    /// Executes a transaction against the local instance. The updates must
+    /// all originate from this participant (the origin field is checked). The
+    /// transaction is applied atomically and queued for the next publication.
+    pub fn execute_transaction(&mut self, updates: Vec<Update>) -> Result<TransactionId> {
+        for u in &updates {
+            if u.origin != self.id {
+                return Err(StorageError::Model(
+                    orchestra_model::ModelError::InvalidTransaction(format!(
+                        "update originated by {} executed at {}",
+                        u.origin, self.id
+                    )),
+                ));
+            }
+        }
+        let txn = Transaction::from_parts(self.id, self.next_local_txn, updates)
+            .map_err(StorageError::Model)?;
+        self.instance.apply_transaction(&txn)?;
+        self.next_local_txn += 1;
+        let id = txn.id();
+        self.pending_publish.push(txn);
+        Ok(id)
+    }
+
+    /// Publishes all pending transactions to the update store as one epoch.
+    /// Returns `None` if there was nothing to publish.
+    pub fn publish<S: UpdateStore>(
+        &mut self,
+        store: &mut S,
+    ) -> Result<Option<orchestra_model::Epoch>> {
+        if self.pending_publish.is_empty() {
+            return Ok(None);
+        }
+        let batch = std::mem::take(&mut self.pending_publish);
+        self.last_published_updates =
+            batch.iter().flat_map(|t| t.updates().iter().cloned()).collect();
+        let epoch = store.publish(self.id, batch)?;
+        let store_time = store.take_timing();
+        self.total_timing.accumulate(TimingBreakdown {
+            store: store_time.total(),
+            local: std::time::Duration::ZERO,
+        });
+        Ok(Some(epoch))
+    }
+
+    /// Reconciles against the update store: retrieves the relevant trusted
+    /// transactions, decides them with the client-centric algorithm, applies
+    /// the accepted ones to the local instance and records the decisions back
+    /// at the store.
+    pub fn reconcile<S: UpdateStore>(&mut self, store: &mut S) -> Result<ReconcileReport> {
+        store.take_timing();
+        let relevant = store.begin_reconciliation(self.id)?;
+        self.finish_reconcile(store, relevant, None)
+    }
+
+    /// Reconciles in the network-centric mode of Section 5: antecedent
+    /// resolution and conflict detection are performed across the DHT peers
+    /// (charged to store time and network traffic), and the local algorithm
+    /// only resolves priorities and applies updates. The decisions made are
+    /// identical to [`Participant::reconcile`]; only the cost distribution
+    /// differs.
+    pub fn reconcile_network_centric(
+        &mut self,
+        store: &mut orchestra_store::DhtStore,
+    ) -> Result<ReconcileReport> {
+        store.take_timing();
+        let plan = store.begin_network_centric_reconciliation(self.id)?;
+        let orchestra_store::NetworkCentricPlan { relevant, conflicts } = plan;
+        self.finish_reconcile(store, relevant, Some(conflicts))
+    }
+
+    /// Shared tail of both reconciliation modes: run the engine over the
+    /// retrieved candidates, apply, and record decisions at the store.
+    fn finish_reconcile<S: UpdateStore>(
+        &mut self,
+        store: &mut S,
+        relevant: orchestra_store::RelevantTransactions,
+        precomputed_conflicts: Option<
+            rustc_hash::FxHashMap<TransactionId, rustc_hash::FxHashSet<TransactionId>>,
+        >,
+    ) -> Result<ReconcileReport> {
+        let previously_rejected = store.rejected_set(self.id);
+        let retrieval_timing = store.take_timing();
+
+        let local_start = Instant::now();
+        let input = ReconcileInput {
+            recno: relevant.recno,
+            candidates: relevant.candidates,
+            own_updates: std::mem::take(&mut self.last_published_updates),
+            previously_rejected,
+            precomputed_conflicts,
+        };
+        let outcome = self.engine.reconcile(input, &mut self.instance, &mut self.soft);
+        let local_elapsed = local_start.elapsed();
+
+        store.record_decisions(self.id, &outcome.accepted_members, &outcome.rejected)?;
+        let record_timing = store.take_timing();
+
+        let timing = TimingBreakdown {
+            store: retrieval_timing.total() + record_timing.total(),
+            local: local_elapsed,
+        };
+        self.total_timing.accumulate(timing);
+
+        Ok(ReconcileReport {
+            recno: outcome.recno,
+            epoch: relevant.epoch,
+            accepted: outcome.accepted_roots,
+            rejected: outcome.rejected,
+            deferred: outcome.deferred,
+            conflict_groups: outcome.conflict_groups,
+            timing,
+        })
+    }
+
+    /// Publishes pending transactions (if any) and then reconciles — the
+    /// combined step the paper assumes participants perform together.
+    pub fn publish_and_reconcile<S: UpdateStore>(
+        &mut self,
+        store: &mut S,
+    ) -> Result<ReconcileReport> {
+        self.publish(store)?;
+        self.reconcile(store)
+    }
+
+    /// Resolves deferred conflicts according to the user's choices, records
+    /// the resulting decisions at the store, and returns what changed.
+    pub fn resolve_conflicts<S: UpdateStore>(
+        &mut self,
+        store: &mut S,
+        choices: &[ResolutionChoice],
+    ) -> Result<ResolutionReport> {
+        store.take_timing();
+        let previously_rejected = store.rejected_set(self.id);
+        let recno = store.current_reconciliation(self.id);
+        let read_timing = store.take_timing();
+
+        let local_start = Instant::now();
+        let outcome = resolve_conflicts(
+            &self.engine,
+            recno,
+            choices,
+            &mut self.instance,
+            &mut self.soft,
+            &previously_rejected,
+        );
+        let local_elapsed = local_start.elapsed();
+
+        let mut rejected_all = outcome.newly_rejected.clone();
+        rejected_all.extend(outcome.rerun.rejected.iter().copied());
+        store.record_decisions(self.id, &outcome.rerun.accepted_members, &rejected_all)?;
+        let record_timing = store.take_timing();
+
+        let timing = TimingBreakdown {
+            store: read_timing.total() + record_timing.total(),
+            local: local_elapsed,
+        };
+        self.total_timing.accumulate(timing);
+
+        Ok(ResolutionReport {
+            newly_rejected: rejected_all,
+            newly_accepted: outcome.rerun.accepted_roots,
+            still_deferred: outcome.rerun.deferred,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::Tuple;
+    use orchestra_store::CentralStore;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn setup_pair() -> (CentralStore, Participant, Participant) {
+        let schema = bioinformatics_schema();
+        let mut store = CentralStore::new(schema.clone());
+        let policy1 = TrustPolicy::new(p(1)).trusting(p(2), 1u32);
+        let policy2 = TrustPolicy::new(p(2)).trusting(p(1), 1u32);
+        store.register_participant(policy1.clone());
+        store.register_participant(policy2.clone());
+        let p1 = Participant::new(schema.clone(), ParticipantConfig::new(policy1));
+        let p2 = Participant::new(schema, ParticipantConfig::new(policy2));
+        (store, p1, p2)
+    }
+
+    #[test]
+    fn execute_applies_locally_and_queues_for_publication() {
+        let (_store, mut p1, _) = setup_pair();
+        let id = p1
+            .execute_transaction(vec![Update::insert(
+                "Function",
+                func("rat", "prot1", "immune"),
+                p(1),
+            )])
+            .unwrap();
+        assert_eq!(id, TransactionId::new(p(1), 0));
+        assert_eq!(p1.instance().total_tuples(), 1);
+        assert_eq!(p1.pending_publications().len(), 1);
+
+        // A second transaction gets the next local id.
+        let id2 = p1
+            .execute_transaction(vec![Update::insert(
+                "Function",
+                func("mouse", "prot2", "immune"),
+                p(1),
+            )])
+            .unwrap();
+        assert_eq!(id2, TransactionId::new(p(1), 1));
+    }
+
+    #[test]
+    fn execute_rejects_foreign_updates_and_invalid_transactions() {
+        let (_store, mut p1, _) = setup_pair();
+        let err = p1
+            .execute_transaction(vec![Update::insert(
+                "Function",
+                func("rat", "prot1", "immune"),
+                p(2),
+            )])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Model(_)));
+        assert!(p1.execute_transaction(vec![]).is_err());
+        // A transaction violating local state is not applied or queued.
+        p1.execute_transaction(vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
+            .unwrap();
+        let err = p1
+            .execute_transaction(vec![Update::insert(
+                "Function",
+                func("rat", "prot1", "b"),
+                p(1),
+            )])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+        assert_eq!(p1.pending_publications().len(), 1);
+    }
+
+    #[test]
+    fn publish_and_reconcile_propagates_between_participants() {
+        let (mut store, mut p1, mut p2) = setup_pair();
+        p1.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "immune"),
+            p(1),
+        )])
+        .unwrap();
+        let report1 = p1.publish_and_reconcile(&mut store).unwrap();
+        assert!(report1.accepted.is_empty());
+        assert_eq!(report1.epoch, orchestra_model::Epoch(1));
+
+        let report2 = p2.publish_and_reconcile(&mut store).unwrap();
+        assert_eq!(report2.accepted.len(), 1);
+        assert!(p2.instance().contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+        assert!(report2.timing.total() >= report2.timing.local);
+        assert!(p2.total_timing().total() >= report2.timing.total());
+    }
+
+    #[test]
+    fn publishing_nothing_is_a_noop() {
+        let (mut store, mut p1, _) = setup_pair();
+        assert_eq!(p1.publish(&mut store).unwrap(), None);
+    }
+
+    #[test]
+    fn own_version_wins_over_remote_conflicting_version() {
+        let (mut store, mut p1, mut p2) = setup_pair();
+        // p1 publishes its value first.
+        p1.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "immune"),
+            p(1),
+        )])
+        .unwrap();
+        p1.publish_and_reconcile(&mut store).unwrap();
+
+        // p2 executes a divergent value for the same key, then reconciles.
+        p2.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "cell-resp"),
+            p(2),
+        )])
+        .unwrap();
+        let report = p2.publish_and_reconcile(&mut store).unwrap();
+        assert_eq!(report.rejected.len(), 1);
+        assert!(p2
+            .instance()
+            .contains_tuple_exact("Function", &func("rat", "prot1", "cell-resp")));
+    }
+
+    #[test]
+    fn conflict_resolution_round_trip() {
+        let schema = bioinformatics_schema();
+        let mut store = CentralStore::new(schema.clone());
+        // p1 trusts p2 and p3 equally; p2 and p3 trust nobody.
+        let policy1 = TrustPolicy::new(p(1)).trusting(p(2), 1u32).trusting(p(3), 1u32);
+        let policy2 = TrustPolicy::new(p(2));
+        let policy3 = TrustPolicy::new(p(3));
+        store.register_participant(policy1.clone());
+        store.register_participant(policy2.clone());
+        store.register_participant(policy3.clone());
+        let mut p1 = Participant::new(schema.clone(), ParticipantConfig::new(policy1));
+        let mut p2 = Participant::new(schema.clone(), ParticipantConfig::new(policy2));
+        let mut p3 = Participant::new(schema, ParticipantConfig::new(policy3));
+
+        p2.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "cell-resp"),
+            p(2),
+        )])
+        .unwrap();
+        p2.publish_and_reconcile(&mut store).unwrap();
+        p3.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "immune"),
+            p(3),
+        )])
+        .unwrap();
+        p3.publish_and_reconcile(&mut store).unwrap();
+
+        let report = p1.publish_and_reconcile(&mut store).unwrap();
+        assert_eq!(report.deferred.len(), 2);
+        assert_eq!(p1.deferred_conflicts().len(), 1);
+
+        // Resolve in favour of p3's value.
+        let group = &p1.deferred_conflicts()[0];
+        let key = group.key.clone();
+        let idx = group
+            .options
+            .iter()
+            .position(|o| o.transactions.iter().any(|t| t.participant == p(3)))
+            .unwrap();
+        let resolution = p1
+            .resolve_conflicts(
+                &mut store,
+                &[ResolutionChoice { group: key, chosen_option: Some(idx) }],
+            )
+            .unwrap();
+        assert_eq!(resolution.newly_accepted.len(), 1);
+        assert_eq!(resolution.newly_rejected.len(), 1);
+        assert!(resolution.still_deferred.is_empty());
+        assert!(p1.instance().contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+        assert!(p1.deferred_conflicts().is_empty());
+    }
+}

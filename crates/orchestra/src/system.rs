@@ -1,0 +1,235 @@
+//! A confederation of participants sharing one update store.
+
+use crate::metrics;
+use crate::participant::{Participant, ParticipantConfig};
+use crate::report::ReconcileReport;
+use orchestra_model::{ParticipantId, Schema, TransactionId, Update};
+use orchestra_storage::{Database, Result, StorageError};
+use orchestra_store::UpdateStore;
+use std::collections::BTreeMap;
+
+/// A collaborative data sharing system: a set of participants, the schema
+/// they share, and the update store through which they exchange published
+/// transactions.
+///
+/// The system is a convenience driver — every operation it offers is also
+/// available directly on [`Participant`] — but it keeps simulations and
+/// examples short and enforces that every participant is registered with the
+/// store before use.
+#[derive(Debug)]
+pub struct CdssSystem<S: UpdateStore> {
+    schema: Schema,
+    store: S,
+    participants: BTreeMap<ParticipantId, Participant>,
+}
+
+impl<S: UpdateStore> CdssSystem<S> {
+    /// Creates a system over the given schema and update store.
+    pub fn new(schema: Schema, store: S) -> Self {
+        CdssSystem { schema, store, participants: BTreeMap::new() }
+    }
+
+    /// The schema shared by all participants.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Access to the update store (e.g. to inspect statistics).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the update store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Adds a participant, registering its trust policy with the update
+    /// store. Returns its identity.
+    pub fn add_participant(&mut self, config: ParticipantConfig) -> ParticipantId {
+        let id = config.policy.owner();
+        self.store.register_participant(config.policy.clone());
+        self.participants.insert(id, Participant::new(self.schema.clone(), config));
+        id
+    }
+
+    /// The identities of all participants, in order.
+    pub fn participant_ids(&self) -> Vec<ParticipantId> {
+        self.participants.keys().copied().collect()
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Returns true if the system has no participants.
+    pub fn is_empty(&self) -> bool {
+        self.participants.is_empty()
+    }
+
+    /// A participant by id.
+    pub fn participant(&self, id: ParticipantId) -> Option<&Participant> {
+        self.participants.get(&id)
+    }
+
+    /// Mutable access to a participant by id.
+    pub fn participant_mut(&mut self, id: ParticipantId) -> Option<&mut Participant> {
+        self.participants.get_mut(&id)
+    }
+
+    fn require(&mut self, id: ParticipantId) -> Result<&mut Participant> {
+        self.participants.get_mut(&id).ok_or_else(|| {
+            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
+                "unknown participant {id}"
+            )))
+        })
+    }
+
+    /// Executes a transaction at a participant (applies it locally and queues
+    /// it for the next publication).
+    pub fn execute(&mut self, id: ParticipantId, updates: Vec<Update>) -> Result<TransactionId> {
+        self.require(id)?.execute_transaction(updates)
+    }
+
+    /// Publishes a participant's pending transactions and reconciles it
+    /// against everything published so far.
+    pub fn publish_and_reconcile(&mut self, id: ParticipantId) -> Result<ReconcileReport> {
+        let store = &mut self.store;
+        let participant = self.participants.get_mut(&id).ok_or_else(|| {
+            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
+                "unknown participant {id}"
+            )))
+        })?;
+        participant.publish_and_reconcile(store)
+    }
+
+    /// Reconciles a participant without publishing.
+    pub fn reconcile(&mut self, id: ParticipantId) -> Result<ReconcileReport> {
+        let store = &mut self.store;
+        let participant = self.participants.get_mut(&id).ok_or_else(|| {
+            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
+                "unknown participant {id}"
+            )))
+        })?;
+        participant.reconcile(store)
+    }
+
+    /// Resolves deferred conflicts at a participant according to the given
+    /// choices (see [`Participant::resolve_conflicts`]).
+    pub fn resolve_conflicts(
+        &mut self,
+        id: ParticipantId,
+        choices: &[orchestra_recon::ResolutionChoice],
+    ) -> Result<crate::report::ResolutionReport> {
+        let store = &mut self.store;
+        let participant = self.participants.get_mut(&id).ok_or_else(|| {
+            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
+                "unknown participant {id}"
+            )))
+        })?;
+        participant.resolve_conflicts(store, choices)
+    }
+
+    /// The current database instances of every participant, in id order.
+    pub fn instances(&self) -> Vec<&Database> {
+        self.participants.values().map(Participant::instance).collect()
+    }
+
+    /// The state ratio (Section 6) across all participants, averaged over the
+    /// populated relations of the schema.
+    pub fn state_ratio(&self) -> f64 {
+        metrics::state_ratio(&self.instances())
+    }
+
+    /// The state ratio restricted to one relation.
+    pub fn state_ratio_for(&self, relation: &str) -> f64 {
+        metrics::state_ratio_for_relation(&self.instances(), relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{Tuple, TrustPolicy};
+    use orchestra_store::CentralStore;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn fully_trusting_system(n: u32) -> CdssSystem<CentralStore> {
+        let schema = bioinformatics_schema();
+        let mut system = CdssSystem::new(schema.clone(), CentralStore::new(schema));
+        for i in 1..=n {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            system.add_participant(ParticipantConfig::new(policy));
+        }
+        system
+    }
+
+    #[test]
+    fn add_and_look_up_participants() {
+        let system = fully_trusting_system(3);
+        assert_eq!(system.len(), 3);
+        assert!(!system.is_empty());
+        assert_eq!(system.participant_ids(), vec![p(1), p(2), p(3)]);
+        assert!(system.participant(p(2)).is_some());
+        assert!(system.participant(p(9)).is_none());
+    }
+
+    #[test]
+    fn unknown_participants_are_reported() {
+        let mut system = fully_trusting_system(1);
+        assert!(system.execute(p(9), vec![]).is_err());
+        assert!(system.publish_and_reconcile(p(9)).is_err());
+        assert!(system.reconcile(p(9)).is_err());
+    }
+
+    #[test]
+    fn data_propagates_through_the_system() {
+        let mut system = fully_trusting_system(3);
+        system
+            .execute(
+                p(1),
+                vec![Update::insert("Function", func("rat", "prot1", "immune"), p(1))],
+            )
+            .unwrap();
+        system.publish_and_reconcile(p(1)).unwrap();
+        system.publish_and_reconcile(p(2)).unwrap();
+        system.publish_and_reconcile(p(3)).unwrap();
+        for id in system.participant_ids() {
+            assert_eq!(system.participant(id).unwrap().instance().total_tuples(), 1);
+        }
+        assert!((system.state_ratio() - 1.0).abs() < 1e-9);
+        assert!((system.state_ratio_for("Function") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divergence_shows_up_in_the_state_ratio() {
+        let mut system = fully_trusting_system(2);
+        system
+            .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
+            .unwrap();
+        system
+            .execute(p(2), vec![Update::insert("Function", func("rat", "prot1", "b"), p(2))])
+            .unwrap();
+        system.publish_and_reconcile(p(1)).unwrap();
+        system.publish_and_reconcile(p(2)).unwrap();
+        system.reconcile(p(1)).unwrap();
+        // Each participant keeps its own version: the state ratio reflects
+        // the divergence.
+        let ratio = system.state_ratio_for("Function");
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio was {ratio}");
+    }
+}

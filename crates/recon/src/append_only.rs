@@ -1,0 +1,190 @@
+//! Append-only reconciliation (Definition 2).
+//!
+//! In the append-only model every transaction contains only insertions, so
+//! each transaction can be considered independently: an insertion is applied
+//! so long as it does not conflict with a previously applied insertion, nor
+//! with a transaction of equal or higher priority published in the same
+//! epoch.
+
+use orchestra_model::{Epoch, Priority, Schema, Transaction, TransactionId, Update};
+use orchestra_storage::Database;
+use rustc_hash::FxHashMap;
+
+/// The outcome of append-only reconciliation over a range of epochs.
+#[derive(Debug, Clone, Default)]
+pub struct AppendOnlyOutcome {
+    /// Transactions applied to the instance.
+    pub accepted: Vec<TransactionId>,
+    /// Transactions skipped because they conflicted with a previously applied
+    /// transaction or with an equal-or-higher-priority transaction of the
+    /// same epoch.
+    pub rejected: Vec<TransactionId>,
+}
+
+/// Solves the append-only reconciliation problem for one participant.
+///
+/// `published` is the sequence of `(epoch, transaction, priority)` triples the
+/// participant has not yet seen, in publication order; `priority` is
+/// `pri_i(X)` for the reconciling participant (untrusted transactions may
+/// simply be omitted or given [`Priority::UNTRUSTED`]). The instance is
+/// updated in place.
+pub fn append_only_reconcile(
+    schema: &Schema,
+    instance: &mut Database,
+    published: &[(Epoch, Transaction, Priority)],
+) -> AppendOnlyOutcome {
+    let mut outcome = AppendOnlyOutcome::default();
+
+    // Group by epoch, preserving order.
+    let mut epochs: Vec<Epoch> = Vec::new();
+    let mut by_epoch: FxHashMap<Epoch, Vec<&(Epoch, Transaction, Priority)>> =
+        FxHashMap::default();
+    for entry in published {
+        if !by_epoch.contains_key(&entry.0) {
+            epochs.push(entry.0);
+        }
+        by_epoch.entry(entry.0).or_default().push(entry);
+    }
+    epochs.sort();
+
+    for epoch in epochs {
+        let group = &by_epoch[&epoch];
+        for (_, txn, prio) in group.iter() {
+            if prio.is_untrusted() {
+                outcome.rejected.push(txn.id());
+                continue;
+            }
+            // Condition 1: no conflicting transaction of equal or higher
+            // priority in the same epoch.
+            let conflicting_peer = group.iter().any(|(_, other, other_prio)| {
+                other.id() != txn.id()
+                    && *other_prio >= *prio
+                    && txn.conflicts_with(other, schema)
+            });
+            if conflicting_peer {
+                outcome.rejected.push(txn.id());
+                continue;
+            }
+            // Condition 2: no conflict with previously applied state (which
+            // embodies every earlier accepted insertion).
+            let compatible = txn
+                .updates()
+                .iter()
+                .all(|u: &Update| instance.is_compatible(u) && instance.check_constraints(u).is_ok());
+            if !compatible {
+                outcome.rejected.push(txn.id());
+                continue;
+            }
+            match instance.apply_all(txn.updates()) {
+                Ok(()) => outcome.accepted.push(txn.id()),
+                Err(_) => outcome.rejected.push(txn.id()),
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{ParticipantId, Tuple};
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn ins_txn(i: u32, j: u64, org: &str, prot: &str, f: &str) -> Transaction {
+        Transaction::from_parts(
+            p(i),
+            j,
+            vec![Update::insert("Function", func(org, prot, f), p(i))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn non_conflicting_insertions_are_applied() {
+        let schema = bioinformatics_schema();
+        let mut db = Database::new(schema.clone());
+        let published = vec![
+            (Epoch(1), ins_txn(1, 0, "rat", "prot1", "a"), Priority(1)),
+            (Epoch(2), ins_txn(2, 0, "mouse", "prot2", "b"), Priority(1)),
+        ];
+        let out = append_only_reconcile(&schema, &mut db, &published);
+        assert_eq!(out.accepted.len(), 2);
+        assert!(out.rejected.is_empty());
+        assert_eq!(db.total_tuples(), 2);
+    }
+
+    #[test]
+    fn same_epoch_equal_priority_conflicts_reject_both() {
+        let schema = bioinformatics_schema();
+        let mut db = Database::new(schema.clone());
+        let published = vec![
+            (Epoch(1), ins_txn(1, 0, "rat", "prot1", "a"), Priority(1)),
+            (Epoch(1), ins_txn(2, 0, "rat", "prot1", "b"), Priority(1)),
+        ];
+        let out = append_only_reconcile(&schema, &mut db, &published);
+        assert!(out.accepted.is_empty());
+        assert_eq!(out.rejected.len(), 2);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn same_epoch_higher_priority_wins() {
+        let schema = bioinformatics_schema();
+        let mut db = Database::new(schema.clone());
+        let published = vec![
+            (Epoch(1), ins_txn(1, 0, "rat", "prot1", "a"), Priority(2)),
+            (Epoch(1), ins_txn(2, 0, "rat", "prot1", "b"), Priority(1)),
+        ];
+        let out = append_only_reconcile(&schema, &mut db, &published);
+        assert_eq!(out.accepted, vec![ins_txn(1, 0, "rat", "prot1", "a").id()]);
+        assert_eq!(out.rejected.len(), 1);
+        assert!(db.contains_tuple_exact("Function", &func("rat", "prot1", "a")));
+    }
+
+    #[test]
+    fn later_epoch_conflicts_with_applied_state_are_rejected() {
+        let schema = bioinformatics_schema();
+        let mut db = Database::new(schema.clone());
+        let published = vec![
+            (Epoch(1), ins_txn(1, 0, "rat", "prot1", "a"), Priority(1)),
+            // Later epoch, even at higher priority, cannot displace applied
+            // state (monotonicity).
+            (Epoch(2), ins_txn(2, 0, "rat", "prot1", "b"), Priority(9)),
+        ];
+        let out = append_only_reconcile(&schema, &mut db, &published);
+        assert_eq!(out.accepted.len(), 1);
+        assert_eq!(out.rejected.len(), 1);
+        assert!(db.contains_tuple_exact("Function", &func("rat", "prot1", "a")));
+    }
+
+    #[test]
+    fn untrusted_transactions_are_rejected() {
+        let schema = bioinformatics_schema();
+        let mut db = Database::new(schema.clone());
+        let published = vec![(Epoch(1), ins_txn(1, 0, "rat", "prot1", "a"), Priority::UNTRUSTED)];
+        let out = append_only_reconcile(&schema, &mut db, &published);
+        assert!(out.accepted.is_empty());
+        assert_eq!(out.rejected.len(), 1);
+    }
+
+    #[test]
+    fn identical_insertions_do_not_conflict() {
+        let schema = bioinformatics_schema();
+        let mut db = Database::new(schema.clone());
+        let published = vec![
+            (Epoch(1), ins_txn(1, 0, "rat", "prot1", "a"), Priority(1)),
+            (Epoch(1), ins_txn(2, 0, "rat", "prot1", "a"), Priority(1)),
+        ];
+        let out = append_only_reconcile(&schema, &mut db, &published);
+        assert_eq!(out.accepted.len(), 2);
+        assert_eq!(db.total_tuples(), 1);
+    }
+}

@@ -1,0 +1,729 @@
+//! The client-centric `ReconcileUpdates` algorithm (Figures 4 and 5).
+//!
+//! The engine takes the candidate transactions retrieved from the update
+//! store (fully trusted, not yet decided, each with its transaction extension
+//! and priority), the reconciling participant's instance and soft state, and
+//! the participant's own freshly published updates (the "delta for recno").
+//! It decides every candidate (accept / reject / defer), applies the accepted
+//! ones, and rebuilds the soft state (dirty values and conflict groups) from
+//! the deferred ones.
+
+use crate::extension::CandidateTransaction;
+use crate::softstate::{ConflictGroup, SoftState};
+use orchestra_model::{
+    flatten, Priority, ReconciliationId, Schema, TransactionId, Update, UpdateOp,
+};
+use orchestra_storage::Database;
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// The decision made about one candidate transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionDecision {
+    /// Accept and apply the transaction (and its extension).
+    Accept,
+    /// Reject the transaction; future transactions depending on it will also
+    /// be rejected.
+    Reject,
+    /// Defer the transaction until the user resolves its conflict.
+    Defer,
+}
+
+/// Input to one reconciliation run.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileInput {
+    /// The reconciliation number.
+    pub recno: ReconciliationId,
+    /// The newly relevant, fully trusted, undecided transactions, in
+    /// publication order, each with its transaction extension and priority.
+    pub candidates: Vec<CandidateTransaction>,
+    /// The participant's own updates published together with this
+    /// reconciliation (the delta for `recno`). Trusted transactions that
+    /// conflict with these are rejected — the participant always prefers its
+    /// own version.
+    pub own_updates: Vec<Update>,
+    /// Transactions this participant has rejected in previous
+    /// reconciliations; any candidate whose extension contains one of these
+    /// is rejected too.
+    pub previously_rejected: FxHashSet<TransactionId>,
+    /// Pairwise direct conflicts already computed elsewhere (the
+    /// network-centric mode of Section 5, where conflict detection is
+    /// distributed across the peers owning the conflicting keys). When
+    /// present, the engine skips its own `FindConflicts` step and uses these;
+    /// when absent, conflicts are detected locally (client-centric mode).
+    pub precomputed_conflicts: Option<FxHashMap<TransactionId, FxHashSet<TransactionId>>>,
+}
+
+/// The result of one reconciliation run.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileOutcome {
+    /// The reconciliation number.
+    pub recno: ReconciliationId,
+    /// Root transactions that were accepted.
+    pub accepted_roots: Vec<TransactionId>,
+    /// Every transaction (roots and extension members) applied by this
+    /// reconciliation — the set the update store records as accepted.
+    pub accepted_members: Vec<TransactionId>,
+    /// Root transactions that were rejected.
+    pub rejected: Vec<TransactionId>,
+    /// Root transactions that were deferred.
+    pub deferred: Vec<TransactionId>,
+    /// The net updates applied to the local instance.
+    pub applied_updates: Vec<Update>,
+    /// The conflict groups recorded for the deferred transactions.
+    pub conflict_groups: Vec<ConflictGroup>,
+}
+
+impl ReconcileOutcome {
+    /// The decision recorded for a root transaction, if it was part of this
+    /// run.
+    pub fn decision_of(&self, id: TransactionId) -> Option<TransactionDecision> {
+        if self.accepted_roots.contains(&id) {
+            Some(TransactionDecision::Accept)
+        } else if self.rejected.contains(&id) {
+            Some(TransactionDecision::Reject)
+        } else if self.deferred.contains(&id) {
+            Some(TransactionDecision::Defer)
+        } else {
+            None
+        }
+    }
+}
+
+/// The client-centric reconciliation engine.
+#[derive(Debug, Clone)]
+pub struct ReconcileEngine {
+    schema: Schema,
+}
+
+impl ReconcileEngine {
+    /// Creates an engine for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        ReconcileEngine { schema }
+    }
+
+    /// The schema the engine reconciles over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Runs `ReconcileUpdates` (Figure 4): decides every candidate, applies
+    /// the accepted ones to `instance`, and rebuilds `soft` from the deferred
+    /// ones (previously deferred transactions remain deferred and keep their
+    /// dirty marks).
+    pub fn reconcile(
+        &self,
+        input: ReconcileInput,
+        instance: &mut Database,
+        soft: &mut SoftState,
+    ) -> ReconcileOutcome {
+        let schema = &self.schema;
+        let candidates = input.candidates;
+        let own_flat = flatten(schema, &input.own_updates);
+
+        // Lines 5-8: per-candidate flattened extensions and CheckState.
+        let mut decisions: FxHashMap<TransactionId, TransactionDecision> = FxHashMap::default();
+        let mut flattened: FxHashMap<TransactionId, Vec<Update>> = FxHashMap::default();
+        for cand in &candidates {
+            let flat = cand.flattened(schema);
+            let decision = self.check_state(cand, &flat, instance, soft, &own_flat, &input.previously_rejected);
+            decisions.insert(cand.id, decision);
+            flattened.insert(cand.id, flat);
+        }
+
+        // Line 9: FindConflicts — pairwise direct conflicts between
+        // candidates, skipping pairs where one subsumes the other. In
+        // network-centric mode the conflicts arrive precomputed from the
+        // store and the local step is skipped.
+        let conflicts = match input.precomputed_conflicts {
+            Some(conflicts) => conflicts,
+            None => Self::find_conflicts(&candidates, &flattened, schema),
+        };
+
+        // Lines 10-12: DoGroup per priority, in decreasing order.
+        let by_id: FxHashMap<TransactionId, &CandidateTransaction> =
+            candidates.iter().map(|c| (c.id, c)).collect();
+        let mut priorities: Vec<Priority> = candidates.iter().map(|c| c.priority).collect();
+        priorities.sort_unstable();
+        priorities.dedup();
+        priorities.reverse();
+        for prio in priorities {
+            Self::do_group(prio, &candidates, &conflicts, &by_id, &mut decisions);
+        }
+
+        // Lines 14-19: apply accepted candidates, recomputing each update
+        // extension against the set of transactions already used so shared
+        // antecedents are applied exactly once.
+        let mut used: FxHashSet<TransactionId> = FxHashSet::default();
+        let mut outcome = ReconcileOutcome { recno: input.recno, ..Default::default() };
+        for cand in &candidates {
+            if decisions[&cand.id] != TransactionDecision::Accept {
+                continue;
+            }
+            let net = cand.flattened_excluding(schema, &used);
+            match Self::apply_net(instance, &net) {
+                Ok(applied) => {
+                    for (id, _) in &cand.members {
+                        if used.insert(*id) {
+                            outcome.accepted_members.push(*id);
+                        }
+                    }
+                    outcome.accepted_roots.push(cand.id);
+                    outcome.applied_updates.extend(applied);
+                }
+                Err(_) => {
+                    // The accepted set should always apply cleanly; if an
+                    // application fails despite the checks (e.g. an exotic
+                    // constraint interaction), the transaction is rejected
+                    // rather than leaving the instance partially updated.
+                    decisions.insert(cand.id, TransactionDecision::Reject);
+                }
+            }
+        }
+
+        // Collect rejected and deferred roots.
+        for cand in &candidates {
+            match decisions[&cand.id] {
+                TransactionDecision::Reject => outcome.rejected.push(cand.id),
+                TransactionDecision::Defer => outcome.deferred.push(cand.id),
+                TransactionDecision::Accept => {}
+            }
+        }
+
+        // Line 21: UpdateSoftState — previously deferred transactions remain
+        // deferred alongside the newly deferred ones.
+        let mut all_deferred: Vec<CandidateTransaction> =
+            soft.deferred().values().cloned().collect();
+        all_deferred.sort_by_key(|c| c.id);
+        for cand in &candidates {
+            if decisions[&cand.id] == TransactionDecision::Defer
+                && !all_deferred.iter().any(|c| c.id == cand.id)
+            {
+                all_deferred.push(cand.clone());
+            }
+        }
+        // Previously deferred transactions that were decided in this run
+        // (possible during conflict resolution) drop out of the deferred set.
+        all_deferred.retain(|c| {
+            decisions
+                .get(&c.id)
+                .map(|d| *d == TransactionDecision::Defer)
+                .unwrap_or(true)
+        });
+        soft.rebuild(input.recno, all_deferred, schema);
+        outcome.conflict_groups = soft.conflict_groups().to_vec();
+        outcome
+    }
+
+    /// `CheckState` (Figure 5): decide a candidate against the dirty-value
+    /// set, previous decisions, the materialised instance, and the
+    /// participant's own delta for this reconciliation.
+    fn check_state(
+        &self,
+        cand: &CandidateTransaction,
+        flat: &[Update],
+        instance: &Database,
+        soft: &SoftState,
+        own_flat: &[Update],
+        previously_rejected: &FxHashSet<TransactionId>,
+    ) -> TransactionDecision {
+        let schema = &self.schema;
+        // 1-2: touches a dirty value -> defer. The flattened extension has
+        // already been computed, so derive the touched keys from it rather
+        // than flattening again.
+        let touches_dirty = flat.iter().any(|u| {
+            schema
+                .relation(&u.relation)
+                .map(|rel| u.touched_keys(rel).iter().any(|k| soft.is_dirty(&u.relation, k)))
+                .unwrap_or(false)
+        });
+        if touches_dirty {
+            return TransactionDecision::Defer;
+        }
+        // 3-4: extension contains an already rejected transaction -> reject.
+        if cand.members.iter().any(|(id, _)| previously_rejected.contains(id)) {
+            return TransactionDecision::Reject;
+        }
+        // 5-6: incompatible with the instance -> reject.
+        for u in flat {
+            if !instance.is_compatible(u) || instance.check_constraints(u).is_err() {
+                return TransactionDecision::Reject;
+            }
+        }
+        // 7-8: conflicts with the participant's own delta -> reject.
+        for u in flat {
+            for own in own_flat {
+                if u.conflicts_with(own, schema) {
+                    return TransactionDecision::Reject;
+                }
+            }
+        }
+        TransactionDecision::Accept
+    }
+
+    /// `FindConflicts` (Figure 5): pairwise direct conflicts between the
+    /// candidates' update extensions, skipping pairs where one subsumes the
+    /// other.
+    ///
+    /// A hash index from touched `(relation, key)` pairs to candidates keeps
+    /// the common case near-linear (the paper's analysis assumes a hash
+    /// table-based conflict detection step): only candidates that touch a
+    /// common key are compared, and the precomputed flattened extensions are
+    /// reused unless the pair shares extension members, in which case the
+    /// exact Definition 4 check (excluding shared members) is performed.
+    fn find_conflicts(
+        candidates: &[CandidateTransaction],
+        flattened: &FxHashMap<TransactionId, Vec<Update>>,
+        schema: &Schema,
+    ) -> FxHashMap<TransactionId, FxHashSet<TransactionId>> {
+        let mut conflicts: FxHashMap<TransactionId, FxHashSet<TransactionId>> =
+            FxHashMap::default();
+
+        // Index candidates by the keys their flattened extensions touch.
+        let mut by_key: FxHashMap<(String, orchestra_model::KeyValue), Vec<usize>> =
+            FxHashMap::default();
+        for (i, cand) in candidates.iter().enumerate() {
+            let mut seen: FxHashSet<(String, orchestra_model::KeyValue)> = FxHashSet::default();
+            for u in &flattened[&cand.id] {
+                if let Ok(rel) = schema.relation(&u.relation) {
+                    for key in u.touched_keys(rel) {
+                        let entry = (u.relation.clone(), key);
+                        if seen.insert(entry.clone()) {
+                            by_key.entry(entry).or_default().push(i);
+                        }
+                    }
+                }
+            }
+        }
+
+        let member_sets: Vec<FxHashSet<TransactionId>> =
+            candidates.iter().map(|c| c.member_ids()).collect();
+        let mut checked: FxHashSet<(usize, usize)> = FxHashSet::default();
+        for indices in by_key.values() {
+            for a_pos in 0..indices.len() {
+                for b_pos in (a_pos + 1)..indices.len() {
+                    let (i, j) = (indices[a_pos].min(indices[b_pos]), indices[a_pos].max(indices[b_pos]));
+                    if i == j || !checked.insert((i, j)) {
+                        continue;
+                    }
+                    let a = &candidates[i];
+                    let b = &candidates[j];
+                    let a_members = &member_sets[i];
+                    let b_members = &member_sets[j];
+                    let a_subsumes = b_members.iter().all(|id| a_members.contains(id));
+                    let b_subsumes = a_members.iter().all(|id| b_members.contains(id));
+                    if a_subsumes || b_subsumes {
+                        continue;
+                    }
+                    let shares_members = a_members.iter().any(|id| b_members.contains(id));
+                    let conflicting = if shares_members {
+                        // Exact Definition 4 check excluding shared members.
+                        a.directly_conflicts_with(b, schema)
+                    } else {
+                        !crate::extension::conflict_keys_between(
+                            &flattened[&a.id],
+                            &flattened[&b.id],
+                            schema,
+                        )
+                        .is_empty()
+                    };
+                    if conflicting {
+                        conflicts.entry(a.id).or_default().insert(b.id);
+                        conflicts.entry(b.id).or_default().insert(a.id);
+                    }
+                }
+            }
+        }
+        conflicts
+    }
+
+    /// `DoGroup` (Figure 5): within one priority group, reject transactions
+    /// that conflict with higher-priority accepted transactions, defer those
+    /// that conflict with higher-priority deferred transactions, and defer
+    /// both members of any conflicting pair within the group.
+    fn do_group(
+        prio: Priority,
+        candidates: &[CandidateTransaction],
+        conflicts: &FxHashMap<TransactionId, FxHashSet<TransactionId>>,
+        by_id: &FxHashMap<TransactionId, &CandidateTransaction>,
+        decisions: &mut FxHashMap<TransactionId, TransactionDecision>,
+    ) {
+        let mut group: Vec<TransactionId> = candidates
+            .iter()
+            .filter(|c| c.priority == prio)
+            .filter(|c| decisions[&c.id] != TransactionDecision::Reject)
+            .map(|c| c.id)
+            .collect();
+
+        // Conflicts with strictly higher-priority transactions.
+        let mut removed: FxHashSet<TransactionId> = FxHashSet::default();
+        for &t in &group {
+            let Some(cs) = conflicts.get(&t) else { continue };
+            for &c in cs {
+                let Some(other) = by_id.get(&c) else { continue };
+                if other.priority <= prio {
+                    continue;
+                }
+                match decisions[&c] {
+                    TransactionDecision::Accept => {
+                        decisions.insert(t, TransactionDecision::Reject);
+                        removed.insert(t);
+                    }
+                    TransactionDecision::Defer => {
+                        decisions.insert(t, TransactionDecision::Defer);
+                    }
+                    TransactionDecision::Reject => {}
+                }
+            }
+        }
+        group.retain(|t| !removed.contains(t));
+
+        // Conflicts within the group: defer both sides.
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                let (a, b) = (group[i], group[j]);
+                if conflicts.get(&a).map(|s| s.contains(&b)).unwrap_or(false) {
+                    decisions.insert(a, TransactionDecision::Defer);
+                    decisions.insert(b, TransactionDecision::Defer);
+                }
+            }
+        }
+    }
+
+    /// Applies the net updates of an accepted extension, tolerating updates
+    /// whose effect is already present (shared effects of previously applied
+    /// extensions). Returns the updates actually applied; on error everything
+    /// applied by this call is rolled back.
+    fn apply_net(
+        instance: &mut Database,
+        net: &[Update],
+    ) -> Result<Vec<Update>, orchestra_storage::StorageError> {
+        let mut applied: Vec<Update> = Vec::with_capacity(net.len());
+        for u in net {
+            let already_satisfied = match &u.op {
+                UpdateOp::Insert(t) => instance.contains_tuple_exact(&u.relation, t),
+                UpdateOp::Delete(t) => !instance.key_present(&u.relation, t),
+                UpdateOp::Modify { from, to } => {
+                    !instance.contains_tuple_exact(&u.relation, from)
+                        && instance.contains_tuple_exact(&u.relation, to)
+                }
+            };
+            if already_satisfied {
+                continue;
+            }
+            match instance.apply_update(u) {
+                Ok(()) => applied.push(u.clone()),
+                Err(e) => {
+                    // Roll back what this call applied.
+                    for prev in applied.iter().rev() {
+                        let inv = match &prev.op {
+                            UpdateOp::Insert(t) => {
+                                Update::delete(prev.relation.clone(), t.clone(), prev.origin)
+                            }
+                            UpdateOp::Delete(t) => {
+                                Update::insert(prev.relation.clone(), t.clone(), prev.origin)
+                            }
+                            UpdateOp::Modify { from, to } => Update::modify(
+                                prev.relation.clone(),
+                                to.clone(),
+                                from.clone(),
+                                prev.origin,
+                            ),
+                        };
+                        let _ = instance.apply_update(&inv);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{ParticipantId, Transaction, Tuple};
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn txn(i: u32, j: u64, updates: Vec<Update>) -> Transaction {
+        Transaction::from_parts(p(i), j, updates).unwrap()
+    }
+
+    fn cand(txn: &Transaction, prio: u32) -> CandidateTransaction {
+        CandidateTransaction::new(txn, Priority(prio), vec![])
+    }
+
+    fn setup() -> (ReconcileEngine, Database, SoftState) {
+        let schema = bioinformatics_schema();
+        (ReconcileEngine::new(schema.clone()), Database::new(schema), SoftState::new())
+    }
+
+    #[test]
+    fn non_conflicting_candidates_are_accepted_and_applied() {
+        let (engine, mut db, mut soft) = setup();
+        let x1 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "immune"), p(2))]);
+        let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        let input = ReconcileInput {
+            recno: ReconciliationId(1),
+            candidates: vec![cand(&x1, 1), cand(&x2, 1)],
+            ..Default::default()
+        };
+        let out = engine.reconcile(input, &mut db, &mut soft);
+        assert_eq!(out.accepted_roots.len(), 2);
+        assert!(out.rejected.is_empty());
+        assert!(out.deferred.is_empty());
+        assert_eq!(db.total_tuples(), 2);
+        assert_eq!(out.applied_updates.len(), 2);
+        assert_eq!(out.decision_of(x1.id()), Some(TransactionDecision::Accept));
+    }
+
+    #[test]
+    fn equal_priority_conflicts_are_deferred_with_conflict_groups() {
+        let (engine, mut db, mut soft) = setup();
+        let x1 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
+        let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        let input = ReconcileInput {
+            recno: ReconciliationId(1),
+            candidates: vec![cand(&x1, 1), cand(&x2, 1)],
+            ..Default::default()
+        };
+        let out = engine.reconcile(input, &mut db, &mut soft);
+        assert!(out.accepted_roots.is_empty());
+        assert_eq!(out.deferred.len(), 2);
+        assert!(db.is_empty());
+        assert_eq!(out.conflict_groups.len(), 1);
+        assert_eq!(out.conflict_groups[0].options.len(), 2);
+        assert!(soft.is_deferred(x1.id()));
+        assert!(soft.is_deferred(x2.id()));
+    }
+
+    #[test]
+    fn higher_priority_wins_and_lower_is_rejected() {
+        let (engine, mut db, mut soft) = setup();
+        let high = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
+        let low = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(3))]);
+        let input = ReconcileInput {
+            recno: ReconciliationId(1),
+            candidates: vec![cand(&low, 1), cand(&high, 5)],
+            ..Default::default()
+        };
+        let out = engine.reconcile(input, &mut db, &mut soft);
+        assert_eq!(out.accepted_roots, vec![high.id()]);
+        assert_eq!(out.rejected, vec![low.id()]);
+        assert!(out.deferred.is_empty());
+        assert!(db.contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+    }
+
+    #[test]
+    fn conflict_with_own_updates_is_rejected() {
+        let (engine, mut db, mut soft) = setup();
+        // The participant already applied its own insert locally.
+        db.apply_update(&Update::insert("Function", func("rat", "prot1", "cell-resp"), p(1)))
+            .unwrap();
+        let remote = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        let input = ReconcileInput {
+            recno: ReconciliationId(1),
+            candidates: vec![cand(&remote, 7)],
+            own_updates: vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(1))],
+            ..Default::default()
+        };
+        let out = engine.reconcile(input, &mut db, &mut soft);
+        assert_eq!(out.rejected, vec![remote.id()]);
+        assert!(db.contains_tuple_exact("Function", &func("rat", "prot1", "cell-resp")));
+    }
+
+    #[test]
+    fn incompatible_with_instance_is_rejected() {
+        let (engine, mut db, mut soft) = setup();
+        db.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
+            .unwrap();
+        // A remote modify of a tuple value this participant never had.
+        let remote = txn(
+            3,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "other"),
+                func("rat", "prot1", "cell-resp"),
+                p(3),
+            )],
+        );
+        let input = ReconcileInput {
+            recno: ReconciliationId(1),
+            candidates: vec![cand(&remote, 1)],
+            ..Default::default()
+        };
+        let out = engine.reconcile(input, &mut db, &mut soft);
+        assert_eq!(out.rejected, vec![remote.id()]);
+    }
+
+    #[test]
+    fn extension_containing_rejected_transaction_is_rejected() {
+        let (engine, mut db, mut soft) = setup();
+        let x0 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(2))]);
+        let x1 = txn(
+            2,
+            1,
+            vec![Update::modify("Function", func("rat", "prot1", "v1"), func("rat", "prot1", "v2"), p(2))],
+        );
+        let candidate = CandidateTransaction::new(&x1, Priority(1), vec![x0.clone()]);
+        let mut rejected = FxHashSet::default();
+        rejected.insert(x0.id());
+        let input = ReconcileInput {
+            recno: ReconciliationId(2),
+            candidates: vec![candidate],
+            previously_rejected: rejected,
+            ..Default::default()
+        };
+        let out = engine.reconcile(input, &mut db, &mut soft);
+        assert_eq!(out.rejected, vec![x1.id()]);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn transactions_touching_dirty_values_are_deferred() {
+        let (engine, mut db, mut soft) = setup();
+        // First reconciliation: two equal-priority conflicting inserts defer
+        // and dirty the key.
+        let x1 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(3))]);
+        engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(1),
+                candidates: vec![cand(&x1, 1), cand(&x2, 1)],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        assert!(soft.is_dirty("Function", &orchestra_model::KeyValue::of_text(&["rat", "prot1"])));
+
+        // Second reconciliation: a new (even higher-priority) transaction on
+        // the same key must be deferred, so the earlier deferral stays
+        // resolvable.
+        let x3 = txn(4, 0, vec![Update::insert("Function", func("rat", "prot1", "c"), p(4))]);
+        let out = engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(2),
+                candidates: vec![cand(&x3, 9)],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        assert_eq!(out.deferred, vec![x3.id()]);
+        assert!(db.is_empty());
+        // The previously deferred transactions are still deferred.
+        assert!(soft.is_deferred(x1.id()));
+        assert!(soft.is_deferred(x2.id()));
+        assert!(soft.is_deferred(x3.id()));
+    }
+
+    #[test]
+    fn shared_antecedents_are_applied_once() {
+        let (engine, mut db, mut soft) = setup();
+        let base = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "base"), p(2))]);
+        let left = txn(
+            2,
+            1,
+            vec![Update::insert("Function", func("mouse", "prot2", "x"), p(2))],
+        );
+        // Two candidates share `base` as an antecedent (one is base itself).
+        let c_base = CandidateTransaction::new(&base, Priority(1), vec![]);
+        let c_left = CandidateTransaction::new(&left, Priority(1), vec![base.clone()]);
+        let out = engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(1),
+                candidates: vec![c_base, c_left],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        assert_eq!(out.accepted_roots.len(), 2);
+        // base appears once in accepted_members even though it is in both
+        // extensions.
+        assert_eq!(
+            out.accepted_members.iter().filter(|id| **id == base.id()).count(),
+            1
+        );
+        assert_eq!(db.total_tuples(), 2);
+    }
+
+    #[test]
+    fn lower_priority_conflict_with_deferred_higher_priority_is_deferred() {
+        let (engine, mut db, mut soft) = setup();
+        // Two high-priority transactions conflict with each other (defer);
+        // a lower-priority transaction conflicting with them must defer, not
+        // be accepted.
+        let h1 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let h2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(3))]);
+        let low = txn(4, 0, vec![Update::insert("Function", func("rat", "prot1", "c"), p(4))]);
+        let out = engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(1),
+                candidates: vec![cand(&h1, 5), cand(&h2, 5), cand(&low, 1)],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        assert!(out.accepted_roots.is_empty());
+        assert_eq!(out.deferred.len(), 3);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn lower_priority_conflict_with_accepted_higher_priority_is_rejected() {
+        let (engine, mut db, mut soft) = setup();
+        let high = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let low1 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(3))]);
+        let low2 = txn(4, 0, vec![Update::insert("Function", func("rat", "prot1", "c"), p(4))]);
+        let out = engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(1),
+                candidates: vec![cand(&high, 5), cand(&low1, 1), cand(&low2, 1)],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        // The high-priority transaction is applied; both low-priority
+        // transactions conflict with it and are rejected, not deferred.
+        assert_eq!(out.accepted_roots, vec![high.id()]);
+        assert_eq!(out.rejected.len(), 2);
+        assert!(out.deferred.is_empty());
+        assert!(db.contains_tuple_exact("Function", &func("rat", "prot1", "a")));
+    }
+
+    #[test]
+    fn identical_remote_insert_is_accepted_as_noop() {
+        let (engine, mut db, mut soft) = setup();
+        db.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
+            .unwrap();
+        let remote = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
+        let out = engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(1),
+                candidates: vec![cand(&remote, 1)],
+                own_updates: vec![Update::insert("Function", func("rat", "prot1", "immune"), p(1))],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        assert_eq!(out.accepted_roots, vec![remote.id()]);
+        // Nothing new was applied; the value was already there.
+        assert!(out.applied_updates.is_empty());
+        assert_eq!(db.total_tuples(), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! Candidate transactions and their update extensions.
+//!
+//! A *candidate transaction* is a fully trusted, not-yet-decided transaction
+//! presented to the reconciliation engine, together with its transaction
+//! extension (Definition 3): the transitive closure of its undecided
+//! antecedents, in publication (`Δ`) order, ending with the root transaction
+//! itself. The *update extension* (Section 4.2) is the flattened update
+//! footprint of that list — the net changes the reconciling peer would apply
+//! if it accepted the transaction.
+
+use orchestra_model::{
+    flatten, ConflictKey, Priority, Schema, Transaction, TransactionId, Update,
+};
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Finds the conflict-group keys on which two flattened update sets conflict,
+/// comparing only updates that touch a common `(relation, key)` pair.
+///
+/// This is complete with respect to the paper's conflict definition: every
+/// conflicting pair of updates (divergent inserts, delete versus write,
+/// divergent replacements of the same source) necessarily touches a common
+/// key, so indexing by key loses nothing while avoiding the quadratic
+/// comparison of unrelated updates.
+pub fn conflict_keys_between(
+    left: &[Update],
+    right: &[Update],
+    schema: &Schema,
+) -> Vec<ConflictKey> {
+    use rustc_hash::FxHashMap;
+    let mut right_by_key: FxHashMap<(&str, orchestra_model::KeyValue), Vec<&Update>> =
+        FxHashMap::default();
+    for u in right {
+        if let Ok(rel) = schema.relation(&u.relation) {
+            for key in u.touched_keys(rel) {
+                right_by_key.entry((u.relation.as_str(), key)).or_default().push(u);
+            }
+        }
+    }
+    let mut keys = Vec::new();
+    for u in left {
+        let Ok(rel) = schema.relation(&u.relation) else { continue };
+        for key in u.touched_keys(rel) {
+            if let Some(others) = right_by_key.get(&(u.relation.as_str(), key)) {
+                for other in others {
+                    if let Some((kind, ckey)) = u.conflict_kind_with(other, schema) {
+                        let ck = ConflictKey::new(kind, u.relation.clone(), ckey);
+                        if !keys.contains(&ck) {
+                            keys.push(ck);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    keys
+}
+
+/// A trusted, undecided transaction together with its transaction extension,
+/// as handed to the reconciliation engine by the update store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateTransaction {
+    /// The root transaction id (the transaction the peer is deciding on).
+    pub id: TransactionId,
+    /// The priority `pri_i(X)` the reconciling participant assigns to the
+    /// root transaction.
+    pub priority: Priority,
+    /// The transaction extension: every member transaction (undecided
+    /// antecedents first, root last), in publication order, with its updates.
+    pub members: Vec<(TransactionId, Vec<Update>)>,
+}
+
+impl CandidateTransaction {
+    /// Builds a candidate from the root transaction and its already-resolved
+    /// extension member transactions (antecedents in publication order; the
+    /// root itself may be included or will be appended).
+    pub fn new(
+        root: &Transaction,
+        priority: Priority,
+        antecedents: Vec<Transaction>,
+    ) -> Self {
+        let mut members: Vec<(TransactionId, Vec<Update>)> = antecedents
+            .into_iter()
+            .map(|t| (t.id(), t.updates().to_vec()))
+            .collect();
+        if members.last().map(|(id, _)| *id) != Some(root.id()) {
+            members.push((root.id(), root.updates().to_vec()));
+        }
+        CandidateTransaction { id: root.id(), priority, members }
+    }
+
+    /// The ids of every member of the extension (antecedents plus root).
+    pub fn member_ids(&self) -> FxHashSet<TransactionId> {
+        self.members.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// The update footprint `uf` of the extension: every member update, in
+    /// publication order.
+    pub fn update_footprint(&self) -> Vec<Update> {
+        self.members.iter().flat_map(|(_, us)| us.iter().cloned()).collect()
+    }
+
+    /// The flattened update extension: the net effect of the whole extension
+    /// with intermediate steps removed.
+    pub fn flattened(&self, schema: &Schema) -> Vec<Update> {
+        flatten(schema, &self.update_footprint())
+    }
+
+    /// The flattened update extension restricted to members *not* in
+    /// `exclude` — used both for direct-conflict detection (excluding shared
+    /// antecedents) and at application time (excluding already-used
+    /// transactions).
+    pub fn flattened_excluding(
+        &self,
+        schema: &Schema,
+        exclude: &FxHashSet<TransactionId>,
+    ) -> Vec<Update> {
+        let updates: Vec<Update> = self
+            .members
+            .iter()
+            .filter(|(id, _)| !exclude.contains(id))
+            .flat_map(|(_, us)| us.iter().cloned())
+            .collect();
+        flatten(schema, &updates)
+    }
+
+    /// Returns true if this candidate subsumes `other`: its extension is a
+    /// superset of the other's extension.
+    pub fn subsumes(&self, other: &CandidateTransaction) -> bool {
+        let mine = self.member_ids();
+        other.members.iter().all(|(id, _)| mine.contains(id))
+    }
+
+    /// Definition 4 (*direct conflict*): the two extensions conflict on
+    /// updates that do not come from shared member transactions.
+    pub fn directly_conflicts_with(
+        &self,
+        other: &CandidateTransaction,
+        schema: &Schema,
+    ) -> bool {
+        !self.direct_conflict_keys(other, schema).is_empty()
+    }
+
+    /// The conflict-group keys on which the two candidates directly conflict
+    /// (empty if they do not conflict). Shared member transactions are
+    /// excluded from both sides before comparison, as required by
+    /// Definition 4.
+    pub fn direct_conflict_keys(
+        &self,
+        other: &CandidateTransaction,
+        schema: &Schema,
+    ) -> Vec<ConflictKey> {
+        let mine = self.member_ids();
+        let theirs = other.member_ids();
+        let shared: FxHashSet<TransactionId> =
+            mine.intersection(&theirs).copied().collect();
+        let ours = self.flattened_excluding(schema, &shared);
+        let others = other.flattened_excluding(schema, &shared);
+        conflict_keys_between(&ours, &others, schema)
+    }
+
+    /// All `(relation, key)` pairs read or written by the flattened
+    /// extension. Used for dirty-value checks.
+    pub fn touched_keys(&self, schema: &Schema) -> Vec<(String, orchestra_model::KeyValue)> {
+        let mut out = Vec::new();
+        let mut seen = FxHashSet::default();
+        for u in self.flattened(schema) {
+            if let Ok(rel) = schema.relation(&u.relation) {
+                for key in u.touched_keys(rel) {
+                    let entry = (u.relation.clone(), key);
+                    if seen.insert(entry.clone()) {
+                        out.push(entry);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{ParticipantId, Tuple};
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn txn(i: u32, j: u64, updates: Vec<Update>) -> Transaction {
+        Transaction::from_parts(p(i), j, updates).unwrap()
+    }
+
+    #[test]
+    fn candidate_flattens_its_extension() {
+        let schema = bioinformatics_schema();
+        // X3:0 inserts, X3:1 revises (the paper's epoch-1 example): the
+        // flattened extension of X3:1 is a single insert of the final value.
+        let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))]);
+        let x1 = txn(
+            3,
+            1,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "cell-metab"),
+                func("rat", "prot1", "immune"),
+                p(3),
+            )],
+        );
+        let cand = CandidateTransaction::new(&x1, Priority(1), vec![x0.clone()]);
+        assert_eq!(cand.members.len(), 2);
+        assert_eq!(cand.member_ids().len(), 2);
+        assert_eq!(cand.update_footprint().len(), 2);
+        let flat = cand.flattened(&schema);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].written_tuple().unwrap(), &func("rat", "prot1", "immune"));
+    }
+
+    #[test]
+    fn root_is_not_duplicated_if_supplied_in_antecedents() {
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("a", "b", "c"), p(1))]);
+        let cand = CandidateTransaction::new(&x0, Priority(1), vec![x0.clone()]);
+        assert_eq!(cand.members.len(), 1);
+    }
+
+    #[test]
+    fn subsumption() {
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("a", "p", "v1"), p(1))]);
+        let x1 = txn(
+            2,
+            0,
+            vec![Update::modify("Function", func("a", "p", "v1"), func("a", "p", "v2"), p(2))],
+        );
+        let small = CandidateTransaction::new(&x0, Priority(1), vec![]);
+        let big = CandidateTransaction::new(&x1, Priority(1), vec![x0.clone()]);
+        assert!(big.subsumes(&small));
+        assert!(!small.subsumes(&big));
+        assert!(big.subsumes(&big.clone()));
+    }
+
+    #[test]
+    fn direct_conflict_ignores_shared_members() {
+        let schema = bioinformatics_schema();
+        // Shared antecedent x0 inserts a tuple; two candidates each modify it
+        // to a different value. They directly conflict on the divergent
+        // modifications, but the shared insert itself is not a conflict.
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "base"), p(1))]);
+        let x1 = txn(
+            2,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "base"),
+                func("rat", "prot1", "immune"),
+                p(2),
+            )],
+        );
+        let x2 = txn(
+            3,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "base"),
+                func("rat", "prot1", "cell-resp"),
+                p(3),
+            )],
+        );
+        let c1 = CandidateTransaction::new(&x1, Priority(1), vec![x0.clone()]);
+        let c2 = CandidateTransaction::new(&x2, Priority(1), vec![x0.clone()]);
+        assert!(c1.directly_conflicts_with(&c2, &schema));
+        let keys = c1.direct_conflict_keys(&c2, &schema);
+        assert_eq!(keys.len(), 1);
+
+        // Without excluding the shared member, the flattened extensions are
+        // both inserts of divergent values; with the exclusion they are
+        // modifies, which is the conflict the paper wants to report.
+        let kinds: Vec<_> = keys.iter().map(|k| k.kind).collect();
+        assert_eq!(kinds, vec![orchestra_model::ConflictKind::DivergentModify]);
+    }
+
+    #[test]
+    fn no_conflict_between_identical_extensions() {
+        let schema = bioinformatics_schema();
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "v"), p(1))]);
+        let c1 = CandidateTransaction::new(&x0, Priority(1), vec![]);
+        let c2 = CandidateTransaction::new(&x0, Priority(2), vec![]);
+        // A candidate shares all members with a copy of itself, so there is
+        // nothing left to conflict on.
+        assert!(!c1.directly_conflicts_with(&c2, &schema));
+    }
+
+    #[test]
+    fn divergent_inserts_directly_conflict() {
+        let schema = bioinformatics_schema();
+        let x1 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
+        let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        let c1 = CandidateTransaction::new(&x1, Priority(1), vec![]);
+        let c2 = CandidateTransaction::new(&x2, Priority(1), vec![]);
+        assert!(c1.directly_conflicts_with(&c2, &schema));
+        assert!(c2.directly_conflicts_with(&c1, &schema));
+    }
+
+    #[test]
+    fn touched_keys_cover_flattened_extension() {
+        let schema = bioinformatics_schema();
+        let x0 = txn(
+            3,
+            0,
+            vec![
+                Update::insert("Function", func("mouse", "prot2", "cell-resp"), p(3)),
+                Update::modify(
+                    "Function",
+                    func("mouse", "prot2", "cell-resp"),
+                    func("mouse", "prot3", "cell-resp"),
+                    p(3),
+                ),
+            ],
+        );
+        let cand = CandidateTransaction::new(&x0, Priority(1), vec![]);
+        let keys = cand.touched_keys(&schema);
+        // Flattened to a single insert of (mouse, prot3, ...): only that key.
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].1, orchestra_model::KeyValue::of_text(&["mouse", "prot3"]));
+    }
+}

@@ -1,0 +1,32 @@
+//! Reconciliation semantics and algorithms for the Orchestra CDSS.
+//!
+//! This crate implements Sections 4 and 5 of the paper:
+//!
+//! * [`append_only`] — the append-only reconciliation problem (Definition 2),
+//!   where every transaction can be considered independently.
+//! * [`extension`] — candidate transactions carrying their transaction
+//!   extension (Definition 3), flattened update extension, subsumption and
+//!   the *direct conflict* relation (Definition 4).
+//! * [`softstate`] — the client's soft state: dirty values, deferred
+//!   transactions, conflict groups and options.
+//! * [`engine`] — the client-centric `ReconcileUpdates` algorithm of
+//!   Figures 4 and 5, including `CheckState`, `FindConflicts`, `DoGroup` and
+//!   `UpdateSoftState`.
+//! * [`resolution`] — user-driven conflict resolution: picking an option of a
+//!   conflict group rejects the others and re-runs reconciliation over the
+//!   remaining deferred transactions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod append_only;
+pub mod engine;
+pub mod extension;
+pub mod resolution;
+pub mod softstate;
+
+pub use append_only::append_only_reconcile;
+pub use engine::{ReconcileEngine, ReconcileInput, ReconcileOutcome, TransactionDecision};
+pub use extension::CandidateTransaction;
+pub use resolution::{ResolutionChoice, ResolutionOutcome};
+pub use softstate::{ConflictGroup, ConflictOption, SoftState};

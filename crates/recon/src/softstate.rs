@@ -1,0 +1,387 @@
+//! Client-side soft state: dirty values, deferred transactions, conflict
+//! groups and options.
+//!
+//! The paper keeps this state soft (reconstructible from the update store):
+//! deferred transactions are those whose conflicts have no unique winner, the
+//! *dirty value* set contains every key value such a transaction reads or
+//! writes (so that later transactions touching those keys also defer, keeping
+//! the deferred transactions applicable), and conflict groups/options are the
+//! unit of user-driven conflict resolution.
+
+use crate::extension::CandidateTransaction;
+use orchestra_model::{ConflictKey, KeyValue, ReconciliationId, Schema, TransactionId};
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// A group of transactions within a conflict group that make the same
+/// modification to the conflicting key value. At most one option per conflict
+/// group can be accepted when the user resolves the conflict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictOption {
+    /// The transactions proposing this modification.
+    pub transactions: Vec<TransactionId>,
+    /// A rendering of the proposed net change, for display to the resolving
+    /// user.
+    pub description: String,
+}
+
+/// All options recorded for one conflict-group key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictGroup {
+    /// The `(type, relation, key)` identity of the group.
+    pub key: ConflictKey,
+    /// The mutually exclusive options.
+    pub options: Vec<ConflictOption>,
+}
+
+impl ConflictGroup {
+    /// Every transaction involved in the group, across all options.
+    pub fn transactions(&self) -> Vec<TransactionId> {
+        let mut out = Vec::new();
+        for opt in &self.options {
+            for t in &opt.transactions {
+                if !out.contains(t) {
+                    out.push(*t);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The reconciling participant's soft state between reconciliations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SoftState {
+    /// Key values made dirty by deferred transactions, per relation.
+    dirty: FxHashSet<(String, KeyValue)>,
+    /// Deferred candidates, retained so they can be reconsidered when the
+    /// user resolves conflicts.
+    deferred: FxHashMap<TransactionId, CandidateTransaction>,
+    /// Conflict groups recorded by the most recent reconciliation.
+    conflict_groups: Vec<ConflictGroup>,
+    /// The reconciliation that last rebuilt this soft state.
+    last_recno: ReconciliationId,
+}
+
+impl SoftState {
+    /// Creates empty soft state.
+    pub fn new() -> Self {
+        SoftState::default()
+    }
+
+    /// Returns true if `(relation, key)` is dirty (touched by a deferred
+    /// transaction).
+    pub fn is_dirty(&self, relation: &str, key: &KeyValue) -> bool {
+        self.dirty.contains(&(relation.to_owned(), key.clone()))
+    }
+
+    /// Returns true if any of the given `(relation, key)` pairs is dirty.
+    pub fn any_dirty(&self, keys: &[(String, KeyValue)]) -> bool {
+        keys.iter().any(|(r, k)| self.dirty.contains(&(r.clone(), k.clone())))
+    }
+
+    /// The number of dirty key values.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The deferred candidates, keyed by root transaction id.
+    pub fn deferred(&self) -> &FxHashMap<TransactionId, CandidateTransaction> {
+        &self.deferred
+    }
+
+    /// Returns true if the transaction is currently deferred.
+    pub fn is_deferred(&self, id: TransactionId) -> bool {
+        self.deferred.contains_key(&id)
+    }
+
+    /// The conflict groups recorded by the most recent reconciliation.
+    pub fn conflict_groups(&self) -> &[ConflictGroup] {
+        &self.conflict_groups
+    }
+
+    /// The reconciliation that last rebuilt the soft state.
+    pub fn last_recno(&self) -> ReconciliationId {
+        self.last_recno
+    }
+
+    /// Removes a transaction from the deferred set (because the user rejected
+    /// it, or it was accepted after conflict resolution). Dirty values and
+    /// conflict groups are rebuilt on the next [`SoftState::rebuild`].
+    pub fn remove_deferred(&mut self, id: TransactionId) -> Option<CandidateTransaction> {
+        self.deferred.remove(&id)
+    }
+
+    /// Implements the paper's `UpdateSoftState` (Figure 5): clears the soft
+    /// state of the previous reconciliation and rebuilds it from the set of
+    /// transactions deferred at `recno`.
+    ///
+    /// For every deferred candidate the dirty-value set receives every key its
+    /// flattened extension touches; pairwise direct conflicts between deferred
+    /// candidates are grouped by conflict key, and within each group the
+    /// candidates proposing an identical net change are combined into a single
+    /// option.
+    pub fn rebuild(
+        &mut self,
+        recno: ReconciliationId,
+        deferred: Vec<CandidateTransaction>,
+        schema: &Schema,
+    ) {
+        self.dirty.clear();
+        self.conflict_groups.clear();
+        self.deferred.clear();
+        self.last_recno = recno;
+
+        // Flatten each deferred candidate once and index the keys it touches,
+        // so only candidates sharing a key are compared (the same hash-based
+        // conflict detection the paper assumes).
+        let flattened: Vec<Vec<orchestra_model::Update>> =
+            deferred.iter().map(|c| c.flattened(schema)).collect();
+        let mut by_key: FxHashMap<(String, KeyValue), Vec<usize>> = FxHashMap::default();
+        for (i, (cand, flat)) in deferred.iter().zip(&flattened).enumerate() {
+            let _ = cand;
+            let mut seen: FxHashSet<(String, KeyValue)> = FxHashSet::default();
+            for u in flat {
+                if let Ok(rel) = schema.relation(&u.relation) {
+                    for key in u.touched_keys(rel) {
+                        let entry = (u.relation.clone(), key);
+                        if seen.insert(entry.clone()) {
+                            self.dirty.insert(entry.clone());
+                            by_key.entry(entry).or_default().push(i);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Group pairwise conflicts by conflict key, comparing only candidates
+        // that touch a common key.
+        let member_sets: Vec<FxHashSet<TransactionId>> =
+            deferred.iter().map(|c| c.member_ids()).collect();
+        let mut groups: FxHashMap<ConflictKey, FxHashSet<TransactionId>> = FxHashMap::default();
+        let mut checked: FxHashSet<(usize, usize)> = FxHashSet::default();
+        for indices in by_key.values() {
+            for a_pos in 0..indices.len() {
+                for b_pos in (a_pos + 1)..indices.len() {
+                    let (i, j) =
+                        (indices[a_pos].min(indices[b_pos]), indices[a_pos].max(indices[b_pos]));
+                    if i == j || !checked.insert((i, j)) {
+                        continue;
+                    }
+                    let a = &deferred[i];
+                    let b = &deferred[j];
+                    let a_subsumes = member_sets[j].iter().all(|id| member_sets[i].contains(id));
+                    let b_subsumes = member_sets[i].iter().all(|id| member_sets[j].contains(id));
+                    if a_subsumes || b_subsumes {
+                        continue;
+                    }
+                    let shares_members =
+                        member_sets[i].iter().any(|id| member_sets[j].contains(id));
+                    let keys = if shares_members {
+                        a.direct_conflict_keys(b, schema)
+                    } else {
+                        crate::extension::conflict_keys_between(
+                            &flattened[i],
+                            &flattened[j],
+                            schema,
+                        )
+                    };
+                    for key in keys {
+                        let entry = groups.entry(key).or_default();
+                        entry.insert(a.id);
+                        entry.insert(b.id);
+                    }
+                }
+            }
+        }
+
+        // Within each group, combine compatible transactions into the same
+        // option: a transaction subsumed by another (it is an antecedent of
+        // the other's extension) rides along with its subsumer, and
+        // transactions proposing the same net change merge, so each option
+        // represents one distinct final value the user can pick.
+        let by_id: FxHashMap<TransactionId, &CandidateTransaction> =
+            deferred.iter().map(|c| (c.id, c)).collect();
+        let mut group_keys: Vec<ConflictKey> = groups.keys().cloned().collect();
+        group_keys.sort();
+        for key in group_keys {
+            let members = &groups[&key];
+            let mut member_ids: Vec<TransactionId> = members.iter().copied().collect();
+            member_ids.sort();
+
+            // Cluster members along subsumption chains. The representative of
+            // a cluster is its maximal member (the one whose extension
+            // contains the others).
+            let mut clusters: Vec<(TransactionId, Vec<TransactionId>)> = Vec::new();
+            for id in member_ids {
+                let cand = by_id[&id];
+                let mut placed = false;
+                for (rep, cluster_members) in &mut clusters {
+                    let rep_cand = by_id[rep];
+                    if rep_cand.subsumes(cand) {
+                        cluster_members.push(id);
+                        placed = true;
+                        break;
+                    }
+                    if cand.subsumes(rep_cand) {
+                        cluster_members.push(id);
+                        *rep = id;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    clusters.push((id, vec![id]));
+                }
+            }
+
+            // Merge clusters whose representatives propose the same net
+            // change (two participants independently publishing the same
+            // value fall into one option).
+            let mut options: Vec<(Vec<String>, ConflictOption)> = Vec::new();
+            for (rep, cluster_members) in clusters {
+                let rep_cand = by_id[&rep];
+                let mut change: Vec<String> = rep_cand
+                    .flattened(schema)
+                    .iter()
+                    .map(|u| {
+                        format!(
+                            "{} {} {:?} -> {:?}",
+                            u.relation,
+                            u.kind(),
+                            u.read_tuple(),
+                            u.written_tuple()
+                        )
+                    })
+                    .collect();
+                change.sort();
+                match options.iter_mut().find(|(c, _)| *c == change) {
+                    Some((_, opt)) => opt.transactions.extend(cluster_members),
+                    None => {
+                        let description = change.join("; ");
+                        options.push((
+                            change,
+                            ConflictOption { transactions: cluster_members, description },
+                        ));
+                    }
+                }
+            }
+            self.conflict_groups.push(ConflictGroup {
+                key,
+                options: options.into_iter().map(|(_, o)| o).collect(),
+            });
+        }
+
+        for cand in deferred {
+            self.deferred.insert(cand.id, cand);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{ParticipantId, Priority, Transaction, Tuple, Update};
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn cand(i: u32, j: u64, updates: Vec<Update>) -> CandidateTransaction {
+        let txn = Transaction::from_parts(p(i), j, updates).unwrap();
+        CandidateTransaction::new(&txn, Priority(1), vec![])
+    }
+
+    #[test]
+    fn fresh_soft_state_is_clean() {
+        let s = SoftState::new();
+        assert_eq!(s.dirty_len(), 0);
+        assert!(s.deferred().is_empty());
+        assert!(s.conflict_groups().is_empty());
+        assert!(!s.is_dirty("Function", &KeyValue::of_text(&["rat", "prot1"])));
+    }
+
+    #[test]
+    fn rebuild_marks_dirty_values_and_groups_conflicts() {
+        let schema = bioinformatics_schema();
+        let mut s = SoftState::new();
+        let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
+        let c2 = cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        s.rebuild(ReconciliationId(1), vec![c1.clone(), c2.clone()], &schema);
+
+        assert_eq!(s.last_recno(), ReconciliationId(1));
+        assert!(s.is_dirty("Function", &KeyValue::of_text(&["rat", "prot1"])));
+        assert!(!s.is_dirty("Function", &KeyValue::of_text(&["mouse", "prot2"])));
+        assert!(s.is_deferred(c1.id));
+        assert!(s.is_deferred(c2.id));
+
+        assert_eq!(s.conflict_groups().len(), 1);
+        let group = &s.conflict_groups()[0];
+        assert_eq!(group.options.len(), 2);
+        assert_eq!(group.transactions().len(), 2);
+    }
+
+    #[test]
+    fn identical_changes_merge_into_one_option() {
+        let schema = bioinformatics_schema();
+        let mut s = SoftState::new();
+        // Two different participants propose the same value; a third proposes
+        // a divergent one. The group should have two options, one of which
+        // carries two transactions.
+        let same_a = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
+        let same_b = cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        let diff = cand(4, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(4))]);
+        s.rebuild(ReconciliationId(2), vec![same_a, same_b, diff], &schema);
+
+        assert_eq!(s.conflict_groups().len(), 1);
+        let group = &s.conflict_groups()[0];
+        assert_eq!(group.options.len(), 2);
+        let sizes: Vec<usize> = group.options.iter().map(|o| o.transactions.len()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+    }
+
+    #[test]
+    fn rebuild_clears_previous_state() {
+        let schema = bioinformatics_schema();
+        let mut s = SoftState::new();
+        let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let c2 = cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(3))]);
+        s.rebuild(ReconciliationId(1), vec![c1, c2], &schema);
+        assert_eq!(s.dirty_len(), 1);
+
+        s.rebuild(ReconciliationId(2), vec![], &schema);
+        assert_eq!(s.dirty_len(), 0);
+        assert!(s.deferred().is_empty());
+        assert!(s.conflict_groups().is_empty());
+        assert_eq!(s.last_recno(), ReconciliationId(2));
+    }
+
+    #[test]
+    fn remove_deferred_returns_the_candidate() {
+        let schema = bioinformatics_schema();
+        let mut s = SoftState::new();
+        let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let id = c1.id;
+        s.rebuild(ReconciliationId(1), vec![c1], &schema);
+        let removed = s.remove_deferred(id).unwrap();
+        assert_eq!(removed.id, id);
+        assert!(s.remove_deferred(id).is_none());
+    }
+
+    #[test]
+    fn non_conflicting_deferred_candidates_produce_no_groups() {
+        let schema = bioinformatics_schema();
+        let mut s = SoftState::new();
+        let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let c2 = cand(3, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(3))]);
+        s.rebuild(ReconciliationId(1), vec![c1, c2], &schema);
+        assert!(s.conflict_groups().is_empty());
+        assert_eq!(s.dirty_len(), 2);
+    }
+}

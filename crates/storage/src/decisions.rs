@@ -1,0 +1,208 @@
+//! Per-participant accept/reject decision records and reconciliation history.
+//!
+//! The paper moves the sets of applied and rejected transactions from the
+//! participant into the update store, so that each client holds only soft
+//! state and can be reconstructed from the store. This module is that record:
+//! for every participant it keeps the decision made about each transaction and
+//! the epoch associated with each of its reconciliations.
+
+use orchestra_model::{Epoch, ParticipantId, ReconciliationId, TransactionId};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// The durable decision a participant has recorded about a transaction.
+///
+/// Deferral is deliberately *not* represented here: deferred transactions are
+/// soft state at the client (they may be accepted or rejected later), exactly
+/// as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// The transaction was accepted and applied to the participant's
+    /// instance.
+    Accepted,
+    /// The transaction was rejected (it conflicted with a higher-priority
+    /// transaction, was incompatible with the instance, or depends on a
+    /// rejected transaction).
+    Rejected,
+}
+
+/// One participant's reconciliation record.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ParticipantRecord {
+    decisions: FxHashMap<TransactionId, Decision>,
+    reconciliations: Vec<(ReconciliationId, Epoch)>,
+}
+
+/// Store-side record of every participant's decisions and reconciliations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DecisionLog {
+    participants: FxHashMap<ParticipantId, ParticipantRecord>,
+}
+
+impl DecisionLog {
+    /// Creates an empty decision log.
+    pub fn new() -> Self {
+        DecisionLog::default()
+    }
+
+    /// Records a decision for a participant about a transaction. A later
+    /// decision overwrites an earlier one only if the earlier one was not
+    /// `Accepted` (acceptance is monotone: accepted transactions are never
+    /// rolled back).
+    pub fn record(&mut self, participant: ParticipantId, txn: TransactionId, decision: Decision) {
+        let rec = self.participants.entry(participant).or_default();
+        match rec.decisions.get(&txn) {
+            Some(Decision::Accepted) => {}
+            _ => {
+                rec.decisions.insert(txn, decision);
+            }
+        }
+    }
+
+    /// The decision a participant has recorded about a transaction, if any.
+    pub fn decision(&self, participant: ParticipantId, txn: TransactionId) -> Option<Decision> {
+        self.participants.get(&participant).and_then(|r| r.decisions.get(&txn)).copied()
+    }
+
+    /// Returns true if the participant has recorded *any* decision about the
+    /// transaction.
+    pub fn is_decided(&self, participant: ParticipantId, txn: TransactionId) -> bool {
+        self.decision(participant, txn).is_some()
+    }
+
+    /// Returns true if the participant has accepted the transaction.
+    pub fn is_accepted(&self, participant: ParticipantId, txn: TransactionId) -> bool {
+        self.decision(participant, txn) == Some(Decision::Accepted)
+    }
+
+    /// Returns true if the participant has rejected the transaction.
+    pub fn is_rejected(&self, participant: ParticipantId, txn: TransactionId) -> bool {
+        self.decision(participant, txn) == Some(Decision::Rejected)
+    }
+
+    /// All transactions the participant has accepted.
+    pub fn accepted(&self, participant: ParticipantId) -> Vec<TransactionId> {
+        self.with_decision(participant, Decision::Accepted)
+    }
+
+    /// All transactions the participant has rejected.
+    pub fn rejected(&self, participant: ParticipantId) -> Vec<TransactionId> {
+        self.with_decision(participant, Decision::Rejected)
+    }
+
+    fn with_decision(&self, participant: ParticipantId, wanted: Decision) -> Vec<TransactionId> {
+        let mut out: Vec<TransactionId> = self
+            .participants
+            .get(&participant)
+            .map(|r| {
+                r.decisions
+                    .iter()
+                    .filter(|(_, &d)| d == wanted)
+                    .map(|(&id, _)| id)
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    /// Records that a participant performed reconciliation `recno` against
+    /// the given epoch.
+    pub fn record_reconciliation(
+        &mut self,
+        participant: ParticipantId,
+        recno: ReconciliationId,
+        epoch: Epoch,
+    ) {
+        self.participants.entry(participant).or_default().reconciliations.push((recno, epoch));
+    }
+
+    /// The participant's most recent reconciliation, if any.
+    pub fn last_reconciliation(
+        &self,
+        participant: ParticipantId,
+    ) -> Option<(ReconciliationId, Epoch)> {
+        self.participants
+            .get(&participant)
+            .and_then(|r| r.reconciliations.last())
+            .copied()
+    }
+
+    /// The epoch of the participant's most recent reconciliation
+    /// (`Epoch::ZERO` if it has never reconciled).
+    pub fn last_reconciliation_epoch(&self, participant: ParticipantId) -> Epoch {
+        self.last_reconciliation(participant).map(|(_, e)| e).unwrap_or(Epoch::ZERO)
+    }
+
+    /// The next reconciliation number for the participant.
+    pub fn next_reconciliation_id(&self, participant: ParticipantId) -> ReconciliationId {
+        self.last_reconciliation(participant)
+            .map(|(r, _)| r.next())
+            .unwrap_or(ReconciliationId(1))
+    }
+
+    /// The full reconciliation history of a participant.
+    pub fn reconciliations(&self, participant: ParticipantId) -> Vec<(ReconciliationId, Epoch)> {
+        self.participants
+            .get(&participant)
+            .map(|r| r.reconciliations.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn x(i: u32, j: u64) -> TransactionId {
+        TransactionId::new(p(i), j)
+    }
+
+    #[test]
+    fn decisions_are_recorded_per_participant() {
+        let mut log = DecisionLog::new();
+        log.record(p(1), x(2, 0), Decision::Accepted);
+        log.record(p(1), x(3, 0), Decision::Rejected);
+        log.record(p(2), x(2, 0), Decision::Rejected);
+
+        assert!(log.is_accepted(p(1), x(2, 0)));
+        assert!(log.is_rejected(p(1), x(3, 0)));
+        assert!(log.is_rejected(p(2), x(2, 0)));
+        assert!(!log.is_decided(p(3), x(2, 0)));
+        assert_eq!(log.accepted(p(1)), vec![x(2, 0)]);
+        assert_eq!(log.rejected(p(1)), vec![x(3, 0)]);
+    }
+
+    #[test]
+    fn acceptance_is_monotone() {
+        let mut log = DecisionLog::new();
+        log.record(p(1), x(2, 0), Decision::Accepted);
+        log.record(p(1), x(2, 0), Decision::Rejected);
+        assert!(log.is_accepted(p(1), x(2, 0)));
+        // A rejection can later be superseded by acceptance (conflict
+        // resolution can accept a previously deferred option).
+        log.record(p(1), x(3, 0), Decision::Rejected);
+        log.record(p(1), x(3, 0), Decision::Accepted);
+        assert!(log.is_accepted(p(1), x(3, 0)));
+    }
+
+    #[test]
+    fn reconciliation_history() {
+        let mut log = DecisionLog::new();
+        assert_eq!(log.last_reconciliation(p(1)), None);
+        assert_eq!(log.last_reconciliation_epoch(p(1)), Epoch::ZERO);
+        assert_eq!(log.next_reconciliation_id(p(1)), ReconciliationId(1));
+
+        log.record_reconciliation(p(1), ReconciliationId(1), Epoch(3));
+        log.record_reconciliation(p(1), ReconciliationId(2), Epoch(7));
+        assert_eq!(log.last_reconciliation(p(1)), Some((ReconciliationId(2), Epoch(7))));
+        assert_eq!(log.last_reconciliation_epoch(p(1)), Epoch(7));
+        assert_eq!(log.next_reconciliation_id(p(1)), ReconciliationId(3));
+        assert_eq!(log.reconciliations(p(1)).len(), 2);
+        assert!(log.reconciliations(p(9)).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Epoch allocation and publication bookkeeping.
+//!
+//! Section 5.2.1 of the paper: an epoch counter (an SQL sequence in the
+//! original implementation) timestamps each batch of published transactions.
+//! Because publishing is not instantaneous, each peer records when it starts
+//! and when it finishes publishing; a reconciling peer then uses the *largest
+//! stable epoch* — the latest epoch not preceded by an unfinished epoch — as
+//! its reconciliation point, so that no transaction can later appear "in the
+//! past".
+
+use crate::error::{Result, StorageError};
+use orchestra_model::{Epoch, ParticipantId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Publication status of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PublicationStatus {
+    /// The publishing peer has requested the epoch but not finished writing
+    /// its transactions.
+    Started,
+    /// The publishing peer has finished writing all transactions for the
+    /// epoch.
+    Finished,
+}
+
+/// One allocated epoch and who is publishing in it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct EpochRecord {
+    publisher: ParticipantId,
+    status: PublicationStatus,
+}
+
+/// The epoch sequence plus per-epoch publication records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpochRegistry {
+    records: BTreeMap<u64, EpochRecord>,
+    next: u64,
+}
+
+impl EpochRegistry {
+    /// Creates an empty registry; the first allocated epoch will be 1.
+    pub fn new() -> Self {
+        EpochRegistry { records: BTreeMap::new(), next: 1 }
+    }
+
+    /// Allocates the next epoch for a publishing peer and marks it started.
+    pub fn begin_publish(&mut self, publisher: ParticipantId) -> Epoch {
+        let epoch = Epoch(self.next);
+        self.next += 1;
+        self.records
+            .insert(epoch.as_u64(), EpochRecord { publisher, status: PublicationStatus::Started });
+        epoch
+    }
+
+    /// Marks an epoch's publication as finished.
+    pub fn finish_publish(&mut self, epoch: Epoch) -> Result<()> {
+        match self.records.get_mut(&epoch.as_u64()) {
+            Some(rec) => {
+                rec.status = PublicationStatus::Finished;
+                Ok(())
+            }
+            None => Err(StorageError::UnknownEpoch(epoch.as_u64())),
+        }
+    }
+
+    /// The publication status of an epoch, if it has been allocated.
+    pub fn status(&self, epoch: Epoch) -> Option<PublicationStatus> {
+        self.records.get(&epoch.as_u64()).map(|r| r.status)
+    }
+
+    /// The peer publishing in an epoch, if it has been allocated.
+    pub fn publisher(&self, epoch: Epoch) -> Option<ParticipantId> {
+        self.records.get(&epoch.as_u64()).map(|r| r.publisher)
+    }
+
+    /// The most recently allocated epoch (`Epoch::ZERO` if none).
+    pub fn latest_allocated(&self) -> Epoch {
+        Epoch(self.next.saturating_sub(1))
+    }
+
+    /// The largest stable epoch: the greatest epoch `e` such that every
+    /// allocated epoch `≤ e` has finished publishing. A reconciling peer uses
+    /// this as its reconciliation epoch so that no unpublished transaction
+    /// can precede it.
+    pub fn largest_stable_epoch(&self) -> Epoch {
+        let mut stable = Epoch::ZERO;
+        for (&e, rec) in &self.records {
+            match rec.status {
+                PublicationStatus::Finished => stable = Epoch(e),
+                PublicationStatus::Started => break,
+            }
+        }
+        stable
+    }
+
+    /// Number of allocated epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true if no epoch has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    #[test]
+    fn epochs_are_allocated_sequentially_from_one() {
+        let mut reg = EpochRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.begin_publish(p(1)), Epoch(1));
+        assert_eq!(reg.begin_publish(p(2)), Epoch(2));
+        assert_eq!(reg.latest_allocated(), Epoch(2));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.publisher(Epoch(1)), Some(p(1)));
+        assert_eq!(reg.publisher(Epoch(2)), Some(p(2)));
+        assert_eq!(reg.publisher(Epoch(3)), None);
+    }
+
+    #[test]
+    fn stable_epoch_stops_at_first_unfinished() {
+        let mut reg = EpochRegistry::new();
+        let e1 = reg.begin_publish(p(1));
+        let e2 = reg.begin_publish(p(2));
+        let e3 = reg.begin_publish(p(3));
+        assert_eq!(reg.largest_stable_epoch(), Epoch::ZERO);
+
+        reg.finish_publish(e1).unwrap();
+        assert_eq!(reg.largest_stable_epoch(), Epoch(1));
+
+        // Epoch 3 finishes before epoch 2: the stable frontier stays at 1.
+        reg.finish_publish(e3).unwrap();
+        assert_eq!(reg.largest_stable_epoch(), Epoch(1));
+
+        reg.finish_publish(e2).unwrap();
+        assert_eq!(reg.largest_stable_epoch(), Epoch(3));
+    }
+
+    #[test]
+    fn finish_of_unknown_epoch_is_error() {
+        let mut reg = EpochRegistry::new();
+        assert!(matches!(reg.finish_publish(Epoch(5)), Err(StorageError::UnknownEpoch(5))));
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut reg = EpochRegistry::new();
+        let e = reg.begin_publish(p(1));
+        assert_eq!(reg.status(e), Some(PublicationStatus::Started));
+        reg.finish_publish(e).unwrap();
+        assert_eq!(reg.status(e), Some(PublicationStatus::Finished));
+        assert_eq!(reg.status(Epoch(99)), None);
+    }
+
+    #[test]
+    fn empty_registry_is_stable_at_zero() {
+        let reg = EpochRegistry::new();
+        assert_eq!(reg.largest_stable_epoch(), Epoch::ZERO);
+        assert_eq!(reg.latest_allocated(), Epoch::ZERO);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for the storage engine.
+
+use orchestra_model::ModelError;
+use std::fmt;
+
+/// Convenience alias for storage results.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// An error bubbled up from the data model (schema mismatch, constraint
+    /// violation, unknown relation, ...).
+    Model(ModelError),
+    /// An insertion targeted a primary key that already exists with a
+    /// different tuple value.
+    DuplicateKey {
+        /// Relation of the attempted insertion.
+        relation: String,
+        /// Rendering of the duplicate key.
+        key: String,
+    },
+    /// A deletion or modification referenced a tuple that is not present.
+    MissingTuple {
+        /// Relation of the attempted operation.
+        relation: String,
+        /// Rendering of the missing tuple.
+        tuple: String,
+    },
+    /// A deletion or modification found a tuple with the right key but a
+    /// different value than the one named by the update.
+    StaleTuple {
+        /// Relation of the attempted operation.
+        relation: String,
+        /// Rendering of the expected (antecedent) tuple.
+        expected: String,
+        /// Rendering of the tuple actually present.
+        found: String,
+    },
+    /// The requested epoch or publication record does not exist.
+    UnknownEpoch(u64),
+    /// A transaction id was published twice or referenced before publication.
+    TransactionLog(String),
+    /// Persistence (serialisation or deserialisation) failed.
+    Persistence(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Model(e) => write!(f, "{e}"),
+            StorageError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate key {key} in relation `{relation}`")
+            }
+            StorageError::MissingTuple { relation, tuple } => {
+                write!(f, "tuple {tuple} not present in relation `{relation}`")
+            }
+            StorageError::StaleTuple { relation, expected, found } => write!(
+                f,
+                "relation `{relation}` holds {found} where the update expected {expected}"
+            ),
+            StorageError::UnknownEpoch(e) => write!(f, "unknown epoch {e}"),
+            StorageError::TransactionLog(msg) => write!(f, "transaction log error: {msg}"),
+            StorageError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for StorageError {
+    fn from(e: ModelError) -> Self {
+        StorageError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_errors_convert() {
+        let e: StorageError = ModelError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, StorageError::Model(_)));
+        assert!(e.to_string().contains("R"));
+    }
+
+    #[test]
+    fn display_variants() {
+        let dup = StorageError::DuplicateKey { relation: "F".into(), key: "[rat]".into() };
+        assert!(dup.to_string().contains("duplicate key"));
+        let missing = StorageError::MissingTuple { relation: "F".into(), tuple: "(x)".into() };
+        assert!(missing.to_string().contains("not present"));
+        let stale = StorageError::StaleTuple {
+            relation: "F".into(),
+            expected: "(a)".into(),
+            found: "(b)".into(),
+        };
+        assert!(stale.to_string().contains("expected"));
+        assert!(StorageError::UnknownEpoch(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,39 @@
+//! Embedded relational storage engine for the Orchestra CDSS.
+//!
+//! The paper's centralised update store is built on a commercial RDBMS and
+//! each participant maintains a local relational instance. This crate is the
+//! from-scratch substitute for both roles:
+//!
+//! * [`Table`] — a primary-key-indexed relation with optional secondary
+//!   indexes.
+//! * [`Database`] — a set of tables conforming to a
+//!   [`orchestra_model::Schema`], with update application, constraint
+//!   enforcement, snapshots and JSON persistence. Implements
+//!   [`orchestra_model::InstanceView`], so integrity constraints and the
+//!   reconciliation algorithm's `CheckState` can evaluate against it.
+//! * [`TransactionLog`] — the append-only log of published transactions, with
+//!   epoch and per-participant indexes (the `updates` table of the paper's
+//!   central store design).
+//! * [`EpochRegistry`] — the epoch sequence with started/finished publication
+//!   records and the "largest stable epoch" computation of Section 5.2.1.
+//! * [`DecisionLog`] — the per-participant record of accepted and rejected
+//!   transactions that the paper moves into the update store so that client
+//!   state stays soft.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod database;
+pub mod decisions;
+pub mod epoch;
+pub mod error;
+pub mod log;
+pub mod persist;
+pub mod table;
+
+pub use database::Database;
+pub use decisions::{Decision, DecisionLog};
+pub use epoch::{EpochRegistry, PublicationStatus};
+pub use error::{Result, StorageError};
+pub use log::{LogEntry, TransactionLog};
+pub use table::Table;

@@ -1,0 +1,390 @@
+//! The append-only log of published transactions.
+//!
+//! This corresponds to the published-update log that the paper's central
+//! update store keeps inside the RDBMS: every published transaction is
+//! recorded with the epoch in which it was published, and indexes allow the
+//! store to answer "which transactions were published between epochs a and
+//! b", to resolve transaction identifiers, and to chase antecedent chains
+//! (which transaction wrote the tuple value this transaction modifies or
+//! deletes?).
+
+use crate::error::{Result, StorageError};
+use orchestra_model::{Epoch, ParticipantId, Schema, Transaction, TransactionId, Tuple};
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One entry of the published-transaction log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Epoch in which the transaction was published.
+    pub epoch: Epoch,
+    /// The published transaction.
+    pub transaction: Transaction,
+}
+
+/// Append-only log of published transactions with epoch, id and
+/// written-tuple indexes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TransactionLog {
+    entries: Vec<LogEntry>,
+    #[serde(skip)]
+    by_id: FxHashMap<TransactionId, usize>,
+    #[serde(skip)]
+    by_epoch: BTreeMap<u64, Vec<usize>>,
+    /// For each (relation, tuple value) ever written, the log positions of the
+    /// transactions that wrote it, in publication order.
+    #[serde(skip)]
+    writers: FxHashMap<(String, Tuple), Vec<usize>>,
+}
+
+impl TransactionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        TransactionLog::default()
+    }
+
+    /// Rebuilds the derived indexes (used after deserialisation).
+    pub fn rebuild_indexes(&mut self) {
+        self.by_id.clear();
+        self.by_epoch.clear();
+        self.writers.clear();
+        for i in 0..self.entries.len() {
+            self.index_entry(i);
+        }
+    }
+
+    fn index_entry(&mut self, pos: usize) {
+        let entry = &self.entries[pos];
+        self.by_id.insert(entry.transaction.id(), pos);
+        self.by_epoch.entry(entry.epoch.as_u64()).or_default().push(pos);
+        for u in entry.transaction.updates() {
+            if let Some(written) = u.written_tuple() {
+                self.writers
+                    .entry((u.relation.clone(), written.clone()))
+                    .or_default()
+                    .push(pos);
+            }
+        }
+    }
+
+    /// Appends a published transaction. Publishing the same transaction id
+    /// twice is an error.
+    pub fn publish(&mut self, epoch: Epoch, transaction: Transaction) -> Result<()> {
+        if self.by_id.contains_key(&transaction.id()) {
+            return Err(StorageError::TransactionLog(format!(
+                "transaction {} already published",
+                transaction.id()
+            )));
+        }
+        let pos = self.entries.len();
+        self.entries.push(LogEntry { epoch, transaction });
+        self.index_entry(pos);
+        Ok(())
+    }
+
+    /// Number of published transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a transaction by id.
+    pub fn get(&self, id: TransactionId) -> Option<&Transaction> {
+        self.by_id.get(&id).map(|&i| &self.entries[i].transaction)
+    }
+
+    /// The epoch in which a transaction was published.
+    pub fn epoch_of(&self, id: TransactionId) -> Option<Epoch> {
+        self.by_id.get(&id).map(|&i| self.entries[i].epoch)
+    }
+
+    /// The log position (publication order) of a transaction.
+    pub fn position_of(&self, id: TransactionId) -> Option<usize> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// All entries, in publication order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Transactions published in the given epoch, in publication order.
+    pub fn in_epoch(&self, epoch: Epoch) -> Vec<&Transaction> {
+        self.by_epoch
+            .get(&epoch.as_u64())
+            .map(|positions| positions.iter().map(|&i| &self.entries[i].transaction).collect())
+            .unwrap_or_default()
+    }
+
+    /// Transactions published in epochs `(after, up_to]`, in publication
+    /// order. This is the "relevant transactions" query of the paper: the
+    /// updates a participant has not yet seen.
+    pub fn in_range(&self, after: Epoch, up_to: Epoch) -> Vec<&Transaction> {
+        let mut out = Vec::new();
+        if up_to <= after {
+            return out;
+        }
+        for (_, positions) in self.by_epoch.range((after.as_u64() + 1)..=(up_to.as_u64())) {
+            for &i in positions {
+                out.push(&self.entries[i].transaction);
+            }
+        }
+        out
+    }
+
+    /// Transactions published by a specific participant, in publication order.
+    pub fn by_participant(&self, participant: ParticipantId) -> Vec<&Transaction> {
+        self.entries
+            .iter()
+            .filter(|e| e.transaction.origin() == participant)
+            .map(|e| &e.transaction)
+            .collect()
+    }
+
+    /// The direct antecedents of a transaction (Definition 3's `ante(X)`):
+    /// for each tuple value that `txn` deletes or modifies, the most recently
+    /// published transaction that inserted that tuple value or modified some
+    /// tuple into it.
+    ///
+    /// `before` bounds the search to transactions published strictly before
+    /// the given log position (pass `self.len()` for a transaction not yet in
+    /// the log, or its own position for a published one).
+    pub fn antecedents_of(&self, txn: &Transaction, schema: &Schema, before: usize) -> Vec<TransactionId> {
+        let _ = schema; // antecedent chasing is on exact tuple values
+        let mut out: Vec<TransactionId> = Vec::new();
+        let mut seen: FxHashSet<TransactionId> = FxHashSet::default();
+        for u in txn.updates() {
+            let Some(read) = u.read_tuple() else { continue };
+            let Some(writers) = self.writers.get(&(u.relation.clone(), read.clone())) else {
+                continue;
+            };
+            // Most recent writer strictly before `before`, excluding the
+            // transaction itself.
+            if let Some(&pos) = writers
+                .iter()
+                .rfind(|&&p| p < before && self.entries[p].transaction.id() != txn.id())
+            {
+                let id = self.entries[pos].transaction.id();
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// The transaction extension of Definition 3: the transitive closure of a
+    /// transaction's antecedents, excluding transactions in `already_applied`
+    /// (and their own antecedents are not chased through them), sorted by
+    /// publication order with the root transaction last.
+    ///
+    /// The root transaction itself is always included (as the last element).
+    pub fn transaction_extension(
+        &self,
+        root: &Transaction,
+        schema: &Schema,
+        already_applied: &FxHashSet<TransactionId>,
+    ) -> Vec<TransactionId> {
+        let root_pos = self.position_of(root.id()).unwrap_or(self.entries.len());
+        let mut members: FxHashSet<TransactionId> = FxHashSet::default();
+        let mut stack: Vec<(TransactionId, usize)> = Vec::new();
+        for ante in self.antecedents_of(root, schema, root_pos) {
+            if !already_applied.contains(&ante) && members.insert(ante) {
+                if let Some(pos) = self.position_of(ante) {
+                    stack.push((ante, pos));
+                }
+            }
+        }
+        while let Some((id, pos)) = stack.pop() {
+            if let Some(txn) = self.get(id) {
+                let txn = txn.clone();
+                for ante in self.antecedents_of(&txn, schema, pos) {
+                    if !already_applied.contains(&ante) && members.insert(ante) {
+                        if let Some(p) = self.position_of(ante) {
+                            stack.push((ante, p));
+                        }
+                    }
+                }
+            }
+        }
+        let mut ordered: Vec<TransactionId> = members.into_iter().collect();
+        ordered.sort_by_key(|id| self.position_of(*id).unwrap_or(usize::MAX));
+        ordered.push(root.id());
+        ordered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::Update;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn txn(participant: u32, local: u64, updates: Vec<Update>) -> Transaction {
+        Transaction::from_parts(p(participant), local, updates).unwrap()
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let mut log = TransactionLog::new();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        log.publish(Epoch(1), x.clone()).unwrap();
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+        assert_eq!(log.get(x.id()).unwrap(), &x);
+        assert_eq!(log.epoch_of(x.id()), Some(Epoch(1)));
+        assert_eq!(log.position_of(x.id()), Some(0));
+        assert!(log.get(TransactionId::new(p(9), 9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_publication_rejected() {
+        let mut log = TransactionLog::new();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        log.publish(Epoch(1), x.clone()).unwrap();
+        assert!(log.publish(Epoch(2), x).is_err());
+    }
+
+    #[test]
+    fn epoch_and_range_queries() {
+        let mut log = TransactionLog::new();
+        let x1 = txn(1, 0, vec![Update::insert("Function", func("a", "p1", "f1"), p(1))]);
+        let x2 = txn(2, 0, vec![Update::insert("Function", func("b", "p2", "f2"), p(2))]);
+        let x3 = txn(1, 1, vec![Update::insert("Function", func("c", "p3", "f3"), p(1))]);
+        log.publish(Epoch(1), x1.clone()).unwrap();
+        log.publish(Epoch(2), x2.clone()).unwrap();
+        log.publish(Epoch(4), x3.clone()).unwrap();
+
+        assert_eq!(log.in_epoch(Epoch(2)), vec![&x2]);
+        assert!(log.in_epoch(Epoch(3)).is_empty());
+        assert_eq!(log.in_range(Epoch(0), Epoch(4)).len(), 3);
+        assert_eq!(log.in_range(Epoch(1), Epoch(4)), vec![&x2, &x3]);
+        assert_eq!(log.in_range(Epoch(4), Epoch(4)).len(), 0);
+        assert_eq!(log.by_participant(p(1)), vec![&x1, &x3]);
+    }
+
+    #[test]
+    fn antecedents_follow_written_tuples() {
+        let schema = bioinformatics_schema();
+        let mut log = TransactionLog::new();
+        // X3:0 inserts, X3:1 modifies the inserted value: antecedent of X3:1
+        // is X3:0.
+        let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))]);
+        let x1 = txn(
+            3,
+            1,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "cell-metab"),
+                func("rat", "prot1", "immune"),
+                p(3),
+            )],
+        );
+        log.publish(Epoch(1), x0.clone()).unwrap();
+        log.publish(Epoch(1), x1.clone()).unwrap();
+        let antes = log.antecedents_of(&x1, &schema, log.position_of(x1.id()).unwrap());
+        assert_eq!(antes, vec![x0.id()]);
+        // The insert has no antecedent.
+        let antes0 = log.antecedents_of(&x0, &schema, 0);
+        assert!(antes0.is_empty());
+    }
+
+    #[test]
+    fn antecedents_pick_latest_writer() {
+        let schema = bioinformatics_schema();
+        let mut log = TransactionLog::new();
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "v"), p(1))]);
+        let x1 = txn(
+            1,
+            1,
+            vec![
+                Update::delete("Function", func("rat", "prot1", "v"), p(1)),
+                Update::insert("Function", func("rat", "prot1", "v"), p(1)),
+            ],
+        );
+        let x2 = txn(2, 0, vec![Update::delete("Function", func("rat", "prot1", "v"), p(2))]);
+        log.publish(Epoch(1), x0).unwrap();
+        log.publish(Epoch(2), x1.clone()).unwrap();
+        log.publish(Epoch(3), x2.clone()).unwrap();
+        let antes = log.antecedents_of(&x2, &schema, log.position_of(x2.id()).unwrap());
+        assert_eq!(antes, vec![x1.id()]);
+    }
+
+    #[test]
+    fn transaction_extension_transitively_closes() {
+        let schema = bioinformatics_schema();
+        let mut log = TransactionLog::new();
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))]);
+        let x1 = txn(
+            2,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "a"),
+                func("rat", "prot1", "b"),
+                p(2),
+            )],
+        );
+        let x2 = txn(
+            3,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "b"),
+                func("rat", "prot1", "c"),
+                p(3),
+            )],
+        );
+        log.publish(Epoch(1), x0.clone()).unwrap();
+        log.publish(Epoch(2), x1.clone()).unwrap();
+        log.publish(Epoch(3), x2.clone()).unwrap();
+
+        let ext = log.transaction_extension(&x2, &schema, &FxHashSet::default());
+        assert_eq!(ext, vec![x0.id(), x1.id(), x2.id()]);
+
+        // If the middle transaction is already applied, the chase stops there.
+        let mut applied = FxHashSet::default();
+        applied.insert(x1.id());
+        let ext = log.transaction_extension(&x2, &schema, &applied);
+        assert_eq!(ext, vec![x2.id()]);
+    }
+
+    #[test]
+    fn rebuild_indexes_after_serde() {
+        let schema = bioinformatics_schema();
+        let mut log = TransactionLog::new();
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))]);
+        let x1 = txn(
+            2,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "a"),
+                func("rat", "prot1", "b"),
+                p(2),
+            )],
+        );
+        log.publish(Epoch(1), x0.clone()).unwrap();
+        log.publish(Epoch(2), x1.clone()).unwrap();
+        let json = serde_json::to_string(&log).unwrap();
+        let mut back: TransactionLog = serde_json::from_str(&json).unwrap();
+        back.rebuild_indexes();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(x0.id()).unwrap(), &x0);
+        let ext = back.transaction_extension(&x1, &schema, &FxHashSet::default());
+        assert_eq!(ext.len(), 2);
+    }
+}

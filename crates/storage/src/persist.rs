@@ -1,0 +1,115 @@
+//! JSON persistence for database instances and transaction logs.
+//!
+//! Participants in the paper publish their instance alongside their update
+//! log; persisting an instance to a file is how an Orchestra deployment would
+//! checkpoint or exchange full instances out of band. The format is plain
+//! JSON so it stays debuggable and diffable.
+
+use crate::database::Database;
+use crate::error::{Result, StorageError};
+use crate::log::TransactionLog;
+use std::fs;
+use std::path::Path;
+
+/// Serialises a database instance to a JSON string.
+pub fn database_to_json(db: &Database) -> Result<String> {
+    serde_json::to_string_pretty(db).map_err(|e| StorageError::Persistence(e.to_string()))
+}
+
+/// Restores a database instance from a JSON string.
+pub fn database_from_json(json: &str) -> Result<Database> {
+    serde_json::from_str(json).map_err(|e| StorageError::Persistence(e.to_string()))
+}
+
+/// Writes a database instance to a file as JSON.
+pub fn save_database(db: &Database, path: &Path) -> Result<()> {
+    let json = database_to_json(db)?;
+    fs::write(path, json).map_err(|e| StorageError::Persistence(e.to_string()))
+}
+
+/// Reads a database instance from a JSON file.
+pub fn load_database(path: &Path) -> Result<Database> {
+    let json = fs::read_to_string(path).map_err(|e| StorageError::Persistence(e.to_string()))?;
+    database_from_json(&json)
+}
+
+/// Serialises a transaction log to a JSON string.
+pub fn log_to_json(log: &TransactionLog) -> Result<String> {
+    serde_json::to_string_pretty(log).map_err(|e| StorageError::Persistence(e.to_string()))
+}
+
+/// Restores a transaction log from a JSON string, rebuilding its indexes.
+pub fn log_from_json(json: &str) -> Result<TransactionLog> {
+    let mut log: TransactionLog =
+        serde_json::from_str(json).map_err(|e| StorageError::Persistence(e.to_string()))?;
+    log.rebuild_indexes();
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{Epoch, ParticipantId, Transaction, Tuple, Update};
+
+    #[test]
+    fn database_json_round_trip() {
+        let mut db = Database::new(bioinformatics_schema());
+        db.apply_update(&Update::insert(
+            "Function",
+            Tuple::of_text(&["rat", "prot1", "immune"]),
+            ParticipantId(1),
+        ))
+        .unwrap();
+        let json = database_to_json(&db).unwrap();
+        let back = database_from_json(&json).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn database_file_round_trip() {
+        let mut db = Database::new(bioinformatics_schema());
+        db.apply_update(&Update::insert(
+            "Function",
+            Tuple::of_text(&["mouse", "prot2", "immune"]),
+            ParticipantId(2),
+        ))
+        .unwrap();
+        let dir = std::env::temp_dir().join("orchestra-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("instance.json");
+        save_database(&db, &path).unwrap();
+        let back = load_database(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_json_is_reported() {
+        assert!(matches!(
+            database_from_json("{not json"),
+            Err(StorageError::Persistence(_))
+        ));
+        assert!(load_database(Path::new("/nonexistent/orchestra.json")).is_err());
+    }
+
+    #[test]
+    fn log_json_round_trip_preserves_queries() {
+        let mut log = TransactionLog::new();
+        let txn = Transaction::from_parts(
+            ParticipantId(1),
+            0,
+            vec![Update::insert(
+                "Function",
+                Tuple::of_text(&["rat", "prot1", "a"]),
+                ParticipantId(1),
+            )],
+        )
+        .unwrap();
+        log.publish(Epoch(1), txn.clone()).unwrap();
+        let json = log_to_json(&log).unwrap();
+        let back = log_from_json(&json).unwrap();
+        assert_eq!(back.get(txn.id()).unwrap(), &txn);
+        assert_eq!(back.in_epoch(Epoch(1)).len(), 1);
+    }
+}

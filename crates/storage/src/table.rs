@@ -1,0 +1,432 @@
+//! A single relation: primary-key-indexed rows plus optional secondary
+//! indexes.
+
+use crate::error::{Result, StorageError};
+use orchestra_model::{KeyValue, RelationSchema, Tuple, Value};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A non-unique secondary index over a subset of columns.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+struct SecondaryIndex {
+    /// Column indexes this index covers, in order.
+    columns: Vec<usize>,
+    /// Index data: projected values -> primary keys of matching rows.
+    entries: BTreeMap<Vec<Value>, Vec<KeyValue>>,
+}
+
+impl SecondaryIndex {
+    fn new(columns: Vec<usize>) -> Self {
+        SecondaryIndex { columns, entries: BTreeMap::new() }
+    }
+
+    fn project(&self, tuple: &Tuple) -> Vec<Value> {
+        tuple.project(&self.columns)
+    }
+
+    fn add(&mut self, tuple: &Tuple, key: &KeyValue) {
+        self.entries.entry(self.project(tuple)).or_default().push(key.clone());
+    }
+
+    fn remove(&mut self, tuple: &Tuple, key: &KeyValue) {
+        let proj = self.project(tuple);
+        if let Some(keys) = self.entries.get_mut(&proj) {
+            keys.retain(|k| k != key);
+            if keys.is_empty() {
+                self.entries.remove(&proj);
+            }
+        }
+    }
+}
+
+/// A relation instance: rows indexed by primary key, plus any number of
+/// named secondary indexes.
+///
+/// Serialisation uses a row-list representation ([`TableRepr`]) because JSON
+/// cannot encode structured map keys; indexes are rebuilt on deserialisation.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[serde(from = "TableRepr", into = "TableRepr")]
+pub struct Table {
+    schema: RelationSchema,
+    rows: BTreeMap<KeyValue, Tuple>,
+    indexes: FxHashMap<String, SecondaryIndex>,
+}
+
+/// Serialised form of a [`Table`]: the schema, the rows, and the secondary
+/// index definitions by column name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TableRepr {
+    schema: RelationSchema,
+    rows: Vec<Tuple>,
+    indexes: Vec<(String, Vec<String>)>,
+}
+
+impl From<Table> for TableRepr {
+    fn from(table: Table) -> Self {
+        let indexes = table
+            .indexes
+            .iter()
+            .map(|(name, idx)| {
+                let cols = idx
+                    .columns
+                    .iter()
+                    .map(|&i| table.schema.columns()[i].name.clone())
+                    .collect();
+                (name.clone(), cols)
+            })
+            .collect();
+        TableRepr { rows: table.rows.values().cloned().collect(), schema: table.schema, indexes }
+    }
+}
+
+impl From<TableRepr> for Table {
+    fn from(repr: TableRepr) -> Self {
+        let mut table = Table::new(repr.schema);
+        for (name, cols) in &repr.indexes {
+            let cols: Vec<&str> = cols.iter().map(String::as_str).collect();
+            // Index definitions were valid when serialised.
+            let _ = table.create_index(name.clone(), &cols);
+        }
+        for row in repr.rows {
+            // Rows were valid and key-unique when serialised.
+            let _ = table.insert(row);
+        }
+        table
+    }
+}
+
+impl Table {
+    /// Creates an empty table for the given relation schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        Table { schema, rows: BTreeMap::new(), indexes: FxHashMap::default() }
+    }
+
+    /// The relation schema of this table.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns true if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up a row by primary key.
+    pub fn get(&self, key: &KeyValue) -> Option<&Tuple> {
+        self.rows.get(key)
+    }
+
+    /// Returns true if the table contains exactly this tuple.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.rows.get(&self.schema.key_of(tuple)) == Some(tuple)
+    }
+
+    /// Iterates over all rows in primary-key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&KeyValue, &Tuple)> {
+        self.rows.iter()
+    }
+
+    /// All rows, in primary-key order.
+    pub fn rows(&self) -> Vec<Tuple> {
+        self.rows.values().cloned().collect()
+    }
+
+    /// Declares a named secondary index over the given columns. Existing rows
+    /// are indexed immediately.
+    pub fn create_index(&mut self, name: impl Into<String>, columns: &[&str]) -> Result<()> {
+        let col_idx: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.column_index(c))
+            .collect::<std::result::Result<_, _>>()?;
+        let mut index = SecondaryIndex::new(col_idx);
+        for (key, tuple) in &self.rows {
+            index.add(tuple, key);
+        }
+        self.indexes.insert(name.into(), index);
+        Ok(())
+    }
+
+    /// Looks up rows via a secondary index. Returns `None` if the index does
+    /// not exist; otherwise the matching tuples (possibly empty).
+    pub fn index_lookup(&self, index: &str, values: &[Value]) -> Option<Vec<Tuple>> {
+        let idx = self.indexes.get(index)?;
+        let keys = idx.entries.get(values).cloned().unwrap_or_default();
+        Some(keys.iter().filter_map(|k| self.rows.get(k).cloned()).collect())
+    }
+
+    /// Validates and inserts a tuple. Inserting a tuple identical to one
+    /// already present is a no-op; inserting a different tuple under an
+    /// existing key is a [`StorageError::DuplicateKey`].
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        self.schema.validate_tuple(&tuple)?;
+        let key = self.schema.key_of(&tuple);
+        match self.rows.get(&key) {
+            Some(existing) if *existing == tuple => Ok(()),
+            Some(_) => Err(StorageError::DuplicateKey {
+                relation: self.schema.name().to_owned(),
+                key: key.to_string(),
+            }),
+            None => {
+                for idx in self.indexes.values_mut() {
+                    idx.add(&tuple, &key);
+                }
+                self.rows.insert(key, tuple);
+                Ok(())
+            }
+        }
+    }
+
+    /// Deletes the given tuple. The tuple named by the update must match the
+    /// stored row exactly; deleting an absent tuple is
+    /// [`StorageError::MissingTuple`] and deleting a row whose value has
+    /// diverged is [`StorageError::StaleTuple`].
+    pub fn delete(&mut self, tuple: &Tuple) -> Result<()> {
+        let key = self.schema.key_of(tuple);
+        match self.rows.get(&key) {
+            None => Err(StorageError::MissingTuple {
+                relation: self.schema.name().to_owned(),
+                tuple: tuple.to_string(),
+            }),
+            Some(existing) if existing != tuple => Err(StorageError::StaleTuple {
+                relation: self.schema.name().to_owned(),
+                expected: tuple.to_string(),
+                found: existing.to_string(),
+            }),
+            Some(_) => {
+                for idx in self.indexes.values_mut() {
+                    idx.remove(tuple, &key);
+                }
+                self.rows.remove(&key);
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces `from` with `to`. The `from` tuple must be present exactly;
+    /// if the key changes, the new key must not collide with another row.
+    pub fn modify(&mut self, from: &Tuple, to: Tuple) -> Result<()> {
+        self.schema.validate_tuple(&to)?;
+        let from_key = self.schema.key_of(from);
+        let to_key = self.schema.key_of(&to);
+        match self.rows.get(&from_key) {
+            None => {
+                return Err(StorageError::MissingTuple {
+                    relation: self.schema.name().to_owned(),
+                    tuple: from.to_string(),
+                })
+            }
+            Some(existing) if existing != from => {
+                return Err(StorageError::StaleTuple {
+                    relation: self.schema.name().to_owned(),
+                    expected: from.to_string(),
+                    found: existing.to_string(),
+                })
+            }
+            Some(_) => {}
+        }
+        if to_key != from_key {
+            if let Some(other) = self.rows.get(&to_key) {
+                if *other != to {
+                    return Err(StorageError::DuplicateKey {
+                        relation: self.schema.name().to_owned(),
+                        key: to_key.to_string(),
+                    });
+                }
+            }
+        }
+        for idx in self.indexes.values_mut() {
+            idx.remove(from, &from_key);
+            idx.add(&to, &to_key);
+        }
+        self.rows.remove(&from_key);
+        self.rows.insert(to_key, to);
+        Ok(())
+    }
+
+    /// Checks whether an insertion of `tuple` would succeed, without applying
+    /// it.
+    pub fn can_insert(&self, tuple: &Tuple) -> bool {
+        if self.schema.validate_tuple(tuple).is_err() {
+            return false;
+        }
+        match self.rows.get(&self.schema.key_of(tuple)) {
+            Some(existing) => existing == tuple,
+            None => true,
+        }
+    }
+
+    /// Checks whether a deletion of `tuple` would succeed.
+    pub fn can_delete(&self, tuple: &Tuple) -> bool {
+        self.rows.get(&self.schema.key_of(tuple)) == Some(tuple)
+    }
+
+    /// Checks whether replacing `from` with `to` would succeed.
+    pub fn can_modify(&self, from: &Tuple, to: &Tuple) -> bool {
+        if self.schema.validate_tuple(to).is_err() {
+            return false;
+        }
+        if self.rows.get(&self.schema.key_of(from)) != Some(from) {
+            return false;
+        }
+        let from_key = self.schema.key_of(from);
+        let to_key = self.schema.key_of(to);
+        if to_key != from_key {
+            match self.rows.get(&to_key) {
+                Some(other) => other == to,
+                None => true,
+            }
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+
+    fn function_table() -> Table {
+        Table::new(bioinformatics_schema().relation("Function").unwrap().clone())
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    #[test]
+    fn insert_get_and_contains() {
+        let mut t = function_table();
+        assert!(t.is_empty());
+        t.insert(func("rat", "prot1", "immune")).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&func("rat", "prot1", "immune")));
+        assert!(!t.contains(&func("rat", "prot1", "cell-resp")));
+        let key = KeyValue::of_text(&["rat", "prot1"]);
+        assert_eq!(t.get(&key).unwrap(), &func("rat", "prot1", "immune"));
+    }
+
+    #[test]
+    fn duplicate_inserts() {
+        let mut t = function_table();
+        t.insert(func("rat", "prot1", "immune")).unwrap();
+        // Identical insert is a no-op.
+        t.insert(func("rat", "prot1", "immune")).unwrap();
+        assert_eq!(t.len(), 1);
+        // Divergent insert under the same key is an error.
+        let err = t.insert(func("rat", "prot1", "cell-resp")).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn delete_requires_exact_match() {
+        let mut t = function_table();
+        t.insert(func("rat", "prot1", "immune")).unwrap();
+        let missing = t.delete(&func("mouse", "prot2", "x")).unwrap_err();
+        assert!(matches!(missing, StorageError::MissingTuple { .. }));
+        let stale = t.delete(&func("rat", "prot1", "cell-resp")).unwrap_err();
+        assert!(matches!(stale, StorageError::StaleTuple { .. }));
+        t.delete(&func("rat", "prot1", "immune")).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn modify_in_place_and_key_change() {
+        let mut t = function_table();
+        t.insert(func("rat", "prot1", "cell-metab")).unwrap();
+        t.modify(&func("rat", "prot1", "cell-metab"), func("rat", "prot1", "immune")).unwrap();
+        assert!(t.contains(&func("rat", "prot1", "immune")));
+
+        // Key-changing modify, as in the paper's X3:3.
+        t.insert(func("mouse", "prot2", "cell-resp")).unwrap();
+        t.modify(&func("mouse", "prot2", "cell-resp"), func("mouse", "prot3", "cell-resp"))
+            .unwrap();
+        assert!(t.get(&KeyValue::of_text(&["mouse", "prot2"])).is_none());
+        assert!(t.contains(&func("mouse", "prot3", "cell-resp")));
+    }
+
+    #[test]
+    fn modify_collision_detected() {
+        let mut t = function_table();
+        t.insert(func("rat", "prot1", "a")).unwrap();
+        t.insert(func("rat", "prot2", "b")).unwrap();
+        let err = t
+            .modify(&func("rat", "prot1", "a"), func("rat", "prot2", "c"))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn modify_of_missing_or_stale_tuple_fails() {
+        let mut t = function_table();
+        assert!(matches!(
+            t.modify(&func("rat", "prot1", "a"), func("rat", "prot1", "b")),
+            Err(StorageError::MissingTuple { .. })
+        ));
+        t.insert(func("rat", "prot1", "x")).unwrap();
+        assert!(matches!(
+            t.modify(&func("rat", "prot1", "a"), func("rat", "prot1", "b")),
+            Err(StorageError::StaleTuple { .. })
+        ));
+    }
+
+    #[test]
+    fn can_apply_probes_match_apply_behaviour() {
+        let mut t = function_table();
+        t.insert(func("rat", "prot1", "a")).unwrap();
+        assert!(t.can_insert(&func("mouse", "prot2", "b")));
+        assert!(t.can_insert(&func("rat", "prot1", "a")));
+        assert!(!t.can_insert(&func("rat", "prot1", "z")));
+        assert!(t.can_delete(&func("rat", "prot1", "a")));
+        assert!(!t.can_delete(&func("rat", "prot1", "z")));
+        assert!(t.can_modify(&func("rat", "prot1", "a"), &func("rat", "prot1", "b")));
+        assert!(!t.can_modify(&func("rat", "prot1", "z"), &func("rat", "prot1", "b")));
+        assert!(!t.can_insert(&Tuple::of_text(&["wrong-arity"])));
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut t = function_table();
+        t.create_index("by_function", &["function"]).unwrap();
+        t.insert(func("rat", "prot1", "immune")).unwrap();
+        t.insert(func("mouse", "prot2", "immune")).unwrap();
+        t.insert(func("dog", "prot3", "cell-resp")).unwrap();
+        let immune = t.index_lookup("by_function", &[Value::text("immune")]).unwrap();
+        assert_eq!(immune.len(), 2);
+        let none = t.index_lookup("by_function", &[Value::text("nothing")]).unwrap();
+        assert!(none.is_empty());
+        assert!(t.index_lookup("missing_index", &[Value::text("x")]).is_none());
+
+        // Index is maintained across deletes and modifies.
+        t.delete(&func("rat", "prot1", "immune")).unwrap();
+        t.modify(&func("mouse", "prot2", "immune"), func("mouse", "prot2", "cell-resp"))
+            .unwrap();
+        let immune = t.index_lookup("by_function", &[Value::text("immune")]).unwrap();
+        assert!(immune.is_empty());
+        let resp = t.index_lookup("by_function", &[Value::text("cell-resp")]).unwrap();
+        assert_eq!(resp.len(), 2);
+    }
+
+    #[test]
+    fn index_on_unknown_column_is_an_error() {
+        let mut t = function_table();
+        assert!(t.create_index("bad", &["nope"]).is_err());
+    }
+
+    #[test]
+    fn rows_are_returned_in_key_order() {
+        let mut t = function_table();
+        t.insert(func("zebra", "prot9", "a")).unwrap();
+        t.insert(func("ant", "prot1", "b")).unwrap();
+        let rows = t.rows();
+        assert_eq!(rows[0], func("ant", "prot1", "b"));
+        assert_eq!(rows[1], func("zebra", "prot9", "a"));
+        assert_eq!(t.iter().count(), 2);
+    }
+}

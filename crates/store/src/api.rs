@@ -1,0 +1,136 @@
+//! The update-store interface shared by the centralised and distributed
+//! implementations.
+
+use orchestra_model::{
+    Epoch, ParticipantId, ReconciliationId, Transaction, TransactionId, TrustPolicy,
+};
+use orchestra_recon::CandidateTransaction;
+use orchestra_storage::Result;
+use rustc_hash::FxHashSet;
+use std::time::Duration;
+
+/// The result of starting a reconciliation at the update store: the epoch the
+/// reconciliation is pinned to and the relevant (fully trusted, undecided)
+/// transactions, each with its priority and transaction extension already
+/// computed store-side — only relevant transactions and their extensions
+/// travel to the reconciling peer.
+#[derive(Debug, Clone)]
+pub struct RelevantTransactions {
+    /// The reconciliation number assigned by the store.
+    pub recno: ReconciliationId,
+    /// The largest stable epoch at the time of the call; the reconciliation
+    /// covers all transactions published after the participant's previous
+    /// reconciliation epoch up to and including this one.
+    pub epoch: Epoch,
+    /// The candidate transactions, in publication order.
+    pub candidates: Vec<CandidateTransaction>,
+}
+
+/// Timing breakdown accumulated inside the update store, used to reproduce
+/// the paper's store-time vs. local-time split (Figures 10 and 12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreTiming {
+    /// Time spent computing inside the store (trust evaluation, extension
+    /// computation, log and epoch bookkeeping).
+    pub compute: Duration,
+    /// Simulated network latency charged by the store's message protocol
+    /// (zero for the centralised store, which the paper accesses over a fast
+    /// LAN with a constant number of round trips).
+    pub network: Duration,
+}
+
+impl StoreTiming {
+    /// Total store-side time.
+    pub fn total(&self) -> Duration {
+        self.compute + self.network
+    }
+
+    /// Adds another breakdown to this one.
+    pub fn accumulate(&mut self, other: StoreTiming) {
+        self.compute += other.compute;
+        self.network += other.network;
+    }
+}
+
+/// The update store interface used by participants.
+///
+/// Every implementation provides the operations listed in Section 5.2 of the
+/// paper: publish transactions, record reconciliations and decisions,
+/// retrieve the relevant transactions (with priorities and extensions) for a
+/// reconciliation, and expose the participant's durable accepted/rejected
+/// record.
+pub trait UpdateStore {
+    /// Registers a participant and its trust policy. Trust predicates are
+    /// evaluated inside the store so that only relevant transactions are sent
+    /// to the reconciling peer.
+    fn register_participant(&mut self, policy: TrustPolicy);
+
+    /// Publishes a batch of transactions from a peer as one epoch. The store
+    /// marks the publisher's own transactions as already accepted by it.
+    /// Returns the epoch assigned to the batch.
+    fn publish(
+        &mut self,
+        participant: ParticipantId,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch>;
+
+    /// Starts a reconciliation for a participant: pins it to the largest
+    /// stable epoch, records it, and returns the relevant trusted
+    /// transactions together with their priorities and transaction
+    /// extensions.
+    fn begin_reconciliation(&mut self, participant: ParticipantId)
+        -> Result<RelevantTransactions>;
+
+    /// Records the accept/reject decisions a participant made during a
+    /// reconciliation (deferred transactions stay soft at the client).
+    fn record_decisions(
+        &mut self,
+        participant: ParticipantId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<()>;
+
+    /// The participant's most recent reconciliation number.
+    fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId;
+
+    /// The set of transactions the participant has rejected so far.
+    fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId>;
+
+    /// The set of transactions the participant has accepted so far.
+    fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId>;
+
+    /// Looks up a published transaction by id.
+    fn transaction(&self, id: TransactionId) -> Option<Transaction>;
+
+    /// The transactions the participant has accepted, in publication order —
+    /// the replay stream that reconstructs a participant's instance up to its
+    /// last reconciliation (the paper's soft-state property). This is a
+    /// recovery path and is not charged to the reconciliation cost model.
+    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Transaction>;
+
+    /// Returns and resets the store-side timing accumulated since the last
+    /// call.
+    fn take_timing(&mut self) -> StoreTiming;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_timing_accumulates_and_totals() {
+        let mut a = StoreTiming {
+            compute: Duration::from_millis(2),
+            network: Duration::from_millis(3),
+        };
+        let b = StoreTiming {
+            compute: Duration::from_millis(5),
+            network: Duration::from_millis(7),
+        };
+        a.accumulate(b);
+        assert_eq!(a.compute, Duration::from_millis(7));
+        assert_eq!(a.network, Duration::from_millis(10));
+        assert_eq!(a.total(), Duration::from_millis(17));
+        assert_eq!(StoreTiming::default().total(), Duration::ZERO);
+    }
+}

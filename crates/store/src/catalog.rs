@@ -1,0 +1,334 @@
+//! Shared store-side catalogue used by both update-store implementations.
+//!
+//! The centralised and DHT stores hold logically identical state: the epoch
+//! registry, the published-transaction log, the per-participant decision
+//! record, and the registered trust policies. They differ in *where* that
+//! state lives and what communication is charged to access it. This module
+//! factors out the logical state and the store-side computations (trust
+//! evaluation and transaction-extension construction), so each store
+//! implementation only adds its own cost model.
+
+use orchestra_model::{
+    Epoch, ParticipantId, Priority, ReconciliationId, Schema, Transaction, TransactionId,
+    TrustPolicy,
+};
+use orchestra_recon::CandidateTransaction;
+use orchestra_storage::{Decision, DecisionLog, EpochRegistry, Result, TransactionLog};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// The logical contents of an update store.
+#[derive(Debug, Clone)]
+pub struct StoreCatalog {
+    schema: Schema,
+    registry: EpochRegistry,
+    log: TransactionLog,
+    decisions: DecisionLog,
+    policies: FxHashMap<ParticipantId, TrustPolicy>,
+}
+
+impl StoreCatalog {
+    /// Creates an empty catalogue for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        StoreCatalog {
+            schema,
+            registry: EpochRegistry::new(),
+            log: TransactionLog::new(),
+            decisions: DecisionLog::new(),
+            policies: FxHashMap::default(),
+        }
+    }
+
+    /// The schema the store serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The published-transaction log.
+    pub fn log(&self) -> &TransactionLog {
+        &self.log
+    }
+
+    /// The epoch registry.
+    pub fn registry(&self) -> &EpochRegistry {
+        &self.registry
+    }
+
+    /// Registers (or replaces) a participant's trust policy.
+    pub fn register_policy(&mut self, policy: TrustPolicy) {
+        self.policies.insert(policy.owner(), policy);
+    }
+
+    /// The trust policy of a participant, if registered.
+    pub fn policy(&self, participant: ParticipantId) -> Option<&TrustPolicy> {
+        self.policies.get(&participant)
+    }
+
+    /// All registered participants.
+    pub fn participants(&self) -> Vec<ParticipantId> {
+        let mut ids: Vec<ParticipantId> = self.policies.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Publishes a batch of transactions from a peer as one epoch, marking
+    /// the publisher's own transactions as accepted by it.
+    pub fn publish(
+        &mut self,
+        participant: ParticipantId,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        let epoch = self.registry.begin_publish(participant);
+        for txn in transactions {
+            let id = txn.id();
+            self.log.publish(epoch, txn)?;
+            self.decisions.record(participant, id, Decision::Accepted);
+        }
+        self.registry.finish_publish(epoch)?;
+        Ok(epoch)
+    }
+
+    /// Pins a reconciliation for the participant to the largest stable epoch
+    /// and returns `(recno, previous epoch, reconciliation epoch)`.
+    pub fn begin_reconciliation(
+        &mut self,
+        participant: ParticipantId,
+    ) -> (ReconciliationId, Epoch, Epoch) {
+        let recno = self.decisions.next_reconciliation_id(participant);
+        let previous = self.decisions.last_reconciliation_epoch(participant);
+        let epoch = self.registry.largest_stable_epoch();
+        self.decisions.record_reconciliation(participant, recno, epoch);
+        (recno, previous, epoch)
+    }
+
+    /// The relevant transactions for a reconciliation: every transaction
+    /// published in `(previous, epoch]` that did not originate at the
+    /// reconciling participant and that it has not already decided.
+    pub fn relevant_transactions(
+        &self,
+        participant: ParticipantId,
+        previous: Epoch,
+        epoch: Epoch,
+    ) -> Vec<Transaction> {
+        self.log
+            .in_range(previous, epoch)
+            .into_iter()
+            .filter(|t| t.origin() != participant)
+            .filter(|t| !self.decisions.is_decided(participant, t.id()))
+            .cloned()
+            .collect()
+    }
+
+    /// The priority the participant's policy assigns to a transaction
+    /// ([`Priority::UNTRUSTED`] if the participant has no registered policy).
+    pub fn priority_for(&self, participant: ParticipantId, txn: &Transaction) -> Priority {
+        self.policies
+            .get(&participant)
+            .map(|p| p.priority_of_transaction(txn, &self.schema))
+            .unwrap_or(Priority::UNTRUSTED)
+    }
+
+    /// Builds the candidate (transaction extension plus priority) for a
+    /// trusted transaction, excluding antecedents the participant has already
+    /// accepted. Returns the candidate together with the number of extension
+    /// members that had to be fetched (used by the DHT store's message
+    /// accounting).
+    pub fn build_candidate(
+        &self,
+        participant: ParticipantId,
+        txn: &Transaction,
+        priority: Priority,
+    ) -> (CandidateTransaction, usize) {
+        let accepted: FxHashSet<TransactionId> =
+            self.decisions.accepted(participant).into_iter().collect();
+        self.build_candidate_with(&accepted, txn, priority)
+    }
+
+    /// Like [`StoreCatalog::build_candidate`] but reuses an already-computed
+    /// accepted set, so callers building many candidates for the same
+    /// reconciliation do not recompute it per transaction.
+    pub fn build_candidate_with(
+        &self,
+        accepted: &FxHashSet<TransactionId>,
+        txn: &Transaction,
+        priority: Priority,
+    ) -> (CandidateTransaction, usize) {
+        let member_ids = self.log.transaction_extension(txn, &self.schema, accepted);
+        let mut members: Vec<Transaction> = Vec::with_capacity(member_ids.len());
+        for id in &member_ids {
+            if *id == txn.id() {
+                continue;
+            }
+            if let Some(t) = self.log.get(*id) {
+                members.push(t.clone());
+            }
+        }
+        let fetched = members.len();
+        (CandidateTransaction::new(txn, priority, members), fetched)
+    }
+
+    /// Records accept/reject decisions for a participant.
+    pub fn record_decisions(
+        &mut self,
+        participant: ParticipantId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) {
+        for id in accepted {
+            self.decisions.record(participant, *id, Decision::Accepted);
+        }
+        for id in rejected {
+            self.decisions.record(participant, *id, Decision::Rejected);
+        }
+    }
+
+    /// The participant's most recent reconciliation number.
+    pub fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
+        self.decisions
+            .last_reconciliation(participant)
+            .map(|(r, _)| r)
+            .unwrap_or_default()
+    }
+
+    /// The participant's rejected set.
+    pub fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+        self.decisions.rejected(participant).into_iter().collect()
+    }
+
+    /// The transactions the participant has accepted, in publication order.
+    /// This is the replay stream used to reconstruct a participant's instance
+    /// from the store (the paper's soft-state property).
+    pub fn accepted_in_publication_order(&self, participant: ParticipantId) -> Vec<Transaction> {
+        let mut accepted: Vec<TransactionId> = self.decisions.accepted(participant);
+        accepted.sort_by_key(|id| self.log.position_of(*id).unwrap_or(usize::MAX));
+        accepted.into_iter().filter_map(|id| self.log.get(id).cloned()).collect()
+    }
+
+    /// The participant's accepted set.
+    pub fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+        self.decisions.accepted(participant).into_iter().collect()
+    }
+
+    /// Looks up a published transaction.
+    pub fn transaction(&self, id: TransactionId) -> Option<Transaction> {
+        self.log.get(id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{Tuple, Update};
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn txn(i: u32, j: u64, updates: Vec<Update>) -> Transaction {
+        Transaction::from_parts(p(i), j, updates).unwrap()
+    }
+
+    fn catalog_with_policies() -> StoreCatalog {
+        let mut cat = StoreCatalog::new(bioinformatics_schema());
+        cat.register_policy(TrustPolicy::new(p(1)).trusting(p(2), 1u32).trusting(p(3), 1u32));
+        cat.register_policy(TrustPolicy::new(p(2)).trusting(p(1), 2u32).trusting(p(3), 1u32));
+        cat.register_policy(TrustPolicy::new(p(3)).trusting(p(2), 1u32));
+        cat
+    }
+
+    #[test]
+    fn publish_assigns_epochs_and_marks_own_accepted() {
+        let mut cat = catalog_with_policies();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        let e = cat.publish(p(3), vec![x.clone()]).unwrap();
+        assert_eq!(e, Epoch(1));
+        assert!(cat.accepted_set(p(3)).contains(&x.id()));
+        assert_eq!(cat.registry().largest_stable_epoch(), Epoch(1));
+        assert_eq!(cat.transaction(x.id()).unwrap(), x);
+        assert_eq!(cat.participants(), vec![p(1), p(2), p(3)]);
+    }
+
+    #[test]
+    fn relevant_transactions_exclude_own_and_decided() {
+        let mut cat = catalog_with_policies();
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        let x2 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+        cat.publish(p(3), vec![x3.clone()]).unwrap();
+        cat.publish(p(2), vec![x2.clone()]).unwrap();
+
+        let (recno, prev, epoch) = cat.begin_reconciliation(p(2));
+        assert_eq!(recno, ReconciliationId(1));
+        assert_eq!(prev, Epoch::ZERO);
+        assert_eq!(epoch, Epoch(2));
+        let relevant = cat.relevant_transactions(p(2), prev, epoch);
+        // p2's own transaction is excluded; p3's is relevant.
+        assert_eq!(relevant.len(), 1);
+        assert_eq!(relevant[0].id(), x3.id());
+
+        // After p2 rejects it, it is no longer relevant.
+        cat.record_decisions(p(2), &[], &[x3.id()]);
+        let relevant = cat.relevant_transactions(p(2), prev, epoch);
+        assert!(relevant.is_empty());
+        assert!(cat.rejected_set(p(2)).contains(&x3.id()));
+    }
+
+    #[test]
+    fn priorities_follow_registered_policies() {
+        let mut cat = catalog_with_policies();
+        let from1 = txn(1, 0, vec![Update::insert("Function", func("a", "b", "c"), p(1))]);
+        cat.publish(p(1), vec![from1.clone()]).unwrap();
+        assert_eq!(cat.priority_for(p(2), &from1), Priority(2));
+        assert_eq!(cat.priority_for(p(3), &from1), Priority::UNTRUSTED);
+        // Unregistered participants trust nothing.
+        assert_eq!(cat.priority_for(p(9), &from1), Priority::UNTRUSTED);
+        assert!(cat.policy(p(1)).is_some());
+        assert!(cat.policy(p(9)).is_none());
+    }
+
+    #[test]
+    fn candidates_include_undecided_antecedents() {
+        let mut cat = catalog_with_policies();
+        let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(3))]);
+        let x1 = txn(
+            2,
+            0,
+            vec![Update::modify("Function", func("rat", "prot1", "v1"), func("rat", "prot1", "v2"), p(2))],
+        );
+        cat.publish(p(3), vec![x0.clone()]).unwrap();
+        cat.publish(p(2), vec![x1.clone()]).unwrap();
+
+        // p1 trusts both; the candidate for x1 must carry x0 as a member.
+        let (cand, fetched) = cat.build_candidate(p(1), &x1, Priority(1));
+        assert_eq!(fetched, 1);
+        assert_eq!(cand.members.len(), 2);
+        assert_eq!(cand.members[0].0, x0.id());
+        assert_eq!(cand.members[1].0, x1.id());
+
+        // Once p1 has accepted x0, the extension stops at x1.
+        cat.record_decisions(p(1), &[x0.id()], &[]);
+        let (cand, fetched) = cat.build_candidate(p(1), &x1, Priority(1));
+        assert_eq!(fetched, 0);
+        assert_eq!(cand.members.len(), 1);
+    }
+
+    #[test]
+    fn reconciliation_epochs_advance() {
+        let mut cat = catalog_with_policies();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        cat.publish(p(3), vec![x]).unwrap();
+        let (r1, _, e1) = cat.begin_reconciliation(p(1));
+        assert_eq!((r1, e1), (ReconciliationId(1), Epoch(1)));
+        assert_eq!(cat.current_reconciliation(p(1)), ReconciliationId(1));
+
+        let y = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+        cat.publish(p(2), vec![y]).unwrap();
+        let (r2, prev, e2) = cat.begin_reconciliation(p(1));
+        assert_eq!(r2, ReconciliationId(2));
+        assert_eq!(prev, Epoch(1));
+        assert_eq!(e2, Epoch(2));
+    }
+}

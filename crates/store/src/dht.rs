@@ -1,0 +1,425 @@
+//! The distributed, DHT-based update store (Section 5.2.2).
+//!
+//! State and computation are spread over the network of peers: one node (the
+//! owner of a predesignated key) is the *epoch allocator*; the owner of the
+//! hash of an epoch number is that epoch's *epoch controller*; the owner of
+//! the hash of a transaction id is its *transaction controller*. Publication
+//! follows the message sequence of the paper's Figure 6, and retrieval of the
+//! transactions needed by a reconciliation follows Figure 7, with antecedent
+//! chains requested one transaction at a time.
+//!
+//! The store's logical contents are identical to the centralised store (the
+//! shared [`StoreCatalog`]); what differs is the cost model: every protocol
+//! message is charged through the simulated network, which adds the
+//! configured per-message latency (500 µs by default, as in the paper's
+//! setup) and counts messages.
+
+use crate::api::{RelevantTransactions, StoreTiming, UpdateStore};
+use crate::catalog::StoreCatalog;
+use orchestra_model::{
+    Epoch, ParticipantId, ReconciliationId, Schema, Transaction, TransactionId, TrustPolicy,
+};
+use orchestra_net::{NetworkStats, NodeId, SimNetwork};
+use orchestra_storage::Result;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::time::{Duration, Instant};
+
+/// Approximate request size in bytes (ids and headers).
+const REQUEST_BYTES: u64 = 64;
+/// Approximate per-update payload size in bytes.
+const UPDATE_BYTES: u64 = 128;
+
+/// Distributed update store over the simulated Pastry-style overlay.
+#[derive(Debug, Clone)]
+pub struct DhtStore {
+    catalog: StoreCatalog,
+    network: SimNetwork,
+    peer_nodes: FxHashMap<ParticipantId, NodeId>,
+    allocator_key: NodeId,
+    timing: StoreTiming,
+}
+
+impl DhtStore {
+    /// Creates an empty DHT store with the paper's 500 µs per-message
+    /// latency.
+    pub fn new(schema: Schema) -> Self {
+        DhtStore::with_latency(schema, Duration::from_micros(SimNetwork::PAPER_LATENCY_US))
+    }
+
+    /// Creates an empty DHT store with a custom per-message latency.
+    pub fn with_latency(schema: Schema, latency: Duration) -> Self {
+        DhtStore {
+            catalog: StoreCatalog::new(schema),
+            network: SimNetwork::with_latency(Vec::new(), latency),
+            peer_nodes: FxHashMap::default(),
+            allocator_key: NodeId::hash_str("orchestra/epoch-allocator"),
+            timing: StoreTiming::default(),
+        }
+    }
+
+    /// The underlying catalogue (for inspection in tests and tools).
+    pub fn catalog(&self) -> &StoreCatalog {
+        &self.catalog
+    }
+
+    /// Cumulative network statistics (messages, hops, bytes, latency).
+    pub fn network_stats(&self) -> NetworkStats {
+        self.network.stats()
+    }
+
+    /// Mutable access to the simulated network, used by the network-centric
+    /// reconciliation mode to charge its additional message pattern. The
+    /// latency charged through this handle is folded into the store timing of
+    /// the next [`UpdateStore::take_timing`] call.
+    pub(crate) fn network_mut(&mut self) -> &mut SimNetwork {
+        &mut self.network
+    }
+
+    /// Folds network latency charged outside the timed catalogue wrapper into
+    /// the store timing (used by the network-centric reconciliation mode).
+    pub(crate) fn record_network_latency(&mut self, micros: u64) {
+        self.timing.network += Duration::from_micros(micros);
+    }
+
+    fn node_of(&self, participant: ParticipantId) -> NodeId {
+        self.peer_nodes
+            .get(&participant)
+            .copied()
+            .unwrap_or_else(|| NodeId::hash_str(&format!("participant-{}", participant.as_u32())))
+    }
+
+    fn epoch_key(epoch: Epoch) -> NodeId {
+        NodeId::hash_str(&format!("epoch/{}", epoch.as_u64()))
+    }
+
+    fn txn_key(id: TransactionId) -> NodeId {
+        NodeId::hash_str(&format!("txn/{}/{}", id.participant.as_u32(), id.local))
+    }
+
+    fn peer_coordinator_key(participant: ParticipantId) -> NodeId {
+        NodeId::hash_str(&format!("coordinator/{}", participant.as_u32()))
+    }
+
+    fn txn_bytes(txn: &Transaction) -> u64 {
+        REQUEST_BYTES + UPDATE_BYTES * txn.len() as u64
+    }
+
+    /// Runs a closure over the catalogue while measuring compute time and the
+    /// network latency the closure charges.
+    fn timed<T>(&mut self, f: impl FnOnce(&mut StoreCatalog, &mut SimNetwork, &DhtKeys) -> T) -> T {
+        let keys = DhtKeys { allocator: self.allocator_key };
+        let net_before = self.network.stats().latency_us;
+        let start = Instant::now();
+        let out = f(&mut self.catalog, &mut self.network, &keys);
+        self.timing.compute += start.elapsed();
+        let net_after = self.network.stats().latency_us;
+        self.timing.network += Duration::from_micros(net_after - net_before);
+        out
+    }
+}
+
+/// Well-known keys of the DHT protocol.
+struct DhtKeys {
+    allocator: NodeId,
+}
+
+impl UpdateStore for DhtStore {
+    fn register_participant(&mut self, policy: TrustPolicy) {
+        let participant = policy.owner();
+        let node = NodeId::hash_str(&format!("participant-{}", participant.as_u32()));
+        self.peer_nodes.insert(participant, node);
+        self.network.join(node);
+        // Trust conditions are distributed to the transaction controllers;
+        // registering them is an out-of-band setup step and is not charged to
+        // reconciliation time.
+        self.catalog.register_policy(policy);
+    }
+
+    fn publish(
+        &mut self,
+        participant: ParticipantId,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        let peer = self.node_of(participant);
+        self.timed(|cat, net, keys| {
+            // Figure 6, messages 1-4: epoch allocation round trip, with the
+            // allocator informing the epoch controller.
+            let allocator = net
+                .send_to_key(peer, keys.allocator, REQUEST_BYTES)
+                .unwrap_or(peer);
+            let epoch_preview = Epoch(cat.registry().latest_allocated().as_u64() + 1);
+            let epoch_controller = net
+                .send_to_key(allocator, DhtStore::epoch_key(epoch_preview), REQUEST_BYTES)
+                .unwrap_or(allocator);
+            net.send_direct(epoch_controller, allocator, REQUEST_BYTES);
+            net.send_direct(allocator, peer, REQUEST_BYTES);
+
+            // The logical publication (epoch allocation + log append).
+            let txn_refs: Vec<(TransactionId, u64)> =
+                transactions.iter().map(|t| (t.id(), DhtStore::txn_bytes(t))).collect();
+            let epoch = cat.publish(participant, transactions)?;
+
+            // Figure 6, message 5: publish the transaction IDs at the epoch
+            // controller; message 6: confirmation.
+            let id_bytes = REQUEST_BYTES + 16 * txn_refs.len() as u64;
+            let controller = net
+                .send_to_key(peer, DhtStore::epoch_key(epoch), id_bytes)
+                .unwrap_or(peer);
+            net.send_direct(controller, peer, REQUEST_BYTES);
+
+            // The peer then sends each transaction to its transaction
+            // controller.
+            for (id, bytes) in txn_refs {
+                net.send_to_key(peer, DhtStore::txn_key(id), bytes);
+            }
+            Ok(epoch)
+        })
+    }
+
+    fn begin_reconciliation(
+        &mut self,
+        participant: ParticipantId,
+    ) -> Result<RelevantTransactions> {
+        let peer = self.node_of(participant);
+        self.timed(|cat, net, keys| {
+            // Ask the epoch allocator for the most recent epoch.
+            net.round_trip(peer, keys.allocator, REQUEST_BYTES, REQUEST_BYTES);
+
+            let (recno, previous, epoch) = cat.begin_reconciliation(participant);
+
+            // Request the contents of every epoch since the previous
+            // reconciliation from its epoch controller.
+            for e in (previous.as_u64() + 1)..=epoch.as_u64() {
+                net.round_trip(peer, DhtStore::epoch_key(Epoch(e)), REQUEST_BYTES, REQUEST_BYTES);
+            }
+
+            // Record the reconciliation epoch at the peer coordinator.
+            net.round_trip(
+                peer,
+                DhtStore::peer_coordinator_key(participant),
+                REQUEST_BYTES,
+                REQUEST_BYTES,
+            );
+
+            // Request every transaction published in the covered epochs from
+            // its transaction controller. Untrusted or irrelevant
+            // transactions still cost a request and a short notification
+            // reply; trusted ones also pull their antecedent chains, one
+            // request per antecedent.
+            let published: Vec<Transaction> = cat
+                .log()
+                .in_range(previous, epoch)
+                .into_iter()
+                .filter(|t| t.origin() != participant)
+                .cloned()
+                .collect();
+            let accepted = cat.accepted_set(participant);
+            let rejected = cat.rejected_set(participant);
+            let mut candidates = Vec::new();
+            for txn in &published {
+                if accepted.contains(&txn.id()) || rejected.contains(&txn.id()) {
+                    continue;
+                }
+                let priority = cat.priority_for(participant, txn);
+                if priority.is_untrusted() {
+                    // Request + "untrusted" notification.
+                    net.round_trip(peer, DhtStore::txn_key(txn.id()), REQUEST_BYTES, REQUEST_BYTES);
+                    continue;
+                }
+                net.round_trip(
+                    peer,
+                    DhtStore::txn_key(txn.id()),
+                    REQUEST_BYTES,
+                    DhtStore::txn_bytes(txn),
+                );
+                let (cand, fetched_members) = cat.build_candidate_with(&accepted, txn, priority);
+                // Each undecided antecedent is fetched from its own
+                // transaction controller.
+                for (member_id, member_updates) in
+                    cand.members.iter().take(fetched_members)
+                {
+                    let bytes = REQUEST_BYTES + UPDATE_BYTES * member_updates.len() as u64;
+                    net.round_trip(peer, DhtStore::txn_key(*member_id), REQUEST_BYTES, bytes);
+                }
+                candidates.push(cand);
+            }
+            Ok(RelevantTransactions { recno, epoch, candidates })
+        })
+    }
+
+    fn record_decisions(
+        &mut self,
+        participant: ParticipantId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<()> {
+        let peer = self.node_of(participant);
+        self.timed(|cat, net, _keys| {
+            // Notify each transaction controller of the decision.
+            for id in accepted.iter().chain(rejected.iter()) {
+                net.send_to_key(peer, DhtStore::txn_key(*id), REQUEST_BYTES);
+            }
+            cat.record_decisions(participant, accepted, rejected);
+        });
+        Ok(())
+    }
+
+    fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
+        self.catalog.current_reconciliation(participant)
+    }
+
+    fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+        self.catalog.rejected_set(participant)
+    }
+
+    fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+        self.catalog.accepted_set(participant)
+    }
+
+    fn transaction(&self, id: TransactionId) -> Option<Transaction> {
+        self.catalog.transaction(id)
+    }
+
+    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Transaction> {
+        self.catalog.accepted_in_publication_order(participant)
+    }
+
+    fn take_timing(&mut self) -> StoreTiming {
+        std::mem::take(&mut self.timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{Tuple, Update};
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn func(org: &str, prot: &str, f: &str) -> Tuple {
+        Tuple::of_text(&[org, prot, f])
+    }
+
+    fn txn(i: u32, j: u64, updates: Vec<Update>) -> Transaction {
+        Transaction::from_parts(p(i), j, updates).unwrap()
+    }
+
+    fn store(n: u32) -> DhtStore {
+        let mut s = DhtStore::new(bioinformatics_schema());
+        for i in 1..=n {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            s.register_participant(policy);
+        }
+        s
+    }
+
+    #[test]
+    fn registration_joins_peers_to_the_overlay() {
+        let s = store(5);
+        assert_eq!(s.network.ring().len(), 5);
+        assert_eq!(s.catalog().participants().len(), 5);
+    }
+
+    #[test]
+    fn publish_charges_protocol_messages() {
+        let mut s = store(5);
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        let before = s.network_stats().messages;
+        let epoch = s.publish(p(3), vec![x]).unwrap();
+        assert_eq!(epoch, Epoch(1));
+        let after = s.network_stats().messages;
+        // At least the six messages of Figure 6 plus one per transaction.
+        assert!(after - before >= 7, "only {} messages charged", after - before);
+        let timing = s.take_timing();
+        assert!(timing.network > Duration::ZERO);
+    }
+
+    #[test]
+    fn reconciliation_charges_per_transaction_and_antecedent_requests() {
+        let mut s = store(5);
+        let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(3))]);
+        let x1 = txn(
+            2,
+            0,
+            vec![Update::modify("Function", func("rat", "prot1", "v1"), func("rat", "prot1", "v2"), p(2))],
+        );
+        s.publish(p(3), vec![x0.clone()]).unwrap();
+        s.publish(p(2), vec![x1.clone()]).unwrap();
+        s.take_timing();
+        let stats_before = s.network_stats().messages;
+
+        let rel = s.begin_reconciliation(p(1)).unwrap();
+        assert_eq!(rel.candidates.len(), 2);
+        let cand_x1 = rel.candidates.iter().find(|c| c.id == x1.id()).unwrap();
+        assert_eq!(cand_x1.members.len(), 2);
+
+        let stats_after = s.network_stats().messages;
+        // Allocator round trip (2) + 2 epoch controllers (4) + coordinator
+        // (2) + 2 transaction requests (4) + 1 antecedent request (2) = 14
+        // minimum.
+        assert!(
+            stats_after - stats_before >= 14,
+            "only {} messages charged",
+            stats_after - stats_before
+        );
+        let timing = s.take_timing();
+        assert!(timing.network >= Duration::from_micros(14 * 500));
+    }
+
+    #[test]
+    fn untrusted_transactions_still_cost_a_notification() {
+        let mut s = DhtStore::new(bioinformatics_schema());
+        // p1 trusts nobody; p2 publishes something.
+        s.register_participant(TrustPolicy::new(p(1)));
+        s.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
+        let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        s.publish(p(2), vec![x]).unwrap();
+        s.take_timing();
+        let before = s.network_stats().messages;
+        let rel = s.begin_reconciliation(p(1)).unwrap();
+        assert!(rel.candidates.is_empty());
+        assert!(s.network_stats().messages > before);
+    }
+
+    #[test]
+    fn decisions_are_recorded_and_charged() {
+        let mut s = store(3);
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        s.publish(p(3), vec![x.clone()]).unwrap();
+        s.begin_reconciliation(p(1)).unwrap();
+        let before = s.network_stats().messages;
+        s.record_decisions(p(1), &[x.id()], &[]).unwrap();
+        assert!(s.network_stats().messages > before);
+        assert!(s.accepted_set(p(1)).contains(&x.id()));
+        assert_eq!(s.current_reconciliation(p(1)), ReconciliationId(1));
+        assert_eq!(s.transaction(x.id()).unwrap(), x);
+    }
+
+    #[test]
+    fn custom_latency_scales_network_time() {
+        let mut fast = DhtStore::with_latency(bioinformatics_schema(), Duration::from_micros(10));
+        fast.register_participant(TrustPolicy::new(p(1)).trusting(p(2), 1u32));
+        fast.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
+        let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        fast.publish(p(2), vec![x]).unwrap();
+        fast.begin_reconciliation(p(1)).unwrap();
+        let fast_time = fast.take_timing().network;
+
+        let mut slow = DhtStore::with_latency(bioinformatics_schema(), Duration::from_millis(5));
+        slow.register_participant(TrustPolicy::new(p(1)).trusting(p(2), 1u32));
+        slow.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
+        let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        slow.publish(p(2), vec![x]).unwrap();
+        slow.begin_reconciliation(p(1)).unwrap();
+        let slow_time = slow.take_timing().network;
+        assert!(slow_time > fast_time);
+    }
+}

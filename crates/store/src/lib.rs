@@ -1,0 +1,32 @@
+//! Update store implementations for the Orchestra CDSS.
+//!
+//! The update store's fundamental role (Section 5.2) is to publish and
+//! retrieve updates, associate each published transaction with a client
+//! reconciliation, and hold the per-participant accepted/rejected record so
+//! that clients carry only soft state. This crate provides:
+//!
+//! * [`UpdateStore`] — the store interface used by participants.
+//! * [`CentralStore`] — the centralised implementation backed by the
+//!   `orchestra-storage` engine (the paper's RDBMS-based store,
+//!   Section 5.2.1), with decoupled publish/reconcile epochs and store-side
+//!   trust-predicate and update-extension evaluation.
+//! * [`DhtStore`] — the distributed implementation over the simulated
+//!   Pastry-style overlay (the paper's FreePastry-based store,
+//!   Section 5.2.2), with an epoch allocator, per-epoch epoch controllers and
+//!   per-transaction transaction controllers, charging one simulated message
+//!   per protocol step of the paper's Figures 6 and 7.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod catalog;
+pub mod central;
+pub mod dht;
+pub mod network_centric;
+
+pub use api::{RelevantTransactions, StoreTiming, UpdateStore};
+pub use catalog::StoreCatalog;
+pub use central::CentralStore;
+pub use dht::DhtStore;
+pub use network_centric::NetworkCentricPlan;

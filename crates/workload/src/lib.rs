@@ -1,0 +1,24 @@
+//! Synthetic SWISS-PROT-style workload generation and experiment scenarios.
+//!
+//! The paper evaluates Orchestra on a synthetic workload modelled after the
+//! process of updating a curated bioinformatics database: transactions of
+//! insertions and replacements over a `Function(organism, protein, function)`
+//! relation, with update values drawn from a Zipfian distribution (s = 1.5)
+//! over the set of protein functions, and an average of 7.3 cross-reference
+//! tuples inserted into a secondary table for every newly inserted primary
+//! key. This crate reproduces that generator and adds a scenario driver that
+//! runs whole multi-participant experiments and reports the paper's metrics
+//! (state ratio, store time, local time).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod scenario;
+pub mod swissprot;
+pub mod zipf;
+
+pub use generator::{WorkloadConfig, WorkloadGenerator};
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioResult};
+pub use swissprot::SwissProtPools;
+pub use zipf::ZipfSampler;

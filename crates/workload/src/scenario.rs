@@ -1,0 +1,236 @@
+//! End-to-end experiment scenarios: drive a whole CDSS under the synthetic
+//! workload and report the paper's metrics.
+
+use crate::generator::{WorkloadConfig, WorkloadGenerator};
+use orchestra::{CdssSystem, ParticipantConfig, TimingBreakdown};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, TrustPolicy};
+use orchestra_store::UpdateStore;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of participants. As in the paper's experiments, every
+    /// participant trusts every other at the same priority, so conflicts must
+    /// be deferred rather than automatically resolved.
+    pub participants: usize,
+    /// Number of transactions each participant publishes between
+    /// reconciliations (the paper's "RI").
+    pub transactions_between_reconciliations: usize,
+    /// Number of publish-and-reconcile rounds each participant performs.
+    pub rounds: usize,
+    /// Workload generator parameters (transaction size, key universe, Zipf
+    /// exponents, cross-reference mean).
+    pub workload: WorkloadConfig,
+    /// Base random seed; each participant derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            participants: 10,
+            transactions_between_reconciliations: 4,
+            rounds: 3,
+            workload: WorkloadConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregate results of one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioResult {
+    /// Final state ratio over the `Function` relation (the paper's quality
+    /// metric).
+    pub state_ratio: f64,
+    /// Final state ratio averaged over all populated relations.
+    pub overall_state_ratio: f64,
+    /// Number of reconciliations performed in total.
+    pub reconciliations: usize,
+    /// Total root transactions accepted across all reconciliations.
+    pub accepted: usize,
+    /// Total root transactions rejected.
+    pub rejected: usize,
+    /// Total root transactions deferred.
+    pub deferred: usize,
+    /// Average store time per participant over the whole run.
+    pub store_time_per_participant: Duration,
+    /// Average local time per participant over the whole run.
+    pub local_time_per_participant: Duration,
+    /// Average time per reconciliation (store + local).
+    pub time_per_reconciliation: Duration,
+}
+
+impl ScenarioResult {
+    /// Average total (store + local) time per participant.
+    pub fn total_time_per_participant(&self) -> Duration {
+        self.store_time_per_participant + self.local_time_per_participant
+    }
+}
+
+/// Builds the trust policies of the paper's evaluation: every participant
+/// trusts every other participant at the same priority.
+pub fn mutual_trust_policies(participants: usize, priority: u32) -> Vec<TrustPolicy> {
+    (1..=participants as u32)
+        .map(|i| {
+            let mut policy = TrustPolicy::new(ParticipantId(i));
+            for j in 1..=participants as u32 {
+                if i != j {
+                    policy = policy.trusting(ParticipantId(j), priority);
+                }
+            }
+            policy
+        })
+        .collect()
+}
+
+/// Runs one experiment: `rounds` cycles in which every participant executes
+/// its share of the workload, publishes, and reconciles.
+pub fn run_scenario<S: UpdateStore>(store: S, config: &ScenarioConfig) -> ScenarioResult {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema, store);
+    for policy in mutual_trust_policies(config.participants, 1) {
+        system.add_participant(ParticipantConfig::new(policy));
+    }
+    let ids = system.participant_ids();
+
+    let mut generators: Vec<WorkloadGenerator> = ids
+        .iter()
+        .map(|id| {
+            WorkloadGenerator::new(
+                config.workload.clone(),
+                config.seed.wrapping_add(u64::from(id.as_u32()) * 7919),
+            )
+        })
+        .collect();
+
+    let mut result = ScenarioResult::default();
+    let mut total_timing = TimingBreakdown::default();
+
+    for _round in 0..config.rounds {
+        for (idx, &id) in ids.iter().enumerate() {
+            // Generate and execute this participant's batch.
+            let batch = {
+                let participant = system.participant(id).expect("participant exists");
+                generators[idx].next_batch(
+                    id,
+                    participant.instance(),
+                    config.transactions_between_reconciliations,
+                )
+            };
+            for updates in batch {
+                // Transactions are generated against the instance as of the
+                // start of the batch; apply failures (e.g. a reconciliation
+                // in a previous round changed the value) are skipped, which
+                // mirrors a curator abandoning an edit that no longer
+                // applies.
+                let _ = system.execute(id, updates);
+            }
+            let report = system
+                .publish_and_reconcile(id)
+                .expect("publish and reconcile succeeds");
+            result.reconciliations += 1;
+            result.accepted += report.accepted.len();
+            result.rejected += report.rejected.len();
+            result.deferred += report.deferred.len();
+            total_timing.accumulate(report.timing);
+        }
+    }
+
+    result.state_ratio = system.state_ratio_for("Function");
+    result.overall_state_ratio = system.state_ratio();
+    let participants = config.participants.max(1) as u32;
+    result.store_time_per_participant = total_timing.store / participants;
+    result.local_time_per_participant = total_timing.local / participants;
+    result.time_per_reconciliation =
+        total_timing.total() / (result.reconciliations.max(1) as u32);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_store::{CentralStore, DhtStore};
+
+    fn tiny_config() -> ScenarioConfig {
+        ScenarioConfig {
+            participants: 4,
+            transactions_between_reconciliations: 3,
+            rounds: 2,
+            workload: WorkloadConfig {
+                transaction_size: 1,
+                key_universe: 60,
+                function_pool: 20,
+                value_zipf_exponent: 1.5,
+                key_zipf_exponent: 0.9,
+                xref_mean: 7.3,
+            },
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn central_scenario_produces_sane_metrics() {
+        let config = tiny_config();
+        let result = run_scenario(CentralStore::new(bioinformatics_schema()), &config);
+        assert_eq!(result.reconciliations, 8);
+        assert!(result.state_ratio >= 1.0);
+        assert!(result.state_ratio <= config.participants as f64);
+        assert!(result.overall_state_ratio >= 1.0);
+        assert!(result.accepted > 0, "some sharing must have happened");
+        assert!(result.total_time_per_participant() > Duration::ZERO);
+    }
+
+    #[test]
+    fn dht_scenario_charges_network_time() {
+        let config = tiny_config();
+        let result = run_scenario(DhtStore::new(bioinformatics_schema()), &config);
+        assert_eq!(result.reconciliations, 8);
+        // The distributed store's simulated message latency must show up in
+        // store time and dominate the central store's.
+        let central = run_scenario(CentralStore::new(bioinformatics_schema()), &config);
+        assert!(result.store_time_per_participant > central.store_time_per_participant);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_the_same_state_ratio() {
+        let config = tiny_config();
+        let a = run_scenario(CentralStore::new(bioinformatics_schema()), &config);
+        let b = run_scenario(CentralStore::new(bioinformatics_schema()), &config);
+        assert_eq!(a.state_ratio, b.state_ratio);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.deferred, b.deferred);
+    }
+
+    #[test]
+    fn mutual_trust_policies_cover_every_pair() {
+        let policies = mutual_trust_policies(5, 1);
+        assert_eq!(policies.len(), 5);
+        for p in &policies {
+            assert_eq!(p.rules().len(), 4);
+        }
+    }
+
+    #[test]
+    fn more_contention_raises_the_state_ratio() {
+        // A tiny key universe forces more conflicts than a large one.
+        let mut contended = tiny_config();
+        contended.workload.key_universe = 5;
+        contended.workload.key_zipf_exponent = 1.2;
+        let mut relaxed = tiny_config();
+        relaxed.workload.key_universe = 500;
+        relaxed.workload.key_zipf_exponent = 0.2;
+        let contended_result =
+            run_scenario(CentralStore::new(bioinformatics_schema()), &contended);
+        let relaxed_result = run_scenario(CentralStore::new(bioinformatics_schema()), &relaxed);
+        assert!(
+            contended_result.state_ratio >= relaxed_result.state_ratio,
+            "contended {} < relaxed {}",
+            contended_result.state_ratio,
+            relaxed_result.state_ratio
+        );
+    }
+}

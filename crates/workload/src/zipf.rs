@@ -1,0 +1,139 @@
+//! Zipfian sampling.
+
+use rand::Rng;
+
+/// A sampler for the Zipfian (zeta) distribution over ranks `1..=n` with
+/// exponent `s`: `P(rank = k) ∝ 1 / k^s`.
+///
+/// The paper's workload draws update values from a Zipfian distribution with
+/// characteristic exponent `s = 1.5` over the pool of protein functions,
+/// which concentrates most updates on a small number of popular values — the
+/// property that drives conflicts in the evaluation.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative distribution over ranks (index `k-1` holds `P(rank <= k)`).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf sampler needs at least one rank");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating-point drift.
+        if let Some(last) = weights.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf: weights }
+    }
+
+    /// The number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns true if the sampler has exactly one rank (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular rank).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability of a given rank (0-based).
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decrease() {
+        let z = ZipfSampler::new(100, 1.5);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(
+                z.probability(r) <= z.probability(r - 1) + 1e-12,
+                "rank {r} more probable than rank {}",
+                r - 1
+            );
+        }
+        assert_eq!(z.probability(1000), 0.0);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_heavily_skewed_for_s_1_5() {
+        let z = ZipfSampler::new(1000, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = 0usize;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With s = 1.5, the top 10 of 1000 ranks carry well over half of the
+        // mass.
+        let fraction = head as f64 / trials as f64;
+        assert!(fraction > 0.6, "head fraction was {fraction}");
+    }
+
+    #[test]
+    fn samples_are_within_range_and_deterministic_per_seed() {
+        let z = ZipfSampler::new(7, 1.5);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let sa = z.sample(&mut a);
+            let sb = z.sample(&mut b);
+            assert!(sa < 7);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn single_rank_sampler_always_returns_zero() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Authority-ranked curation: a human-curated source (SWISS-PROT-like)
+//! outranks an automatically populated one (GenBank-like), so conflicts
+//! between them are resolved automatically in favour of the curated source —
+//! the motivating bioinformatics scenario of the paper's introduction.
+//!
+//! Run with `cargo run --example curated_authorities`.
+
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{
+    AcceptanceRule, ParticipantId, Predicate, Tuple, TrustPolicy, Update, UpdateKind,
+};
+use orchestra_store::CentralStore;
+
+fn func(org: &str, prot: &str, f: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, f])
+}
+
+fn main() {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema.clone(), CentralStore::new(schema));
+
+    // Three participants: a biologist's private warehouse, a human-curated
+    // database and an automatically populated archive.
+    let biologist = ParticipantId(1);
+    let swissprot_like = ParticipantId(2);
+    let genbank_like = ParticipantId(3);
+
+    // The biologist trusts the curated source at priority 5 and the automated
+    // archive at priority 1, and additionally refuses to import deletions
+    // from the automated archive at all.
+    let biologist_policy = TrustPolicy::new(biologist)
+        .trusting(swissprot_like, 5u32)
+        .with_rule(AcceptanceRule::new(
+            Predicate::FromParticipant(genbank_like)
+                .and(Predicate::Not(Box::new(Predicate::OfKind(UpdateKind::Delete)))),
+            1u32,
+        ));
+    system.add_participant(ParticipantConfig::new(biologist_policy));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(swissprot_like)));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(genbank_like)));
+
+    // Both sources publish a function for the same protein — and disagree.
+    system
+        .execute(
+            genbank_like,
+            vec![Update::insert("Function", func("human", "p53", "kinase-activity"), genbank_like)],
+        )
+        .unwrap();
+    system.publish_and_reconcile(genbank_like).unwrap();
+
+    system
+        .execute(
+            swissprot_like,
+            vec![Update::insert(
+                "Function",
+                func("human", "p53", "transcription-factor"),
+                swissprot_like,
+            )],
+        )
+        .unwrap();
+    system.publish_and_reconcile(swissprot_like).unwrap();
+
+    // The automated archive also publishes an uncontroversial fact.
+    system
+        .execute(
+            genbank_like,
+            vec![Update::insert("Function", func("mouse", "brca1", "dna-repair"), genbank_like)],
+        )
+        .unwrap();
+    system.publish_and_reconcile(genbank_like).unwrap();
+
+    // The biologist reconciles: the curated value wins the conflict
+    // automatically because it carries a strictly higher priority, and the
+    // uncontroversial fact is imported too. Nothing needs to be deferred.
+    let report = system.publish_and_reconcile(biologist).unwrap();
+    println!(
+        "biologist reconciliation: accepted {}, rejected {}, deferred {}",
+        report.accepted.len(),
+        report.rejected.len(),
+        report.deferred.len()
+    );
+    let instance = system.participant(biologist).unwrap().instance();
+    for (key, tuple) in instance.relation_contents("Function") {
+        println!("  {key} -> {tuple}");
+    }
+
+    assert!(instance.contains_tuple_exact("Function", &func("human", "p53", "transcription-factor")));
+    assert!(!instance.contains_tuple_exact("Function", &func("human", "p53", "kinase-activity")));
+    assert!(instance.contains_tuple_exact("Function", &func("mouse", "brca1", "dna-repair")));
+    assert!(report.deferred.is_empty(), "priorities resolve the conflict automatically");
+
+    // Later, the automated archive retracts the shared fact; the biologist's
+    // policy refuses to import deletions from it, so the fact survives
+    // locally (a deliberate divergence).
+    system
+        .execute(
+            genbank_like,
+            vec![Update::delete("Function", func("mouse", "brca1", "dna-repair"), genbank_like)],
+        )
+        .unwrap();
+    system.publish_and_reconcile(genbank_like).unwrap();
+    system.publish_and_reconcile(biologist).unwrap();
+    let instance = system.participant(biologist).unwrap().instance();
+    assert!(instance.contains_tuple_exact("Function", &func("mouse", "brca1", "dna-repair")));
+    println!("the biologist's instance keeps the fact the automated archive deleted");
+    println!("state ratio across the confederation: {:.3}", system.state_ratio_for("Function"));
+}

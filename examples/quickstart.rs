@@ -1,0 +1,65 @@
+//! Quickstart: two collaborating participants sharing protein-function data.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_store::CentralStore;
+
+fn main() {
+    // Every participant shares the bioinformatics schema of the paper:
+    // Function(organism, protein, function) with key (organism, protein),
+    // plus a secondary XRef cross-reference relation.
+    let schema = bioinformatics_schema();
+    let store = CentralStore::new(schema.clone());
+    let mut system = CdssSystem::new(schema, store);
+
+    // Two labs that trust each other's curation at the same priority.
+    let alice = ParticipantId(1);
+    let bob = ParticipantId(2);
+    system.add_participant(ParticipantConfig::new(
+        TrustPolicy::new(alice).trusting(bob, 1u32),
+    ));
+    system.add_participant(ParticipantConfig::new(
+        TrustPolicy::new(bob).trusting(alice, 1u32),
+    ));
+
+    // Alice curates a new protein-function fact locally.
+    system
+        .execute(
+            alice,
+            vec![
+                Update::insert("Function", Tuple::of_text(&["rat", "prot1", "immune-response"]), alice),
+                Update::insert(
+                    "XRef",
+                    Tuple::of_text(&["rat", "prot1", "genbank", "GB-0001"]),
+                    alice,
+                ),
+            ],
+        )
+        .expect("local transaction applies");
+
+    // Alice publishes and reconciles; Bob reconciles and imports her work.
+    let alice_report = system.publish_and_reconcile(alice).expect("alice reconciles");
+    let bob_report = system.publish_and_reconcile(bob).expect("bob reconciles");
+
+    println!("Alice reconciliation {}: accepted {} transactions", alice_report.recno, alice_report.accepted.len());
+    println!(
+        "Bob reconciliation {}: accepted {} transactions, {} deferred",
+        bob_report.recno,
+        bob_report.accepted.len(),
+        bob_report.deferred.len()
+    );
+
+    let bob_instance = system.participant(bob).expect("bob exists").instance();
+    println!("Bob's Function relation now holds:");
+    for (key, tuple) in bob_instance.relation_contents("Function") {
+        println!("  {key} -> {tuple}");
+    }
+    println!("State ratio across the confederation: {:.3}", system.state_ratio());
+
+    assert_eq!(bob_instance.total_tuples(), 2);
+    assert!((system.state_ratio() - 1.0).abs() < 1e-9);
+    println!("quickstart complete: both participants share identical state");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Orchestra CDSS reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`); the library surface simply re-exports
+//! the member crates so examples can use a single dependency.
+
+pub use orchestra;
+pub use orchestra_model as model;
+pub use orchestra_net as net;
+pub use orchestra_recon as recon;
+pub use orchestra_storage as storage;
+pub use orchestra_store as store;
+pub use orchestra_workload as workload;

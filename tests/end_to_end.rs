@@ -1,0 +1,245 @@
+//! Workspace-level integration tests: update propagation across the whole
+//! stack, equivalence of the centralised and DHT-based stores, monotonicity
+//! of acceptance, and the behaviour of the scenario driver.
+
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_store::{CentralStore, DhtStore, UpdateStore};
+use orchestra_workload::{run_scenario, ScenarioConfig, WorkloadConfig, WorkloadGenerator};
+
+fn p(i: u32) -> ParticipantId {
+    ParticipantId(i)
+}
+
+fn func(org: &str, prot: &str, f: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, f])
+}
+
+fn fully_trusting_system<S: UpdateStore>(store: S, n: u32) -> CdssSystem<S> {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema, store);
+    for i in 1..=n {
+        let mut policy = TrustPolicy::new(p(i));
+        for j in 1..=n {
+            if i != j {
+                policy = policy.trusting(p(j), 1u32);
+            }
+        }
+        system.add_participant(ParticipantConfig::new(policy));
+    }
+    system
+}
+
+#[test]
+fn non_conflicting_updates_converge_everywhere() {
+    let mut system = fully_trusting_system(CentralStore::new(bioinformatics_schema()), 5);
+    // Every participant contributes one distinct fact.
+    for i in 1..=5u32 {
+        system
+            .execute(
+                p(i),
+                vec![Update::insert(
+                    "Function",
+                    func("human", &format!("prot{i}"), "dna-repair"),
+                    p(i),
+                )],
+            )
+            .unwrap();
+        system.publish_and_reconcile(p(i)).unwrap();
+    }
+    // One more reconciliation round lets the early publishers see the late
+    // ones.
+    for i in 1..=5u32 {
+        system.reconcile(p(i)).unwrap();
+    }
+    for i in 1..=5u32 {
+        assert_eq!(
+            system.participant(p(i)).unwrap().instance().total_tuples(),
+            5,
+            "participant {i} did not converge"
+        );
+    }
+    assert!((system.state_ratio_for("Function") - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn central_and_dht_stores_produce_identical_instances() {
+    // Drive both stores through an identical seeded workload and compare
+    // every participant's final instance. The store implementation must not
+    // change reconciliation outcomes, only their cost.
+    let config = ScenarioConfig {
+        participants: 5,
+        transactions_between_reconciliations: 3,
+        rounds: 2,
+        workload: WorkloadConfig {
+            transaction_size: 2,
+            key_universe: 80,
+            function_pool: 30,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 99,
+    };
+    let central = run_scenario(CentralStore::new(bioinformatics_schema()), &config);
+    let dht = run_scenario(DhtStore::new(bioinformatics_schema()), &config);
+    assert_eq!(central.accepted, dht.accepted);
+    assert_eq!(central.rejected, dht.rejected);
+    assert_eq!(central.deferred, dht.deferred);
+    assert!((central.state_ratio - dht.state_ratio).abs() < 1e-12);
+    // The DHT store must charge strictly more store time (simulated network
+    // latency) than the centralised one for the same outcome.
+    assert!(dht.store_time_per_participant > central.store_time_per_participant);
+}
+
+#[test]
+fn acceptance_is_monotone_across_reconciliations() {
+    // Once a participant has applied a tuple, later conflicting publications
+    // from others never remove or replace it without user action.
+    let mut system = fully_trusting_system(CentralStore::new(bioinformatics_schema()), 3);
+    system
+        .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "immune"), p(1))])
+        .unwrap();
+    system.publish_and_reconcile(p(1)).unwrap();
+    system.publish_and_reconcile(p(2)).unwrap();
+    assert!(system
+        .participant(p(2))
+        .unwrap()
+        .instance()
+        .contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+
+    // p3 imports the fact, then publishes a replacement of it.
+    system.publish_and_reconcile(p(3)).unwrap();
+    system
+        .execute(
+            p(3),
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "immune"),
+                func("rat", "prot1", "cell-resp"),
+                p(3),
+            )],
+        )
+        .unwrap();
+    system.publish_and_reconcile(p(3)).unwrap();
+    system.reconcile(p(2)).unwrap();
+    // p2 already accepted p1's version; p3's replacement of the same
+    // antecedent it trusts equally is applied only if it does not conflict
+    // with p2's state — it does not (it chains from the accepted value), so
+    // p2 follows the revision chain. p1's original fact is still the
+    // antecedent, never silently rolled back to an empty state.
+    let i2 = system.participant(p(2)).unwrap().instance();
+    assert_eq!(i2.relation_contents("Function").len(), 1);
+}
+
+#[test]
+fn untrusted_participants_share_nothing() {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema.clone(), CentralStore::new(schema));
+    // Two participants that do not trust each other at all.
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(1))));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(2))));
+    system
+        .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "immune"), p(1))])
+        .unwrap();
+    system.publish_and_reconcile(p(1)).unwrap();
+    let report = system.publish_and_reconcile(p(2)).unwrap();
+    assert_eq!(report.considered(), 0);
+    assert!(system.participant(p(2)).unwrap().instance().is_empty());
+    assert!((system.state_ratio_for("Function") - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn chained_revisions_propagate_through_transitive_trust() {
+    // p3 inserts, p2 revises p3's value, p1 trusts only p2 — accepting p2's
+    // revision forces transitive acceptance of p3's insertion (the
+    // antecedent), exactly the exception described for Figure 1.
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema.clone(), CentralStore::new(schema));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(1)).trusting(p(2), 1u32)));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(2)).trusting(p(3), 1u32)));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(3))));
+
+    system
+        .execute(p(3), vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))])
+        .unwrap();
+    system.publish_and_reconcile(p(3)).unwrap();
+    system.publish_and_reconcile(p(2)).unwrap();
+    // p2 imported p3's fact; now p2 revises it.
+    system
+        .execute(
+            p(2),
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "cell-metab"),
+                func("rat", "prot1", "immune"),
+                p(2),
+            )],
+        )
+        .unwrap();
+    system.publish_and_reconcile(p(2)).unwrap();
+
+    // p1 trusts only p2, but importing p2's revision pulls in p3's insertion
+    // as its antecedent.
+    system.publish_and_reconcile(p(1)).unwrap();
+    let i1 = system.participant(p(1)).unwrap().instance();
+    assert!(i1.contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+    assert_eq!(i1.relation_contents("Function").len(), 1);
+}
+
+#[test]
+fn scenario_driver_reports_consistent_counts() {
+    let config = ScenarioConfig {
+        participants: 3,
+        transactions_between_reconciliations: 2,
+        rounds: 2,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 40,
+            function_pool: 15,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 5,
+    };
+    let result = run_scenario(CentralStore::new(bioinformatics_schema()), &config);
+    assert_eq!(result.reconciliations, 6);
+    assert!(result.state_ratio >= 1.0 && result.state_ratio <= 3.0);
+    assert!(result.overall_state_ratio >= 1.0);
+}
+
+#[test]
+fn workload_generator_output_is_publishable_end_to_end() {
+    // Generated transactions must round-trip through the whole stack: local
+    // execution, publication, and reconciliation at another peer.
+    let mut system = fully_trusting_system(CentralStore::new(bioinformatics_schema()), 2);
+    let config = WorkloadConfig {
+        transaction_size: 3,
+        key_universe: 30,
+        function_pool: 12,
+        value_zipf_exponent: 1.5,
+        key_zipf_exponent: 0.9,
+        xref_mean: 7.3,
+    };
+    let mut generator = WorkloadGenerator::new(config, 11);
+    for _ in 0..5 {
+        let batch = {
+            let participant = system.participant(p(1)).unwrap();
+            generator.next_batch(p(1), participant.instance(), 2)
+        };
+        for updates in batch {
+            system.execute(p(1), updates).unwrap();
+        }
+        system.publish_and_reconcile(p(1)).unwrap();
+        system.publish_and_reconcile(p(2)).unwrap();
+    }
+    let i1 = system.participant(p(1)).unwrap().instance();
+    let i2 = system.participant(p(2)).unwrap().instance();
+    assert!(i1.total_tuples() > 0);
+    // p2 trusts everything p1 publishes and publishes nothing of its own, so
+    // it converges to p1's instance.
+    assert_eq!(i1.relation_contents("Function"), i2.relation_contents("Function"));
+    assert_eq!(i1.relation_contents("XRef"), i2.relation_contents("XRef"));
+}

@@ -1,0 +1,139 @@
+//! Integration test reproducing Figure 2 of the paper exactly: three
+//! participants with the trust policies of Figure 1, four epochs of
+//! publication and reconciliation, and the paper's final instances and
+//! deferred set.
+
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, TransactionId, Tuple, TrustPolicy, Update};
+use orchestra_store::{CentralStore, DhtStore, UpdateStore};
+
+fn func(org: &str, prot: &str, f: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, f])
+}
+
+fn run_figure2<S: UpdateStore>(store: S) -> CdssSystem<S> {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema, store);
+    let p1 = ParticipantId(1);
+    let p2 = ParticipantId(2);
+    let p3 = ParticipantId(3);
+    system.add_participant(ParticipantConfig::new(
+        TrustPolicy::new(p1).trusting(p2, 1u32).trusting(p3, 1u32),
+    ));
+    system.add_participant(ParticipantConfig::new(
+        TrustPolicy::new(p2).trusting(p1, 2u32).trusting(p3, 1u32),
+    ));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p3).trusting(p2, 1u32)));
+
+    // Epoch 1: p3 publishes X3:0 (insert) and X3:1 (revision) and reconciles.
+    system
+        .execute(p3, vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p3)])
+        .unwrap();
+    system
+        .execute(
+            p3,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "cell-metab"),
+                func("rat", "prot1", "immune"),
+                p3,
+            )],
+        )
+        .unwrap();
+    system.publish_and_reconcile(p3).unwrap();
+
+    // Epoch 2: p2 publishes X2:0 and X2:1 and reconciles.
+    system
+        .execute(p2, vec![Update::insert("Function", func("mouse", "prot2", "immune"), p2)])
+        .unwrap();
+    system
+        .execute(p2, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p2)])
+        .unwrap();
+    system.publish_and_reconcile(p2).unwrap();
+
+    // Epoch 3: p3 reconciles again.
+    system.reconcile(p3).unwrap();
+
+    // Epoch 4: p1 reconciles for the first time.
+    system.reconcile(p1).unwrap();
+    system
+}
+
+fn assert_figure2_outcome<S: UpdateStore>(system: &CdssSystem<S>) {
+    let p1 = ParticipantId(1);
+    let p2 = ParticipantId(2);
+    let p3 = ParticipantId(3);
+
+    // I2(F)|2 = {(mouse, prot2, immune), (rat, prot1, cell-resp)}
+    let i2 = system.participant(p2).unwrap().instance();
+    assert!(i2.contains_tuple_exact("Function", &func("mouse", "prot2", "immune")));
+    assert!(i2.contains_tuple_exact("Function", &func("rat", "prot1", "cell-resp")));
+    assert_eq!(i2.total_tuples(), 2);
+
+    // I3(F)|3 = {(mouse, prot2, immune), (rat, prot1, immune)}
+    let i3 = system.participant(p3).unwrap().instance();
+    assert!(i3.contains_tuple_exact("Function", &func("mouse", "prot2", "immune")));
+    assert!(i3.contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+    assert_eq!(i3.total_tuples(), 2);
+
+    // I1(F)|4 = {(mouse, prot2, immune)}; X3:0, X3:1 and X2:1 deferred.
+    let participant1 = system.participant(p1).unwrap();
+    let i1 = participant1.instance();
+    assert!(i1.contains_tuple_exact("Function", &func("mouse", "prot2", "immune")));
+    assert_eq!(i1.total_tuples(), 1);
+
+    let deferred = participant1.soft_state().deferred();
+    assert_eq!(deferred.len(), 3);
+    assert!(deferred.contains_key(&TransactionId::new(p3, 0)));
+    assert!(deferred.contains_key(&TransactionId::new(p3, 1)));
+    assert!(deferred.contains_key(&TransactionId::new(p2, 1)));
+    // The accepted mouse transaction is X2:0 and must not be deferred.
+    assert!(!deferred.contains_key(&TransactionId::new(p2, 0)));
+
+    // One conflict group over the rat/prot1 key, with two distinct options
+    // (p3's value, possibly backed by its two chained transactions, and p2's
+    // value).
+    let groups = participant1.deferred_conflicts();
+    assert_eq!(groups.len(), 1);
+    assert_eq!(groups[0].options.len(), 2);
+}
+
+#[test]
+fn figure2_is_reproduced_on_the_central_store() {
+    let system = run_figure2(CentralStore::new(bioinformatics_schema()));
+    assert_figure2_outcome(&system);
+}
+
+#[test]
+fn figure2_is_reproduced_on_the_dht_store() {
+    let system = run_figure2(DhtStore::new(bioinformatics_schema()));
+    assert_figure2_outcome(&system);
+}
+
+#[test]
+fn figure2_conflict_resolves_in_favour_of_the_chosen_option() {
+    let mut system = run_figure2(CentralStore::new(bioinformatics_schema()));
+    let p1 = ParticipantId(1);
+    let p3 = ParticipantId(3);
+    let (key, idx) = {
+        let groups = system.participant(p1).unwrap().deferred_conflicts();
+        let group = &groups[0];
+        let idx = group
+            .options
+            .iter()
+            .position(|o| o.transactions.iter().any(|t| t.participant == p3))
+            .expect("p3 proposed an option");
+        (group.key.clone(), idx)
+    };
+    let report = system
+        .resolve_conflicts(
+            p1,
+            &[orchestra_recon::ResolutionChoice { group: key, chosen_option: Some(idx) }],
+        )
+        .unwrap();
+    assert!(!report.newly_accepted.is_empty());
+    let i1 = system.participant(p1).unwrap().instance();
+    assert!(i1.contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+    assert!(system.participant(p1).unwrap().deferred_conflicts().is_empty());
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the network-centric reconciliation mode: identical
+//! decisions to the client-centric mode, at a different cost distribution.
+
+use orchestra::{Participant, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_store::{DhtStore, UpdateStore};
+
+fn p(i: u32) -> ParticipantId {
+    ParticipantId(i)
+}
+
+fn func(org: &str, prot: &str, f: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, f])
+}
+
+/// Builds a DHT store with `n` mutually trusting participants and a spread of
+/// published transactions, including a conflict and a revision chain.
+fn populated_store(n: u32) -> (DhtStore, Vec<TrustPolicy>) {
+    let mut store = DhtStore::new(bioinformatics_schema());
+    let mut policies = Vec::new();
+    for i in 1..=n {
+        let mut policy = TrustPolicy::new(p(i));
+        for j in 1..=n {
+            if i != j {
+                policy = policy.trusting(p(j), 1u32);
+            }
+        }
+        store.register_participant(policy.clone());
+        policies.push(policy);
+    }
+    // p2 and p3 disagree about rat/prot1; p4 publishes an independent fact
+    // and then revises it; p5 publishes an uncontroversial fact.
+    let t = |i: u32, j: u64, ups: Vec<Update>| {
+        orchestra_model::Transaction::from_parts(p(i), j, ups).unwrap()
+    };
+    store
+        .publish(p(2), vec![t(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))])])
+        .unwrap();
+    store
+        .publish(p(3), vec![t(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(3))])])
+        .unwrap();
+    store
+        .publish(
+            p(4),
+            vec![
+                t(4, 0, vec![Update::insert("Function", func("mouse", "prot2", "dna-repair"), p(4))]),
+                t(
+                    4,
+                    1,
+                    vec![Update::modify(
+                        "Function",
+                        func("mouse", "prot2", "dna-repair"),
+                        func("mouse", "prot2", "rna-splicing"),
+                        p(4),
+                    )],
+                ),
+            ],
+        )
+        .unwrap();
+    if n >= 5 {
+        store
+            .publish(p(5), vec![t(5, 0, vec![Update::insert("Function", func("yeast", "cdc28", "cell-cycle-control"), p(5))])])
+            .unwrap();
+    }
+    (store, policies)
+}
+
+#[test]
+fn network_centric_reconciliation_reaches_the_same_decisions() {
+    let schema = bioinformatics_schema();
+
+    let (mut store_a, policies) = populated_store(5);
+    let mut client = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
+    let client_report = client.reconcile(&mut store_a).unwrap();
+
+    let (mut store_b, policies) = populated_store(5);
+    let mut network =
+        Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
+    let network_report = network.reconcile_network_centric(&mut store_b).unwrap();
+
+    // Identical decisions...
+    let mut a = client_report.accepted.clone();
+    let mut b = network_report.accepted.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert_eq!(client_report.rejected.len(), network_report.rejected.len());
+    let mut a = client_report.deferred.clone();
+    let mut b = network_report.deferred.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+
+    // ...and identical resulting instances.
+    assert_eq!(
+        client.instance().relation_contents("Function"),
+        network.instance().relation_contents("Function")
+    );
+    // The divergent rat/prot1 insertions must have been deferred in both
+    // modes (equal trust, no unique winner).
+    assert_eq!(client_report.deferred.len(), 2);
+    assert_eq!(client.deferred_conflicts().len(), network.deferred_conflicts().len());
+}
+
+#[test]
+fn network_centric_mode_trades_messages_for_client_work() {
+    let schema = bioinformatics_schema();
+
+    let (mut store_a, policies) = populated_store(5);
+    let mut client = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
+    client.reconcile(&mut store_a).unwrap();
+    let client_messages = store_a.network_stats().messages;
+
+    let (mut store_b, policies) = populated_store(5);
+    let mut network =
+        Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
+    let report = network.reconcile_network_centric(&mut store_b).unwrap();
+    let network_messages = store_b.network_stats().messages;
+
+    // Figure 3's trade-off: the network-centric mode sends more messages.
+    assert!(
+        network_messages > client_messages,
+        "network-centric sent {network_messages} messages, client-centric {client_messages}"
+    );
+    // Its store time reflects the extra distribution traffic.
+    assert!(report.timing.store > std::time::Duration::ZERO);
+}
+
+#[test]
+fn network_centric_mode_composes_with_later_client_centric_runs() {
+    // A participant can switch modes between reconciliations without
+    // corrupting its state: decisions recorded by one mode are honoured by
+    // the other.
+    let schema = bioinformatics_schema();
+    let (mut store, policies) = populated_store(4);
+    let mut participant =
+        Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
+    let first = participant.reconcile_network_centric(&mut store).unwrap();
+    assert!(!first.accepted.is_empty());
+
+    // New publication afterwards.
+    let t = orchestra_model::Transaction::from_parts(
+        p(4),
+        2,
+        vec![Update::insert("Function", func("zebrafish", "shh", "signal-transduction"), p(4))],
+    )
+    .unwrap();
+    store.publish(p(4), vec![t.clone()]).unwrap();
+
+    let second = participant.reconcile(&mut store).unwrap();
+    assert!(second.accepted.contains(&t.id()));
+    // Previously accepted transactions are not replayed.
+    assert!(!second.accepted.contains(&first.accepted[0]));
+}

@@ -1,0 +1,259 @@
+//! Property-based tests over the core invariants of the data model and the
+//! reconciliation semantics.
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{
+    flatten, ParticipantId, Priority, ReconciliationId, Schema, Transaction, Tuple, Update,
+};
+use orchestra_recon::{CandidateTransaction, ReconcileEngine, ReconcileInput, SoftState};
+use orchestra_storage::Database;
+use proptest::prelude::*;
+
+fn p(i: u32) -> ParticipantId {
+    ParticipantId(i)
+}
+
+fn func(key: u8, value: u8) -> Tuple {
+    Tuple::of_text(&["organism", &format!("prot{key}"), &format!("fn{value}")])
+}
+
+/// A compact description of a random update against a small key/value
+/// domain, expanded into a real [`Update`] against the current state of a
+/// scratch instance so that the generated sequence is always applicable.
+#[derive(Debug, Clone)]
+enum Action {
+    Insert { key: u8, value: u8 },
+    Revise { key: u8, value: u8 },
+    Remove { key: u8 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..6, 0u8..5).prop_map(|(key, value)| Action::Insert { key, value }),
+        (0u8..6, 0u8..5).prop_map(|(key, value)| Action::Revise { key, value }),
+        (0u8..6).prop_map(|key| Action::Remove { key }),
+    ]
+}
+
+/// Expands a list of actions into a sequence of applicable updates (relative
+/// to an initially empty instance), skipping actions that do not apply.
+fn realise(actions: &[Action], origin: ParticipantId, schema: &Schema) -> Vec<Update> {
+    let mut instance = Database::new(schema.clone());
+    let mut updates = Vec::new();
+    for action in actions {
+        let update = match action {
+            Action::Insert { key, value } => {
+                let t = func(*key, *value);
+                let key_value = schema.relation("Function").unwrap().key_of(&t);
+                if instance.value_at("Function", &key_value).is_some() {
+                    continue;
+                }
+                Update::insert("Function", t, origin)
+            }
+            Action::Revise { key, value } => {
+                let probe = func(*key, 0);
+                let key_value = schema.relation("Function").unwrap().key_of(&probe);
+                match instance.value_at("Function", &key_value) {
+                    Some(existing) => {
+                        let to = func(*key, *value);
+                        if existing == to {
+                            continue;
+                        }
+                        Update::modify("Function", existing, to, origin)
+                    }
+                    None => continue,
+                }
+            }
+            Action::Remove { key } => {
+                let probe = func(*key, 0);
+                let key_value = schema.relation("Function").unwrap().key_of(&probe);
+                match instance.value_at("Function", &key_value) {
+                    Some(existing) => Update::delete("Function", existing, origin),
+                    None => continue,
+                }
+            }
+        };
+        instance.apply_update(&update).expect("realised updates apply");
+        updates.push(update);
+    }
+    updates
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Applying a flattened sequence produces exactly the same instance as
+    /// applying the original sequence step by step.
+    #[test]
+    fn flatten_preserves_the_net_effect(actions in prop::collection::vec(action_strategy(), 0..40)) {
+        let schema = bioinformatics_schema();
+        let updates = realise(&actions, p(1), &schema);
+
+        let mut sequential = Database::new(schema.clone());
+        sequential.apply_all(&updates).expect("original sequence applies");
+
+        let mut flattened_instance = Database::new(schema.clone());
+        let flat = flatten(&schema, &updates);
+        flattened_instance.apply_all(&flat).expect("flattened sequence applies");
+
+        prop_assert_eq!(
+            sequential.relation_contents("Function"),
+            flattened_instance.relation_contents("Function")
+        );
+    }
+
+    /// Flattening is idempotent: flattening an already flattened sequence
+    /// changes nothing.
+    #[test]
+    fn flatten_is_idempotent(actions in prop::collection::vec(action_strategy(), 0..40)) {
+        let schema = bioinformatics_schema();
+        let updates = realise(&actions, p(1), &schema);
+        let once = flatten(&schema, &updates);
+        let twice = flatten(&schema, &once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// A flattened sequence never contains two updates writing or reading the
+    /// same key (they are mutually independent).
+    #[test]
+    fn flattened_updates_are_per_key_independent(actions in prop::collection::vec(action_strategy(), 0..40)) {
+        let schema = bioinformatics_schema();
+        let updates = realise(&actions, p(1), &schema);
+        let flat = flatten(&schema, &updates);
+        let rel = schema.relation("Function").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for u in &flat {
+            if let Some(read) = u.read_key(rel) {
+                prop_assert!(seen.insert(("r", read.clone())) || !seen.contains(&("r", read)));
+            }
+        }
+        // Written keys must be unique across the flattened set.
+        let mut written = std::collections::HashSet::new();
+        for u in &flat {
+            if let Some(key) = u.written_key(rel) {
+                prop_assert!(written.insert(key), "duplicate written key in flattened set");
+            }
+        }
+    }
+
+    /// The conflict relation between updates is symmetric.
+    #[test]
+    fn update_conflicts_are_symmetric(
+        a_actions in prop::collection::vec(action_strategy(), 1..10),
+        b_actions in prop::collection::vec(action_strategy(), 1..10),
+    ) {
+        let schema = bioinformatics_schema();
+        let a_updates = realise(&a_actions, p(1), &schema);
+        let b_updates = realise(&b_actions, p(2), &schema);
+        for a in &a_updates {
+            for b in &b_updates {
+                prop_assert_eq!(a.conflicts_with(b, &schema), b.conflicts_with(a, &schema));
+            }
+        }
+    }
+
+    /// The reconciliation engine is deterministic and exhaustive: every
+    /// candidate receives exactly one decision, accepted candidates are
+    /// applied, and re-running the same input on a fresh instance produces
+    /// the same decisions.
+    #[test]
+    fn reconciliation_decides_every_candidate_deterministically(
+        seeds in prop::collection::vec((1u32..6, prop::collection::vec(action_strategy(), 1..8)), 1..8)
+    ) {
+        let schema = bioinformatics_schema();
+        let engine = ReconcileEngine::new(schema.clone());
+
+        let mut candidates = Vec::new();
+        for (idx, (origin, actions)) in seeds.iter().enumerate() {
+            let updates = realise(actions, p(*origin), &schema);
+            if updates.is_empty() {
+                continue;
+            }
+            let txn = Transaction::from_parts(p(*origin), idx as u64, updates).unwrap();
+            candidates.push(CandidateTransaction::new(&txn, Priority(1), vec![]));
+        }
+
+        let run = |candidates: Vec<CandidateTransaction>| {
+            let mut db = Database::new(schema.clone());
+            let mut soft = SoftState::new();
+            let outcome = engine.reconcile(
+                ReconcileInput {
+                    recno: ReconciliationId(1),
+                    candidates,
+                    ..Default::default()
+                },
+                &mut db,
+                &mut soft,
+            );
+            (outcome, db)
+        };
+
+        let (first, db_first) = run(candidates.clone());
+        let (second, db_second) = run(candidates.clone());
+
+        // Exhaustive: every candidate decided exactly once.
+        let decided = first.accepted_roots.len() + first.rejected.len() + first.deferred.len();
+        prop_assert_eq!(decided, candidates.len());
+        // Deterministic.
+        prop_assert_eq!(&first.accepted_roots, &second.accepted_roots);
+        prop_assert_eq!(&first.rejected, &second.rejected);
+        prop_assert_eq!(&first.deferred, &second.deferred);
+        prop_assert_eq!(
+            db_first.relation_contents("Function"),
+            db_second.relation_contents("Function")
+        );
+
+        // Accepted candidates' final values are present in the instance.
+        for id in &first.accepted_roots {
+            let cand = candidates.iter().find(|c| c.id == *id).unwrap();
+            for u in cand.flattened(&schema) {
+                if let Some(written) = u.written_tuple() {
+                    prop_assert!(
+                        db_first.contains_tuple_exact(&u.relation, written),
+                        "accepted value missing from instance"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mutually conflicting equal-priority candidates are never applied; the
+    /// instance stays consistent (at most one value per key).
+    #[test]
+    fn equal_priority_conflicts_never_corrupt_the_instance(
+        values in prop::collection::vec(0u8..5, 2..6)
+    ) {
+        let schema = bioinformatics_schema();
+        let engine = ReconcileEngine::new(schema.clone());
+        // Every candidate writes the same key with a (possibly) different
+        // value.
+        let candidates: Vec<CandidateTransaction> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let txn = Transaction::from_parts(
+                    p(i as u32 + 1),
+                    0,
+                    vec![Update::insert("Function", func(0, *v), p(i as u32 + 1))],
+                )
+                .unwrap();
+                CandidateTransaction::new(&txn, Priority(1), vec![])
+            })
+            .collect();
+        let mut db = Database::new(schema.clone());
+        let mut soft = SoftState::new();
+        let outcome = engine.reconcile(
+            ReconcileInput { recno: ReconciliationId(1), candidates, ..Default::default() },
+            &mut db,
+            &mut soft,
+        );
+        // The instance holds at most one tuple for the contested key.
+        prop_assert!(db.relation_contents("Function").len() <= 1);
+        // If any two candidates proposed different values, none of the
+        // divergent ones may have been silently applied over another.
+        let distinct: std::collections::HashSet<_> = values.iter().collect();
+        if distinct.len() > 1 {
+            prop_assert!(outcome.deferred.len() >= 2, "divergent writers must be deferred");
+        }
+    }
+}
