@@ -11,7 +11,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orchestra::{Participant, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, Priority, ReconciliationId, Transaction, Tuple, TrustPolicy, Update};
+use orchestra_model::{
+    ParticipantId, Priority, ReconciliationId, Transaction, TrustPolicy, Tuple, Update,
+};
 use orchestra_recon::{CandidateTransaction, ReconcileEngine, ReconcileInput, SoftState};
 use orchestra_storage::Database;
 use orchestra_store::{DhtStore, UpdateStore};
@@ -123,8 +125,7 @@ fn chained_candidates(n: usize, flattened_extensions: bool) -> Vec<CandidateTran
             // extension, so intermediate states are visible to conflict
             // detection.
             for (j, u) in [insert, rev1, rev2].into_iter().enumerate() {
-                let txn =
-                    Transaction::from_parts(origin, (i * 3 + j) as u64, vec![u]).unwrap();
+                let txn = Transaction::from_parts(origin, (i * 3 + j) as u64, vec![u]).unwrap();
                 out.push(CandidateTransaction::new(&txn, Priority(1), vec![]));
             }
         }

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{flatten, ParticipantId, Priority, ReconciliationId, Transaction, Tuple, Update};
+use orchestra_model::{
+    flatten, ParticipantId, Priority, ReconciliationId, Transaction, Tuple, Update,
+};
 use orchestra_recon::{CandidateTransaction, ReconcileEngine, ReconcileInput, SoftState};
 use orchestra_storage::Database;
 use std::time::Duration;
@@ -14,11 +16,7 @@ fn p(i: u32) -> ParticipantId {
 }
 
 fn func(key: usize, value: usize) -> Tuple {
-    Tuple::of_text(&[
-        "organism",
-        &format!("prot{key:05}"),
-        &format!("function-{value}"),
-    ])
+    Tuple::of_text(&["organism", &format!("prot{key:05}"), &format!("function-{value}")])
 }
 
 /// Builds `n` single-insert candidates, a configurable fraction of which
@@ -27,11 +25,7 @@ fn candidates(n: usize, conflict_fraction: f64) -> Vec<CandidateTransaction> {
     let conflicting = (n as f64 * conflict_fraction) as usize;
     (0..n)
         .map(|i| {
-            let (key, value) = if i < conflicting {
-                (i / 2, i)
-            } else {
-                (1_000 + i, 0)
-            };
+            let (key, value) = if i < conflicting { (i / 2, i) } else { (1_000 + i, 0) };
             let txn = Transaction::from_parts(
                 p(2 + (i % 8) as u32),
                 i as u64,

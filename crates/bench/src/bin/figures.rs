@@ -8,12 +8,14 @@
 //!
 //! With no `--fig` arguments, every figure is regenerated. `--full` uses the
 //! paper's parameter ranges (slower); the default "quick" scale finishes in a
-//! few seconds. CSV output is written under `--out` (default
-//! `target/figures`).
+//! few seconds. CSV and JSON output is written under `--out` (default
+//! `target/figures`); the `fig*.json` documents are the machine-readable
+//! benchmark trajectory.
 
 use orchestra_bench::{
     fig08_transaction_size, fig09_recon_interval_ratio, fig10_recon_interval_time,
-    fig11_participants_ratio, fig12_participants_time, render_table, write_csv, FigureScale,
+    fig11_participants_ratio, fig12_participants_time, render_table, write_csv, write_json,
+    FigureScale,
 };
 use std::path::PathBuf;
 
@@ -79,6 +81,7 @@ fn main() {
                 );
                 println!("{table}");
                 write_csv(&args.out.join("fig08.csv"), &rows).expect("write fig08.csv");
+                write_json(&args.out.join("fig08.json"), "fig08", &rows).expect("write fig08.json");
             }
             9 => {
                 let rows = fig09_recon_interval_ratio(args.scale);
@@ -97,6 +100,7 @@ fn main() {
                 );
                 println!("{table}");
                 write_csv(&args.out.join("fig09.csv"), &rows).expect("write fig09.csv");
+                write_json(&args.out.join("fig09.json"), "fig09", &rows).expect("write fig09.json");
             }
             10 => {
                 let rows = fig10_recon_interval_time(args.scale);
@@ -117,6 +121,7 @@ fn main() {
                 );
                 println!("{table}");
                 write_csv(&args.out.join("fig10.csv"), &rows).expect("write fig10.csv");
+                write_json(&args.out.join("fig10.json"), "fig10", &rows).expect("write fig10.json");
             }
             11 => {
                 let rows = fig11_participants_ratio(args.scale);
@@ -125,13 +130,12 @@ fn main() {
                     &["participants", "state_ratio"],
                     &rows
                         .iter()
-                        .map(|r| {
-                            vec![r.participants.to_string(), format!("{:.3}", r.state_ratio)]
-                        })
+                        .map(|r| vec![r.participants.to_string(), format!("{:.3}", r.state_ratio)])
                         .collect::<Vec<_>>(),
                 );
                 println!("{table}");
                 write_csv(&args.out.join("fig11.csv"), &rows).expect("write fig11.csv");
+                write_json(&args.out.join("fig11.json"), "fig11", &rows).expect("write fig11.json");
             }
             12 => {
                 let rows = fig12_participants_time(args.scale);
@@ -152,6 +156,7 @@ fn main() {
                 );
                 println!("{table}");
                 write_csv(&args.out.join("fig12.csv"), &rows).expect("write fig12.csv");
+                write_json(&args.out.join("fig12.json"), "fig12", &rows).expect("write fig12.json");
             }
             other => eprintln!("unknown figure {other}; available: 8, 9, 10, 11, 12"),
         }

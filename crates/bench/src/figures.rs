@@ -40,7 +40,12 @@ fn base_workload(transaction_size: usize) -> WorkloadConfig {
     }
 }
 
-fn base_scenario(participants: usize, txns_per_recon: usize, txn_size: usize, scale: FigureScale) -> ScenarioConfig {
+fn base_scenario(
+    participants: usize,
+    txns_per_recon: usize,
+    txn_size: usize,
+    scale: FigureScale,
+) -> ScenarioConfig {
     ScenarioConfig {
         participants,
         transactions_between_reconciliations: txns_per_recon,

@@ -3,8 +3,9 @@
 //! Each function in [`figures`] regenerates one figure of the paper: it runs
 //! the corresponding experiment over the synthetic SWISS-PROT-style workload
 //! and returns the series the figure plots. The `figures` binary prints the
-//! series as aligned tables and CSV; the Criterion benches wrap the same
-//! runners so `cargo bench` exercises every experiment.
+//! series as aligned tables and writes CSV plus JSON documents; the
+//! Criterion benches wrap the same runners so `cargo bench` exercises every
+//! experiment.
 //!
 //! Absolute numbers differ from the paper (different decade, language,
 //! hardware, and a simulated network), but the qualitative shapes are the
@@ -23,4 +24,4 @@ pub use figures::{
     fig11_participants_ratio, fig12_participants_time, Fig08Row, Fig09Row, Fig10Row, Fig11Row,
     Fig12Row, FigureScale,
 };
-pub use output::{render_table, write_csv};
+pub use output::{render_table, write_csv, write_json};

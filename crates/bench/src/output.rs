@@ -1,4 +1,6 @@
-//! Rendering figure series as aligned text tables and CSV files.
+//! Rendering figure series as aligned text tables, CSV files and JSON
+//! documents (the `fig*.json` files are the seed of the benchmark
+//! trajectory format).
 
 use serde::Serialize;
 use std::fs;
@@ -41,10 +43,8 @@ pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> Strin
 /// JSON field names of the first row).
 pub fn write_csv<T: Serialize>(path: &Path, rows: &[T]) -> io::Result<()> {
     let mut csv = String::new();
-    let values: Vec<serde_json::Value> = rows
-        .iter()
-        .map(|r| serde_json::to_value(r).expect("figure rows serialise"))
-        .collect();
+    let values: Vec<serde_json::Value> =
+        rows.iter().map(|r| serde_json::to_value(r).expect("figure rows serialise")).collect();
     if let Some(serde_json::Value::Object(first)) = values.first() {
         let columns: Vec<String> = first.keys().cloned().collect();
         csv.push_str(&columns.join(","));
@@ -70,6 +70,26 @@ pub fn write_csv<T: Serialize>(path: &Path, rows: &[T]) -> io::Result<()> {
     fs::write(path, csv)
 }
 
+/// Writes a slice of serialisable rows as a pretty-printed JSON document:
+/// `{"figure": <label>, "rows": [...]}`.
+pub fn write_json<T: Serialize>(path: &Path, figure: &str, rows: &[T]) -> io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("figure".to_string(), serde_json::Value::String(figure.to_string()));
+    doc.insert(
+        "rows".to_string(),
+        serde_json::Value::Array(
+            rows.iter().map(|r| serde_json::to_value(r).expect("figure rows serialise")).collect(),
+        ),
+    );
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut text = serde_json::to_string_pretty(&serde_json::Value::Object(doc))
+        .expect("figure document serialises");
+    text.push('\n');
+    fs::write(path, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,10 +106,7 @@ mod tests {
         let table = render_table(
             "Figure X",
             &["size", "ratio"],
-            &[
-                vec!["1".into(), "1.25".into()],
-                vec!["10".into(), "2.5".into()],
-            ],
+            &[vec!["1".into(), "1.25".into()], vec!["10".into(), "2.5".into()]],
         );
         assert!(table.contains("Figure X"));
         assert!(table.contains("size"));
@@ -110,6 +127,27 @@ mod tests {
         assert!(contents.lines().next().unwrap().contains("x"));
         assert!(contents.contains("distributed"));
         assert_eq!(contents.lines().count(), 3);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_documents_carry_label_and_rows() {
+        let dir = std::env::temp_dir().join("orchestra-bench-test");
+        let path = dir.join("rows.json");
+        let rows = vec![
+            Row { x: 1, label: "central".into(), y: 0.5 },
+            Row { x: 2, label: "distributed".into(), y: 1.5 },
+        ];
+        write_json(&path, "fig99", &rows).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&path).unwrap()).unwrap();
+        let obj = doc.as_object().unwrap();
+        assert_eq!(obj.get("figure").unwrap().as_str(), Some("fig99"));
+        let parsed_rows = obj.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(parsed_rows.len(), 2);
+        let first = parsed_rows[0].as_object().unwrap();
+        assert_eq!(first.get("x").unwrap().as_u64(), Some(1));
+        assert_eq!(first.get("label").unwrap().as_str(), Some("central"));
         fs::remove_file(&path).ok();
     }
 

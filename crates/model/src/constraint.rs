@@ -147,9 +147,7 @@ impl Constraint {
                             if view.get_by_key(ref_relation, &key).is_none() {
                                 return Err(ModelError::ConstraintViolation {
                                     constraint: self.name(),
-                                    detail: format!(
-                                        "no tuple in `{ref_relation}` with key {key}"
-                                    ),
+                                    detail: format!("no tuple in `{ref_relation}` with key {key}"),
                                 });
                             }
                         }
@@ -165,14 +163,11 @@ impl Constraint {
                             .iter()
                             .map(|c| fref.column_index(c).map(|i| deleted.values()[i].clone()))
                             .collect::<Result<_>>()?;
-                        let col_idx: Vec<_> = columns
-                            .iter()
-                            .map(|c| rel.column_index(c))
-                            .collect::<Result<_>>()?;
-                        let dangling = view
-                            .scan(relation)
-                            .iter()
-                            .any(|t| col_idx.iter().zip(&ref_value).all(|(&i, v)| &t.values()[i] == v));
+                        let col_idx: Vec<_> =
+                            columns.iter().map(|c| rel.column_index(c)).collect::<Result<_>>()?;
+                        let dangling = view.scan(relation).iter().any(|t| {
+                            col_idx.iter().zip(&ref_value).all(|(&i, v)| &t.values()[i] == v)
+                        });
                         if dangling {
                             return Err(ModelError::ConstraintViolation {
                                 constraint: self.name(),
@@ -246,11 +241,7 @@ mod tests {
     impl InstanceView for MapInstance {
         fn get_by_key(&self, relation: &str, key: &KeyValue) -> Option<Tuple> {
             let rel = self.schema.relation(relation).ok()?;
-            self.tables
-                .get(relation)?
-                .iter()
-                .find(|t| &rel.key_of(t) == key)
-                .cloned()
+            self.tables.get(relation)?.iter().find(|t| &rel.key_of(t) == key).cloned()
         }
         fn scan(&self, relation: &str) -> Vec<Tuple> {
             self.tables.get(relation).cloned().unwrap_or_default()
@@ -292,11 +283,8 @@ mod tests {
         let schema = bioinformatics_schema();
         let mut inst = MapInstance::new(schema.clone());
         let fk = fk_constraint();
-        let xref = Update::insert(
-            "XRef",
-            Tuple::of_text(&["rat", "prot1", "genbank", "ACC1"]),
-            p(1),
-        );
+        let xref =
+            Update::insert("XRef", Tuple::of_text(&["rat", "prot1", "genbank", "ACC1"]), p(1));
         // Missing referenced Function tuple: violation.
         assert!(fk.check_update(&schema, &inst, &xref).is_err());
         // After the Function tuple exists, the insert is fine.
@@ -315,8 +303,7 @@ mod tests {
         assert!(fk.check_update(&schema, &inst, &del).is_err());
         // Deleting a Function tuple nothing references is fine.
         inst.insert("Function", Tuple::of_text(&["mouse", "prot2", "immune"]));
-        let del2 =
-            Update::delete("Function", Tuple::of_text(&["mouse", "prot2", "immune"]), p(1));
+        let del2 = Update::delete("Function", Tuple::of_text(&["mouse", "prot2", "immune"]), p(1));
         assert!(fk.check_update(&schema, &inst, &del2).is_ok());
     }
 

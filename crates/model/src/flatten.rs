@@ -111,7 +111,11 @@ pub fn flatten(schema: &Schema, updates: &[Update]) -> Vec<Update> {
                     None => {
                         per_rel.insert(
                             to_key,
-                            (NetEffect::Modify { from: from.clone(), to: to.clone() }, u.origin, seq),
+                            (
+                                NetEffect::Modify { from: from.clone(), to: to.clone() },
+                                u.origin,
+                                seq,
+                            ),
                         );
                     }
                     Some((NetEffect::Insert(_), _, first)) => {
@@ -224,18 +228,8 @@ mod tests {
     fn modify_chain_composes() {
         let schema = bioinformatics_schema();
         let updates = vec![
-            Update::modify(
-                "Function",
-                func("rat", "prot1", "a"),
-                func("rat", "prot1", "b"),
-                p(1),
-            ),
-            Update::modify(
-                "Function",
-                func("rat", "prot1", "b"),
-                func("rat", "prot1", "c"),
-                p(2),
-            ),
+            Update::modify("Function", func("rat", "prot1", "a"), func("rat", "prot1", "b"), p(1)),
+            Update::modify("Function", func("rat", "prot1", "b"), func("rat", "prot1", "c"), p(2)),
         ];
         let flat = flatten(&schema, &updates);
         assert_eq!(flat.len(), 1);
@@ -248,18 +242,8 @@ mod tests {
     fn modify_back_to_original_cancels() {
         let schema = bioinformatics_schema();
         let updates = vec![
-            Update::modify(
-                "Function",
-                func("rat", "prot1", "a"),
-                func("rat", "prot1", "b"),
-                p(1),
-            ),
-            Update::modify(
-                "Function",
-                func("rat", "prot1", "b"),
-                func("rat", "prot1", "a"),
-                p(1),
-            ),
+            Update::modify("Function", func("rat", "prot1", "a"), func("rat", "prot1", "b"), p(1)),
+            Update::modify("Function", func("rat", "prot1", "b"), func("rat", "prot1", "a"), p(1)),
         ];
         assert!(flatten(&schema, &updates).is_empty());
     }
@@ -268,12 +252,7 @@ mod tests {
     fn modify_then_delete_becomes_delete_of_original() {
         let schema = bioinformatics_schema();
         let updates = vec![
-            Update::modify(
-                "Function",
-                func("rat", "prot1", "a"),
-                func("rat", "prot1", "b"),
-                p(1),
-            ),
+            Update::modify("Function", func("rat", "prot1", "a"), func("rat", "prot1", "b"), p(1)),
             Update::delete("Function", func("rat", "prot1", "b"), p(1)),
         ];
         let flat = flatten(&schema, &updates);
@@ -334,12 +313,7 @@ mod tests {
         let schema = bioinformatics_schema();
         let updates = vec![
             Update::insert("Function", func("rat", "prot1", "a"), p(1)),
-            Update::modify(
-                "Function",
-                func("rat", "prot1", "a"),
-                func("rat", "prot1", "b"),
-                p(1),
-            ),
+            Update::modify("Function", func("rat", "prot1", "a"), func("rat", "prot1", "b"), p(1)),
             Update::insert("Function", func("mouse", "prot2", "x"), p(1)),
             Update::delete("Function", func("mouse", "prot2", "x"), p(1)),
             Update::delete("Function", func("dog", "prot9", "z"), p(1)),

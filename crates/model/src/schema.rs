@@ -311,12 +311,8 @@ mod tests {
 
     #[test]
     fn key_must_reference_existing_columns() {
-        let err = RelationSchema::new(
-            "R",
-            vec![ColumnDef::new("a", ValueType::Int)],
-            &["missing"],
-        )
-        .unwrap_err();
+        let err = RelationSchema::new("R", vec![ColumnDef::new("a", ValueType::Int)], &["missing"])
+            .unwrap_err();
         assert!(matches!(err, ModelError::UnknownColumn { .. }));
     }
 
@@ -347,10 +343,7 @@ mod tests {
     fn nullable_columns_accept_null() {
         let rs = RelationSchema::new(
             "R",
-            vec![
-                ColumnDef::new("k", ValueType::Int),
-                ColumnDef::nullable("v", ValueType::Text),
-            ],
+            vec![ColumnDef::new("k", ValueType::Int), ColumnDef::nullable("v", ValueType::Text)],
             &["k"],
         )
         .unwrap();

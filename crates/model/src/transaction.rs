@@ -27,9 +27,7 @@ impl Transaction {
     /// update's origin matches the transaction's originating participant.
     pub fn new(id: TransactionId, updates: Vec<Update>) -> Result<Self> {
         if updates.is_empty() {
-            return Err(ModelError::InvalidTransaction(format!(
-                "transaction {id} has no updates"
-            )));
+            return Err(ModelError::InvalidTransaction(format!("transaction {id} has no updates")));
         }
         for u in &updates {
             if u.origin != id.participant {
@@ -106,9 +104,7 @@ impl Transaction {
     /// Returns true if any update of `self` conflicts with any update of
     /// `other` under the schema (the paper's transaction-level conflict).
     pub fn conflicts_with(&self, other: &Transaction, schema: &Schema) -> bool {
-        self.updates
-            .iter()
-            .any(|a| other.updates.iter().any(|b| a.conflicts_with(b, schema)))
+        self.updates.iter().any(|a| other.updates.iter().any(|b| a.conflicts_with(b, schema)))
     }
 }
 

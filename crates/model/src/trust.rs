@@ -311,12 +311,10 @@ mod tests {
     #[test]
     fn max_priority_wins_for_updates() {
         let schema = bioinformatics_schema();
-        let policy = TrustPolicy::new(p(1))
-            .trusting(p(2), 1u32)
-            .with_rule(AcceptanceRule::new(
-                Predicate::FromParticipant(p(2)).and(Predicate::OverRelation("Function".into())),
-                4u32,
-            ));
+        let policy = TrustPolicy::new(p(1)).trusting(p(2), 1u32).with_rule(AcceptanceRule::new(
+            Predicate::FromParticipant(p(2)).and(Predicate::OverRelation("Function".into())),
+            4u32,
+        ));
         let u = Update::insert("Function", func("rat", "prot1", "immune"), p(2));
         assert_eq!(policy.priority_of_update(&u, &schema), Priority(4));
         let xref = Update::insert("XRef", Tuple::of_text(&["rat", "prot1", "db", "a"]), p(2));
@@ -383,12 +381,10 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let policy = TrustPolicy::new(p(1))
-            .trusting(p(2), 1u32)
-            .with_rule(AcceptanceRule::new(
-                Predicate::WritesValue { column: "organism".into(), equals: "rat".into() },
-                7u32,
-            ));
+        let policy = TrustPolicy::new(p(1)).trusting(p(2), 1u32).with_rule(AcceptanceRule::new(
+            Predicate::WritesValue { column: "organism".into(), equals: "rat".into() },
+            7u32,
+        ));
         let json = serde_json::to_string(&policy).unwrap();
         let back: TrustPolicy = serde_json::from_str(&json).unwrap();
         assert_eq!(policy, back);

@@ -288,10 +288,7 @@ mod tests {
         let c = Update::insert("Function", func("rat", "prot1", "immune"), p(2));
         let d = Update::insert("Function", func("rat", "prot2", "immune"), p(2));
         assert!(a.conflicts_with(&b, &schema));
-        assert_eq!(
-            a.conflict_kind_with(&b, &schema).unwrap().0,
-            ConflictKind::DivergentInsert
-        );
+        assert_eq!(a.conflict_kind_with(&b, &schema).unwrap().0, ConflictKind::DivergentInsert);
         // Identical inserts do not conflict.
         assert!(!a.conflicts_with(&c, &schema));
         // Different keys do not conflict.
@@ -334,10 +331,7 @@ mod tests {
             p(2),
         );
         assert!(m1.conflicts_with(&m2, &schema));
-        assert_eq!(
-            m1.conflict_kind_with(&m2, &schema).unwrap().0,
-            ConflictKind::DivergentModify
-        );
+        assert_eq!(m1.conflict_kind_with(&m2, &schema).unwrap().0, ConflictKind::DivergentModify);
         // Same source, same target: no conflict.
         assert!(!m1.conflicts_with(&m3, &schema));
         // Different source tuples: no conflict under rule 3.

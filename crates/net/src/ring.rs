@@ -69,7 +69,10 @@ impl Ring {
     fn rebuild_routing(&mut self) {
         self.routing.clear();
         for &node in &self.members {
-            let mut state = RoutingState { table: vec![FxHashMap::default(); NodeId::DIGITS], leaf_set: Vec::new() };
+            let mut state = RoutingState {
+                table: vec![FxHashMap::default(); NodeId::DIGITS],
+                leaf_set: Vec::new(),
+            };
             for &other in &self.members {
                 if other == node {
                     continue;

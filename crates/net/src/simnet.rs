@@ -107,7 +107,13 @@ impl SimNetwork {
 
     /// Charges a request/reply round trip: a routed request to the owner of
     /// `key` followed by a direct reply. Returns the owner.
-    pub fn round_trip(&mut self, from: NodeId, key: NodeId, request_bytes: u64, reply_bytes: u64) -> Option<NodeId> {
+    pub fn round_trip(
+        &mut self,
+        from: NodeId,
+        key: NodeId,
+        request_bytes: u64,
+        reply_bytes: u64,
+    ) -> Option<NodeId> {
         let owner = self.send_to_key(from, key, request_bytes)?;
         self.send_direct(owner, from, reply_bytes);
         Some(owner)

@@ -2,9 +2,7 @@
 //! reconciliation.
 
 use crate::report::{ReconcileReport, ResolutionReport, TimingBreakdown};
-use orchestra_model::{
-    ParticipantId, Schema, Transaction, TransactionId, TrustPolicy, Update,
-};
+use orchestra_model::{ParticipantId, Schema, Transaction, TransactionId, TrustPolicy, Update};
 use orchestra_recon::{
     resolution::resolve_conflicts, ConflictGroup, ReconcileEngine, ReconcileInput,
     ResolutionChoice, SoftState,
@@ -167,12 +165,9 @@ impl Participant {
     pub fn execute_transaction(&mut self, updates: Vec<Update>) -> Result<TransactionId> {
         for u in &updates {
             if u.origin != self.id {
-                return Err(StorageError::Model(
-                    orchestra_model::ModelError::InvalidTransaction(format!(
-                        "update originated by {} executed at {}",
-                        u.origin, self.id
-                    )),
-                ));
+                return Err(StorageError::Model(orchestra_model::ModelError::InvalidTransaction(
+                    format!("update originated by {} executed at {}", u.origin, self.id),
+                )));
             }
         }
         let txn = Transaction::from_parts(self.id, self.next_local_txn, updates)
@@ -396,11 +391,7 @@ mod tests {
         p1.execute_transaction(vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
             .unwrap();
         let err = p1
-            .execute_transaction(vec![Update::insert(
-                "Function",
-                func("rat", "prot1", "b"),
-                p(1),
-            )])
+            .execute_transaction(vec![Update::insert("Function", func("rat", "prot1", "b"), p(1))])
             .unwrap_err();
         assert!(matches!(err, StorageError::DuplicateKey { .. }));
         assert_eq!(p1.pending_publications().len(), 1);
@@ -453,9 +444,7 @@ mod tests {
         .unwrap();
         let report = p2.publish_and_reconcile(&mut store).unwrap();
         assert_eq!(report.rejected.len(), 1);
-        assert!(p2
-            .instance()
-            .contains_tuple_exact("Function", &func("rat", "prot1", "cell-resp")));
+        assert!(p2.instance().contains_tuple_exact("Function", &func("rat", "prot1", "cell-resp")));
     }
 
     #[test]

@@ -77,10 +77,8 @@ mod tests {
 
     #[test]
     fn timing_breakdown_totals_and_accumulates() {
-        let mut t = TimingBreakdown {
-            store: Duration::from_millis(10),
-            local: Duration::from_millis(5),
-        };
+        let mut t =
+            TimingBreakdown { store: Duration::from_millis(10), local: Duration::from_millis(5) };
         assert_eq!(t.total(), Duration::from_millis(15));
         t.accumulate(TimingBreakdown {
             store: Duration::from_millis(1),

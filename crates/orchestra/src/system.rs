@@ -152,7 +152,7 @@ impl<S: UpdateStore> CdssSystem<S> {
 mod tests {
     use super::*;
     use orchestra_model::schema::bioinformatics_schema;
-    use orchestra_model::{Tuple, TrustPolicy};
+    use orchestra_model::{TrustPolicy, Tuple};
     use orchestra_store::CentralStore;
 
     fn p(i: u32) -> ParticipantId {
@@ -200,10 +200,7 @@ mod tests {
     fn data_propagates_through_the_system() {
         let mut system = fully_trusting_system(3);
         system
-            .execute(
-                p(1),
-                vec![Update::insert("Function", func("rat", "prot1", "immune"), p(1))],
-            )
+            .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "immune"), p(1))])
             .unwrap();
         system.publish_and_reconcile(p(1)).unwrap();
         system.publish_and_reconcile(p(2)).unwrap();

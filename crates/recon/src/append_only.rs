@@ -37,8 +37,7 @@ pub fn append_only_reconcile(
 
     // Group by epoch, preserving order.
     let mut epochs: Vec<Epoch> = Vec::new();
-    let mut by_epoch: FxHashMap<Epoch, Vec<&(Epoch, Transaction, Priority)>> =
-        FxHashMap::default();
+    let mut by_epoch: FxHashMap<Epoch, Vec<&(Epoch, Transaction, Priority)>> = FxHashMap::default();
     for entry in published {
         if !by_epoch.contains_key(&entry.0) {
             epochs.push(entry.0);
@@ -57,9 +56,7 @@ pub fn append_only_reconcile(
             // Condition 1: no conflicting transaction of equal or higher
             // priority in the same epoch.
             let conflicting_peer = group.iter().any(|(_, other, other_prio)| {
-                other.id() != txn.id()
-                    && *other_prio >= *prio
-                    && txn.conflicts_with(other, schema)
+                other.id() != txn.id() && *other_prio >= *prio && txn.conflicts_with(other, schema)
             });
             if conflicting_peer {
                 outcome.rejected.push(txn.id());
@@ -67,10 +64,9 @@ pub fn append_only_reconcile(
             }
             // Condition 2: no conflict with previously applied state (which
             // embodies every earlier accepted insertion).
-            let compatible = txn
-                .updates()
-                .iter()
-                .all(|u: &Update| instance.is_compatible(u) && instance.check_constraints(u).is_ok());
+            let compatible = txn.updates().iter().all(|u: &Update| {
+                instance.is_compatible(u) && instance.check_constraints(u).is_ok()
+            });
             if !compatible {
                 outcome.rejected.push(txn.id());
                 continue;
@@ -99,12 +95,8 @@ mod tests {
     }
 
     fn ins_txn(i: u32, j: u64, org: &str, prot: &str, f: &str) -> Transaction {
-        Transaction::from_parts(
-            p(i),
-            j,
-            vec![Update::insert("Function", func(org, prot, f), p(i))],
-        )
-        .unwrap()
+        Transaction::from_parts(p(i), j, vec![Update::insert("Function", func(org, prot, f), p(i))])
+            .unwrap()
     }
 
     #[test]

@@ -126,7 +126,14 @@ impl ReconcileEngine {
         let mut flattened: FxHashMap<TransactionId, Vec<Update>> = FxHashMap::default();
         for cand in &candidates {
             let flat = cand.flattened(schema);
-            let decision = self.check_state(cand, &flat, instance, soft, &own_flat, &input.previously_rejected);
+            let decision = self.check_state(
+                cand,
+                &flat,
+                instance,
+                soft,
+                &own_flat,
+                &input.previously_rejected,
+            );
             decisions.insert(cand.id, decision);
             flattened.insert(cand.id, flat);
         }
@@ -205,10 +212,7 @@ impl ReconcileEngine {
         // Previously deferred transactions that were decided in this run
         // (possible during conflict resolution) drop out of the deferred set.
         all_deferred.retain(|c| {
-            decisions
-                .get(&c.id)
-                .map(|d| *d == TransactionDecision::Defer)
-                .unwrap_or(true)
+            decisions.get(&c.id).map(|d| *d == TransactionDecision::Defer).unwrap_or(true)
         });
         soft.rebuild(input.recno, all_deferred, schema);
         outcome.conflict_groups = soft.conflict_groups().to_vec();
@@ -302,7 +306,8 @@ impl ReconcileEngine {
         for indices in by_key.values() {
             for a_pos in 0..indices.len() {
                 for b_pos in (a_pos + 1)..indices.len() {
-                    let (i, j) = (indices[a_pos].min(indices[b_pos]), indices[a_pos].max(indices[b_pos]));
+                    let (i, j) =
+                        (indices[a_pos].min(indices[b_pos]), indices[a_pos].max(indices[b_pos]));
                     if i == j || !checked.insert((i, j)) {
                         continue;
                     }
@@ -470,7 +475,8 @@ mod tests {
     #[test]
     fn non_conflicting_candidates_are_accepted_and_applied() {
         let (engine, mut db, mut soft) = setup();
-        let x1 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "immune"), p(2))]);
+        let x1 =
+            txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "immune"), p(2))]);
         let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
         let input = ReconcileInput {
             recno: ReconciliationId(1),
@@ -489,7 +495,8 @@ mod tests {
     #[test]
     fn equal_priority_conflicts_are_deferred_with_conflict_groups() {
         let (engine, mut db, mut soft) = setup();
-        let x1 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
+        let x1 =
+            txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
         let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
         let input = ReconcileInput {
             recno: ReconciliationId(1),
@@ -509,8 +516,10 @@ mod tests {
     #[test]
     fn higher_priority_wins_and_lower_is_rejected() {
         let (engine, mut db, mut soft) = setup();
-        let high = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
-        let low = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(3))]);
+        let high =
+            txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
+        let low =
+            txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(3))]);
         let input = ReconcileInput {
             recno: ReconciliationId(1),
             candidates: vec![cand(&low, 1), cand(&high, 5)],
@@ -529,7 +538,8 @@ mod tests {
         // The participant already applied its own insert locally.
         db.apply_update(&Update::insert("Function", func("rat", "prot1", "cell-resp"), p(1)))
             .unwrap();
-        let remote = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        let remote =
+            txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
         let input = ReconcileInput {
             recno: ReconciliationId(1),
             candidates: vec![cand(&remote, 7)],
@@ -544,8 +554,7 @@ mod tests {
     #[test]
     fn incompatible_with_instance_is_rejected() {
         let (engine, mut db, mut soft) = setup();
-        db.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
+        db.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
         // A remote modify of a tuple value this participant never had.
         let remote = txn(
             3,
@@ -573,7 +582,12 @@ mod tests {
         let x1 = txn(
             2,
             1,
-            vec![Update::modify("Function", func("rat", "prot1", "v1"), func("rat", "prot1", "v2"), p(2))],
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "v1"),
+                func("rat", "prot1", "v2"),
+                p(2),
+            )],
         );
         let candidate = CandidateTransaction::new(&x1, Priority(1), vec![x0.clone()]);
         let mut rejected = FxHashSet::default();
@@ -632,11 +646,7 @@ mod tests {
     fn shared_antecedents_are_applied_once() {
         let (engine, mut db, mut soft) = setup();
         let base = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "base"), p(2))]);
-        let left = txn(
-            2,
-            1,
-            vec![Update::insert("Function", func("mouse", "prot2", "x"), p(2))],
-        );
+        let left = txn(2, 1, vec![Update::insert("Function", func("mouse", "prot2", "x"), p(2))]);
         // Two candidates share `base` as an antecedent (one is base itself).
         let c_base = CandidateTransaction::new(&base, Priority(1), vec![]);
         let c_left = CandidateTransaction::new(&left, Priority(1), vec![base.clone()]);
@@ -652,10 +662,7 @@ mod tests {
         assert_eq!(out.accepted_roots.len(), 2);
         // base appears once in accepted_members even though it is in both
         // extensions.
-        assert_eq!(
-            out.accepted_members.iter().filter(|id| **id == base.id()).count(),
-            1
-        );
+        assert_eq!(out.accepted_members.iter().filter(|id| **id == base.id()).count(), 1);
         assert_eq!(db.total_tuples(), 2);
     }
 
@@ -708,9 +715,9 @@ mod tests {
     #[test]
     fn identical_remote_insert_is_accepted_as_noop() {
         let (engine, mut db, mut soft) = setup();
-        db.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
-        let remote = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
+        db.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
+        let remote =
+            txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
         let out = engine.reconcile(
             ReconcileInput {
                 recno: ReconciliationId(1),

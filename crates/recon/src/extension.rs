@@ -8,9 +8,7 @@
 //! footprint of that list — the net changes the reconciling peer would apply
 //! if it accepted the transaction.
 
-use orchestra_model::{
-    flatten, ConflictKey, Priority, Schema, Transaction, TransactionId, Update,
-};
+use orchestra_model::{flatten, ConflictKey, Priority, Schema, Transaction, TransactionId, Update};
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 
@@ -74,15 +72,9 @@ impl CandidateTransaction {
     /// Builds a candidate from the root transaction and its already-resolved
     /// extension member transactions (antecedents in publication order; the
     /// root itself may be included or will be appended).
-    pub fn new(
-        root: &Transaction,
-        priority: Priority,
-        antecedents: Vec<Transaction>,
-    ) -> Self {
-        let mut members: Vec<(TransactionId, Vec<Update>)> = antecedents
-            .into_iter()
-            .map(|t| (t.id(), t.updates().to_vec()))
-            .collect();
+    pub fn new(root: &Transaction, priority: Priority, antecedents: Vec<Transaction>) -> Self {
+        let mut members: Vec<(TransactionId, Vec<Update>)> =
+            antecedents.into_iter().map(|t| (t.id(), t.updates().to_vec())).collect();
         if members.last().map(|(id, _)| *id) != Some(root.id()) {
             members.push((root.id(), root.updates().to_vec()));
         }
@@ -133,11 +125,7 @@ impl CandidateTransaction {
 
     /// Definition 4 (*direct conflict*): the two extensions conflict on
     /// updates that do not come from shared member transactions.
-    pub fn directly_conflicts_with(
-        &self,
-        other: &CandidateTransaction,
-        schema: &Schema,
-    ) -> bool {
+    pub fn directly_conflicts_with(&self, other: &CandidateTransaction, schema: &Schema) -> bool {
         !self.direct_conflict_keys(other, schema).is_empty()
     }
 
@@ -152,8 +140,7 @@ impl CandidateTransaction {
     ) -> Vec<ConflictKey> {
         let mine = self.member_ids();
         let theirs = other.member_ids();
-        let shared: FxHashSet<TransactionId> =
-            mine.intersection(&theirs).copied().collect();
+        let shared: FxHashSet<TransactionId> = mine.intersection(&theirs).copied().collect();
         let ours = self.flattened_excluding(schema, &shared);
         let others = other.flattened_excluding(schema, &shared);
         conflict_keys_between(&ours, &others, schema)
@@ -201,7 +188,8 @@ mod tests {
         let schema = bioinformatics_schema();
         // X3:0 inserts, X3:1 revises (the paper's epoch-1 example): the
         // flattened extension of X3:1 is a single insert of the final value.
-        let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))]);
+        let x0 =
+            txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))]);
         let x1 = txn(
             3,
             1,
@@ -297,7 +285,8 @@ mod tests {
     #[test]
     fn divergent_inserts_directly_conflict() {
         let schema = bioinformatics_schema();
-        let x1 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
+        let x1 =
+            txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
         let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
         let c1 = CandidateTransaction::new(&x1, Priority(1), vec![]);
         let c2 = CandidateTransaction::new(&x2, Priority(1), vec![]);

@@ -126,12 +126,8 @@ mod tests {
     }
 
     fn insert_txn(i: u32, j: u64, org: &str, prot: &str, f: &str) -> Transaction {
-        Transaction::from_parts(
-            p(i),
-            j,
-            vec![Update::insert("Function", func(org, prot, f), p(i))],
-        )
-        .unwrap()
+        Transaction::from_parts(p(i), j, vec![Update::insert("Function", func(org, prot, f), p(i))])
+            .unwrap()
     }
 
     fn cand(txn: &Transaction, prio: u32) -> CandidateTransaction {
@@ -229,11 +225,8 @@ mod tests {
         assert_eq!(soft.conflict_groups().len(), 2);
 
         // Resolve only the rat/prot1 group, keeping a1.
-        let rat_group = soft
-            .conflict_groups()
-            .iter()
-            .find(|g| g.transactions().contains(&a1.id()))
-            .unwrap();
+        let rat_group =
+            soft.conflict_groups().iter().find(|g| g.transactions().contains(&a1.id())).unwrap();
         let key = rat_group.key.clone();
         let idx = rat_group.options.iter().position(|o| o.transactions.contains(&a1.id())).unwrap();
         let outcome = resolve_conflicts(

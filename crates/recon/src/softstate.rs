@@ -310,7 +310,8 @@ mod tests {
     fn rebuild_marks_dirty_values_and_groups_conflicts() {
         let schema = bioinformatics_schema();
         let mut s = SoftState::new();
-        let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
+        let c1 =
+            cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
         let c2 = cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
         s.rebuild(ReconciliationId(1), vec![c1.clone(), c2.clone()], &schema);
 
@@ -333,9 +334,12 @@ mod tests {
         // Two different participants propose the same value; a third proposes
         // a divergent one. The group should have two options, one of which
         // carries two transactions.
-        let same_a = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
-        let same_b = cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
-        let diff = cand(4, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(4))]);
+        let same_a =
+            cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))]);
+        let same_b =
+            cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
+        let diff =
+            cand(4, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(4))]);
         s.rebuild(ReconciliationId(2), vec![same_a, same_b, diff], &schema);
 
         assert_eq!(s.conflict_groups().len(), 1);

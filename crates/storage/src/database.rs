@@ -3,9 +3,7 @@
 
 use crate::error::Result;
 use crate::table::Table;
-use orchestra_model::{
-    InstanceView, KeyValue, Schema, Transaction, Tuple, Update, UpdateOp,
-};
+use orchestra_model::{InstanceView, KeyValue, Schema, Transaction, Tuple, Update, UpdateOp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -23,10 +21,8 @@ pub struct Database {
 impl Database {
     /// Creates an empty instance of the given schema.
     pub fn new(schema: Schema) -> Self {
-        let tables = schema
-            .relations()
-            .map(|r| (r.name().to_owned(), Table::new(r.clone())))
-            .collect();
+        let tables =
+            schema.relations().map(|r| (r.name().to_owned(), Table::new(r.clone()))).collect();
         Database { schema, tables }
     }
 
@@ -134,8 +130,12 @@ impl Database {
     /// sequences).
     fn inverse(update: &Update) -> Update {
         match &update.op {
-            UpdateOp::Insert(t) => Update::delete(update.relation.clone(), t.clone(), update.origin),
-            UpdateOp::Delete(t) => Update::insert(update.relation.clone(), t.clone(), update.origin),
+            UpdateOp::Insert(t) => {
+                Update::delete(update.relation.clone(), t.clone(), update.origin)
+            }
+            UpdateOp::Delete(t) => {
+                Update::insert(update.relation.clone(), t.clone(), update.origin)
+            }
             UpdateOp::Modify { from, to } => {
                 Update::modify(update.relation.clone(), to.clone(), from.clone(), update.origin)
             }
@@ -230,16 +230,14 @@ mod tests {
         ))
         .unwrap();
         assert!(d.contains_tuple("Function", &func("rat", "prot1", "immune")));
-        d.apply_update(&Update::delete("Function", func("rat", "prot1", "immune"), p(3)))
-            .unwrap();
+        d.apply_update(&Update::delete("Function", func("rat", "prot1", "immune"), p(3))).unwrap();
         assert!(d.is_empty());
     }
 
     #[test]
     fn incompatible_updates_detected() {
         let mut d = db();
-        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(3)))
-            .unwrap();
+        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(3))).unwrap();
         let divergent = Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2));
         assert!(!d.is_compatible(&divergent));
         assert!(d.apply_update(&divergent).is_err());
@@ -254,8 +252,7 @@ mod tests {
     #[test]
     fn apply_all_is_atomic() {
         let mut d = db();
-        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
+        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
         let batch = vec![
             Update::insert("Function", func("mouse", "prot2", "immune"), p(1)),
             // This one fails: divergent insert over existing key.
@@ -307,25 +304,19 @@ mod tests {
             })
             .unwrap();
         let mut d = Database::new(schema);
-        let xref = Update::insert(
-            "XRef",
-            Tuple::of_text(&["rat", "prot1", "genbank", "ACC1"]),
-            p(1),
-        );
+        let xref =
+            Update::insert("XRef", Tuple::of_text(&["rat", "prot1", "genbank", "ACC1"]), p(1));
         assert!(d.apply_update(&xref).is_err());
-        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
+        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
         assert!(d.apply_update(&xref).is_ok());
     }
 
     #[test]
     fn snapshot_is_independent() {
         let mut d = db();
-        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
+        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
         let snap = d.snapshot();
-        d.apply_update(&Update::delete("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
+        d.apply_update(&Update::delete("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
         assert!(snap.contains_tuple("Function", &func("rat", "prot1", "immune")));
         assert!(d.is_empty());
     }
@@ -333,8 +324,7 @@ mod tests {
     #[test]
     fn value_at_and_relation_contents() {
         let mut d = db();
-        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
+        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
         let key = KeyValue::of_text(&["rat", "prot1"]);
         assert_eq!(d.value_at("Function", &key).unwrap(), func("rat", "prot1", "immune"));
         assert!(d.value_at("Function", &KeyValue::of_text(&["x", "y"])).is_none());
@@ -346,8 +336,7 @@ mod tests {
     #[test]
     fn instance_view_impl() {
         let mut d = db();
-        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1)))
-            .unwrap();
+        d.apply_update(&Update::insert("Function", func("rat", "prot1", "immune"), p(1))).unwrap();
         let view: &dyn InstanceView = &d;
         assert!(view.contains_tuple("Function", &func("rat", "prot1", "immune")));
         assert_eq!(view.scan("Function").len(), 1);

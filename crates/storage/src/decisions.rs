@@ -94,13 +94,7 @@ impl DecisionLog {
         let mut out: Vec<TransactionId> = self
             .participants
             .get(&participant)
-            .map(|r| {
-                r.decisions
-                    .iter()
-                    .filter(|(_, &d)| d == wanted)
-                    .map(|(&id, _)| id)
-                    .collect()
-            })
+            .map(|r| r.decisions.iter().filter(|(_, &d)| d == wanted).map(|(&id, _)| id).collect())
             .unwrap_or_default();
         out.sort();
         out
@@ -122,10 +116,7 @@ impl DecisionLog {
         &self,
         participant: ParticipantId,
     ) -> Option<(ReconciliationId, Epoch)> {
-        self.participants
-            .get(&participant)
-            .and_then(|r| r.reconciliations.last())
-            .copied()
+        self.participants.get(&participant).and_then(|r| r.reconciliations.last()).copied()
     }
 
     /// The epoch of the participant's most recent reconciliation
@@ -136,17 +127,12 @@ impl DecisionLog {
 
     /// The next reconciliation number for the participant.
     pub fn next_reconciliation_id(&self, participant: ParticipantId) -> ReconciliationId {
-        self.last_reconciliation(participant)
-            .map(|(r, _)| r.next())
-            .unwrap_or(ReconciliationId(1))
+        self.last_reconciliation(participant).map(|(r, _)| r.next()).unwrap_or(ReconciliationId(1))
     }
 
     /// The full reconciliation history of a participant.
     pub fn reconciliations(&self, participant: ParticipantId) -> Vec<(ReconciliationId, Epoch)> {
-        self.participants
-            .get(&participant)
-            .map(|r| r.reconciliations.clone())
-            .unwrap_or_default()
+        self.participants.get(&participant).map(|r| r.reconciliations.clone()).unwrap_or_default()
     }
 }
 

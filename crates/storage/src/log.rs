@@ -60,10 +60,7 @@ impl TransactionLog {
         self.by_epoch.entry(entry.epoch.as_u64()).or_default().push(pos);
         for u in entry.transaction.updates() {
             if let Some(written) = u.written_tuple() {
-                self.writers
-                    .entry((u.relation.clone(), written.clone()))
-                    .or_default()
-                    .push(pos);
+                self.writers.entry((u.relation.clone(), written.clone())).or_default().push(pos);
             }
         }
     }
@@ -154,7 +151,12 @@ impl TransactionLog {
     /// `before` bounds the search to transactions published strictly before
     /// the given log position (pass `self.len()` for a transaction not yet in
     /// the log, or its own position for a published one).
-    pub fn antecedents_of(&self, txn: &Transaction, schema: &Schema, before: usize) -> Vec<TransactionId> {
+    pub fn antecedents_of(
+        &self,
+        txn: &Transaction,
+        schema: &Schema,
+        before: usize,
+    ) -> Vec<TransactionId> {
         let _ = schema; // antecedent chasing is on exact tuple values
         let mut out: Vec<TransactionId> = Vec::new();
         let mut seen: FxHashSet<TransactionId> = FxHashSet::default();
@@ -282,7 +284,8 @@ mod tests {
         let mut log = TransactionLog::new();
         // X3:0 inserts, X3:1 modifies the inserted value: antecedent of X3:1
         // is X3:0.
-        let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))]);
+        let x0 =
+            txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))]);
         let x1 = txn(
             3,
             1,

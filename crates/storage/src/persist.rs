@@ -86,10 +86,7 @@ mod tests {
 
     #[test]
     fn corrupt_json_is_reported() {
-        assert!(matches!(
-            database_from_json("{not json"),
-            Err(StorageError::Persistence(_))
-        ));
+        assert!(matches!(database_from_json("{not json"), Err(StorageError::Persistence(_))));
         assert!(load_database(Path::new("/nonexistent/orchestra.json")).is_err());
     }
 

@@ -68,11 +68,8 @@ impl From<Table> for TableRepr {
             .indexes
             .iter()
             .map(|(name, idx)| {
-                let cols = idx
-                    .columns
-                    .iter()
-                    .map(|&i| table.schema.columns()[i].name.clone())
-                    .collect();
+                let cols =
+                    idx.columns.iter().map(|&i| table.schema.columns()[i].name.clone()).collect();
                 (name.clone(), cols)
             })
             .collect();
@@ -356,9 +353,7 @@ mod tests {
         let mut t = function_table();
         t.insert(func("rat", "prot1", "a")).unwrap();
         t.insert(func("rat", "prot2", "b")).unwrap();
-        let err = t
-            .modify(&func("rat", "prot1", "a"), func("rat", "prot2", "c"))
-            .unwrap_err();
+        let err = t.modify(&func("rat", "prot1", "a"), func("rat", "prot2", "c")).unwrap_err();
         assert!(matches!(err, StorageError::DuplicateKey { .. }));
     }
 
@@ -405,8 +400,7 @@ mod tests {
 
         // Index is maintained across deletes and modifies.
         t.delete(&func("rat", "prot1", "immune")).unwrap();
-        t.modify(&func("mouse", "prot2", "immune"), func("mouse", "prot2", "cell-resp"))
-            .unwrap();
+        t.modify(&func("mouse", "prot2", "immune"), func("mouse", "prot2", "cell-resp")).unwrap();
         let immune = t.index_lookup("by_function", &[Value::text("immune")]).unwrap();
         assert!(immune.is_empty());
         let resp = t.index_lookup("by_function", &[Value::text("cell-resp")]).unwrap();

@@ -78,8 +78,7 @@ pub trait UpdateStore {
     /// stable epoch, records it, and returns the relevant trusted
     /// transactions together with their priorities and transaction
     /// extensions.
-    fn begin_reconciliation(&mut self, participant: ParticipantId)
-        -> Result<RelevantTransactions>;
+    fn begin_reconciliation(&mut self, participant: ParticipantId) -> Result<RelevantTransactions>;
 
     /// Records the accept/reject decisions a participant made during a
     /// reconciliation (deferred transactions stay soft at the client).
@@ -119,14 +118,10 @@ mod tests {
 
     #[test]
     fn store_timing_accumulates_and_totals() {
-        let mut a = StoreTiming {
-            compute: Duration::from_millis(2),
-            network: Duration::from_millis(3),
-        };
-        let b = StoreTiming {
-            compute: Duration::from_millis(5),
-            network: Duration::from_millis(7),
-        };
+        let mut a =
+            StoreTiming { compute: Duration::from_millis(2), network: Duration::from_millis(3) };
+        let b =
+            StoreTiming { compute: Duration::from_millis(5), network: Duration::from_millis(7) };
         a.accumulate(b);
         assert_eq!(a.compute, Duration::from_millis(7));
         assert_eq!(a.network, Duration::from_millis(10));

@@ -183,10 +183,7 @@ impl StoreCatalog {
 
     /// The participant's most recent reconciliation number.
     pub fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
-        self.decisions
-            .last_reconciliation(participant)
-            .map(|(r, _)| r)
-            .unwrap_or_default()
+        self.decisions.last_reconciliation(participant).map(|(r, _)| r).unwrap_or_default()
     }
 
     /// The participant's rejected set.
@@ -296,7 +293,12 @@ mod tests {
         let x1 = txn(
             2,
             0,
-            vec![Update::modify("Function", func("rat", "prot1", "v1"), func("rat", "prot1", "v2"), p(2))],
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "v1"),
+                func("rat", "prot1", "v2"),
+                p(2),
+            )],
         );
         cat.publish(p(3), vec![x0.clone()]).unwrap();
         cat.publish(p(2), vec![x1.clone()]).unwrap();

@@ -57,10 +57,7 @@ impl UpdateStore for CentralStore {
         self.timed(|cat| cat.publish(participant, transactions))
     }
 
-    fn begin_reconciliation(
-        &mut self,
-        participant: ParticipantId,
-    ) -> Result<RelevantTransactions> {
+    fn begin_reconciliation(&mut self, participant: ParticipantId) -> Result<RelevantTransactions> {
         self.timed(|cat| {
             let (recno, previous, epoch) = cat.begin_reconciliation(participant);
             let relevant = cat.relevant_transactions(participant, previous, epoch);
@@ -211,7 +208,12 @@ mod tests {
         let x1 = txn(
             2,
             0,
-            vec![Update::modify("Function", func("rat", "prot1", "v1"), func("rat", "prot1", "v2"), p(2))],
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "v1"),
+                func("rat", "prot1", "v2"),
+                p(2),
+            )],
         );
         s.publish(p(3), vec![x0.clone()]).unwrap();
         s.publish(p(2), vec![x1.clone()]).unwrap();

@@ -144,9 +144,7 @@ impl UpdateStore for DhtStore {
         self.timed(|cat, net, keys| {
             // Figure 6, messages 1-4: epoch allocation round trip, with the
             // allocator informing the epoch controller.
-            let allocator = net
-                .send_to_key(peer, keys.allocator, REQUEST_BYTES)
-                .unwrap_or(peer);
+            let allocator = net.send_to_key(peer, keys.allocator, REQUEST_BYTES).unwrap_or(peer);
             let epoch_preview = Epoch(cat.registry().latest_allocated().as_u64() + 1);
             let epoch_controller = net
                 .send_to_key(allocator, DhtStore::epoch_key(epoch_preview), REQUEST_BYTES)
@@ -162,9 +160,8 @@ impl UpdateStore for DhtStore {
             // Figure 6, message 5: publish the transaction IDs at the epoch
             // controller; message 6: confirmation.
             let id_bytes = REQUEST_BYTES + 16 * txn_refs.len() as u64;
-            let controller = net
-                .send_to_key(peer, DhtStore::epoch_key(epoch), id_bytes)
-                .unwrap_or(peer);
+            let controller =
+                net.send_to_key(peer, DhtStore::epoch_key(epoch), id_bytes).unwrap_or(peer);
             net.send_direct(controller, peer, REQUEST_BYTES);
 
             // The peer then sends each transaction to its transaction
@@ -176,10 +173,7 @@ impl UpdateStore for DhtStore {
         })
     }
 
-    fn begin_reconciliation(
-        &mut self,
-        participant: ParticipantId,
-    ) -> Result<RelevantTransactions> {
+    fn begin_reconciliation(&mut self, participant: ParticipantId) -> Result<RelevantTransactions> {
         let peer = self.node_of(participant);
         self.timed(|cat, net, keys| {
             // Ask the epoch allocator for the most recent epoch.
@@ -235,9 +229,7 @@ impl UpdateStore for DhtStore {
                 let (cand, fetched_members) = cat.build_candidate_with(&accepted, txn, priority);
                 // Each undecided antecedent is fetched from its own
                 // transaction controller.
-                for (member_id, member_updates) in
-                    cand.members.iter().take(fetched_members)
-                {
+                for (member_id, member_updates) in cand.members.iter().take(fetched_members) {
                     let bytes = REQUEST_BYTES + UPDATE_BYTES * member_updates.len() as u64;
                     net.round_trip(peer, DhtStore::txn_key(*member_id), REQUEST_BYTES, bytes);
                 }
@@ -349,7 +341,12 @@ mod tests {
         let x1 = txn(
             2,
             0,
-            vec![Update::modify("Function", func("rat", "prot1", "v1"), func("rat", "prot1", "v2"), p(2))],
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "v1"),
+                func("rat", "prot1", "v2"),
+                p(2),
+            )],
         );
         s.publish(p(3), vec![x0.clone()]).unwrap();
         s.publish(p(2), vec![x1.clone()]).unwrap();

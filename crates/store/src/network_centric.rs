@@ -80,12 +80,8 @@ impl DhtStore {
             FxHashMap::default();
         for cand in &relevant.candidates {
             let net = cand.flattened(&schema);
-            let antecedents: Vec<TransactionId> = cand
-                .members
-                .iter()
-                .map(|(id, _)| *id)
-                .filter(|id| *id != cand.id)
-                .collect();
+            let antecedents: Vec<TransactionId> =
+                cand.members.iter().map(|(id, _)| *id).filter(|id| *id != cand.id).collect();
             let summary_bytes = CONTROL_BYTES + SUMMARY_BYTES_PER_UPDATE * net.len() as u64;
             self.charge_controller_work(cand.id, &antecedents, peer, summary_bytes);
             flattened.insert(cand.id, net);
@@ -162,10 +158,7 @@ impl DhtStore {
 /// feed the plan into the reconciliation engine.
 pub fn into_engine_inputs(
     plan: NetworkCentricPlan,
-) -> (
-    RelevantTransactions,
-    FxHashMap<TransactionId, FxHashSet<TransactionId>>,
-) {
+) -> (RelevantTransactions, FxHashMap<TransactionId, FxHashSet<TransactionId>>) {
     (plan.relevant, plan.conflicts)
 }
 
@@ -287,11 +280,7 @@ mod tests {
                 let t = txn(
                     i,
                     0,
-                    vec![Update::insert(
-                        "Function",
-                        func("rat", &format!("prot{i}"), "v"),
-                        p(i),
-                    )],
+                    vec![Update::insert("Function", func("rat", &format!("prot{i}"), "v"), p(i))],
                 );
                 s.publish(p(i), vec![t]).unwrap();
             }

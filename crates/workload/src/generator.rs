@@ -121,10 +121,8 @@ impl WorkloadGenerator {
             let proposed = self.pools.function_tuple(key_index, value_index);
             let key = function_rel.key_of(&proposed);
 
-            let current: Option<Tuple> = pending
-                .get(&key)
-                .cloned()
-                .or_else(|| instance.value_at("Function", &key));
+            let current: Option<Tuple> =
+                pending.get(&key).cloned().or_else(|| instance.value_at("Function", &key));
 
             match current {
                 Some(existing) => {
@@ -226,8 +224,7 @@ mod tests {
         let db = Database::new(schema);
         let mut generator = WorkloadGenerator::new(small_config(), 3);
         let updates = generator.next_transaction(p(1), &db);
-        let function_inserts =
-            updates.iter().filter(|u| u.relation == "Function").count();
+        let function_inserts = updates.iter().filter(|u| u.relation == "Function").count();
         let xref_inserts = updates.iter().filter(|u| u.relation == "XRef").count();
         assert_eq!(function_inserts, 1);
         assert!(xref_inserts == 7 || xref_inserts == 8, "got {xref_inserts} xrefs");
@@ -264,11 +261,7 @@ mod tests {
     fn multi_update_transactions_chain_within_the_transaction() {
         let schema = bioinformatics_schema();
         let mut db = Database::new(schema);
-        let config = WorkloadConfig {
-            transaction_size: 8,
-            key_universe: 3,
-            ..small_config()
-        };
+        let config = WorkloadConfig { transaction_size: 8, key_universe: 3, ..small_config() };
         let mut generator = WorkloadGenerator::new(config, 9);
         for _ in 0..50 {
             let updates = generator.next_transaction(p(1), &db);
@@ -305,8 +298,8 @@ mod tests {
         let db = Database::new(schema);
         let mut a = WorkloadGenerator::new(small_config(), 1);
         let mut b = WorkloadGenerator::new(small_config(), 2);
-        let streams_differ = (0..20)
-            .any(|_| a.next_transaction(p(1), &db) != b.next_transaction(p(1), &db));
+        let streams_differ =
+            (0..20).any(|_| a.next_transaction(p(1), &db) != b.next_transaction(p(1), &db));
         assert!(streams_differ);
     }
 }

@@ -129,9 +129,7 @@ pub fn run_scenario<S: UpdateStore>(store: S, config: &ScenarioConfig) -> Scenar
                 // applies.
                 let _ = system.execute(id, updates);
             }
-            let report = system
-                .publish_and_reconcile(id)
-                .expect("publish and reconcile succeeds");
+            let report = system.publish_and_reconcile(id).expect("publish and reconcile succeeds");
             result.reconciliations += 1;
             result.accepted += report.accepted.len();
             result.rejected += report.rejected.len();
@@ -145,8 +143,7 @@ pub fn run_scenario<S: UpdateStore>(store: S, config: &ScenarioConfig) -> Scenar
     let participants = config.participants.max(1) as u32;
     result.store_time_per_participant = total_timing.store / participants;
     result.local_time_per_participant = total_timing.local / participants;
-    result.time_per_reconciliation =
-        total_timing.total() / (result.reconciliations.max(1) as u32);
+    result.time_per_reconciliation = total_timing.total() / (result.reconciliations.max(1) as u32);
     result
 }
 
@@ -223,8 +220,7 @@ mod tests {
         let mut relaxed = tiny_config();
         relaxed.workload.key_universe = 500;
         relaxed.workload.key_zipf_exponent = 0.2;
-        let contended_result =
-            run_scenario(CentralStore::new(bioinformatics_schema()), &contended);
+        let contended_result = run_scenario(CentralStore::new(bioinformatics_schema()), &contended);
         let relaxed_result = run_scenario(CentralStore::new(bioinformatics_schema()), &relaxed);
         assert!(
             contended_result.state_ratio >= relaxed_result.state_ratio,

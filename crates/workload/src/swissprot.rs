@@ -14,8 +14,21 @@ use serde::{Deserialize, Serialize};
 /// Organism names used to synthesise keys (model organisms that dominate
 /// curated protein databases).
 const ORGANISMS: &[&str] = &[
-    "human", "mouse", "rat", "zebrafish", "fruitfly", "yeast", "ecoli", "arabidopsis", "celegans",
-    "xenopus", "chicken", "pig", "cow", "dog", "macaque",
+    "human",
+    "mouse",
+    "rat",
+    "zebrafish",
+    "fruitfly",
+    "yeast",
+    "ecoli",
+    "arabidopsis",
+    "celegans",
+    "xenopus",
+    "chicken",
+    "pig",
+    "cow",
+    "dog",
+    "macaque",
 ];
 
 /// Protein-function phrase fragments combined to synthesise a function pool.

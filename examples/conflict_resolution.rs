@@ -7,7 +7,7 @@
 
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_model::{ParticipantId, TrustPolicy, Tuple, Update};
 use orchestra_recon::ResolutionChoice;
 use orchestra_store::CentralStore;
 
@@ -32,7 +32,11 @@ fn main() {
     system
         .execute(
             lab_a,
-            vec![Update::insert("Function", func("zebrafish", "shh", "signal-transduction"), lab_a)],
+            vec![Update::insert(
+                "Function",
+                func("zebrafish", "shh", "signal-transduction"),
+                lab_a,
+            )],
         )
         .unwrap();
     system.publish_and_reconcile(lab_a).unwrap();
@@ -89,9 +93,7 @@ fn main() {
             .deferred_conflicts()
             .iter()
             .find(|g| {
-                g.options
-                    .iter()
-                    .any(|o| o.transactions.iter().any(|t| t.participant == lab_b))
+                g.options.iter().any(|o| o.transactions.iter().any(|t| t.participant == lab_b))
             })
             .expect("the zebrafish conflict group exists");
         let idx = group
@@ -121,6 +123,8 @@ fn main() {
     for (key, tuple) in instance.relation_contents("Function") {
         println!("  {key} -> {tuple}");
     }
-    assert!(instance.contains_tuple_exact("Function", &func("zebrafish", "shh", "cell-cycle-control")));
+    assert!(
+        instance.contains_tuple_exact("Function", &func("zebrafish", "shh", "cell-cycle-control"))
+    );
     println!("conflict resolved in favour of lab B");
 }

@@ -8,7 +8,7 @@
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
 use orchestra_model::{
-    AcceptanceRule, ParticipantId, Predicate, Tuple, TrustPolicy, Update, UpdateKind,
+    AcceptanceRule, ParticipantId, Predicate, TrustPolicy, Tuple, Update, UpdateKind,
 };
 use orchestra_store::CentralStore;
 
@@ -29,9 +29,8 @@ fn main() {
     // The biologist trusts the curated source at priority 5 and the automated
     // archive at priority 1, and additionally refuses to import deletions
     // from the automated archive at all.
-    let biologist_policy = TrustPolicy::new(biologist)
-        .trusting(swissprot_like, 5u32)
-        .with_rule(AcceptanceRule::new(
+    let biologist_policy =
+        TrustPolicy::new(biologist).trusting(swissprot_like, 5u32).with_rule(AcceptanceRule::new(
             Predicate::FromParticipant(genbank_like)
                 .and(Predicate::Not(Box::new(Predicate::OfKind(UpdateKind::Delete)))),
             1u32,
@@ -85,7 +84,9 @@ fn main() {
         println!("  {key} -> {tuple}");
     }
 
-    assert!(instance.contains_tuple_exact("Function", &func("human", "p53", "transcription-factor")));
+    assert!(
+        instance.contains_tuple_exact("Function", &func("human", "p53", "transcription-factor"))
+    );
     assert!(!instance.contains_tuple_exact("Function", &func("human", "p53", "kinase-activity")));
     assert!(instance.contains_tuple_exact("Function", &func("mouse", "brca1", "dna-repair")));
     assert!(report.deferred.is_empty(), "priorities resolve the conflict automatically");

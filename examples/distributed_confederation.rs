@@ -35,10 +35,7 @@ fn main() {
     );
     let dht_result = run_scenario(dht_store, &config);
 
-    let central_result = run_scenario(
-        orchestra_store::CentralStore::new(schema.clone()),
-        &config,
-    );
+    let central_result = run_scenario(orchestra_store::CentralStore::new(schema.clone()), &config);
 
     println!("\nresults (distributed store):");
     println!("  reconciliations            : {}", dht_result.reconciliations);
@@ -74,9 +71,8 @@ fn main() {
     // Demonstrate that the distributed store really is message-driven: build
     // a tiny store directly and inspect its traffic counters.
     let mut probe = DhtStore::new(schema);
-    probe.register_participant(orchestra_model::TrustPolicy::new(
-        orchestra_model::ParticipantId(1),
-    ));
+    probe
+        .register_participant(orchestra_model::TrustPolicy::new(orchestra_model::ParticipantId(1)));
     let stats = probe.network_stats();
     println!("\nfresh DHT store traffic before any publication: {} messages", stats.messages);
     println!("done.");

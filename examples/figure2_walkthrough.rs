@@ -6,7 +6,7 @@
 
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_model::{ParticipantId, TrustPolicy, Tuple, Update};
 use orchestra_store::CentralStore;
 
 fn func(org: &str, prot: &str, f: &str) -> Tuple {
@@ -15,11 +15,8 @@ fn func(org: &str, prot: &str, f: &str) -> Tuple {
 
 fn print_instance(label: &str, system: &CdssSystem<CentralStore>, id: ParticipantId) {
     let instance = system.participant(id).expect("participant exists").instance();
-    let rows: Vec<String> = instance
-        .relation_contents("Function")
-        .iter()
-        .map(|(_, t)| t.to_string())
-        .collect();
+    let rows: Vec<String> =
+        instance.relation_contents("Function").iter().map(|(_, t)| t.to_string()).collect();
     println!("  {label}: {{{}}}", rows.join(", "));
 }
 

@@ -4,7 +4,7 @@
 
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_model::{ParticipantId, TrustPolicy, Tuple, Update};
 use orchestra_store::CentralStore;
 
 fn main() {
@@ -18,19 +18,19 @@ fn main() {
     // Two labs that trust each other's curation at the same priority.
     let alice = ParticipantId(1);
     let bob = ParticipantId(2);
-    system.add_participant(ParticipantConfig::new(
-        TrustPolicy::new(alice).trusting(bob, 1u32),
-    ));
-    system.add_participant(ParticipantConfig::new(
-        TrustPolicy::new(bob).trusting(alice, 1u32),
-    ));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(alice).trusting(bob, 1u32)));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(bob).trusting(alice, 1u32)));
 
     // Alice curates a new protein-function fact locally.
     system
         .execute(
             alice,
             vec![
-                Update::insert("Function", Tuple::of_text(&["rat", "prot1", "immune-response"]), alice),
+                Update::insert(
+                    "Function",
+                    Tuple::of_text(&["rat", "prot1", "immune-response"]),
+                    alice,
+                ),
                 Update::insert(
                     "XRef",
                     Tuple::of_text(&["rat", "prot1", "genbank", "GB-0001"]),
@@ -44,7 +44,11 @@ fn main() {
     let alice_report = system.publish_and_reconcile(alice).expect("alice reconciles");
     let bob_report = system.publish_and_reconcile(bob).expect("bob reconciles");
 
-    println!("Alice reconciliation {}: accepted {} transactions", alice_report.recno, alice_report.accepted.len());
+    println!(
+        "Alice reconciliation {}: accepted {} transactions",
+        alice_report.recno,
+        alice_report.accepted.len()
+    );
     println!(
         "Bob reconciliation {}: accepted {} transactions, {} deferred",
         bob_report.recno,

@@ -4,7 +4,7 @@
 
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_model::{ParticipantId, TrustPolicy, Tuple, Update};
 use orchestra_store::{CentralStore, DhtStore, UpdateStore};
 use orchestra_workload::{run_scenario, ScenarioConfig, WorkloadConfig, WorkloadGenerator};
 

@@ -5,7 +5,7 @@
 
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, TransactionId, Tuple, TrustPolicy, Update};
+use orchestra_model::{ParticipantId, TransactionId, TrustPolicy, Tuple, Update};
 use orchestra_store::{CentralStore, DhtStore, UpdateStore};
 
 fn func(org: &str, prot: &str, f: &str) -> Tuple {

@@ -3,7 +3,7 @@
 
 use orchestra::{Participant, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_model::{ParticipantId, TrustPolicy, Tuple, Update};
 use orchestra_store::{DhtStore, UpdateStore};
 
 fn p(i: u32) -> ParticipantId {
@@ -35,16 +35,30 @@ fn populated_store(n: u32) -> (DhtStore, Vec<TrustPolicy>) {
         orchestra_model::Transaction::from_parts(p(i), j, ups).unwrap()
     };
     store
-        .publish(p(2), vec![t(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))])])
+        .publish(
+            p(2),
+            vec![t(2, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(2))])],
+        )
         .unwrap();
     store
-        .publish(p(3), vec![t(3, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(3))])])
+        .publish(
+            p(3),
+            vec![t(
+                3,
+                0,
+                vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(3))],
+            )],
+        )
         .unwrap();
     store
         .publish(
             p(4),
             vec![
-                t(4, 0, vec![Update::insert("Function", func("mouse", "prot2", "dna-repair"), p(4))]),
+                t(
+                    4,
+                    0,
+                    vec![Update::insert("Function", func("mouse", "prot2", "dna-repair"), p(4))],
+                ),
                 t(
                     4,
                     1,
@@ -60,7 +74,18 @@ fn populated_store(n: u32) -> (DhtStore, Vec<TrustPolicy>) {
         .unwrap();
     if n >= 5 {
         store
-            .publish(p(5), vec![t(5, 0, vec![Update::insert("Function", func("yeast", "cdc28", "cell-cycle-control"), p(5))])])
+            .publish(
+                p(5),
+                vec![t(
+                    5,
+                    0,
+                    vec![Update::insert(
+                        "Function",
+                        func("yeast", "cdc28", "cell-cycle-control"),
+                        p(5),
+                    )],
+                )],
+            )
             .unwrap();
     }
     (store, policies)
@@ -75,8 +100,7 @@ fn network_centric_reconciliation_reaches_the_same_decisions() {
     let client_report = client.reconcile(&mut store_a).unwrap();
 
     let (mut store_b, policies) = populated_store(5);
-    let mut network =
-        Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
+    let mut network = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
     let network_report = network.reconcile_network_centric(&mut store_b).unwrap();
 
     // Identical decisions...
@@ -113,8 +137,7 @@ fn network_centric_mode_trades_messages_for_client_work() {
     let client_messages = store_a.network_stats().messages;
 
     let (mut store_b, policies) = populated_store(5);
-    let mut network =
-        Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
+    let mut network = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
     let report = network.reconcile_network_centric(&mut store_b).unwrap();
     let network_messages = store_b.network_stats().messages;
 

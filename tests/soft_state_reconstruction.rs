@@ -6,7 +6,7 @@
 
 use orchestra::{Participant, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_model::{ParticipantId, Tuple, TrustPolicy, Update};
+use orchestra_model::{ParticipantId, TrustPolicy, Tuple, Update};
 use orchestra_storage::persist;
 use orchestra_store::{CentralStore, UpdateStore};
 
@@ -112,10 +112,8 @@ fn instances_round_trip_through_json_persistence() {
     let restored = persist::database_from_json(&json).unwrap();
     assert_eq!(&restored, p1.instance());
 
-    let resumed = Participant::new(
-        schema,
-        ParticipantConfig::new(pols[0].clone()).with_instance(restored),
-    );
+    let resumed =
+        Participant::new(schema, ParticipantConfig::new(pols[0].clone()).with_instance(restored));
     assert_eq!(
         resumed.instance().relation_contents("Function"),
         p1.instance().relation_contents("Function")
@@ -156,11 +154,7 @@ fn decisions_survive_in_the_store_across_participant_restarts() {
         Participant::rebuild_from_store(schema, ParticipantConfig::new(pols[0].clone()), &store)
             .unwrap();
     assert!(rebuilt.instance().contains_tuple_exact("Function", &func("rat", "prot1", "a")));
-    assert!(!rebuilt
-        .instance()
-        .contains_tuple_exact("Function", &func("rat", "prot1", "b")));
+    assert!(!rebuilt.instance().contains_tuple_exact("Function", &func("rat", "prot1", "b")));
     rebuilt.reconcile(&mut store).unwrap();
-    assert!(!rebuilt
-        .instance()
-        .contains_tuple_exact("Function", &func("rat", "prot1", "b")));
+    assert!(!rebuilt.instance().contains_tuple_exact("Function", &func("rat", "prot1", "b")));
 }

@@ -1,0 +1,133 @@
+//! Smoke test guarding the store-equivalence contract: on a small fully
+//! trusting confederation, the centralised and DHT-based update stores must
+//! produce *identical* final instances, tuple for tuple — not merely the
+//! same summary statistics. CI relies on this invariant staying cheap to
+//! check, so the scenario is fixed and scripted rather than workload-driven.
+
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, TrustPolicy, Tuple, Update};
+use orchestra_store::{CentralStore, DhtStore, UpdateStore};
+
+fn p(i: u32) -> ParticipantId {
+    ParticipantId(i)
+}
+
+fn func(org: &str, prot: &str, f: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, f])
+}
+
+fn xref(org: &str, prot: &str, db: &str, accession: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, db, accession])
+}
+
+/// Drives a fixed script over a three-participant, fully trusting
+/// confederation: non-conflicting inserts, a cross-reference, a revision,
+/// and one genuine conflict (two participants writing divergent values for
+/// the same key in the same reconciliation round).
+fn drive<S: UpdateStore>(store: S) -> CdssSystem<S> {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema, store);
+    for i in 1..=3u32 {
+        let mut policy = TrustPolicy::new(p(i));
+        for j in 1..=3u32 {
+            if i != j {
+                policy = policy.trusting(p(j), 1u32);
+            }
+        }
+        system.add_participant(ParticipantConfig::new(policy));
+    }
+
+    // Round 1: independent facts from every participant.
+    system
+        .execute(p(1), vec![Update::insert("Function", func("human", "prot1", "kinase"), p(1))])
+        .unwrap();
+    system
+        .execute(
+            p(2),
+            vec![
+                Update::insert("Function", func("human", "prot2", "ligase"), p(2)),
+                Update::insert("XRef", xref("human", "prot2", "pdb", "1ABC"), p(2)),
+            ],
+        )
+        .unwrap();
+    system
+        .execute(p(3), vec![Update::insert("Function", func("rat", "prot3", "transport"), p(3))])
+        .unwrap();
+    for i in 1..=3u32 {
+        system.publish_and_reconcile(p(i)).unwrap();
+    }
+
+    // Round 2: a revision plus a divergent pair of writes to one fresh key
+    // (p2 and p3 disagree about prot4, so equal trust must defer both).
+    system
+        .execute(
+            p(1),
+            vec![Update::modify(
+                "Function",
+                func("human", "prot1", "kinase"),
+                func("human", "prot1", "phosphatase"),
+                p(1),
+            )],
+        )
+        .unwrap();
+    system
+        .execute(p(2), vec![Update::insert("Function", func("human", "prot4", "storage"), p(2))])
+        .unwrap();
+    system
+        .execute(p(3), vec![Update::insert("Function", func("human", "prot4", "signaling"), p(3))])
+        .unwrap();
+    for i in 1..=3u32 {
+        system.publish_and_reconcile(p(i)).unwrap();
+    }
+    // A final catch-up round so early reconciliations observe later
+    // publications.
+    for i in 1..=3u32 {
+        system.reconcile(p(i)).unwrap();
+    }
+    system
+}
+
+#[test]
+fn central_and_dht_final_instances_are_identical() {
+    let central = drive(CentralStore::new(bioinformatics_schema()));
+    let dht = drive(DhtStore::new(bioinformatics_schema()));
+
+    for i in 1..=3u32 {
+        for relation in ["Function", "XRef"] {
+            let central_rows =
+                central.participant(p(i)).unwrap().instance().relation_contents(relation);
+            let dht_rows = dht.participant(p(i)).unwrap().instance().relation_contents(relation);
+            assert_eq!(
+                central_rows, dht_rows,
+                "participant {i} diverged between stores on relation {relation}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scripted_confederation_converges_where_it_should() {
+    let system = drive(CentralStore::new(bioinformatics_schema()));
+
+    // The four uncontested facts (prot1 revised, prot2 + its xref, prot3)
+    // are visible everywhere; the divergent prot4 writes are deferred, so
+    // at most one of them may appear in any instance.
+    for i in 1..=3u32 {
+        let instance = system.participant(p(i)).unwrap().instance();
+        let functions = instance.relation_contents("Function");
+        assert!(
+            functions.iter().any(|(_, t)| *t == func("human", "prot1", "phosphatase")),
+            "participant {i} missed the prot1 revision"
+        );
+        assert!(
+            functions.iter().any(|(_, t)| *t == func("human", "prot2", "ligase")),
+            "participant {i} missed prot2"
+        );
+        assert!(
+            functions.iter().any(|(_, t)| *t == func("rat", "prot3", "transport")),
+            "participant {i} missed prot3"
+        );
+        assert_eq!(instance.relation_contents("XRef").len(), 1, "participant {i} missed the xref");
+    }
+}

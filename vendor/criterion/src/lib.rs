@@ -1,0 +1,307 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Exposes the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `criterion_group!` / `criterion_main!`
+//! and [`black_box`] — backed by a simple wall-clock harness: a warm-up
+//! phase followed by timed samples, reporting the mean and min/max
+//! nanoseconds per iteration. No statistics, plotting or baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// An identifier for one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self, group: &str) -> String {
+        if self.parameter.is_empty() {
+            format!("{group}/{}", self.function)
+        } else {
+            format!("{group}/{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Anything usable as a benchmark name within a group: a string or a full
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Converts into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self.to_string(), parameter: String::new() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { function: self, parameter: String::new() }
+    }
+}
+
+/// Timing parameters shared by [`Criterion`] and its groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The vendored harness recognises
+    /// `--quick` (shorter measurement) and ignores everything else,
+    /// including the `--bench` flag cargo passes.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            self.settings.warm_up_time = Duration::from_millis(20);
+            self.settings.measurement_time = Duration::from_millis(100);
+        }
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { settings: self.settings.clone(), report: None };
+        f(&mut bencher);
+        bencher.print(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings.clone(), _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the throughput annotation (accepted and ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { settings: self.settings.clone(), report: None };
+        f(&mut bencher, input);
+        bencher.print(&id.render(&self.name));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { settings: self.settings.clone(), report: None };
+        f(&mut bencher);
+        bencher.print(&id.into_benchmark_id().render(&self.name));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// A throughput annotation (accepted for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+/// Times closures; handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly through a warm-up phase and
+    /// `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: discover a per-sample iteration count while warming
+        // caches.
+        let warm_up_end = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.settings.sample_size.max(1);
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let mut iterations = 0u64;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += ns * iters_per_sample as f64;
+            iterations += iters_per_sample;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        self.report =
+            Some(Report { mean_ns: total_ns / iterations as f64, min_ns, max_ns, iterations });
+    }
+
+    fn print(&self, name: &str) {
+        match &self.report {
+            Some(r) => println!(
+                "{name:<60} mean {:>12} min {:>12} max {:>12} ({} iters)",
+                format_ns(r.mean_ns),
+                format_ns(r.min_ns),
+                format_ns(r.max_ns),
+                r.iterations
+            ),
+            None => println!("{name:<60} (no measurement)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.settings.warm_up_time = Duration::from_millis(1);
+        c.settings.measurement_time = Duration::from_millis(5);
+        c.settings.sample_size = 2;
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(3u64) * 2);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        let id = BenchmarkId::new("f", 42);
+        assert_eq!(id.render("g"), "g/f/42");
+    }
+}

@@ -1,0 +1,177 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Supports the shapes this workspace's property tests use: the
+//! [`strategy::Strategy`] trait over integer ranges, tuples and
+//! `prop::collection::vec`, the `proptest!` / `prop_oneof!` /
+//! `prop_assert!` / `prop_assert_eq!` macros and
+//! [`test_runner::ProptestConfig`]. Inputs are generated from a fixed
+//! per-case seed, so failures are reproducible; there is no shrinking — a
+//! failing case panics with the case number so it can be replayed.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The `prop` namespace mirrored from upstream (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Derives the deterministic per-case seed for case number `case`.
+#[doc(hidden)]
+pub fn case_seed(case: u32) -> u64 {
+    0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1)
+}
+
+/// Declares property tests. Each function runs `config.cases` times with
+/// fresh deterministically-seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..config.cases {
+                    let mut __rng =
+                        <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                            $crate::case_seed(__case),
+                        );
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                    let __run = || -> () { $body };
+                    if ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)).is_err() {
+                        panic!(
+                            "property {} failed at case {} (seed {:#x})",
+                            stringify!($name),
+                            __case,
+                            $crate::case_seed(__case),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Generated ranges respect their bounds.
+        #[test]
+        fn ranges_are_bounded(x in 3u8..10, v in prop::collection::vec(0u32..5, 0..8)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(v.len() < 8);
+            for item in &v {
+                prop_assert!(*item < 5);
+            }
+        }
+
+        /// Tuple and mapped strategies compose.
+        #[test]
+        fn tuples_and_maps_compose(pair in (0u8..4, 0u8..4).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+
+        /// prop_oneof! picks between alternatives.
+        #[test]
+        fn oneof_picks_an_alternative(x in prop_oneof![0i32..10, 100i32..110]) {
+            prop_assert!((0..10).contains(&x) || (100..110).contains(&x));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strategy = (0u32..1000, 0u32..1000);
+        let mut a = StdRng::seed_from_u64(crate::case_seed(3));
+        let mut b = StdRng::seed_from_u64(crate::case_seed(3));
+        assert_eq!(strategy.generate(&mut a), strategy.generate(&mut b));
+    }
+}

@@ -1,0 +1,443 @@
+//! `Serialize` / `Deserialize` implementations for the std types the
+//! workspace uses in derived structures.
+
+use crate::json::{Error, Number, Value};
+use crate::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+// JSON numbers cannot represent the full u128/i128 range; use decimal
+// strings (a convention private to this vendored stack).
+impl Serialize for u128 {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        if let Some(n) = value.as_u64() {
+            return Ok(n as u128);
+        }
+        value
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::new("expected u128 as decimal string"))
+    }
+}
+
+impl Serialize for i128 {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        if let Some(n) = value.as_i64() {
+            return Ok(n as i128);
+        }
+        value
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::new("expected i128 as decimal string"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::new("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value.as_f64().map(|f| f as f32).ok_or_else(|| Error::new("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| Error::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| Error::new("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| Error::new("expected tuple array"))?;
+                const ARITY: usize = 0 $(+ { let _ = $idx; 1 })+;
+                if items.len() != ARITY {
+                    return Err(Error::new("tuple arity mismatch"));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Maps and sets serialize as arrays of pairs / elements, sorted by the
+/// compact rendering of the key so output is deterministic regardless of
+/// hasher iteration order.
+fn map_to_json<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Value {
+    let mut pairs: Vec<(String, Value, Value)> = entries
+        .map(|(k, v)| {
+            let kj = k.to_json();
+            (kj.to_compact(), kj, v.to_json())
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Array(pairs.into_iter().map(|(_, k, v)| Value::Array(vec![k, v])).collect())
+}
+
+fn map_from_json<K: Deserialize, V: Deserialize>(
+    value: &Value,
+) -> Result<impl Iterator<Item = (K, V)>, Error> {
+    let items = value.as_array().ok_or_else(|| Error::new("expected map as array of pairs"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item.as_array().ok_or_else(|| Error::new("expected [key, value] pair"))?;
+        if pair.len() != 2 {
+            return Err(Error::new("expected [key, value] pair"));
+        }
+        out.push((K::from_json(&pair[0])?, V::from_json(&pair[1])?));
+    }
+    Ok(out.into_iter())
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json(&self) -> Value {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        Ok(map_from_json(value)?.collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        Ok(map_from_json(value)?.collect())
+    }
+}
+
+fn set_to_json<'a, T: Serialize + 'a>(entries: impl Iterator<Item = &'a T>) -> Value {
+    let mut items: Vec<(String, Value)> = entries
+        .map(|e| {
+            let j = e.to_json();
+            (j.to_compact(), j)
+        })
+        .collect();
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Array(items.into_iter().map(|(_, j)| j).collect())
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_json(&self) -> Value {
+        set_to_json(self.iter())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::new("expected set as array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Value {
+        set_to_json(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::new("expected set as array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::from_f64(self.as_secs_f64()))
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let secs = value.as_f64().ok_or_else(|| Error::new("expected duration in seconds"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(Error::new("duration must be a non-negative finite number"));
+        }
+        Ok(std::time::Duration::from_secs_f64(secs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u32::from_json(&42u32.to_json()).unwrap(), 42);
+        assert_eq!(i64::from_json(&(-42i64).to_json()).unwrap(), -42);
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+        assert_eq!(f64::from_json(&1.5f64.to_json()).unwrap(), 1.5);
+        assert_eq!(u128::from_json(&(1u128 << 100).to_json()).unwrap(), 1u128 << 100);
+        assert!(bool::from_json(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn collections_round_trip_deterministically() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        let j = m.to_json();
+        // Sorted by key rendering, independent of hasher order.
+        assert_eq!(j.to_compact(), r#"[["a",1],["b",2]]"#);
+        let back: HashMap<String, u32> = HashMap::from_json(&j).unwrap();
+        assert_eq!(back, m);
+
+        let v = vec![Some(1u8), None];
+        let back: Vec<Option<u8>> = Vec::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = (1u8, "x".to_string());
+        let back: (u8, String) = Deserialize::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,43 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The real serde is a format-agnostic serialization framework; this
+//! stand-in collapses the data model to a single JSON-like [`json::Value`]
+//! tree, which is all the workspace needs (persistence and figure output are
+//! both JSON). The public names mirror upstream so that swapping the real
+//! crates back in is a manifest-only change:
+//!
+//! * [`Serialize`] / [`Deserialize`] — implemented for the std types the
+//!   workspace uses and derivable via `#[derive(Serialize, Deserialize)]`
+//!   (the `derive` feature, backed by the vendored `serde_derive` proc
+//!   macro).
+//! * [`json`] — the value tree, printer and parser shared with the vendored
+//!   `serde_json` façade.
+//!
+//! Conventions (self-consistent, not byte-compatible with upstream
+//! serde_json): maps serialize as arrays of `[key, value]` pairs, unit enum
+//! variants as strings, data-carrying variants as single-key objects, and
+//! `u128` as a decimal string (JSON numbers cannot hold it).
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+mod impls;
+
+pub use json::{Error, Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be rendered into a [`json::Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_json(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a [`json::Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value of this type from the tree, or explains why it
+    /// cannot.
+    fn from_json(value: &Value) -> Result<Self, Error>;
+}

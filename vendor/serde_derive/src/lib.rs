@@ -1,0 +1,530 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` traits without `syn`/`quote` (unavailable offline): the
+//! item is parsed directly from the token stream and the impl is emitted as
+//! source text.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs (no generics);
+//! * enums with unit, tuple and struct variants;
+//! * `#[serde(skip)]` on named struct fields (omitted when serializing,
+//!   `Default::default()` when deserializing);
+//! * `#[serde(from = "T", into = "T")]` container attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "T")]`.
+    from: Option<String>,
+    /// `#[serde(into = "T")]`.
+    into: Option<String>,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields; one flag per field: skipped?
+    Tuple(Vec<bool>),
+    /// Named fields: (name, skipped).
+    Named(Vec<(String, bool)>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+/// Parses the serde helper attribute body: `skip`, `from = "T"`, `into = "T"`.
+fn parse_serde_attr(body: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(ident) => {
+                let name = ident.to_string();
+                let value = if i + 2 < tokens.len()
+                    && matches!(&tokens[i + 1], TokenTree::Punct(p) if p.as_char() == '=')
+                {
+                    let lit = tokens[i + 2].to_string();
+                    i += 2;
+                    Some(lit.trim_matches('"').to_string())
+                } else {
+                    None
+                };
+                match (name.as_str(), value) {
+                    ("skip", None) => attrs.skip = true,
+                    ("from", Some(v)) => attrs.from = Some(v),
+                    ("into", Some(v)) => attrs.into = Some(v),
+                    (other, _) => panic!("vendored serde_derive: unsupported attribute `{other}`"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("vendored serde_derive: unexpected token in #[serde(...)]: {other}"),
+        }
+        i += 1;
+    }
+}
+
+/// Consumes leading attributes from `tokens[*pos..]`, collecting serde ones.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize, attrs: &mut SerdeAttrs) {
+    while *pos + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*pos], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            return;
+        }
+        let TokenTree::Group(group) = &tokens[*pos + 1] else {
+            return;
+        };
+        if group.delimiter() != Delimiter::Bracket {
+            return;
+        }
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(name)) = inner.first() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(body)) = inner.get(1) {
+                    parse_serde_attr(body.stream(), attrs);
+                }
+            }
+        }
+        *pos += 2;
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(i) if i.to_string() == "pub") {
+        *pos += 1;
+        if *pos < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*pos] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut container = SerdeAttrs::default();
+    skip_attributes(&tokens, &mut pos, &mut container);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("vendored serde_derive: expected item name, found {other}"),
+    };
+    pos += 1;
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic types are not supported (type `{name}`)");
+    }
+
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => panic!("vendored serde_derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("vendored serde_derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("vendored serde_derive: expected struct or enum, found `{other}`"),
+    };
+
+    Item { name, shape, from: container.from, into: container.into }
+}
+
+/// Skips one field type: consumes tokens until a comma at angle-bracket
+/// depth zero (commas inside `<...>` belong to the type).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        skip_attributes(&tokens, &mut pos, &mut attrs);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("vendored serde_derive: expected field name, found {other}"),
+        };
+        pos += 1;
+        // ':'
+        pos += 1;
+        skip_type(&tokens, &mut pos);
+        // ','
+        pos += 1;
+        fields.push((name, attrs.skip));
+    }
+    Fields::Named(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut skips = Vec::new();
+    while pos < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        skip_attributes(&tokens, &mut pos, &mut attrs);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        // ','
+        pos += 1;
+        skips.push(attrs.skip);
+    }
+    Fields::Tuple(skips)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        skip_attributes(&tokens, &mut pos, &mut attrs);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, found {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                parse_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                parse_named_fields(g.stream())
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::json::Value";
+const MAP: &str = "::serde::json::Map";
+const ERROR: &str = "::serde::json::Error";
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.into {
+        format!(
+            "let __repr: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_json(&__repr)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Struct(fields) => serialize_fields(fields, &FieldAccess::SelfDot),
+            Shape::Enum(variants) => serialize_enum(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> {VALUE} {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// How the generated code reaches the fields being serialized.
+enum FieldAccess {
+    /// `self.<name>` / `self.<index>` (struct impl body).
+    SelfDot,
+    /// Bound pattern variables `__f<index>` (enum match arm).
+    Bound,
+}
+
+impl FieldAccess {
+    fn named(&self, name: &str) -> String {
+        match self {
+            FieldAccess::SelfDot => format!("self.{name}"),
+            FieldAccess::Bound => name.to_string(),
+        }
+    }
+
+    fn tuple(&self, index: usize) -> String {
+        match self {
+            FieldAccess::SelfDot => format!("self.{index}"),
+            FieldAccess::Bound => format!("__f{index}"),
+        }
+    }
+}
+
+/// Emits an expression evaluating to the serialized `Value` for a field set.
+fn serialize_fields(fields: &Fields, access: &FieldAccess) -> String {
+    match fields {
+        Fields::Unit => format!("{VALUE}::Null"),
+        Fields::Tuple(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|i| !skips[*i]).collect();
+            if live.len() == 1 && skips.len() == 1 {
+                // Newtype: serialize transparently.
+                format!("::serde::Serialize::to_json(&{})", access.tuple(0))
+            } else {
+                let items: Vec<String> = live
+                    .iter()
+                    .map(|i| format!("::serde::Serialize::to_json(&{})", access.tuple(*i)))
+                    .collect();
+                format!("{VALUE}::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Fields::Named(fields) => {
+            let mut out = format!("{{ let mut __m = {MAP}::new();\n");
+            for (name, skip) in fields {
+                if *skip {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{name}\"), \
+                     ::serde::Serialize::to_json(&{}));\n",
+                    access.named(name)
+                ));
+            }
+            out.push_str(&format!("{VALUE}::Object(__m) }}"));
+            out
+        }
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => {VALUE}::String(::std::string::String::from(\"{vname}\")),\n"
+                ));
+            }
+            Fields::Tuple(skips) => {
+                let binders: Vec<String> = (0..skips.len()).map(|i| format!("__f{i}")).collect();
+                let inner = serialize_fields(&variant.fields, &FieldAccess::Bound);
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => {{ let mut __m = {MAP}::new(); \
+                     __m.insert(::std::string::String::from(\"{vname}\"), {inner}); \
+                     {VALUE}::Object(__m) }}\n",
+                    binders.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let binders: Vec<String> = fields.iter().map(|(n, _)| n.clone()).collect();
+                let inner = serialize_fields(&variant.fields, &FieldAccess::Bound);
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{ let mut __m = {MAP}::new(); \
+                     __m.insert(::std::string::String::from(\"{vname}\"), {inner}); \
+                     {VALUE}::Object(__m) }}\n",
+                    binders.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.from {
+        format!(
+            "let __repr = <{from} as ::serde::Deserialize>::from_json(__v)?;\n\
+             ::std::result::Result::Ok(<{name} as ::std::convert::From<{from}>>::from(__repr))"
+        )
+    } else {
+        match &item.shape {
+            Shape::Struct(fields) => {
+                deserialize_fields(fields, name, "__v", &format!("{name} (struct)"))
+            }
+            Shape::Enum(variants) => deserialize_enum(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(__v: &{VALUE}) -> ::std::result::Result<Self, {ERROR}> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Emits a block evaluating to `Result<_, Error>` that builds `constructor`
+/// from the value expression `source`.
+fn deserialize_fields(fields: &Fields, constructor: &str, source: &str, what: &str) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = {source}; ::std::result::Result::Ok({constructor}) }}"),
+        Fields::Tuple(skips) => {
+            if skips.len() == 1 && !skips[0] {
+                return format!(
+                    "::std::result::Result::Ok({constructor}(\
+                     ::serde::Deserialize::from_json({source})?))"
+                );
+            }
+            let live_count = skips.iter().filter(|s| !**s).count();
+            let mut args = Vec::new();
+            let mut next = 0usize;
+            for skip in skips {
+                if *skip {
+                    args.push("::std::default::Default::default()".to_string());
+                } else {
+                    args.push(format!("::serde::Deserialize::from_json(&__arr[{next}])?"));
+                    next += 1;
+                }
+            }
+            format!(
+                "{{ let __arr = {source}.as_array().ok_or_else(|| \
+                 {ERROR}::new(\"expected array for {what}\"))?;\n\
+                 if __arr.len() != {live_count} {{\n\
+                     return ::std::result::Result::Err({ERROR}::new(\
+                     \"wrong arity for {what}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({constructor}({args})) }}",
+                args = args.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let mut inits = Vec::new();
+            for (fname, skip) in fields {
+                if *skip {
+                    inits.push(format!("{fname}: ::std::default::Default::default()"));
+                } else {
+                    inits.push(format!(
+                        "{fname}: ::serde::Deserialize::from_json(\
+                         __obj.get(\"{fname}\").unwrap_or(&{VALUE}::Null))?"
+                    ));
+                }
+            }
+            format!(
+                "{{ let __obj = {source}.as_object().ok_or_else(|| \
+                 {ERROR}::new(\"expected object for {what}\"))?;\n\
+                 ::std::result::Result::Ok({constructor} {{ {inits} }}) }}",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.fields {
+            Fields::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            fields => {
+                let build = deserialize_fields(
+                    fields,
+                    &format!("{name}::{vname}"),
+                    "__inner",
+                    &format!("{name}::{vname}"),
+                );
+                data_arms.push_str(&format!(
+                    "if let ::std::option::Option::Some(__inner) = __obj.get(\"{vname}\") {{\n\
+                         return {build};\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+             {VALUE}::String(__s) => {{\n\
+                 match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 ::std::result::Result::Err({ERROR}::new(\
+                 \"unknown unit variant for {name}\"))\n\
+             }}\n\
+             {VALUE}::Object(__obj) => {{\n{data_arms}\
+                 ::std::result::Result::Err({ERROR}::new(\
+                 \"unknown data variant for {name}\"))\n\
+             }}\n\
+             _ => ::std::result::Result::Err({ERROR}::new(\
+             \"expected string or object for enum {name}\")),\n\
+         }}"
+    )
+}

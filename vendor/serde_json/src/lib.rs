@@ -1,0 +1,68 @@
+//! Vendored stand-in for the `serde_json` crate.
+//!
+//! The value tree, printer and parser live in the vendored `serde` crate
+//! (`serde::json`) so that derived code never needs this façade; this crate
+//! re-exports them under the upstream names and provides the conversion
+//! entry points the workspace uses.
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::{Error, Map, Number, Value};
+use serde::{Deserialize, Serialize};
+
+/// A `serde_json`-style result.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json())
+}
+
+/// Rebuilds a deserializable value from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_json(&value)
+}
+
+/// Serializes a value as compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_json().to_compact())
+}
+
+/// Serializes a value as pretty-printed JSON text.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    Ok(value.to_json().to_pretty())
+}
+
+/// Parses JSON text and rebuilds a value from it.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    T::from_json(&serde::json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let v = vec![1u32, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        let back: Vec<u32> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let v = Some("hello".to_string());
+        let value = to_value(&v).unwrap();
+        assert_eq!(value.as_str(), Some("hello"));
+        let back: Option<String> = from_value(value).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let text = to_string_pretty(&vec![1u8]).unwrap();
+        assert_eq!(text, "[\n  1\n]");
+    }
+}
