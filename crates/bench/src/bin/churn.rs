@@ -1,0 +1,83 @@
+//! Runs the churn benchmark (incremental cursor-based retrieval versus the
+//! full-log rescan baseline) and writes the benchmark-trajectory document.
+//!
+//! Usage:
+//!
+//! ```text
+//! churn [--full] [--out FILE]
+//! ```
+//!
+//! The default output path is `BENCH_churn.json` in the current directory —
+//! the first entry of the repository's benchmark trajectory.
+
+use orchestra_bench::{render_table, run_churn_bench, write_churn_json, FigureScale};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = FigureScale::Quick;
+    let mut out = PathBuf::from("BENCH_churn.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = FigureScale::Full,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: churn [--full] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_churn_bench(scale);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{}", r.reconciliations),
+                format!("{}", r.epochs),
+                format!("{:.4}", r.store_seconds),
+                format!("{:.1}", r.early_store_micros_per_epoch),
+                format!("{:.1}", r.late_store_micros_per_epoch),
+                format!("{}/{}/{}", r.accepted, r.rejected, r.deferred),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Churn: incremental vs rescan-baseline retrieval",
+            &[
+                "mode",
+                "recons",
+                "epochs",
+                "store s",
+                "early us/epoch",
+                "late us/epoch",
+                "acc/rej/def"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "store speedup: {:.2}x   late per-epoch speedup: {:.2}x   decisions match: {}",
+        report.summary.store_speedup,
+        report.summary.late_per_epoch_speedup,
+        report.summary.decisions_match
+    );
+    if !report.summary.decisions_match {
+        eprintln!("FATAL: retrieval modes disagreed on decisions");
+        std::process::exit(1);
+    }
+    write_churn_json(&out, &report).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+}

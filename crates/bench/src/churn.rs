@@ -1,0 +1,191 @@
+//! The churn benchmark: incremental cursor-based retrieval versus the
+//! full-log rescan baseline over a long interleaved publish/reconcile
+//! history.
+//!
+//! This is the first entry of the repository's benchmark trajectory
+//! (`BENCH_churn.json`): both retrieval modes run the *same* schedule with
+//! the same seed, must reach identical decisions, and are compared on
+//! store-side time — in total and per covered epoch in the early versus the
+//! late part of the run. An O(new-epochs) store keeps the per-epoch cost flat
+//! as history grows; the rescan baseline's climbs with history.
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::{CentralStore, RetrievalMode};
+use orchestra_workload::{run_churn_scenario, ChurnConfig, ChurnResult, WorkloadConfig};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+use crate::figures::FigureScale;
+
+/// One row of the churn benchmark: a retrieval mode's aggregate cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnBenchRow {
+    /// `"incremental"` or `"rescan-baseline"`.
+    pub mode: String,
+    /// Reconciliations performed.
+    pub reconciliations: usize,
+    /// Epochs published over the run.
+    pub epochs: u64,
+    /// Total store-side seconds across all reconciliations.
+    pub store_seconds: f64,
+    /// Total local seconds across all reconciliations.
+    pub local_seconds: f64,
+    /// Mean store microseconds per covered epoch over the first third of the
+    /// reconciliations.
+    pub early_store_micros_per_epoch: f64,
+    /// Mean store microseconds per covered epoch over the last third — for
+    /// an O(new-epochs) store this stays near the early figure; for the
+    /// rescan baseline it climbs with history.
+    pub late_store_micros_per_epoch: f64,
+    /// Accepted / rejected / deferred root totals (must match across modes).
+    pub accepted: usize,
+    /// Total rejected roots.
+    pub rejected: usize,
+    /// Total deferred roots.
+    pub deferred: usize,
+    /// Final state ratio over `Function` (must match across modes).
+    pub state_ratio: f64,
+}
+
+/// Headline comparison of the two modes.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnSummary {
+    /// Rescan store time divided by incremental store time (the headline
+    /// speedup of the cursor refactor; the acceptance bar is ≥ 2).
+    pub store_speedup: f64,
+    /// Late-history per-epoch cost ratio (rescan / incremental).
+    pub late_per_epoch_speedup: f64,
+    /// Whether both modes reached identical accept/reject/defer totals and
+    /// state ratio (they must).
+    pub decisions_match: bool,
+}
+
+/// The whole benchmark document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnBenchReport {
+    /// Per-mode rows.
+    pub rows: Vec<ChurnBenchRow>,
+    /// Headline comparison.
+    pub summary: ChurnSummary,
+}
+
+/// The churn configuration used by the benchmark at each scale.
+pub fn churn_config(scale: FigureScale) -> ChurnConfig {
+    let (participants, rounds) = match scale {
+        FigureScale::Quick => (10, 120),
+        FigureScale::Full => (16, 300),
+    };
+    ChurnConfig {
+        participants,
+        rounds,
+        transactions_per_publish: 2,
+        max_reconcile_interval: 6,
+        resolve_every: 4,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 800,
+            function_pool: 400,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn row(mode: &str, result: &ChurnResult) -> ChurnBenchRow {
+    let n = result.samples.len();
+    ChurnBenchRow {
+        mode: mode.to_string(),
+        reconciliations: result.reconciliations,
+        epochs: result.epochs,
+        store_seconds: result.store_time.as_secs_f64(),
+        local_seconds: result.local_time.as_secs_f64(),
+        early_store_micros_per_epoch: result.store_micros_per_epoch(0, n / 3),
+        late_store_micros_per_epoch: result.store_micros_per_epoch(n - n / 3, n),
+        accepted: result.accepted,
+        rejected: result.rejected,
+        deferred: result.deferred,
+        state_ratio: result.state_ratio,
+    }
+}
+
+/// Runs the churn benchmark: the same long-history schedule once per
+/// retrieval mode, compared on store time.
+pub fn run_churn_bench(scale: FigureScale) -> ChurnBenchReport {
+    run_churn_bench_with(&churn_config(scale))
+}
+
+fn summarise(incremental: &ChurnResult, rescan: &ChurnResult) -> ChurnBenchReport {
+    let inc_row = row("incremental", incremental);
+    let res_row = row("rescan-baseline", rescan);
+    let summary = ChurnSummary {
+        store_speedup: res_row.store_seconds / inc_row.store_seconds.max(f64::EPSILON),
+        late_per_epoch_speedup: res_row.late_store_micros_per_epoch
+            / inc_row.late_store_micros_per_epoch.max(f64::EPSILON),
+        decisions_match: inc_row.accepted == res_row.accepted
+            && inc_row.rejected == res_row.rejected
+            && inc_row.deferred == res_row.deferred
+            && inc_row.state_ratio == res_row.state_ratio,
+    };
+    ChurnBenchReport { rows: vec![inc_row, res_row], summary }
+}
+
+/// Writes the benchmark document as pretty-printed JSON:
+/// `{"benchmark": "churn", "rows": [...], "summary": {...}}`.
+pub fn write_churn_json(path: &Path, report: &ChurnBenchReport) -> io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("benchmark".to_string(), serde_json::Value::String("churn".to_string()));
+    doc.insert(
+        "rows".to_string(),
+        serde_json::Value::Array(
+            report.rows.iter().map(|r| serde_json::to_value(r).expect("rows serialise")).collect(),
+        ),
+    );
+    doc.insert(
+        "summary".to_string(),
+        serde_json::to_value(&report.summary).expect("summary serialises"),
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("document serialises");
+    std::fs::write(path, json)
+}
+
+/// Runs the benchmark over an explicit configuration (used by tests and by
+/// callers that want custom scales).
+pub fn run_churn_bench_with(config: &ChurnConfig) -> ChurnBenchReport {
+    let incremental = run_churn_scenario(CentralStore::new(bioinformatics_schema()), config);
+    let rescan = run_churn_scenario(
+        CentralStore::with_retrieval(bioinformatics_schema(), RetrievalMode::RescanBaseline),
+        config,
+    );
+    summarise(&incremental, &rescan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_churn_bench_matches_decisions_and_is_never_slower() {
+        // A reduced history so the test stays fast in debug builds; the
+        // committed BENCH_churn.json records the full quick-scale run (where
+        // the acceptance bar is a >= 2x store-time speedup).
+        let mut config = churn_config(FigureScale::Quick);
+        config.participants = 6;
+        config.rounds = 30;
+        let report = run_churn_bench_with(&config);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.summary.decisions_match, "modes diverged: {report:?}");
+        assert!(
+            report.summary.store_speedup > 1.0,
+            "incremental retrieval slower than the rescan baseline: {:.2}x",
+            report.summary.store_speedup
+        );
+        assert!(report.rows.iter().all(|r| r.store_seconds > 0.0 && r.reconciliations > 0));
+    }
+}

@@ -16,9 +16,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churn;
 pub mod figures;
 pub mod output;
 
+pub use churn::{
+    churn_config, run_churn_bench, run_churn_bench_with, write_churn_json, ChurnBenchReport,
+    ChurnBenchRow, ChurnSummary,
+};
 pub use figures::{
     fig08_transaction_size, fig09_recon_interval_ratio, fig10_recon_interval_time,
     fig11_participants_ratio, fig12_participants_time, Fig08Row, Fig09Row, Fig10Row, Fig11Row,

@@ -6,6 +6,7 @@
 //! that make the same modification form an *option*; the user resolves a
 //! group by picking at most one option.
 
+use crate::intern::RelName;
 use crate::tuple::KeyValue;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -43,14 +44,14 @@ pub struct ConflictKey {
     /// The kind of conflict.
     pub kind: ConflictKind,
     /// Relation over which the conflict arose.
-    pub relation: String,
+    pub relation: RelName,
     /// The key value that both sides of the conflict touch.
     pub key: KeyValue,
 }
 
 impl ConflictKey {
     /// Creates a conflict-group key.
-    pub fn new(kind: ConflictKind, relation: impl Into<String>, key: KeyValue) -> Self {
+    pub fn new(kind: ConflictKind, relation: impl Into<RelName>, key: KeyValue) -> Self {
         ConflictKey { kind, relation: relation.into(), key }
     }
 }

@@ -51,7 +51,7 @@ pub fn flatten(schema: &Schema, updates: &[Update]) -> Vec<Update> {
     // Per relation: key -> (net effect, origin of last contribution, sequence
     // number of first contribution, used to keep output order stable).
     type ChainMap = FxHashMap<KeyValue, (NetEffect, crate::ids::ParticipantId, usize)>;
-    let mut chains: FxHashMap<String, ChainMap> = FxHashMap::default();
+    let mut chains: FxHashMap<crate::intern::RelName, ChainMap> = FxHashMap::default();
     let mut passthrough: Vec<(usize, Update)> = Vec::new();
 
     for (seq, u) in updates.iter().enumerate() {

@@ -29,6 +29,7 @@ pub mod constraint;
 pub mod error;
 pub mod flatten;
 pub mod ids;
+pub mod intern;
 pub mod schema;
 pub mod transaction;
 pub mod trust;
@@ -41,6 +42,7 @@ pub use constraint::{Constraint, InstanceView};
 pub use error::{ModelError, Result};
 pub use flatten::flatten;
 pub use ids::{Epoch, ParticipantId, Priority, ReconciliationId, TransactionId};
+pub use intern::RelName;
 pub use schema::{ColumnDef, RelationSchema, Schema};
 pub use transaction::Transaction;
 pub use trust::{AcceptanceRule, Predicate, TrustPolicy};

@@ -3,12 +3,14 @@
 
 use crate::error::{ModelError, Result};
 use crate::ids::{ParticipantId, TransactionId};
+use crate::intern::RelName;
 use crate::schema::Schema;
 use crate::tuple::KeyValue;
 use crate::update::Update;
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A transaction `X_{i:j}`: an ordered sequence of updates originated by a
 /// single participant and published atomically.
@@ -19,7 +21,9 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Transaction {
     id: TransactionId,
-    updates: Vec<Update>,
+    /// Shared so that cloning a transaction (store-side retrieval, candidate
+    /// construction) bumps a reference count instead of deep-copying updates.
+    updates: Arc<Vec<Update>>,
 }
 
 impl Transaction {
@@ -37,7 +41,7 @@ impl Transaction {
                 )));
             }
         }
-        Ok(Transaction { id, updates })
+        Ok(Transaction { id, updates: Arc::new(updates) })
     }
 
     /// Convenience constructor that builds the [`TransactionId`] from its
@@ -65,6 +69,13 @@ impl Transaction {
         &self.updates
     }
 
+    /// A shared handle to the update list. Cloning the result is a
+    /// reference-count bump; the update store uses this to build candidate
+    /// extensions without copying any update.
+    pub fn shared_updates(&self) -> Arc<Vec<Update>> {
+        Arc::clone(&self.updates)
+    }
+
     /// Number of component updates.
     pub fn len(&self) -> usize {
         self.updates.len()
@@ -78,17 +89,17 @@ impl Transaction {
 
     /// Validates every component update against the schema.
     pub fn validate(&self, schema: &Schema) -> Result<()> {
-        for u in &self.updates {
+        for u in self.updates.iter() {
             u.validate(schema)?;
         }
         Ok(())
     }
 
     /// All `(relation, key)` pairs read or written by this transaction.
-    pub fn touched_keys(&self, schema: &Schema) -> Vec<(String, KeyValue)> {
+    pub fn touched_keys(&self, schema: &Schema) -> Vec<(RelName, KeyValue)> {
         let mut out = Vec::new();
-        let mut seen: FxHashSet<(String, KeyValue)> = FxHashSet::default();
-        for u in &self.updates {
+        let mut seen: FxHashSet<(RelName, KeyValue)> = FxHashSet::default();
+        for u in self.updates.iter() {
             if let Ok(rel) = schema.relation(&u.relation) {
                 for key in u.touched_keys(rel) {
                     let entry = (u.relation.clone(), key);

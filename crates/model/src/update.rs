@@ -1,6 +1,7 @@
 //! Provenance-annotated updates: insertions, deletions and modifications.
 
 use crate::ids::ParticipantId;
+use crate::intern::RelName;
 use crate::schema::{RelationSchema, Schema};
 use crate::tuple::{KeyValue, Tuple};
 use serde::{Deserialize, Serialize};
@@ -49,8 +50,8 @@ pub enum UpdateOp {
 /// participant that originated it (its provenance).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Update {
-    /// Name of the relation the update targets.
-    pub relation: String,
+    /// Name of the relation the update targets (interned, cheap to clone).
+    pub relation: RelName,
     /// The operation payload.
     pub op: UpdateOp,
     /// The participant that originated the update.
@@ -59,18 +60,18 @@ pub struct Update {
 
 impl Update {
     /// Creates an insertion `+R(ā; i)`.
-    pub fn insert(relation: impl Into<String>, tuple: Tuple, origin: ParticipantId) -> Self {
+    pub fn insert(relation: impl Into<RelName>, tuple: Tuple, origin: ParticipantId) -> Self {
         Update { relation: relation.into(), op: UpdateOp::Insert(tuple), origin }
     }
 
     /// Creates a deletion `−R(ā; i)`.
-    pub fn delete(relation: impl Into<String>, tuple: Tuple, origin: ParticipantId) -> Self {
+    pub fn delete(relation: impl Into<RelName>, tuple: Tuple, origin: ParticipantId) -> Self {
         Update { relation: relation.into(), op: UpdateOp::Delete(tuple), origin }
     }
 
     /// Creates a replacement `R(ā → ā′; i)`.
     pub fn modify(
-        relation: impl Into<String>,
+        relation: impl Into<RelName>,
         from: Tuple,
         to: Tuple,
         origin: ParticipantId,

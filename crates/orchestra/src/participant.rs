@@ -54,11 +54,18 @@ pub struct Participant {
     next_local_txn: u64,
     /// Transactions executed locally but not yet published.
     pending_publish: Vec<Transaction>,
-    /// Updates from the most recent publication, used as the "delta for
-    /// recno" during the following reconciliation.
+    /// Updates published since the last reconciliation, used as the "delta
+    /// for recno" when the next reconciliation runs. Accumulated across
+    /// publications (a participant may publish several times between
+    /// reconciliations) and consumed by the reconciliation that covers them.
     last_published_updates: Vec<Update>,
     /// Cumulative timing across all operations.
     total_timing: TimingBreakdown,
+    /// Locally mirrored rejected set: loaded from the store once (on the
+    /// first reconciliation) and extended with this participant's own
+    /// decisions afterwards, so steady-state reconciliations never re-read
+    /// the whole rejected record. Shared (`Arc`) with the engine per run.
+    rejected_cache: Option<std::sync::Arc<rustc_hash::FxHashSet<TransactionId>>>,
 }
 
 impl Participant {
@@ -76,6 +83,7 @@ impl Participant {
             pending_publish: Vec::new(),
             last_published_updates: Vec::new(),
             total_timing: TimingBreakdown::default(),
+            rejected_cache: None,
         }
     }
 
@@ -159,6 +167,34 @@ impl Participant {
         self.total_timing
     }
 
+    /// The participant's rejected set: read from the store on first use, then
+    /// maintained incrementally from this participant's own decisions (it is
+    /// the only writer of its decision record), so steady-state
+    /// reconciliations do O(new rejections) work instead of re-reading the
+    /// whole record.
+    fn rejected_set_cached<S: UpdateStore>(
+        &mut self,
+        store: &S,
+    ) -> std::sync::Arc<rustc_hash::FxHashSet<TransactionId>> {
+        match &self.rejected_cache {
+            Some(set) => std::sync::Arc::clone(set),
+            None => {
+                let set = std::sync::Arc::new(store.rejected_set(self.id));
+                self.rejected_cache = Some(std::sync::Arc::clone(&set));
+                set
+            }
+        }
+    }
+
+    /// Folds freshly recorded rejections into the local mirror. `Arc::make_mut`
+    /// is copy-free in the steady state: the engine's borrow has been dropped
+    /// by the time decisions are recorded.
+    fn extend_rejected_cache(&mut self, rejected: &[TransactionId]) {
+        if let Some(cache) = &mut self.rejected_cache {
+            std::sync::Arc::make_mut(cache).extend(rejected.iter().copied());
+        }
+    }
+
     /// Executes a transaction against the local instance. The updates must
     /// all originate from this participant (the origin field is checked). The
     /// transaction is applied atomically and queued for the next publication.
@@ -189,8 +225,10 @@ impl Participant {
             return Ok(None);
         }
         let batch = std::mem::take(&mut self.pending_publish);
-        self.last_published_updates =
-            batch.iter().flat_map(|t| t.updates().iter().cloned()).collect();
+        // Accumulate, do not overwrite: publishing twice before reconciling
+        // must keep the first batch in the own-delta, or a trusted remote
+        // transaction conflicting with it would wrongly be accepted.
+        self.last_published_updates.extend(batch.iter().flat_map(|t| t.updates().iter().cloned()));
         let epoch = store.publish(self.id, batch)?;
         let store_time = store.take_timing();
         self.total_timing.accumulate(TimingBreakdown {
@@ -236,7 +274,7 @@ impl Participant {
             rustc_hash::FxHashMap<TransactionId, rustc_hash::FxHashSet<TransactionId>>,
         >,
     ) -> Result<ReconcileReport> {
-        let previously_rejected = store.rejected_set(self.id);
+        let previously_rejected = self.rejected_set_cached(store);
         let retrieval_timing = store.take_timing();
 
         let local_start = Instant::now();
@@ -251,6 +289,7 @@ impl Participant {
         let local_elapsed = local_start.elapsed();
 
         store.record_decisions(self.id, &outcome.accepted_members, &outcome.rejected)?;
+        self.extend_rejected_cache(&outcome.rejected);
         let record_timing = store.take_timing();
 
         let timing = TimingBreakdown {
@@ -288,7 +327,7 @@ impl Participant {
         choices: &[ResolutionChoice],
     ) -> Result<ResolutionReport> {
         store.take_timing();
-        let previously_rejected = store.rejected_set(self.id);
+        let previously_rejected = self.rejected_set_cached(store);
         let recno = store.current_reconciliation(self.id);
         let read_timing = store.take_timing();
 
@@ -306,6 +345,7 @@ impl Participant {
         let mut rejected_all = outcome.newly_rejected.clone();
         rejected_all.extend(outcome.rerun.rejected.iter().copied());
         store.record_decisions(self.id, &outcome.rerun.accepted_members, &rejected_all)?;
+        self.extend_rejected_cache(&rejected_all);
         let record_timing = store.take_timing();
 
         let timing = TimingBreakdown {
@@ -445,6 +485,53 @@ mod tests {
         let report = p2.publish_and_reconcile(&mut store).unwrap();
         assert_eq!(report.rejected.len(), 1);
         assert!(p2.instance().contains_tuple_exact("Function", &func("rat", "prot1", "cell-resp")));
+    }
+
+    #[test]
+    fn own_delta_accumulates_across_multiple_publications() {
+        // Regression test: `publish` used to *overwrite* the own-delta, so
+        // publishing twice before reconciling dropped the first batch and a
+        // trusted remote transaction conflicting with it was wrongly
+        // accepted. The scenario needs a remote update that is compatible
+        // with p1's instance but conflicts with p1's first published batch: a
+        // remote DELETE of the tuple p1 inserted.
+        let (mut store, mut p1, mut p2) = setup_pair();
+
+        // p1 publishes its insert (first batch, epoch 1) without reconciling.
+        p1.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "immune"),
+            p(1),
+        )])
+        .unwrap();
+        p1.publish(&mut store).unwrap();
+
+        // p2 accepts it, then publishes a delete of that very tuple.
+        p2.publish_and_reconcile(&mut store).unwrap();
+        p2.execute_transaction(vec![Update::delete(
+            "Function",
+            func("rat", "prot1", "immune"),
+            p(2),
+        )])
+        .unwrap();
+        p2.publish(&mut store).unwrap();
+
+        // p1 publishes a second, unrelated batch — with the bug this
+        // overwrote the delta and forgot the prot1 insert.
+        p1.execute_transaction(vec![Update::insert(
+            "Function",
+            func("mouse", "prot2", "ligase"),
+            p(1),
+        )])
+        .unwrap();
+        let report = p1.publish_and_reconcile(&mut store).unwrap();
+
+        // The remote delete conflicts with p1's own (still unreconciled)
+        // insert: the participant always prefers its own version, so the
+        // delete must be rejected and the tuple must survive.
+        assert_eq!(report.rejected.len(), 1, "remote delete must be rejected");
+        assert!(report.accepted.is_empty());
+        assert!(p1.instance().contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
     }
 
     #[test]

@@ -8,6 +8,12 @@ use orchestra_storage::{Database, Result, StorageError};
 use orchestra_store::UpdateStore;
 use std::collections::BTreeMap;
 
+fn unknown_participant(id: ParticipantId) -> StorageError {
+    StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
+        "unknown participant {id}"
+    )))
+}
+
 /// A collaborative data sharing system: a set of participants, the schema
 /// they share, and the update store through which they exchange published
 /// transactions.
@@ -79,11 +85,15 @@ impl<S: UpdateStore> CdssSystem<S> {
     }
 
     fn require(&mut self, id: ParticipantId) -> Result<&mut Participant> {
-        self.participants.get_mut(&id).ok_or_else(|| {
-            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
-                "unknown participant {id}"
-            )))
-        })
+        self.participants.get_mut(&id).ok_or_else(|| unknown_participant(id))
+    }
+
+    /// Split borrow of the store and one participant, so participant methods
+    /// that take the store can be called through the system.
+    fn store_and_participant(&mut self, id: ParticipantId) -> Result<(&mut S, &mut Participant)> {
+        let store = &mut self.store;
+        let participant = self.participants.get_mut(&id).ok_or_else(|| unknown_participant(id))?;
+        Ok((store, participant))
     }
 
     /// Executes a transaction at a participant (applies it locally and queues
@@ -92,26 +102,25 @@ impl<S: UpdateStore> CdssSystem<S> {
         self.require(id)?.execute_transaction(updates)
     }
 
+    /// Publishes a participant's pending transactions without reconciling
+    /// (interleaved publish/reconcile schedules publish far more often than
+    /// they reconcile). Returns the epoch assigned, or `None` if nothing was
+    /// pending.
+    pub fn publish(&mut self, id: ParticipantId) -> Result<Option<orchestra_model::Epoch>> {
+        let (store, participant) = self.store_and_participant(id)?;
+        participant.publish(store)
+    }
+
     /// Publishes a participant's pending transactions and reconciles it
     /// against everything published so far.
     pub fn publish_and_reconcile(&mut self, id: ParticipantId) -> Result<ReconcileReport> {
-        let store = &mut self.store;
-        let participant = self.participants.get_mut(&id).ok_or_else(|| {
-            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
-                "unknown participant {id}"
-            )))
-        })?;
+        let (store, participant) = self.store_and_participant(id)?;
         participant.publish_and_reconcile(store)
     }
 
     /// Reconciles a participant without publishing.
     pub fn reconcile(&mut self, id: ParticipantId) -> Result<ReconcileReport> {
-        let store = &mut self.store;
-        let participant = self.participants.get_mut(&id).ok_or_else(|| {
-            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
-                "unknown participant {id}"
-            )))
-        })?;
+        let (store, participant) = self.store_and_participant(id)?;
         participant.reconcile(store)
     }
 
@@ -122,12 +131,7 @@ impl<S: UpdateStore> CdssSystem<S> {
         id: ParticipantId,
         choices: &[orchestra_recon::ResolutionChoice],
     ) -> Result<crate::report::ResolutionReport> {
-        let store = &mut self.store;
-        let participant = self.participants.get_mut(&id).ok_or_else(|| {
-            StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
-                "unknown participant {id}"
-            )))
-        })?;
+        let (store, participant) = self.store_and_participant(id)?;
         participant.resolve_conflicts(store, choices)
     }
 

@@ -8,7 +8,7 @@
 //! ones, and rebuilds the soft state (dirty values and conflict groups) from
 //! the deferred ones.
 
-use crate::extension::CandidateTransaction;
+use crate::extension::{CandidateTransaction, ExtensionCache};
 use crate::softstate::{ConflictGroup, SoftState};
 use orchestra_model::{
     flatten, Priority, ReconciliationId, Schema, TransactionId, Update, UpdateOp,
@@ -16,6 +16,7 @@ use orchestra_model::{
 use orchestra_storage::Database;
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The decision made about one candidate transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -44,8 +45,10 @@ pub struct ReconcileInput {
     pub own_updates: Vec<Update>,
     /// Transactions this participant has rejected in previous
     /// reconciliations; any candidate whose extension contains one of these
-    /// is rejected too.
-    pub previously_rejected: FxHashSet<TransactionId>,
+    /// is rejected too. Shared (`Arc`) so the caller's incrementally
+    /// maintained record is lent to the engine instead of being copied per
+    /// reconciliation.
+    pub previously_rejected: Arc<FxHashSet<TransactionId>>,
     /// Pairwise direct conflicts already computed elsewhere (the
     /// network-centric mode of Section 5, where conflict detection is
     /// distributed across the peers owning the conflicting keys). When
@@ -94,17 +97,26 @@ impl ReconcileOutcome {
 #[derive(Debug, Clone)]
 pub struct ReconcileEngine {
     schema: Schema,
+    /// Memoised flattened extensions: a deferred candidate whose antecedent
+    /// chain has not changed is never re-flattened across reconciliations.
+    cache: ExtensionCache,
 }
 
 impl ReconcileEngine {
     /// Creates an engine for the given schema.
     pub fn new(schema: Schema) -> Self {
-        ReconcileEngine { schema }
+        ReconcileEngine { schema, cache: ExtensionCache::new() }
     }
 
     /// The schema the engine reconciles over.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The engine's flattened-extension cache (for inspection in tests and
+    /// benchmarks).
+    pub fn extension_cache(&self) -> &ExtensionCache {
+        &self.cache
     }
 
     /// Runs `ReconcileUpdates` (Figure 4): decides every candidate, applies
@@ -121,11 +133,14 @@ impl ReconcileEngine {
         let candidates = input.candidates;
         let own_flat = flatten(schema, &input.own_updates);
 
-        // Lines 5-8: per-candidate flattened extensions and CheckState.
+        // Lines 5-8: per-candidate flattened extensions and CheckState. The
+        // flattenings come from the cache: a candidate deferred by an earlier
+        // reconciliation arrives with an unchanged antecedent chain and is
+        // not re-flattened.
         let mut decisions: FxHashMap<TransactionId, TransactionDecision> = FxHashMap::default();
-        let mut flattened: FxHashMap<TransactionId, Vec<Update>> = FxHashMap::default();
+        let mut flattened: FxHashMap<TransactionId, Arc<Vec<Update>>> = FxHashMap::default();
         for cand in &candidates {
-            let flat = cand.flattened(schema);
+            let flat = self.cache.flattened(cand, schema);
             let decision = self.check_state(
                 cand,
                 &flat,
@@ -214,7 +229,11 @@ impl ReconcileEngine {
         all_deferred.retain(|c| {
             decisions.get(&c.id).map(|d| *d == TransactionDecision::Defer).unwrap_or(true)
         });
-        soft.rebuild(input.recno, all_deferred, schema);
+        soft.rebuild(input.recno, all_deferred, schema, &self.cache);
+        // Accepted and rejected transactions are durably decided at the store
+        // and never reappear as candidates; only deferred chains can recur,
+        // so only their flattenings are worth keeping.
+        self.cache.retain(|id| soft.is_deferred(id));
         outcome.conflict_groups = soft.conflict_groups().to_vec();
         outcome
     }
@@ -277,18 +296,21 @@ impl ReconcileEngine {
     /// exact Definition 4 check (excluding shared members) is performed.
     fn find_conflicts(
         candidates: &[CandidateTransaction],
-        flattened: &FxHashMap<TransactionId, Vec<Update>>,
+        flattened: &FxHashMap<TransactionId, Arc<Vec<Update>>>,
         schema: &Schema,
     ) -> FxHashMap<TransactionId, FxHashSet<TransactionId>> {
         let mut conflicts: FxHashMap<TransactionId, FxHashSet<TransactionId>> =
             FxHashMap::default();
 
         // Index candidates by the keys their flattened extensions touch.
-        let mut by_key: FxHashMap<(String, orchestra_model::KeyValue), Vec<usize>> =
-            FxHashMap::default();
+        let mut by_key: FxHashMap<
+            (orchestra_model::RelName, orchestra_model::KeyValue),
+            Vec<usize>,
+        > = FxHashMap::default();
         for (i, cand) in candidates.iter().enumerate() {
-            let mut seen: FxHashSet<(String, orchestra_model::KeyValue)> = FxHashSet::default();
-            for u in &flattened[&cand.id] {
+            let mut seen: FxHashSet<(orchestra_model::RelName, orchestra_model::KeyValue)> =
+                FxHashSet::default();
+            for u in flattened[&cand.id].iter() {
                 if let Ok(rel) = schema.relation(&u.relation) {
                     for key in u.touched_keys(rel) {
                         let entry = (u.relation.clone(), key);
@@ -360,25 +382,35 @@ impl ReconcileEngine {
             .map(|c| c.id)
             .collect();
 
-        // Conflicts with strictly higher-priority transactions.
+        // Conflicts with strictly higher-priority transactions. The verdict
+        // is aggregated over the *whole* conflict set before being applied:
+        // one accepted higher-priority conflict rejects the transaction, no
+        // matter how many deferred higher-priority conflicts it also has.
+        // (An earlier version decided per conflict while iterating a hash
+        // set, so a Defer encountered after a Reject overwrote it and the
+        // outcome depended on hash-iteration order.)
         let mut removed: FxHashSet<TransactionId> = FxHashSet::default();
         for &t in &group {
             let Some(cs) = conflicts.get(&t) else { continue };
+            let mut any_accepted = false;
+            let mut any_deferred = false;
             for &c in cs {
                 let Some(other) = by_id.get(&c) else { continue };
                 if other.priority <= prio {
                     continue;
                 }
                 match decisions[&c] {
-                    TransactionDecision::Accept => {
-                        decisions.insert(t, TransactionDecision::Reject);
-                        removed.insert(t);
-                    }
-                    TransactionDecision::Defer => {
-                        decisions.insert(t, TransactionDecision::Defer);
-                    }
+                    TransactionDecision::Accept => any_accepted = true,
+                    TransactionDecision::Defer => any_deferred = true,
                     TransactionDecision::Reject => {}
                 }
+            }
+            if any_accepted {
+                // Reject is sticky: it wins over any deferred conflict.
+                decisions.insert(t, TransactionDecision::Reject);
+                removed.insert(t);
+            } else if any_deferred {
+                decisions.insert(t, TransactionDecision::Defer);
             }
         }
         group.retain(|t| !removed.contains(t));
@@ -595,7 +627,7 @@ mod tests {
         let input = ReconcileInput {
             recno: ReconciliationId(2),
             candidates: vec![candidate],
-            previously_rejected: rejected,
+            previously_rejected: Arc::new(rejected),
             ..Default::default()
         };
         let out = engine.reconcile(input, &mut db, &mut soft);
@@ -710,6 +742,105 @@ mod tests {
         assert_eq!(out.rejected.len(), 2);
         assert!(out.deferred.is_empty());
         assert!(db.contains_tuple_exact("Function", &func("rat", "prot1", "a")));
+    }
+
+    #[test]
+    fn reject_is_sticky_regardless_of_conflict_iteration_order() {
+        // Regression test for an order-dependence bug in DoGroup: a candidate
+        // conflicting with BOTH an accepted and a deferred higher-priority
+        // transaction must be rejected. The old code iterated the conflict
+        // hash set and overwrote decisions per conflict, so whenever the
+        // deferred conflict happened to be visited after the accepted one the
+        // Reject became a Defer. The low-priority candidate's id is varied so
+        // that every hash-iteration order of its conflict set is exercised.
+        for (d2_participant, low_participant) in
+            [(4u32, 5u32), (8, 4), (8, 5), (8, 9), (14, 4), (4, 9)]
+        {
+            let (engine, mut db, mut soft) = setup();
+            // `high` is alone at priority 9 on key (rat, prot1): accepted.
+            let high = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+            // `d1`/`d2` collide at priority 5 on key (rat, prot2): deferred.
+            let d1 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot2", "b"), p(3))]);
+            let d2 = txn(
+                d2_participant,
+                0,
+                vec![Update::insert("Function", func("rat", "prot2", "c"), p(d2_participant))],
+            );
+            // `low` conflicts with the accepted `high` (rat, prot1) and with
+            // the deferred `d1`/`d2` (rat, prot2).
+            let low = txn(
+                low_participant,
+                0,
+                vec![
+                    Update::insert("Function", func("rat", "prot1", "x"), p(low_participant)),
+                    Update::insert("Function", func("rat", "prot2", "y"), p(low_participant)),
+                ],
+            );
+            let out = engine.reconcile(
+                ReconcileInput {
+                    recno: ReconciliationId(1),
+                    candidates: vec![cand(&high, 9), cand(&d1, 5), cand(&d2, 5), cand(&low, 1)],
+                    ..Default::default()
+                },
+                &mut db,
+                &mut soft,
+            );
+            assert_eq!(out.accepted_roots, vec![high.id()]);
+            assert_eq!(out.deferred.len(), 2, "only d1/d2 defer (low id {low_participant})");
+            assert_eq!(
+                out.decision_of(low.id()),
+                Some(TransactionDecision::Reject),
+                "low-priority candidate {low_participant} must be rejected, not deferred"
+            );
+        }
+    }
+
+    #[test]
+    fn unchanged_deferred_chains_are_flattened_once() {
+        let (engine, mut db, mut soft) = setup();
+        let x1 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let x2 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(3))]);
+        engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(1),
+                candidates: vec![cand(&x1, 1), cand(&x2, 1)],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        let (_, misses_after_first) = engine.extension_cache().stats();
+        assert_eq!(engine.extension_cache().len(), 2, "both deferred chains stay cached");
+
+        // A second reconciliation with no new candidates re-presents the
+        // deferred chains via the soft state; nothing is re-flattened.
+        engine.reconcile(
+            ReconcileInput { recno: ReconciliationId(2), ..Default::default() },
+            &mut db,
+            &mut soft,
+        );
+        let (hits, misses) = engine.extension_cache().stats();
+        assert_eq!(misses, misses_after_first, "unchanged chains must not re-flatten");
+        assert!(hits > 0, "soft-state rebuild must hit the cache");
+    }
+
+    #[test]
+    fn decided_candidates_are_pruned_from_the_cache() {
+        let (engine, mut db, mut soft) = setup();
+        let x1 =
+            txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "immune"), p(2))]);
+        let out = engine.reconcile(
+            ReconcileInput {
+                recno: ReconciliationId(1),
+                candidates: vec![cand(&x1, 1)],
+                ..Default::default()
+            },
+            &mut db,
+            &mut soft,
+        );
+        assert_eq!(out.accepted_roots, vec![x1.id()]);
+        // The accepted candidate can never reappear; its flattening is gone.
+        assert!(engine.extension_cache().is_empty());
     }
 
     #[test]

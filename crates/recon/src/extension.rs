@@ -8,9 +8,12 @@
 //! footprint of that list — the net changes the reconciling peer would apply
 //! if it accepted the transaction.
 
-use orchestra_model::{flatten, ConflictKey, Priority, Schema, Transaction, TransactionId, Update};
+use orchestra_model::{
+    flatten, ConflictKey, Priority, RelName, Schema, Transaction, TransactionId, Update,
+};
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Finds the conflict-group keys on which two flattened update sets conflict,
 /// comparing only updates that touch a common `(relation, key)` pair.
@@ -65,7 +68,9 @@ pub struct CandidateTransaction {
     pub priority: Priority,
     /// The transaction extension: every member transaction (undecided
     /// antecedents first, root last), in publication order, with its updates.
-    pub members: Vec<(TransactionId, Vec<Update>)>,
+    /// The update lists are shared (`Arc`) with the update store's log, so
+    /// building and cloning candidates never copies an update.
+    pub members: Vec<(TransactionId, Arc<Vec<Update>>)>,
 }
 
 impl CandidateTransaction {
@@ -73,17 +78,42 @@ impl CandidateTransaction {
     /// extension member transactions (antecedents in publication order; the
     /// root itself may be included or will be appended).
     pub fn new(root: &Transaction, priority: Priority, antecedents: Vec<Transaction>) -> Self {
-        let mut members: Vec<(TransactionId, Vec<Update>)> =
-            antecedents.into_iter().map(|t| (t.id(), t.updates().to_vec())).collect();
+        let mut members: Vec<(TransactionId, Arc<Vec<Update>>)> =
+            antecedents.into_iter().map(|t| (t.id(), t.shared_updates())).collect();
         if members.last().map(|(id, _)| *id) != Some(root.id()) {
-            members.push((root.id(), root.updates().to_vec()));
+            members.push((root.id(), root.shared_updates()));
         }
         CandidateTransaction { id: root.id(), priority, members }
+    }
+
+    /// Builds a candidate directly from already-shared member update lists
+    /// (antecedents in publication order, root last). This is the store-side
+    /// constructor: the update lists are borrowed from the log by reference
+    /// count, so no update is copied.
+    pub fn from_members(
+        id: TransactionId,
+        priority: Priority,
+        members: Vec<(TransactionId, Arc<Vec<Update>>)>,
+    ) -> Self {
+        CandidateTransaction { id, priority, members }
     }
 
     /// The ids of every member of the extension (antecedents plus root).
     pub fn member_ids(&self) -> FxHashSet<TransactionId> {
         self.members.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// An order-sensitive fingerprint of the extension's member list. Two
+    /// candidates for the same root transaction share a fingerprint exactly
+    /// when their antecedent chains are identical, which is what makes the
+    /// flattened extension reusable across reconciliations.
+    pub fn member_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = rustc_hash::FxHasher::default();
+        for (id, _) in &self.members {
+            id.hash(&mut hasher);
+        }
+        hasher.finish()
     }
 
     /// The update footprint `uf` of the extension: every member update, in
@@ -148,7 +178,7 @@ impl CandidateTransaction {
 
     /// All `(relation, key)` pairs read or written by the flattened
     /// extension. Used for dirty-value checks.
-    pub fn touched_keys(&self, schema: &Schema) -> Vec<(String, orchestra_model::KeyValue)> {
+    pub fn touched_keys(&self, schema: &Schema) -> Vec<(RelName, orchestra_model::KeyValue)> {
         let mut out = Vec::new();
         let mut seen = FxHashSet::default();
         for u in self.flattened(schema) {
@@ -162,6 +192,73 @@ impl CandidateTransaction {
             }
         }
         out
+    }
+}
+
+/// Memoised flattened update extensions.
+///
+/// Flattening an extension is the dominant local cost of reconciliation, and
+/// a deferred candidate is re-presented — with an unchanged antecedent chain —
+/// at every subsequent reconciliation until its conflict resolves. The cache
+/// keys each flattening by `(root id, member fingerprint)`, so an unchanged
+/// chain is flattened exactly once and re-used for free, while a chain that
+/// gained or lost members (for example because an antecedent was accepted in
+/// the meantime) misses and is recomputed.
+///
+/// Entries are shared ([`Arc`]), so a cache hit costs one reference-count
+/// bump. The owner is responsible for pruning entries for transactions that
+/// can no longer reappear (see [`ExtensionCache::retain`]).
+#[derive(Debug, Clone, Default)]
+pub struct ExtensionCache {
+    entries: std::cell::RefCell<CacheMap>,
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+/// Cached flattenings keyed by `(root id, member fingerprint)`.
+type CacheMap = rustc_hash::FxHashMap<(TransactionId, u64), Arc<Vec<Update>>>;
+
+impl ExtensionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ExtensionCache::default()
+    }
+
+    /// The flattened update extension of a candidate, computed at most once
+    /// per distinct antecedent chain.
+    pub fn flattened(&self, cand: &CandidateTransaction, schema: &Schema) -> Arc<Vec<Update>> {
+        let key = (cand.id, cand.member_fingerprint());
+        if let Some(hit) = self.entries.borrow().get(&key) {
+            self.hits.set(self.hits.get() + 1);
+            return Arc::clone(hit);
+        }
+        self.misses.set(self.misses.get() + 1);
+        let flat = Arc::new(cand.flattened(schema));
+        self.entries.borrow_mut().insert(key, Arc::clone(&flat));
+        flat
+    }
+
+    /// Drops every entry whose root transaction fails the predicate. Called
+    /// after a reconciliation with "is still deferred": accepted and rejected
+    /// transactions are durably decided at the store and never reappear as
+    /// candidates, so their flattenings are dead weight.
+    pub fn retain(&self, keep: impl Fn(TransactionId) -> bool) {
+        self.entries.borrow_mut().retain(|(id, _), _| keep(*id));
+    }
+
+    /// Number of cached flattenings.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Returns true if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
     }
 }
 

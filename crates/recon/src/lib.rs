@@ -27,6 +27,6 @@ pub mod softstate;
 
 pub use append_only::append_only_reconcile;
 pub use engine::{ReconcileEngine, ReconcileInput, ReconcileOutcome, TransactionDecision};
-pub use extension::CandidateTransaction;
+pub use extension::{CandidateTransaction, ExtensionCache};
 pub use resolution::{ResolutionChoice, ResolutionOutcome};
 pub use softstate::{ConflictGroup, ConflictOption, SoftState};

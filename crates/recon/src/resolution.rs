@@ -97,14 +97,14 @@ pub fn resolve_conflicts(
     // Clear the soft state (the deferred set has been drained) and re-run
     // reconciliation treating the remaining deferred transactions as freshly
     // published.
-    soft.rebuild(recno, Vec::new(), engine.schema());
+    soft.rebuild(recno, Vec::new(), engine.schema(), engine.extension_cache());
     let mut all_rejected = previously_rejected.clone();
     all_rejected.extend(rejected_now.iter().copied());
     let input = ReconcileInput {
         recno,
         candidates: remaining,
         own_updates: Vec::<Update>::new(),
-        previously_rejected: all_rejected,
+        previously_rejected: std::sync::Arc::new(all_rejected),
         precomputed_conflicts: None,
     };
     outcome.rerun = engine.reconcile(input, instance, soft);

@@ -8,8 +8,8 @@
 //! the deferred transactions applicable), and conflict groups/options are the
 //! unit of user-driven conflict resolution.
 
-use crate::extension::CandidateTransaction;
-use orchestra_model::{ConflictKey, KeyValue, ReconciliationId, Schema, TransactionId};
+use crate::extension::{CandidateTransaction, ExtensionCache};
+use orchestra_model::{ConflictKey, KeyValue, ReconciliationId, RelName, Schema, TransactionId};
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
@@ -52,8 +52,10 @@ impl ConflictGroup {
 /// The reconciling participant's soft state between reconciliations.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SoftState {
-    /// Key values made dirty by deferred transactions, per relation.
-    dirty: FxHashSet<(String, KeyValue)>,
+    /// Key values made dirty by deferred transactions, per relation. Keyed
+    /// by relation first so lookups borrow a `&str` and never intern or
+    /// clone on the engine's per-update hot path.
+    dirty: FxHashMap<RelName, FxHashSet<KeyValue>>,
     /// Deferred candidates, retained so they can be reconsidered when the
     /// user resolves conflicts.
     deferred: FxHashMap<TransactionId, CandidateTransaction>,
@@ -72,17 +74,17 @@ impl SoftState {
     /// Returns true if `(relation, key)` is dirty (touched by a deferred
     /// transaction).
     pub fn is_dirty(&self, relation: &str, key: &KeyValue) -> bool {
-        self.dirty.contains(&(relation.to_owned(), key.clone()))
+        self.dirty.get(relation).map(|keys| keys.contains(key)).unwrap_or(false)
     }
 
     /// Returns true if any of the given `(relation, key)` pairs is dirty.
-    pub fn any_dirty(&self, keys: &[(String, KeyValue)]) -> bool {
-        keys.iter().any(|(r, k)| self.dirty.contains(&(r.clone(), k.clone())))
+    pub fn any_dirty(&self, keys: &[(RelName, KeyValue)]) -> bool {
+        keys.iter().any(|(r, k)| self.is_dirty(r, k))
     }
 
     /// The number of dirty key values.
     pub fn dirty_len(&self) -> usize {
-        self.dirty.len()
+        self.dirty.values().map(FxHashSet::len).sum()
     }
 
     /// The deferred candidates, keyed by root transaction id.
@@ -126,6 +128,7 @@ impl SoftState {
         recno: ReconciliationId,
         deferred: Vec<CandidateTransaction>,
         schema: &Schema,
+        cache: &ExtensionCache,
     ) {
         self.dirty.clear();
         self.conflict_groups.clear();
@@ -135,18 +138,18 @@ impl SoftState {
         // Flatten each deferred candidate once and index the keys it touches,
         // so only candidates sharing a key are compared (the same hash-based
         // conflict detection the paper assumes).
-        let flattened: Vec<Vec<orchestra_model::Update>> =
-            deferred.iter().map(|c| c.flattened(schema)).collect();
-        let mut by_key: FxHashMap<(String, KeyValue), Vec<usize>> = FxHashMap::default();
+        let flattened: Vec<std::sync::Arc<Vec<orchestra_model::Update>>> =
+            deferred.iter().map(|c| cache.flattened(c, schema)).collect();
+        let mut by_key: FxHashMap<(RelName, KeyValue), Vec<usize>> = FxHashMap::default();
         for (i, (cand, flat)) in deferred.iter().zip(&flattened).enumerate() {
             let _ = cand;
-            let mut seen: FxHashSet<(String, KeyValue)> = FxHashSet::default();
-            for u in flat {
+            let mut seen: FxHashSet<(RelName, KeyValue)> = FxHashSet::default();
+            for u in flat.iter() {
                 if let Ok(rel) = schema.relation(&u.relation) {
                     for key in u.touched_keys(rel) {
                         let entry = (u.relation.clone(), key);
                         if seen.insert(entry.clone()) {
-                            self.dirty.insert(entry.clone());
+                            self.dirty.entry(entry.0.clone()).or_default().insert(entry.1.clone());
                             by_key.entry(entry).or_default().push(i);
                         }
                     }
@@ -241,8 +244,8 @@ impl SoftState {
             let mut options: Vec<(Vec<String>, ConflictOption)> = Vec::new();
             for (rep, cluster_members) in clusters {
                 let rep_cand = by_id[&rep];
-                let mut change: Vec<String> = rep_cand
-                    .flattened(schema)
+                let mut change: Vec<String> = cache
+                    .flattened(rep_cand, schema)
                     .iter()
                     .map(|u| {
                         format!(
@@ -313,7 +316,12 @@ mod tests {
         let c1 =
             cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(2))]);
         let c2 = cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
-        s.rebuild(ReconciliationId(1), vec![c1.clone(), c2.clone()], &schema);
+        s.rebuild(
+            ReconciliationId(1),
+            vec![c1.clone(), c2.clone()],
+            &schema,
+            &ExtensionCache::default(),
+        );
 
         assert_eq!(s.last_recno(), ReconciliationId(1));
         assert!(s.is_dirty("Function", &KeyValue::of_text(&["rat", "prot1"])));
@@ -340,7 +348,12 @@ mod tests {
             cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "immune"), p(3))]);
         let diff =
             cand(4, 0, vec![Update::insert("Function", func("rat", "prot1", "cell-resp"), p(4))]);
-        s.rebuild(ReconciliationId(2), vec![same_a, same_b, diff], &schema);
+        s.rebuild(
+            ReconciliationId(2),
+            vec![same_a, same_b, diff],
+            &schema,
+            &ExtensionCache::default(),
+        );
 
         assert_eq!(s.conflict_groups().len(), 1);
         let group = &s.conflict_groups()[0];
@@ -356,10 +369,10 @@ mod tests {
         let mut s = SoftState::new();
         let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
         let c2 = cand(3, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(3))]);
-        s.rebuild(ReconciliationId(1), vec![c1, c2], &schema);
+        s.rebuild(ReconciliationId(1), vec![c1, c2], &schema, &ExtensionCache::default());
         assert_eq!(s.dirty_len(), 1);
 
-        s.rebuild(ReconciliationId(2), vec![], &schema);
+        s.rebuild(ReconciliationId(2), vec![], &schema, &ExtensionCache::default());
         assert_eq!(s.dirty_len(), 0);
         assert!(s.deferred().is_empty());
         assert!(s.conflict_groups().is_empty());
@@ -372,7 +385,7 @@ mod tests {
         let mut s = SoftState::new();
         let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
         let id = c1.id;
-        s.rebuild(ReconciliationId(1), vec![c1], &schema);
+        s.rebuild(ReconciliationId(1), vec![c1], &schema, &ExtensionCache::default());
         let removed = s.remove_deferred(id).unwrap();
         assert_eq!(removed.id, id);
         assert!(s.remove_deferred(id).is_none());
@@ -384,7 +397,7 @@ mod tests {
         let mut s = SoftState::new();
         let c1 = cand(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
         let c2 = cand(3, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(3))]);
-        s.rebuild(ReconciliationId(1), vec![c1, c2], &schema);
+        s.rebuild(ReconciliationId(1), vec![c1, c2], &schema, &ExtensionCache::default());
         assert!(s.conflict_groups().is_empty());
         assert_eq!(s.dirty_len(), 2);
     }

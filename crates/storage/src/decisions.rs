@@ -7,7 +7,7 @@
 //! the epoch associated with each of its reconciliations.
 
 use orchestra_model::{Epoch, ParticipantId, ReconciliationId, TransactionId};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
 /// The durable decision a participant has recorded about a transaction.
@@ -27,10 +27,33 @@ pub enum Decision {
 }
 
 /// One participant's reconciliation record.
+///
+/// Besides the authoritative decision map, the record maintains the accepted
+/// and rejected sets *incrementally*, so that a reconciliation can consult
+/// them in O(1) instead of rebuilding them from the full decision history —
+/// the key to making per-reconciliation work scale with new epochs rather
+/// than with total history.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct ParticipantRecord {
     decisions: FxHashMap<TransactionId, Decision>,
     reconciliations: Vec<(ReconciliationId, Epoch)>,
+    #[serde(skip)]
+    accepted: FxHashSet<TransactionId>,
+    #[serde(skip)]
+    rejected: FxHashSet<TransactionId>,
+}
+
+impl ParticipantRecord {
+    fn rebuild_sets(&mut self) {
+        self.accepted.clear();
+        self.rejected.clear();
+        for (&id, &d) in &self.decisions {
+            match d {
+                Decision::Accepted => self.accepted.insert(id),
+                Decision::Rejected => self.rejected.insert(id),
+            };
+        }
+    }
 }
 
 /// Store-side record of every participant's decisions and reconciliations.
@@ -55,7 +78,24 @@ impl DecisionLog {
             Some(Decision::Accepted) => {}
             _ => {
                 rec.decisions.insert(txn, decision);
+                match decision {
+                    Decision::Accepted => {
+                        rec.rejected.remove(&txn);
+                        rec.accepted.insert(txn);
+                    }
+                    Decision::Rejected => {
+                        rec.rejected.insert(txn);
+                    }
+                }
             }
+        }
+    }
+
+    /// Rebuilds the derived accepted/rejected sets (used after
+    /// deserialisation, mirroring `TransactionLog::rebuild_indexes`).
+    pub fn rebuild_indexes(&mut self) {
+        for rec in self.participants.values_mut() {
+            rec.rebuild_sets();
         }
     }
 
@@ -88,6 +128,17 @@ impl DecisionLog {
     /// All transactions the participant has rejected.
     pub fn rejected(&self, participant: ParticipantId) -> Vec<TransactionId> {
         self.with_decision(participant, Decision::Rejected)
+    }
+
+    /// The participant's accepted set, maintained incrementally — O(1) to
+    /// consult, shared by reference so reconciliations never rebuild it.
+    pub fn accepted_set(&self, participant: ParticipantId) -> Option<&FxHashSet<TransactionId>> {
+        self.participants.get(&participant).map(|r| &r.accepted)
+    }
+
+    /// The participant's rejected set, maintained incrementally.
+    pub fn rejected_set(&self, participant: ParticipantId) -> Option<&FxHashSet<TransactionId>> {
+        self.participants.get(&participant).map(|r| &r.rejected)
     }
 
     fn with_decision(&self, participant: ParticipantId, wanted: Decision) -> Vec<TransactionId> {
@@ -161,6 +212,26 @@ mod tests {
         assert!(!log.is_decided(p(3), x(2, 0)));
         assert_eq!(log.accepted(p(1)), vec![x(2, 0)]);
         assert_eq!(log.rejected(p(1)), vec![x(3, 0)]);
+    }
+
+    #[test]
+    fn incremental_sets_track_decisions_and_rebuild() {
+        let mut log = DecisionLog::new();
+        log.record(p(1), x(2, 0), Decision::Rejected);
+        log.record(p(1), x(3, 0), Decision::Accepted);
+        // Rejection superseded by acceptance moves between the sets.
+        log.record(p(1), x(2, 0), Decision::Accepted);
+        let accepted = log.accepted_set(p(1)).unwrap();
+        assert!(accepted.contains(&x(2, 0)) && accepted.contains(&x(3, 0)));
+        assert!(log.rejected_set(p(1)).unwrap().is_empty());
+        assert!(log.accepted_set(p(9)).is_none());
+
+        // The sets survive a serde round trip via rebuild_indexes.
+        let json = serde_json::to_string(&log).unwrap();
+        let mut back: DecisionLog = serde_json::from_str(&json).unwrap();
+        assert!(back.accepted_set(p(1)).map(|s| s.is_empty()).unwrap_or(true));
+        back.rebuild_indexes();
+        assert_eq!(back.accepted_set(p(1)).unwrap().len(), 2);
     }
 
     #[test]

@@ -32,16 +32,26 @@ struct EpochRecord {
 }
 
 /// The epoch sequence plus per-epoch publication records.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochRegistry {
     records: BTreeMap<u64, EpochRecord>,
     next: u64,
+    /// The stable frontier, advanced incrementally as publications finish so
+    /// that [`EpochRegistry::largest_stable_epoch`] is O(1) instead of a scan
+    /// over every epoch ever allocated.
+    stable: u64,
+}
+
+impl Default for EpochRegistry {
+    fn default() -> Self {
+        EpochRegistry::new()
+    }
 }
 
 impl EpochRegistry {
     /// Creates an empty registry; the first allocated epoch will be 1.
     pub fn new() -> Self {
-        EpochRegistry { records: BTreeMap::new(), next: 1 }
+        EpochRegistry { records: BTreeMap::new(), next: 1, stable: 0 }
     }
 
     /// Allocates the next epoch for a publishing peer and marks it started.
@@ -58,6 +68,17 @@ impl EpochRegistry {
         match self.records.get_mut(&epoch.as_u64()) {
             Some(rec) => {
                 rec.status = PublicationStatus::Finished;
+                // Advance the stable frontier over every consecutively
+                // finished epoch. Each epoch is crossed exactly once over the
+                // registry's lifetime, so the amortised cost is O(1).
+                while self
+                    .records
+                    .get(&(self.stable + 1))
+                    .map(|r| r.status == PublicationStatus::Finished)
+                    .unwrap_or(false)
+                {
+                    self.stable += 1;
+                }
                 Ok(())
             }
             None => Err(StorageError::UnknownEpoch(epoch.as_u64())),
@@ -84,14 +105,7 @@ impl EpochRegistry {
     /// this as its reconciliation epoch so that no unpublished transaction
     /// can precede it.
     pub fn largest_stable_epoch(&self) -> Epoch {
-        let mut stable = Epoch::ZERO;
-        for (&e, rec) in &self.records {
-            match rec.status {
-                PublicationStatus::Finished => stable = Epoch(e),
-                PublicationStatus::Started => break,
-            }
-        }
-        stable
+        Epoch(self.stable)
     }
 
     /// Number of allocated epochs.

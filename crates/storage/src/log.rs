@@ -9,7 +9,7 @@
 //! deletes?).
 
 use crate::error::{Result, StorageError};
-use orchestra_model::{Epoch, ParticipantId, Schema, Transaction, TransactionId, Tuple};
+use orchestra_model::{Epoch, ParticipantId, RelName, Schema, Transaction, TransactionId, Tuple};
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -35,7 +35,7 @@ pub struct TransactionLog {
     /// For each (relation, tuple value) ever written, the log positions of the
     /// transactions that wrote it, in publication order.
     #[serde(skip)]
-    writers: FxHashMap<(String, Tuple), Vec<usize>>,
+    writers: FxHashMap<(RelName, Tuple), Vec<usize>>,
 }
 
 impl TransactionLog {

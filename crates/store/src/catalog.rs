@@ -7,6 +7,29 @@
 //! factors out the logical state and the store-side computations (trust
 //! evaluation and transaction-extension construction), so each store
 //! implementation only adds its own cost model.
+//!
+//! # Incremental retrieval
+//!
+//! Reconciliation cost must scale with the *new* epochs a participant has not
+//! yet seen, not with total history. The catalogue therefore maintains, in
+//! addition to the raw log:
+//!
+//! * a **per-participant epoch cursor** — the epoch its last reconciliation
+//!   was pinned to, advanced by [`StoreCatalog::begin_reconciliation`];
+//! * a **per-epoch, trust-evaluated relevance index** — for every registered
+//!   participant, each published epoch maps to the transactions that did not
+//!   originate at that participant together with the priority its policy
+//!   assigns them (evaluated once, at publication time, exactly where the
+//!   paper pushes trust-predicate evaluation into the store);
+//! * **incrementally maintained accepted/rejected sets** (inside
+//!   [`DecisionLog`]), so the "already decided" filter is O(1) per candidate.
+//!
+//! Retrieval then walks only the index entries between the cursor and the
+//! reconciliation epoch, and candidate extensions share the log's update
+//! lists by reference count ([`Transaction::shared_updates`]) instead of
+//! deep-cloning transactions. The pre-cursor full-log path is preserved as
+//! [`StoreCatalog::relevant_transactions_rescan`] so the churn benchmark can
+//! measure the improvement against an honest baseline.
 
 use orchestra_model::{
     Epoch, ParticipantId, Priority, ReconciliationId, Schema, Transaction, TransactionId,
@@ -15,27 +38,32 @@ use orchestra_model::{
 use orchestra_recon::CandidateTransaction;
 use orchestra_storage::{Decision, DecisionLog, EpochRegistry, Result, TransactionLog};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+
+/// One entry of the per-epoch relevance index: a transaction some participant
+/// may need to consider, with the priority its policy assigned at publication
+/// time. Untrusted entries are kept (with [`Priority::UNTRUSTED`]) because the
+/// DHT cost model still charges a request/notification round trip for them.
+type RelevanceEntry = (TransactionId, Priority);
 
 /// The logical contents of an update store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StoreCatalog {
     schema: Schema,
     registry: EpochRegistry,
     log: TransactionLog,
     decisions: DecisionLog,
     policies: FxHashMap<ParticipantId, TrustPolicy>,
+    /// Per-participant, per-epoch trust-evaluated candidates.
+    relevance: FxHashMap<ParticipantId, BTreeMap<u64, Vec<RelevanceEntry>>>,
+    /// Per-participant epoch cursors (the epoch of the last reconciliation).
+    cursors: FxHashMap<ParticipantId, Epoch>,
 }
 
 impl StoreCatalog {
     /// Creates an empty catalogue for the given schema.
     pub fn new(schema: Schema) -> Self {
-        StoreCatalog {
-            schema,
-            registry: EpochRegistry::new(),
-            log: TransactionLog::new(),
-            decisions: DecisionLog::new(),
-            policies: FxHashMap::default(),
-        }
+        StoreCatalog { schema, ..Default::default() }
     }
 
     /// The schema the store serves.
@@ -53,9 +81,23 @@ impl StoreCatalog {
         &self.registry
     }
 
-    /// Registers (or replaces) a participant's trust policy.
+    /// Registers (or replaces) a participant's trust policy and (re)builds
+    /// its slice of the relevance index from the already-published log.
+    /// Registration is an out-of-band setup step; steady-state publications
+    /// keep the index current incrementally.
     pub fn register_policy(&mut self, policy: TrustPolicy) {
-        self.policies.insert(policy.owner(), policy);
+        let participant = policy.owner();
+        let mut index: BTreeMap<u64, Vec<RelevanceEntry>> = BTreeMap::new();
+        for entry in self.log.entries() {
+            let txn = &entry.transaction;
+            if txn.origin() == participant {
+                continue;
+            }
+            let priority = policy.priority_of_transaction(txn, &self.schema);
+            index.entry(entry.epoch.as_u64()).or_default().push((txn.id(), priority));
+        }
+        self.relevance.insert(participant, index);
+        self.policies.insert(participant, policy);
     }
 
     /// The trust policy of a participant, if registered.
@@ -71,7 +113,9 @@ impl StoreCatalog {
     }
 
     /// Publishes a batch of transactions from a peer as one epoch, marking
-    /// the publisher's own transactions as accepted by it.
+    /// the publisher's own transactions as accepted by it and extending every
+    /// other participant's relevance index with the new epoch's trust
+    /// evaluation.
     pub fn publish(
         &mut self,
         participant: ParticipantId,
@@ -80,6 +124,22 @@ impl StoreCatalog {
         let epoch = self.registry.begin_publish(participant);
         for txn in transactions {
             let id = txn.id();
+            for (other, policy) in &self.policies {
+                // Skip by transaction *origin* (not by publisher), matching
+                // the relevance filter and `register_policy`'s rebuild: a
+                // participant is never offered its own transactions even if
+                // someone else published them on its behalf.
+                if txn.origin() == *other {
+                    continue;
+                }
+                let priority = policy.priority_of_transaction(&txn, &self.schema);
+                self.relevance
+                    .entry(*other)
+                    .or_default()
+                    .entry(epoch.as_u64())
+                    .or_default()
+                    .push((id, priority));
+            }
             self.log.publish(epoch, txn)?;
             self.decisions.record(participant, id, Decision::Accepted);
         }
@@ -87,34 +147,149 @@ impl StoreCatalog {
         Ok(epoch)
     }
 
-    /// Pins a reconciliation for the participant to the largest stable epoch
-    /// and returns `(recno, previous epoch, reconciliation epoch)`.
+    /// The participant's epoch cursor: the epoch of its most recent
+    /// reconciliation (`Epoch::ZERO` if it has never reconciled).
+    pub fn epoch_cursor(&self, participant: ParticipantId) -> Epoch {
+        self.cursors
+            .get(&participant)
+            .copied()
+            .unwrap_or_else(|| self.decisions.last_reconciliation_epoch(participant))
+    }
+
+    /// Pins a reconciliation for the participant to the largest stable epoch,
+    /// advances its epoch cursor, and returns `(recno, previous epoch,
+    /// reconciliation epoch)`.
     pub fn begin_reconciliation(
         &mut self,
         participant: ParticipantId,
     ) -> (ReconciliationId, Epoch, Epoch) {
         let recno = self.decisions.next_reconciliation_id(participant);
-        let previous = self.decisions.last_reconciliation_epoch(participant);
+        let previous = self.epoch_cursor(participant);
         let epoch = self.registry.largest_stable_epoch();
         self.decisions.record_reconciliation(participant, recno, epoch);
+        self.cursors.insert(participant, epoch);
         (recno, previous, epoch)
+    }
+
+    /// The trust-evaluated, undecided transactions for a reconciliation over
+    /// epochs `(previous, epoch]`, straight from the relevance index: every
+    /// entry that did not originate at the participant and that it has not
+    /// already decided, with the priority its policy assigned at publication
+    /// time. Untrusted entries are included (the DHT cost model charges a
+    /// notification for them); callers that only want candidates skip them.
+    ///
+    /// Work is proportional to the transactions published in the requested
+    /// epoch range — the full log is never rescanned.
+    pub fn relevant_candidates(
+        &self,
+        participant: ParticipantId,
+        previous: Epoch,
+        epoch: Epoch,
+    ) -> Vec<(&Transaction, Priority)> {
+        let mut out = Vec::new();
+        if epoch <= previous {
+            return out;
+        }
+        let Some(index) = self.relevance.get(&participant) else { return out };
+        let accepted = self.decisions.accepted_set(participant);
+        let rejected = self.decisions.rejected_set(participant);
+        let decided = |id: &TransactionId| {
+            accepted.map(|s| s.contains(id)).unwrap_or(false)
+                || rejected.map(|s| s.contains(id)).unwrap_or(false)
+        };
+        for entries in index.range((previous.as_u64() + 1)..=epoch.as_u64()).map(|(_, e)| e) {
+            for (id, priority) in entries {
+                if decided(id) {
+                    continue;
+                }
+                if let Some(txn) = self.log.get(*id) {
+                    out.push((txn, *priority));
+                }
+            }
+        }
+        out
+    }
+
+    /// The pre-cursor retrieval path, kept as the baseline for the churn
+    /// benchmark: rescans the full publication log, re-filters by origin,
+    /// decision record and trust, and returns owned transactions. Semantics
+    /// are identical to [`StoreCatalog::relevant_candidates`]; cost is
+    /// O(total history) per call.
+    pub fn relevant_transactions_rescan(
+        &self,
+        participant: ParticipantId,
+        previous: Epoch,
+        epoch: Epoch,
+    ) -> Vec<(Transaction, Priority)> {
+        // Rebuild the decided set from the decision record, as the
+        // pre-cursor code did on every call.
+        let decided: FxHashSet<TransactionId> = self
+            .decisions
+            .accepted(participant)
+            .into_iter()
+            .chain(self.decisions.rejected(participant))
+            .collect();
+        self.log
+            .entries()
+            .iter()
+            .filter(|e| e.epoch > previous && e.epoch <= epoch)
+            .map(|e| &e.transaction)
+            .filter(|t| t.origin() != participant)
+            .filter(|t| !decided.contains(&t.id()))
+            .map(|t| (t.clone(), self.priority_for(participant, t)))
+            .collect()
+    }
+
+    /// Baseline variant of [`StoreCatalog::build_candidate_with`] reproducing
+    /// the pre-cursor costs: every extension member's update list is
+    /// deep-copied (as the pre-interning code did) instead of shared with the
+    /// log by reference count. Used only by the rescan retrieval mode that
+    /// the churn benchmark measures against.
+    pub fn build_candidate_rescan(
+        &self,
+        accepted: &FxHashSet<TransactionId>,
+        txn: &Transaction,
+        priority: Priority,
+    ) -> (CandidateTransaction, usize) {
+        let member_ids = self.log.transaction_extension(txn, &self.schema, accepted);
+        let mut members = Vec::with_capacity(member_ids.len());
+        let mut fetched = 0usize;
+        for id in member_ids {
+            if id == txn.id() {
+                continue;
+            }
+            if let Some(t) = self.log.get(id) {
+                members.push((id, std::sync::Arc::new(t.updates().to_vec())));
+                fetched += 1;
+            }
+        }
+        members.push((txn.id(), std::sync::Arc::new(txn.updates().to_vec())));
+        (CandidateTransaction::from_members(txn.id(), priority, members), fetched)
+    }
+
+    /// Baseline accepted-set reconstruction, as the pre-cursor code performed
+    /// on every reconciliation: enumerate the participant's decisions, sort,
+    /// and collect into a fresh set.
+    pub fn accepted_set_rescan(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+        self.decisions.accepted(participant).into_iter().collect()
     }
 
     /// The relevant transactions for a reconciliation: every transaction
     /// published in `(previous, epoch]` that did not originate at the
     /// reconciling participant and that it has not already decided.
+    ///
+    /// Served from the relevance index, so the participant must have been
+    /// registered via [`StoreCatalog::register_policy`]; an unregistered
+    /// participant has no index and gets an empty result.
     pub fn relevant_transactions(
         &self,
         participant: ParticipantId,
         previous: Epoch,
         epoch: Epoch,
     ) -> Vec<Transaction> {
-        self.log
-            .in_range(previous, epoch)
+        self.relevant_candidates(participant, previous, epoch)
             .into_iter()
-            .filter(|t| t.origin() != participant)
-            .filter(|t| !self.decisions.is_decided(participant, t.id()))
-            .cloned()
+            .map(|(t, _)| t.clone())
             .collect()
     }
 
@@ -138,14 +313,17 @@ impl StoreCatalog {
         txn: &Transaction,
         priority: Priority,
     ) -> (CandidateTransaction, usize) {
-        let accepted: FxHashSet<TransactionId> =
-            self.decisions.accepted(participant).into_iter().collect();
-        self.build_candidate_with(&accepted, txn, priority)
+        static EMPTY: std::sync::OnceLock<FxHashSet<TransactionId>> = std::sync::OnceLock::new();
+        let accepted = self
+            .decisions
+            .accepted_set(participant)
+            .unwrap_or_else(|| EMPTY.get_or_init(FxHashSet::default));
+        self.build_candidate_with(accepted, txn, priority)
     }
 
-    /// Like [`StoreCatalog::build_candidate`] but reuses an already-computed
-    /// accepted set, so callers building many candidates for the same
-    /// reconciliation do not recompute it per transaction.
+    /// Like [`StoreCatalog::build_candidate`] but reuses an already-available
+    /// accepted set. The extension members share the log's update lists by
+    /// reference count — no update is copied.
     pub fn build_candidate_with(
         &self,
         accepted: &FxHashSet<TransactionId>,
@@ -153,17 +331,19 @@ impl StoreCatalog {
         priority: Priority,
     ) -> (CandidateTransaction, usize) {
         let member_ids = self.log.transaction_extension(txn, &self.schema, accepted);
-        let mut members: Vec<Transaction> = Vec::with_capacity(member_ids.len());
-        for id in &member_ids {
-            if *id == txn.id() {
+        let mut members = Vec::with_capacity(member_ids.len());
+        let mut fetched = 0usize;
+        for id in member_ids {
+            if id == txn.id() {
                 continue;
             }
-            if let Some(t) = self.log.get(*id) {
-                members.push(t.clone());
+            if let Some(t) = self.log.get(id) {
+                members.push((id, t.shared_updates()));
+                fetched += 1;
             }
         }
-        let fetched = members.len();
-        (CandidateTransaction::new(txn, priority, members), fetched)
+        members.push((txn.id(), txn.shared_updates()));
+        (CandidateTransaction::from_members(txn.id(), priority, members), fetched)
     }
 
     /// Records accept/reject decisions for a participant.
@@ -186,9 +366,10 @@ impl StoreCatalog {
         self.decisions.last_reconciliation(participant).map(|(r, _)| r).unwrap_or_default()
     }
 
-    /// The participant's rejected set.
+    /// The participant's rejected set (a clone of the incrementally
+    /// maintained record).
     pub fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
-        self.decisions.rejected(participant).into_iter().collect()
+        self.decisions.rejected_set(participant).cloned().unwrap_or_default()
     }
 
     /// The transactions the participant has accepted, in publication order.
@@ -200,9 +381,28 @@ impl StoreCatalog {
         accepted.into_iter().filter_map(|id| self.log.get(id).cloned()).collect()
     }
 
-    /// The participant's accepted set.
+    /// The participant's accepted set (a clone of the incrementally
+    /// maintained record).
     pub fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
-        self.decisions.accepted(participant).into_iter().collect()
+        self.decisions.accepted_set(participant).cloned().unwrap_or_default()
+    }
+
+    /// A reference to the participant's incrementally maintained accepted
+    /// set, if it has decided anything.
+    pub fn accepted_set_ref(
+        &self,
+        participant: ParticipantId,
+    ) -> Option<&FxHashSet<TransactionId>> {
+        self.decisions.accepted_set(participant)
+    }
+
+    /// A reference to the participant's incrementally maintained rejected
+    /// set, if it has decided anything.
+    pub fn rejected_set_ref(
+        &self,
+        participant: ParticipantId,
+    ) -> Option<&FxHashSet<TransactionId>> {
+        self.decisions.rejected_set(participant)
     }
 
     /// Looks up a published transaction.
@@ -322,9 +522,11 @@ mod tests {
         let mut cat = catalog_with_policies();
         let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         cat.publish(p(3), vec![x]).unwrap();
+        assert_eq!(cat.epoch_cursor(p(1)), Epoch::ZERO);
         let (r1, _, e1) = cat.begin_reconciliation(p(1));
         assert_eq!((r1, e1), (ReconciliationId(1), Epoch(1)));
         assert_eq!(cat.current_reconciliation(p(1)), ReconciliationId(1));
+        assert_eq!(cat.epoch_cursor(p(1)), Epoch(1));
 
         let y = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
         cat.publish(p(2), vec![y]).unwrap();
@@ -332,5 +534,47 @@ mod tests {
         assert_eq!(r2, ReconciliationId(2));
         assert_eq!(prev, Epoch(1));
         assert_eq!(e2, Epoch(2));
+    }
+
+    #[test]
+    fn relevance_index_matches_rescan_baseline() {
+        let mut cat = catalog_with_policies();
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        let x1 = txn(1, 0, vec![Update::insert("Function", func("dog", "prot9", "z"), p(1))]);
+        let x2 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+        cat.publish(p(3), vec![x3]).unwrap();
+        cat.publish(p(1), vec![x1]).unwrap();
+        cat.publish(p(2), vec![x2.clone()]).unwrap();
+        cat.record_decisions(p(1), &[x2.id()], &[]);
+
+        for participant in [p(1), p(2), p(3)] {
+            let incremental: Vec<(TransactionId, Priority)> = cat
+                .relevant_candidates(participant, Epoch::ZERO, Epoch(3))
+                .into_iter()
+                .map(|(t, pr)| (t.id(), pr))
+                .collect();
+            let rescan: Vec<(TransactionId, Priority)> = cat
+                .relevant_transactions_rescan(participant, Epoch::ZERO, Epoch(3))
+                .into_iter()
+                .map(|(t, pr)| (t.id(), pr))
+                .collect();
+            assert_eq!(incremental, rescan, "divergence for participant {participant}");
+        }
+    }
+
+    #[test]
+    fn late_registration_rebuilds_the_relevance_index() {
+        let mut cat = StoreCatalog::new(bioinformatics_schema());
+        cat.register_policy(TrustPolicy::new(p(2)));
+        let x2 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        cat.publish(p(2), vec![x2.clone()]).unwrap();
+
+        // p1 registers only after the publication; its index must cover the
+        // already-published epoch.
+        cat.register_policy(TrustPolicy::new(p(1)).trusting(p(2), 3u32));
+        let found = cat.relevant_candidates(p(1), Epoch::ZERO, Epoch(1));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0.id(), x2.id());
+        assert_eq!(found[0].1, Priority(3));
     }
 }

@@ -18,17 +18,48 @@ use orchestra_storage::Result;
 use rustc_hash::FxHashSet;
 use std::time::Instant;
 
+/// How the store retrieves the relevant transactions for a reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetrievalMode {
+    /// Cursor-based incremental retrieval: walk the per-epoch trust-evaluated
+    /// relevance index from the participant's epoch cursor; per-call work is
+    /// proportional to the newly published epochs.
+    #[default]
+    Incremental,
+    /// The pre-cursor baseline: rescan the full publication log, re-filter by
+    /// trust and decision record, and rebuild the decided set on every call.
+    /// Kept (and exercised by the churn benchmark) to quantify the win of the
+    /// incremental path; per-call work grows with total history.
+    RescanBaseline,
+}
+
 /// Centralised update store backed by the embedded relational engine.
 #[derive(Debug, Clone)]
 pub struct CentralStore {
     catalog: StoreCatalog,
     timing: StoreTiming,
+    retrieval: RetrievalMode,
 }
 
 impl CentralStore {
-    /// Creates an empty central store for the given schema.
+    /// Creates an empty central store for the given schema, using incremental
+    /// cursor-based retrieval.
     pub fn new(schema: Schema) -> Self {
-        CentralStore { catalog: StoreCatalog::new(schema), timing: StoreTiming::default() }
+        CentralStore::with_retrieval(schema, RetrievalMode::Incremental)
+    }
+
+    /// Creates an empty central store with an explicit retrieval mode.
+    pub fn with_retrieval(schema: Schema, retrieval: RetrievalMode) -> Self {
+        CentralStore {
+            catalog: StoreCatalog::new(schema),
+            timing: StoreTiming::default(),
+            retrieval,
+        }
+    }
+
+    /// The retrieval mode in use.
+    pub fn retrieval_mode(&self) -> RetrievalMode {
+        self.retrieval
     }
 
     /// The underlying catalogue (for inspection in tests and tools).
@@ -58,19 +89,44 @@ impl UpdateStore for CentralStore {
     }
 
     fn begin_reconciliation(&mut self, participant: ParticipantId) -> Result<RelevantTransactions> {
+        let retrieval = self.retrieval;
         self.timed(|cat| {
             let (recno, previous, epoch) = cat.begin_reconciliation(participant);
-            let relevant = cat.relevant_transactions(participant, previous, epoch);
-            let accepted = cat.accepted_set(participant);
-            let mut candidates = Vec::with_capacity(relevant.len());
-            for txn in &relevant {
-                let priority = cat.priority_for(participant, txn);
-                if priority.is_untrusted() {
-                    continue;
+            let candidates = match retrieval {
+                RetrievalMode::Incremental => {
+                    // O(new epochs): walk the relevance index from the cursor
+                    // and share the log's update lists by reference count.
+                    let empty = FxHashSet::default();
+                    let relevant = cat.relevant_candidates(participant, previous, epoch);
+                    let accepted = cat.accepted_set_ref(participant).unwrap_or(&empty);
+                    let mut candidates = Vec::with_capacity(relevant.len());
+                    for (txn, priority) in relevant {
+                        if priority.is_untrusted() {
+                            continue;
+                        }
+                        let (cand, _fetched) = cat.build_candidate_with(accepted, txn, priority);
+                        candidates.push(cand);
+                    }
+                    candidates
                 }
-                let (cand, _fetched) = cat.build_candidate_with(&accepted, txn, priority);
-                candidates.push(cand);
-            }
+                RetrievalMode::RescanBaseline => {
+                    // O(total history): the pre-cursor full-log rescan, with
+                    // the accepted set rebuilt per call and every candidate's
+                    // update lists deep-copied, as the pre-cursor code did.
+                    let relevant = cat.relevant_transactions_rescan(participant, previous, epoch);
+                    let accepted = cat.accepted_set_rescan(participant);
+                    let mut candidates = Vec::with_capacity(relevant.len());
+                    for (txn, priority) in &relevant {
+                        if priority.is_untrusted() {
+                            continue;
+                        }
+                        let (cand, _fetched) =
+                            cat.build_candidate_rescan(&accepted, txn, *priority);
+                        candidates.push(cand);
+                    }
+                    candidates
+                }
+            };
             Ok(RelevantTransactions { recno, epoch, candidates })
         })
     }

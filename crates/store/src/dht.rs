@@ -142,20 +142,25 @@ impl UpdateStore for DhtStore {
     ) -> Result<Epoch> {
         let peer = self.node_of(participant);
         self.timed(|cat, net, keys| {
-            // Figure 6, messages 1-4: epoch allocation round trip, with the
-            // allocator informing the epoch controller.
-            let allocator = net.send_to_key(peer, keys.allocator, REQUEST_BYTES).unwrap_or(peer);
-            let epoch_preview = Epoch(cat.registry().latest_allocated().as_u64() + 1);
-            let epoch_controller = net
-                .send_to_key(allocator, DhtStore::epoch_key(epoch_preview), REQUEST_BYTES)
-                .unwrap_or(allocator);
-            net.send_direct(epoch_controller, allocator, REQUEST_BYTES);
-            net.send_direct(allocator, peer, REQUEST_BYTES);
-
-            // The logical publication (epoch allocation + log append).
+            // The logical publication (epoch allocation + log append) happens
+            // first so that every Figure 6 message is charged against the
+            // *actually allocated* epoch. An earlier version previewed the
+            // epoch number before allocation; had the preview ever diverged
+            // from the allocation, messages 2-3 would have been charged to
+            // the wrong epoch controller's key.
             let txn_refs: Vec<(TransactionId, u64)> =
                 transactions.iter().map(|t| (t.id(), DhtStore::txn_bytes(t))).collect();
             let epoch = cat.publish(participant, transactions)?;
+
+            // Figure 6, messages 1-4: epoch allocation round trip, with the
+            // allocator informing the epoch controller of the allocated
+            // epoch.
+            let allocator = net.send_to_key(peer, keys.allocator, REQUEST_BYTES).unwrap_or(peer);
+            let epoch_controller = net
+                .send_to_key(allocator, DhtStore::epoch_key(epoch), REQUEST_BYTES)
+                .unwrap_or(allocator);
+            net.send_direct(epoch_controller, allocator, REQUEST_BYTES);
+            net.send_direct(allocator, peer, REQUEST_BYTES);
 
             // Figure 6, message 5: publish the transaction IDs at the epoch
             // controller; message 6: confirmation.
@@ -195,26 +200,17 @@ impl UpdateStore for DhtStore {
                 REQUEST_BYTES,
             );
 
-            // Request every transaction published in the covered epochs from
-            // its transaction controller. Untrusted or irrelevant
-            // transactions still cost a request and a short notification
-            // reply; trusted ones also pull their antecedent chains, one
-            // request per antecedent.
-            let published: Vec<Transaction> = cat
-                .log()
-                .in_range(previous, epoch)
-                .into_iter()
-                .filter(|t| t.origin() != participant)
-                .cloned()
-                .collect();
-            let accepted = cat.accepted_set(participant);
-            let rejected = cat.rejected_set(participant);
+            // Request every undecided transaction published in the covered
+            // epochs from its transaction controller, straight from the
+            // per-epoch relevance index (the message pattern is unchanged:
+            // untrusted or irrelevant transactions still cost a request and a
+            // short notification reply; trusted ones also pull their
+            // antecedent chains, one request per antecedent).
+            let relevant = cat.relevant_candidates(participant, previous, epoch);
+            let empty = FxHashSet::default();
+            let accepted = cat.accepted_set_ref(participant).unwrap_or(&empty);
             let mut candidates = Vec::new();
-            for txn in &published {
-                if accepted.contains(&txn.id()) || rejected.contains(&txn.id()) {
-                    continue;
-                }
-                let priority = cat.priority_for(participant, txn);
+            for (txn, priority) in relevant {
                 if priority.is_untrusted() {
                     // Request + "untrusted" notification.
                     net.round_trip(peer, DhtStore::txn_key(txn.id()), REQUEST_BYTES, REQUEST_BYTES);
@@ -226,7 +222,7 @@ impl UpdateStore for DhtStore {
                     REQUEST_BYTES,
                     DhtStore::txn_bytes(txn),
                 );
-                let (cand, fetched_members) = cat.build_candidate_with(&accepted, txn, priority);
+                let (cand, fetched_members) = cat.build_candidate_with(accepted, txn, priority);
                 // Each undecided antecedent is fetched from its own
                 // transaction controller.
                 for (member_id, member_updates) in cand.members.iter().take(fetched_members) {
@@ -332,6 +328,36 @@ mod tests {
         assert!(after - before >= 7, "only {} messages charged", after - before);
         let timing = s.take_timing();
         assert!(timing.network > Duration::ZERO);
+    }
+
+    #[test]
+    fn publish_charges_the_allocated_epoch_with_a_stable_pattern() {
+        // Regression guard for the epoch-preview bug: the Figure 6 controller
+        // messages are charged only after `cat.publish` has allocated the
+        // epoch, so they are always keyed by the epoch actually assigned.
+        // The observable contract: epochs come back sequential, and the
+        // per-publication message pattern is independent of history (6
+        // protocol messages + 1 per transaction, each counted with its
+        // routing hops).
+        let mut s = store(4);
+        let mut per_publish = Vec::new();
+        for i in 0..3u64 {
+            let x = txn(
+                2,
+                i,
+                vec![Update::insert("Function", func("rat", &format!("p{i}"), "v"), p(2))],
+            );
+            let before = s.network_stats().messages;
+            let epoch = s.publish(p(2), vec![x]).unwrap();
+            assert_eq!(epoch, Epoch(i + 1), "epochs must be allocated sequentially");
+            per_publish.push(s.network_stats().messages - before);
+        }
+        // Identical batches route to differently-keyed controllers, but the
+        // logical message count (ignoring per-hop variation) never shrinks
+        // with history; each publish charges at least the 7 Figure 6 legs.
+        for &m in &per_publish {
+            assert!(m >= 7, "a publish charged only {m} messages");
+        }
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod network_centric;
 
 pub use api::{RelevantTransactions, StoreTiming, UpdateStore};
 pub use catalog::StoreCatalog;
-pub use central::CentralStore;
+pub use central::{CentralStore, RetrievalMode};
 pub use dht::DhtStore;
 pub use network_centric::NetworkCentricPlan;

@@ -21,7 +21,7 @@
 use crate::api::RelevantTransactions;
 use crate::dht::DhtStore;
 use crate::UpdateStore;
-use orchestra_model::{KeyValue, ParticipantId, TransactionId};
+use orchestra_model::{KeyValue, ParticipantId, RelName, TransactionId};
 use orchestra_recon::extension::conflict_keys_between;
 use orchestra_storage::Result;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -91,9 +91,9 @@ impl DhtStore {
         // forwarded to the controller of every key it touches; each key
         // controller compares the summaries it received and reports verdicts
         // to the reconciling peer.
-        let mut by_key: FxHashMap<(String, KeyValue), Vec<usize>> = FxHashMap::default();
+        let mut by_key: FxHashMap<(RelName, KeyValue), Vec<usize>> = FxHashMap::default();
         for (i, cand) in relevant.candidates.iter().enumerate() {
-            let mut seen: FxHashSet<(String, KeyValue)> = FxHashSet::default();
+            let mut seen: FxHashSet<(RelName, KeyValue)> = FxHashSet::default();
             for u in &flattened[&cand.id] {
                 if let Ok(rel) = schema.relation(&u.relation) {
                     for key in u.touched_keys(rel) {

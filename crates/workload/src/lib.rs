@@ -19,6 +19,9 @@ pub mod swissprot;
 pub mod zipf;
 
 pub use generator::{WorkloadConfig, WorkloadGenerator};
-pub use scenario::{run_scenario, ScenarioConfig, ScenarioResult};
+pub use scenario::{
+    run_churn_scenario, run_scenario, ChurnConfig, ChurnResult, ChurnSample, ScenarioConfig,
+    ScenarioResult,
+};
 pub use swissprot::SwissProtPools;
 pub use zipf::ZipfSampler;

@@ -147,6 +147,204 @@ pub fn run_scenario<S: UpdateStore>(store: S, config: &ScenarioConfig) -> Scenar
     result
 }
 
+/// Configuration of a churn experiment: a long history of interleaved
+/// publish/reconcile schedules, designed to expose how per-reconciliation
+/// store work scales as total history grows.
+///
+/// Every participant executes and publishes a small batch each round, but
+/// reconciles only on its own staggered interval (participant `i` reconciles
+/// every `1 + i mod max_reconcile_interval` rounds, offset by `i`), so at any
+/// moment different participants are lagging the stable frontier by different
+/// amounts — the "churn" the update store must serve incrementally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of participants (mutual trust at equal priority).
+    pub participants: usize,
+    /// Number of publish rounds — the length of the history.
+    pub rounds: usize,
+    /// Transactions each participant publishes per round.
+    pub transactions_per_publish: usize,
+    /// Upper bound on the per-participant reconciliation interval.
+    pub max_reconcile_interval: usize,
+    /// Resolve deferred conflicts every this many rounds (0 = never): each
+    /// participant keeps the first option of every conflict group, so
+    /// deferred chains stay bounded as they would under real curation.
+    pub resolve_every: usize,
+    /// Workload generator parameters.
+    pub workload: WorkloadConfig,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            participants: 8,
+            rounds: 60,
+            transactions_per_publish: 2,
+            max_reconcile_interval: 6,
+            resolve_every: 4,
+            workload: WorkloadConfig::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// One per-reconciliation sample of a churn run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChurnSample {
+    /// How many reconciliations (across all participants) preceded this one.
+    pub sequence: usize,
+    /// Epochs covered by this reconciliation (new history since the
+    /// participant's cursor).
+    pub epochs_covered: u64,
+    /// Total epochs in the store when the call ran.
+    pub total_epochs: u64,
+    /// Store-side time of the call (retrieval plus decision recording).
+    pub store_micros: u64,
+}
+
+/// Aggregate results of one churn run.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnResult {
+    /// Number of reconciliations performed.
+    pub reconciliations: usize,
+    /// Number of publish calls performed.
+    pub publishes: usize,
+    /// Total epochs published.
+    pub epochs: u64,
+    /// Root transactions accepted / rejected / deferred, summed.
+    pub accepted: usize,
+    /// Total rejected roots.
+    pub rejected: usize,
+    /// Total deferred roots.
+    pub deferred: usize,
+    /// Conflict-resolution rounds performed.
+    pub resolutions: usize,
+    /// Total store-side time across all reconciliations.
+    pub store_time: Duration,
+    /// Total local (client algorithm) time across all reconciliations.
+    pub local_time: Duration,
+    /// Final state ratio over the `Function` relation.
+    pub state_ratio: f64,
+    /// Per-reconciliation samples, in execution order.
+    pub samples: Vec<ChurnSample>,
+}
+
+impl ChurnResult {
+    /// Mean store time per *covered epoch* over a slice of the samples —
+    /// the per-unit-of-new-work cost. For an O(new-epochs) store this stays
+    /// flat as history grows; for a full-rescan store it climbs.
+    pub fn store_micros_per_epoch(&self, from: usize, to: usize) -> f64 {
+        let slice = &self.samples[from.min(self.samples.len())..to.min(self.samples.len())];
+        let micros: u64 = slice.iter().map(|s| s.store_micros).sum();
+        let epochs: u64 = slice.iter().map(|s| s.epochs_covered).sum();
+        if epochs == 0 {
+            return 0.0;
+        }
+        micros as f64 / epochs as f64
+    }
+}
+
+/// Runs a churn experiment: a long interleaved publish/reconcile history over
+/// the given store, sampling the store-side cost of every reconciliation.
+pub fn run_churn_scenario<S: UpdateStore>(store: S, config: &ChurnConfig) -> ChurnResult {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema, store);
+    for policy in mutual_trust_policies(config.participants, 1) {
+        system.add_participant(ParticipantConfig::new(policy));
+    }
+    let ids = system.participant_ids();
+
+    let mut generators: Vec<WorkloadGenerator> = ids
+        .iter()
+        .map(|id| {
+            WorkloadGenerator::new(
+                config.workload.clone(),
+                config.seed.wrapping_add(u64::from(id.as_u32()) * 6151),
+            )
+        })
+        .collect();
+
+    let mut result = ChurnResult::default();
+    let mut last_epoch: Vec<u64> = vec![0; ids.len()];
+
+    let reconcile_one = |system: &mut CdssSystem<S>,
+                         result: &mut ChurnResult,
+                         last_epoch: &mut Vec<u64>,
+                         idx: usize,
+                         id| {
+        let report = system.reconcile(id).expect("reconcile succeeds");
+        let covered = report.epoch.as_u64().saturating_sub(last_epoch[idx]);
+        last_epoch[idx] = report.epoch.as_u64();
+        result.samples.push(ChurnSample {
+            sequence: result.reconciliations,
+            epochs_covered: covered,
+            total_epochs: report.epoch.as_u64(),
+            store_micros: report.timing.store.as_micros() as u64,
+        });
+        result.reconciliations += 1;
+        result.accepted += report.accepted.len();
+        result.rejected += report.rejected.len();
+        result.deferred += report.deferred.len();
+        result.store_time += report.timing.store;
+        result.local_time += report.timing.local;
+    };
+
+    for round in 0..config.rounds {
+        for (idx, &id) in ids.iter().enumerate() {
+            let batch = {
+                let participant = system.participant(id).expect("participant exists");
+                generators[idx].next_batch(
+                    id,
+                    participant.instance(),
+                    config.transactions_per_publish,
+                )
+            };
+            for updates in batch {
+                let _ = system.execute(id, updates);
+            }
+            if system.publish(id).expect("publish succeeds").is_some() {
+                result.publishes += 1;
+            }
+            let interval = 1 + idx % config.max_reconcile_interval.max(1);
+            if (round + idx) % interval == 0 {
+                reconcile_one(&mut system, &mut result, &mut last_epoch, idx, id);
+            }
+            // Periodic curation: keep the first option of every open
+            // conflict group so deferred chains stay bounded.
+            if config.resolve_every > 0 && (round + idx) % config.resolve_every == 0 {
+                let groups: Vec<_> = system
+                    .participant(id)
+                    .expect("participant exists")
+                    .deferred_conflicts()
+                    .iter()
+                    .map(|g| g.key.clone())
+                    .collect();
+                if !groups.is_empty() {
+                    let choices: Vec<orchestra_recon::ResolutionChoice> = groups
+                        .into_iter()
+                        .map(|key| orchestra_recon::ResolutionChoice {
+                            group: key,
+                            chosen_option: Some(0),
+                        })
+                        .collect();
+                    system.resolve_conflicts(id, &choices).expect("resolution succeeds");
+                    result.resolutions += 1;
+                }
+            }
+        }
+    }
+    // Final catch-up pass so every participant observes the full history.
+    for (idx, &id) in ids.iter().enumerate() {
+        reconcile_one(&mut system, &mut result, &mut last_epoch, idx, id);
+    }
+
+    result.epochs = result.publishes as u64;
+    result.state_ratio = system.state_ratio_for("Function");
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +407,49 @@ mod tests {
         for p in &policies {
             assert_eq!(p.rules().len(), 4);
         }
+    }
+
+    fn tiny_churn() -> ChurnConfig {
+        ChurnConfig {
+            participants: 4,
+            rounds: 8,
+            transactions_per_publish: 1,
+            max_reconcile_interval: 3,
+            resolve_every: 3,
+            workload: tiny_config().workload,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn churn_scenario_interleaves_and_samples_every_reconciliation() {
+        let result = run_churn_scenario(CentralStore::new(bioinformatics_schema()), &tiny_churn());
+        assert_eq!(result.samples.len(), result.reconciliations);
+        // Interleaving: strictly fewer reconciliations than publishes, plus
+        // the final catch-up pass.
+        assert!(result.reconciliations < result.publishes + 4);
+        assert!(result.publishes > 0 && result.epochs == result.publishes as u64);
+        assert!(result.accepted > 0, "churn must share data");
+        assert!(result.state_ratio >= 1.0);
+        // Samples carry real coverage information.
+        assert!(result.samples.iter().any(|s| s.epochs_covered > 1));
+        let per_epoch = result.store_micros_per_epoch(0, result.samples.len());
+        assert!(per_epoch >= 0.0);
+    }
+
+    #[test]
+    fn churn_decisions_are_identical_across_retrieval_modes() {
+        use orchestra_store::RetrievalMode;
+        let config = tiny_churn();
+        let incremental = run_churn_scenario(CentralStore::new(bioinformatics_schema()), &config);
+        let rescan = run_churn_scenario(
+            CentralStore::with_retrieval(bioinformatics_schema(), RetrievalMode::RescanBaseline),
+            &config,
+        );
+        assert_eq!(incremental.accepted, rescan.accepted);
+        assert_eq!(incremental.rejected, rescan.rejected);
+        assert_eq!(incremental.deferred, rescan.deferred);
+        assert_eq!(incremental.state_ratio, rescan.state_ratio);
     }
 
     #[test]

@@ -1,8 +1,16 @@
-//! Smoke test guarding the store-equivalence contract: on a small fully
-//! trusting confederation, the centralised and DHT-based update stores must
-//! produce *identical* final instances, tuple for tuple — not merely the
-//! same summary statistics. CI relies on this invariant staying cheap to
-//! check, so the scenario is fixed and scripted rather than workload-driven.
+//! Store-equivalence tests.
+//!
+//! The scripted smoke test guards the contract on a fixed scenario: on a
+//! small fully trusting confederation, the centralised and DHT-based update
+//! stores must produce *identical* final instances, tuple for tuple — not
+//! merely the same summary statistics. CI relies on this invariant staying
+//! cheap to check.
+//!
+//! The property test generalises it: randomized interleaved
+//! publish/reconcile/resolve schedules must yield identical final instances
+//! and identical accept/reject/defer decisions across the incremental
+//! central store, the rescan-baseline central store, the DHT store
+//! (client-centric), and the DHT store's network-centric mode.
 
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
@@ -102,6 +110,191 @@ fn central_and_dht_final_instances_are_identical() {
                 central_rows, dht_rows,
                 "participant {i} diverged between stores on relation {relation}"
             );
+        }
+    }
+}
+
+mod random_schedules {
+    use super::*;
+    use orchestra::{Participant, ReconcileReport};
+    use orchestra_model::{KeyValue, TransactionId};
+    use orchestra_recon::ResolutionChoice;
+    use orchestra_store::RetrievalMode;
+    use proptest::prelude::*;
+
+    const PARTICIPANTS: u32 = 4;
+    const KEY_POOL: usize = 6;
+    const VALUE_POOL: usize = 4;
+
+    /// One step of a schedule: `(participant, action, key, value)`. The
+    /// action decodes as 0-1 = execute a transaction, 2 = publish,
+    /// 3 = publish + reconcile, 4 = resolve open conflicts.
+    type Op = (usize, u8, usize, usize);
+
+    /// Everything observable about a confederation after a schedule ran:
+    /// per-participant instance contents, durable accept/reject records, and
+    /// soft deferred sets.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Snapshot {
+        instances: Vec<Vec<(KeyValue, Tuple)>>,
+        accepted: Vec<Vec<TransactionId>>,
+        rejected: Vec<Vec<TransactionId>>,
+        deferred: Vec<Vec<TransactionId>>,
+    }
+
+    fn policies() -> Vec<TrustPolicy> {
+        (1..=PARTICIPANTS)
+            .map(|i| {
+                let mut policy = TrustPolicy::new(p(i));
+                for j in 1..=PARTICIPANTS {
+                    if i != j {
+                        policy = policy.trusting(p(j), 1u32);
+                    }
+                }
+                policy
+            })
+            .collect()
+    }
+
+    /// Executes a deterministic state-dependent edit: insert the key if the
+    /// participant doesn't have it, revise it otherwise. Failures (e.g. a
+    /// no-op modify) are ignored, as in the workload driver.
+    fn execute(participant: &mut Participant, key: usize, value: usize) {
+        let id = participant.id();
+        let prot = format!("prot{key}");
+        let new_tuple = func("org", &prot, &format!("f{value}"));
+        let existing =
+            participant.instance().value_at("Function", &KeyValue::of_text(&["org", &prot]));
+        let update = match existing {
+            None => Update::insert("Function", new_tuple, id),
+            Some(current) => {
+                if current == new_tuple {
+                    return;
+                }
+                Update::modify("Function", current, new_tuple, id)
+            }
+        };
+        let _ = participant.execute_transaction(vec![update]);
+    }
+
+    fn resolve<S: UpdateStore>(participant: &mut Participant, store: &mut S, value: usize) {
+        let groups: Vec<_> = participant
+            .deferred_conflicts()
+            .iter()
+            .map(|g| (g.key.clone(), g.options.len()))
+            .collect();
+        if groups.is_empty() {
+            return;
+        }
+        let choices: Vec<ResolutionChoice> = groups
+            .into_iter()
+            .map(|(key, options)| ResolutionChoice {
+                group: key,
+                // Deterministic but schedule-dependent choice; `options` is
+                // identical across stores because decisions are.
+                chosen_option: Some(value % options),
+            })
+            .collect();
+        let _ = participant.resolve_conflicts(store, &choices);
+    }
+
+    /// Runs a schedule against a store, with the reconciliation step
+    /// abstracted so the DHT's network-centric mode can ride the same
+    /// driver. Ends with a catch-up publish+reconcile for every participant.
+    fn run_schedule<S: UpdateStore>(
+        mut store: S,
+        ops: &[Op],
+        reconcile: impl Fn(&mut Participant, &mut S) -> ReconcileReport,
+    ) -> Snapshot {
+        let schema = bioinformatics_schema();
+        let mut participants: Vec<Participant> = policies()
+            .into_iter()
+            .map(|policy| {
+                store.register_participant(policy.clone());
+                Participant::new(schema.clone(), ParticipantConfig::new(policy))
+            })
+            .collect();
+
+        for &(who, action, key, value) in ops {
+            let participant = &mut participants[who % PARTICIPANTS as usize];
+            match action % 5 {
+                0 | 1 => execute(participant, key % KEY_POOL, value % VALUE_POOL),
+                2 => {
+                    participant.publish(&mut store).unwrap();
+                }
+                3 => {
+                    participant.publish(&mut store).unwrap();
+                    reconcile(participant, &mut store);
+                }
+                _ => resolve(participant, &mut store, value),
+            }
+        }
+        for participant in &mut participants {
+            participant.publish(&mut store).unwrap();
+            reconcile(participant, &mut store);
+        }
+
+        let sorted = |mut v: Vec<TransactionId>| {
+            v.sort();
+            v
+        };
+        Snapshot {
+            instances: participants
+                .iter()
+                .map(|p| p.instance().relation_contents("Function"))
+                .collect(),
+            accepted: participants
+                .iter()
+                .map(|p| sorted(store.accepted_set(p.id()).into_iter().collect()))
+                .collect(),
+            rejected: participants
+                .iter()
+                .map(|p| sorted(store.rejected_set(p.id()).into_iter().collect()))
+                .collect(),
+            deferred: participants
+                .iter()
+                .map(|p| sorted(p.soft_state().deferred().keys().copied().collect()))
+                .collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn all_store_modes_agree_on_random_schedules(
+            ops in prop::collection::vec(
+                (0..PARTICIPANTS as usize, 0..5u8, 0..KEY_POOL, 0..VALUE_POOL),
+                1..40,
+            )
+        ) {
+            let client_centric = |p: &mut Participant, s: &mut _| p.reconcile(s).unwrap();
+            let central = run_schedule(
+                CentralStore::new(bioinformatics_schema()),
+                &ops,
+                |p, s| p.reconcile(s).unwrap(),
+            );
+            let rescan = run_schedule(
+                CentralStore::with_retrieval(
+                    bioinformatics_schema(),
+                    RetrievalMode::RescanBaseline,
+                ),
+                &ops,
+                |p, s| p.reconcile(s).unwrap(),
+            );
+            let dht = run_schedule(
+                DhtStore::new(bioinformatics_schema()),
+                &ops,
+                client_centric,
+            );
+            let network_centric = run_schedule(
+                DhtStore::new(bioinformatics_schema()),
+                &ops,
+                |p: &mut Participant, s: &mut DhtStore| p.reconcile_network_centric(s).unwrap(),
+            );
+
+            prop_assert_eq!(&central, &rescan, "rescan baseline diverged");
+            prop_assert_eq!(&central, &dht, "dht store diverged");
+            prop_assert_eq!(&central, &network_centric, "network-centric mode diverged");
         }
     }
 }

@@ -187,6 +187,12 @@ impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        T::from_json(value).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_json(&self) -> Value {
         match self {
