@@ -31,7 +31,7 @@ fn func(key: usize, value: usize) -> Tuple {
 /// from mutually trusting peers, roughly 10% of which conflict pairwise.
 fn populated_dht(txns: usize) -> DhtStore {
     let peers = 8u32;
-    let mut store = DhtStore::new(bioinformatics_schema());
+    let store = DhtStore::new(bioinformatics_schema());
     for i in 1..=peers {
         let mut policy = TrustPolicy::new(p(i));
         for j in 1..=peers {
@@ -64,7 +64,7 @@ fn bench_reconciliation_modes(c: &mut Criterion) {
     for &txns in &[50usize, 200] {
         group.bench_with_input(BenchmarkId::new("client_centric", txns), &txns, |b, &txns| {
             b.iter(|| {
-                let mut store = populated_dht(txns);
+                let store = populated_dht(txns);
                 let mut participant = Participant::new(
                     schema.clone(),
                     ParticipantConfig::new(TrustPolicy::new(p(1)).trusting(p(2), 1u32)),
@@ -77,12 +77,12 @@ fn bench_reconciliation_modes(c: &mut Criterion) {
                     }
                     policy
                 });
-                participant.reconcile(&mut store).unwrap()
+                participant.reconcile(&store).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("network_centric", txns), &txns, |b, &txns| {
             b.iter(|| {
-                let mut store = populated_dht(txns);
+                let store = populated_dht(txns);
                 let mut participant = Participant::new(
                     schema.clone(),
                     ParticipantConfig::new(TrustPolicy::new(p(1)).trusting(p(2), 1u32)),
@@ -94,7 +94,7 @@ fn bench_reconciliation_modes(c: &mut Criterion) {
                     }
                     policy
                 });
-                participant.reconcile_network_centric(&mut store).unwrap()
+                participant.reconcile_network_centric(&store).unwrap()
             })
         });
     }

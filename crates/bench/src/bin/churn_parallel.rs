@@ -1,0 +1,93 @@
+//! Runs the concurrent-churn benchmark (parallel confederation driver versus
+//! the sequential one against one shared store) and writes the
+//! benchmark-trajectory document.
+//!
+//! Usage:
+//!
+//! ```text
+//! churn_parallel [--full] [--out FILE]
+//! ```
+//!
+//! The default output path is `BENCH_churn_parallel.json` in the current
+//! directory.
+
+use orchestra_bench::{
+    render_table, run_churn_parallel_bench, write_churn_parallel_json, FigureScale,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = FigureScale::Quick;
+    let mut out = PathBuf::from("BENCH_churn_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = FigureScale::Full,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: churn_parallel [--full] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_churn_parallel_bench(scale);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.driver.clone(),
+                format!("{}", r.reconciliations),
+                format!("{:.4}", r.reconcile_wall_seconds),
+                format!("{:.4}", r.total_wall_seconds),
+                format!("{:.4}", r.store_seconds),
+                format!("{:.4}", r.local_seconds),
+                format!("{}/{}/{}", r.accepted, r.rejected, r.deferred),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Concurrent churn: sequential vs parallel confederation driver",
+            &[
+                "driver",
+                "recons",
+                "recon wall s",
+                "total wall s",
+                "store s",
+                "local s",
+                "acc/rej/def"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "reconcile-wall speedup: {:.2}x   total-wall speedup: {:.2}x   decisions match: {}   \
+         ({} participants, {} µs simulated store latency, {} hw threads)",
+        report.summary.reconcile_wall_speedup,
+        report.summary.total_wall_speedup,
+        report.summary.decisions_match,
+        report.summary.participants,
+        report.summary.simulated_store_latency_us,
+        report.summary.available_parallelism,
+    );
+    if !report.summary.decisions_match {
+        eprintln!("FATAL: drivers disagreed on decisions");
+        std::process::exit(1);
+    }
+    if report.summary.reconcile_wall_speedup <= 1.0 {
+        eprintln!("WARNING: parallel driver showed no reconcile-wall speedup");
+    }
+    write_churn_parallel_json(&out, &report).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+}

@@ -52,7 +52,7 @@ pub struct ChurnBenchRow {
 #[derive(Debug, Clone, Serialize)]
 pub struct ChurnSummary {
     /// Rescan store time divided by incremental store time (the headline
-    /// speedup of the cursor refactor; the acceptance bar is ≥ 2).
+    /// speedup of the cursor refactor; must stay > 1).
     pub store_speedup: f64,
     /// Late-history per-epoch cost ratio (rescan / incremental).
     pub late_per_epoch_speedup: f64,
@@ -173,8 +173,7 @@ mod tests {
     #[test]
     fn mini_churn_bench_matches_decisions_and_is_never_slower() {
         // A reduced history so the test stays fast in debug builds; the
-        // committed BENCH_churn.json records the full quick-scale run (where
-        // the acceptance bar is a >= 2x store-time speedup).
+        // committed BENCH_churn.json records the full quick-scale run.
         let mut config = churn_config(FigureScale::Quick);
         config.participants = 6;
         config.rounds = 30;

@@ -1,0 +1,204 @@
+//! The concurrent-churn benchmark: the parallel confederation driver versus
+//! the sequential one on the same schedule against one shared store.
+//!
+//! This is the `BENCH_churn_parallel.json` entry of the repository's
+//! benchmark trajectory. Both drivers run the *same* interleaved
+//! publish/reconcile/resolve schedule with the same seed over a
+//! [`CentralStore`] configured with a per-call simulated LAN latency (the
+//! round trip the paper's RDBMS-backed store pays on every operation; our
+//! in-memory catalogue otherwise hides it). The drivers must reach identical
+//! decisions; the comparison is the wall clock of the reconciliation waves:
+//! the sequential driver pays the sum of every participant's store round
+//! trips and engine time, while the parallel driver — one thread per due
+//! participant against the shared `&CentralStore` — overlaps them.
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::CentralStore;
+use orchestra_workload::{
+    run_churn_concurrent, ChurnConfig, ConcurrentChurnResult, ReconcileDriver, WorkloadConfig,
+};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::figures::FigureScale;
+
+/// Per-call simulated LAN latency used by the benchmark (both drivers) —
+/// the paper’s 500 µs per-message figure.
+pub const SIMULATED_STORE_LATENCY: Duration = Duration::from_micros(500);
+
+/// One row of the concurrent-churn benchmark: a driver's aggregate cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnParallelRow {
+    /// `"sequential"` or `"parallel"`.
+    pub driver: String,
+    /// Reconciliations performed.
+    pub reconciliations: usize,
+    /// Publishes performed.
+    pub publishes: usize,
+    /// Wall-clock seconds of the reconciliation waves alone.
+    pub reconcile_wall_seconds: f64,
+    /// Wall-clock seconds of the whole run.
+    pub total_wall_seconds: f64,
+    /// Store-side seconds summed over every reconciliation (thread time —
+    /// identical work in both drivers, so this stays comparable while the
+    /// wall clock shrinks).
+    pub store_seconds: f64,
+    /// Local (engine) seconds summed over every reconciliation.
+    pub local_seconds: f64,
+    /// Accepted / rejected / deferred root totals (must match across
+    /// drivers).
+    pub accepted: usize,
+    /// Total rejected roots.
+    pub rejected: usize,
+    /// Total deferred roots.
+    pub deferred: usize,
+    /// Final state ratio over `Function` (must match across drivers).
+    pub state_ratio: f64,
+}
+
+/// Headline comparison of the two drivers.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnParallelSummary {
+    /// Sequential reconcile-wave wall clock divided by parallel (the
+    /// headline speedup of the parallel confederation driver).
+    pub reconcile_wall_speedup: f64,
+    /// Sequential total wall clock divided by parallel.
+    pub total_wall_speedup: f64,
+    /// Whether both drivers reached identical accept/reject/defer totals and
+    /// state ratio (they must).
+    pub decisions_match: bool,
+    /// Number of participants (= threads per wave in the parallel driver).
+    pub participants: usize,
+    /// The per-call simulated store latency, in microseconds.
+    pub simulated_store_latency_us: u64,
+    /// Hardware threads available to the run (context for the speedup: on a
+    /// single-core host the win comes purely from overlapping store
+    /// latency).
+    pub available_parallelism: usize,
+}
+
+/// The whole benchmark document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnParallelReport {
+    /// Per-driver rows.
+    pub rows: Vec<ChurnParallelRow>,
+    /// Headline comparison.
+    pub summary: ChurnParallelSummary,
+}
+
+/// The churn configuration used by the benchmark at each scale.
+pub fn churn_parallel_config(scale: FigureScale) -> ChurnConfig {
+    let (participants, rounds) = match scale {
+        FigureScale::Quick => (10, 40),
+        FigureScale::Full => (16, 100),
+    };
+    ChurnConfig {
+        participants,
+        rounds,
+        transactions_per_publish: 2,
+        max_reconcile_interval: 4,
+        resolve_every: 4,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 800,
+            function_pool: 400,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn row(driver: &str, result: &ConcurrentChurnResult) -> ChurnParallelRow {
+    ChurnParallelRow {
+        driver: driver.to_string(),
+        reconciliations: result.reconciliations,
+        publishes: result.publishes,
+        reconcile_wall_seconds: result.reconcile_wall.as_secs_f64(),
+        total_wall_seconds: result.total_wall.as_secs_f64(),
+        store_seconds: result.store_time.as_secs_f64(),
+        local_seconds: result.local_time.as_secs_f64(),
+        accepted: result.accepted,
+        rejected: result.rejected,
+        deferred: result.deferred,
+        state_ratio: result.state_ratio,
+    }
+}
+
+/// Runs the benchmark over an explicit configuration (used by tests and by
+/// callers that want custom scales).
+pub fn run_churn_parallel_bench_with(config: &ChurnConfig) -> ChurnParallelReport {
+    let store =
+        || CentralStore::with_simulated_latency(bioinformatics_schema(), SIMULATED_STORE_LATENCY);
+    let sequential = run_churn_concurrent(store(), config, ReconcileDriver::Sequential);
+    let parallel = run_churn_concurrent(store(), config, ReconcileDriver::Parallel);
+
+    let seq_row = row("sequential", &sequential);
+    let par_row = row("parallel", &parallel);
+    let summary = ChurnParallelSummary {
+        reconcile_wall_speedup: seq_row.reconcile_wall_seconds
+            / par_row.reconcile_wall_seconds.max(f64::EPSILON),
+        total_wall_speedup: seq_row.total_wall_seconds
+            / par_row.total_wall_seconds.max(f64::EPSILON),
+        decisions_match: seq_row.accepted == par_row.accepted
+            && seq_row.rejected == par_row.rejected
+            && seq_row.deferred == par_row.deferred
+            && seq_row.reconciliations == par_row.reconciliations
+            && seq_row.state_ratio == par_row.state_ratio,
+        participants: config.participants,
+        simulated_store_latency_us: SIMULATED_STORE_LATENCY.as_micros() as u64,
+        available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    ChurnParallelReport { rows: vec![seq_row, par_row], summary }
+}
+
+/// Runs the concurrent-churn benchmark at the given scale.
+pub fn run_churn_parallel_bench(scale: FigureScale) -> ChurnParallelReport {
+    run_churn_parallel_bench_with(&churn_parallel_config(scale))
+}
+
+/// Writes the benchmark document as pretty-printed JSON:
+/// `{"benchmark": "churn_parallel", "rows": [...], "summary": {...}}`.
+pub fn write_churn_parallel_json(path: &Path, report: &ChurnParallelReport) -> io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("benchmark".to_string(), serde_json::Value::String("churn_parallel".to_string()));
+    doc.insert(
+        "rows".to_string(),
+        serde_json::Value::Array(
+            report.rows.iter().map(|r| serde_json::to_value(r).expect("rows serialise")).collect(),
+        ),
+    );
+    doc.insert(
+        "summary".to_string(),
+        serde_json::to_value(&report.summary).expect("summary serialises"),
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("document serialises");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_parallel_bench_matches_decisions() {
+        // A reduced schedule so the test stays fast in debug builds; the
+        // committed BENCH_churn_parallel.json records the full quick-scale
+        // run (where the acceptance bar is a wall-clock speedup > 1).
+        let mut config = churn_parallel_config(FigureScale::Quick);
+        config.participants = 6;
+        config.rounds = 6;
+        let report = run_churn_parallel_bench_with(&config);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.summary.decisions_match, "drivers diverged: {report:?}");
+        assert!(report.rows.iter().all(|r| r.reconciliations > 0));
+        assert!(report.summary.simulated_store_latency_us > 0);
+    }
+}

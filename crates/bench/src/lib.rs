@@ -17,12 +17,17 @@
 #![forbid(unsafe_code)]
 
 pub mod churn;
+pub mod churn_parallel;
 pub mod figures;
 pub mod output;
 
 pub use churn::{
     churn_config, run_churn_bench, run_churn_bench_with, write_churn_json, ChurnBenchReport,
     ChurnBenchRow, ChurnSummary,
+};
+pub use churn_parallel::{
+    churn_parallel_config, run_churn_parallel_bench, run_churn_parallel_bench_with,
+    write_churn_parallel_json, ChurnParallelReport, ChurnParallelRow, ChurnParallelSummary,
 };
 pub use figures::{
     fig08_transaction_size, fig09_recon_interval_ratio, fig10_recon_interval_time,

@@ -32,10 +32,10 @@
 //! let p2 = ParticipantId(2);
 //! system.add_participant(ParticipantConfig::new(
 //!     TrustPolicy::new(p1).trusting(p2, 1u32),
-//! ));
+//! )).unwrap();
 //! system.add_participant(ParticipantConfig::new(
 //!     TrustPolicy::new(p2).trusting(p1, 1u32),
-//! ));
+//! )).unwrap();
 //!
 //! // p1 inserts a protein-function fact and shares it.
 //! system

@@ -1,15 +1,27 @@
 //! A CDSS participant: local instance, trust policy, publication and
 //! reconciliation.
+//!
+//! Participants talk to the update store through a *shared reference*
+//! (`&S where S: UpdateStore + ?Sized`): the store synchronises internally,
+//! so many participants — one per thread — publish and reconcile against the
+//! same store concurrently. Reconciliation uses the store's session API:
+//! candidates are streamed in bounded pages
+//! ([`Participant::reconcile_batch_size`]), decided by the client-centric
+//! engine, and the decisions are committed atomically with the session.
 
 use crate::report::{ReconcileReport, ResolutionReport, TimingBreakdown};
 use orchestra_model::{ParticipantId, Schema, Transaction, TransactionId, TrustPolicy, Update};
 use orchestra_recon::{
-    resolution::resolve_conflicts, ConflictGroup, ReconcileEngine, ReconcileInput,
-    ResolutionChoice, SoftState,
+    resolution::resolve_conflicts, CandidateTransaction, ConflictGroup, ReconcileEngine,
+    ReconcileInput, ResolutionChoice, SoftState,
 };
 use orchestra_storage::{Database, Result, StorageError};
-use orchestra_store::UpdateStore;
+use orchestra_store::{ReconciliationSession, StoreTiming, UpdateStore};
 use std::time::Instant;
+
+/// Default page size for session-based candidate retrieval: bounds the
+/// store-side working set materialised per `next_batch` call.
+pub const DEFAULT_RECONCILE_BATCH_SIZE: usize = 64;
 
 /// Configuration of a participant: its trust policy (which also names the
 /// participant) and, optionally, a pre-populated initial instance.
@@ -52,6 +64,8 @@ pub struct Participant {
     engine: ReconcileEngine,
     soft: SoftState,
     next_local_txn: u64,
+    /// Page size for session-based candidate retrieval.
+    reconcile_batch_size: usize,
     /// Transactions executed locally but not yet published.
     pending_publish: Vec<Transaction>,
     /// Updates published since the last reconciliation, used as the "delta
@@ -80,6 +94,7 @@ impl Participant {
             engine: ReconcileEngine::new(schema),
             soft: SoftState::new(),
             next_local_txn: 0,
+            reconcile_batch_size: DEFAULT_RECONCILE_BATCH_SIZE,
             pending_publish: Vec::new(),
             last_published_updates: Vec::new(),
             total_timing: TimingBreakdown::default(),
@@ -94,7 +109,7 @@ impl Participant {
     /// be recovered from the store up to the participant's last
     /// reconciliation. Deferred conflicts are soft and are rediscovered at
     /// the next reconciliation.
-    pub fn rebuild_from_store<S: UpdateStore>(
+    pub fn rebuild_from_store<S: UpdateStore + ?Sized>(
         schema: Schema,
         config: ParticipantConfig,
         store: &S,
@@ -167,19 +182,30 @@ impl Participant {
         self.total_timing
     }
 
-    /// The participant's rejected set: read from the store on first use, then
-    /// maintained incrementally from this participant's own decisions (it is
-    /// the only writer of its decision record), so steady-state
-    /// reconciliations do O(new rejections) work instead of re-reading the
-    /// whole record.
-    fn rejected_set_cached<S: UpdateStore>(
+    /// The page size used for session-based candidate retrieval.
+    pub fn reconcile_batch_size(&self) -> usize {
+        self.reconcile_batch_size
+    }
+
+    /// Sets the page size for session-based candidate retrieval (clamped to
+    /// at least 1).
+    pub fn set_reconcile_batch_size(&mut self, size: usize) {
+        self.reconcile_batch_size = size.max(1);
+    }
+
+    /// The participant's rejected set: read from the store on first use
+    /// (already a shared snapshot — a reference-count bump), then maintained
+    /// incrementally from this participant's own decisions (it is the only
+    /// writer of its decision record), so steady-state reconciliations do
+    /// O(new rejections) work instead of re-reading the whole record.
+    fn rejected_set_cached<S: UpdateStore + ?Sized>(
         &mut self,
         store: &S,
     ) -> std::sync::Arc<rustc_hash::FxHashSet<TransactionId>> {
         match &self.rejected_cache {
             Some(set) => std::sync::Arc::clone(set),
             None => {
-                let set = std::sync::Arc::new(store.rejected_set(self.id));
+                let set = store.rejected_set(self.id);
                 self.rejected_cache = Some(std::sync::Arc::clone(&set));
                 set
             }
@@ -217,9 +243,9 @@ impl Participant {
 
     /// Publishes all pending transactions to the update store as one epoch.
     /// Returns `None` if there was nothing to publish.
-    pub fn publish<S: UpdateStore>(
+    pub fn publish<S: UpdateStore + ?Sized>(
         &mut self,
-        store: &mut S,
+        store: &S,
     ) -> Result<Option<orchestra_model::Epoch>> {
         if self.pending_publish.is_empty() {
             return Ok(None);
@@ -229,23 +255,23 @@ impl Participant {
         // must keep the first batch in the own-delta, or a trusted remote
         // transaction conflicting with it would wrongly be accepted.
         self.last_published_updates.extend(batch.iter().flat_map(|t| t.updates().iter().cloned()));
-        let epoch = store.publish(self.id, batch)?;
-        let store_time = store.take_timing();
+        let published = store.publish(self.id, batch)?;
         self.total_timing.accumulate(TimingBreakdown {
-            store: store_time.total(),
+            store: published.timing.total(),
             local: std::time::Duration::ZERO,
         });
-        Ok(Some(epoch))
+        Ok(Some(published.value))
     }
 
-    /// Reconciles against the update store: retrieves the relevant trusted
-    /// transactions, decides them with the client-centric algorithm, applies
-    /// the accepted ones to the local instance and records the decisions back
-    /// at the store.
-    pub fn reconcile<S: UpdateStore>(&mut self, store: &mut S) -> Result<ReconcileReport> {
-        store.take_timing();
-        let relevant = store.begin_reconciliation(self.id)?;
-        self.finish_reconcile(store, relevant, None)
+    /// Reconciles against the update store: opens a session, streams the
+    /// relevant trusted candidates page by page, decides them with the
+    /// client-centric algorithm, applies the accepted ones to the local
+    /// instance, and commits the session (decisions plus reconciliation
+    /// record) back at the store.
+    pub fn reconcile<S: UpdateStore + ?Sized>(&mut self, store: &S) -> Result<ReconcileReport> {
+        let mut session = ReconciliationSession::open(store, self.id)?;
+        let candidates = session.drain(self.reconcile_batch_size)?;
+        self.finish_reconcile(store, session, candidates, None)
     }
 
     /// Reconciles in the network-centric mode of Section 5: antecedent
@@ -256,31 +282,71 @@ impl Participant {
     /// differs.
     pub fn reconcile_network_centric(
         &mut self,
-        store: &mut orchestra_store::DhtStore,
+        store: &orchestra_store::DhtStore,
     ) -> Result<ReconcileReport> {
-        store.take_timing();
-        let plan = store.begin_network_centric_reconciliation(self.id)?;
-        let orchestra_store::NetworkCentricPlan { relevant, conflicts } = plan;
-        self.finish_reconcile(store, relevant, Some(conflicts))
+        let timed = store.begin_network_centric_reconciliation(self.id)?;
+        let retrieval = timed.timing;
+        let plan = timed.value;
+        self.finish_reconcile_raw(
+            store,
+            plan.session,
+            plan.recno,
+            plan.epoch,
+            retrieval,
+            plan.candidates,
+            Some(plan.conflicts),
+        )
     }
 
-    /// Shared tail of both reconciliation modes: run the engine over the
-    /// retrieved candidates, apply, and record decisions at the store.
-    fn finish_reconcile<S: UpdateStore>(
+    /// Shared tail of the session-based reconciliation: run the engine over
+    /// the streamed candidates, apply, and commit the session.
+    fn finish_reconcile<S: UpdateStore + ?Sized>(
         &mut self,
-        store: &mut S,
-        relevant: orchestra_store::RelevantTransactions,
+        store: &S,
+        session: ReconciliationSession<'_, S>,
+        candidates: Vec<CandidateTransaction>,
+        precomputed_conflicts: Option<
+            rustc_hash::FxHashMap<TransactionId, rustc_hash::FxHashSet<TransactionId>>,
+        >,
+    ) -> Result<ReconcileReport> {
+        let recno = session.recno();
+        let epoch = session.epoch();
+        let retrieval = session.timing();
+        // Detach the RAII wrapper: the commit (or error-path abort) below
+        // finishes the session.
+        let session_id = session.detach();
+        self.finish_reconcile_raw(
+            store,
+            session_id,
+            recno,
+            epoch,
+            retrieval,
+            candidates,
+            precomputed_conflicts,
+        )
+    }
+
+    /// The engine + commit tail shared by the client-centric and
+    /// network-centric paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_reconcile_raw<S: UpdateStore + ?Sized>(
+        &mut self,
+        store: &S,
+        session: orchestra_store::SessionId,
+        recno: orchestra_model::ReconciliationId,
+        epoch: orchestra_model::Epoch,
+        retrieval: StoreTiming,
+        candidates: Vec<CandidateTransaction>,
         precomputed_conflicts: Option<
             rustc_hash::FxHashMap<TransactionId, rustc_hash::FxHashSet<TransactionId>>,
         >,
     ) -> Result<ReconcileReport> {
         let previously_rejected = self.rejected_set_cached(store);
-        let retrieval_timing = store.take_timing();
 
         let local_start = Instant::now();
         let input = ReconcileInput {
-            recno: relevant.recno,
-            candidates: relevant.candidates,
+            recno,
+            candidates,
             own_updates: std::mem::take(&mut self.last_published_updates),
             previously_rejected,
             precomputed_conflicts,
@@ -288,19 +354,27 @@ impl Participant {
         let outcome = self.engine.reconcile(input, &mut self.instance, &mut self.soft);
         let local_elapsed = local_start.elapsed();
 
-        store.record_decisions(self.id, &outcome.accepted_members, &outcome.rejected)?;
-        self.extend_rejected_cache(&outcome.rejected);
-        let record_timing = store.take_timing();
-
-        let timing = TimingBreakdown {
-            store: retrieval_timing.total() + record_timing.total(),
-            local: local_elapsed,
+        let commit_timing = match store.commit_reconciliation(
+            session,
+            &outcome.accepted_members,
+            &outcome.rejected,
+        ) {
+            Ok(timing) => timing,
+            Err(e) => {
+                let _ = store.abort_reconciliation(session);
+                return Err(e);
+            }
         };
+        self.extend_rejected_cache(&outcome.rejected);
+
+        let mut store_time = retrieval;
+        store_time.accumulate(commit_timing);
+        let timing = TimingBreakdown { store: store_time.total(), local: local_elapsed };
         self.total_timing.accumulate(timing);
 
         Ok(ReconcileReport {
             recno: outcome.recno,
-            epoch: relevant.epoch,
+            epoch,
             accepted: outcome.accepted_roots,
             rejected: outcome.rejected,
             deferred: outcome.deferred,
@@ -311,9 +385,9 @@ impl Participant {
 
     /// Publishes pending transactions (if any) and then reconciles — the
     /// combined step the paper assumes participants perform together.
-    pub fn publish_and_reconcile<S: UpdateStore>(
+    pub fn publish_and_reconcile<S: UpdateStore + ?Sized>(
         &mut self,
-        store: &mut S,
+        store: &S,
     ) -> Result<ReconcileReport> {
         self.publish(store)?;
         self.reconcile(store)
@@ -321,15 +395,13 @@ impl Participant {
 
     /// Resolves deferred conflicts according to the user's choices, records
     /// the resulting decisions at the store, and returns what changed.
-    pub fn resolve_conflicts<S: UpdateStore>(
+    pub fn resolve_conflicts<S: UpdateStore + ?Sized>(
         &mut self,
-        store: &mut S,
+        store: &S,
         choices: &[ResolutionChoice],
     ) -> Result<ResolutionReport> {
-        store.take_timing();
         let previously_rejected = self.rejected_set_cached(store);
         let recno = store.current_reconciliation(self.id);
-        let read_timing = store.take_timing();
 
         let local_start = Instant::now();
         let outcome = resolve_conflicts(
@@ -344,14 +416,11 @@ impl Participant {
 
         let mut rejected_all = outcome.newly_rejected.clone();
         rejected_all.extend(outcome.rerun.rejected.iter().copied());
-        store.record_decisions(self.id, &outcome.rerun.accepted_members, &rejected_all)?;
+        let record_timing =
+            store.record_decisions(self.id, &outcome.rerun.accepted_members, &rejected_all)?;
         self.extend_rejected_cache(&rejected_all);
-        let record_timing = store.take_timing();
 
-        let timing = TimingBreakdown {
-            store: read_timing.total() + record_timing.total(),
-            local: local_elapsed,
-        };
+        let timing = TimingBreakdown { store: record_timing.total(), local: local_elapsed };
         self.total_timing.accumulate(timing);
 
         Ok(ResolutionReport {
@@ -380,7 +449,7 @@ mod tests {
 
     fn setup_pair() -> (CentralStore, Participant, Participant) {
         let schema = bioinformatics_schema();
-        let mut store = CentralStore::new(schema.clone());
+        let store = CentralStore::new(schema.clone());
         let policy1 = TrustPolicy::new(p(1)).trusting(p(2), 1u32);
         let policy2 = TrustPolicy::new(p(2)).trusting(p(1), 1u32);
         store.register_participant(policy1.clone());
@@ -439,18 +508,18 @@ mod tests {
 
     #[test]
     fn publish_and_reconcile_propagates_between_participants() {
-        let (mut store, mut p1, mut p2) = setup_pair();
+        let (store, mut p1, mut p2) = setup_pair();
         p1.execute_transaction(vec![Update::insert(
             "Function",
             func("rat", "prot1", "immune"),
             p(1),
         )])
         .unwrap();
-        let report1 = p1.publish_and_reconcile(&mut store).unwrap();
+        let report1 = p1.publish_and_reconcile(&store).unwrap();
         assert!(report1.accepted.is_empty());
         assert_eq!(report1.epoch, orchestra_model::Epoch(1));
 
-        let report2 = p2.publish_and_reconcile(&mut store).unwrap();
+        let report2 = p2.publish_and_reconcile(&store).unwrap();
         assert_eq!(report2.accepted.len(), 1);
         assert!(p2.instance().contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
         assert!(report2.timing.total() >= report2.timing.local);
@@ -459,13 +528,36 @@ mod tests {
 
     #[test]
     fn publishing_nothing_is_a_noop() {
-        let (mut store, mut p1, _) = setup_pair();
-        assert_eq!(p1.publish(&mut store).unwrap(), None);
+        let (store, mut p1, _) = setup_pair();
+        assert_eq!(p1.publish(&store).unwrap(), None);
+    }
+
+    #[test]
+    fn tiny_batch_sizes_reach_the_same_decisions() {
+        // Page size 1 forces many next_batch calls; decisions and instances
+        // must match the default page size.
+        let run = |batch: usize| {
+            let (store, mut p1, mut p2) = setup_pair();
+            p1.set_reconcile_batch_size(batch);
+            p2.set_reconcile_batch_size(batch);
+            for i in 0..5u64 {
+                p1.execute_transaction(vec![Update::insert(
+                    "Function",
+                    func("rat", &format!("prot{i}"), "immune"),
+                    p(1),
+                )])
+                .unwrap();
+                p1.publish(&store).unwrap();
+            }
+            let report = p2.publish_and_reconcile(&store).unwrap();
+            (report.accepted.len(), p2.instance().relation_contents("Function"))
+        };
+        assert_eq!(run(1), run(DEFAULT_RECONCILE_BATCH_SIZE));
     }
 
     #[test]
     fn own_version_wins_over_remote_conflicting_version() {
-        let (mut store, mut p1, mut p2) = setup_pair();
+        let (store, mut p1, mut p2) = setup_pair();
         // p1 publishes its value first.
         p1.execute_transaction(vec![Update::insert(
             "Function",
@@ -473,7 +565,7 @@ mod tests {
             p(1),
         )])
         .unwrap();
-        p1.publish_and_reconcile(&mut store).unwrap();
+        p1.publish_and_reconcile(&store).unwrap();
 
         // p2 executes a divergent value for the same key, then reconciles.
         p2.execute_transaction(vec![Update::insert(
@@ -482,7 +574,7 @@ mod tests {
             p(2),
         )])
         .unwrap();
-        let report = p2.publish_and_reconcile(&mut store).unwrap();
+        let report = p2.publish_and_reconcile(&store).unwrap();
         assert_eq!(report.rejected.len(), 1);
         assert!(p2.instance().contains_tuple_exact("Function", &func("rat", "prot1", "cell-resp")));
     }
@@ -495,7 +587,7 @@ mod tests {
         // accepted. The scenario needs a remote update that is compatible
         // with p1's instance but conflicts with p1's first published batch: a
         // remote DELETE of the tuple p1 inserted.
-        let (mut store, mut p1, mut p2) = setup_pair();
+        let (store, mut p1, mut p2) = setup_pair();
 
         // p1 publishes its insert (first batch, epoch 1) without reconciling.
         p1.execute_transaction(vec![Update::insert(
@@ -504,17 +596,17 @@ mod tests {
             p(1),
         )])
         .unwrap();
-        p1.publish(&mut store).unwrap();
+        p1.publish(&store).unwrap();
 
         // p2 accepts it, then publishes a delete of that very tuple.
-        p2.publish_and_reconcile(&mut store).unwrap();
+        p2.publish_and_reconcile(&store).unwrap();
         p2.execute_transaction(vec![Update::delete(
             "Function",
             func("rat", "prot1", "immune"),
             p(2),
         )])
         .unwrap();
-        p2.publish(&mut store).unwrap();
+        p2.publish(&store).unwrap();
 
         // p1 publishes a second, unrelated batch — with the bug this
         // overwrote the delta and forgot the prot1 insert.
@@ -524,7 +616,7 @@ mod tests {
             p(1),
         )])
         .unwrap();
-        let report = p1.publish_and_reconcile(&mut store).unwrap();
+        let report = p1.publish_and_reconcile(&store).unwrap();
 
         // The remote delete conflicts with p1's own (still unreconciled)
         // insert: the participant always prefers its own version, so the
@@ -537,7 +629,7 @@ mod tests {
     #[test]
     fn conflict_resolution_round_trip() {
         let schema = bioinformatics_schema();
-        let mut store = CentralStore::new(schema.clone());
+        let store = CentralStore::new(schema.clone());
         // p1 trusts p2 and p3 equally; p2 and p3 trust nobody.
         let policy1 = TrustPolicy::new(p(1)).trusting(p(2), 1u32).trusting(p(3), 1u32);
         let policy2 = TrustPolicy::new(p(2));
@@ -555,16 +647,16 @@ mod tests {
             p(2),
         )])
         .unwrap();
-        p2.publish_and_reconcile(&mut store).unwrap();
+        p2.publish_and_reconcile(&store).unwrap();
         p3.execute_transaction(vec![Update::insert(
             "Function",
             func("rat", "prot1", "immune"),
             p(3),
         )])
         .unwrap();
-        p3.publish_and_reconcile(&mut store).unwrap();
+        p3.publish_and_reconcile(&store).unwrap();
 
-        let report = p1.publish_and_reconcile(&mut store).unwrap();
+        let report = p1.publish_and_reconcile(&store).unwrap();
         assert_eq!(report.deferred.len(), 2);
         assert_eq!(p1.deferred_conflicts().len(), 1);
 
@@ -577,10 +669,7 @@ mod tests {
             .position(|o| o.transactions.iter().any(|t| t.participant == p(3)))
             .unwrap();
         let resolution = p1
-            .resolve_conflicts(
-                &mut store,
-                &[ResolutionChoice { group: key, chosen_option: Some(idx) }],
-            )
+            .resolve_conflicts(&store, &[ResolutionChoice { group: key, chosen_option: Some(idx) }])
             .unwrap();
         assert_eq!(resolution.newly_accepted.len(), 1);
         assert_eq!(resolution.newly_rejected.len(), 1);

@@ -14,6 +14,12 @@ fn unknown_participant(id: ParticipantId) -> StorageError {
     )))
 }
 
+fn duplicate_participant(id: ParticipantId) -> StorageError {
+    StorageError::Model(orchestra_model::ModelError::InvalidTransaction(format!(
+        "participant {id} is already registered"
+    )))
+}
+
 /// A collaborative data sharing system: a set of participants, the schema
 /// they share, and the update store through which they exchange published
 /// transactions.
@@ -21,7 +27,11 @@ fn unknown_participant(id: ParticipantId) -> StorageError {
 /// The system is a convenience driver — every operation it offers is also
 /// available directly on [`Participant`] — but it keeps simulations and
 /// examples short and enforces that every participant is registered with the
-/// store before use.
+/// store before use. Because the store is accessed through a shared
+/// reference, the system also offers *parallel* drivers
+/// ([`CdssSystem::reconcile_all_parallel`],
+/// [`CdssSystem::reconcile_each_parallel`]) that run one thread per
+/// participant against the one shared store.
 #[derive(Debug)]
 pub struct CdssSystem<S: UpdateStore> {
     schema: Schema,
@@ -45,18 +55,24 @@ impl<S: UpdateStore> CdssSystem<S> {
         &self.store
     }
 
-    /// Mutable access to the update store.
+    /// Mutable access to the update store. Rarely needed now that the store
+    /// API is `&self`; kept for store-specific configuration hooks.
     pub fn store_mut(&mut self) -> &mut S {
         &mut self.store
     }
 
     /// Adds a participant, registering its trust policy with the update
-    /// store. Returns its identity.
-    pub fn add_participant(&mut self, config: ParticipantConfig) -> ParticipantId {
+    /// store, and returns its identity. Registering the same
+    /// [`ParticipantId`] twice is an error — the first registration stays
+    /// intact (it is *not* silently overwritten).
+    pub fn add_participant(&mut self, config: ParticipantConfig) -> Result<ParticipantId> {
         let id = config.policy.owner();
+        if self.participants.contains_key(&id) {
+            return Err(duplicate_participant(id));
+        }
         self.store.register_participant(config.policy.clone());
         self.participants.insert(id, Participant::new(self.schema.clone(), config));
-        id
+        Ok(id)
     }
 
     /// The identities of all participants, in order.
@@ -90,8 +106,8 @@ impl<S: UpdateStore> CdssSystem<S> {
 
     /// Split borrow of the store and one participant, so participant methods
     /// that take the store can be called through the system.
-    fn store_and_participant(&mut self, id: ParticipantId) -> Result<(&mut S, &mut Participant)> {
-        let store = &mut self.store;
+    fn store_and_participant(&mut self, id: ParticipantId) -> Result<(&S, &mut Participant)> {
+        let store = &self.store;
         let participant = self.participants.get_mut(&id).ok_or_else(|| unknown_participant(id))?;
         Ok((store, participant))
     }
@@ -124,6 +140,35 @@ impl<S: UpdateStore> CdssSystem<S> {
         participant.reconcile(store)
     }
 
+    /// Reconciles the given participants one after another (the serial
+    /// driver the parallel one is benchmarked against). Every id is
+    /// validated *before* any reconciliation commits, so an unknown id
+    /// cannot leave a partially applied wave behind; duplicate ids collapse
+    /// to one reconciliation. Reports come back in id order.
+    pub fn reconcile_each(
+        &mut self,
+        ids: &[ParticipantId],
+    ) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        if let Some(missing) = ids.iter().find(|id| !self.participants.contains_key(id)) {
+            return Err(unknown_participant(*missing));
+        }
+        let store = &self.store;
+        let mut out = Vec::with_capacity(ids.len());
+        for (id, participant) in self.participants.iter_mut() {
+            if !ids.contains(id) {
+                continue;
+            }
+            out.push((*id, participant.reconcile(store)?));
+        }
+        Ok(out)
+    }
+
+    /// Reconciles every participant sequentially, in id order.
+    pub fn reconcile_all(&mut self) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        let ids = self.participant_ids();
+        self.reconcile_each(&ids)
+    }
+
     /// Resolves deferred conflicts at a participant according to the given
     /// choices (see [`Participant::resolve_conflicts`]).
     pub fn resolve_conflicts(
@@ -152,6 +197,53 @@ impl<S: UpdateStore> CdssSystem<S> {
     }
 }
 
+impl<S: UpdateStore + Sync> CdssSystem<S> {
+    /// Reconciles the given participants **in parallel**: one thread per
+    /// participant, all driving reconciliation sessions against the one
+    /// shared store (`&S`). The store's sharded locking lets the sessions
+    /// proceed concurrently; each participant's local engine work runs on
+    /// its own thread.
+    ///
+    /// With no publish interleaved, the decisions are identical to
+    /// [`CdssSystem::reconcile_each`] over the same ids: a session's
+    /// candidates depend only on the published log (pinned to the stable
+    /// epoch) and the reconciler's *own* decision record, never on the
+    /// concurrent decisions of other participants. The equivalence proptest
+    /// in `tests/parallel_driver.rs` pins this down. Reports come back in id
+    /// order.
+    pub fn reconcile_each_parallel(
+        &mut self,
+        ids: &[ParticipantId],
+    ) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        if let Some(missing) = ids.iter().find(|id| !self.participants.contains_key(id)) {
+            return Err(unknown_participant(*missing));
+        }
+        let store = &self.store;
+        let mut results: Vec<(ParticipantId, Result<ReconcileReport>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .participants
+                    .iter_mut()
+                    .filter(|(id, _)| ids.contains(id))
+                    .map(|(id, participant)| {
+                        let id = *id;
+                        scope.spawn(move || (id, participant.reconcile(store)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("reconcile thread panicked")).collect()
+            });
+        results.sort_by_key(|(id, _)| *id);
+        results.into_iter().map(|(id, r)| r.map(|report| (id, report))).collect()
+    }
+
+    /// Reconciles every participant in parallel (see
+    /// [`CdssSystem::reconcile_each_parallel`]).
+    pub fn reconcile_all_parallel(&mut self) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        let ids = self.participant_ids();
+        self.reconcile_each_parallel(&ids)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,7 +269,7 @@ mod tests {
                     policy = policy.trusting(p(j), 1u32);
                 }
             }
-            system.add_participant(ParticipantConfig::new(policy));
+            system.add_participant(ParticipantConfig::new(policy)).unwrap();
         }
         system
     }
@@ -193,11 +285,31 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_registration_is_rejected_not_overwritten() {
+        let mut system = fully_trusting_system(2);
+        // p1 executes a transaction so its participant state is observable.
+        system
+            .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
+            .unwrap();
+        // Re-registering p1 (even with a different policy) must fail...
+        let err =
+            system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(1)))).unwrap_err();
+        assert!(err.to_string().contains("already registered"));
+        // ...and the original participant state must be intact, not replaced
+        // by a fresh empty participant.
+        assert_eq!(system.len(), 2);
+        assert_eq!(system.participant(p(1)).unwrap().pending_publications().len(), 1);
+        assert_eq!(system.participant(p(1)).unwrap().policy().rules().len(), 1);
+    }
+
+    #[test]
     fn unknown_participants_are_reported() {
         let mut system = fully_trusting_system(1);
         assert!(system.execute(p(9), vec![]).is_err());
         assert!(system.publish_and_reconcile(p(9)).is_err());
         assert!(system.reconcile(p(9)).is_err());
+        assert!(system.reconcile_each(&[p(9)]).is_err());
+        assert!(system.reconcile_each_parallel(&[p(9)]).is_err());
     }
 
     #[test]
@@ -214,6 +326,35 @@ mod tests {
         }
         assert!((system.state_ratio() - 1.0).abs() < 1e-9);
         assert!((system.state_ratio_for("Function") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_decisions() {
+        let drive = |parallel: bool| {
+            let mut system = fully_trusting_system(4);
+            for i in 1..=4u32 {
+                system
+                    .execute(
+                        p(i),
+                        vec![Update::insert(
+                            "Function",
+                            func("human", &format!("prot{i}"), "dna-repair"),
+                            p(i),
+                        )],
+                    )
+                    .unwrap();
+                system.publish(p(i)).unwrap();
+            }
+            let reports = if parallel {
+                system.reconcile_all_parallel().unwrap()
+            } else {
+                system.reconcile_all().unwrap()
+            };
+            let accepted: Vec<(ParticipantId, usize)> =
+                reports.iter().map(|(id, r)| (*id, r.accepted.len())).collect();
+            (accepted, system.state_ratio_for("Function"))
+        };
+        assert_eq!(drive(false), drive(true));
     }
 
     #[test]

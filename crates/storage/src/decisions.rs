@@ -5,10 +5,16 @@
 //! state and can be reconstructed from the store. This module is that record:
 //! for every participant it keeps the decision made about each transaction and
 //! the epoch associated with each of its reconciliations.
+//!
+//! [`ParticipantRecord`] is the single-participant building block. The update
+//! store keeps one per participant *shard*, so that decisions from different
+//! participants never contend on a shared structure; [`DecisionLog`] bundles
+//! many records behind one map for callers that want the store-wide view.
 
 use orchestra_model::{Epoch, ParticipantId, ReconciliationId, TransactionId};
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The durable decision a participant has recorded about a transaction.
 ///
@@ -26,33 +32,125 @@ pub enum Decision {
     Rejected,
 }
 
-/// One participant's reconciliation record.
+/// One participant's durable reconciliation record.
 ///
 /// Besides the authoritative decision map, the record maintains the accepted
-/// and rejected sets *incrementally*, so that a reconciliation can consult
-/// them in O(1) instead of rebuilding them from the full decision history —
+/// and rejected sets *incrementally* behind [`Arc`]s, so that a
+/// reconciliation can consult them in O(1) and callers can take a snapshot
+/// with a reference-count bump instead of cloning a fresh set per call —
 /// the key to making per-reconciliation work scale with new epochs rather
 /// than with total history.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct ParticipantRecord {
+pub struct ParticipantRecord {
     decisions: FxHashMap<TransactionId, Decision>,
     reconciliations: Vec<(ReconciliationId, Epoch)>,
     #[serde(skip)]
-    accepted: FxHashSet<TransactionId>,
+    accepted: Arc<FxHashSet<TransactionId>>,
     #[serde(skip)]
-    rejected: FxHashSet<TransactionId>,
+    rejected: Arc<FxHashSet<TransactionId>>,
 }
 
 impl ParticipantRecord {
-    fn rebuild_sets(&mut self) {
-        self.accepted.clear();
-        self.rejected.clear();
+    /// Creates an empty record.
+    pub fn new() -> Self {
+        ParticipantRecord::default()
+    }
+
+    /// Records a decision about a transaction. A later decision overwrites an
+    /// earlier one only if the earlier one was not `Accepted` (acceptance is
+    /// monotone: accepted transactions are never rolled back).
+    ///
+    /// `Arc::make_mut` keeps the update copy-free in the steady state: the
+    /// sets are only deep-copied when an outstanding snapshot still shares
+    /// them.
+    pub fn record(&mut self, txn: TransactionId, decision: Decision) {
+        match self.decisions.get(&txn) {
+            Some(Decision::Accepted) => {}
+            _ => {
+                self.decisions.insert(txn, decision);
+                match decision {
+                    Decision::Accepted => {
+                        Arc::make_mut(&mut self.rejected).remove(&txn);
+                        Arc::make_mut(&mut self.accepted).insert(txn);
+                    }
+                    Decision::Rejected => {
+                        Arc::make_mut(&mut self.rejected).insert(txn);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the derived accepted/rejected sets (used after
+    /// deserialisation, mirroring `TransactionLog::rebuild_indexes`).
+    pub fn rebuild_sets(&mut self) {
+        let accepted = Arc::make_mut(&mut self.accepted);
+        let rejected = Arc::make_mut(&mut self.rejected);
+        accepted.clear();
+        rejected.clear();
         for (&id, &d) in &self.decisions {
             match d {
-                Decision::Accepted => self.accepted.insert(id),
-                Decision::Rejected => self.rejected.insert(id),
+                Decision::Accepted => accepted.insert(id),
+                Decision::Rejected => rejected.insert(id),
             };
         }
+    }
+
+    /// The decision recorded about a transaction, if any.
+    pub fn decision(&self, txn: TransactionId) -> Option<Decision> {
+        self.decisions.get(&txn).copied()
+    }
+
+    /// The incrementally maintained accepted set.
+    pub fn accepted_set(&self) -> &FxHashSet<TransactionId> {
+        &self.accepted
+    }
+
+    /// The incrementally maintained rejected set.
+    pub fn rejected_set(&self) -> &FxHashSet<TransactionId> {
+        &self.rejected
+    }
+
+    /// A shared snapshot of the accepted set: a reference-count bump, not a
+    /// copy. The snapshot is immutable; later decisions copy-on-write inside
+    /// the record without disturbing it.
+    pub fn accepted_snapshot(&self) -> Arc<FxHashSet<TransactionId>> {
+        Arc::clone(&self.accepted)
+    }
+
+    /// A shared snapshot of the rejected set (see
+    /// [`ParticipantRecord::accepted_snapshot`]).
+    pub fn rejected_snapshot(&self) -> Arc<FxHashSet<TransactionId>> {
+        Arc::clone(&self.rejected)
+    }
+
+    /// All decided transactions with the decision `wanted`, sorted by id.
+    pub fn with_decision(&self, wanted: Decision) -> Vec<TransactionId> {
+        let mut out: Vec<TransactionId> =
+            self.decisions.iter().filter(|(_, &d)| d == wanted).map(|(&id, _)| id).collect();
+        out.sort();
+        out
+    }
+
+    /// Records that the participant performed reconciliation `recno` against
+    /// the given epoch.
+    pub fn record_reconciliation(&mut self, recno: ReconciliationId, epoch: Epoch) {
+        self.reconciliations.push((recno, epoch));
+    }
+
+    /// The most recent reconciliation, if any.
+    pub fn last_reconciliation(&self) -> Option<(ReconciliationId, Epoch)> {
+        self.reconciliations.last().copied()
+    }
+
+    /// The next reconciliation number.
+    pub fn next_reconciliation_id(&self) -> ReconciliationId {
+        self.last_reconciliation().map(|(r, _)| r.next()).unwrap_or(ReconciliationId(1))
+    }
+
+    /// The full reconciliation history.
+    pub fn reconciliations(&self) -> &[(ReconciliationId, Epoch)] {
+        &self.reconciliations
     }
 }
 
@@ -68,27 +166,10 @@ impl DecisionLog {
         DecisionLog::default()
     }
 
-    /// Records a decision for a participant about a transaction. A later
-    /// decision overwrites an earlier one only if the earlier one was not
-    /// `Accepted` (acceptance is monotone: accepted transactions are never
-    /// rolled back).
+    /// Records a decision for a participant about a transaction (see
+    /// [`ParticipantRecord::record`]).
     pub fn record(&mut self, participant: ParticipantId, txn: TransactionId, decision: Decision) {
-        let rec = self.participants.entry(participant).or_default();
-        match rec.decisions.get(&txn) {
-            Some(Decision::Accepted) => {}
-            _ => {
-                rec.decisions.insert(txn, decision);
-                match decision {
-                    Decision::Accepted => {
-                        rec.rejected.remove(&txn);
-                        rec.accepted.insert(txn);
-                    }
-                    Decision::Rejected => {
-                        rec.rejected.insert(txn);
-                    }
-                }
-            }
-        }
+        self.participants.entry(participant).or_default().record(txn, decision);
     }
 
     /// Rebuilds the derived accepted/rejected sets (used after
@@ -101,7 +182,7 @@ impl DecisionLog {
 
     /// The decision a participant has recorded about a transaction, if any.
     pub fn decision(&self, participant: ParticipantId, txn: TransactionId) -> Option<Decision> {
-        self.participants.get(&participant).and_then(|r| r.decisions.get(&txn)).copied()
+        self.participants.get(&participant).and_then(|r| r.decision(txn))
     }
 
     /// Returns true if the participant has recorded *any* decision about the
@@ -122,33 +203,29 @@ impl DecisionLog {
 
     /// All transactions the participant has accepted.
     pub fn accepted(&self, participant: ParticipantId) -> Vec<TransactionId> {
-        self.with_decision(participant, Decision::Accepted)
+        self.participants
+            .get(&participant)
+            .map(|r| r.with_decision(Decision::Accepted))
+            .unwrap_or_default()
     }
 
     /// All transactions the participant has rejected.
     pub fn rejected(&self, participant: ParticipantId) -> Vec<TransactionId> {
-        self.with_decision(participant, Decision::Rejected)
+        self.participants
+            .get(&participant)
+            .map(|r| r.with_decision(Decision::Rejected))
+            .unwrap_or_default()
     }
 
     /// The participant's accepted set, maintained incrementally — O(1) to
     /// consult, shared by reference so reconciliations never rebuild it.
     pub fn accepted_set(&self, participant: ParticipantId) -> Option<&FxHashSet<TransactionId>> {
-        self.participants.get(&participant).map(|r| &r.accepted)
+        self.participants.get(&participant).map(|r| r.accepted_set())
     }
 
     /// The participant's rejected set, maintained incrementally.
     pub fn rejected_set(&self, participant: ParticipantId) -> Option<&FxHashSet<TransactionId>> {
-        self.participants.get(&participant).map(|r| &r.rejected)
-    }
-
-    fn with_decision(&self, participant: ParticipantId, wanted: Decision) -> Vec<TransactionId> {
-        let mut out: Vec<TransactionId> = self
-            .participants
-            .get(&participant)
-            .map(|r| r.decisions.iter().filter(|(_, &d)| d == wanted).map(|(&id, _)| id).collect())
-            .unwrap_or_default();
-        out.sort();
-        out
+        self.participants.get(&participant).map(|r| r.rejected_set())
     }
 
     /// Records that a participant performed reconciliation `recno` against
@@ -159,7 +236,7 @@ impl DecisionLog {
         recno: ReconciliationId,
         epoch: Epoch,
     ) {
-        self.participants.entry(participant).or_default().reconciliations.push((recno, epoch));
+        self.participants.entry(participant).or_default().record_reconciliation(recno, epoch);
     }
 
     /// The participant's most recent reconciliation, if any.
@@ -167,7 +244,7 @@ impl DecisionLog {
         &self,
         participant: ParticipantId,
     ) -> Option<(ReconciliationId, Epoch)> {
-        self.participants.get(&participant).and_then(|r| r.reconciliations.last()).copied()
+        self.participants.get(&participant).and_then(|r| r.last_reconciliation())
     }
 
     /// The epoch of the participant's most recent reconciliation
@@ -178,12 +255,18 @@ impl DecisionLog {
 
     /// The next reconciliation number for the participant.
     pub fn next_reconciliation_id(&self, participant: ParticipantId) -> ReconciliationId {
-        self.last_reconciliation(participant).map(|(r, _)| r.next()).unwrap_or(ReconciliationId(1))
+        self.participants
+            .get(&participant)
+            .map(|r| r.next_reconciliation_id())
+            .unwrap_or(ReconciliationId(1))
     }
 
     /// The full reconciliation history of a participant.
     pub fn reconciliations(&self, participant: ParticipantId) -> Vec<(ReconciliationId, Epoch)> {
-        self.participants.get(&participant).map(|r| r.reconciliations.clone()).unwrap_or_default()
+        self.participants
+            .get(&participant)
+            .map(|r| r.reconciliations().to_vec())
+            .unwrap_or_default()
     }
 }
 
@@ -245,6 +328,21 @@ mod tests {
         log.record(p(1), x(3, 0), Decision::Rejected);
         log.record(p(1), x(3, 0), Decision::Accepted);
         assert!(log.is_accepted(p(1), x(3, 0)));
+    }
+
+    #[test]
+    fn snapshots_are_immutable_views() {
+        let mut rec = ParticipantRecord::new();
+        rec.record(x(2, 0), Decision::Accepted);
+        let snap = rec.accepted_snapshot();
+        assert!(snap.contains(&x(2, 0)));
+        // New decisions copy-on-write inside the record; the snapshot is
+        // unaffected.
+        rec.record(x(2, 1), Decision::Accepted);
+        assert!(!snap.contains(&x(2, 1)));
+        assert!(rec.accepted_set().contains(&x(2, 1)));
+        // A fresh snapshot sees the new decision.
+        assert!(rec.accepted_snapshot().contains(&x(2, 1)));
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum StorageError {
     TransactionLog(String),
     /// Persistence (serialisation or deserialisation) failed.
     Persistence(String),
+    /// A reconciliation-session operation referenced an unknown, expired or
+    /// foreign session handle.
+    Session(String),
 }
 
 impl fmt::Display for StorageError {
@@ -62,6 +65,7 @@ impl fmt::Display for StorageError {
             StorageError::UnknownEpoch(e) => write!(f, "unknown epoch {e}"),
             StorageError::TransactionLog(msg) => write!(f, "transaction log error: {msg}"),
             StorageError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+            StorageError::Session(msg) => write!(f, "reconciliation session error: {msg}"),
         }
     }
 }

@@ -32,7 +32,7 @@ pub mod persist;
 pub mod table;
 
 pub use database::Database;
-pub use decisions::{Decision, DecisionLog};
+pub use decisions::{Decision, DecisionLog, ParticipantRecord};
 pub use epoch::{EpochRegistry, PublicationStatus};
 pub use error::{Result, StorageError};
 pub use log::{LogEntry, TransactionLog};

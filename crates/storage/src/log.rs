@@ -13,14 +13,19 @@ use orchestra_model::{Epoch, ParticipantId, RelName, Schema, Transaction, Transa
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One entry of the published-transaction log.
+///
+/// The transaction is stored behind an [`Arc`] so that read paths (candidate
+/// construction, replay streams, point lookups) hand out shared references
+/// instead of deep copies.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LogEntry {
     /// Epoch in which the transaction was published.
     pub epoch: Epoch,
-    /// The published transaction.
-    pub transaction: Transaction,
+    /// The published transaction, shared with every reader.
+    pub transaction: Arc<Transaction>,
 }
 
 /// Append-only log of published transactions with epoch, id and
@@ -75,7 +80,7 @@ impl TransactionLog {
             )));
         }
         let pos = self.entries.len();
-        self.entries.push(LogEntry { epoch, transaction });
+        self.entries.push(LogEntry { epoch, transaction: Arc::new(transaction) });
         self.index_entry(pos);
         Ok(())
     }
@@ -92,7 +97,13 @@ impl TransactionLog {
 
     /// Looks up a transaction by id.
     pub fn get(&self, id: TransactionId) -> Option<&Transaction> {
-        self.by_id.get(&id).map(|&i| &self.entries[i].transaction)
+        self.by_id.get(&id).map(|&i| self.entries[i].transaction.as_ref())
+    }
+
+    /// Looks up a transaction by id, returning a shared handle (a
+    /// reference-count bump, never a deep copy).
+    pub fn get_arc(&self, id: TransactionId) -> Option<Arc<Transaction>> {
+        self.by_id.get(&id).map(|&i| Arc::clone(&self.entries[i].transaction))
     }
 
     /// The epoch in which a transaction was published.
@@ -114,7 +125,9 @@ impl TransactionLog {
     pub fn in_epoch(&self, epoch: Epoch) -> Vec<&Transaction> {
         self.by_epoch
             .get(&epoch.as_u64())
-            .map(|positions| positions.iter().map(|&i| &self.entries[i].transaction).collect())
+            .map(|positions| {
+                positions.iter().map(|&i| self.entries[i].transaction.as_ref()).collect()
+            })
             .unwrap_or_default()
     }
 
@@ -128,7 +141,7 @@ impl TransactionLog {
         }
         for (_, positions) in self.by_epoch.range((after.as_u64() + 1)..=(up_to.as_u64())) {
             for &i in positions {
-                out.push(&self.entries[i].transaction);
+                out.push(self.entries[i].transaction.as_ref());
             }
         }
         out
@@ -139,7 +152,7 @@ impl TransactionLog {
         self.entries
             .iter()
             .filter(|e| e.transaction.origin() == participant)
-            .map(|e| &e.transaction)
+            .map(|e| e.transaction.as_ref())
             .collect()
     }
 

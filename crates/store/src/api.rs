@@ -1,5 +1,33 @@
 //! The update-store interface shared by the centralised and distributed
 //! implementations.
+//!
+//! # Concurrency-ready design
+//!
+//! The paper's update store serves many peers at once (Section 5.2), so the
+//! trait is built for shared access:
+//!
+//! * every method takes `&self` — implementations synchronise internally
+//!   (the bundled stores shard their state per participant behind `RwLock`s),
+//!   so publishes and reconciliations from different participants proceed in
+//!   parallel against one `&Store`;
+//! * the trait is **object-safe**: drivers can hold a `&dyn UpdateStore`;
+//! * store-side cost is returned *per call* as a [`StoreTiming`] inside
+//!   [`Timed`], instead of being accumulated in store-internal mutable state
+//!   (the old `take_timing` pattern, which forced `&mut self` everywhere and
+//!   raced under concurrent callers);
+//! * reconciliation retrieval is **session-based and paged**: \
+//!   [`UpdateStore::begin_reconciliation`] opens a [`SessionInfo`] and
+//!   candidates are streamed in publication order through
+//!   [`UpdateStore::next_batch`], bounding peak memory instead of
+//!   materialising every candidate in one `Vec`. A session ends with
+//!   [`UpdateStore::commit_reconciliation`] (which durably records the
+//!   reconciliation, the decisions and the new epoch cursor) or
+//!   [`UpdateStore::abort_reconciliation`] (which leaves store state
+//!   untouched).
+//!
+//! [`ReconciliationSession`] is the ergonomic RAII handle over the raw
+//! session calls: it accumulates per-call timing, streams batches, and aborts
+//! on drop if neither finaliser ran.
 
 use orchestra_model::{
     Epoch, ParticipantId, ReconciliationId, Transaction, TransactionId, TrustPolicy,
@@ -7,27 +35,11 @@ use orchestra_model::{
 use orchestra_recon::CandidateTransaction;
 use orchestra_storage::Result;
 use rustc_hash::FxHashSet;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// The result of starting a reconciliation at the update store: the epoch the
-/// reconciliation is pinned to and the relevant (fully trusted, undecided)
-/// transactions, each with its priority and transaction extension already
-/// computed store-side — only relevant transactions and their extensions
-/// travel to the reconciling peer.
-#[derive(Debug, Clone)]
-pub struct RelevantTransactions {
-    /// The reconciliation number assigned by the store.
-    pub recno: ReconciliationId,
-    /// The largest stable epoch at the time of the call; the reconciliation
-    /// covers all transactions published after the participant's previous
-    /// reconciliation epoch up to and including this one.
-    pub epoch: Epoch,
-    /// The candidate transactions, in publication order.
-    pub candidates: Vec<CandidateTransaction>,
-}
-
-/// Timing breakdown accumulated inside the update store, used to reproduce
-/// the paper's store-time vs. local-time split (Figures 10 and 12).
+/// Timing breakdown of one update-store call, used to reproduce the paper's
+/// store-time vs. local-time split (Figures 10 and 12).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreTiming {
     /// Time spent computing inside the store (trust evaluation, extension
@@ -52,64 +64,260 @@ impl StoreTiming {
     }
 }
 
+/// A value returned by an update-store call, together with the store-side
+/// cost of producing it. Replaces the old store-internal timing accumulator,
+/// which required `&mut self` on every method and silently merged the costs
+/// of concurrent callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timed<T> {
+    /// The call's result.
+    pub value: T,
+    /// The store-side cost of this call alone.
+    pub timing: StoreTiming,
+}
+
+impl<T> Timed<T> {
+    /// Wraps a value with its timing.
+    pub fn new(value: T, timing: StoreTiming) -> Self {
+        Timed { value, timing }
+    }
+}
+
+/// An opaque handle naming one open reconciliation session at a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// The raw handle value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Metadata of a freshly opened reconciliation session: the reconciliation
+/// number the store will assign at commit, the epoch the session is pinned
+/// to, and an upper bound on the candidates still to stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session handle for the follow-up `next_batch` / `commit` /
+    /// `abort` calls.
+    pub session: SessionId,
+    /// The reconciliation number that will be recorded if the session
+    /// commits.
+    pub recno: ReconciliationId,
+    /// The largest stable epoch at open time; the session covers all
+    /// transactions published after the participant's previous reconciliation
+    /// epoch up to and including this one.
+    pub epoch: Epoch,
+    /// Upper bound on the number of candidates the session will stream
+    /// (undecided relevant entries pinned at open; untrusted entries are
+    /// filtered out batch-side and make the actual count smaller).
+    pub pending: usize,
+}
+
 /// The update store interface used by participants.
 ///
 /// Every implementation provides the operations listed in Section 5.2 of the
 /// paper: publish transactions, record reconciliations and decisions,
 /// retrieve the relevant transactions (with priorities and extensions) for a
 /// reconciliation, and expose the participant's durable accepted/rejected
-/// record.
-pub trait UpdateStore {
+/// record. All methods take `&self`; implementations synchronise internally
+/// and the trait is object-safe (see the module docs).
+pub trait UpdateStore: Send + Sync {
     /// Registers a participant and its trust policy. Trust predicates are
     /// evaluated inside the store so that only relevant transactions are sent
-    /// to the reconciling peer.
-    fn register_participant(&mut self, policy: TrustPolicy);
+    /// to the reconciling peer. Registering an already-registered participant
+    /// replaces its policy.
+    fn register_participant(&self, policy: TrustPolicy);
 
     /// Publishes a batch of transactions from a peer as one epoch. The store
     /// marks the publisher's own transactions as already accepted by it.
-    /// Returns the epoch assigned to the batch.
+    /// Returns the epoch assigned to the batch, with the call's store cost.
     fn publish(
-        &mut self,
+        &self,
         participant: ParticipantId,
         transactions: Vec<Transaction>,
-    ) -> Result<Epoch>;
+    ) -> Result<Timed<Epoch>>;
 
-    /// Starts a reconciliation for a participant: pins it to the largest
-    /// stable epoch, records it, and returns the relevant trusted
-    /// transactions together with their priorities and transaction
-    /// extensions.
-    fn begin_reconciliation(&mut self, participant: ParticipantId) -> Result<RelevantTransactions>;
+    /// Opens a reconciliation session for a participant, pinned to the
+    /// largest stable epoch. Nothing durable changes until the session
+    /// commits: aborting leaves the store byte-identical.
+    fn begin_reconciliation(&self, participant: ParticipantId) -> Result<Timed<SessionInfo>>;
 
-    /// Records the accept/reject decisions a participant made during a
-    /// reconciliation (deferred transactions stay soft at the client).
+    /// Streams the next batch of at most `max_candidates` candidate
+    /// transactions (trusted, undecided, with priorities and transaction
+    /// extensions computed store-side), in publication order. A batch
+    /// holding *fewer* than `max_candidates` candidates (in particular an
+    /// empty one) means the session is exhausted — implementations must only
+    /// return a short batch at end of stream.
+    fn next_batch(
+        &self,
+        session: SessionId,
+        max_candidates: usize,
+    ) -> Result<Timed<Vec<CandidateTransaction>>>;
+
+    /// Commits a session: durably records the reconciliation (recno and
+    /// epoch), the accept/reject decisions made during it (deferred
+    /// transactions stay soft at the client), and advances the participant's
+    /// epoch cursor. The session handle is consumed.
+    fn commit_reconciliation(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<StoreTiming>;
+
+    /// Aborts a session, leaving every piece of durable store state exactly
+    /// as it was before [`UpdateStore::begin_reconciliation`]. The session
+    /// handle is consumed. Aborting an unknown session is a no-op.
+    fn abort_reconciliation(&self, session: SessionId) -> Result<()>;
+
+    /// Records accept/reject decisions outside a session (conflict
+    /// resolution between reconciliations).
     fn record_decisions(
-        &mut self,
+        &self,
         participant: ParticipantId,
         accepted: &[TransactionId],
         rejected: &[TransactionId],
-    ) -> Result<()>;
+    ) -> Result<StoreTiming>;
 
-    /// The participant's most recent reconciliation number.
+    /// The participant's most recent *committed* reconciliation number.
     fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId;
 
-    /// The set of transactions the participant has rejected so far.
-    fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId>;
+    /// A shared snapshot of the transactions the participant has rejected so
+    /// far — a reference-count bump over the incrementally maintained record,
+    /// never a fresh set.
+    fn rejected_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>>;
 
-    /// The set of transactions the participant has accepted so far.
-    fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId>;
+    /// A shared snapshot of the transactions the participant has accepted so
+    /// far (see [`UpdateStore::rejected_set`]).
+    fn accepted_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>>;
 
-    /// Looks up a published transaction by id.
-    fn transaction(&self, id: TransactionId) -> Option<Transaction>;
+    /// Looks up a published transaction by id, sharing the log's copy.
+    fn transaction(&self, id: TransactionId) -> Option<Arc<Transaction>>;
 
     /// The transactions the participant has accepted, in publication order —
     /// the replay stream that reconstructs a participant's instance up to its
-    /// last reconciliation (the paper's soft-state property). This is a
-    /// recovery path and is not charged to the reconciliation cost model.
-    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Transaction>;
+    /// last reconciliation (the paper's soft-state property). Each entry
+    /// shares the log's copy. This is a recovery path and is not charged to
+    /// the reconciliation cost model.
+    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Arc<Transaction>>;
+}
 
-    /// Returns and resets the store-side timing accumulated since the last
-    /// call.
-    fn take_timing(&mut self) -> StoreTiming;
+/// Compile-time proof that the trait stays object-safe.
+const _: fn(&dyn UpdateStore) = |_| {};
+
+/// RAII handle over one paged reconciliation at a store.
+///
+/// Obtained from [`ReconciliationSession::open`]; stream candidates with
+/// [`ReconciliationSession::next_batch`] (or drain everything with
+/// [`ReconciliationSession::drain`]), then finish with
+/// [`ReconciliationSession::commit`] or [`ReconciliationSession::abort`].
+/// Dropping an unfinished session aborts it at the store, so durable state is
+/// never left pinned to a half-run reconciliation.
+#[derive(Debug)]
+pub struct ReconciliationSession<'a, S: UpdateStore + ?Sized> {
+    store: &'a S,
+    info: SessionInfo,
+    timing: StoreTiming,
+    finished: bool,
+}
+
+impl<'a, S: UpdateStore + ?Sized> ReconciliationSession<'a, S> {
+    /// Opens a session for `participant` at `store`.
+    pub fn open(store: &'a S, participant: ParticipantId) -> Result<Self> {
+        let opened = store.begin_reconciliation(participant)?;
+        Ok(ReconciliationSession {
+            store,
+            info: opened.value,
+            timing: opened.timing,
+            finished: false,
+        })
+    }
+
+    /// The reconciliation number the store will assign at commit.
+    pub fn recno(&self) -> ReconciliationId {
+        self.info.recno
+    }
+
+    /// The epoch the session is pinned to.
+    pub fn epoch(&self) -> Epoch {
+        self.info.epoch
+    }
+
+    /// Upper bound on the candidates still to stream.
+    pub fn pending_hint(&self) -> usize {
+        self.info.pending
+    }
+
+    /// Store-side cost accumulated by this session so far (open plus every
+    /// batch; the commit call reports its own cost).
+    pub fn timing(&self) -> StoreTiming {
+        self.timing
+    }
+
+    /// The next batch of at most `max_candidates` candidates, in publication
+    /// order. Empty means exhausted.
+    pub fn next_batch(&mut self, max_candidates: usize) -> Result<Vec<CandidateTransaction>> {
+        let batch = self.store.next_batch(self.info.session, max_candidates)?;
+        self.timing.accumulate(batch.timing);
+        Ok(batch.value)
+    }
+
+    /// Streams every remaining candidate in pages of `batch_size`, bounding
+    /// the store-side working set per call, and returns them concatenated.
+    /// A short page signals end of stream (the trait contract), so no extra
+    /// empty-page probe is issued.
+    pub fn drain(&mut self, batch_size: usize) -> Result<Vec<CandidateTransaction>> {
+        let size = batch_size.max(1);
+        let mut out = Vec::new();
+        loop {
+            let batch = self.next_batch(size)?;
+            let done = batch.len() < size;
+            out.extend(batch);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Commits the session (see [`UpdateStore::commit_reconciliation`]) and
+    /// returns the total store cost of the whole session including the
+    /// commit.
+    pub fn commit(
+        mut self,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<StoreTiming> {
+        self.finished = true;
+        let commit = self.store.commit_reconciliation(self.info.session, accepted, rejected)?;
+        let mut total = self.timing;
+        total.accumulate(commit);
+        Ok(total)
+    }
+
+    /// Aborts the session, leaving store state untouched.
+    pub fn abort(mut self) -> Result<()> {
+        self.finished = true;
+        self.store.abort_reconciliation(self.info.session)
+    }
+
+    /// Consumes the wrapper *without* finishing the session at the store,
+    /// returning the raw handle. The caller takes over responsibility for
+    /// calling [`UpdateStore::commit_reconciliation`] or
+    /// [`UpdateStore::abort_reconciliation`] on it.
+    pub fn detach(mut self) -> SessionId {
+        self.finished = true;
+        self.info.session
+    }
+}
+
+impl<S: UpdateStore + ?Sized> Drop for ReconciliationSession<'_, S> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.store.abort_reconciliation(self.info.session);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +335,16 @@ mod tests {
         assert_eq!(a.network, Duration::from_millis(10));
         assert_eq!(a.total(), Duration::from_millis(17));
         assert_eq!(StoreTiming::default().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn timed_carries_value_and_cost() {
+        let t = Timed::new(
+            42u32,
+            StoreTiming { compute: Duration::from_micros(1), network: Duration::ZERO },
+        );
+        assert_eq!(t.value, 42);
+        assert_eq!(t.timing.total(), Duration::from_micros(1));
+        assert_eq!(SessionId(7).as_u64(), 7);
     }
 }

@@ -8,37 +8,57 @@
 //! evaluation and transaction-extension construction), so each store
 //! implementation only adds its own cost model.
 //!
-//! # Incremental retrieval
+//! # Shard layout
+//!
+//! The catalogue is built for concurrent callers behind `&self`:
+//!
+//! * a **log shard** (`RwLock`) holds the epoch registry and the append-only
+//!   publication log — the only globally shared mutable state. Publishes
+//!   take its write lock (they serialise, exactly like the paper's single
+//!   epoch allocator); retrievals share its read lock;
+//! * a **per-participant shard** (`RwLock` each) holds that participant's
+//!   trust policy, its slice of the per-epoch trust-evaluated relevance
+//!   index, its epoch cursor and its durable decision record
+//!   ([`orchestra_storage::ParticipantRecord`]). Reconciliations and
+//!   decision commits from different participants touch different shards and
+//!   proceed in parallel;
+//! * a **session table** (`Mutex`, held only for pointer-sized bookkeeping)
+//!   tracks open reconciliation sessions. Session state is soft: nothing
+//!   durable changes until a session commits, so aborting one leaves the
+//!   catalogue byte-identical.
+//!
+//! Lock order is strictly `log → shard map → shard`; the session table is
+//! never held across another lock. That discipline makes the catalogue
+//! deadlock-free by construction.
+//!
+//! # Incremental, paged retrieval
 //!
 //! Reconciliation cost must scale with the *new* epochs a participant has not
-//! yet seen, not with total history. The catalogue therefore maintains, in
-//! addition to the raw log:
-//!
-//! * a **per-participant epoch cursor** — the epoch its last reconciliation
-//!   was pinned to, advanced by [`StoreCatalog::begin_reconciliation`];
-//! * a **per-epoch, trust-evaluated relevance index** — for every registered
-//!   participant, each published epoch maps to the transactions that did not
-//!   originate at that participant together with the priority its policy
-//!   assigns them (evaluated once, at publication time, exactly where the
-//!   paper pushes trust-predicate evaluation into the store);
-//! * **incrementally maintained accepted/rejected sets** (inside
-//!   [`DecisionLog`]), so the "already decided" filter is O(1) per candidate.
-//!
-//! Retrieval then walks only the index entries between the cursor and the
-//! reconciliation epoch, and candidate extensions share the log's update
-//! lists by reference count ([`Transaction::shared_updates`]) instead of
-//! deep-cloning transactions. The pre-cursor full-log path is preserved as
-//! [`StoreCatalog::relevant_transactions_rescan`] so the churn benchmark can
-//! measure the improvement against an honest baseline.
+//! yet seen, not with total history. Each shard therefore maintains a
+//! per-epoch, trust-evaluated relevance index (extended at publication time,
+//! exactly where the paper pushes trust-predicate evaluation into the store)
+//! and an epoch cursor advanced at session commit. Opening a session pins the
+//! undecided `(transaction, priority)` entries between the cursor and the
+//! session epoch; [`StoreCatalog::batch`] then materialises candidate
+//! extensions page by page, sharing the log's update lists by reference count
+//! — peak memory is bounded by the page size, not by history. The pre-cursor
+//! full-log path survives as the `rescan` session mode purely as the churn
+//! benchmark's baseline.
 
+use crate::api::{SessionId, SessionInfo};
 use orchestra_model::{
     Epoch, ParticipantId, Priority, ReconciliationId, Schema, Transaction, TransactionId,
     TrustPolicy,
 };
 use orchestra_recon::CandidateTransaction;
-use orchestra_storage::{Decision, DecisionLog, EpochRegistry, Result, TransactionLog};
+use orchestra_storage::{
+    Decision, EpochRegistry, ParticipantRecord, Result, StorageError, TransactionLog,
+};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One entry of the per-epoch relevance index: a transaction some participant
 /// may need to consider, with the priority its policy assigned at publication
@@ -46,24 +66,128 @@ use std::collections::BTreeMap;
 /// DHT cost model still charges a request/notification round trip for them.
 type RelevanceEntry = (TransactionId, Priority);
 
-/// The logical contents of an update store.
+/// The globally shared shard: epoch registry plus publication log.
 #[derive(Debug, Clone, Default)]
-pub struct StoreCatalog {
-    schema: Schema,
+struct LogShard {
     registry: EpochRegistry,
     log: TransactionLog,
-    decisions: DecisionLog,
-    policies: FxHashMap<ParticipantId, TrustPolicy>,
-    /// Per-participant, per-epoch trust-evaluated candidates.
-    relevance: FxHashMap<ParticipantId, BTreeMap<u64, Vec<RelevanceEntry>>>,
-    /// Per-participant epoch cursors (the epoch of the last reconciliation).
-    cursors: FxHashMap<ParticipantId, Epoch>,
+}
+
+/// One participant's shard: policy, relevance index slice, epoch cursor and
+/// durable decision record.
+#[derive(Debug, Clone)]
+struct ParticipantShard {
+    policy: TrustPolicy,
+    /// False for shards auto-created on behalf of a publisher that never
+    /// registered a policy; such shards hold decisions but no relevance
+    /// index and are not listed as participants.
+    registered: bool,
+    /// Per-epoch trust-evaluated candidates.
+    relevance: BTreeMap<u64, Vec<RelevanceEntry>>,
+    /// The epoch of the last committed reconciliation (`None` until the
+    /// first commit; falls back to the decision record's history).
+    cursor: Option<Epoch>,
+    record: ParticipantRecord,
+}
+
+impl ParticipantShard {
+    fn new(policy: TrustPolicy, registered: bool) -> Self {
+        ParticipantShard {
+            policy,
+            registered,
+            relevance: BTreeMap::new(),
+            cursor: None,
+            record: ParticipantRecord::new(),
+        }
+    }
+
+    fn epoch_cursor(&self) -> Epoch {
+        self.cursor.unwrap_or_else(|| {
+            self.record.last_reconciliation().map(|(_, e)| e).unwrap_or_default()
+        })
+    }
+}
+
+/// Soft state of one open reconciliation session.
+#[derive(Debug, Clone)]
+struct SessionState {
+    participant: ParticipantId,
+    recno: ReconciliationId,
+    epoch: Epoch,
+    /// Undecided relevant entries pinned at open, in publication order
+    /// (untrusted entries included for the DHT notification accounting).
+    pending: Vec<RelevanceEntry>,
+    /// Streaming position inside `pending`.
+    next: usize,
+    /// Accepted-set snapshot taken at open, used for extension pruning.
+    accepted: Arc<FxHashSet<TransactionId>>,
+    /// Baseline mode: deep-copy candidate update lists as the pre-cursor
+    /// code did.
+    rescan: bool,
+}
+
+/// A freshly opened session (see [`StoreCatalog::open_session`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OpenedSession {
+    /// The session handle.
+    pub session: SessionId,
+    /// Reconciliation number assigned at commit.
+    pub recno: ReconciliationId,
+    /// Epoch cursor before this session (exclusive lower bound).
+    pub previous: Epoch,
+    /// Epoch the session is pinned to (inclusive upper bound).
+    pub epoch: Epoch,
+    /// Number of pinned undecided entries (trusted and untrusted).
+    pub pending: usize,
+}
+
+impl OpenedSession {
+    /// The trait-level view of this session.
+    pub fn info(&self) -> SessionInfo {
+        SessionInfo {
+            session: self.session,
+            recno: self.recno,
+            epoch: self.epoch,
+            pending: self.pending,
+        }
+    }
+}
+
+/// One page of candidates streamed from a session (see
+/// [`StoreCatalog::batch`]).
+#[derive(Debug, Clone)]
+pub struct SessionBatch {
+    /// The session's participant.
+    pub participant: ParticipantId,
+    /// Trusted candidates with, for each, the number of extension members
+    /// that had to be fetched (used by the DHT store's message accounting).
+    pub candidates: Vec<(CandidateTransaction, usize)>,
+    /// Untrusted entries consumed by this page — no candidate travels, but
+    /// the DHT cost model charges a request/notification round trip each.
+    pub untrusted: Vec<TransactionId>,
+    /// True once the session has streamed every pinned entry.
+    pub exhausted: bool,
+}
+
+/// The logical contents of an update store, sharded for concurrent access.
+pub struct StoreCatalog {
+    schema: Schema,
+    log: RwLock<LogShard>,
+    shards: RwLock<FxHashMap<ParticipantId, Arc<RwLock<ParticipantShard>>>>,
+    sessions: Mutex<FxHashMap<u64, SessionState>>,
+    next_session: AtomicU64,
 }
 
 impl StoreCatalog {
     /// Creates an empty catalogue for the given schema.
     pub fn new(schema: Schema) -> Self {
-        StoreCatalog { schema, ..Default::default() }
+        StoreCatalog {
+            schema,
+            log: RwLock::new(LogShard::default()),
+            shards: RwLock::new(FxHashMap::default()),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(1),
+        }
     }
 
     /// The schema the store serves.
@@ -71,60 +195,118 @@ impl StoreCatalog {
         &self.schema
     }
 
-    /// The published-transaction log.
-    pub fn log(&self) -> &TransactionLog {
-        &self.log
+    /// Number of published transactions in the log.
+    pub fn log_len(&self) -> usize {
+        self.log.read().expect("log lock").log.len()
     }
 
-    /// The epoch registry.
-    pub fn registry(&self) -> &EpochRegistry {
-        &self.registry
+    /// The largest stable epoch (see
+    /// [`orchestra_storage::EpochRegistry::largest_stable_epoch`]).
+    pub fn largest_stable_epoch(&self) -> Epoch {
+        self.log.read().expect("log lock").registry.largest_stable_epoch()
+    }
+
+    fn shard_of(&self, participant: ParticipantId) -> Option<Arc<RwLock<ParticipantShard>>> {
+        self.shards.read().expect("shard map lock").get(&participant).cloned()
+    }
+
+    /// The shard for a participant, auto-created (unregistered, empty policy)
+    /// if missing — a publisher or reconciler does not have to register a
+    /// trust policy to own a decision record.
+    fn ensure_shard(&self, participant: ParticipantId) -> Arc<RwLock<ParticipantShard>> {
+        if let Some(shard) = self.shard_of(participant) {
+            return shard;
+        }
+        let mut map = self.shards.write().expect("shard map lock");
+        Arc::clone(map.entry(participant).or_insert_with(|| {
+            Arc::new(RwLock::new(ParticipantShard::new(TrustPolicy::new(participant), false)))
+        }))
     }
 
     /// Registers (or replaces) a participant's trust policy and (re)builds
     /// its slice of the relevance index from the already-published log.
     /// Registration is an out-of-band setup step; steady-state publications
     /// keep the index current incrementally.
-    pub fn register_policy(&mut self, policy: TrustPolicy) {
+    pub fn register_policy(&self, policy: TrustPolicy) {
         let participant = policy.owner();
+        // Lock order: log before shard map.
+        let log = self.log.read().expect("log lock");
         let mut index: BTreeMap<u64, Vec<RelevanceEntry>> = BTreeMap::new();
-        for entry in self.log.entries() {
-            let txn = &entry.transaction;
+        for entry in log.log.entries() {
+            let txn = entry.transaction.as_ref();
             if txn.origin() == participant {
                 continue;
             }
             let priority = policy.priority_of_transaction(txn, &self.schema);
             index.entry(entry.epoch.as_u64()).or_default().push((txn.id(), priority));
         }
-        self.relevance.insert(participant, index);
-        self.policies.insert(participant, policy);
+        let shard = self.ensure_shard(participant);
+        let mut shard = shard.write().expect("shard lock");
+        shard.policy = policy;
+        shard.registered = true;
+        shard.relevance = index;
+        drop(log);
     }
 
     /// The trust policy of a participant, if registered.
-    pub fn policy(&self, participant: ParticipantId) -> Option<&TrustPolicy> {
-        self.policies.get(&participant)
+    pub fn policy(&self, participant: ParticipantId) -> Option<TrustPolicy> {
+        let shard = self.shard_of(participant)?;
+        let shard = shard.read().expect("shard lock");
+        shard.registered.then(|| shard.policy.clone())
     }
 
-    /// All registered participants.
+    /// All registered participants, in order.
     pub fn participants(&self) -> Vec<ParticipantId> {
-        let mut ids: Vec<ParticipantId> = self.policies.keys().copied().collect();
+        let map = self.shards.read().expect("shard map lock");
+        let mut ids: Vec<ParticipantId> = map
+            .iter()
+            .filter(|(_, shard)| shard.read().expect("shard lock").registered)
+            .map(|(id, _)| *id)
+            .collect();
         ids.sort();
         ids
     }
 
     /// Publishes a batch of transactions from a peer as one epoch, marking
     /// the publisher's own transactions as accepted by it and extending every
-    /// other participant's relevance index with the new epoch's trust
-    /// evaluation.
+    /// registered participant's relevance index with the new epoch's trust
+    /// evaluation. Publishes serialise on the log shard's write lock; they
+    /// run in parallel with session paging only up to that lock.
     pub fn publish(
-        &mut self,
+        &self,
         participant: ParticipantId,
         transactions: Vec<Transaction>,
     ) -> Result<Epoch> {
-        let epoch = self.registry.begin_publish(participant);
-        for txn in transactions {
-            let id = txn.id();
-            for (other, policy) in &self.policies {
+        let publisher = self.ensure_shard(participant);
+        let mut log = self.log.write().expect("log lock");
+
+        // Validate the whole batch before mutating anything, so a duplicate
+        // id cannot leave a half-published epoch behind.
+        let mut batch_ids: FxHashSet<TransactionId> = FxHashSet::default();
+        for txn in &transactions {
+            if log.log.get(txn.id()).is_some() || !batch_ids.insert(txn.id()) {
+                return Err(StorageError::TransactionLog(format!(
+                    "transaction {} already published",
+                    txn.id()
+                )));
+            }
+        }
+
+        let epoch = log.registry.begin_publish(participant);
+        let shards: Vec<(ParticipantId, Arc<RwLock<ParticipantShard>>)> = {
+            let map = self.shards.read().expect("shard map lock");
+            map.iter().map(|(id, shard)| (*id, Arc::clone(shard))).collect()
+        };
+        // Each shard is locked once per *batch*, not once per transaction —
+        // the whole block runs inside the log write lock, so the serialised
+        // section should stay as short as possible.
+        for (other, shard) in &shards {
+            let mut shard = shard.write().expect("shard lock");
+            if !shard.registered {
+                continue;
+            }
+            let mut entries: Vec<RelevanceEntry> = Vec::new();
+            for txn in &transactions {
                 // Skip by transaction *origin* (not by publisher), matching
                 // the relevance filter and `register_policy`'s rebuild: a
                 // participant is never offered its own transactions even if
@@ -132,282 +314,368 @@ impl StoreCatalog {
                 if txn.origin() == *other {
                     continue;
                 }
-                let priority = policy.priority_of_transaction(&txn, &self.schema);
-                self.relevance
-                    .entry(*other)
-                    .or_default()
-                    .entry(epoch.as_u64())
-                    .or_default()
-                    .push((id, priority));
+                entries.push((txn.id(), shard.policy.priority_of_transaction(txn, &self.schema)));
             }
-            self.log.publish(epoch, txn)?;
-            self.decisions.record(participant, id, Decision::Accepted);
+            if !entries.is_empty() {
+                shard.relevance.entry(epoch.as_u64()).or_default().extend(entries);
+            }
         }
-        self.registry.finish_publish(epoch)?;
+        {
+            let mut publisher = publisher.write().expect("shard lock");
+            for txn in &transactions {
+                publisher.record.record(txn.id(), Decision::Accepted);
+            }
+        }
+        for txn in transactions {
+            log.log.publish(epoch, txn)?;
+        }
+        log.registry.finish_publish(epoch)?;
         Ok(epoch)
     }
 
     /// The participant's epoch cursor: the epoch of its most recent
-    /// reconciliation (`Epoch::ZERO` if it has never reconciled).
+    /// *committed* reconciliation (`Epoch::ZERO` if it has never reconciled).
     pub fn epoch_cursor(&self, participant: ParticipantId) -> Epoch {
-        self.cursors
-            .get(&participant)
-            .copied()
-            .unwrap_or_else(|| self.decisions.last_reconciliation_epoch(participant))
+        self.shard_of(participant)
+            .map(|shard| shard.read().expect("shard lock").epoch_cursor())
+            .unwrap_or_default()
     }
 
-    /// Pins a reconciliation for the participant to the largest stable epoch,
-    /// advances its epoch cursor, and returns `(recno, previous epoch,
-    /// reconciliation epoch)`.
-    pub fn begin_reconciliation(
-        &mut self,
-        participant: ParticipantId,
-    ) -> (ReconciliationId, Epoch, Epoch) {
-        let recno = self.decisions.next_reconciliation_id(participant);
-        let previous = self.epoch_cursor(participant);
-        let epoch = self.registry.largest_stable_epoch();
-        self.decisions.record_reconciliation(participant, recno, epoch);
-        self.cursors.insert(participant, epoch);
-        (recno, previous, epoch)
-    }
-
-    /// The trust-evaluated, undecided transactions for a reconciliation over
-    /// epochs `(previous, epoch]`, straight from the relevance index: every
-    /// entry that did not originate at the participant and that it has not
-    /// already decided, with the priority its policy assigned at publication
-    /// time. Untrusted entries are included (the DHT cost model charges a
-    /// notification for them); callers that only want candidates skip them.
+    /// Opens a reconciliation session: pins it to the largest stable epoch,
+    /// snapshots the undecided relevant entries between the participant's
+    /// cursor and that epoch, and returns the handle. Nothing durable changes
+    /// until [`StoreCatalog::commit_session`]; aborting leaves the catalogue
+    /// byte-identical.
     ///
-    /// Work is proportional to the transactions published in the requested
-    /// epoch range — the full log is never rescanned.
-    pub fn relevant_candidates(
-        &self,
-        participant: ParticipantId,
-        previous: Epoch,
-        epoch: Epoch,
-    ) -> Vec<(&Transaction, Priority)> {
-        let mut out = Vec::new();
-        if epoch <= previous {
-            return out;
-        }
-        let Some(index) = self.relevance.get(&participant) else { return out };
-        let accepted = self.decisions.accepted_set(participant);
-        let rejected = self.decisions.rejected_set(participant);
-        let decided = |id: &TransactionId| {
-            accepted.map(|s| s.contains(id)).unwrap_or(false)
-                || rejected.map(|s| s.contains(id)).unwrap_or(false)
-        };
-        for entries in index.range((previous.as_u64() + 1)..=epoch.as_u64()).map(|(_, e)| e) {
-            for (id, priority) in entries {
-                if decided(id) {
-                    continue;
-                }
-                if let Some(txn) = self.log.get(*id) {
-                    out.push((txn, *priority));
+    /// With `rescan` set, the entries are recomputed by scanning the full
+    /// publication log (origin, decision and trust re-filtered per call, the
+    /// decided set rebuilt from scratch) — the pre-cursor baseline the churn
+    /// benchmark measures against. Semantics are identical; cost is O(total
+    /// history) per open instead of O(new epochs).
+    ///
+    /// At most one session may be open per participant: overlapping sessions
+    /// for the same participant would commit duplicate reconciliation
+    /// numbers and could move the epoch cursor backwards, so the second
+    /// open errors. Sessions for *different* participants overlap freely.
+    pub fn open_session(&self, participant: ParticipantId, rescan: bool) -> Result<OpenedSession> {
+        let shard_arc = self.ensure_shard(participant);
+        // Lock order: log before shard.
+        let log = self.log.read().expect("log lock");
+        let shard = shard_arc.read().expect("shard lock");
+        let recno = shard.record.next_reconciliation_id();
+        let previous = shard.epoch_cursor();
+        let epoch = log.registry.largest_stable_epoch();
+
+        let (pending, accepted) = if rescan {
+            // Baseline: rebuild the decided set and re-evaluate trust over
+            // the full log slice, as the pre-cursor code did on every call.
+            let decided: FxHashSet<TransactionId> = shard
+                .record
+                .accepted_set()
+                .iter()
+                .chain(shard.record.rejected_set().iter())
+                .copied()
+                .collect();
+            let pending: Vec<RelevanceEntry> = log
+                .log
+                .entries()
+                .iter()
+                .filter(|e| e.epoch > previous && e.epoch <= epoch)
+                .map(|e| e.transaction.as_ref())
+                .filter(|t| t.origin() != participant)
+                .filter(|t| !decided.contains(&t.id()))
+                .map(|t| (t.id(), shard.policy.priority_of_transaction(t, &self.schema)))
+                .collect();
+            let accepted: FxHashSet<TransactionId> =
+                shard.record.accepted_set().iter().copied().collect();
+            (pending, Arc::new(accepted))
+        } else {
+            // Incremental path: walk only the index entries between the
+            // cursor and the session epoch; the decided filter is O(1) per
+            // entry against the incrementally maintained sets.
+            let mut pending = Vec::new();
+            if epoch > previous {
+                for entries in
+                    shard.relevance.range((previous.as_u64() + 1)..=epoch.as_u64()).map(|(_, e)| e)
+                {
+                    for (id, priority) in entries {
+                        if shard.record.decision(*id).is_none() {
+                            pending.push((*id, *priority));
+                        }
+                    }
                 }
             }
+            (pending, shard.record.accepted_snapshot())
+        };
+
+        let state = SessionState { participant, recno, epoch, pending, next: 0, accepted, rescan };
+        let handle = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let opened = OpenedSession {
+            session: SessionId(handle),
+            recno,
+            previous,
+            epoch,
+            pending: state.pending.len(),
+        };
+        drop(shard);
+        drop(log);
+        // Check-and-insert atomically under the session-table lock, so two
+        // racing opens for the same participant cannot both succeed.
+        let mut sessions = self.sessions.lock().expect("session table lock");
+        if sessions.values().any(|s| s.participant == participant) {
+            return Err(StorageError::Session(format!(
+                "participant {participant} already has an open reconciliation session"
+            )));
         }
-        out
+        sessions.insert(handle, state);
+        Ok(opened)
     }
 
-    /// The pre-cursor retrieval path, kept as the baseline for the churn
-    /// benchmark: rescans the full publication log, re-filters by origin,
-    /// decision record and trust, and returns owned transactions. Semantics
-    /// are identical to [`StoreCatalog::relevant_candidates`]; cost is
-    /// O(total history) per call.
-    pub fn relevant_transactions_rescan(
-        &self,
-        participant: ParticipantId,
-        previous: Epoch,
-        epoch: Epoch,
-    ) -> Vec<(Transaction, Priority)> {
-        // Rebuild the decided set from the decision record, as the
-        // pre-cursor code did on every call.
-        let decided: FxHashSet<TransactionId> = self
-            .decisions
-            .accepted(participant)
-            .into_iter()
-            .chain(self.decisions.rejected(participant))
-            .collect();
-        self.log
-            .entries()
-            .iter()
-            .filter(|e| e.epoch > previous && e.epoch <= epoch)
-            .map(|e| &e.transaction)
-            .filter(|t| t.origin() != participant)
-            .filter(|t| !decided.contains(&t.id()))
-            .map(|t| (t.clone(), self.priority_for(participant, t)))
-            .collect()
-    }
+    /// Streams the next page of a session: at most `max_candidates` trusted
+    /// candidates (with extensions), plus every untrusted entry passed over
+    /// on the way. Entries stream in publication order; an exhausted session
+    /// returns an empty page with `exhausted` set.
+    ///
+    /// Contract: a page with fewer than `max_candidates` candidates means
+    /// the session is exhausted — the only way a page ends early is running
+    /// out of pinned entries. Streaming drivers rely on this to avoid a
+    /// final empty-page probe.
+    pub fn batch(&self, session: SessionId, max_candidates: usize) -> Result<SessionBatch> {
+        let max = max_candidates.max(1);
+        // Take the page's entries under the session lock, then build
+        // candidates under the log lock alone (the accepted snapshot was
+        // pinned at open) — the session table is never held across another
+        // lock.
+        let (participant, entries, accepted, rescan, exhausted) = {
+            let mut sessions = self.sessions.lock().expect("session table lock");
+            let state = sessions.get_mut(&session.as_u64()).ok_or_else(|| {
+                StorageError::Session(format!("unknown session {}", session.as_u64()))
+            })?;
+            let mut entries = Vec::new();
+            let mut trusted = 0usize;
+            while state.next < state.pending.len() && trusted < max {
+                let entry = state.pending[state.next];
+                state.next += 1;
+                if !entry.1.is_untrusted() {
+                    trusted += 1;
+                }
+                entries.push(entry);
+            }
+            let exhausted = state.next >= state.pending.len();
+            (state.participant, entries, Arc::clone(&state.accepted), state.rescan, exhausted)
+        };
 
-    /// Baseline variant of [`StoreCatalog::build_candidate_with`] reproducing
-    /// the pre-cursor costs: every extension member's update list is
-    /// deep-copied (as the pre-interning code did) instead of shared with the
-    /// log by reference count. Used only by the rescan retrieval mode that
-    /// the churn benchmark measures against.
-    pub fn build_candidate_rescan(
-        &self,
-        accepted: &FxHashSet<TransactionId>,
-        txn: &Transaction,
-        priority: Priority,
-    ) -> (CandidateTransaction, usize) {
-        let member_ids = self.log.transaction_extension(txn, &self.schema, accepted);
-        let mut members = Vec::with_capacity(member_ids.len());
-        let mut fetched = 0usize;
-        for id in member_ids {
-            if id == txn.id() {
+        let log = self.log.read().expect("log lock");
+        let mut candidates = Vec::new();
+        let mut untrusted = Vec::new();
+        for (id, priority) in entries {
+            if priority.is_untrusted() {
+                untrusted.push(id);
                 continue;
             }
-            if let Some(t) = self.log.get(id) {
-                members.push((id, std::sync::Arc::new(t.updates().to_vec())));
-                fetched += 1;
-            }
+            let Some(txn) = log.log.get(id) else { continue };
+            let built = build_candidate(&log.log, &self.schema, &accepted, txn, priority, rescan);
+            candidates.push(built);
         }
-        members.push((txn.id(), std::sync::Arc::new(txn.updates().to_vec())));
-        (CandidateTransaction::from_members(txn.id(), priority, members), fetched)
+        Ok(SessionBatch { participant, candidates, untrusted, exhausted })
     }
 
-    /// Baseline accepted-set reconstruction, as the pre-cursor code performed
-    /// on every reconciliation: enumerate the participant's decisions, sort,
-    /// and collect into a fresh set.
-    pub fn accepted_set_rescan(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
-        self.decisions.accepted(participant).into_iter().collect()
+    /// Commits a session: records the decisions, the reconciliation `(recno,
+    /// epoch)` pair and the new epoch cursor in the participant's shard, and
+    /// drops the session. Returns the participant and committed recno/epoch.
+    pub fn commit_session(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<(ParticipantId, ReconciliationId, Epoch)> {
+        let state = self
+            .sessions
+            .lock()
+            .expect("session table lock")
+            .remove(&session.as_u64())
+            .ok_or_else(|| {
+                StorageError::Session(format!("unknown session {}", session.as_u64()))
+            })?;
+        let SessionState { participant, recno, epoch, accepted: snapshot, pending, .. } = state;
+        // Release the session's accepted-set snapshot *before* recording:
+        // while it is alive the shard's set is shared, and the first
+        // `record` would `Arc::make_mut`-deep-copy the whole set — an
+        // O(history) cost per commit.
+        drop(snapshot);
+        drop(pending);
+        let shard = self.ensure_shard(participant);
+        let mut shard = shard.write().expect("shard lock");
+        for id in accepted {
+            shard.record.record(*id, Decision::Accepted);
+        }
+        for id in rejected {
+            shard.record.record(*id, Decision::Rejected);
+        }
+        shard.record.record_reconciliation(recno, epoch);
+        shard.cursor = Some(epoch);
+        Ok((participant, recno, epoch))
     }
 
-    /// The relevant transactions for a reconciliation: every transaction
-    /// published in `(previous, epoch]` that did not originate at the
-    /// reconciling participant and that it has not already decided.
-    ///
-    /// Served from the relevance index, so the participant must have been
-    /// registered via [`StoreCatalog::register_policy`]; an unregistered
-    /// participant has no index and gets an empty result.
-    pub fn relevant_transactions(
+    /// Aborts a session. Durable state is untouched; the handle is dropped.
+    /// Returns whether the session existed.
+    pub fn abort_session(&self, session: SessionId) -> bool {
+        self.sessions.lock().expect("session table lock").remove(&session.as_u64()).is_some()
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.lock().expect("session table lock").len()
+    }
+
+    /// Records accept/reject decisions for a participant outside a session.
+    pub fn record_decisions(
         &self,
         participant: ParticipantId,
-        previous: Epoch,
-        epoch: Epoch,
-    ) -> Vec<Transaction> {
-        self.relevant_candidates(participant, previous, epoch)
-            .into_iter()
-            .map(|(t, _)| t.clone())
-            .collect()
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) {
+        let shard = self.ensure_shard(participant);
+        let mut shard = shard.write().expect("shard lock");
+        for id in accepted {
+            shard.record.record(*id, Decision::Accepted);
+        }
+        for id in rejected {
+            shard.record.record(*id, Decision::Rejected);
+        }
+    }
+
+    /// The participant's most recent committed reconciliation number.
+    pub fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
+        self.shard_of(participant)
+            .and_then(|shard| shard.read().expect("shard lock").record.last_reconciliation())
+            .map(|(r, _)| r)
+            .unwrap_or_default()
+    }
+
+    /// A shared snapshot of the participant's rejected set (a reference-count
+    /// bump over the incrementally maintained record).
+    pub fn rejected_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
+        self.shard_of(participant)
+            .map(|shard| shard.read().expect("shard lock").record.rejected_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// A shared snapshot of the participant's accepted set.
+    pub fn accepted_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
+        self.shard_of(participant)
+            .map(|shard| shard.read().expect("shard lock").record.accepted_snapshot())
+            .unwrap_or_default()
     }
 
     /// The priority the participant's policy assigns to a transaction
     /// ([`Priority::UNTRUSTED`] if the participant has no registered policy).
     pub fn priority_for(&self, participant: ParticipantId, txn: &Transaction) -> Priority {
-        self.policies
-            .get(&participant)
+        self.policy(participant)
             .map(|p| p.priority_of_transaction(txn, &self.schema))
             .unwrap_or(Priority::UNTRUSTED)
     }
 
-    /// Builds the candidate (transaction extension plus priority) for a
-    /// trusted transaction, excluding antecedents the participant has already
-    /// accepted. Returns the candidate together with the number of extension
-    /// members that had to be fetched (used by the DHT store's message
-    /// accounting).
-    pub fn build_candidate(
+    /// The transactions the participant has accepted, in publication order,
+    /// each sharing the log's copy. This is the replay stream used to
+    /// reconstruct a participant's instance from the store (the paper's
+    /// soft-state property).
+    pub fn accepted_in_publication_order(
         &self,
         participant: ParticipantId,
-        txn: &Transaction,
-        priority: Priority,
-    ) -> (CandidateTransaction, usize) {
-        static EMPTY: std::sync::OnceLock<FxHashSet<TransactionId>> = std::sync::OnceLock::new();
-        let accepted = self
-            .decisions
-            .accepted_set(participant)
-            .unwrap_or_else(|| EMPTY.get_or_init(FxHashSet::default));
-        self.build_candidate_with(accepted, txn, priority)
+    ) -> Vec<Arc<Transaction>> {
+        let Some(shard) = self.shard_of(participant) else { return Vec::new() };
+        let mut accepted: Vec<TransactionId> = {
+            let shard = shard.read().expect("shard lock");
+            shard.record.accepted_set().iter().copied().collect()
+        };
+        let log = self.log.read().expect("log lock");
+        accepted.sort_by_key(|id| log.log.position_of(*id).unwrap_or(usize::MAX));
+        accepted.into_iter().filter_map(|id| log.log.get_arc(id)).collect()
     }
 
-    /// Like [`StoreCatalog::build_candidate`] but reuses an already-available
-    /// accepted set. The extension members share the log's update lists by
-    /// reference count — no update is copied.
-    pub fn build_candidate_with(
-        &self,
-        accepted: &FxHashSet<TransactionId>,
-        txn: &Transaction,
-        priority: Priority,
-    ) -> (CandidateTransaction, usize) {
-        let member_ids = self.log.transaction_extension(txn, &self.schema, accepted);
-        let mut members = Vec::with_capacity(member_ids.len());
-        let mut fetched = 0usize;
-        for id in member_ids {
-            if id == txn.id() {
-                continue;
-            }
-            if let Some(t) = self.log.get(id) {
-                members.push((id, t.shared_updates()));
-                fetched += 1;
-            }
-        }
-        members.push((txn.id(), txn.shared_updates()));
-        (CandidateTransaction::from_members(txn.id(), priority, members), fetched)
+    /// Looks up a published transaction, sharing the log's copy.
+    pub fn transaction(&self, id: TransactionId) -> Option<Arc<Transaction>> {
+        self.log.read().expect("log lock").log.get_arc(id)
     }
+}
 
-    /// Records accept/reject decisions for a participant.
-    pub fn record_decisions(
-        &mut self,
-        participant: ParticipantId,
-        accepted: &[TransactionId],
-        rejected: &[TransactionId],
-    ) {
-        for id in accepted {
-            self.decisions.record(participant, *id, Decision::Accepted);
+/// Builds the candidate (transaction extension plus priority) for a trusted
+/// transaction, excluding antecedents the participant has already accepted.
+/// Returns the candidate together with the number of extension members that
+/// had to be fetched (used by the DHT store's message accounting). In
+/// `rescan` mode every member's update list is deep-copied, reproducing the
+/// pre-interning baseline cost; otherwise members share the log's update
+/// lists by reference count.
+fn build_candidate(
+    log: &TransactionLog,
+    schema: &Schema,
+    accepted: &FxHashSet<TransactionId>,
+    txn: &Transaction,
+    priority: Priority,
+    rescan: bool,
+) -> (CandidateTransaction, usize) {
+    let member_ids = log.transaction_extension(txn, schema, accepted);
+    let mut members = Vec::with_capacity(member_ids.len());
+    let mut fetched = 0usize;
+    for id in member_ids {
+        if id == txn.id() {
+            continue;
         }
-        for id in rejected {
-            self.decisions.record(participant, *id, Decision::Rejected);
+        if let Some(t) = log.get(id) {
+            let updates = if rescan { Arc::new(t.updates().to_vec()) } else { t.shared_updates() };
+            members.push((id, updates));
+            fetched += 1;
         }
     }
+    let root_updates = if rescan { Arc::new(txn.updates().to_vec()) } else { txn.shared_updates() };
+    members.push((txn.id(), root_updates));
+    (CandidateTransaction::from_members(txn.id(), priority, members), fetched)
+}
 
-    /// The participant's most recent reconciliation number.
-    pub fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
-        self.decisions.last_reconciliation(participant).map(|(r, _)| r).unwrap_or_default()
+impl Clone for StoreCatalog {
+    /// Deep-copies the durable catalogue state (log, registry, shards).
+    /// Open sessions are soft state and are *not* cloned — the clone starts
+    /// with an empty session table.
+    fn clone(&self) -> Self {
+        let log = self.log.read().expect("log lock").clone();
+        let shards: FxHashMap<ParticipantId, Arc<RwLock<ParticipantShard>>> = self
+            .shards
+            .read()
+            .expect("shard map lock")
+            .iter()
+            .map(|(id, shard)| {
+                (*id, Arc::new(RwLock::new(shard.read().expect("shard lock").clone())))
+            })
+            .collect();
+        StoreCatalog {
+            schema: self.schema.clone(),
+            log: RwLock::new(log),
+            shards: RwLock::new(shards),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(1),
+        }
     }
+}
 
-    /// The participant's rejected set (a clone of the incrementally
-    /// maintained record).
-    pub fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
-        self.decisions.rejected_set(participant).cloned().unwrap_or_default()
-    }
-
-    /// The transactions the participant has accepted, in publication order.
-    /// This is the replay stream used to reconstruct a participant's instance
-    /// from the store (the paper's soft-state property).
-    pub fn accepted_in_publication_order(&self, participant: ParticipantId) -> Vec<Transaction> {
-        let mut accepted: Vec<TransactionId> = self.decisions.accepted(participant);
-        accepted.sort_by_key(|id| self.log.position_of(*id).unwrap_or(usize::MAX));
-        accepted.into_iter().filter_map(|id| self.log.get(id).cloned()).collect()
-    }
-
-    /// The participant's accepted set (a clone of the incrementally
-    /// maintained record).
-    pub fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
-        self.decisions.accepted_set(participant).cloned().unwrap_or_default()
-    }
-
-    /// A reference to the participant's incrementally maintained accepted
-    /// set, if it has decided anything.
-    pub fn accepted_set_ref(
-        &self,
-        participant: ParticipantId,
-    ) -> Option<&FxHashSet<TransactionId>> {
-        self.decisions.accepted_set(participant)
-    }
-
-    /// A reference to the participant's incrementally maintained rejected
-    /// set, if it has decided anything.
-    pub fn rejected_set_ref(
-        &self,
-        participant: ParticipantId,
-    ) -> Option<&FxHashSet<TransactionId>> {
-        self.decisions.rejected_set(participant)
-    }
-
-    /// Looks up a published transaction.
-    pub fn transaction(&self, id: TransactionId) -> Option<Transaction> {
-        self.log.get(id).cloned()
+impl fmt::Debug for StoreCatalog {
+    /// Renders the *durable* state only (schema, log shard, participant
+    /// shards in id order). The session table and the handle counter are
+    /// soft state and are deliberately excluded, so an aborted session
+    /// leaves the Debug rendering byte-identical — the property the session
+    /// tests pin down.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let log = self.log.read().expect("log lock");
+        let shards = self.shards.read().expect("shard map lock");
+        let ordered: BTreeMap<ParticipantId, ParticipantShard> = shards
+            .iter()
+            .map(|(id, shard)| (*id, shard.read().expect("shard lock").clone()))
+            .collect();
+        f.debug_struct("StoreCatalog")
+            .field("schema", &self.schema)
+            .field("log", &*log)
+            .field("shards", &ordered)
+            .finish_non_exhaustive()
     }
 }
 
@@ -430,52 +698,69 @@ mod tests {
     }
 
     fn catalog_with_policies() -> StoreCatalog {
-        let mut cat = StoreCatalog::new(bioinformatics_schema());
+        let cat = StoreCatalog::new(bioinformatics_schema());
         cat.register_policy(TrustPolicy::new(p(1)).trusting(p(2), 1u32).trusting(p(3), 1u32));
         cat.register_policy(TrustPolicy::new(p(2)).trusting(p(1), 2u32).trusting(p(3), 1u32));
         cat.register_policy(TrustPolicy::new(p(3)).trusting(p(2), 1u32));
         cat
     }
 
+    /// Drains every entry of a fresh session, committing nothing.
+    fn session_entries(cat: &StoreCatalog, participant: ParticipantId) -> Vec<RelevanceEntry> {
+        let opened = cat.open_session(participant, false).unwrap();
+        let mut out = Vec::new();
+        loop {
+            let batch = cat.batch(opened.session, 100).unwrap();
+            out.extend(batch.candidates.iter().map(|(c, _)| (c.id, c.priority)));
+            out.extend(batch.untrusted.iter().map(|id| (*id, Priority::UNTRUSTED)));
+            if batch.exhausted {
+                break;
+            }
+        }
+        cat.abort_session(opened.session);
+        out
+    }
+
     #[test]
     fn publish_assigns_epochs_and_marks_own_accepted() {
-        let mut cat = catalog_with_policies();
+        let cat = catalog_with_policies();
         let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         let e = cat.publish(p(3), vec![x.clone()]).unwrap();
         assert_eq!(e, Epoch(1));
         assert!(cat.accepted_set(p(3)).contains(&x.id()));
-        assert_eq!(cat.registry().largest_stable_epoch(), Epoch(1));
-        assert_eq!(cat.transaction(x.id()).unwrap(), x);
+        assert_eq!(cat.largest_stable_epoch(), Epoch(1));
+        assert_eq!(cat.transaction(x.id()).unwrap().as_ref(), &x);
         assert_eq!(cat.participants(), vec![p(1), p(2), p(3)]);
+        assert_eq!(cat.log_len(), 1);
     }
 
     #[test]
-    fn relevant_transactions_exclude_own_and_decided() {
-        let mut cat = catalog_with_policies();
+    fn sessions_exclude_own_and_decided() {
+        let cat = catalog_with_policies();
         let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         let x2 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
         cat.publish(p(3), vec![x3.clone()]).unwrap();
         cat.publish(p(2), vec![x2.clone()]).unwrap();
 
-        let (recno, prev, epoch) = cat.begin_reconciliation(p(2));
-        assert_eq!(recno, ReconciliationId(1));
-        assert_eq!(prev, Epoch::ZERO);
-        assert_eq!(epoch, Epoch(2));
-        let relevant = cat.relevant_transactions(p(2), prev, epoch);
+        let opened = cat.open_session(p(2), false).unwrap();
+        assert_eq!(opened.recno, ReconciliationId(1));
+        assert_eq!(opened.previous, Epoch::ZERO);
+        assert_eq!(opened.epoch, Epoch(2));
+        let batch = cat.batch(opened.session, 10).unwrap();
         // p2's own transaction is excluded; p3's is relevant.
-        assert_eq!(relevant.len(), 1);
-        assert_eq!(relevant[0].id(), x3.id());
+        assert_eq!(batch.candidates.len(), 1);
+        assert_eq!(batch.candidates[0].0.id, x3.id());
+        cat.abort_session(opened.session);
 
         // After p2 rejects it, it is no longer relevant.
         cat.record_decisions(p(2), &[], &[x3.id()]);
-        let relevant = cat.relevant_transactions(p(2), prev, epoch);
-        assert!(relevant.is_empty());
+        assert!(session_entries(&cat, p(2)).is_empty());
         assert!(cat.rejected_set(p(2)).contains(&x3.id()));
     }
 
     #[test]
     fn priorities_follow_registered_policies() {
-        let mut cat = catalog_with_policies();
+        let cat = catalog_with_policies();
         let from1 = txn(1, 0, vec![Update::insert("Function", func("a", "b", "c"), p(1))]);
         cat.publish(p(1), vec![from1.clone()]).unwrap();
         assert_eq!(cat.priority_for(p(2), &from1), Priority(2));
@@ -484,11 +769,21 @@ mod tests {
         assert_eq!(cat.priority_for(p(9), &from1), Priority::UNTRUSTED);
         assert!(cat.policy(p(1)).is_some());
         assert!(cat.policy(p(9)).is_none());
+        // The publisher's auto-created shard never lists it as registered.
+        let unregistered = StoreCatalog::new(bioinformatics_schema());
+        unregistered
+            .publish(
+                p(7),
+                vec![txn(7, 0, vec![Update::insert("Function", func("x", "y", "z"), p(7))])],
+            )
+            .unwrap();
+        assert!(unregistered.participants().is_empty());
+        assert!(unregistered.policy(p(7)).is_none());
     }
 
     #[test]
     fn candidates_include_undecided_antecedents() {
-        let mut cat = catalog_with_policies();
+        let cat = catalog_with_policies();
         let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(3))]);
         let x1 = txn(
             2,
@@ -504,7 +799,11 @@ mod tests {
         cat.publish(p(2), vec![x1.clone()]).unwrap();
 
         // p1 trusts both; the candidate for x1 must carry x0 as a member.
-        let (cand, fetched) = cat.build_candidate(p(1), &x1, Priority(1));
+        let opened = cat.open_session(p(1), false).unwrap();
+        let batch = cat.batch(opened.session, 10).unwrap();
+        cat.abort_session(opened.session);
+        let (cand, fetched) =
+            batch.candidates.iter().find(|(c, _)| c.id == x1.id()).cloned().unwrap();
         assert_eq!(fetched, 1);
         assert_eq!(cand.members.len(), 2);
         assert_eq!(cand.members[0].0, x0.id());
@@ -512,33 +811,96 @@ mod tests {
 
         // Once p1 has accepted x0, the extension stops at x1.
         cat.record_decisions(p(1), &[x0.id()], &[]);
-        let (cand, fetched) = cat.build_candidate(p(1), &x1, Priority(1));
+        let opened = cat.open_session(p(1), false).unwrap();
+        let batch = cat.batch(opened.session, 10).unwrap();
+        cat.abort_session(opened.session);
+        let (cand, fetched) =
+            batch.candidates.iter().find(|(c, _)| c.id == x1.id()).cloned().unwrap();
         assert_eq!(fetched, 0);
         assert_eq!(cand.members.len(), 1);
     }
 
     #[test]
-    fn reconciliation_epochs_advance() {
-        let mut cat = catalog_with_policies();
+    fn committed_sessions_advance_the_cursor_and_recno() {
+        let cat = catalog_with_policies();
         let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         cat.publish(p(3), vec![x]).unwrap();
         assert_eq!(cat.epoch_cursor(p(1)), Epoch::ZERO);
-        let (r1, _, e1) = cat.begin_reconciliation(p(1));
-        assert_eq!((r1, e1), (ReconciliationId(1), Epoch(1)));
+        let opened = cat.open_session(p(1), false).unwrap();
+        assert_eq!((opened.recno, opened.epoch), (ReconciliationId(1), Epoch(1)));
+        // Nothing durable changed yet.
+        assert_eq!(cat.current_reconciliation(p(1)), ReconciliationId::default());
+        assert_eq!(cat.epoch_cursor(p(1)), Epoch::ZERO);
+        cat.commit_session(opened.session, &[], &[]).unwrap();
         assert_eq!(cat.current_reconciliation(p(1)), ReconciliationId(1));
         assert_eq!(cat.epoch_cursor(p(1)), Epoch(1));
 
         let y = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
         cat.publish(p(2), vec![y]).unwrap();
-        let (r2, prev, e2) = cat.begin_reconciliation(p(1));
-        assert_eq!(r2, ReconciliationId(2));
-        assert_eq!(prev, Epoch(1));
-        assert_eq!(e2, Epoch(2));
+        let opened = cat.open_session(p(1), false).unwrap();
+        assert_eq!(opened.recno, ReconciliationId(2));
+        assert_eq!(opened.previous, Epoch(1));
+        assert_eq!(opened.epoch, Epoch(2));
+        cat.commit_session(opened.session, &[], &[]).unwrap();
+    }
+
+    #[test]
+    fn aborted_sessions_change_nothing_and_unknown_handles_error() {
+        let cat = catalog_with_policies();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        cat.publish(p(3), vec![x]).unwrap();
+        let before = format!("{cat:?}");
+        let opened = cat.open_session(p(1), false).unwrap();
+        assert_eq!(cat.open_sessions(), 1);
+        assert!(cat.abort_session(opened.session));
+        assert_eq!(cat.open_sessions(), 0);
+        assert_eq!(format!("{cat:?}"), before);
+        // Double abort is a no-op; batch/commit on the dead handle error.
+        assert!(!cat.abort_session(opened.session));
+        assert!(matches!(cat.batch(opened.session, 1), Err(StorageError::Session(_))));
+        assert!(matches!(
+            cat.commit_session(opened.session, &[], &[]),
+            Err(StorageError::Session(_))
+        ));
+    }
+
+    #[test]
+    fn overlapping_sessions_for_one_participant_are_rejected() {
+        // Two live sessions for the same participant would commit duplicate
+        // recnos and could move the epoch cursor backwards; the second open
+        // must fail until the first finishes. Different participants overlap
+        // freely (covered by the interleaved-session integration test).
+        let cat = catalog_with_policies();
+        let first = cat.open_session(p(1), false).unwrap();
+        assert!(matches!(cat.open_session(p(1), false), Err(StorageError::Session(_))));
+        let other = cat.open_session(p(2), false).unwrap();
+        cat.abort_session(other.session);
+        cat.commit_session(first.session, &[], &[]).unwrap();
+        // After the commit, a fresh session opens with the next recno.
+        let second = cat.open_session(p(1), false).unwrap();
+        assert_eq!(second.recno, ReconciliationId(2));
+        cat.abort_session(second.session);
+    }
+
+    #[test]
+    fn duplicate_publication_is_rejected_atomically() {
+        // A batch containing an already-published (or internally duplicated)
+        // id fails before anything is mutated: no epoch is allocated, no
+        // relevance entry or decision leaks.
+        let cat = catalog_with_policies();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        cat.publish(p(3), vec![x.clone()]).unwrap();
+        let before = format!("{cat:?}");
+        let y = txn(3, 1, vec![Update::insert("Function", func("rat", "prot2", "b"), p(3))]);
+        assert!(cat.publish(p(3), vec![y.clone(), x.clone()]).is_err());
+        assert!(cat.publish(p(3), vec![y.clone(), y.clone()]).is_err());
+        assert_eq!(format!("{cat:?}"), before, "failed publish mutated the catalogue");
+        assert_eq!(cat.largest_stable_epoch(), Epoch(1));
     }
 
     #[test]
     fn relevance_index_matches_rescan_baseline() {
-        let mut cat = catalog_with_policies();
+        let cat = catalog_with_policies();
         let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         let x1 = txn(1, 0, vec![Update::insert("Function", func("dog", "prot9", "z"), p(1))]);
         let x2 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
@@ -548,23 +910,25 @@ mod tests {
         cat.record_decisions(p(1), &[x2.id()], &[]);
 
         for participant in [p(1), p(2), p(3)] {
-            let incremental: Vec<(TransactionId, Priority)> = cat
-                .relevant_candidates(participant, Epoch::ZERO, Epoch(3))
-                .into_iter()
-                .map(|(t, pr)| (t.id(), pr))
-                .collect();
-            let rescan: Vec<(TransactionId, Priority)> = cat
-                .relevant_transactions_rescan(participant, Epoch::ZERO, Epoch(3))
-                .into_iter()
-                .map(|(t, pr)| (t.id(), pr))
-                .collect();
+            let incremental = session_entries(&cat, participant);
+            let opened = cat.open_session(participant, true).unwrap();
+            let mut rescan = Vec::new();
+            loop {
+                let batch = cat.batch(opened.session, 100).unwrap();
+                rescan.extend(batch.candidates.iter().map(|(c, _)| (c.id, c.priority)));
+                rescan.extend(batch.untrusted.iter().map(|id| (*id, Priority::UNTRUSTED)));
+                if batch.exhausted {
+                    break;
+                }
+            }
+            cat.abort_session(opened.session);
             assert_eq!(incremental, rescan, "divergence for participant {participant}");
         }
     }
 
     #[test]
     fn late_registration_rebuilds_the_relevance_index() {
-        let mut cat = StoreCatalog::new(bioinformatics_schema());
+        let cat = StoreCatalog::new(bioinformatics_schema());
         cat.register_policy(TrustPolicy::new(p(2)));
         let x2 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
         cat.publish(p(2), vec![x2.clone()]).unwrap();
@@ -572,9 +936,24 @@ mod tests {
         // p1 registers only after the publication; its index must cover the
         // already-published epoch.
         cat.register_policy(TrustPolicy::new(p(1)).trusting(p(2), 3u32));
-        let found = cat.relevant_candidates(p(1), Epoch::ZERO, Epoch(1));
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].0.id(), x2.id());
-        assert_eq!(found[0].1, Priority(3));
+        let found = session_entries(&cat, p(1));
+        assert_eq!(found, vec![(x2.id(), Priority(3))]);
+    }
+
+    #[test]
+    fn clones_copy_durable_state_but_not_sessions() {
+        let cat = catalog_with_policies();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        cat.publish(p(3), vec![x.clone()]).unwrap();
+        let opened = cat.open_session(p(1), false).unwrap();
+        let copy = cat.clone();
+        assert_eq!(copy.open_sessions(), 0);
+        assert_eq!(copy.log_len(), 1);
+        assert_eq!(copy.participants(), cat.participants());
+        // The clone is independent: decisions recorded in one do not leak
+        // into the other.
+        copy.record_decisions(p(1), &[x.id()], &[]);
+        assert!(!cat.accepted_set(p(1)).contains(&x.id()));
+        cat.abort_session(opened.session);
     }
 }

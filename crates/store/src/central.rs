@@ -5,31 +5,43 @@
 //! evaluation and update-extension computation happen inside the DBMS so that
 //! only relevant transactions travel to the reconciling peer. This
 //! implementation keeps the same interface and division of labour on top of
-//! the `orchestra-storage` engine. Its cost model charges only store-side
-//! compute time (the constant number of LAN round trips is negligible at the
-//! paper's scale and is folded into compute).
+//! the `orchestra-storage` engine, behind the shared-reference
+//! [`UpdateStore`] trait: the sharded [`StoreCatalog`] serves publishes and
+//! reconciliation sessions from many participants in parallel against one
+//! `&CentralStore`.
+//!
+//! Its default cost model charges only store-side compute time (the constant
+//! number of LAN round trips is negligible at the paper's scale). For
+//! concurrency experiments, [`CentralStore::with_simulated_latency`] makes
+//! the LAN round trip *real*: every store call additionally blocks for the
+//! configured latency (charged to `network` time), so drivers that overlap
+//! calls from many threads show genuine wall-clock wins over serial drivers
+//! — the effect the paper's store sees when many peers reconcile at once.
 
-use crate::api::{RelevantTransactions, StoreTiming, UpdateStore};
+use crate::api::{SessionId, SessionInfo, StoreTiming, Timed, UpdateStore};
 use crate::catalog::StoreCatalog;
 use orchestra_model::{
     Epoch, ParticipantId, ReconciliationId, Schema, Transaction, TransactionId, TrustPolicy,
 };
+use orchestra_recon::CandidateTransaction;
 use orchestra_storage::Result;
 use rustc_hash::FxHashSet;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the store retrieves the relevant transactions for a reconciliation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RetrievalMode {
     /// Cursor-based incremental retrieval: walk the per-epoch trust-evaluated
-    /// relevance index from the participant's epoch cursor; per-call work is
-    /// proportional to the newly published epochs.
+    /// relevance index from the participant's epoch cursor; per-session work
+    /// is proportional to the newly published epochs.
     #[default]
     Incremental,
     /// The pre-cursor baseline: rescan the full publication log, re-filter by
-    /// trust and decision record, and rebuild the decided set on every call.
-    /// Kept (and exercised by the churn benchmark) to quantify the win of the
-    /// incremental path; per-call work grows with total history.
+    /// trust and decision record, and rebuild the decided set on every
+    /// session open. Kept (and exercised by the churn benchmark) to quantify
+    /// the win of the incremental path; per-session work grows with total
+    /// history.
     RescanBaseline,
 }
 
@@ -37,23 +49,35 @@ pub enum RetrievalMode {
 #[derive(Debug, Clone)]
 pub struct CentralStore {
     catalog: StoreCatalog,
-    timing: StoreTiming,
     retrieval: RetrievalMode,
+    /// Optional per-call LAN latency, physically slept and charged to
+    /// network time (zero by default).
+    latency: Duration,
 }
 
 impl CentralStore {
     /// Creates an empty central store for the given schema, using incremental
-    /// cursor-based retrieval.
+    /// cursor-based retrieval and no simulated latency.
     pub fn new(schema: Schema) -> Self {
         CentralStore::with_retrieval(schema, RetrievalMode::Incremental)
     }
 
     /// Creates an empty central store with an explicit retrieval mode.
     pub fn with_retrieval(schema: Schema, retrieval: RetrievalMode) -> Self {
+        CentralStore { catalog: StoreCatalog::new(schema), retrieval, latency: Duration::ZERO }
+    }
+
+    /// Creates an empty central store that blocks for `latency` on every
+    /// mutating or retrieving call, emulating the LAN round trip to the
+    /// paper's RDBMS-backed store. The latency is charged to the call's
+    /// `network` time. Used by the concurrent-churn benchmark: a parallel
+    /// driver overlaps the waits of many participants, a serial driver pays
+    /// their sum.
+    pub fn with_simulated_latency(schema: Schema, latency: Duration) -> Self {
         CentralStore {
             catalog: StoreCatalog::new(schema),
-            timing: StoreTiming::default(),
-            retrieval,
+            retrieval: RetrievalMode::default(),
+            latency,
         }
     }
 
@@ -62,113 +86,113 @@ impl CentralStore {
         self.retrieval
     }
 
+    /// The per-call simulated LAN latency (zero unless configured).
+    pub fn simulated_latency(&self) -> Duration {
+        self.latency
+    }
+
     /// The underlying catalogue (for inspection in tests and tools).
     pub fn catalog(&self) -> &StoreCatalog {
         &self.catalog
     }
 
-    fn timed<T>(&mut self, f: impl FnOnce(&mut StoreCatalog) -> T) -> T {
+    /// Runs a catalogue operation, measuring its compute time and charging
+    /// (and sleeping) the configured LAN latency.
+    fn timed<T>(&self, f: impl FnOnce(&StoreCatalog) -> T) -> Timed<T> {
         let start = Instant::now();
-        let out = f(&mut self.catalog);
-        self.timing.compute += start.elapsed();
-        out
+        let value = f(&self.catalog);
+        let compute = start.elapsed();
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        Timed::new(value, StoreTiming { compute, network: self.latency })
     }
 }
 
 impl UpdateStore for CentralStore {
-    fn register_participant(&mut self, policy: TrustPolicy) {
-        self.timed(|cat| cat.register_policy(policy));
+    fn register_participant(&self, policy: TrustPolicy) {
+        self.catalog.register_policy(policy);
     }
 
     fn publish(
-        &mut self,
+        &self,
         participant: ParticipantId,
         transactions: Vec<Transaction>,
-    ) -> Result<Epoch> {
-        self.timed(|cat| cat.publish(participant, transactions))
+    ) -> Result<Timed<Epoch>> {
+        let timed = self.timed(|cat| cat.publish(participant, transactions));
+        let timing = timed.timing;
+        timed.value.map(|epoch| Timed::new(epoch, timing))
     }
 
-    fn begin_reconciliation(&mut self, participant: ParticipantId) -> Result<RelevantTransactions> {
-        let retrieval = self.retrieval;
-        self.timed(|cat| {
-            let (recno, previous, epoch) = cat.begin_reconciliation(participant);
-            let candidates = match retrieval {
-                RetrievalMode::Incremental => {
-                    // O(new epochs): walk the relevance index from the cursor
-                    // and share the log's update lists by reference count.
-                    let empty = FxHashSet::default();
-                    let relevant = cat.relevant_candidates(participant, previous, epoch);
-                    let accepted = cat.accepted_set_ref(participant).unwrap_or(&empty);
-                    let mut candidates = Vec::with_capacity(relevant.len());
-                    for (txn, priority) in relevant {
-                        if priority.is_untrusted() {
-                            continue;
-                        }
-                        let (cand, _fetched) = cat.build_candidate_with(accepted, txn, priority);
-                        candidates.push(cand);
-                    }
-                    candidates
-                }
-                RetrievalMode::RescanBaseline => {
-                    // O(total history): the pre-cursor full-log rescan, with
-                    // the accepted set rebuilt per call and every candidate's
-                    // update lists deep-copied, as the pre-cursor code did.
-                    let relevant = cat.relevant_transactions_rescan(participant, previous, epoch);
-                    let accepted = cat.accepted_set_rescan(participant);
-                    let mut candidates = Vec::with_capacity(relevant.len());
-                    for (txn, priority) in &relevant {
-                        if priority.is_untrusted() {
-                            continue;
-                        }
-                        let (cand, _fetched) =
-                            cat.build_candidate_rescan(&accepted, txn, *priority);
-                        candidates.push(cand);
-                    }
-                    candidates
-                }
-            };
-            Ok(RelevantTransactions { recno, epoch, candidates })
-        })
+    fn begin_reconciliation(&self, participant: ParticipantId) -> Result<Timed<SessionInfo>> {
+        let rescan = self.retrieval == RetrievalMode::RescanBaseline;
+        let timed = self.timed(|cat| cat.open_session(participant, rescan));
+        let timing = timed.timing;
+        timed.value.map(|opened| Timed::new(opened.info(), timing))
+    }
+
+    fn next_batch(
+        &self,
+        session: SessionId,
+        max_candidates: usize,
+    ) -> Result<Timed<Vec<CandidateTransaction>>> {
+        let timed = self.timed(|cat| cat.batch(session, max_candidates));
+        let timing = timed.timing;
+        timed
+            .value
+            .map(|batch| Timed::new(batch.candidates.into_iter().map(|(c, _)| c).collect(), timing))
+    }
+
+    fn commit_reconciliation(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<StoreTiming> {
+        let timed = self.timed(|cat| cat.commit_session(session, accepted, rejected));
+        timed.value.map(|_| timed.timing)
+    }
+
+    fn abort_reconciliation(&self, session: SessionId) -> Result<()> {
+        self.catalog.abort_session(session);
+        Ok(())
     }
 
     fn record_decisions(
-        &mut self,
+        &self,
         participant: ParticipantId,
         accepted: &[TransactionId],
         rejected: &[TransactionId],
-    ) -> Result<()> {
-        self.timed(|cat| cat.record_decisions(participant, accepted, rejected));
-        Ok(())
+    ) -> Result<StoreTiming> {
+        let timed = self.timed(|cat| cat.record_decisions(participant, accepted, rejected));
+        Ok(timed.timing)
     }
 
     fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
         self.catalog.current_reconciliation(participant)
     }
 
-    fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+    fn rejected_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
         self.catalog.rejected_set(participant)
     }
 
-    fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+    fn accepted_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
         self.catalog.accepted_set(participant)
     }
 
-    fn transaction(&self, id: TransactionId) -> Option<Transaction> {
+    fn transaction(&self, id: TransactionId) -> Option<Arc<Transaction>> {
         self.catalog.transaction(id)
     }
 
-    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Transaction> {
+    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Arc<Transaction>> {
         self.catalog.accepted_in_publication_order(participant)
-    }
-
-    fn take_timing(&mut self) -> StoreTiming {
-        std::mem::take(&mut self.timing)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::ReconciliationSession;
     use orchestra_model::schema::bioinformatics_schema;
     use orchestra_model::{Priority, Tuple, Update};
 
@@ -185,7 +209,7 @@ mod tests {
     }
 
     fn store() -> CentralStore {
-        let mut s = CentralStore::new(bioinformatics_schema());
+        let s = CentralStore::new(bioinformatics_schema());
         s.register_participant(TrustPolicy::new(p(1)).trusting(p(2), 1u32).trusting(p(3), 1u32));
         s.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 2u32).trusting(p(3), 1u32));
         s.register_participant(TrustPolicy::new(p(3)).trusting(p(2), 1u32));
@@ -194,7 +218,7 @@ mod tests {
 
     #[test]
     fn publish_then_reconcile_returns_trusted_candidates() {
-        let mut s = store();
+        let s = store();
         let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         let x1 = txn(1, 0, vec![Update::insert("Function", func("dog", "prot9", "z"), p(1))]);
         s.publish(p(3), vec![x3.clone()]).unwrap();
@@ -202,64 +226,84 @@ mod tests {
 
         // p3 trusts only p2, so x1 is filtered out store-side and nothing is
         // relevant.
-        let rel = s.begin_reconciliation(p(3)).unwrap();
-        assert_eq!(rel.recno, ReconciliationId(1));
-        assert_eq!(rel.epoch, Epoch(2));
-        assert!(rel.candidates.is_empty());
+        let mut session = ReconciliationSession::open(&s, p(3)).unwrap();
+        assert_eq!(session.recno(), ReconciliationId(1));
+        assert_eq!(session.epoch(), Epoch(2));
+        assert!(session.drain(16).unwrap().is_empty());
+        session.commit(&[], &[]).unwrap();
 
         // p2 trusts both p1 and p3.
-        let rel = s.begin_reconciliation(p(2)).unwrap();
-        assert_eq!(rel.candidates.len(), 2);
-        let prios: Vec<Priority> = rel.candidates.iter().map(|c| c.priority).collect();
+        let mut session = ReconciliationSession::open(&s, p(2)).unwrap();
+        let candidates = session.drain(16).unwrap();
+        assert_eq!(candidates.len(), 2);
+        let prios: Vec<Priority> = candidates.iter().map(|c| c.priority).collect();
         assert!(prios.contains(&Priority(1)));
         assert!(prios.contains(&Priority(2)));
+        session.abort().unwrap();
     }
 
     #[test]
     fn repeated_reconciliations_do_not_replay_transactions() {
-        let mut s = store();
+        let s = store();
         let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         s.publish(p(3), vec![x3.clone()]).unwrap();
-        let rel1 = s.begin_reconciliation(p(2)).unwrap();
-        assert_eq!(rel1.candidates.len(), 1);
-        s.record_decisions(p(2), &[x3.id()], &[]).unwrap();
+        let mut session = ReconciliationSession::open(&s, p(2)).unwrap();
+        assert_eq!(session.drain(16).unwrap().len(), 1);
+        session.commit(&[x3.id()], &[]).unwrap();
 
         // Nothing new published: the second reconciliation sees nothing.
-        let rel2 = s.begin_reconciliation(p(2)).unwrap();
-        assert!(rel2.candidates.is_empty());
-        assert_eq!(rel2.recno, ReconciliationId(2));
+        let mut session = ReconciliationSession::open(&s, p(2)).unwrap();
+        assert_eq!(session.recno(), ReconciliationId(2));
+        assert!(session.drain(16).unwrap().is_empty());
+        session.commit(&[], &[]).unwrap();
         assert_eq!(s.current_reconciliation(p(2)), ReconciliationId(2));
     }
 
     #[test]
     fn decisions_are_durable_in_the_store() {
-        let mut s = store();
+        let s = store();
         let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         s.publish(p(3), vec![x3.clone()]).unwrap();
-        s.begin_reconciliation(p(1)).unwrap();
-        s.record_decisions(p(1), &[], &[x3.id()]).unwrap();
+        let session = ReconciliationSession::open(&s, p(1)).unwrap();
+        session.commit(&[], &[x3.id()]).unwrap();
         assert!(s.rejected_set(p(1)).contains(&x3.id()));
         assert!(s.accepted_set(p(3)).contains(&x3.id()));
-        assert_eq!(s.transaction(x3.id()).unwrap(), x3);
+        assert_eq!(s.transaction(x3.id()).unwrap().as_ref(), &x3);
         assert!(s.transaction(TransactionId::new(p(9), 9)).is_none());
     }
 
     #[test]
-    fn timing_is_accumulated_and_reset() {
-        let mut s = store();
+    fn per_call_timing_is_returned_not_accumulated() {
+        let s = store();
         let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
-        s.publish(p(3), vec![x3]).unwrap();
-        s.begin_reconciliation(p(2)).unwrap();
-        let t = s.take_timing();
-        assert!(t.network.is_zero());
-        // Compute time is positive but tiny; just ensure reset works.
-        let t2 = s.take_timing();
-        assert_eq!(t2, StoreTiming::default());
+        let published = s.publish(p(3), vec![x3]).unwrap();
+        assert!(published.timing.network.is_zero());
+        let opened = s.begin_reconciliation(p(2)).unwrap();
+        assert!(opened.timing.network.is_zero());
+        // Each call reports only its own cost; there is no store-side
+        // accumulator left to reset.
+        let batch = s.next_batch(opened.value.session, 8).unwrap();
+        assert_eq!(batch.value.len(), 1);
+        s.abort_reconciliation(opened.value.session).unwrap();
+    }
+
+    #[test]
+    fn simulated_latency_is_slept_and_charged() {
+        let s =
+            CentralStore::with_simulated_latency(bioinformatics_schema(), Duration::from_millis(2));
+        s.register_participant(TrustPolicy::new(p(1)).trusting(p(2), 1u32));
+        s.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
+        assert_eq!(s.simulated_latency(), Duration::from_millis(2));
+        let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+        let wall = Instant::now();
+        let published = s.publish(p(2), vec![x]).unwrap();
+        assert!(published.timing.network >= Duration::from_millis(2));
+        assert!(wall.elapsed() >= Duration::from_millis(2));
     }
 
     #[test]
     fn antecedent_chain_is_delivered_with_the_candidate() {
-        let mut s = store();
+        let s = store();
         let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(3))]);
         let x1 = txn(
             2,
@@ -273,8 +317,23 @@ mod tests {
         );
         s.publish(p(3), vec![x0.clone()]).unwrap();
         s.publish(p(2), vec![x1.clone()]).unwrap();
-        let rel = s.begin_reconciliation(p(1)).unwrap();
-        let cand_x1 = rel.candidates.iter().find(|c| c.id == x1.id()).unwrap();
+        let mut session = ReconciliationSession::open(&s, p(1)).unwrap();
+        let candidates = session.drain(16).unwrap();
+        session.abort().unwrap();
+        let cand_x1 = candidates.iter().find(|c| c.id == x1.id()).unwrap();
         assert_eq!(cand_x1.members.len(), 2);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_session_aborts_it() {
+        let s = store();
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        s.publish(p(3), vec![x3]).unwrap();
+        {
+            let _session = ReconciliationSession::open(&s, p(1)).unwrap();
+            assert_eq!(s.catalog().open_sessions(), 1);
+        }
+        assert_eq!(s.catalog().open_sessions(), 0);
+        assert_eq!(s.current_reconciliation(p(1)), ReconciliationId::default());
     }
 }

@@ -9,34 +9,44 @@
 //! chains requested one transaction at a time.
 //!
 //! The store's logical contents are identical to the centralised store (the
-//! shared [`StoreCatalog`]); what differs is the cost model: every protocol
-//! message is charged through the simulated network, which adds the
+//! shared, sharded [`StoreCatalog`]); what differs is the cost model: every
+//! protocol message is charged through the simulated network, which adds the
 //! configured per-message latency (500 µs by default, as in the paper's
-//! setup) and counts messages.
+//! setup) and counts messages. Under the session API the Figure 7 message
+//! pattern is charged as the session streams: the allocator, epoch-controller
+//! and coordinator round trips at [`UpdateStore::begin_reconciliation`], and
+//! the per-transaction and per-antecedent requests with each
+//! [`UpdateStore::next_batch`] page. The totals are identical to the old
+//! single-shot retrieval.
+//!
+//! The simulated network is a virtual-time model behind one `Mutex`: message
+//! charging is serialised (and each call's latency is attributed exactly to
+//! that call), while the logical catalogue work still proceeds in parallel
+//! across participant shards.
 
-use crate::api::{RelevantTransactions, StoreTiming, UpdateStore};
+use crate::api::{SessionId, SessionInfo, StoreTiming, Timed, UpdateStore};
 use crate::catalog::StoreCatalog;
 use orchestra_model::{
     Epoch, ParticipantId, ReconciliationId, Schema, Transaction, TransactionId, TrustPolicy,
 };
 use orchestra_net::{NetworkStats, NodeId, SimNetwork};
+use orchestra_recon::CandidateTransaction;
 use orchestra_storage::Result;
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashSet;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Approximate request size in bytes (ids and headers).
-const REQUEST_BYTES: u64 = 64;
+pub(crate) const REQUEST_BYTES: u64 = 64;
 /// Approximate per-update payload size in bytes.
-const UPDATE_BYTES: u64 = 128;
+pub(crate) const UPDATE_BYTES: u64 = 128;
 
 /// Distributed update store over the simulated Pastry-style overlay.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DhtStore {
     catalog: StoreCatalog,
-    network: SimNetwork,
-    peer_nodes: FxHashMap<ParticipantId, NodeId>,
+    network: Mutex<SimNetwork>,
     allocator_key: NodeId,
-    timing: StoreTiming,
 }
 
 impl DhtStore {
@@ -50,10 +60,8 @@ impl DhtStore {
     pub fn with_latency(schema: Schema, latency: Duration) -> Self {
         DhtStore {
             catalog: StoreCatalog::new(schema),
-            network: SimNetwork::with_latency(Vec::new(), latency),
-            peer_nodes: FxHashMap::default(),
+            network: Mutex::new(SimNetwork::with_latency(Vec::new(), latency)),
             allocator_key: NodeId::hash_str("orchestra/epoch-allocator"),
-            timing: StoreTiming::default(),
         }
     }
 
@@ -64,35 +72,25 @@ impl DhtStore {
 
     /// Cumulative network statistics (messages, hops, bytes, latency).
     pub fn network_stats(&self) -> NetworkStats {
-        self.network.stats()
+        self.network.lock().expect("network lock").stats()
     }
 
-    /// Mutable access to the simulated network, used by the network-centric
-    /// reconciliation mode to charge its additional message pattern. The
-    /// latency charged through this handle is folded into the store timing of
-    /// the next [`UpdateStore::take_timing`] call.
-    pub(crate) fn network_mut(&mut self) -> &mut SimNetwork {
-        &mut self.network
+    /// Number of overlay members.
+    pub fn overlay_len(&self) -> usize {
+        self.network.lock().expect("network lock").ring().len()
     }
 
-    /// Folds network latency charged outside the timed catalogue wrapper into
-    /// the store timing (used by the network-centric reconciliation mode).
-    pub(crate) fn record_network_latency(&mut self, micros: u64) {
-        self.timing.network += Duration::from_micros(micros);
+    /// The overlay node of a participant (public for the network-centric
+    /// driver and for tests).
+    pub fn peer_node(&self, participant: ParticipantId) -> NodeId {
+        NodeId::hash_str(&format!("participant-{}", participant.as_u32()))
     }
 
-    fn node_of(&self, participant: ParticipantId) -> NodeId {
-        self.peer_nodes
-            .get(&participant)
-            .copied()
-            .unwrap_or_else(|| NodeId::hash_str(&format!("participant-{}", participant.as_u32())))
-    }
-
-    fn epoch_key(epoch: Epoch) -> NodeId {
+    pub(crate) fn epoch_key(epoch: Epoch) -> NodeId {
         NodeId::hash_str(&format!("epoch/{}", epoch.as_u64()))
     }
 
-    fn txn_key(id: TransactionId) -> NodeId {
+    pub(crate) fn txn_key(id: TransactionId) -> NodeId {
         NodeId::hash_str(&format!("txn/{}/{}", id.participant.as_u32(), id.local))
     }
 
@@ -104,31 +102,35 @@ impl DhtStore {
         REQUEST_BYTES + UPDATE_BYTES * txn.len() as u64
     }
 
-    /// Runs a closure over the catalogue while measuring compute time and the
-    /// network latency the closure charges.
-    fn timed<T>(&mut self, f: impl FnOnce(&mut StoreCatalog, &mut SimNetwork, &DhtKeys) -> T) -> T {
-        let keys = DhtKeys { allocator: self.allocator_key };
-        let net_before = self.network.stats().latency_us;
-        let start = Instant::now();
-        let out = f(&mut self.catalog, &mut self.network, &keys);
-        self.timing.compute += start.elapsed();
-        let net_after = self.network.stats().latency_us;
-        self.timing.network += Duration::from_micros(net_after - net_before);
-        out
+    /// Runs a message-charging block under the network lock, returning the
+    /// closure's value and the virtual latency charged by *this* block alone
+    /// (exact even under concurrent callers, because the lock is held for
+    /// the whole block).
+    pub(crate) fn charged<T>(&self, f: impl FnOnce(&mut SimNetwork) -> T) -> (T, Duration) {
+        let mut net: MutexGuard<'_, SimNetwork> = self.network.lock().expect("network lock");
+        let before = net.stats().latency_us;
+        let out = f(&mut net);
+        let after = net.stats().latency_us;
+        (out, Duration::from_micros(after - before))
     }
 }
 
-/// Well-known keys of the DHT protocol.
-struct DhtKeys {
-    allocator: NodeId,
+impl Clone for DhtStore {
+    /// Deep-copies the durable store state; open sessions are not cloned.
+    fn clone(&self) -> Self {
+        DhtStore {
+            catalog: self.catalog.clone(),
+            network: Mutex::new(self.network.lock().expect("network lock").clone()),
+            allocator_key: self.allocator_key,
+        }
+    }
 }
 
 impl UpdateStore for DhtStore {
-    fn register_participant(&mut self, policy: TrustPolicy) {
+    fn register_participant(&self, policy: TrustPolicy) {
         let participant = policy.owner();
-        let node = NodeId::hash_str(&format!("participant-{}", participant.as_u32()));
-        self.peer_nodes.insert(participant, node);
-        self.network.join(node);
+        let node = self.peer_node(participant);
+        self.network.lock().expect("network lock").join(node);
         // Trust conditions are distributed to the transaction controllers;
         // registering them is an out-of-band setup step and is not charged to
         // reconciliation time.
@@ -136,26 +138,26 @@ impl UpdateStore for DhtStore {
     }
 
     fn publish(
-        &mut self,
+        &self,
         participant: ParticipantId,
         transactions: Vec<Transaction>,
-    ) -> Result<Epoch> {
-        let peer = self.node_of(participant);
-        self.timed(|cat, net, keys| {
-            // The logical publication (epoch allocation + log append) happens
-            // first so that every Figure 6 message is charged against the
-            // *actually allocated* epoch. An earlier version previewed the
-            // epoch number before allocation; had the preview ever diverged
-            // from the allocation, messages 2-3 would have been charged to
-            // the wrong epoch controller's key.
-            let txn_refs: Vec<(TransactionId, u64)> =
-                transactions.iter().map(|t| (t.id(), DhtStore::txn_bytes(t))).collect();
-            let epoch = cat.publish(participant, transactions)?;
+    ) -> Result<Timed<Epoch>> {
+        let peer = self.peer_node(participant);
+        let start = Instant::now();
+        // The logical publication (epoch allocation + log append) happens
+        // first so that every Figure 6 message is charged against the
+        // *actually allocated* epoch.
+        let txn_refs: Vec<(TransactionId, u64)> =
+            transactions.iter().map(|t| (t.id(), DhtStore::txn_bytes(t))).collect();
+        let epoch = self.catalog.publish(participant, transactions)?;
+        let compute = start.elapsed();
 
+        let ((), network) = self.charged(|net| {
             // Figure 6, messages 1-4: epoch allocation round trip, with the
             // allocator informing the epoch controller of the allocated
             // epoch.
-            let allocator = net.send_to_key(peer, keys.allocator, REQUEST_BYTES).unwrap_or(peer);
+            let allocator =
+                net.send_to_key(peer, self.allocator_key, REQUEST_BYTES).unwrap_or(peer);
             let epoch_controller = net
                 .send_to_key(allocator, DhtStore::epoch_key(epoch), REQUEST_BYTES)
                 .unwrap_or(allocator);
@@ -171,27 +173,27 @@ impl UpdateStore for DhtStore {
 
             // The peer then sends each transaction to its transaction
             // controller.
-            for (id, bytes) in txn_refs {
-                net.send_to_key(peer, DhtStore::txn_key(id), bytes);
+            for (id, bytes) in &txn_refs {
+                net.send_to_key(peer, DhtStore::txn_key(*id), *bytes);
             }
-            Ok(epoch)
-        })
+        });
+        Ok(Timed::new(epoch, StoreTiming { compute, network }))
     }
 
-    fn begin_reconciliation(&mut self, participant: ParticipantId) -> Result<RelevantTransactions> {
-        let peer = self.node_of(participant);
-        self.timed(|cat, net, keys| {
+    fn begin_reconciliation(&self, participant: ParticipantId) -> Result<Timed<SessionInfo>> {
+        let peer = self.peer_node(participant);
+        let start = Instant::now();
+        let opened = self.catalog.open_session(participant, false)?;
+        let compute = start.elapsed();
+
+        let ((), network) = self.charged(|net| {
             // Ask the epoch allocator for the most recent epoch.
-            net.round_trip(peer, keys.allocator, REQUEST_BYTES, REQUEST_BYTES);
-
-            let (recno, previous, epoch) = cat.begin_reconciliation(participant);
-
+            net.round_trip(peer, self.allocator_key, REQUEST_BYTES, REQUEST_BYTES);
             // Request the contents of every epoch since the previous
             // reconciliation from its epoch controller.
-            for e in (previous.as_u64() + 1)..=epoch.as_u64() {
+            for e in (opened.previous.as_u64() + 1)..=opened.epoch.as_u64() {
                 net.round_trip(peer, DhtStore::epoch_key(Epoch(e)), REQUEST_BYTES, REQUEST_BYTES);
             }
-
             // Record the reconciliation epoch at the peer coordinator.
             net.round_trip(
                 peer,
@@ -199,87 +201,113 @@ impl UpdateStore for DhtStore {
                 REQUEST_BYTES,
                 REQUEST_BYTES,
             );
+        });
+        Ok(Timed::new(opened.info(), StoreTiming { compute, network }))
+    }
 
-            // Request every undecided transaction published in the covered
-            // epochs from its transaction controller, straight from the
-            // per-epoch relevance index (the message pattern is unchanged:
-            // untrusted or irrelevant transactions still cost a request and a
-            // short notification reply; trusted ones also pull their
-            // antecedent chains, one request per antecedent).
-            let relevant = cat.relevant_candidates(participant, previous, epoch);
-            let empty = FxHashSet::default();
-            let accepted = cat.accepted_set_ref(participant).unwrap_or(&empty);
-            let mut candidates = Vec::new();
-            for (txn, priority) in relevant {
-                if priority.is_untrusted() {
-                    // Request + "untrusted" notification.
-                    net.round_trip(peer, DhtStore::txn_key(txn.id()), REQUEST_BYTES, REQUEST_BYTES);
-                    continue;
-                }
-                net.round_trip(
-                    peer,
-                    DhtStore::txn_key(txn.id()),
-                    REQUEST_BYTES,
-                    DhtStore::txn_bytes(txn),
-                );
-                let (cand, fetched_members) = cat.build_candidate_with(accepted, txn, priority);
-                // Each undecided antecedent is fetched from its own
-                // transaction controller.
-                for (member_id, member_updates) in cand.members.iter().take(fetched_members) {
+    fn next_batch(
+        &self,
+        session: SessionId,
+        max_candidates: usize,
+    ) -> Result<Timed<Vec<CandidateTransaction>>> {
+        let start = Instant::now();
+        let batch = self.catalog.batch(session, max_candidates)?;
+        let compute = start.elapsed();
+        let peer = self.peer_node(batch.participant);
+
+        // Charge the Figure 7 per-transaction traffic for this page: a
+        // request/notification round trip for every untrusted entry, a
+        // request/payload round trip for every trusted candidate, and one
+        // round trip per fetched antecedent.
+        let ((), network) = self.charged(|net| {
+            for id in &batch.untrusted {
+                net.round_trip(peer, DhtStore::txn_key(*id), REQUEST_BYTES, REQUEST_BYTES);
+            }
+            for (cand, fetched) in &batch.candidates {
+                let root_bytes = cand
+                    .members
+                    .last()
+                    .map(|(_, updates)| REQUEST_BYTES + UPDATE_BYTES * updates.len() as u64)
+                    .unwrap_or(REQUEST_BYTES);
+                net.round_trip(peer, DhtStore::txn_key(cand.id), REQUEST_BYTES, root_bytes);
+                for (member_id, member_updates) in cand.members.iter().take(*fetched) {
                     let bytes = REQUEST_BYTES + UPDATE_BYTES * member_updates.len() as u64;
                     net.round_trip(peer, DhtStore::txn_key(*member_id), REQUEST_BYTES, bytes);
                 }
-                candidates.push(cand);
             }
-            Ok(RelevantTransactions { recno, epoch, candidates })
-        })
+        });
+        let candidates = batch.candidates.into_iter().map(|(c, _)| c).collect();
+        Ok(Timed::new(candidates, StoreTiming { compute, network }))
     }
 
-    fn record_decisions(
-        &mut self,
-        participant: ParticipantId,
+    fn commit_reconciliation(
+        &self,
+        session: SessionId,
         accepted: &[TransactionId],
         rejected: &[TransactionId],
-    ) -> Result<()> {
-        let peer = self.node_of(participant);
-        self.timed(|cat, net, _keys| {
+    ) -> Result<StoreTiming> {
+        let start = Instant::now();
+        let (participant, _recno, _epoch) =
+            self.catalog.commit_session(session, accepted, rejected)?;
+        let compute = start.elapsed();
+        let peer = self.peer_node(participant);
+        let ((), network) = self.charged(|net| {
             // Notify each transaction controller of the decision.
             for id in accepted.iter().chain(rejected.iter()) {
                 net.send_to_key(peer, DhtStore::txn_key(*id), REQUEST_BYTES);
             }
-            cat.record_decisions(participant, accepted, rejected);
         });
+        Ok(StoreTiming { compute, network })
+    }
+
+    fn abort_reconciliation(&self, session: SessionId) -> Result<()> {
+        self.catalog.abort_session(session);
         Ok(())
+    }
+
+    fn record_decisions(
+        &self,
+        participant: ParticipantId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<StoreTiming> {
+        let peer = self.peer_node(participant);
+        let start = Instant::now();
+        self.catalog.record_decisions(participant, accepted, rejected);
+        let compute = start.elapsed();
+        let ((), network) = self.charged(|net| {
+            for id in accepted.iter().chain(rejected.iter()) {
+                net.send_to_key(peer, DhtStore::txn_key(*id), REQUEST_BYTES);
+            }
+        });
+        Ok(StoreTiming { compute, network })
     }
 
     fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
         self.catalog.current_reconciliation(participant)
     }
 
-    fn rejected_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+    fn rejected_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
         self.catalog.rejected_set(participant)
     }
 
-    fn accepted_set(&self, participant: ParticipantId) -> FxHashSet<TransactionId> {
+    fn accepted_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
         self.catalog.accepted_set(participant)
     }
 
-    fn transaction(&self, id: TransactionId) -> Option<Transaction> {
+    fn transaction(&self, id: TransactionId) -> Option<Arc<Transaction>> {
         self.catalog.transaction(id)
     }
 
-    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Transaction> {
+    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Arc<Transaction>> {
         self.catalog.accepted_in_publication_order(participant)
-    }
-
-    fn take_timing(&mut self) -> StoreTiming {
-        std::mem::take(&mut self.timing)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::ReconciliationSession;
     use orchestra_model::schema::bioinformatics_schema;
     use orchestra_model::{Tuple, Update};
 
@@ -296,7 +324,7 @@ mod tests {
     }
 
     fn store(n: u32) -> DhtStore {
-        let mut s = DhtStore::new(bioinformatics_schema());
+        let s = DhtStore::new(bioinformatics_schema());
         for i in 1..=n {
             let mut policy = TrustPolicy::new(p(i));
             for j in 1..=n {
@@ -312,34 +340,29 @@ mod tests {
     #[test]
     fn registration_joins_peers_to_the_overlay() {
         let s = store(5);
-        assert_eq!(s.network.ring().len(), 5);
+        assert_eq!(s.overlay_len(), 5);
         assert_eq!(s.catalog().participants().len(), 5);
     }
 
     #[test]
     fn publish_charges_protocol_messages() {
-        let mut s = store(5);
+        let s = store(5);
         let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         let before = s.network_stats().messages;
-        let epoch = s.publish(p(3), vec![x]).unwrap();
-        assert_eq!(epoch, Epoch(1));
+        let published = s.publish(p(3), vec![x]).unwrap();
+        assert_eq!(published.value, Epoch(1));
         let after = s.network_stats().messages;
         // At least the six messages of Figure 6 plus one per transaction.
         assert!(after - before >= 7, "only {} messages charged", after - before);
-        let timing = s.take_timing();
-        assert!(timing.network > Duration::ZERO);
+        assert!(published.timing.network > Duration::ZERO);
     }
 
     #[test]
     fn publish_charges_the_allocated_epoch_with_a_stable_pattern() {
         // Regression guard for the epoch-preview bug: the Figure 6 controller
-        // messages are charged only after `cat.publish` has allocated the
+        // messages are charged only after the catalogue has allocated the
         // epoch, so they are always keyed by the epoch actually assigned.
-        // The observable contract: epochs come back sequential, and the
-        // per-publication message pattern is independent of history (6
-        // protocol messages + 1 per transaction, each counted with its
-        // routing hops).
-        let mut s = store(4);
+        let s = store(4);
         let mut per_publish = Vec::new();
         for i in 0..3u64 {
             let x = txn(
@@ -348,13 +371,10 @@ mod tests {
                 vec![Update::insert("Function", func("rat", &format!("p{i}"), "v"), p(2))],
             );
             let before = s.network_stats().messages;
-            let epoch = s.publish(p(2), vec![x]).unwrap();
-            assert_eq!(epoch, Epoch(i + 1), "epochs must be allocated sequentially");
+            let published = s.publish(p(2), vec![x]).unwrap();
+            assert_eq!(published.value, Epoch(i + 1), "epochs must be allocated sequentially");
             per_publish.push(s.network_stats().messages - before);
         }
-        // Identical batches route to differently-keyed controllers, but the
-        // logical message count (ignoring per-hop variation) never shrinks
-        // with history; each publish charges at least the 7 Figure 6 legs.
         for &m in &per_publish {
             assert!(m >= 7, "a publish charged only {m} messages");
         }
@@ -362,7 +382,7 @@ mod tests {
 
     #[test]
     fn reconciliation_charges_per_transaction_and_antecedent_requests() {
-        let mut s = store(5);
+        let s = store(5);
         let x0 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(3))]);
         let x1 = txn(
             2,
@@ -376,12 +396,12 @@ mod tests {
         );
         s.publish(p(3), vec![x0.clone()]).unwrap();
         s.publish(p(2), vec![x1.clone()]).unwrap();
-        s.take_timing();
         let stats_before = s.network_stats().messages;
 
-        let rel = s.begin_reconciliation(p(1)).unwrap();
-        assert_eq!(rel.candidates.len(), 2);
-        let cand_x1 = rel.candidates.iter().find(|c| c.id == x1.id()).unwrap();
+        let mut session = ReconciliationSession::open(&s, p(1)).unwrap();
+        let candidates = session.drain(16).unwrap();
+        assert_eq!(candidates.len(), 2);
+        let cand_x1 = candidates.iter().find(|c| c.id == x1.id()).unwrap();
         assert_eq!(cand_x1.members.len(), 2);
 
         let stats_after = s.network_stats().messages;
@@ -393,56 +413,92 @@ mod tests {
             "only {} messages charged",
             stats_after - stats_before
         );
-        let timing = s.take_timing();
+        let timing = session.timing();
         assert!(timing.network >= Duration::from_micros(14 * 500));
+        session.abort().unwrap();
+    }
+
+    #[test]
+    fn paging_splits_but_preserves_the_message_pattern() {
+        // The same published state drained in one page versus many: the
+        // candidate stream and the total message count are identical.
+        let build = || {
+            let s = store(5);
+            for i in 2..=5u32 {
+                let t = txn(
+                    i,
+                    0,
+                    vec![Update::insert("Function", func("rat", &format!("prot{i}"), "v"), p(i))],
+                );
+                s.publish(p(i), vec![t]).unwrap();
+            }
+            s
+        };
+
+        let one_page = build();
+        let before = one_page.network_stats().messages;
+        let mut session = ReconciliationSession::open(&one_page, p(1)).unwrap();
+        let all = session.drain(100).unwrap();
+        session.abort().unwrap();
+        let one_page_messages = one_page.network_stats().messages - before;
+
+        let paged = build();
+        let before = paged.network_stats().messages;
+        let mut session = ReconciliationSession::open(&paged, p(1)).unwrap();
+        let pages = session.drain(1).unwrap();
+        session.abort().unwrap();
+        let paged_messages = paged.network_stats().messages - before;
+
+        assert_eq!(
+            all.iter().map(|c| c.id).collect::<Vec<_>>(),
+            pages.iter().map(|c| c.id).collect::<Vec<_>>()
+        );
+        assert_eq!(one_page_messages, paged_messages);
     }
 
     #[test]
     fn untrusted_transactions_still_cost_a_notification() {
-        let mut s = DhtStore::new(bioinformatics_schema());
+        let s = DhtStore::new(bioinformatics_schema());
         // p1 trusts nobody; p2 publishes something.
         s.register_participant(TrustPolicy::new(p(1)));
         s.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
         let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
         s.publish(p(2), vec![x]).unwrap();
-        s.take_timing();
         let before = s.network_stats().messages;
-        let rel = s.begin_reconciliation(p(1)).unwrap();
-        assert!(rel.candidates.is_empty());
+        let mut session = ReconciliationSession::open(&s, p(1)).unwrap();
+        assert!(session.drain(16).unwrap().is_empty());
+        session.abort().unwrap();
         assert!(s.network_stats().messages > before);
     }
 
     #[test]
     fn decisions_are_recorded_and_charged() {
-        let mut s = store(3);
+        let s = store(3);
         let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
         s.publish(p(3), vec![x.clone()]).unwrap();
-        s.begin_reconciliation(p(1)).unwrap();
+        let session = ReconciliationSession::open(&s, p(1)).unwrap();
         let before = s.network_stats().messages;
-        s.record_decisions(p(1), &[x.id()], &[]).unwrap();
+        session.commit(&[x.id()], &[]).unwrap();
         assert!(s.network_stats().messages > before);
         assert!(s.accepted_set(p(1)).contains(&x.id()));
         assert_eq!(s.current_reconciliation(p(1)), ReconciliationId(1));
-        assert_eq!(s.transaction(x.id()).unwrap(), x);
+        assert_eq!(s.transaction(x.id()).unwrap().as_ref(), &x);
     }
 
     #[test]
     fn custom_latency_scales_network_time() {
-        let mut fast = DhtStore::with_latency(bioinformatics_schema(), Duration::from_micros(10));
-        fast.register_participant(TrustPolicy::new(p(1)).trusting(p(2), 1u32));
-        fast.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
-        let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
-        fast.publish(p(2), vec![x]).unwrap();
-        fast.begin_reconciliation(p(1)).unwrap();
-        let fast_time = fast.take_timing().network;
-
-        let mut slow = DhtStore::with_latency(bioinformatics_schema(), Duration::from_millis(5));
-        slow.register_participant(TrustPolicy::new(p(1)).trusting(p(2), 1u32));
-        slow.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
-        let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
-        slow.publish(p(2), vec![x]).unwrap();
-        slow.begin_reconciliation(p(1)).unwrap();
-        let slow_time = slow.take_timing().network;
-        assert!(slow_time > fast_time);
+        let run = |latency| {
+            let s = DhtStore::with_latency(bioinformatics_schema(), latency);
+            s.register_participant(TrustPolicy::new(p(1)).trusting(p(2), 1u32));
+            s.register_participant(TrustPolicy::new(p(2)).trusting(p(1), 1u32));
+            let x = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
+            let mut timing = s.publish(p(2), vec![x]).unwrap().timing;
+            let mut session = ReconciliationSession::open(&s, p(1)).unwrap();
+            session.drain(16).unwrap();
+            timing.accumulate(session.timing());
+            session.abort().unwrap();
+            timing.network
+        };
+        assert!(run(Duration::from_millis(5)) > run(Duration::from_micros(10)));
     }
 }

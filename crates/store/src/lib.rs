@@ -5,7 +5,11 @@
 //! reconciliation, and hold the per-participant accepted/rejected record so
 //! that clients carry only soft state. This crate provides:
 //!
-//! * [`UpdateStore`] — the store interface used by participants.
+//! * [`UpdateStore`] — the store interface used by participants: object-safe,
+//!   `&self` throughout (implementations shard state internally so many
+//!   participants publish and reconcile in parallel against one shared
+//!   reference), with per-call [`StoreTiming`] returned in [`Timed`] values
+//!   and session-based paged retrieval ([`ReconciliationSession`]).
 //! * [`CentralStore`] — the centralised implementation backed by the
 //!   `orchestra-storage` engine (the paper's RDBMS-based store,
 //!   Section 5.2.1), with decoupled publish/reconcile epochs and store-side
@@ -15,6 +19,20 @@
 //!   Section 5.2.2), with an epoch allocator, per-epoch epoch controllers and
 //!   per-transaction transaction controllers, charging one simulated message
 //!   per protocol step of the paper's Figures 6 and 7.
+//!
+//! # Migration from the `&mut self` trait
+//!
+//! Until PR 2 the trait took `&mut self` everywhere, retrieval materialised
+//! every candidate in one `RelevantTransactions` vector, and store cost was
+//! read back through a `take_timing` accumulator. The mapping to the new API:
+//!
+//! | old | new |
+//! |-----|-----|
+//! | `store.begin_reconciliation(p)?` | `ReconciliationSession::open(&store, p)?` + `session.drain(n)?` |
+//! | `store.record_decisions(p, a, r)` after a reconciliation | `session.commit(a, r)?` |
+//! | `store.take_timing()` | per-call `Timed::timing` / the session's `timing()` |
+//! | `store.accepted_set(p)` (fresh `FxHashSet`) | shared `Arc` snapshot |
+//! | `store.transaction(id)` (deep clone) | `Arc<Transaction>` sharing the log |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,8 +43,8 @@ pub mod central;
 pub mod dht;
 pub mod network_centric;
 
-pub use api::{RelevantTransactions, StoreTiming, UpdateStore};
-pub use catalog::StoreCatalog;
+pub use api::{ReconciliationSession, SessionId, SessionInfo, StoreTiming, Timed, UpdateStore};
+pub use catalog::{OpenedSession, SessionBatch, StoreCatalog};
 pub use central::{CentralStore, RetrievalMode};
 pub use dht::DhtStore;
 pub use network_centric::NetworkCentricPlan;

@@ -2,27 +2,32 @@
 //!
 //! Section 5 of the paper contrasts two ways of organising reconciliation.
 //! The *client-centric* algorithm (implemented by [`crate::DhtStore`]'s
-//! [`crate::UpdateStore::begin_reconciliation`] plus the local
-//! `ReconcileUpdates` engine) retrieves every relevant transaction and its
-//! antecedent chain to the reconciling peer and performs all conflict
-//! detection locally. The *network-centric* alternative distributes that work
-//! across the network: transaction controllers resolve antecedent chains and
-//! compute flattened update extensions where the transactions live, and the
-//! owners of the conflicting keys detect conflicts, so the reconciling peer
-//! only merges verdicts and applies updates. The trade-off, as the paper's
-//! Figure 3 summarises, is more messages in exchange for less work at the
-//! reconciling peer.
+//! session-based [`UpdateStore`] retrieval plus the local `ReconcileUpdates`
+//! engine) retrieves every relevant transaction and its antecedent chain to
+//! the reconciling peer and performs all conflict detection locally. The
+//! *network-centric* alternative distributes that work across the network:
+//! transaction controllers resolve antecedent chains and compute flattened
+//! update extensions where the transactions live, and the owners of the
+//! conflicting keys detect conflicts, so the reconciling peer only merges
+//! verdicts and applies updates. The trade-off, as the paper's Figure 3
+//! summarises, is more messages in exchange for less work at the reconciling
+//! peer.
 //!
 //! The reconciliation *semantics* are identical in both modes — the same
 //! transactions are accepted, rejected and deferred — which the integration
 //! tests assert; what changes is where the computation happens and the
 //! message pattern charged to the simulated network.
+//!
+//! Under the session API the plan carries the open [`SessionId`]: the caller
+//! decides against the plan's candidates and then finishes the session with
+//! [`crate::UpdateStore::commit_reconciliation`] (or aborts it), exactly as
+//! in the client-centric mode.
 
-use crate::api::RelevantTransactions;
+use crate::api::{SessionId, StoreTiming, Timed, UpdateStore};
 use crate::dht::DhtStore;
-use crate::UpdateStore;
-use orchestra_model::{KeyValue, ParticipantId, RelName, TransactionId};
+use orchestra_model::{Epoch, KeyValue, ParticipantId, ReconciliationId, RelName, TransactionId};
 use orchestra_recon::extension::conflict_keys_between;
+use orchestra_recon::CandidateTransaction;
 use orchestra_storage::Result;
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -31,14 +36,21 @@ const CONTROL_BYTES: u64 = 64;
 /// Approximate size of a flattened-extension summary in bytes per update.
 const SUMMARY_BYTES_PER_UPDATE: u64 = 96;
 
-/// The result of starting a network-centric reconciliation: the relevant
-/// candidates (with extensions already flattened remotely) plus the pairwise
-/// direct conflicts detected by the key controllers.
+/// The result of starting a network-centric reconciliation: the open session
+/// (to be committed or aborted by the caller), the relevant candidates (with
+/// extensions already flattened remotely) and the pairwise direct conflicts
+/// detected by the key controllers.
 #[derive(Debug, Clone)]
 pub struct NetworkCentricPlan {
-    /// The candidates and reconciliation epoch, exactly as in the
-    /// client-centric mode.
-    pub relevant: RelevantTransactions,
+    /// The open reconciliation session at the store; decisions are recorded
+    /// by committing it.
+    pub session: SessionId,
+    /// The reconciliation number the commit will record.
+    pub recno: ReconciliationId,
+    /// The epoch the session is pinned to.
+    pub epoch: Epoch,
+    /// The candidates, exactly as the client-centric mode would stream them.
+    pub candidates: Vec<CandidateTransaction>,
     /// Pairwise direct conflicts between candidate roots, as detected by the
     /// key controllers.
     pub conflicts: FxHashMap<TransactionId, FxHashSet<TransactionId>>,
@@ -47,29 +59,40 @@ pub struct NetworkCentricPlan {
 impl DhtStore {
     /// Starts a network-centric reconciliation for a participant.
     ///
-    /// Compared to [`UpdateStore::begin_reconciliation`], the antecedent
-    /// chains are resolved controller-to-controller (the reconciling peer
-    /// never requests them), each transaction controller returns only a
-    /// flattened-extension summary, and conflict detection happens at the
-    /// nodes owning the conflicting keys, which report verdicts directly to
-    /// the reconciling peer.
+    /// Compared to the client-centric session, the antecedent chains are
+    /// resolved controller-to-controller (the reconciling peer never requests
+    /// them), each transaction controller returns only a flattened-extension
+    /// summary, and conflict detection happens at the nodes owning the
+    /// conflicting keys, which report verdicts directly to the reconciling
+    /// peer. The extra distribution traffic is why this mode has the highest
+    /// communication cost in the paper's Figure 3.
     pub fn begin_network_centric_reconciliation(
-        &mut self,
+        &self,
         participant: ParticipantId,
-    ) -> Result<NetworkCentricPlan> {
-        // Reuse the client-centric retrieval for the logical work (epoch
+    ) -> Result<Timed<NetworkCentricPlan>> {
+        // Reuse the client-centric session for the logical work (epoch
         // pinning, trust evaluation, extension computation). The
         // epoch-allocator, epoch-controller and coordinator round trips are
-        // identical in both modes; the additional messages charged below are
-        // the distribution traffic of the network-centric mode
-        // (controller-to-controller antecedent resolution, summary pushes and
-        // key-controller verdicts), which is why this mode has the highest
-        // communication cost in the paper's Figure 3.
-        let relevant = self.begin_reconciliation(participant)?;
+        // identical in both modes.
+        let opened = self.begin_reconciliation(participant)?;
+        let mut timing = opened.timing;
+        let info = opened.value;
+
+        // Drain the whole session page by page (the distribution work below
+        // needs the full candidate set to group summaries by key).
+        let mut candidates = Vec::new();
+        loop {
+            let batch = self.next_batch(info.session, 64)?;
+            timing.accumulate(batch.timing);
+            let done = batch.value.len() < 64;
+            candidates.extend(batch.value);
+            if done {
+                break;
+            }
+        }
 
         let schema = self.catalog().schema().clone();
         let peer = self.peer_node(participant);
-        let latency_before = self.network_stats().latency_us;
 
         // Transaction controllers push flattened-extension summaries to the
         // reconciling peer: one reply per candidate, sized by its net
@@ -78,12 +101,23 @@ impl DhtStore {
         // controllers (not involving the peer).
         let mut flattened: FxHashMap<TransactionId, Vec<orchestra_model::Update>> =
             FxHashMap::default();
-        for cand in &relevant.candidates {
+        for cand in &candidates {
             let net = cand.flattened(&schema);
             let antecedents: Vec<TransactionId> =
                 cand.members.iter().map(|(id, _)| *id).filter(|id| *id != cand.id).collect();
             let summary_bytes = CONTROL_BYTES + SUMMARY_BYTES_PER_UPDATE * net.len() as u64;
-            self.charge_controller_work(cand.id, &antecedents, peer, summary_bytes);
+            let ((), latency) = self.charged(|network| {
+                let txn_key = DhtStore::txn_key(cand.id);
+                if let Some(controller) = network.ring().owner_of(txn_key) {
+                    for ante in &antecedents {
+                        let ante_key = DhtStore::txn_key(*ante);
+                        network.round_trip(controller, ante_key, CONTROL_BYTES, CONTROL_BYTES);
+                    }
+                    // Summary pushed to the reconciling peer.
+                    network.send_direct(controller, peer, summary_bytes);
+                }
+            });
+            timing.network += latency;
             flattened.insert(cand.id, net);
         }
 
@@ -92,7 +126,7 @@ impl DhtStore {
         // controller compares the summaries it received and reports verdicts
         // to the reconciling peer.
         let mut by_key: FxHashMap<(RelName, KeyValue), Vec<usize>> = FxHashMap::default();
-        for (i, cand) in relevant.candidates.iter().enumerate() {
+        for (i, cand) in candidates.iter().enumerate() {
             let mut seen: FxHashSet<(RelName, KeyValue)> = FxHashSet::default();
             for u in &flattened[&cand.id] {
                 if let Ok(rel) = schema.relation(&u.relation) {
@@ -107,14 +141,23 @@ impl DhtStore {
         }
 
         let member_sets: Vec<FxHashSet<TransactionId>> =
-            relevant.candidates.iter().map(|c| c.member_ids()).collect();
+            candidates.iter().map(|c| c.member_ids()).collect();
         let mut conflicts: FxHashMap<TransactionId, FxHashSet<TransactionId>> =
             FxHashMap::default();
         let mut checked: FxHashSet<(usize, usize)> = FxHashSet::default();
         for ((relation, key), indices) in &by_key {
             // One summary message per candidate touching the key, one verdict
             // reply from the key controller to the reconciling peer.
-            self.charge_key_controller(relation, key, indices.len() as u64, peer);
+            let ((), latency) = self.charged(|network| {
+                let key_node = orchestra_net::NodeId::hash_str(&format!("key/{relation}/{key}"));
+                if let Some(owner) = network.ring().owner_of(key_node) {
+                    for _ in 0..indices.len() {
+                        network.send_to_key(owner, key_node, CONTROL_BYTES);
+                    }
+                    network.send_direct(owner, peer, CONTROL_BYTES);
+                }
+            });
+            timing.network += latency;
             for a_pos in 0..indices.len() {
                 for b_pos in (a_pos + 1)..indices.len() {
                     let (i, j) =
@@ -122,8 +165,8 @@ impl DhtStore {
                     if i == j || !checked.insert((i, j)) {
                         continue;
                     }
-                    let a = &relevant.candidates[i];
-                    let b = &relevant.candidates[j];
+                    let a = &candidates[i];
+                    let b = &candidates[j];
                     let a_subsumes = member_sets[j].iter().all(|id| member_sets[i].contains(id));
                     let b_subsumes = member_sets[i].iter().all(|id| member_sets[j].contains(id));
                     if a_subsumes || b_subsumes {
@@ -145,79 +188,41 @@ impl DhtStore {
             }
         }
 
-        // The distribution messages charged above bypass the store's timed
-        // wrapper, so fold their latency into the store timing explicitly.
-        let latency_after = self.network_stats().latency_us;
-        self.record_network_latency(latency_after - latency_before);
-
-        Ok(NetworkCentricPlan { relevant, conflicts })
+        Ok(Timed::new(
+            NetworkCentricPlan {
+                session: info.session,
+                recno: info.recno,
+                epoch: info.epoch,
+                candidates,
+                conflicts,
+            },
+            timing,
+        ))
     }
 }
 
-/// Returns a plan's candidates, consuming it — convenience for callers that
-/// feed the plan into the reconciliation engine.
+/// Splits a plan into the engine's inputs, keeping the session handle —
+/// convenience for callers that feed the plan into the reconciliation
+/// engine and then commit the session.
 pub fn into_engine_inputs(
     plan: NetworkCentricPlan,
-) -> (RelevantTransactions, FxHashMap<TransactionId, FxHashSet<TransactionId>>) {
-    (plan.relevant, plan.conflicts)
+) -> (SessionId, Vec<CandidateTransaction>, FxHashMap<TransactionId, FxHashSet<TransactionId>>) {
+    (plan.session, plan.candidates, plan.conflicts)
 }
 
-/// Extra message-charging hooks used only by the network-centric mode.
-impl DhtStore {
-    /// The overlay node of a participant (public for the network-centric
-    /// driver and for tests).
-    pub fn peer_node(&self, participant: ParticipantId) -> orchestra_net::NodeId {
-        orchestra_net::NodeId::hash_str(&format!("participant-{}", participant.as_u32()))
-    }
-
-    fn charge_controller_work(
-        &mut self,
-        txn: TransactionId,
-        antecedents: &[TransactionId],
-        peer: orchestra_net::NodeId,
-        summary_bytes: u64,
-    ) {
-        let txn_key = orchestra_net::NodeId::hash_str(&format!(
-            "txn/{}/{}",
-            txn.participant.as_u32(),
-            txn.local
-        ));
-        let network = self.network_mut();
-        // Controller-to-controller antecedent resolution: a round trip from
-        // this transaction's controller to each undecided antecedent's
-        // controller.
-        if let Some(controller) = network.ring().owner_of(txn_key) {
-            for ante in antecedents {
-                let ante_key = orchestra_net::NodeId::hash_str(&format!(
-                    "txn/{}/{}",
-                    ante.participant.as_u32(),
-                    ante.local
-                ));
-                network.round_trip(controller, ante_key, CONTROL_BYTES, CONTROL_BYTES);
-            }
-            // Summary pushed to the reconciling peer.
-            network.send_direct(controller, peer, summary_bytes);
-        }
-    }
-
-    fn charge_key_controller(
-        &mut self,
-        relation: &str,
-        key: &KeyValue,
-        summaries: u64,
-        peer: orchestra_net::NodeId,
-    ) {
-        let key_node = orchestra_net::NodeId::hash_str(&format!("key/{relation}/{key}"));
-        let network = self.network_mut();
-        if let Some(owner) = network.ring().owner_of(key_node) {
-            // One summary message per candidate touching the key.
-            for _ in 0..summaries {
-                network.send_to_key(owner, key_node, CONTROL_BYTES);
-            }
-            // One verdict message back to the reconciling peer.
-            network.send_direct(owner, peer, CONTROL_BYTES);
-        }
-    }
+/// The total store timing of a plan's follow-up commit plus the retrieval:
+/// helper mirroring [`crate::ReconciliationSession::commit`]'s accounting.
+pub fn commit_plan(
+    store: &DhtStore,
+    plan: &NetworkCentricPlan,
+    retrieval: StoreTiming,
+    accepted: &[TransactionId],
+    rejected: &[TransactionId],
+) -> Result<StoreTiming> {
+    let commit = store.commit_reconciliation(plan.session, accepted, rejected)?;
+    let mut total = retrieval;
+    total.accumulate(commit);
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -239,7 +244,7 @@ mod tests {
     }
 
     fn store(n: u32) -> DhtStore {
-        let mut s = DhtStore::new(bioinformatics_schema());
+        let s = DhtStore::new(bioinformatics_schema());
         for i in 1..=n {
             let mut policy = TrustPolicy::new(p(i));
             for j in 1..=n {
@@ -254,7 +259,7 @@ mod tests {
 
     #[test]
     fn network_centric_plan_detects_the_same_conflicts() {
-        let mut s = store(4);
+        let s = store(4);
         let x2 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
         let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(3))]);
         let x4 = txn(4, 0, vec![Update::insert("Function", func("mouse", "prot2", "c"), p(4))]);
@@ -262,11 +267,12 @@ mod tests {
         s.publish(p(3), vec![x3.clone()]).unwrap();
         s.publish(p(4), vec![x4.clone()]).unwrap();
 
-        let plan = s.begin_network_centric_reconciliation(p(1)).unwrap();
-        assert_eq!(plan.relevant.candidates.len(), 3);
+        let plan = s.begin_network_centric_reconciliation(p(1)).unwrap().value;
+        assert_eq!(plan.candidates.len(), 3);
         assert!(plan.conflicts[&x2.id()].contains(&x3.id()));
         assert!(plan.conflicts[&x3.id()].contains(&x2.id()));
         assert!(!plan.conflicts.contains_key(&x4.id()));
+        s.abort_reconciliation(plan.session).unwrap();
     }
 
     #[test]
@@ -275,7 +281,7 @@ mod tests {
         // must charge at least as many messages as the client-centric
         // retrieval (Figure 3's trade-off).
         let build = || {
-            let mut s = store(5);
+            let s = store(5);
             for i in 2..=5u32 {
                 let t = txn(
                     i,
@@ -284,18 +290,20 @@ mod tests {
                 );
                 s.publish(p(i), vec![t]).unwrap();
             }
-            s.take_timing();
             s
         };
 
-        let mut client_centric = build();
+        let client_centric = build();
         let before = client_centric.network_stats().messages;
-        client_centric.begin_reconciliation(p(1)).unwrap();
+        let mut session = crate::api::ReconciliationSession::open(&client_centric, p(1)).unwrap();
+        session.drain(64).unwrap();
+        session.abort().unwrap();
         let client_messages = client_centric.network_stats().messages - before;
 
-        let mut network_centric = build();
+        let network_centric = build();
         let before = network_centric.network_stats().messages;
-        network_centric.begin_network_centric_reconciliation(p(1)).unwrap();
+        let plan = network_centric.begin_network_centric_reconciliation(p(1)).unwrap().value;
+        network_centric.abort_reconciliation(plan.session).unwrap();
         let network_messages = network_centric.network_stats().messages - before;
 
         assert!(
@@ -305,13 +313,20 @@ mod tests {
     }
 
     #[test]
-    fn plan_can_be_split_into_engine_inputs() {
-        let mut s = store(3);
+    fn plan_can_be_split_into_engine_inputs_and_committed() {
+        let s = store(3);
         let x2 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(2))]);
         s.publish(p(2), vec![x2.clone()]).unwrap();
-        let plan = s.begin_network_centric_reconciliation(p(1)).unwrap();
-        let (relevant, conflicts) = into_engine_inputs(plan);
-        assert_eq!(relevant.candidates.len(), 1);
+        let timed = s.begin_network_centric_reconciliation(p(1)).unwrap();
+        let retrieval = timed.timing;
+        let plan = timed.value;
+        let (session, candidates, conflicts) = into_engine_inputs(plan.clone());
+        assert_eq!(candidates.len(), 1);
         assert!(conflicts.is_empty());
+        assert_eq!(session, plan.session);
+        let total = commit_plan(&s, &plan, retrieval, &[x2.id()], &[]).unwrap();
+        assert!(total.total() >= retrieval.total());
+        assert!(s.accepted_set(p(1)).contains(&x2.id()));
+        assert_eq!(s.current_reconciliation(p(1)), ReconciliationId(1));
     }
 }

@@ -20,8 +20,8 @@ pub mod zipf;
 
 pub use generator::{WorkloadConfig, WorkloadGenerator};
 pub use scenario::{
-    run_churn_scenario, run_scenario, ChurnConfig, ChurnResult, ChurnSample, ScenarioConfig,
-    ScenarioResult,
+    run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig, ChurnResult, ChurnSample,
+    ConcurrentChurnResult, ReconcileDriver, ScenarioConfig, ScenarioResult,
 };
 pub use swissprot::SwissProtPools;
 pub use zipf::ZipfSampler;

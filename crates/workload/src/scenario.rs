@@ -93,7 +93,7 @@ pub fn run_scenario<S: UpdateStore>(store: S, config: &ScenarioConfig) -> Scenar
     let schema = bioinformatics_schema();
     let mut system = CdssSystem::new(schema, store);
     for policy in mutual_trust_policies(config.participants, 1) {
-        system.add_participant(ParticipantConfig::new(policy));
+        system.add_participant(ParticipantConfig::new(policy)).expect("unique participants");
     }
     let ids = system.participant_ids();
 
@@ -252,7 +252,7 @@ pub fn run_churn_scenario<S: UpdateStore>(store: S, config: &ChurnConfig) -> Chu
     let schema = bioinformatics_schema();
     let mut system = CdssSystem::new(schema, store);
     for policy in mutual_trust_policies(config.participants, 1) {
-        system.add_participant(ParticipantConfig::new(policy));
+        system.add_participant(ParticipantConfig::new(policy)).expect("unique participants");
     }
     let ids = system.participant_ids();
 
@@ -341,6 +341,175 @@ pub fn run_churn_scenario<S: UpdateStore>(store: S, config: &ChurnConfig) -> Chu
     }
 
     result.epochs = result.publishes as u64;
+    result.state_ratio = system.state_ratio_for("Function");
+    result
+}
+
+/// How the concurrent-churn scenario drives its reconciliation waves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconcileDriver {
+    /// One participant after another (the baseline the parallel driver is
+    /// measured against).
+    Sequential,
+    /// One thread per due participant, all against the one shared store
+    /// (`CdssSystem::reconcile_each_parallel`).
+    Parallel,
+}
+
+/// Aggregate results of one concurrent-churn run.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrentChurnResult {
+    /// Reconciliations performed.
+    pub reconciliations: usize,
+    /// Publish calls performed.
+    pub publishes: usize,
+    /// Root transactions accepted / rejected / deferred, summed.
+    pub accepted: usize,
+    /// Total rejected roots.
+    pub rejected: usize,
+    /// Total deferred roots.
+    pub deferred: usize,
+    /// Conflict-resolution rounds performed.
+    pub resolutions: usize,
+    /// Total store-side time summed over all reconciliations (thread time,
+    /// not wall clock).
+    pub store_time: Duration,
+    /// Total local (client algorithm) time summed over all reconciliations.
+    pub local_time: Duration,
+    /// Wall-clock time of the reconciliation waves alone — the quantity the
+    /// parallel driver shrinks by overlapping sessions.
+    pub reconcile_wall: Duration,
+    /// Wall-clock time of the whole run.
+    pub total_wall: Duration,
+    /// Final state ratio over the `Function` relation.
+    pub state_ratio: f64,
+}
+
+/// Runs the concurrent-churn scenario: the same interleaved
+/// publish/reconcile/resolve schedule as [`run_churn_scenario`], but with
+/// each round's due reconciliations grouped into one *wave* that the chosen
+/// [`ReconcileDriver`] executes — serially, or with one thread per due
+/// participant against the shared store.
+///
+/// Publishes stay sequential in both drivers, so the epoch order (and with
+/// it every decision) is deterministic; within a wave no publish intervenes,
+/// so a participant's session depends only on the pinned log and its own
+/// decision record and the two drivers reach **identical decisions** — the
+/// equivalence the parallel-driver proptest asserts. What changes is the
+/// wall clock: the parallel driver overlaps the store latency and the local
+/// engine work of all due participants.
+pub fn run_churn_concurrent<S: UpdateStore + Sync>(
+    store: S,
+    config: &ChurnConfig,
+    driver: ReconcileDriver,
+) -> ConcurrentChurnResult {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema, store);
+    for policy in mutual_trust_policies(config.participants, 1) {
+        system.add_participant(ParticipantConfig::new(policy)).expect("unique participants");
+    }
+    let ids = system.participant_ids();
+
+    let mut generators: Vec<WorkloadGenerator> = ids
+        .iter()
+        .map(|id| {
+            WorkloadGenerator::new(
+                config.workload.clone(),
+                config.seed.wrapping_add(u64::from(id.as_u32()) * 6151),
+            )
+        })
+        .collect();
+
+    let mut result = ConcurrentChurnResult::default();
+    let run_start = std::time::Instant::now();
+
+    let reconcile_wave = |system: &mut CdssSystem<S>,
+                          result: &mut ConcurrentChurnResult,
+                          due: &[orchestra_model::ParticipantId]| {
+        if due.is_empty() {
+            return;
+        }
+        let wave_start = std::time::Instant::now();
+        let reports = match driver {
+            ReconcileDriver::Sequential => system.reconcile_each(due),
+            ReconcileDriver::Parallel => system.reconcile_each_parallel(due),
+        }
+        .expect("reconcile wave succeeds");
+        result.reconcile_wall += wave_start.elapsed();
+        for (_, report) in reports {
+            result.reconciliations += 1;
+            result.accepted += report.accepted.len();
+            result.rejected += report.rejected.len();
+            result.deferred += report.deferred.len();
+            result.store_time += report.timing.store;
+            result.local_time += report.timing.local;
+        }
+    };
+
+    for round in 0..config.rounds {
+        // Phase 1 (sequential in both drivers): everyone executes its batch
+        // and publishes, so the epoch order is schedule-determined.
+        for (idx, &id) in ids.iter().enumerate() {
+            let batch = {
+                let participant = system.participant(id).expect("participant exists");
+                generators[idx].next_batch(
+                    id,
+                    participant.instance(),
+                    config.transactions_per_publish,
+                )
+            };
+            for updates in batch {
+                let _ = system.execute(id, updates);
+            }
+            if system.publish(id).expect("publish succeeds").is_some() {
+                result.publishes += 1;
+            }
+        }
+
+        // Phase 2: the round's due participants reconcile as one wave.
+        let due: Vec<orchestra_model::ParticipantId> = ids
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| {
+                let interval = 1 + idx % config.max_reconcile_interval.max(1);
+                (round + idx) % interval == 0
+            })
+            .map(|(_, &id)| id)
+            .collect();
+        reconcile_wave(&mut system, &mut result, &due);
+
+        // Phase 3 (sequential): periodic curation, keeping the first option
+        // of every open conflict group.
+        if config.resolve_every > 0 {
+            for (idx, &id) in ids.iter().enumerate() {
+                if (round + idx) % config.resolve_every != 0 {
+                    continue;
+                }
+                let groups: Vec<_> = system
+                    .participant(id)
+                    .expect("participant exists")
+                    .deferred_conflicts()
+                    .iter()
+                    .map(|g| g.key.clone())
+                    .collect();
+                if !groups.is_empty() {
+                    let choices: Vec<orchestra_recon::ResolutionChoice> = groups
+                        .into_iter()
+                        .map(|key| orchestra_recon::ResolutionChoice {
+                            group: key,
+                            chosen_option: Some(0),
+                        })
+                        .collect();
+                    system.resolve_conflicts(id, &choices).expect("resolution succeeds");
+                    result.resolutions += 1;
+                }
+            }
+        }
+    }
+    // Final catch-up wave so every participant observes the full history.
+    reconcile_wave(&mut system, &mut result, &ids);
+
+    result.total_wall = run_start.elapsed();
     result.state_ratio = system.state_ratio_for("Function");
     result
 }
@@ -450,6 +619,29 @@ mod tests {
         assert_eq!(incremental.rejected, rescan.rejected);
         assert_eq!(incremental.deferred, rescan.deferred);
         assert_eq!(incremental.state_ratio, rescan.state_ratio);
+    }
+
+    #[test]
+    fn concurrent_churn_drivers_reach_identical_decisions() {
+        let config = tiny_churn();
+        let sequential = run_churn_concurrent(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ReconcileDriver::Sequential,
+        );
+        let parallel = run_churn_concurrent(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ReconcileDriver::Parallel,
+        );
+        assert_eq!(sequential.reconciliations, parallel.reconciliations);
+        assert_eq!(sequential.accepted, parallel.accepted);
+        assert_eq!(sequential.rejected, parallel.rejected);
+        assert_eq!(sequential.deferred, parallel.deferred);
+        assert_eq!(sequential.state_ratio, parallel.state_ratio);
+        assert!(sequential.accepted > 0, "churn must share data");
+        assert!(parallel.reconcile_wall > Duration::ZERO);
+        assert!(parallel.total_wall >= parallel.reconcile_wall);
     }
 
     #[test]

@@ -22,11 +22,13 @@ fn main() {
     let curator = ParticipantId(1);
     let lab_a = ParticipantId(2);
     let lab_b = ParticipantId(3);
-    system.add_participant(ParticipantConfig::new(
-        TrustPolicy::new(curator).trusting(lab_a, 1u32).trusting(lab_b, 1u32),
-    ));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(lab_a)));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(lab_b)));
+    system
+        .add_participant(ParticipantConfig::new(
+            TrustPolicy::new(curator).trusting(lab_a, 1u32).trusting(lab_b, 1u32),
+        ))
+        .unwrap();
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(lab_a))).unwrap();
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(lab_b))).unwrap();
 
     // The two labs publish contradictory findings about the same protein.
     system
@@ -103,10 +105,7 @@ fn main() {
             .expect("lab B proposed an option");
         (group.key.clone(), idx)
     };
-    println!(
-        "published transactions in the store so far: {}",
-        system.store().catalog().log().len()
-    );
+    println!("published transactions in the store so far: {}", system.store().catalog().log_len());
 
     let resolution = system
         .resolve_conflicts(

@@ -35,9 +35,9 @@ fn main() {
                 .and(Predicate::Not(Box::new(Predicate::OfKind(UpdateKind::Delete)))),
             1u32,
         ));
-    system.add_participant(ParticipantConfig::new(biologist_policy));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(swissprot_like)));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(genbank_like)));
+    system.add_participant(ParticipantConfig::new(biologist_policy)).unwrap();
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(swissprot_like))).unwrap();
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(genbank_like))).unwrap();
 
     // Both sources publish a function for the same protein — and disagree.
     system

@@ -70,7 +70,7 @@ fn main() {
 
     // Demonstrate that the distributed store really is message-driven: build
     // a tiny store directly and inspect its traffic counters.
-    let mut probe = DhtStore::new(schema);
+    let probe = DhtStore::new(schema);
     probe
         .register_participant(orchestra_model::TrustPolicy::new(orchestra_model::ParticipantId(1)));
     let stats = probe.network_stats();

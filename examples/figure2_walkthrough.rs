@@ -29,13 +29,19 @@ fn main() {
     let p1 = ParticipantId(1);
     let p2 = ParticipantId(2);
     let p3 = ParticipantId(3);
-    system.add_participant(ParticipantConfig::new(
-        TrustPolicy::new(p1).trusting(p2, 1u32).trusting(p3, 1u32),
-    ));
-    system.add_participant(ParticipantConfig::new(
-        TrustPolicy::new(p2).trusting(p1, 2u32).trusting(p3, 1u32),
-    ));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p3).trusting(p2, 1u32)));
+    system
+        .add_participant(ParticipantConfig::new(
+            TrustPolicy::new(p1).trusting(p2, 1u32).trusting(p3, 1u32),
+        ))
+        .unwrap();
+    system
+        .add_participant(ParticipantConfig::new(
+            TrustPolicy::new(p2).trusting(p1, 2u32).trusting(p3, 1u32),
+        ))
+        .unwrap();
+    system
+        .add_participant(ParticipantConfig::new(TrustPolicy::new(p3).trusting(p2, 1u32)))
+        .unwrap();
 
     println!("Epoch 0: all instances empty");
 

@@ -18,8 +18,12 @@ fn main() {
     // Two labs that trust each other's curation at the same priority.
     let alice = ParticipantId(1);
     let bob = ParticipantId(2);
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(alice).trusting(bob, 1u32)));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(bob).trusting(alice, 1u32)));
+    system
+        .add_participant(ParticipantConfig::new(TrustPolicy::new(alice).trusting(bob, 1u32)))
+        .unwrap();
+    system
+        .add_participant(ParticipantConfig::new(TrustPolicy::new(bob).trusting(alice, 1u32)))
+        .unwrap();
 
     // Alice curates a new protein-function fact locally.
     system

@@ -26,7 +26,7 @@ fn fully_trusting_system<S: UpdateStore>(store: S, n: u32) -> CdssSystem<S> {
                 policy = policy.trusting(p(j), 1u32);
             }
         }
-        system.add_participant(ParticipantConfig::new(policy));
+        system.add_participant(ParticipantConfig::new(policy)).unwrap();
     }
     system
 }
@@ -138,8 +138,8 @@ fn untrusted_participants_share_nothing() {
     let schema = bioinformatics_schema();
     let mut system = CdssSystem::new(schema.clone(), CentralStore::new(schema));
     // Two participants that do not trust each other at all.
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(1))));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(2))));
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(1)))).unwrap();
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(2)))).unwrap();
     system
         .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "immune"), p(1))])
         .unwrap();
@@ -157,9 +157,13 @@ fn chained_revisions_propagate_through_transitive_trust() {
     // antecedent), exactly the exception described for Figure 1.
     let schema = bioinformatics_schema();
     let mut system = CdssSystem::new(schema.clone(), CentralStore::new(schema));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(1)).trusting(p(2), 1u32)));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(2)).trusting(p(3), 1u32)));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(3))));
+    system
+        .add_participant(ParticipantConfig::new(TrustPolicy::new(p(1)).trusting(p(2), 1u32)))
+        .unwrap();
+    system
+        .add_participant(ParticipantConfig::new(TrustPolicy::new(p(2)).trusting(p(3), 1u32)))
+        .unwrap();
+    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p(3)))).unwrap();
 
     system
         .execute(p(3), vec![Update::insert("Function", func("rat", "prot1", "cell-metab"), p(3))])

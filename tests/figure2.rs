@@ -18,13 +18,19 @@ fn run_figure2<S: UpdateStore>(store: S) -> CdssSystem<S> {
     let p1 = ParticipantId(1);
     let p2 = ParticipantId(2);
     let p3 = ParticipantId(3);
-    system.add_participant(ParticipantConfig::new(
-        TrustPolicy::new(p1).trusting(p2, 1u32).trusting(p3, 1u32),
-    ));
-    system.add_participant(ParticipantConfig::new(
-        TrustPolicy::new(p2).trusting(p1, 2u32).trusting(p3, 1u32),
-    ));
-    system.add_participant(ParticipantConfig::new(TrustPolicy::new(p3).trusting(p2, 1u32)));
+    system
+        .add_participant(ParticipantConfig::new(
+            TrustPolicy::new(p1).trusting(p2, 1u32).trusting(p3, 1u32),
+        ))
+        .unwrap();
+    system
+        .add_participant(ParticipantConfig::new(
+            TrustPolicy::new(p2).trusting(p1, 2u32).trusting(p3, 1u32),
+        ))
+        .unwrap();
+    system
+        .add_participant(ParticipantConfig::new(TrustPolicy::new(p3).trusting(p2, 1u32)))
+        .unwrap();
 
     // Epoch 1: p3 publishes X3:0 (insert) and X3:1 (revision) and reconciles.
     system

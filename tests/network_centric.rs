@@ -17,7 +17,7 @@ fn func(org: &str, prot: &str, f: &str) -> Tuple {
 /// Builds a DHT store with `n` mutually trusting participants and a spread of
 /// published transactions, including a conflict and a revision chain.
 fn populated_store(n: u32) -> (DhtStore, Vec<TrustPolicy>) {
-    let mut store = DhtStore::new(bioinformatics_schema());
+    let store = DhtStore::new(bioinformatics_schema());
     let mut policies = Vec::new();
     for i in 1..=n {
         let mut policy = TrustPolicy::new(p(i));
@@ -95,13 +95,13 @@ fn populated_store(n: u32) -> (DhtStore, Vec<TrustPolicy>) {
 fn network_centric_reconciliation_reaches_the_same_decisions() {
     let schema = bioinformatics_schema();
 
-    let (mut store_a, policies) = populated_store(5);
+    let (store_a, policies) = populated_store(5);
     let mut client = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
-    let client_report = client.reconcile(&mut store_a).unwrap();
+    let client_report = client.reconcile(&store_a).unwrap();
 
-    let (mut store_b, policies) = populated_store(5);
+    let (store_b, policies) = populated_store(5);
     let mut network = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
-    let network_report = network.reconcile_network_centric(&mut store_b).unwrap();
+    let network_report = network.reconcile_network_centric(&store_b).unwrap();
 
     // Identical decisions...
     let mut a = client_report.accepted.clone();
@@ -131,14 +131,14 @@ fn network_centric_reconciliation_reaches_the_same_decisions() {
 fn network_centric_mode_trades_messages_for_client_work() {
     let schema = bioinformatics_schema();
 
-    let (mut store_a, policies) = populated_store(5);
+    let (store_a, policies) = populated_store(5);
     let mut client = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
-    client.reconcile(&mut store_a).unwrap();
+    client.reconcile(&store_a).unwrap();
     let client_messages = store_a.network_stats().messages;
 
-    let (mut store_b, policies) = populated_store(5);
+    let (store_b, policies) = populated_store(5);
     let mut network = Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
-    let report = network.reconcile_network_centric(&mut store_b).unwrap();
+    let report = network.reconcile_network_centric(&store_b).unwrap();
     let network_messages = store_b.network_stats().messages;
 
     // Figure 3's trade-off: the network-centric mode sends more messages.
@@ -156,10 +156,10 @@ fn network_centric_mode_composes_with_later_client_centric_runs() {
     // corrupting its state: decisions recorded by one mode are honoured by
     // the other.
     let schema = bioinformatics_schema();
-    let (mut store, policies) = populated_store(4);
+    let (store, policies) = populated_store(4);
     let mut participant =
         Participant::new(schema.clone(), ParticipantConfig::new(policies[0].clone()));
-    let first = participant.reconcile_network_centric(&mut store).unwrap();
+    let first = participant.reconcile_network_centric(&store).unwrap();
     assert!(!first.accepted.is_empty());
 
     // New publication afterwards.
@@ -171,7 +171,7 @@ fn network_centric_mode_composes_with_later_client_centric_runs() {
     .unwrap();
     store.publish(p(4), vec![t.clone()]).unwrap();
 
-    let second = participant.reconcile(&mut store).unwrap();
+    let second = participant.reconcile(&store).unwrap();
     assert!(second.accepted.contains(&t.id()));
     // Previously accepted transactions are not replayed.
     assert!(!second.accepted.contains(&first.accepted[0]));

@@ -1,0 +1,265 @@
+//! Concurrency tests for the shared-reference store API and the parallel
+//! confederation driver: a ≥ 8-thread publish/reconcile stress test against
+//! one shared `CentralStore`, and a proptest asserting the parallel driver
+//! reaches decisions identical to the sequential one on random schedules.
+
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, Transaction, TransactionId, TrustPolicy, Tuple, Update};
+use orchestra_store::{CentralStore, ReconciliationSession, UpdateStore};
+
+fn p(i: u32) -> ParticipantId {
+    ParticipantId(i)
+}
+
+fn func(org: &str, prot: &str, f: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, f])
+}
+
+fn mutual_policies(n: u32) -> Vec<TrustPolicy> {
+    (1..=n)
+        .map(|i| {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            policy
+        })
+        .collect()
+}
+
+/// Eight threads — one per participant — publish and reconcile concurrently
+/// against one shared `&CentralStore` for several rounds. The test asserts
+/// the store's global invariants afterwards: every publish got a distinct
+/// epoch, the log holds every published transaction exactly once, no
+/// participant's accepted and rejected sets intersect, and every thread's
+/// sessions committed monotonically increasing reconciliation numbers.
+#[test]
+fn eight_threads_publish_and_reconcile_against_one_store() {
+    const THREADS: u32 = 8;
+    const ROUNDS: u64 = 6;
+
+    let store = CentralStore::new(bioinformatics_schema());
+    for policy in mutual_policies(THREADS) {
+        store.register_participant(policy);
+    }
+
+    let per_thread: Vec<(ParticipantId, Vec<TransactionId>, Vec<u64>)> =
+        std::thread::scope(|scope| {
+            let store = &store;
+            let handles: Vec<_> = (1..=THREADS)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let me = p(i);
+                        let mut published = Vec::new();
+                        let mut recnos = Vec::new();
+                        for round in 0..ROUNDS {
+                            // Publish one transaction on a thread-private key
+                            // (cross-thread conflicts are exercised by the
+                            // equivalence proptest; this test is about store
+                            // integrity under raw concurrency).
+                            let txn = Transaction::from_parts(
+                                me,
+                                round,
+                                vec![Update::insert(
+                                    "Function",
+                                    func("human", &format!("prot-{i}-{round}"), "kinase"),
+                                    me,
+                                )],
+                            )
+                            .unwrap();
+                            published.push(txn.id());
+                            store.publish(me, vec![txn]).unwrap();
+
+                            // Reconcile: stream everything, accept everything
+                            // (all keys are distinct, so nothing conflicts).
+                            let mut session = ReconciliationSession::open(store, me).unwrap();
+                            let candidates = session.drain(4).unwrap();
+                            let accepted: Vec<TransactionId> =
+                                candidates.iter().flat_map(|c| c.member_ids()).collect();
+                            recnos.push(session.recno().0);
+                            session.commit(&accepted, &[]).unwrap();
+                        }
+                        (me, published, recnos)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+    // Every publish allocated a distinct epoch and the frontier is stable.
+    let total_published: usize = per_thread.iter().map(|(_, ids, _)| ids.len()).sum();
+    assert_eq!(total_published, (THREADS as u64 * ROUNDS) as usize);
+    assert_eq!(store.catalog().log_len(), total_published);
+    assert_eq!(
+        store.catalog().largest_stable_epoch(),
+        orchestra_model::Epoch(THREADS as u64 * ROUNDS),
+        "interleaved publishes must leave a fully stable epoch frontier"
+    );
+
+    for (me, published, recnos) in &per_thread {
+        // Each thread's sessions committed strictly increasing recnos 1..=R.
+        assert_eq!(*recnos, (1..=ROUNDS).collect::<Vec<u64>>(), "recnos for {me}");
+        // Every published transaction is retrievable and owned by its origin.
+        for id in published {
+            let txn = store.transaction(*id).expect("published transaction in the log");
+            assert_eq!(txn.origin(), *me);
+        }
+        // Accepted/rejected never intersect, and own transactions are
+        // auto-accepted.
+        let accepted = store.accepted_set(*me);
+        let rejected = store.rejected_set(*me);
+        assert!(accepted.is_disjoint(&rejected), "decision sets intersect for {me}");
+        for id in published {
+            assert!(accepted.contains(id), "{me} must auto-accept its own {id:?}");
+        }
+        assert_eq!(store.current_reconciliation(*me).0, ROUNDS);
+    }
+    assert_eq!(store.catalog().open_sessions(), 0, "every session was finished");
+}
+
+mod equivalence {
+    use super::*;
+    use orchestra_model::KeyValue;
+    use orchestra_workload::{run_churn_concurrent, ChurnConfig, ReconcileDriver, WorkloadConfig};
+    use proptest::prelude::*;
+
+    const PARTICIPANTS: u32 = 4;
+    const KEY_POOL: usize = 6;
+    const VALUE_POOL: usize = 4;
+
+    /// One step of a schedule: `(participant, key, value, reconcile_wave)`.
+    /// Every step executes a state-dependent edit and publishes it; when
+    /// `reconcile_wave` is odd, all participants then reconcile as one wave.
+    type Op = (usize, usize, usize, u8);
+
+    fn execute(
+        system: &mut CdssSystem<CentralStore>,
+        who: ParticipantId,
+        key: usize,
+        value: usize,
+    ) {
+        let prot = format!("prot{key}");
+        let new_tuple = func("org", &prot, &format!("f{value}"));
+        let existing = system
+            .participant(who)
+            .unwrap()
+            .instance()
+            .value_at("Function", &KeyValue::of_text(&["org", &prot]));
+        let update = match existing {
+            None => Update::insert("Function", new_tuple, who),
+            Some(current) => {
+                if current == new_tuple {
+                    return;
+                }
+                Update::modify("Function", current, new_tuple, who)
+            }
+        };
+        let _ = system.execute(who, vec![update]);
+    }
+
+    /// Everything compared between the two drivers, per participant: the
+    /// final instance contents and the durable accepted/rejected records.
+    type ParticipantSnapshot = (Vec<(KeyValue, Tuple)>, Vec<TransactionId>, Vec<TransactionId>);
+
+    /// Runs a schedule; reconciliation waves go through the chosen driver.
+    fn run(ops: &[Op], parallel: bool) -> Vec<ParticipantSnapshot> {
+        let schema = bioinformatics_schema();
+        let mut system = CdssSystem::new(schema, CentralStore::new(bioinformatics_schema()));
+        for policy in mutual_policies(PARTICIPANTS) {
+            system.add_participant(ParticipantConfig::new(policy)).unwrap();
+        }
+        let wave = |system: &mut CdssSystem<CentralStore>| {
+            if parallel {
+                system.reconcile_all_parallel().unwrap();
+            } else {
+                system.reconcile_all().unwrap();
+            }
+        };
+        for &(who, key, value, reconcile_wave) in ops {
+            let who = p((who % PARTICIPANTS as usize) as u32 + 1);
+            execute(&mut system, who, key % KEY_POOL, value % VALUE_POOL);
+            system.publish(who).unwrap();
+            if reconcile_wave % 2 == 1 {
+                wave(&mut system);
+            }
+        }
+        // Final catch-up wave.
+        wave(&mut system);
+
+        let sorted = |mut v: Vec<TransactionId>| {
+            v.sort();
+            v
+        };
+        system
+            .participant_ids()
+            .into_iter()
+            .map(|id| {
+                (
+                    system.participant(id).unwrap().instance().relation_contents("Function"),
+                    sorted(system.store().accepted_set(id).iter().copied().collect()),
+                    sorted(system.store().rejected_set(id).iter().copied().collect()),
+                )
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The parallel confederation driver reaches decisions (accepted and
+        /// rejected sets, final instances) identical to the sequential one on
+        /// random publish/reconcile schedules, including schedules that force
+        /// genuine conflicts on shared keys.
+        #[test]
+        fn parallel_driver_is_equivalent_to_sequential(
+            ops in prop::collection::vec(
+                (0..PARTICIPANTS as usize, 0..KEY_POOL, 0..VALUE_POOL, 0..2u8),
+                1..30,
+            )
+        ) {
+            let sequential = run(&ops, false);
+            let parallel = run(&ops, true);
+            prop_assert_eq!(&sequential, &parallel, "drivers diverged");
+        }
+    }
+
+    /// The churn-scenario-level equivalence (the shape the benchmark runs),
+    /// on a small fixed configuration.
+    #[test]
+    fn concurrent_churn_scenario_equivalence() {
+        let config = ChurnConfig {
+            participants: 8,
+            rounds: 6,
+            transactions_per_publish: 1,
+            max_reconcile_interval: 3,
+            resolve_every: 3,
+            workload: WorkloadConfig {
+                transaction_size: 1,
+                key_universe: 40,
+                function_pool: 15,
+                value_zipf_exponent: 1.5,
+                key_zipf_exponent: 0.9,
+                xref_mean: 7.3,
+            },
+            seed: 17,
+        };
+        let sequential = run_churn_concurrent(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ReconcileDriver::Sequential,
+        );
+        let parallel = run_churn_concurrent(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ReconcileDriver::Parallel,
+        );
+        assert_eq!(sequential.accepted, parallel.accepted);
+        assert_eq!(sequential.rejected, parallel.rejected);
+        assert_eq!(sequential.deferred, parallel.deferred);
+        assert_eq!(sequential.state_ratio, parallel.state_ratio);
+        assert!(sequential.accepted > 0);
+    }
+}

@@ -35,7 +35,7 @@ fn policies(n: u32) -> Vec<TrustPolicy> {
 #[test]
 fn a_participant_can_be_rebuilt_from_the_update_store() {
     let schema = bioinformatics_schema();
-    let mut store = CentralStore::new(schema.clone());
+    let store = CentralStore::new(schema.clone());
     let pols = policies(3);
     for policy in &pols {
         store.register_participant(policy.clone());
@@ -51,8 +51,8 @@ fn a_participant_can_be_rebuilt_from_the_update_store() {
         p(3),
     )])
     .unwrap();
-    p3.publish_and_reconcile(&mut store).unwrap();
-    p2.publish_and_reconcile(&mut store).unwrap();
+    p3.publish_and_reconcile(&store).unwrap();
+    p2.publish_and_reconcile(&store).unwrap();
     p2.execute_transaction(vec![Update::modify(
         "Function",
         func("rat", "prot1", "cell-metab"),
@@ -66,8 +66,8 @@ fn a_participant_can_be_rebuilt_from_the_update_store() {
         p(2),
     )])
     .unwrap();
-    p2.publish_and_reconcile(&mut store).unwrap();
-    let original_report = p1.publish_and_reconcile(&mut store).unwrap();
+    p2.publish_and_reconcile(&store).unwrap();
+    let original_report = p1.publish_and_reconcile(&store).unwrap();
     assert!(!original_report.accepted.is_empty());
 
     // p1 loses its local state entirely. A fresh participant is rebuilt from
@@ -93,7 +93,7 @@ fn a_participant_can_be_rebuilt_from_the_update_store() {
 #[test]
 fn instances_round_trip_through_json_persistence() {
     let schema = bioinformatics_schema();
-    let mut store = CentralStore::new(schema.clone());
+    let store = CentralStore::new(schema.clone());
     let pols = policies(2);
     for policy in &pols {
         store.register_participant(policy.clone());
@@ -104,7 +104,7 @@ fn instances_round_trip_through_json_persistence() {
         Update::insert("XRef", Tuple::of_text(&["human", "p53", "pdb", "1TUP"]), p(1)),
     ])
     .unwrap();
-    p1.publish_and_reconcile(&mut store).unwrap();
+    p1.publish_and_reconcile(&store).unwrap();
 
     // Persist, reload, and hand the instance to a new participant as its
     // initial state.
@@ -125,7 +125,7 @@ fn decisions_survive_in_the_store_across_participant_restarts() {
     // A rejected transaction stays rejected for a rebuilt participant: its
     // rejection is durable store state, not client soft state.
     let schema = bioinformatics_schema();
-    let mut store = CentralStore::new(schema.clone());
+    let store = CentralStore::new(schema.clone());
     let pols = policies(2);
     for policy in &pols {
         store.register_participant(policy.clone());
@@ -136,14 +136,14 @@ fn decisions_survive_in_the_store_across_participant_restarts() {
     // p1 publishes its own value first, then p2 publishes a divergent one.
     p1.execute_transaction(vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
         .unwrap();
-    p1.publish_and_reconcile(&mut store).unwrap();
+    p1.publish_and_reconcile(&store).unwrap();
     p2.execute_transaction(vec![Update::insert("Function", func("rat", "prot1", "b"), p(2))])
         .unwrap();
-    p2.publish_and_reconcile(&mut store).unwrap();
+    p2.publish_and_reconcile(&store).unwrap();
 
     // p1 reconciles and rejects p2's divergent value (it conflicts with p1's
     // own accepted state).
-    let report = p1.reconcile(&mut store).unwrap();
+    let report = p1.reconcile(&store).unwrap();
     assert_eq!(report.rejected.len(), 1);
     let rejected_id = report.rejected[0];
     assert!(store.rejected_set(p(1)).contains(&rejected_id));
@@ -155,6 +155,6 @@ fn decisions_survive_in_the_store_across_participant_restarts() {
             .unwrap();
     assert!(rebuilt.instance().contains_tuple_exact("Function", &func("rat", "prot1", "a")));
     assert!(!rebuilt.instance().contains_tuple_exact("Function", &func("rat", "prot1", "b")));
-    rebuilt.reconcile(&mut store).unwrap();
+    rebuilt.reconcile(&store).unwrap();
     assert!(!rebuilt.instance().contains_tuple_exact("Function", &func("rat", "prot1", "b")));
 }

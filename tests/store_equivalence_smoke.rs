@@ -43,7 +43,7 @@ fn drive<S: UpdateStore>(store: S) -> CdssSystem<S> {
                 policy = policy.trusting(p(j), 1u32);
             }
         }
-        system.add_participant(ParticipantConfig::new(policy));
+        system.add_participant(ParticipantConfig::new(policy)).unwrap();
     }
 
     // Round 1: independent facts from every participant.
@@ -177,7 +177,7 @@ mod random_schedules {
         let _ = participant.execute_transaction(vec![update]);
     }
 
-    fn resolve<S: UpdateStore>(participant: &mut Participant, store: &mut S, value: usize) {
+    fn resolve<S: UpdateStore>(participant: &mut Participant, store: &S, value: usize) {
         let groups: Vec<_> = participant
             .deferred_conflicts()
             .iter()
@@ -202,9 +202,9 @@ mod random_schedules {
     /// abstracted so the DHT's network-centric mode can ride the same
     /// driver. Ends with a catch-up publish+reconcile for every participant.
     fn run_schedule<S: UpdateStore>(
-        mut store: S,
+        store: S,
         ops: &[Op],
-        reconcile: impl Fn(&mut Participant, &mut S) -> ReconcileReport,
+        reconcile: impl Fn(&mut Participant, &S) -> ReconcileReport,
     ) -> Snapshot {
         let schema = bioinformatics_schema();
         let mut participants: Vec<Participant> = policies()
@@ -220,18 +220,18 @@ mod random_schedules {
             match action % 5 {
                 0 | 1 => execute(participant, key % KEY_POOL, value % VALUE_POOL),
                 2 => {
-                    participant.publish(&mut store).unwrap();
+                    participant.publish(&store).unwrap();
                 }
                 3 => {
-                    participant.publish(&mut store).unwrap();
-                    reconcile(participant, &mut store);
+                    participant.publish(&store).unwrap();
+                    reconcile(participant, &store);
                 }
-                _ => resolve(participant, &mut store, value),
+                _ => resolve(participant, &store, value),
             }
         }
         for participant in &mut participants {
-            participant.publish(&mut store).unwrap();
-            reconcile(participant, &mut store);
+            participant.publish(&store).unwrap();
+            reconcile(participant, &store);
         }
 
         let sorted = |mut v: Vec<TransactionId>| {
@@ -245,11 +245,11 @@ mod random_schedules {
                 .collect(),
             accepted: participants
                 .iter()
-                .map(|p| sorted(store.accepted_set(p.id()).into_iter().collect()))
+                .map(|p| sorted(store.accepted_set(p.id()).iter().copied().collect()))
                 .collect(),
             rejected: participants
                 .iter()
-                .map(|p| sorted(store.rejected_set(p.id()).into_iter().collect()))
+                .map(|p| sorted(store.rejected_set(p.id()).iter().copied().collect()))
                 .collect(),
             deferred: participants
                 .iter()
@@ -267,7 +267,7 @@ mod random_schedules {
                 1..40,
             )
         ) {
-            let client_centric = |p: &mut Participant, s: &mut _| p.reconcile(s).unwrap();
+            let client_centric = |p: &mut Participant, s: &_| p.reconcile(s).unwrap();
             let central = run_schedule(
                 CentralStore::new(bioinformatics_schema()),
                 &ops,
@@ -289,7 +289,7 @@ mod random_schedules {
             let network_centric = run_schedule(
                 DhtStore::new(bioinformatics_schema()),
                 &ops,
-                |p: &mut Participant, s: &mut DhtStore| p.reconcile_network_centric(s).unwrap(),
+                |p: &mut Participant, s: &DhtStore| p.reconcile_network_centric(s).unwrap(),
             );
 
             prop_assert_eq!(&central, &rescan, "rescan baseline diverged");
