@@ -1,0 +1,120 @@
+//! Runs the durable-churn benchmark (WAL-on vs ephemeral store overhead,
+//! recovery latency vs log length, and the crash-restart scenario) and
+//! writes the benchmark-trajectory document.
+//!
+//! Usage:
+//!
+//! ```text
+//! churn_durable [--full] [--out FILE]
+//! ```
+//!
+//! The default output path is `BENCH_churn_durable.json` in the current
+//! directory.
+
+use orchestra_bench::{
+    render_table, run_churn_durable_bench, write_churn_durable_json, FigureScale,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = FigureScale::Quick;
+    let mut out = PathBuf::from("BENCH_churn_durable.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = FigureScale::Full,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: churn_durable [--full] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_churn_durable_bench(scale);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{}", r.reconciliations),
+                format!("{}", r.epochs),
+                format!("{:.4}", r.store_seconds),
+                format!("{:.4}", r.wall_seconds),
+                format!("{}", r.wal_records),
+                format!("{}", r.wal_bytes),
+                format!("{}/{}/{}", r.accepted, r.rejected, r.deferred),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Durable churn: ephemeral vs WAL-backed store",
+            &[
+                "mode",
+                "recons",
+                "epochs",
+                "store s",
+                "wall s",
+                "wal recs",
+                "wal bytes",
+                "acc/rej/def"
+            ],
+            &rows,
+        )
+    );
+    let recovery_rows: Vec<Vec<String>> = report
+        .recovery
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.rounds),
+                format!("{}", r.epochs),
+                format!("{}", r.wal_records),
+                format!("{:.2}", r.replay_ms),
+                format!("{:.2}", r.snapshot_ms),
+                format!("{}", r.snapshot_bytes),
+                format!("{}", r.recovered_identical),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Recovery latency vs log length",
+            &[
+                "rounds",
+                "epochs",
+                "wal recs",
+                "replay ms",
+                "snapshot ms",
+                "snap bytes",
+                "identical"
+            ],
+            &recovery_rows,
+        )
+    );
+    println!(
+        "wal wall overhead: {:.2}x   snapshot recovery ratio: {:.2}x   decisions match: {}   crash-restart match: {}",
+        report.summary.wal_wall_overhead,
+        report.summary.snapshot_recovery_ratio,
+        report.summary.decisions_match,
+        report.summary.crash_restart_decisions_match
+    );
+    if !report.summary.decisions_match || !report.summary.crash_restart_decisions_match {
+        eprintln!("FATAL: durability changed decisions or recovery diverged");
+        std::process::exit(1);
+    }
+    write_churn_durable_json(&out, &report).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+}

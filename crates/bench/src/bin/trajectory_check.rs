@@ -1,0 +1,73 @@
+//! The benchmark-trajectory regression gate.
+//!
+//! Compares freshly generated `BENCH_*.json` documents against the copies
+//! committed to the repository and fails (exit code 1) if the fresh run
+//! regressed:
+//!
+//! * any `decisions_match` (or `*_decisions_match`) flag anywhere in a fresh
+//!   document is `false` — the perf machinery is only trusted while every
+//!   mode/driver/recovery path reaches identical decisions;
+//! * any numeric `summary` field whose name ends in `speedup` dropped more
+//!   than the tolerance (default 25%) below the committed value. Ratios are
+//!   compared rather than absolute times, so the gate is meaningful across
+//!   hosts of different speeds.
+//!
+//! Usage:
+//!
+//! ```text
+//! trajectory_check --fresh DIR --committed DIR [--tolerance 0.25]
+//! ```
+//!
+//! Every `BENCH_*.json` present in the committed directory must exist in the
+//! fresh directory (a missing fresh file is itself a failure: a bench bin
+//! that stopped producing its document would otherwise silently drop out of
+//! the gate).
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut fresh_dir = PathBuf::new();
+    let mut committed_dir = PathBuf::new();
+    let mut tolerance = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fresh" => fresh_dir = PathBuf::from(args.next().expect("--fresh DIR")),
+            "--committed" => committed_dir = PathBuf::from(args.next().expect("--committed DIR")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .expect("--tolerance FRACTION")
+                    .parse()
+                    .expect("tolerance parses as f64")
+            }
+            "--help" | "-h" => {
+                println!("usage: trajectory_check --fresh DIR --committed DIR [--tolerance 0.25]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if fresh_dir.as_os_str().is_empty() || committed_dir.as_os_str().is_empty() {
+        eprintln!("usage: trajectory_check --fresh DIR --committed DIR [--tolerance 0.25]");
+        std::process::exit(2);
+    }
+
+    match orchestra_bench::trajectory::check_trajectory(&fresh_dir, &committed_dir, tolerance) {
+        Ok(report) => {
+            print!("{report}");
+            if report.failed() {
+                eprintln!("trajectory regression detected");
+                std::process::exit(1);
+            }
+            println!("trajectory OK ({} document(s) checked)", report.documents);
+        }
+        Err(e) => {
+            eprintln!("trajectory check could not run: {e}");
+            std::process::exit(1);
+        }
+    }
+}

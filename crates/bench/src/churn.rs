@@ -133,10 +133,11 @@ fn summarise(incremental: &ChurnResult, rescan: &ChurnResult) -> ChurnBenchRepor
 }
 
 /// Writes the benchmark document as pretty-printed JSON:
-/// `{"benchmark": "churn", "rows": [...], "summary": {...}}`.
+/// `{"benchmark": "churn", "meta": {...}, "rows": [...], "summary": {...}}`.
 pub fn write_churn_json(path: &Path, report: &ChurnBenchReport) -> io::Result<()> {
     let mut doc = serde_json::Map::new();
     doc.insert("benchmark".to_string(), serde_json::Value::String("churn".to_string()));
+    doc.insert("meta".to_string(), crate::output::meta_value());
     doc.insert(
         "rows".to_string(),
         serde_json::Value::Array(

@@ -1,0 +1,331 @@
+//! The durable-churn benchmark: what durability costs on the hot path and
+//! what it buys at recovery time.
+//!
+//! This is the `BENCH_churn_durable.json` entry of the repository's
+//! benchmark trajectory. The same churn schedule runs twice — over the
+//! ephemeral in-memory store and over a WAL-backed one — so the per-call
+//! store-time overhead of logging every publish and decision commit is
+//! measured directly (decisions must be identical; durability is invisible
+//! to the algorithm). Recovery cost is then measured against log length:
+//! histories of increasing size are recovered once by replaying the full WAL
+//! and once from a compacting snapshot plus an (empty) WAL tail, pinning
+//! down the latency the snapshot saves. Finally the crash-restart scenario
+//! ([`orchestra_workload::run_crash_restart_scenario`]) runs end to end,
+//! asserting that a mid-wave crash recovers to byte-identical durable state
+//! and finishes the schedule with decisions identical to an uninterrupted
+//! run.
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::CentralStore;
+use orchestra_workload::{
+    run_churn_scenario, run_crash_restart_scenario, ChurnConfig, ChurnResult, CrashChurnConfig,
+};
+use serde::Serialize;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::churn::churn_config;
+use crate::figures::FigureScale;
+
+/// One row of the durable-churn benchmark: a store mode's aggregate cost
+/// over the full schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnDurableRow {
+    /// `"ephemeral"` or `"wal"`.
+    pub mode: String,
+    /// Reconciliations performed.
+    pub reconciliations: usize,
+    /// Epochs published over the run.
+    pub epochs: u64,
+    /// Total store-side seconds across all reconciliations. NOTE: on small
+    /// hosts this sampled figure is dominated by allocator-locality effects
+    /// (the WAL run's encode churn measurably *speeds up* unrelated reads),
+    /// so the headline overhead is the wall-clock ratio, not this.
+    pub store_seconds: f64,
+    /// Total local seconds across all reconciliations.
+    pub local_seconds: f64,
+    /// Wall-clock seconds of the whole schedule (the honest basis for the
+    /// durability overhead: it includes the WAL work charged to publishes).
+    pub wall_seconds: f64,
+    /// Accepted / rejected / deferred root totals (must match across modes).
+    pub accepted: usize,
+    /// Total rejected roots.
+    pub rejected: usize,
+    /// Total deferred roots.
+    pub deferred: usize,
+    /// Final state ratio over `Function` (must match across modes).
+    pub state_ratio: f64,
+    /// WAL records appended by the run (0 for the ephemeral store).
+    pub wal_records: u64,
+    /// WAL bytes appended by the run (0 for the ephemeral store).
+    pub wal_bytes: u64,
+}
+
+/// One recovery measurement: the same history recovered by full WAL replay
+/// and from a compacting snapshot.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryRow {
+    /// Publish rounds of the history (the log-length axis).
+    pub rounds: usize,
+    /// Epochs in the history.
+    pub epochs: u64,
+    /// WAL records replayed on the replay-only path.
+    pub wal_records: u64,
+    /// WAL bytes replayed on the replay-only path.
+    pub wal_bytes: u64,
+    /// Milliseconds to recover by replaying the full WAL.
+    pub replay_ms: f64,
+    /// Milliseconds to recover from the snapshot (plus the empty WAL tail).
+    pub snapshot_ms: f64,
+    /// Snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Whether both recovery paths produced durable state byte-identical to
+    /// the live store (they must).
+    pub recovered_identical: bool,
+}
+
+/// Headline comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnDurableSummary {
+    /// WAL-run wall clock divided by ephemeral wall clock — the end-to-end
+    /// price of durability (expected a little above 1).
+    pub wal_wall_overhead: f64,
+    /// Full-WAL-replay recovery time divided by snapshot recovery time on
+    /// the longest history. Informative rather than gated: with this
+    /// workload's state growing as fast as its history (the log retains
+    /// every transaction), snapshot load parses as many bytes as a full
+    /// replay, so the ratio hovers near 1 — what compaction robustly buys
+    /// here is the bounded on-disk footprint, not restart latency.
+    pub snapshot_recovery_ratio: f64,
+    /// Whether the ephemeral and WAL-backed runs reached identical
+    /// accept/reject/defer totals and state ratio (they must).
+    pub decisions_match: bool,
+    /// Whether the crash-restart scenario recovered byte-identical durable
+    /// state *and* finished with decisions identical to the uninterrupted
+    /// baseline (it must).
+    pub crash_restart_decisions_match: bool,
+    /// Wall-clock microseconds of the crash-restart scenario's recovery
+    /// (snapshot load + WAL replay at the crash point).
+    pub crash_recover_micros: u64,
+}
+
+/// The whole benchmark document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnDurableReport {
+    /// Per-mode rows.
+    pub rows: Vec<ChurnDurableRow>,
+    /// Recovery latency vs. log length.
+    pub recovery: Vec<RecoveryRow>,
+    /// Headline comparison.
+    pub summary: ChurnDurableSummary,
+}
+
+/// The churn configuration used at each scale (the same schedule as
+/// `BENCH_churn.json`, so the trajectory stays comparable).
+pub fn churn_durable_config(scale: FigureScale) -> ChurnConfig {
+    churn_config(scale)
+}
+
+fn row(
+    mode: &str,
+    result: &ChurnResult,
+    wall: Duration,
+    wal_records: u64,
+    wal_bytes: u64,
+) -> ChurnDurableRow {
+    ChurnDurableRow {
+        mode: mode.to_string(),
+        reconciliations: result.reconciliations,
+        epochs: result.epochs,
+        store_seconds: result.store_time.as_secs_f64(),
+        local_seconds: result.local_time.as_secs_f64(),
+        wall_seconds: wall.as_secs_f64(),
+        accepted: result.accepted,
+        rejected: result.rejected,
+        deferred: result.deferred,
+        state_ratio: result.state_ratio,
+        wal_records,
+        wal_bytes,
+    }
+}
+
+/// A scratch directory under the system temp dir, wiped before use.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("orchestra-churn-durable-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Measures recovery latency for one history length: replay-only, then
+/// snapshot-based.
+fn measure_recovery(config: &ChurnConfig, rounds: usize) -> RecoveryRow {
+    let mut config = config.clone();
+    config.rounds = rounds;
+    let dir = scratch_dir(&format!("recover-{rounds}"));
+    let store = CentralStore::durable(bioinformatics_schema(), &dir).expect("fresh scratch dir");
+    let result = run_churn_scenario(store, &config);
+
+    // Replay-only: the WAL still holds the entire history.
+    let replay_start = Instant::now();
+    let replayed = CentralStore::recover(&dir).expect("replay recovery");
+    let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+    let live = format!("{:?}", replayed.catalog());
+    let backend = replayed.catalog().durability().file_backend().expect("durable");
+    let (wal_records, wal_bytes) = (backend.wal_records(), backend.wal_bytes());
+
+    // Snapshot-based: compact, then recover again from the snapshot plus an
+    // empty WAL tail.
+    replayed.snapshot().expect("snapshot succeeds");
+    let snapshot_bytes = std::fs::metadata(orchestra_storage::snapshot::snapshot_path(&dir))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    drop(replayed);
+    let snap_start = Instant::now();
+    let snapped = CentralStore::recover(&dir).expect("snapshot recovery");
+    let snapshot_ms = snap_start.elapsed().as_secs_f64() * 1e3;
+    let recovered_identical = format!("{:?}", snapped.catalog()) == live;
+    drop(snapped);
+    std::fs::remove_dir_all(&dir).ok();
+    RecoveryRow {
+        rounds,
+        epochs: result.epochs,
+        wal_records,
+        wal_bytes,
+        replay_ms,
+        snapshot_ms,
+        snapshot_bytes,
+        recovered_identical,
+    }
+}
+
+/// Runs the durable-churn benchmark over an explicit configuration.
+pub fn run_churn_durable_bench_with(config: &ChurnConfig) -> ChurnDurableReport {
+    // Warmup: one discarded ephemeral run, so neither measured run pays the
+    // process's cold caches.
+    let _ = run_churn_scenario(CentralStore::new(bioinformatics_schema()), config);
+
+    let eph_start = Instant::now();
+    let ephemeral = run_churn_scenario(CentralStore::new(bioinformatics_schema()), config);
+    let eph_wall = eph_start.elapsed();
+
+    let dir = scratch_dir("overhead");
+    let store = CentralStore::durable(bioinformatics_schema(), &dir).expect("fresh scratch dir");
+    let wal_start = Instant::now();
+    let durable = run_churn_scenario(store, config);
+    let wal_wall = wal_start.elapsed();
+    let probe = CentralStore::recover(&dir).expect("footprint probe");
+    let backend = probe.catalog().durability().file_backend().expect("durable");
+    let (wal_records, wal_bytes) = (backend.wal_records(), backend.wal_bytes());
+    drop(probe);
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Recovery latency against growing histories: thirds of the schedule.
+    let recovery: Vec<RecoveryRow> = [config.rounds / 3, 2 * config.rounds / 3, config.rounds]
+        .into_iter()
+        .filter(|&r| r > 0)
+        .map(|rounds| measure_recovery(config, rounds))
+        .collect();
+
+    // The crash-restart scenario end to end, at the benchmark scale.
+    let crash_dir = scratch_dir("crash");
+    let crash =
+        run_crash_restart_scenario(&crash_dir, &CrashChurnConfig::for_churn(config.clone()));
+    std::fs::remove_dir_all(&crash_dir).ok();
+
+    let eph_row = row("ephemeral", &ephemeral, eph_wall, 0, 0);
+    let wal_row = row("wal", &durable, wal_wall, wal_records, wal_bytes);
+    let longest = recovery.last();
+    let summary = ChurnDurableSummary {
+        wal_wall_overhead: wal_row.wall_seconds / eph_row.wall_seconds.max(f64::EPSILON),
+        snapshot_recovery_ratio: longest
+            .map(|r| r.replay_ms / r.snapshot_ms.max(f64::EPSILON))
+            .unwrap_or(1.0),
+        decisions_match: eph_row.accepted == wal_row.accepted
+            && eph_row.rejected == wal_row.rejected
+            && eph_row.deferred == wal_row.deferred
+            && eph_row.state_ratio == wal_row.state_ratio
+            && recovery.iter().all(|r| r.recovered_identical),
+        crash_restart_decisions_match: crash.decisions_match && crash.durable_state_identical,
+        crash_recover_micros: crash.recover_micros,
+    };
+    ChurnDurableReport { rows: vec![eph_row, wal_row], recovery, summary }
+}
+
+/// Runs the durable-churn benchmark at the given scale.
+pub fn run_churn_durable_bench(scale: FigureScale) -> ChurnDurableReport {
+    run_churn_durable_bench_with(&churn_durable_config(scale))
+}
+
+/// Writes the benchmark document as pretty-printed JSON: `{"benchmark":
+/// "churn_durable", "meta": {...}, "rows": [...], "recovery": [...],
+/// "summary": {...}}`.
+pub fn write_churn_durable_json(path: &Path, report: &ChurnDurableReport) -> io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("benchmark".to_string(), serde_json::Value::String("churn_durable".to_string()));
+    doc.insert("meta".to_string(), crate::output::meta_value());
+    doc.insert(
+        "rows".to_string(),
+        serde_json::Value::Array(
+            report.rows.iter().map(|r| serde_json::to_value(r).expect("rows serialise")).collect(),
+        ),
+    );
+    doc.insert(
+        "recovery".to_string(),
+        serde_json::Value::Array(
+            report
+                .recovery
+                .iter()
+                .map(|r| serde_json::to_value(r).expect("recovery rows serialise"))
+                .collect(),
+        ),
+    );
+    doc.insert(
+        "summary".to_string(),
+        serde_json::to_value(&report.summary).expect("summary serialises"),
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("document serialises");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_workload::WorkloadConfig;
+
+    #[test]
+    fn mini_durable_bench_matches_decisions_and_recovers() {
+        // A reduced history so the test stays fast in debug builds; the
+        // committed BENCH_churn_durable.json records the full quick run.
+        let config = ChurnConfig {
+            participants: 5,
+            rounds: 18,
+            transactions_per_publish: 1,
+            max_reconcile_interval: 4,
+            resolve_every: 4,
+            workload: WorkloadConfig {
+                transaction_size: 1,
+                key_universe: 60,
+                function_pool: 20,
+                value_zipf_exponent: 1.5,
+                key_zipf_exponent: 0.9,
+                xref_mean: 7.3,
+            },
+            seed: 20060627,
+        };
+        let report = run_churn_durable_bench_with(&config);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.summary.decisions_match, "modes diverged: {report:?}");
+        assert!(report.summary.crash_restart_decisions_match, "crash diverged: {report:?}");
+        assert!(report.rows[1].wal_records > 0);
+        assert!(report.rows[1].wal_bytes > 0);
+        assert_eq!(report.recovery.len(), 3);
+        assert!(report.recovery.iter().all(|r| r.recovered_identical));
+        assert!(report.recovery.iter().all(|r| r.replay_ms > 0.0 && r.snapshot_ms > 0.0));
+    }
+}

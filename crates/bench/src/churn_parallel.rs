@@ -165,6 +165,7 @@ pub fn run_churn_parallel_bench(scale: FigureScale) -> ChurnParallelReport {
 pub fn write_churn_parallel_json(path: &Path, report: &ChurnParallelReport) -> io::Result<()> {
     let mut doc = serde_json::Map::new();
     doc.insert("benchmark".to_string(), serde_json::Value::String("churn_parallel".to_string()));
+    doc.insert("meta".to_string(), crate::output::meta_value());
     doc.insert(
         "rows".to_string(),
         serde_json::Value::Array(

@@ -17,13 +17,20 @@
 #![forbid(unsafe_code)]
 
 pub mod churn;
+pub mod churn_durable;
 pub mod churn_parallel;
 pub mod figures;
 pub mod output;
+pub mod trajectory;
 
 pub use churn::{
     churn_config, run_churn_bench, run_churn_bench_with, write_churn_json, ChurnBenchReport,
     ChurnBenchRow, ChurnSummary,
+};
+pub use churn_durable::{
+    churn_durable_config, run_churn_durable_bench, run_churn_durable_bench_with,
+    write_churn_durable_json, ChurnDurableReport, ChurnDurableRow, ChurnDurableSummary,
+    RecoveryRow,
 };
 pub use churn_parallel::{
     churn_parallel_config, run_churn_parallel_bench, run_churn_parallel_bench_with,
@@ -34,4 +41,5 @@ pub use figures::{
     fig11_participants_ratio, fig12_participants_time, Fig08Row, Fig09Row, Fig10Row, Fig11Row,
     Fig12Row, FigureScale,
 };
-pub use output::{render_table, write_csv, write_json};
+pub use output::{bench_meta, meta_value, render_table, write_csv, write_json, BenchMeta};
+pub use trajectory::{check_trajectory, TrajectoryReport, TrajectoryViolation};

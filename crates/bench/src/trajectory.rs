@@ -1,0 +1,281 @@
+//! The library half of the `trajectory_check` regression gate: comparing a
+//! directory of freshly generated `BENCH_*.json` documents against the
+//! committed trajectory. See the binary's docs for the rules; keeping the
+//! logic here makes it unit-testable.
+
+use std::fmt;
+use std::path::Path;
+
+/// One violated rule.
+#[derive(Debug, Clone)]
+pub struct TrajectoryViolation {
+    /// File the violation was found in.
+    pub file: String,
+    /// Human-readable description of what regressed.
+    pub what: String,
+}
+
+/// The outcome of one trajectory comparison.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryReport {
+    /// Number of documents compared.
+    pub documents: usize,
+    /// Per-speedup comparison lines (for the build log).
+    pub comparisons: Vec<String>,
+    /// Every violated rule.
+    pub violations: Vec<TrajectoryViolation>,
+}
+
+impl TrajectoryReport {
+    /// True when at least one rule was violated.
+    pub fn failed(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for TrajectoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for line in &self.comparisons {
+            writeln!(f, "  {line}")?;
+        }
+        for violation in &self.violations {
+            writeln!(f, "REGRESSION [{}]: {}", violation.file, violation.what)?;
+        }
+        Ok(())
+    }
+}
+
+/// Recursively collects the value of every boolean field named
+/// `decisions_match` or ending in `_decisions_match`.
+fn decision_flags(value: &serde_json::Value, path: &str, out: &mut Vec<(String, bool)>) {
+    match value {
+        serde_json::Value::Object(map) => {
+            for (key, child) in map.iter() {
+                let child_path =
+                    if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                if key == "decisions_match" || key.ends_with("_decisions_match") {
+                    if let Some(flag) = child.as_bool() {
+                        out.push((child_path.clone(), flag));
+                    }
+                }
+                decision_flags(child, &child_path, out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (i, item) in items.iter().enumerate() {
+                decision_flags(item, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The numeric `summary` fields whose names end in `speedup`.
+fn summary_speedups(doc: &serde_json::Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(summary) =
+        doc.as_object().and_then(|o| o.get("summary")).and_then(|s| s.as_object())
+    {
+        for (key, value) in summary.iter() {
+            if key.ends_with("speedup") {
+                if let Some(v) = value.as_f64() {
+                    out.push((key.clone(), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares one fresh document against its committed counterpart, appending
+/// findings to `report`.
+pub fn check_document(
+    file: &str,
+    fresh: &serde_json::Value,
+    committed: &serde_json::Value,
+    tolerance: f64,
+    report: &mut TrajectoryReport,
+) {
+    report.documents += 1;
+
+    // Rule 1: every decisions_match flag in the fresh document must hold.
+    let mut flags = Vec::new();
+    decision_flags(fresh, "", &mut flags);
+    for (path, flag) in flags {
+        if !flag {
+            report.violations.push(TrajectoryViolation {
+                file: file.to_string(),
+                what: format!("{path} is false — the modes no longer reach identical decisions"),
+            });
+        }
+    }
+
+    // Rule 2: summary speedups may not regress past the tolerance. The
+    // committed value is the reference; fresh >= committed * (1 - tolerance).
+    let committed_speedups = summary_speedups(committed);
+    let fresh_speedups = summary_speedups(fresh);
+    for (key, reference) in committed_speedups {
+        match fresh_speedups.iter().find(|(k, _)| *k == key) {
+            Some((_, measured)) => {
+                let floor = reference * (1.0 - tolerance);
+                report.comparisons.push(format!(
+                    "{file}: {key} committed {reference:.3} fresh {measured:.3} (floor {floor:.3})"
+                ));
+                if *measured < floor {
+                    report.violations.push(TrajectoryViolation {
+                        file: file.to_string(),
+                        what: format!(
+                            "summary.{key} regressed: committed {reference:.3}, fresh \
+                             {measured:.3} (> {:.0}% below)",
+                            tolerance * 100.0
+                        ),
+                    });
+                }
+            }
+            None => report.violations.push(TrajectoryViolation {
+                file: file.to_string(),
+                what: format!("summary.{key} disappeared from the fresh document"),
+            }),
+        }
+    }
+}
+
+/// Compares every `BENCH_*.json` of the committed directory against the
+/// fresh directory. Errors only when the directories cannot be read; a
+/// missing or unparsable fresh document is a violation, not an error.
+pub fn check_trajectory(
+    fresh_dir: &Path,
+    committed_dir: &Path,
+    tolerance: f64,
+) -> std::io::Result<TrajectoryReport> {
+    let mut report = TrajectoryReport::default();
+    let mut names: Vec<String> = std::fs::read_dir(committed_dir)?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    for name in names {
+        let committed: serde_json::Value = match std::fs::read_to_string(committed_dir.join(&name))
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+        {
+            Some(doc) => doc,
+            None => {
+                report.violations.push(TrajectoryViolation {
+                    file: name.clone(),
+                    what: "committed document is unreadable".to_string(),
+                });
+                continue;
+            }
+        };
+        let fresh: serde_json::Value = match std::fs::read_to_string(fresh_dir.join(&name))
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok())
+        {
+            Some(doc) => doc,
+            None => {
+                report.violations.push(TrajectoryViolation {
+                    file: name.clone(),
+                    what: format!(
+                        "fresh document missing or unreadable under {}",
+                        fresh_dir.display()
+                    ),
+                });
+                continue;
+            }
+        };
+        check_document(&name, &fresh, &committed, tolerance, &mut report);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(speedup: f64, decisions: bool) -> serde_json::Value {
+        serde_json::from_str(&format!(
+            r#"{{"benchmark":"churn","rows":[{{"x":1}}],
+                "summary":{{"store_speedup":{speedup},"decisions_match":{decisions}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn matching_documents_pass() {
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_x.json", &doc(1.5, true), &doc(1.5, true), 0.25, &mut report);
+        assert!(!report.failed());
+        assert_eq!(report.documents, 1);
+        assert_eq!(report.comparisons.len(), 1);
+    }
+
+    #[test]
+    fn small_regressions_are_tolerated_large_ones_fail() {
+        let mut report = TrajectoryReport::default();
+        // 1.5 -> 1.2 is a 20% drop: inside the 25% tolerance.
+        check_document("BENCH_x.json", &doc(1.2, true), &doc(1.5, true), 0.25, &mut report);
+        assert!(!report.failed());
+        // 1.5 -> 1.0 is a 33% drop: regression.
+        check_document("BENCH_x.json", &doc(1.0, true), &doc(1.5, true), 0.25, &mut report);
+        assert!(report.failed());
+        assert!(format!("{report}").contains("regressed"));
+    }
+
+    #[test]
+    fn false_decision_flags_fail_wherever_they_hide() {
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_x.json", &doc(2.0, false), &doc(1.5, true), 0.25, &mut report);
+        assert!(report.failed());
+
+        // Nested flags (e.g. crash_restart_decisions_match inside summary,
+        // or flags inside row arrays) are found too.
+        let nested: serde_json::Value = serde_json::from_str(
+            r#"{"summary":{"crash_restart_decisions_match":false},"rows":[{"decisions_match":false}]}"#,
+        )
+        .unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_y.json", &nested, &nested, 0.25, &mut report);
+        assert_eq!(report.violations.len(), 2);
+    }
+
+    #[test]
+    fn disappeared_speedups_fail() {
+        let fresh: serde_json::Value =
+            serde_json::from_str(r#"{"summary":{"decisions_match":true}}"#).unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_x.json", &fresh, &doc(1.5, true), 0.25, &mut report);
+        assert!(report.failed());
+        assert!(format!("{report}").contains("disappeared"));
+    }
+
+    #[test]
+    fn directory_walk_flags_missing_fresh_documents() {
+        let base =
+            std::env::temp_dir().join(format!("orchestra-trajectory-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let committed = base.join("committed");
+        let fresh = base.join("fresh");
+        std::fs::create_dir_all(&committed).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        std::fs::write(
+            committed.join("BENCH_a.json"),
+            serde_json::to_string(&doc(1.5, true)).unwrap(),
+        )
+        .unwrap();
+        std::fs::write(
+            committed.join("BENCH_b.json"),
+            serde_json::to_string(&doc(2.0, true)).unwrap(),
+        )
+        .unwrap();
+        // Only BENCH_a regenerated, and it held its speedup.
+        std::fs::write(fresh.join("BENCH_a.json"), serde_json::to_string(&doc(1.6, true)).unwrap())
+            .unwrap();
+        let report = check_trajectory(&fresh, &committed, 0.25).unwrap();
+        assert_eq!(report.documents, 1);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].file.contains("BENCH_b"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -102,29 +102,70 @@ impl Participant {
         }
     }
 
-    /// Reconstructs a participant from the update store alone: a fresh
-    /// instance is built by replaying, in publication order, every
-    /// transaction the store records as accepted by this participant. This is
-    /// the paper's soft-state property — everything but the trust policy can
-    /// be recovered from the store up to the participant's last
-    /// reconciliation. Deferred conflicts are soft and are rediscovered at
-    /// the next reconciliation.
+    /// Reconstructs a participant from the update store alone — the paper's
+    /// soft-state property: everything but the trust policy can be recovered
+    /// from the store. Three pieces are rebuilt:
+    ///
+    /// * the **instance**, by replaying every transaction the store records
+    ///   as accepted by this participant, in acceptance order (the order the
+    ///   instance originally applied them);
+    /// * the **own-publish delta**: this participant's own transactions
+    ///   published *after* its last committed reconciliation have not yet
+    ///   been covered by one, so they are restored into
+    ///   `last_published_updates` (a trusted remote transaction conflicting
+    ///   with them must still be rejected);
+    /// * the **deferred soft state**: the store's undecided relevant
+    ///   transactions at or before the cursor are exactly the candidates
+    ///   earlier reconciliations deferred, so the dirty-value set and the
+    ///   conflict groups are rebuilt from them — a crash no longer silently
+    ///   drops conflicts awaiting user resolution.
     pub fn rebuild_from_store<S: UpdateStore + ?Sized>(
         schema: Schema,
         config: ParticipantConfig,
         store: &S,
     ) -> Result<Self> {
-        let mut participant = Participant::new(schema, config);
+        let mut participant = Participant::new(schema.clone(), config);
+        let cursor = store.epoch_cursor(participant.id);
         let mut max_local = 0u64;
-        for txn in store.accepted_transactions(participant.id) {
-            if txn.origin() == participant.id {
-                max_local = max_local.max(txn.id().local + 1);
+        let mut own_delta: Vec<Update> = Vec::new();
+        // Replay unit by unit: each unit is the newly accepted slice of one
+        // candidate extension and was originally applied as one *flattened*
+        // net effect, so a chain that collapsed to a no-op (e.g. a modify
+        // and its exact inverse accepted together) replays as a no-op too.
+        //
+        // The own-delta test below (publish epoch > cursor) relies on
+        // publishes being atomic under the log lock: the stable frontier a
+        // session pins always covers every finished epoch, so an own
+        // publication past the cursor is exactly one no reconciliation has
+        // consumed yet.
+        for unit in store.accepted_replay_units(participant.id) {
+            for txn in &unit {
+                if txn.origin() == participant.id {
+                    max_local = max_local.max(txn.id().local + 1);
+                    if store.epoch_of(txn.id()).map(|e| e > cursor).unwrap_or(false) {
+                        own_delta.extend(txn.updates().iter().cloned());
+                    }
+                }
             }
-            for update in txn.updates() {
-                Self::apply_lenient(&mut participant.instance, update);
+            let footprint: Vec<Update> =
+                unit.iter().flat_map(|t| t.updates().iter().cloned()).collect();
+            for update in orchestra_model::flatten(&schema, &footprint) {
+                Self::apply_lenient(&mut participant.instance, &update);
             }
         }
         participant.next_local_txn = max_local;
+        participant.last_published_updates = own_delta;
+
+        let deferred = store.undecided_candidates(participant.id);
+        if !deferred.is_empty() {
+            let recno = store.current_reconciliation(participant.id);
+            participant.soft.rebuild(
+                recno,
+                deferred,
+                participant.engine.schema(),
+                participant.engine.extension_cache(),
+            );
+        }
         Ok(participant)
     }
 
@@ -175,6 +216,12 @@ impl Participant {
     /// Transactions executed locally but not yet published.
     pub fn pending_publications(&self) -> &[Transaction] {
         &self.pending_publish
+    }
+
+    /// Updates published since the last reconciliation (the own-delta the
+    /// next reconciliation will treat as this participant's own version).
+    pub fn own_publish_delta(&self) -> &[Update] {
+        &self.last_published_updates
     }
 
     /// Cumulative timing across every operation performed so far.
@@ -342,6 +389,7 @@ impl Participant {
         >,
     ) -> Result<ReconcileReport> {
         let previously_rejected = self.rejected_set_cached(store);
+        let previously_accepted = store.accepted_set(self.id);
 
         let local_start = Instant::now();
         let input = ReconcileInput {
@@ -349,6 +397,7 @@ impl Participant {
             candidates,
             own_updates: std::mem::take(&mut self.last_published_updates),
             previously_rejected,
+            previously_accepted,
             precomputed_conflicts,
         };
         let outcome = self.engine.reconcile(input, &mut self.instance, &mut self.soft);
@@ -401,6 +450,7 @@ impl Participant {
         choices: &[ResolutionChoice],
     ) -> Result<ResolutionReport> {
         let previously_rejected = self.rejected_set_cached(store);
+        let previously_accepted = store.accepted_set(self.id);
         let recno = store.current_reconciliation(self.id);
 
         let local_start = Instant::now();
@@ -411,6 +461,7 @@ impl Participant {
             &mut self.instance,
             &mut self.soft,
             &previously_rejected,
+            previously_accepted,
         );
         let local_elapsed = local_start.elapsed();
 

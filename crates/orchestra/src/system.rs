@@ -75,6 +75,22 @@ impl<S: UpdateStore> CdssSystem<S> {
         Ok(id)
     }
 
+    /// Adopts an already-built participant — typically one reconstructed
+    /// with [`Participant::rebuild_from_store`] after a crash. Unlike
+    /// [`CdssSystem::add_participant`] this does **not** register the trust
+    /// policy with the store: a recovered store already holds it (and its
+    /// relevance index), and re-registering would needlessly rebuild the
+    /// index and append a duplicate record to a durable store's log.
+    /// Adopting an id that is already present is an error.
+    pub fn adopt_participant(&mut self, participant: Participant) -> Result<ParticipantId> {
+        let id = participant.id();
+        if self.participants.contains_key(&id) {
+            return Err(duplicate_participant(id));
+        }
+        self.participants.insert(id, participant);
+        Ok(id)
+    }
+
     /// The identities of all participants, in order.
     pub fn participant_ids(&self) -> Vec<ParticipantId> {
         self.participants.keys().copied().collect()

@@ -49,6 +49,13 @@ pub struct ReconcileInput {
     /// maintained record is lent to the engine instead of being copied per
     /// reconciliation.
     pub previously_rejected: Arc<FxHashSet<TransactionId>>,
+    /// Transactions this participant has accepted so far (the store's shared
+    /// snapshot). Extensions are defined over *undecided* antecedents
+    /// (Definition 3), so the engine prunes accepted members from every
+    /// candidate — in particular from deferred candidates carried across
+    /// reconciliations, whose chains would otherwise go stale as their
+    /// antecedents get accepted.
+    pub previously_accepted: Arc<FxHashSet<TransactionId>>,
     /// Pairwise direct conflicts already computed elsewhere (the
     /// network-centric mode of Section 5, where conflict detection is
     /// distributed across the peers owning the conflicting keys). When
@@ -130,7 +137,17 @@ impl ReconcileEngine {
         soft: &mut SoftState,
     ) -> ReconcileOutcome {
         let schema = &self.schema;
-        let candidates = input.candidates;
+        let mut candidates = input.candidates;
+        // Keep every extension on Definition 3: drop members the participant
+        // has already accepted. Store-built candidates arrive pruned (the
+        // store excludes the accepted set when it builds extensions), so this
+        // only bites candidates re-presented by conflict resolution.
+        if !input.previously_accepted.is_empty() {
+            for cand in &mut candidates {
+                cand.prune_accepted_members(&input.previously_accepted);
+            }
+        }
+        let candidates = candidates;
         let own_flat = flatten(schema, &input.own_updates);
 
         // Lines 5-8: per-candidate flattened extensions and CheckState. The
@@ -203,17 +220,35 @@ impl ReconcileEngine {
             }
         }
 
-        // Collect rejected and deferred roots.
+        // Collect rejected and deferred roots. A root whose decision was
+        // Defer can nonetheless have been *accepted as a member* of another
+        // accepted candidate's extension in this very run — the store now
+        // durably records it accepted, so it is no longer deferred (and must
+        // not linger in the soft state where a user could "resolve" a
+        // transaction the store has already committed to).
         for cand in &candidates {
             match decisions[&cand.id] {
                 TransactionDecision::Reject => outcome.rejected.push(cand.id),
-                TransactionDecision::Defer => outcome.deferred.push(cand.id),
-                TransactionDecision::Accept => {}
+                TransactionDecision::Defer if !used.contains(&cand.id) => {
+                    outcome.deferred.push(cand.id)
+                }
+                TransactionDecision::Defer | TransactionDecision::Accept => {}
             }
         }
 
         // Line 21: UpdateSoftState — previously deferred transactions remain
-        // deferred alongside the newly deferred ones.
+        // deferred alongside the newly deferred ones. Their chains are
+        // pruned against everything accepted up to and *including* this run,
+        // so the soft state never holds a member whose effects are already
+        // in the instance (and crash recovery, which rebuilds deferred
+        // candidates from the store's current accepted set, reproduces the
+        // same chains).
+        let accepted_now: FxHashSet<TransactionId> = input
+            .previously_accepted
+            .iter()
+            .chain(outcome.accepted_members.iter())
+            .copied()
+            .collect();
         let mut all_deferred: Vec<CandidateTransaction> =
             soft.deferred().values().cloned().collect();
         all_deferred.sort_by_key(|c| c.id);
@@ -225,10 +260,16 @@ impl ReconcileEngine {
             }
         }
         // Previously deferred transactions that were decided in this run
-        // (possible during conflict resolution) drop out of the deferred set.
+        // (possible during conflict resolution), or accepted as members of an
+        // accepted extension, drop out of the deferred set — the store's
+        // durable record is authoritative.
         all_deferred.retain(|c| {
-            decisions.get(&c.id).map(|d| *d == TransactionDecision::Defer).unwrap_or(true)
+            !used.contains(&c.id)
+                && decisions.get(&c.id).map(|d| *d == TransactionDecision::Defer).unwrap_or(true)
         });
+        for cand in &mut all_deferred {
+            cand.prune_accepted_members(&accepted_now);
+        }
         soft.rebuild(input.recno, all_deferred, schema, &self.cache);
         // Accepted and rejected transactions are durably decided at the store
         // and never reappear as candidates; only deferred chains can recur,

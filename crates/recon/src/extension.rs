@@ -103,6 +103,20 @@ impl CandidateTransaction {
         self.members.iter().map(|(id, _)| *id).collect()
     }
 
+    /// Drops extension members the participant has since accepted (the root
+    /// itself is always kept). Definition 3 defines the extension over
+    /// *undecided* antecedents, so a candidate deferred across
+    /// reconciliations must shed members as they get accepted — their effects
+    /// are part of the instance by then, and keeping them would distort
+    /// conflict detection and subsumption. This also makes a deferred
+    /// candidate reconstructible from the store alone (crash recovery builds
+    /// it against the current accepted set and must get the same chain).
+    pub fn prune_accepted_members(&mut self, accepted: &FxHashSet<TransactionId>) {
+        if self.members.iter().any(|(id, _)| *id != self.id && accepted.contains(id)) {
+            self.members.retain(|(id, _)| *id == self.id || !accepted.contains(id));
+        }
+    }
+
     /// An order-sensitive fingerprint of the extension's member list. Two
     /// candidates for the same root transaction share a fingerprint exactly
     /// when their antecedent chains are identical, which is what makes the

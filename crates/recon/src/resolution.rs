@@ -42,8 +42,10 @@ pub struct ResolutionOutcome {
 ///
 /// `previously_rejected` is the participant's rejected set from the update
 /// store; the newly rejected transactions are added to it by the caller after
-/// this returns. `own_updates` should normally be empty — resolution is not a
-/// publication step.
+/// this returns. `previously_accepted` is the matching accepted snapshot,
+/// which the rerun uses to keep candidate extensions on Definition 3
+/// (accepted members are pruned). `own_updates` should normally be empty —
+/// resolution is not a publication step.
 pub fn resolve_conflicts(
     engine: &ReconcileEngine,
     recno: ReconciliationId,
@@ -51,6 +53,7 @@ pub fn resolve_conflicts(
     instance: &mut Database,
     soft: &mut SoftState,
     previously_rejected: &FxHashSet<TransactionId>,
+    previously_accepted: std::sync::Arc<FxHashSet<TransactionId>>,
 ) -> ResolutionOutcome {
     let mut outcome = ResolutionOutcome::default();
 
@@ -105,6 +108,7 @@ pub fn resolve_conflicts(
         candidates: remaining,
         own_updates: Vec::<Update>::new(),
         previously_rejected: std::sync::Arc::new(all_rejected),
+        previously_accepted,
         precomputed_conflicts: None,
     };
     outcome.rerun = engine.reconcile(input, instance, soft);
@@ -171,6 +175,7 @@ mod tests {
             &mut db,
             &mut soft,
             &FxHashSet::default(),
+            std::sync::Arc::default(),
         );
         assert_eq!(outcome.newly_rejected, vec![x1.id()]);
         assert_eq!(outcome.rerun.accepted_roots, vec![x2.id()]);
@@ -192,6 +197,7 @@ mod tests {
             &mut db,
             &mut soft,
             &FxHashSet::default(),
+            std::sync::Arc::default(),
         );
         let mut rejected = outcome.newly_rejected.clone();
         rejected.sort();
@@ -236,6 +242,7 @@ mod tests {
             &mut db,
             &mut soft,
             &FxHashSet::default(),
+            std::sync::Arc::default(),
         );
         assert_eq!(outcome.newly_rejected, vec![a2.id()]);
         assert!(outcome.rerun.accepted_roots.contains(&a1.id()));
@@ -262,6 +269,7 @@ mod tests {
             &mut db,
             &mut soft,
             &FxHashSet::default(),
+            std::sync::Arc::default(),
         );
         assert!(outcome.newly_rejected.is_empty());
         // Nothing was resolved, so both transactions re-defer.

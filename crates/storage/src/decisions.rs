@@ -40,14 +40,47 @@ pub enum Decision {
 /// with a reference-count bump instead of cloning a fresh set per call —
 /// the key to making per-reconciliation work scale with new epochs rather
 /// than with total history.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Clone, Default, Serialize, Deserialize)]
 pub struct ParticipantRecord {
     decisions: FxHashMap<TransactionId, Decision>,
+    /// Transaction ids in the order the participant first *accepted* them.
+    /// This is the order the participant's instance applied their effects
+    /// (own transactions at execute/publish time, remote ones as their
+    /// sessions decided them), which is **not** publication order — a
+    /// participant executes against its own lagging view, so its own write
+    /// to a key can land locally before a remotely published one it only
+    /// accepts later. Replaying accepted transactions in this order is what
+    /// makes the instance reconstructible from the store (the paper's
+    /// soft-state property); replaying in publication order diverges on
+    /// exactly those interleavings.
+    accepted_order: Vec<TransactionId>,
     reconciliations: Vec<(ReconciliationId, Epoch)>,
     #[serde(skip)]
     accepted: Arc<FxHashSet<TransactionId>>,
     #[serde(skip)]
     rejected: Arc<FxHashSet<TransactionId>>,
+}
+
+impl std::fmt::Debug for ParticipantRecord {
+    /// Canonical rendering: the hash-backed decision map and derived sets are
+    /// printed in sorted order, so two records holding the same durable state
+    /// render identically regardless of insertion history. Crash recovery
+    /// relies on this — a recovered store is verified byte-for-byte against
+    /// the live one through its `Debug` output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let decisions: std::collections::BTreeMap<_, _> = self.decisions.iter().collect();
+        let mut accepted: Vec<_> = self.accepted.iter().collect();
+        accepted.sort();
+        let mut rejected: Vec<_> = self.rejected.iter().collect();
+        rejected.sort();
+        f.debug_struct("ParticipantRecord")
+            .field("decisions", &decisions)
+            .field("accepted_order", &self.accepted_order)
+            .field("reconciliations", &self.reconciliations)
+            .field("accepted", &accepted)
+            .field("rejected", &rejected)
+            .finish()
+    }
 }
 
 impl ParticipantRecord {
@@ -72,6 +105,7 @@ impl ParticipantRecord {
                     Decision::Accepted => {
                         Arc::make_mut(&mut self.rejected).remove(&txn);
                         Arc::make_mut(&mut self.accepted).insert(txn);
+                        self.accepted_order.push(txn);
                     }
                     Decision::Rejected => {
                         Arc::make_mut(&mut self.rejected).insert(txn);
@@ -79,6 +113,13 @@ impl ParticipantRecord {
                 }
             }
         }
+    }
+
+    /// The accepted transactions in the order they were first accepted — the
+    /// order the participant's instance applied them, and therefore the
+    /// replay order that reconstructs it (see the field docs).
+    pub fn accepted_in_order(&self) -> &[TransactionId] {
+        &self.accepted_order
     }
 
     /// Rebuilds the derived accepted/rejected sets (used after

@@ -19,6 +19,10 @@
 //! * [`DecisionLog`] — the per-participant record of accepted and rejected
 //!   transactions that the paper moves into the update store so that client
 //!   state stays soft.
+//! * [`wal`] / [`snapshot`] — the durability layer: an append-only log of
+//!   CRC-checked [`WalRecord`] frames plus a compacting [`StoreSnapshot`]
+//!   format, from which `orchestra_store::StoreCatalog::recover` rebuilds the
+//!   exact durable store state after a crash.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,11 +33,15 @@ pub mod epoch;
 pub mod error;
 pub mod log;
 pub mod persist;
+pub mod snapshot;
 pub mod table;
+pub mod wal;
 
 pub use database::Database;
 pub use decisions::{Decision, DecisionLog, ParticipantRecord};
 pub use epoch::{EpochRegistry, PublicationStatus};
 pub use error::{Result, StorageError};
 pub use log::{LogEntry, TransactionLog};
+pub use snapshot::{ParticipantSnapshot, StoreSnapshot};
 pub use table::Table;
+pub use wal::{FrameLog, WalRecord};

@@ -13,6 +13,7 @@ use orchestra_model::{Epoch, ParticipantId, RelName, Schema, Transaction, Transa
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// One entry of the published-transaction log.
@@ -30,7 +31,7 @@ pub struct LogEntry {
 
 /// Append-only log of published transactions with epoch, id and
 /// written-tuple indexes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Clone, Default, Serialize, Deserialize)]
 pub struct TransactionLog {
     entries: Vec<LogEntry>,
     #[serde(skip)]
@@ -41,6 +42,16 @@ pub struct TransactionLog {
     /// transactions that wrote it, in publication order.
     #[serde(skip)]
     writers: FxHashMap<(RelName, Tuple), Vec<usize>>,
+}
+
+impl fmt::Debug for TransactionLog {
+    /// Canonical rendering: only the entries themselves (publication order)
+    /// are printed. The lookup indexes are derived state whose hash-map
+    /// layout depends on insertion history; excluding them keeps the output
+    /// identical between a live log and one rebuilt by crash recovery.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TransactionLog").field("entries", &self.entries).finish_non_exhaustive()
+    }
 }
 
 impl TransactionLog {

@@ -1,0 +1,405 @@
+//! The write-ahead log: an append-only file of CRC-checked, length-prefixed
+//! frames, plus the typed records the update store writes into it.
+//!
+//! The paper's update store is backed by a commercial RDBMS, which makes
+//! published transactions and decision records durable for free. Our
+//! catalogue is in-memory, so durability is layered underneath it: every
+//! state-changing store operation appends one [`WalRecord`] to a
+//! [`FrameLog`], and recovery replays the records in order to rebuild the
+//! exact durable state (see `orchestra_store::StoreCatalog::recover`).
+//!
+//! # Frame format
+//!
+//! ```text
+//! ┌───────────┬───────────┬──────────────┐
+//! │ len: u32  │ crc: u32  │ payload      │   (both integers little-endian)
+//! └───────────┴───────────┴──────────────┘
+//! ```
+//!
+//! `crc` is the CRC-32 (IEEE) of the payload. A reader stops at the first
+//! frame whose length or checksum does not hold — a crash mid-append leaves a
+//! *torn tail*, which is truncated on the next open, exactly like a database
+//! WAL. Payloads are JSON ([`WalRecord::encode`]) so the log stays
+//! inspectable with standard tools.
+//!
+//! The crash model is process death: appends reach the operating system
+//! before the call returns (one `write` syscall per frame), but the log is
+//! not `fsync`ed per record — media-failure durability would add
+//! `File::sync_data` at the cost of dominating every store call.
+
+use crate::error::{Result, StorageError};
+use orchestra_model::{
+    Epoch, ParticipantId, ReconciliationId, Schema, Transaction, TransactionId, TrustPolicy,
+};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Upper bound on a single frame payload (guards against interpreting a
+/// corrupt length prefix as a multi-gigabyte allocation).
+const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of a byte slice — the checksum guarding every frame.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Encodes one frame (length prefix, checksum, payload) into a byte vector.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes every valid frame of a byte buffer. Returns the payloads and the
+/// number of bytes consumed by valid frames; decoding stops (without error)
+/// at a torn or corrupt tail.
+pub fn decode_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len as u64 > u64::from(MAX_FRAME_LEN) {
+            break;
+        }
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else { break };
+        if crc32(payload) != crc {
+            break;
+        }
+        frames.push(payload.to_vec());
+        pos += 8 + len;
+    }
+    (frames, pos)
+}
+
+/// An append-only, file-backed log of CRC-checked frames.
+///
+/// Opening an existing file validates every frame and truncates a torn tail,
+/// so the writer always resumes at the end of the last intact record.
+#[derive(Debug)]
+pub struct FrameLog {
+    file: File,
+    path: PathBuf,
+    records: u64,
+    bytes: u64,
+}
+
+impl FrameLog {
+    /// Opens (or creates) a frame log, returning the log positioned for
+    /// appends together with the payloads of every intact frame already in
+    /// the file. A torn or corrupt tail is truncated away.
+    pub fn open(path: &Path) -> Result<(FrameLog, Vec<Vec<u8>>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| StorageError::Persistence(format!("open {}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StorageError::Persistence(format!("read {}: {e}", path.display())))?;
+        let (frames, valid) = decode_frames(&bytes);
+        if valid < bytes.len() {
+            file.set_len(valid as u64)
+                .map_err(|e| StorageError::Persistence(format!("truncate torn tail: {e}")))?;
+        }
+        file.seek(SeekFrom::Start(valid as u64))
+            .map_err(|e| StorageError::Persistence(format!("seek: {e}")))?;
+        let log = FrameLog {
+            file,
+            path: path.to_path_buf(),
+            records: frames.len() as u64,
+            bytes: valid as u64,
+        };
+        Ok((log, frames))
+    }
+
+    /// Creates a fresh, empty frame log, truncating any existing file.
+    pub fn create(path: &Path) -> Result<FrameLog> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StorageError::Persistence(format!("create {}: {e}", path.display())))?;
+        Ok(FrameLog { file, path: path.to_path_buf(), records: 0, bytes: 0 })
+    }
+
+    /// Appends one frame. The frame is handed to the operating system in a
+    /// single write before the call returns.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let frame = encode_frame(payload);
+        self.file.write_all(&frame).map_err(|e| {
+            StorageError::Persistence(format!("append {}: {e}", self.path.display()))
+        })?;
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes the log to stable storage (`fsync`). Not called per append —
+    /// see the module docs for the crash model.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(|e| StorageError::Persistence(format!("sync: {e}")))
+    }
+
+    /// Number of intact records in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Size of the log in bytes (valid frames only).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The file the log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One durable store operation, in the order it was applied.
+///
+/// The records mirror the catalogue's four state-changing entry points; a
+/// replay that applies them in order over the snapshot state reproduces the
+/// durable catalogue byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// First record of a generation-zero log: pins the schema so that
+    /// recovery is self-contained even before the first snapshot exists.
+    Init {
+        /// The schema the store serves.
+        schema: Schema,
+    },
+    /// A trust policy was registered (or replaced).
+    RegisterPolicy {
+        /// The registered policy (its owner names the participant).
+        policy: TrustPolicy,
+    },
+    /// A batch of transactions was published as one epoch.
+    Publish {
+        /// The publishing participant.
+        participant: ParticipantId,
+        /// The epoch the store allocated — replay asserts it re-derives the
+        /// same one.
+        epoch: Epoch,
+        /// The published transactions, in batch order.
+        transactions: Vec<Transaction>,
+    },
+    /// A reconciliation session committed: decisions, the reconciliation
+    /// record and the epoch cursor move together.
+    CommitReconciliation {
+        /// The reconciling participant.
+        participant: ParticipantId,
+        /// The reconciliation number recorded.
+        recno: ReconciliationId,
+        /// The epoch the session was pinned to (becomes the new cursor).
+        epoch: Epoch,
+        /// Root and member transactions accepted by the session.
+        accepted: Vec<TransactionId>,
+        /// Root transactions rejected by the session.
+        rejected: Vec<TransactionId>,
+    },
+    /// Out-of-session decisions (conflict resolution between
+    /// reconciliations).
+    Decisions {
+        /// The deciding participant.
+        participant: ParticipantId,
+        /// Transactions accepted by the resolution.
+        accepted: Vec<TransactionId>,
+        /// Transactions rejected by the resolution.
+        rejected: Vec<TransactionId>,
+    },
+}
+
+impl WalRecord {
+    /// Serialises the record to its frame payload (compact JSON).
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_string(self).expect("WAL records serialise").into_bytes()
+    }
+
+    /// Deserialises a record from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| StorageError::Persistence(format!("WAL record is not UTF-8: {e}")))?;
+        serde_json::from_str(text)
+            .map_err(|e| StorageError::Persistence(format!("WAL record parse: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{Tuple, Update};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("orchestra-wal-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_and_stop_at_torn_tail() {
+        let a = encode_frame(b"first");
+        let b = encode_frame(b"second");
+        let mut bytes = [a.clone(), b.clone()].concat();
+        let (frames, consumed) = decode_frames(&bytes);
+        assert_eq!(frames, vec![b"first".to_vec(), b"second".to_vec()]);
+        assert_eq!(consumed, bytes.len());
+
+        // A torn third frame (half a header, then half a payload) is ignored.
+        bytes.extend_from_slice(&[7, 0, 0, 0, 1]);
+        let (frames, consumed) = decode_frames(&bytes);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(consumed, a.len() + b.len());
+
+        // A corrupt checksum also stops the reader.
+        let mut corrupt = a.clone();
+        corrupt[4] ^= 0xFF;
+        let (frames, consumed) = decode_frames(&corrupt);
+        assert!(frames.is_empty());
+        assert_eq!(consumed, 0);
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let (frames, consumed) = decode_frames(&bytes);
+        assert!(frames.is_empty());
+        assert_eq!(consumed, 0);
+    }
+
+    #[test]
+    fn file_log_appends_and_reopens() {
+        let path = tmp("append");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut log, frames) = FrameLog::open(&path).unwrap();
+            assert!(frames.is_empty());
+            log.append(b"one").unwrap();
+            log.append(b"two").unwrap();
+            assert_eq!(log.records(), 2);
+            log.sync().unwrap();
+        }
+        // Reopen: both records are intact, appends continue at the end.
+        let (mut log, frames) = FrameLog::open(&path).unwrap();
+        assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec()]);
+        log.append(b"three").unwrap();
+        let (log2, frames) = FrameLog::open(&path).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(log2.records(), 3);
+        assert_eq!(log2.bytes(), (8 + 3) + (8 + 3) + (8 + 5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut log, _) = FrameLog::open(&path).unwrap();
+            log.append(b"intact").unwrap();
+        }
+        // Simulate a crash mid-append: garbage after the valid frame.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[9, 0, 0, 0, 1, 2]).unwrap();
+        }
+        let (log, frames) = FrameLog::open(&path).unwrap();
+        assert_eq!(frames, vec![b"intact".to_vec()]);
+        assert_eq!(log.records(), 1);
+        // The torn bytes are gone from the file itself.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 8 + 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_truncates_an_existing_log() {
+        let path = tmp("create");
+        {
+            let (mut log, _) = FrameLog::open(&path).unwrap();
+            log.append(b"old").unwrap();
+        }
+        let log = FrameLog::create(&path).unwrap();
+        assert_eq!(log.records(), 0);
+        let (_, frames) = FrameLog::open(&path).unwrap();
+        assert!(frames.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let p = ParticipantId(3);
+        let txn = Transaction::from_parts(
+            p,
+            0,
+            vec![Update::insert("Function", Tuple::of_text(&["rat", "prot1", "a"]), p)],
+        )
+        .unwrap();
+        let records = vec![
+            WalRecord::Init { schema: bioinformatics_schema() },
+            WalRecord::RegisterPolicy {
+                policy: TrustPolicy::new(p).trusting(ParticipantId(2), 1u32),
+            },
+            WalRecord::Publish { participant: p, epoch: Epoch(1), transactions: vec![txn.clone()] },
+            WalRecord::CommitReconciliation {
+                participant: ParticipantId(2),
+                recno: ReconciliationId(1),
+                epoch: Epoch(1),
+                accepted: vec![txn.id()],
+                rejected: vec![],
+            },
+            WalRecord::Decisions {
+                participant: ParticipantId(2),
+                accepted: vec![],
+                rejected: vec![txn.id()],
+            },
+        ];
+        for record in records {
+            let back = WalRecord::decode(&record.encode()).unwrap();
+            assert_eq!(back, record);
+        }
+        assert!(WalRecord::decode(b"{not json").is_err());
+        assert!(WalRecord::decode(&[0xFF, 0xFE]).is_err());
+    }
+}

@@ -196,12 +196,43 @@ pub trait UpdateStore: Send + Sync {
     /// Looks up a published transaction by id, sharing the log's copy.
     fn transaction(&self, id: TransactionId) -> Option<Arc<Transaction>>;
 
-    /// The transactions the participant has accepted, in publication order —
-    /// the replay stream that reconstructs a participant's instance up to its
-    /// last reconciliation (the paper's soft-state property). Each entry
-    /// shares the log's copy. This is a recovery path and is not charged to
-    /// the reconciliation cost model.
+    /// The transactions the participant has accepted, in **acceptance
+    /// order** — the order its instance applied them, and therefore the
+    /// replay stream that reconstructs the instance up to its last
+    /// reconciliation (the paper's soft-state property). Publication order
+    /// would not do: a participant executes its own transactions against a
+    /// lagging view, so its own write to a key can land locally before a
+    /// remotely published one it only accepts later. Each entry shares the
+    /// log's copy. This is a recovery path and is not charged to the
+    /// reconciliation cost model.
     fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Arc<Transaction>>;
+
+    /// The epoch in which a transaction was published, if it is in the log.
+    /// Recovery path (used to tell which of a rebuilt participant's own
+    /// publications postdate its last reconciliation); not charged to the
+    /// cost model.
+    fn epoch_of(&self, id: TransactionId) -> Option<Epoch>;
+
+    /// The accepted transactions of [`UpdateStore::accepted_transactions`]
+    /// grouped into **replay units** — maximal antecedent-linked runs, each
+    /// the newly accepted slice of one candidate extension. The participant
+    /// applied each unit's *flattened* net effect, so reconstruction must
+    /// flatten per unit too (a chain that collapsed to a no-op must replay
+    /// as a no-op). Recovery path; not charged to the cost model.
+    fn accepted_replay_units(&self, participant: ParticipantId) -> Vec<Vec<Arc<Transaction>>>;
+
+    /// The epoch cursor of the participant's most recent *committed*
+    /// reconciliation (`Epoch::ZERO` if it has never reconciled).
+    fn epoch_cursor(&self, participant: ParticipantId) -> Epoch;
+
+    /// The relevant, trusted, still-undecided transactions at or before the
+    /// participant's epoch cursor, in publication order with extensions —
+    /// exactly the candidates its earlier reconciliations deferred. This is
+    /// the second half of the paper's soft-state property: together with
+    /// [`UpdateStore::accepted_transactions`] it lets a participant that lost
+    /// all local state rebuild both its instance *and* its deferred conflict
+    /// state from the store. Recovery path; not charged to the cost model.
+    fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction>;
 }
 
 /// Compile-time proof that the trait stays object-safe.

@@ -46,17 +46,21 @@
 //! benchmark's baseline.
 
 use crate::api::{SessionId, SessionInfo};
+use crate::durability::{Durability, FileWalBackend};
 use orchestra_model::{
     Epoch, ParticipantId, Priority, ReconciliationId, Schema, Transaction, TransactionId,
     TrustPolicy,
 };
 use orchestra_recon::CandidateTransaction;
+use orchestra_storage::snapshot::{self, ParticipantSnapshot, StoreSnapshot};
+use orchestra_storage::wal::WalRecord;
 use orchestra_storage::{
-    Decision, EpochRegistry, ParticipantRecord, Result, StorageError, TransactionLog,
+    Decision, EpochRegistry, FrameLog, ParticipantRecord, Result, StorageError, TransactionLog,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -176,18 +180,33 @@ pub struct StoreCatalog {
     shards: RwLock<FxHashMap<ParticipantId, Arc<RwLock<ParticipantShard>>>>,
     sessions: Mutex<FxHashMap<u64, SessionState>>,
     next_session: AtomicU64,
+    /// Where state-changing operations are logged (see [`Durability`]).
+    /// Appends happen under the lock guarding the mutated state, so WAL
+    /// order always matches apply order.
+    durability: Durability,
 }
 
 impl StoreCatalog {
-    /// Creates an empty catalogue for the given schema.
+    /// Creates an empty, purely in-memory catalogue for the given schema.
     pub fn new(schema: Schema) -> Self {
+        StoreCatalog::with_durability(schema, Durability::Ephemeral)
+    }
+
+    /// Creates an empty catalogue with an explicit durability backend.
+    pub fn with_durability(schema: Schema, durability: Durability) -> Self {
         StoreCatalog {
             schema,
             log: RwLock::new(LogShard::default()),
             shards: RwLock::new(FxHashMap::default()),
             sessions: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(1),
+            durability,
         }
+    }
+
+    /// The catalogue's durability backend.
+    pub fn durability(&self) -> &Durability {
+        &self.durability
     }
 
     /// The schema the store serves.
@@ -227,24 +246,33 @@ impl StoreCatalog {
     /// its slice of the relevance index from the already-published log.
     /// Registration is an out-of-band setup step; steady-state publications
     /// keep the index current incrementally.
+    ///
+    /// # Panics
+    /// On a durable catalogue, panics if the WAL append fails — registration
+    /// is setup-time work (the trait signature has no error channel), and a
+    /// store whose very first writes fail should not come up at all.
     pub fn register_policy(&self, policy: TrustPolicy) {
+        self.register_policy_impl(policy, true);
+    }
+
+    fn register_policy_impl(&self, policy: TrustPolicy, durable: bool) {
         let participant = policy.owner();
         // Lock order: log before shard map.
         let log = self.log.read().expect("log lock");
-        let mut index: BTreeMap<u64, Vec<RelevanceEntry>> = BTreeMap::new();
-        for entry in log.log.entries() {
-            let txn = entry.transaction.as_ref();
-            if txn.origin() == participant {
-                continue;
-            }
-            let priority = policy.priority_of_transaction(txn, &self.schema);
-            index.entry(entry.epoch.as_u64()).or_default().push((txn.id(), priority));
-        }
+        let index = relevance_slice(&log.log, &self.schema, &policy);
+        let record = (durable && self.durability.is_durable())
+            .then(|| WalRecord::RegisterPolicy { policy: policy.clone() });
         let shard = self.ensure_shard(participant);
         let mut shard = shard.write().expect("shard lock");
         shard.policy = policy;
         shard.registered = true;
         shard.relevance = index;
+        if let Some(record) = record {
+            // Appended inside the log read + shard write locks, so the WAL
+            // interleaves registrations and publishes in apply order.
+            self.durability.append(&record).expect("WAL append (registration)");
+        }
+        drop(shard);
         drop(log);
     }
 
@@ -277,6 +305,21 @@ impl StoreCatalog {
         participant: ParticipantId,
         transactions: Vec<Transaction>,
     ) -> Result<Epoch> {
+        self.publish_impl(participant, transactions, None)
+    }
+
+    /// The publish path shared by live callers and WAL replay. Live calls
+    /// (`replay_epoch` = `None`) append a [`WalRecord::Publish`] inside the
+    /// log write lock once the batch has fully applied; replay calls skip the
+    /// append and instead assert that the re-derived epoch matches the
+    /// recorded one.
+    fn publish_impl(
+        &self,
+        participant: ParticipantId,
+        transactions: Vec<Transaction>,
+        replay_epoch: Option<Epoch>,
+    ) -> Result<Epoch> {
+        let durable = replay_epoch.is_none() && self.durability.is_durable();
         let publisher = self.ensure_shard(participant);
         let mut log = self.log.write().expect("log lock");
 
@@ -293,6 +336,13 @@ impl StoreCatalog {
         }
 
         let epoch = log.registry.begin_publish(participant);
+        if let Some(expected) = replay_epoch {
+            if epoch != expected {
+                return Err(StorageError::Persistence(format!(
+                    "WAL replay diverged: re-derived epoch {epoch}, log recorded {expected}"
+                )));
+            }
+        }
         let shards: Vec<(ParticipantId, Arc<RwLock<ParticipantShard>>)> = {
             let map = self.shards.read().expect("shard map lock");
             map.iter().map(|(id, shard)| (*id, Arc::clone(shard))).collect()
@@ -325,11 +375,25 @@ impl StoreCatalog {
             for txn in &transactions {
                 publisher.record.record(txn.id(), Decision::Accepted);
             }
+            let record = durable.then(|| WalRecord::Publish {
+                participant,
+                epoch,
+                transactions: transactions.clone(),
+            });
+            for txn in transactions {
+                log.log.publish(epoch, txn)?;
+            }
+            log.registry.finish_publish(epoch)?;
+            if let Some(record) = record {
+                // Appended while still holding the log write lock *and* the
+                // publisher's shard write lock: concurrent publishes reach
+                // the WAL in epoch order, and a concurrent decision commit
+                // for the publisher cannot slip its record in between this
+                // publish's own-acceptance and the Publish record — the
+                // per-participant record stream replays in apply order.
+                self.durability.append(&record)?;
+            }
         }
-        for txn in transactions {
-            log.log.publish(epoch, txn)?;
-        }
-        log.registry.finish_publish(epoch)?;
         Ok(epoch)
     }
 
@@ -504,16 +568,22 @@ impl StoreCatalog {
         // O(history) cost per commit.
         drop(snapshot);
         drop(pending);
+        let record = self.durability.is_durable().then(|| WalRecord::CommitReconciliation {
+            participant,
+            recno,
+            epoch,
+            accepted: accepted.to_vec(),
+            rejected: rejected.to_vec(),
+        });
         let shard = self.ensure_shard(participant);
         let mut shard = shard.write().expect("shard lock");
-        for id in accepted {
-            shard.record.record(*id, Decision::Accepted);
+        apply_reconciliation(&mut shard, recno, epoch, accepted, rejected);
+        if let Some(record) = record {
+            // Inside the shard write lock: a participant's decisions, its
+            // reconciliation record and its cursor reach the WAL atomically
+            // and in apply order.
+            self.durability.append(&record)?;
         }
-        for id in rejected {
-            shard.record.record(*id, Decision::Rejected);
-        }
-        shard.record.record_reconciliation(recno, epoch);
-        shard.cursor = Some(epoch);
         Ok((participant, recno, epoch))
     }
 
@@ -529,12 +599,20 @@ impl StoreCatalog {
     }
 
     /// Records accept/reject decisions for a participant outside a session.
+    /// Errors only on a failed WAL append (the in-memory state has been
+    /// updated by then — like a failed publish append, the process should
+    /// treat the store as no longer durable).
     pub fn record_decisions(
         &self,
         participant: ParticipantId,
         accepted: &[TransactionId],
         rejected: &[TransactionId],
-    ) {
+    ) -> Result<()> {
+        let record = self.durability.is_durable().then(|| WalRecord::Decisions {
+            participant,
+            accepted: accepted.to_vec(),
+            rejected: rejected.to_vec(),
+        });
         let shard = self.ensure_shard(participant);
         let mut shard = shard.write().expect("shard lock");
         for id in accepted {
@@ -543,6 +621,10 @@ impl StoreCatalog {
         for id in rejected {
             shard.record.record(*id, Decision::Rejected);
         }
+        if let Some(record) = record {
+            self.durability.append(&record)?;
+        }
+        Ok(())
     }
 
     /// The participant's most recent committed reconciliation number.
@@ -576,21 +658,24 @@ impl StoreCatalog {
             .unwrap_or(Priority::UNTRUSTED)
     }
 
-    /// The transactions the participant has accepted, in publication order,
-    /// each sharing the log's copy. This is the replay stream used to
-    /// reconstruct a participant's instance from the store (the paper's
-    /// soft-state property).
-    pub fn accepted_in_publication_order(
+    /// The transactions the participant has accepted, in **acceptance
+    /// order**, each sharing the log's copy. This is the replay stream used
+    /// to reconstruct a participant's instance from the store (the paper's
+    /// soft-state property). Acceptance order — not publication order — is
+    /// the order the participant's instance applied the effects: a
+    /// participant executes its own transactions against a lagging view, so
+    /// its own write can land locally before a remotely published one it
+    /// only accepts at a later reconciliation.
+    pub fn accepted_in_acceptance_order(
         &self,
         participant: ParticipantId,
     ) -> Vec<Arc<Transaction>> {
         let Some(shard) = self.shard_of(participant) else { return Vec::new() };
-        let mut accepted: Vec<TransactionId> = {
+        let accepted: Vec<TransactionId> = {
             let shard = shard.read().expect("shard lock");
-            shard.record.accepted_set().iter().copied().collect()
+            shard.record.accepted_in_order().to_vec()
         };
         let log = self.log.read().expect("log lock");
-        accepted.sort_by_key(|id| log.log.position_of(*id).unwrap_or(usize::MAX));
         accepted.into_iter().filter_map(|id| log.log.get_arc(id)).collect()
     }
 
@@ -598,6 +683,277 @@ impl StoreCatalog {
     pub fn transaction(&self, id: TransactionId) -> Option<Arc<Transaction>> {
         self.log.read().expect("log lock").log.get_arc(id)
     }
+
+    /// The epoch in which a transaction was published, if it is in the log.
+    pub fn epoch_of(&self, id: TransactionId) -> Option<Epoch> {
+        self.log.read().expect("log lock").log.epoch_of(id)
+    }
+
+    /// The participant's accepted transactions in acceptance order, grouped
+    /// into **replay units**: maximal runs in which each transaction is a
+    /// direct antecedent of a later one in the same run. A unit is exactly
+    /// the slice of one candidate's extension that was newly accepted with
+    /// it, and the participant applied the unit's *flattened* net effect —
+    /// so instance reconstruction must flatten per unit too (a
+    /// modify-and-modify-back chain accepted as one extension applied
+    /// nothing, which per-transaction replay would get wrong). Derived
+    /// entirely from durable state: the acceptance order and the log's
+    /// antecedent index.
+    pub fn accepted_replay_units(&self, participant: ParticipantId) -> Vec<Vec<Arc<Transaction>>> {
+        let Some(shard) = self.shard_of(participant) else { return Vec::new() };
+        let order: Vec<TransactionId> = {
+            let shard = shard.read().expect("shard lock");
+            shard.record.accepted_in_order().to_vec()
+        };
+        let log = self.log.read().expect("log lock");
+        let mut units: Vec<Vec<Arc<Transaction>>> = Vec::new();
+        let mut current: Vec<Arc<Transaction>> = Vec::new();
+        let mut current_ids: FxHashSet<TransactionId> = FxHashSet::default();
+        for id in order {
+            let Some(txn) = log.log.get_arc(id) else { continue };
+            let pos = log.log.position_of(id).unwrap_or(usize::MAX);
+            let antecedents = log.log.antecedents_of(&txn, &self.schema, pos);
+            let joins = !current.is_empty() && antecedents.iter().any(|a| current_ids.contains(a));
+            if !joins && !current.is_empty() {
+                units.push(std::mem::take(&mut current));
+                current_ids.clear();
+            }
+            current_ids.insert(id);
+            current.push(txn);
+        }
+        if !current.is_empty() {
+            units.push(current);
+        }
+        units
+    }
+
+    /// The relevant, trusted transactions at or before the participant's
+    /// epoch cursor that it has *not* yet decided — exactly the candidates
+    /// its earlier reconciliations deferred. This is the recovery stream a
+    /// rebuilt participant uses to reconstruct its deferred soft state (the
+    /// paper's soft-state property); it is not charged to the reconciliation
+    /// cost model. Candidates come back in publication order with their
+    /// extensions, like a session batch.
+    pub fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction> {
+        let Some(shard) = self.shard_of(participant) else { return Vec::new() };
+        // Lock order: log before shard.
+        let log = self.log.read().expect("log lock");
+        let shard = shard.read().expect("shard lock");
+        let cursor = shard.epoch_cursor();
+        if cursor == Epoch::ZERO {
+            return Vec::new();
+        }
+        let accepted = shard.record.accepted_snapshot();
+        let mut out = Vec::new();
+        for entries in shard.relevance.range(1..=cursor.as_u64()).map(|(_, e)| e) {
+            for (id, priority) in entries {
+                if priority.is_untrusted() || shard.record.decision(*id).is_some() {
+                    continue;
+                }
+                let Some(txn) = log.log.get(*id) else { continue };
+                let (candidate, _) =
+                    build_candidate(&log.log, &self.schema, &accepted, txn, *priority, false);
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a catalogue from a durability directory: loads the snapshot
+    /// (if one exists), re-derives every index the snapshot does not carry
+    /// (log indexes, the per-participant relevance slices, the `Arc`-snapshot
+    /// accepted/rejected sets), replays the current WAL generation on top,
+    /// and reattaches the write side so the recovered store keeps appending
+    /// to the same log. The result is byte-identical durable state — the
+    /// recovery tests pin this down through the canonical `Debug` rendering.
+    pub fn recover(dir: &Path) -> Result<StoreCatalog> {
+        let snap = snapshot::read_snapshot(dir)?;
+        let generation = snap.as_ref().map(|s| s.wal_generation).unwrap_or(0);
+        let wal_file = snapshot::wal_path(dir, generation);
+        if snap.is_none() && !wal_file.exists() {
+            return Err(StorageError::Persistence(format!(
+                "{} holds no snapshot and no WAL to recover from",
+                dir.display()
+            )));
+        }
+        let (wal, frames) = FrameLog::open(&wal_file)?;
+        let mut records = frames.iter().map(|f| WalRecord::decode(f));
+
+        let catalog = match snap {
+            Some(snap) => StoreCatalog::from_snapshot(snap)?,
+            None => match records.next().transpose()? {
+                Some(WalRecord::Init { schema }) => StoreCatalog::new(schema),
+                other => {
+                    return Err(StorageError::Persistence(format!(
+                        "generation-0 WAL must start with an Init record, found {other:?}"
+                    )))
+                }
+            },
+        };
+        for record in records {
+            catalog.replay(record?)?;
+        }
+        let mut catalog = catalog;
+        catalog.durability = Durability::FileWal(FileWalBackend::reattach(dir, generation, wal));
+        Ok(catalog)
+    }
+
+    /// Builds the in-memory state a snapshot describes, re-deriving the
+    /// derived structures: log indexes, `Arc`-snapshot decision sets, and the
+    /// relevance-index slice of every registered participant.
+    fn from_snapshot(snap: StoreSnapshot) -> Result<StoreCatalog> {
+        let StoreSnapshot { schema, registry, mut log, participants, .. } = snap;
+        log.rebuild_indexes();
+        let mut shards: FxHashMap<ParticipantId, Arc<RwLock<ParticipantShard>>> =
+            FxHashMap::default();
+        for p in participants {
+            let mut record = p.record;
+            record.rebuild_sets();
+            let relevance = if p.registered {
+                relevance_slice(&log, &schema, &p.policy)
+            } else {
+                BTreeMap::new()
+            };
+            shards.insert(
+                p.id,
+                Arc::new(RwLock::new(ParticipantShard {
+                    policy: p.policy,
+                    registered: p.registered,
+                    relevance,
+                    cursor: p.cursor,
+                    record,
+                })),
+            );
+        }
+        Ok(StoreCatalog {
+            schema,
+            log: RwLock::new(LogShard { registry, log }),
+            shards: RwLock::new(shards),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(1),
+            durability: Durability::Ephemeral,
+        })
+    }
+
+    /// Applies one WAL record during recovery, through the same code paths
+    /// live callers use (minus the re-append).
+    fn replay(&self, record: WalRecord) -> Result<()> {
+        match record {
+            WalRecord::Init { schema } => {
+                if schema != self.schema {
+                    return Err(StorageError::Persistence(
+                        "WAL Init schema differs from the recovered schema".to_string(),
+                    ));
+                }
+            }
+            WalRecord::RegisterPolicy { policy } => self.register_policy_impl(policy, false),
+            WalRecord::Publish { participant, epoch, transactions } => {
+                self.publish_impl(participant, transactions, Some(epoch))?;
+            }
+            WalRecord::CommitReconciliation { participant, recno, epoch, accepted, rejected } => {
+                let shard = self.ensure_shard(participant);
+                let mut shard = shard.write().expect("shard lock");
+                apply_reconciliation(&mut shard, recno, epoch, &accepted, &rejected);
+            }
+            WalRecord::Decisions { participant, accepted, rejected } => {
+                let shard = self.ensure_shard(participant);
+                let mut shard = shard.write().expect("shard lock");
+                for id in accepted {
+                    shard.record.record(id, Decision::Accepted);
+                }
+                for id in rejected {
+                    shard.record.record(id, Decision::Rejected);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes a compacting snapshot: captures a consistent cut of the durable
+    /// state (log read lock plus every shard's read lock, in the usual
+    /// order), installs it atomically, and starts a fresh WAL generation —
+    /// the old generation's log is deleted, bounding the on-disk footprint.
+    /// Returns the new generation. Errors on an ephemeral catalogue.
+    pub fn snapshot(&self) -> Result<u64> {
+        let Durability::FileWal(backend) = &self.durability else {
+            return Err(StorageError::Persistence(
+                "cannot snapshot an ephemeral catalogue".to_string(),
+            ));
+        };
+        // Lock order: log → shard map → shards (all read). Holding every
+        // read lock blocks writers, so no record can slip between the cut
+        // and the generation switch.
+        let log = self.log.read().expect("log lock");
+        let map = self.shards.read().expect("shard map lock");
+        let mut ids: Vec<ParticipantId> = map.keys().copied().collect();
+        ids.sort();
+        let guards: Vec<(ParticipantId, std::sync::RwLockReadGuard<'_, ParticipantShard>)> = ids
+            .iter()
+            .map(|id| (*id, map.get(id).expect("listed shard").read().expect("shard lock")))
+            .collect();
+        let participants = guards
+            .iter()
+            .map(|(id, shard)| ParticipantSnapshot {
+                id: *id,
+                policy: shard.policy.clone(),
+                registered: shard.registered,
+                cursor: shard.cursor,
+                record: shard.record.clone(),
+            })
+            .collect();
+        let snap = StoreSnapshot {
+            schema: self.schema.clone(),
+            registry: log.registry.clone(),
+            log: log.log.clone(),
+            participants,
+            wal_generation: 0, // stamped by install_snapshot
+        };
+        backend.install_snapshot(snap)
+    }
+}
+
+/// Builds a participant's slice of the per-epoch relevance index from the
+/// full publication log — used both when a policy is registered late and when
+/// recovery re-derives the index a snapshot does not carry. The slice skips
+/// the participant's own transactions (by *origin*, matching the publish-time
+/// extension) and keeps untrusted entries for the DHT notification
+/// accounting.
+fn relevance_slice(
+    log: &TransactionLog,
+    schema: &Schema,
+    policy: &TrustPolicy,
+) -> BTreeMap<u64, Vec<RelevanceEntry>> {
+    let participant = policy.owner();
+    let mut index: BTreeMap<u64, Vec<RelevanceEntry>> = BTreeMap::new();
+    for entry in log.entries() {
+        let txn = entry.transaction.as_ref();
+        if txn.origin() == participant {
+            continue;
+        }
+        let priority = policy.priority_of_transaction(txn, schema);
+        index.entry(entry.epoch.as_u64()).or_default().push((txn.id(), priority));
+    }
+    index
+}
+
+/// Applies a committed reconciliation to a participant shard: decisions,
+/// the `(recno, epoch)` reconciliation record, and the epoch cursor move
+/// together. Shared by the live commit path and WAL replay.
+fn apply_reconciliation(
+    shard: &mut ParticipantShard,
+    recno: ReconciliationId,
+    epoch: Epoch,
+    accepted: &[TransactionId],
+    rejected: &[TransactionId],
+) {
+    for id in accepted {
+        shard.record.record(*id, Decision::Accepted);
+    }
+    for id in rejected {
+        shard.record.record(*id, Decision::Rejected);
+    }
+    shard.record.record_reconciliation(recno, epoch);
+    shard.cursor = Some(epoch);
 }
 
 /// Builds the candidate (transaction extension plus priority) for a trusted
@@ -636,7 +992,9 @@ fn build_candidate(
 impl Clone for StoreCatalog {
     /// Deep-copies the durable catalogue state (log, registry, shards).
     /// Open sessions are soft state and are *not* cloned — the clone starts
-    /// with an empty session table.
+    /// with an empty session table. The clone is always **ephemeral**: a WAL
+    /// file has one writer, so a durable catalogue's clone is an in-memory
+    /// copy (use [`StoreCatalog::recover`] to reopen durable state).
     fn clone(&self) -> Self {
         let log = self.log.read().expect("log lock").clone();
         let shards: FxHashMap<ParticipantId, Arc<RwLock<ParticipantShard>>> = self
@@ -654,6 +1012,7 @@ impl Clone for StoreCatalog {
             shards: RwLock::new(shards),
             sessions: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(1),
+            durability: Durability::Ephemeral,
         }
     }
 }
@@ -753,7 +1112,7 @@ mod tests {
         cat.abort_session(opened.session);
 
         // After p2 rejects it, it is no longer relevant.
-        cat.record_decisions(p(2), &[], &[x3.id()]);
+        cat.record_decisions(p(2), &[], &[x3.id()]).unwrap();
         assert!(session_entries(&cat, p(2)).is_empty());
         assert!(cat.rejected_set(p(2)).contains(&x3.id()));
     }
@@ -810,7 +1169,7 @@ mod tests {
         assert_eq!(cand.members[1].0, x1.id());
 
         // Once p1 has accepted x0, the extension stops at x1.
-        cat.record_decisions(p(1), &[x0.id()], &[]);
+        cat.record_decisions(p(1), &[x0.id()], &[]).unwrap();
         let opened = cat.open_session(p(1), false).unwrap();
         let batch = cat.batch(opened.session, 10).unwrap();
         cat.abort_session(opened.session);
@@ -907,7 +1266,7 @@ mod tests {
         cat.publish(p(3), vec![x3]).unwrap();
         cat.publish(p(1), vec![x1]).unwrap();
         cat.publish(p(2), vec![x2.clone()]).unwrap();
-        cat.record_decisions(p(1), &[x2.id()], &[]);
+        cat.record_decisions(p(1), &[x2.id()], &[]).unwrap();
 
         for participant in [p(1), p(2), p(3)] {
             let incremental = session_entries(&cat, participant);
@@ -940,6 +1299,123 @@ mod tests {
         assert_eq!(found, vec![(x2.id(), Priority(3))]);
     }
 
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("orchestra-catalog-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn durable_catalog(dir: &Path) -> StoreCatalog {
+        let schema = bioinformatics_schema();
+        let backend = FileWalBackend::create(dir, &schema).unwrap();
+        let cat = StoreCatalog::with_durability(schema, Durability::FileWal(backend));
+        cat.register_policy(TrustPolicy::new(p(1)).trusting(p(2), 1u32).trusting(p(3), 1u32));
+        cat.register_policy(TrustPolicy::new(p(2)).trusting(p(1), 2u32).trusting(p(3), 1u32));
+        cat.register_policy(TrustPolicy::new(p(3)).trusting(p(2), 1u32));
+        cat
+    }
+
+    /// A small durable history: publishes, a session commit, an
+    /// out-of-session decision and a late registration.
+    fn run_history(cat: &StoreCatalog) {
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        let x2 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+        let x1 = txn(1, 0, vec![Update::insert("Function", func("dog", "prot9", "z"), p(1))]);
+        cat.publish(p(3), vec![x3.clone()]).unwrap();
+        cat.publish(p(2), vec![x2.clone()]).unwrap();
+        let opened = cat.open_session(p(1), false).unwrap();
+        cat.commit_session(opened.session, &[x3.id()], &[x2.id()]).unwrap();
+        cat.publish(p(1), vec![x1]).unwrap();
+        cat.record_decisions(p(2), &[], &[x3.id()]).unwrap();
+        cat.register_policy(TrustPolicy::new(p(4)).trusting(p(1), 3u32));
+    }
+
+    #[test]
+    fn wal_replay_rebuilds_byte_identical_state() {
+        let dir = tmp_dir("replay");
+        let cat = durable_catalog(&dir);
+        run_history(&cat);
+        let live = format!("{cat:?}");
+        drop(cat);
+
+        let recovered = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(format!("{recovered:?}"), live, "recovered state diverged");
+        // The recovered catalogue still serves sessions and stays durable:
+        // another publish lands in the same WAL and survives another crash.
+        let y = txn(2, 1, vec![Update::insert("Function", func("cat", "prot5", "q"), p(2))]);
+        recovered.publish(p(2), vec![y]).unwrap();
+        let live2 = format!("{recovered:?}");
+        drop(recovered);
+        let recovered2 = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(format!("{recovered2:?}"), live2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovery_replays_on_top() {
+        let dir = tmp_dir("snapshot");
+        let cat = durable_catalog(&dir);
+        run_history(&cat);
+        let records_before = cat.durability().file_backend().unwrap().wal_records();
+        assert!(records_before > 1);
+        let generation = cat.snapshot().unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(cat.durability().file_backend().unwrap().wal_records(), 0);
+        // The old generation's log is gone; the snapshot carries the state.
+        assert!(!snapshot::wal_path(&dir, 0).exists());
+
+        // Post-snapshot records replay on top of the snapshot.
+        let z = txn(3, 1, vec![Update::insert("Function", func("owl", "prot7", "w"), p(3))]);
+        cat.publish(p(3), vec![z]).unwrap();
+        let live = format!("{cat:?}");
+        drop(cat);
+        let recovered = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(format!("{recovered:?}"), live);
+        assert_eq!(recovered.durability().file_backend().unwrap().generation(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ephemeral_catalogues_refuse_to_snapshot() {
+        let cat = catalog_with_policies();
+        assert!(matches!(cat.snapshot(), Err(StorageError::Persistence(_))));
+        assert!(!cat.durability().is_durable());
+    }
+
+    #[test]
+    fn recover_from_an_empty_directory_errors() {
+        let dir = tmp_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(StoreCatalog::recover(&dir), Err(StorageError::Persistence(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn undecided_candidates_mirror_the_deferred_set() {
+        let cat = catalog_with_policies();
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        let x2 = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "b"), p(2))]);
+        cat.publish(p(3), vec![x3.clone()]).unwrap();
+        cat.publish(p(2), vec![x2.clone()]).unwrap();
+        // Before any reconciliation the cursor is zero: nothing was offered,
+        // so nothing counts as previously deferred.
+        assert!(cat.undecided_candidates(p(1)).is_empty());
+
+        // p1 reconciles, deciding x3 but leaving x2 undecided (deferred
+        // client-side); the store's recovery stream must re-offer exactly x2.
+        let opened = cat.open_session(p(1), false).unwrap();
+        cat.commit_session(opened.session, &[x3.id()], &[]).unwrap();
+        let undecided = cat.undecided_candidates(p(1));
+        assert_eq!(undecided.len(), 1);
+        assert_eq!(undecided[0].id, x2.id());
+        assert_eq!(undecided[0].priority, Priority(1));
+        // Unknown participants have no recovery stream.
+        assert!(cat.undecided_candidates(p(9)).is_empty());
+        assert_eq!(cat.epoch_of(x3.id()), Some(Epoch(1)));
+        assert_eq!(cat.epoch_of(TransactionId::new(p(9), 9)), None);
+    }
+
     #[test]
     fn clones_copy_durable_state_but_not_sessions() {
         let cat = catalog_with_policies();
@@ -952,7 +1428,7 @@ mod tests {
         assert_eq!(copy.participants(), cat.participants());
         // The clone is independent: decisions recorded in one do not leak
         // into the other.
-        copy.record_decisions(p(1), &[x.id()], &[]);
+        copy.record_decisions(p(1), &[x.id()], &[]).unwrap();
         assert!(!cat.accepted_set(p(1)).contains(&x.id()));
         cat.abort_session(opened.session);
     }

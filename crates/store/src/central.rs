@@ -67,6 +67,42 @@ impl CentralStore {
         CentralStore { catalog: StoreCatalog::new(schema), retrieval, latency: Duration::ZERO }
     }
 
+    /// Creates an empty central store over an explicit durability backend
+    /// (see [`crate::Durability`]).
+    pub fn with_durability(schema: Schema, durability: crate::Durability) -> Self {
+        CentralStore {
+            catalog: StoreCatalog::with_durability(schema, durability),
+            retrieval: RetrievalMode::default(),
+            latency: Duration::ZERO,
+        }
+    }
+
+    /// Creates an empty central store whose state is made durable in `dir`
+    /// through a file-backed write-ahead log. Refuses to clobber an existing
+    /// durable store — use [`CentralStore::recover`] for that.
+    pub fn durable(schema: Schema, dir: &std::path::Path) -> Result<Self> {
+        let backend = crate::FileWalBackend::create(dir, &schema)?;
+        Ok(CentralStore::with_durability(schema, crate::Durability::FileWal(backend)))
+    }
+
+    /// Reopens a durable central store from its durability directory:
+    /// snapshot load plus WAL replay rebuild byte-identical durable state,
+    /// and the store keeps appending to the same log (see
+    /// [`StoreCatalog::recover`]).
+    pub fn recover(dir: &std::path::Path) -> Result<Self> {
+        Ok(CentralStore {
+            catalog: StoreCatalog::recover(dir)?,
+            retrieval: RetrievalMode::default(),
+            latency: Duration::ZERO,
+        })
+    }
+
+    /// Takes a compacting snapshot of a durable store (see
+    /// [`StoreCatalog::snapshot`]). Returns the new WAL generation.
+    pub fn snapshot(&self) -> Result<u64> {
+        self.catalog.snapshot()
+    }
+
     /// Creates an empty central store that blocks for `latency` on every
     /// mutating or retrieving call, emulating the LAN round trip to the
     /// paper's RDBMS-backed store. The latency is charged to the call's
@@ -165,7 +201,7 @@ impl UpdateStore for CentralStore {
         rejected: &[TransactionId],
     ) -> Result<StoreTiming> {
         let timed = self.timed(|cat| cat.record_decisions(participant, accepted, rejected));
-        Ok(timed.timing)
+        timed.value.map(|()| timed.timing)
     }
 
     fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
@@ -185,7 +221,23 @@ impl UpdateStore for CentralStore {
     }
 
     fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Arc<Transaction>> {
-        self.catalog.accepted_in_publication_order(participant)
+        self.catalog.accepted_in_acceptance_order(participant)
+    }
+
+    fn epoch_of(&self, id: TransactionId) -> Option<Epoch> {
+        self.catalog.epoch_of(id)
+    }
+
+    fn accepted_replay_units(&self, participant: ParticipantId) -> Vec<Vec<Arc<Transaction>>> {
+        self.catalog.accepted_replay_units(participant)
+    }
+
+    fn epoch_cursor(&self, participant: ParticipantId) -> Epoch {
+        self.catalog.epoch_cursor(participant)
+    }
+
+    fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction> {
+        self.catalog.undecided_candidates(participant)
     }
 }
 

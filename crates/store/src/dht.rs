@@ -273,7 +273,7 @@ impl UpdateStore for DhtStore {
     ) -> Result<StoreTiming> {
         let peer = self.peer_node(participant);
         let start = Instant::now();
-        self.catalog.record_decisions(participant, accepted, rejected);
+        self.catalog.record_decisions(participant, accepted, rejected)?;
         let compute = start.elapsed();
         let ((), network) = self.charged(|net| {
             for id in accepted.iter().chain(rejected.iter()) {
@@ -300,7 +300,23 @@ impl UpdateStore for DhtStore {
     }
 
     fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Arc<Transaction>> {
-        self.catalog.accepted_in_publication_order(participant)
+        self.catalog.accepted_in_acceptance_order(participant)
+    }
+
+    fn epoch_of(&self, id: TransactionId) -> Option<Epoch> {
+        self.catalog.epoch_of(id)
+    }
+
+    fn accepted_replay_units(&self, participant: ParticipantId) -> Vec<Vec<Arc<Transaction>>> {
+        self.catalog.accepted_replay_units(participant)
+    }
+
+    fn epoch_cursor(&self, participant: ParticipantId) -> Epoch {
+        self.catalog.epoch_cursor(participant)
+    }
+
+    fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction> {
+        self.catalog.undecided_candidates(participant)
     }
 }
 

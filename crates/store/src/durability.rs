@@ -1,0 +1,206 @@
+//! Pluggable durability backends for the store catalogue.
+//!
+//! The catalogue logs every state-changing operation through a
+//! [`Durability`] value: [`Durability::Ephemeral`] (the default) drops the
+//! records and keeps the store purely in-memory, while
+//! [`Durability::FileWal`] appends them to a generation-numbered
+//! [`orchestra_storage::FrameLog`] inside a durability directory, from which
+//! [`crate::StoreCatalog::recover`] rebuilds the exact durable state.
+//!
+//! A durability directory holds at most two things:
+//!
+//! * `wal.<generation>.log` — the append-only record log of the current
+//!   generation;
+//! * `snapshot.orc` — the most recent compacting snapshot
+//!   ([`orchestra_storage::StoreSnapshot`]), which names the generation that
+//!   continues after it.
+//!
+//! Appends happen while the catalogue holds the lock guarding the state the
+//! record describes (the log shard's write lock for publishes, the
+//! participant shard's write lock for decision commits), so WAL order always
+//! matches apply order; the backend's own mutex is the innermost lock and is
+//! never held across catalogue locks.
+
+use orchestra_storage::snapshot::{self, StoreSnapshot};
+use orchestra_storage::wal::WalRecord;
+use orchestra_storage::{FrameLog, Result, StorageError};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The write side of a file-backed durability directory.
+#[derive(Debug)]
+pub struct FileWalBackend {
+    dir: PathBuf,
+    state: Mutex<WalState>,
+}
+
+#[derive(Debug)]
+struct WalState {
+    generation: u64,
+    log: FrameLog,
+}
+
+impl FileWalBackend {
+    /// Starts a *fresh* durability directory for a new store: creates the
+    /// directory, refuses to clobber existing durable state (use
+    /// [`crate::StoreCatalog::recover`] for that), and writes the
+    /// [`WalRecord::Init`] record pinning the schema.
+    pub fn create(dir: &Path, schema: &orchestra_model::Schema) -> Result<Self> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StorageError::Persistence(format!("create {}: {e}", dir.display())))?;
+        if snapshot::snapshot_path(dir).exists() {
+            return Err(StorageError::Persistence(format!(
+                "{} already holds a snapshot; recover the existing store instead",
+                dir.display()
+            )));
+        }
+        let wal_path = snapshot::wal_path(dir, 0);
+        if wal_path.exists() && std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0) > 0 {
+            return Err(StorageError::Persistence(format!(
+                "{} already holds a WAL; recover the existing store instead",
+                dir.display()
+            )));
+        }
+        let mut log = FrameLog::create(&wal_path)?;
+        log.append(&WalRecord::Init { schema: schema.clone() }.encode())?;
+        Ok(FileWalBackend {
+            dir: dir.to_path_buf(),
+            state: Mutex::new(WalState { generation: 0, log }),
+        })
+    }
+
+    /// Reattaches the write side to a directory whose state has just been
+    /// recovered: continues appending to the WAL of the given generation
+    /// (`log` is the handle recovery opened, positioned at the end).
+    pub(crate) fn reattach(dir: &Path, generation: u64, log: FrameLog) -> Self {
+        FileWalBackend { dir: dir.to_path_buf(), state: Mutex::new(WalState { generation, log }) }
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The current WAL generation.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().expect("wal lock").generation
+    }
+
+    /// Records appended to the current generation's WAL (including the
+    /// `Init` record on generation 0).
+    pub fn wal_records(&self) -> u64 {
+        self.state.lock().expect("wal lock").log.records()
+    }
+
+    /// Bytes in the current generation's WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.state.lock().expect("wal lock").log.bytes()
+    }
+
+    /// Appends one already-encoded record.
+    pub(crate) fn append(&self, payload: &[u8]) -> Result<()> {
+        self.state.lock().expect("wal lock").log.append(payload)
+    }
+
+    /// Flushes the WAL to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.state.lock().expect("wal lock").log.sync()
+    }
+
+    /// Installs a compacting snapshot: writes `snapshot` (stamped with the
+    /// *next* generation) atomically, starts a fresh WAL for that generation,
+    /// and deletes the old generation's log. The caller must hold whatever
+    /// catalogue locks make `snapshot` a consistent cut — records appended
+    /// after this call belong to the new generation and replay on top of the
+    /// snapshot.
+    pub(crate) fn install_snapshot(&self, mut snapshot: StoreSnapshot) -> Result<u64> {
+        let mut state = self.state.lock().expect("wal lock");
+        let next = state.generation + 1;
+        snapshot.wal_generation = next;
+        snapshot::write_snapshot(&self.dir, &snapshot)?;
+        let new_log = FrameLog::create(&snapshot::wal_path(&self.dir, next))?;
+        let old = snapshot::wal_path(&self.dir, state.generation);
+        state.generation = next;
+        state.log = new_log;
+        drop(state);
+        // Best-effort: the old generation is unreachable (the snapshot names
+        // the new one), so a failed delete only wastes disk.
+        std::fs::remove_file(old).ok();
+        Ok(next)
+    }
+}
+
+/// How (and whether) the catalogue makes its state durable.
+#[derive(Debug, Default)]
+pub enum Durability {
+    /// No durability: records are dropped, the store lives and dies with the
+    /// process. This is the default and costs nothing on the hot paths.
+    #[default]
+    Ephemeral,
+    /// Every record is appended to a file-backed WAL; see [`FileWalBackend`].
+    FileWal(FileWalBackend),
+}
+
+impl Durability {
+    /// True when records actually reach a backend (used to skip building the
+    /// record on ephemeral hot paths).
+    pub fn is_durable(&self) -> bool {
+        matches!(self, Durability::FileWal(_))
+    }
+
+    /// The file backend, if any.
+    pub fn file_backend(&self) -> Option<&FileWalBackend> {
+        match self {
+            Durability::Ephemeral => None,
+            Durability::FileWal(backend) => Some(backend),
+        }
+    }
+
+    /// Appends a record (no-op when ephemeral).
+    pub(crate) fn append(&self, record: &WalRecord) -> Result<()> {
+        match self {
+            Durability::Ephemeral => Ok(()),
+            Durability::FileWal(backend) => backend.append(&record.encode()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("orchestra-durability-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn fresh_backends_write_the_init_record() {
+        let dir = tmp_dir("fresh");
+        let backend = FileWalBackend::create(&dir, &bioinformatics_schema()).unwrap();
+        assert_eq!(backend.generation(), 0);
+        assert_eq!(backend.wal_records(), 1);
+        assert!(backend.wal_bytes() > 0);
+        assert_eq!(backend.dir(), dir.as_path());
+        backend.sync().unwrap();
+
+        // A second create over live state is refused.
+        drop(backend);
+        assert!(matches!(
+            FileWalBackend::create(&dir, &bioinformatics_schema()),
+            Err(StorageError::Persistence(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ephemeral_appends_are_noops() {
+        let d = Durability::Ephemeral;
+        assert!(!d.is_durable());
+        assert!(d.file_backend().is_none());
+        d.append(&WalRecord::Init { schema: bioinformatics_schema() }).unwrap();
+    }
+}

@@ -19,6 +19,13 @@
 //!   Section 5.2.2), with an epoch allocator, per-epoch epoch controllers and
 //!   per-transaction transaction controllers, charging one simulated message
 //!   per protocol step of the paper's Figures 6 and 7.
+//! * [`Durability`] — the pluggable persistence backend of the shared
+//!   [`StoreCatalog`]: [`Durability::Ephemeral`] (default) keeps the store
+//!   in-memory, [`Durability::FileWal`] appends every publish, decision
+//!   commit and policy registration to a CRC-checked write-ahead log with
+//!   compacting snapshots, and [`StoreCatalog::recover`] (or
+//!   [`CentralStore::recover`]) rebuilds byte-identical durable state after a
+//!   crash.
 //!
 //! # Migration from the `&mut self` trait
 //!
@@ -41,10 +48,12 @@ pub mod api;
 pub mod catalog;
 pub mod central;
 pub mod dht;
+pub mod durability;
 pub mod network_centric;
 
 pub use api::{ReconciliationSession, SessionId, SessionInfo, StoreTiming, Timed, UpdateStore};
 pub use catalog::{OpenedSession, SessionBatch, StoreCatalog};
 pub use central::{CentralStore, RetrievalMode};
 pub use dht::DhtStore;
+pub use durability::{Durability, FileWalBackend};
 pub use network_centric::NetworkCentricPlan;

@@ -13,11 +13,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod crash;
 pub mod generator;
 pub mod scenario;
 pub mod swissprot;
 pub mod zipf;
 
+pub use crash::{run_crash_restart_scenario, ChurnTotals, CrashChurnConfig, CrashChurnReport};
 pub use generator::{WorkloadConfig, WorkloadGenerator};
 pub use scenario::{
     run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig, ChurnResult, ChurnSample,
