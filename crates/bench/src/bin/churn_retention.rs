@@ -1,0 +1,94 @@
+//! Runs the retention benchmark (KeepAll versus ConvergedOnly pruning over
+//! the same churn schedule) and writes the benchmark-trajectory document.
+//!
+//! Usage:
+//!
+//! ```text
+//! churn_retention [--full] [--out FILE]
+//! ```
+//!
+//! The default output path is `BENCH_churn_retention.json` in the current
+//! directory.
+
+use orchestra_bench::{
+    render_table, run_churn_retention_bench, write_churn_retention_json, FigureScale,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = FigureScale::Quick;
+    let mut out = PathBuf::from("BENCH_churn_retention.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = FigureScale::Full,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: churn_retention [--full] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_churn_retention_bench(scale);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{}", r.total_published),
+                format!("{}", r.mid_live_set),
+                format!("{}", r.final_live_set),
+                format!("{}", r.peak_live_set),
+                format!("{}", r.prunes),
+                format!("{}", r.pruned_log_entries),
+                format!("{:.3}", r.wall_seconds),
+                format!("{}/{}/{}", r.accepted, r.rejected, r.deferred),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Retention: KeepAll vs ConvergedOnly live set",
+            &[
+                "mode",
+                "published",
+                "mid live",
+                "final live",
+                "peak live",
+                "prunes",
+                "pruned",
+                "wall s",
+                "acc/rej/def"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "live-set speedup: {:.2}x   bounded: {}   wall ratio: {:.2}x   decisions match: {}",
+        report.summary.live_set_speedup,
+        report.summary.live_set_bounded,
+        report.summary.wall_ratio,
+        report.summary.decisions_match
+    );
+    if !report.summary.decisions_match {
+        eprintln!("FATAL: retention policies disagreed on decisions");
+        std::process::exit(1);
+    }
+    if !report.summary.live_set_bounded {
+        eprintln!("FATAL: the ConvergedOnly live set kept growing with history");
+        std::process::exit(1);
+    }
+    write_churn_retention_json(&out, &report).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+}

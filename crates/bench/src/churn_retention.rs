@@ -1,0 +1,247 @@
+//! The retention benchmark: does convergence-horizon pruning actually bound
+//! the store's live set, and does it cost anything?
+//!
+//! This is the `BENCH_churn_retention.json` entry of the repository's
+//! benchmark trajectory. The same long churn schedule runs once per
+//! retention policy — `KeepAll` (the paper's unbounded store) and
+//! `ConvergedOnly` (prune the converged prefix down to the pinned-ancestor
+//! set) — with identical seeds. The gate checks:
+//!
+//! * `decisions_match` — pruning is decision-invariant: accept / reject /
+//!   defer / resolution totals and the final state ratio are identical;
+//! * `live_set_bounded` — the `ConvergedOnly` live set (live log entries +
+//!   live relevance entries) stops growing between mid-history and the end
+//!   of the run, while the `KeepAll` live set grows with history;
+//! * `live_set_speedup` — how many times smaller the pruned live set ends up
+//!   (gated against regression like every other trajectory speedup).
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::{CentralStore, RetentionPolicy};
+use orchestra_workload::{
+    run_retention_scenario, ChurnConfig, RetentionChurnConfig, RetentionChurnResult, WorkloadConfig,
+};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+use crate::figures::FigureScale;
+
+/// One row of the retention benchmark: a policy's footprint and cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnRetentionRow {
+    /// `"keep-all"` or `"converged-only"`.
+    pub mode: String,
+    /// Reconciliations performed.
+    pub reconciliations: usize,
+    /// Transactions published over the run (the history length; must match
+    /// across modes).
+    pub total_published: u64,
+    /// Live set (log + relevance entries) at mid-history.
+    pub mid_live_set: usize,
+    /// Live set at the end of the run (after catch-up and the final prune).
+    pub final_live_set: usize,
+    /// Largest live set observed at any sample — the store's peak memory
+    /// proxy.
+    pub peak_live_set: usize,
+    /// Live log entries at the end.
+    pub final_log_entries: usize,
+    /// Live relevance-index entries at the end.
+    pub final_relevance_entries: usize,
+    /// Effective prune passes.
+    pub prunes: usize,
+    /// Log entries removed by pruning.
+    pub pruned_log_entries: u64,
+    /// Sub-horizon entries kept as pinned ancestors by the last pass.
+    pub pinned: u64,
+    /// Store-side seconds summed over participants.
+    pub store_seconds: f64,
+    /// Local seconds summed over participants.
+    pub local_seconds: f64,
+    /// Wall-clock seconds of the whole schedule (includes prune passes).
+    pub wall_seconds: f64,
+    /// Accepted / rejected / deferred / resolution totals (must match).
+    pub accepted: usize,
+    /// Total rejected roots.
+    pub rejected: usize,
+    /// Total deferred roots.
+    pub deferred: usize,
+    /// Conflict-resolution rounds.
+    pub resolutions: usize,
+    /// Final state ratio over `Function` (must match across modes).
+    pub state_ratio: f64,
+}
+
+/// Headline comparison of the two policies.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnRetentionSummary {
+    /// KeepAll final live set divided by ConvergedOnly final live set — how
+    /// many times smaller retention keeps the store. Gated against
+    /// regression by `trajectory_check` like every `*speedup`.
+    pub live_set_speedup: f64,
+    /// True when the ConvergedOnly live set stopped growing with history:
+    /// the final live set is within tolerance of the mid-history one *and*
+    /// well below the KeepAll endpoint. `trajectory_check` fails the build
+    /// when false.
+    pub live_set_bounded: bool,
+    /// KeepAll wall clock divided by ConvergedOnly wall clock (informative:
+    /// pruning should be roughly free, sometimes a small win from smaller
+    /// structures).
+    pub wall_ratio: f64,
+    /// Whether both policies reached identical decision totals and state
+    /// ratio (they must — pruning is decision-invariant).
+    pub decisions_match: bool,
+}
+
+/// The whole benchmark document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnRetentionReport {
+    /// Per-policy rows.
+    pub rows: Vec<ChurnRetentionRow>,
+    /// Headline comparison.
+    pub summary: ChurnRetentionSummary,
+}
+
+/// The churn schedule used at each scale. A modest key universe keeps the
+/// live data set (and with it the pinned-ancestor set) well below the
+/// history length, so the boundedness of the pruned store is visible rather
+/// than drowned in one-off values.
+pub fn churn_retention_config(scale: FigureScale) -> ChurnConfig {
+    let (participants, rounds) = match scale {
+        FigureScale::Quick => (8, 160),
+        FigureScale::Full => (12, 400),
+    };
+    ChurnConfig {
+        participants,
+        rounds,
+        transactions_per_publish: 2,
+        max_reconcile_interval: 4,
+        resolve_every: 3,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 64,
+            function_pool: 24,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    }
+}
+
+fn row(mode: &str, result: &RetentionChurnResult) -> ChurnRetentionRow {
+    let last = result.samples.last();
+    ChurnRetentionRow {
+        mode: mode.to_string(),
+        reconciliations: result.totals.reconciliations,
+        total_published: result.total_published,
+        mid_live_set: result.live_set_at(0.5),
+        final_live_set: result.final_live_set(),
+        peak_live_set: result.peak_live_set,
+        final_log_entries: last.map(|s| s.live_log_entries).unwrap_or(0),
+        final_relevance_entries: last.map(|s| s.live_relevance_entries).unwrap_or(0),
+        prunes: result.prunes,
+        pruned_log_entries: result.pruned_log_entries,
+        pinned: result.last_pinned,
+        store_seconds: result.store_time.as_secs_f64(),
+        local_seconds: result.local_time.as_secs_f64(),
+        wall_seconds: result.wall.as_secs_f64(),
+        accepted: result.totals.accepted,
+        rejected: result.totals.rejected,
+        deferred: result.totals.deferred,
+        resolutions: result.totals.resolutions,
+        state_ratio: result.totals.state_ratio,
+    }
+}
+
+fn summarise(
+    keepall: &RetentionChurnResult,
+    converged: &RetentionChurnResult,
+) -> ChurnRetentionReport {
+    let keep_row = row("keep-all", keepall);
+    let conv_row = row("converged-only", converged);
+    // Bounded: between mid-history and the end the pruned live set did not
+    // keep growing with history. KeepAll roughly doubles over that window
+    // (history doubles), so the gate allows at most half that growth (50%
+    // plus small absolute slack for the undecided tail — comfortably above
+    // the ~23% the committed run shows, so benign drift cannot flip the
+    // flag), and requires the end state to stay under half of the unbounded
+    // store's.
+    let live_set_bounded = conv_row.final_live_set
+        <= conv_row.mid_live_set + conv_row.mid_live_set / 2 + 32
+        && 2 * conv_row.final_live_set <= keep_row.final_live_set;
+    let summary = ChurnRetentionSummary {
+        live_set_speedup: keep_row.final_live_set as f64
+            / (conv_row.final_live_set as f64).max(1.0),
+        live_set_bounded,
+        wall_ratio: keep_row.wall_seconds / conv_row.wall_seconds.max(f64::EPSILON),
+        decisions_match: keepall.totals == converged.totals
+            && keep_row.total_published == conv_row.total_published,
+    };
+    ChurnRetentionReport { rows: vec![keep_row, conv_row], summary }
+}
+
+/// Runs the retention benchmark over an explicit schedule.
+pub fn run_churn_retention_bench_with(config: &ChurnConfig) -> ChurnRetentionReport {
+    let keepall = run_retention_scenario(
+        CentralStore::new(bioinformatics_schema()),
+        &RetentionChurnConfig::for_churn(config.clone(), RetentionPolicy::KeepAll),
+    );
+    let converged = run_retention_scenario(
+        CentralStore::new(bioinformatics_schema()),
+        &RetentionChurnConfig::for_churn(config.clone(), RetentionPolicy::ConvergedOnly),
+    );
+    summarise(&keepall, &converged)
+}
+
+/// Runs the retention benchmark at the given scale.
+pub fn run_churn_retention_bench(scale: FigureScale) -> ChurnRetentionReport {
+    run_churn_retention_bench_with(&churn_retention_config(scale))
+}
+
+/// Writes the benchmark document as pretty-printed JSON:
+/// `{"benchmark": "churn_retention", "meta": {...}, "rows": [...],
+/// "summary": {...}}`.
+pub fn write_churn_retention_json(path: &Path, report: &ChurnRetentionReport) -> io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("benchmark".to_string(), serde_json::Value::String("churn_retention".to_string()));
+    doc.insert("meta".to_string(), crate::output::meta_value());
+    doc.insert(
+        "rows".to_string(),
+        serde_json::Value::Array(
+            report.rows.iter().map(|r| serde_json::to_value(r).expect("rows serialise")).collect(),
+        ),
+    );
+    doc.insert(
+        "summary".to_string(),
+        serde_json::to_value(&report.summary).expect("summary serialises"),
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("document serialises");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_retention_bench_matches_decisions_and_bounds_the_live_set() {
+        // A reduced history so the test stays fast in debug builds; the
+        // committed BENCH_churn_retention.json records the full quick run.
+        let mut config = churn_retention_config(FigureScale::Quick);
+        config.participants = 5;
+        config.rounds = 48;
+        config.workload.key_universe = 24;
+        config.workload.function_pool = 8;
+        let report = run_churn_retention_bench_with(&config);
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.summary.decisions_match, "policies diverged: {report:?}");
+        assert!(report.summary.live_set_bounded, "live set kept growing: {report:?}");
+        assert!(report.summary.live_set_speedup > 1.0);
+        assert!(report.rows[0].prunes == 0 && report.rows[1].prunes > 0);
+        assert!(report.rows.iter().all(|r| r.reconciliations > 0 && r.wall_seconds > 0.0));
+    }
+}

@@ -19,6 +19,7 @@
 pub mod churn;
 pub mod churn_durable;
 pub mod churn_parallel;
+pub mod churn_retention;
 pub mod figures;
 pub mod output;
 pub mod trajectory;
@@ -35,6 +36,10 @@ pub use churn_durable::{
 pub use churn_parallel::{
     churn_parallel_config, run_churn_parallel_bench, run_churn_parallel_bench_with,
     write_churn_parallel_json, ChurnParallelReport, ChurnParallelRow, ChurnParallelSummary,
+};
+pub use churn_retention::{
+    churn_retention_config, run_churn_retention_bench, run_churn_retention_bench_with,
+    write_churn_retention_json, ChurnRetentionReport, ChurnRetentionRow, ChurnRetentionSummary,
 };
 pub use figures::{
     fig08_transaction_size, fig09_recon_interval_ratio, fig10_recon_interval_time,

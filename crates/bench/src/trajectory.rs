@@ -45,25 +45,26 @@ impl fmt::Display for TrajectoryReport {
     }
 }
 
-/// Recursively collects the value of every boolean field named
-/// `decisions_match` or ending in `_decisions_match`.
-fn decision_flags(value: &serde_json::Value, path: &str, out: &mut Vec<(String, bool)>) {
+/// Recursively collects the value of every boolean field whose name matches
+/// `wanted` (exactly, or with a `_`-joined prefix, e.g. both
+/// `decisions_match` and `crash_restart_decisions_match`).
+fn bool_flags(value: &serde_json::Value, path: &str, wanted: &str, out: &mut Vec<(String, bool)>) {
     match value {
         serde_json::Value::Object(map) => {
             for (key, child) in map.iter() {
                 let child_path =
                     if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
-                if key == "decisions_match" || key.ends_with("_decisions_match") {
+                if key == wanted || key.ends_with(&format!("_{wanted}")) {
                     if let Some(flag) = child.as_bool() {
                         out.push((child_path.clone(), flag));
                     }
                 }
-                decision_flags(child, &child_path, out);
+                bool_flags(child, &child_path, wanted, out);
             }
         }
         serde_json::Value::Array(items) => {
             for (i, item) in items.iter().enumerate() {
-                decision_flags(item, &format!("{path}[{i}]"), out);
+                bool_flags(item, &format!("{path}[{i}]"), wanted, out);
             }
         }
         _ => {}
@@ -98,15 +99,23 @@ pub fn check_document(
 ) {
     report.documents += 1;
 
-    // Rule 1: every decisions_match flag in the fresh document must hold.
-    let mut flags = Vec::new();
-    decision_flags(fresh, "", &mut flags);
-    for (path, flag) in flags {
-        if !flag {
-            report.violations.push(TrajectoryViolation {
-                file: file.to_string(),
-                what: format!("{path} is false — the modes no longer reach identical decisions"),
-            });
+    // Rule 1: every gated boolean flag in the fresh document must hold —
+    // decisions_match (the modes reached identical decisions) and
+    // live_set_bounded (a retention policy's live set stopped growing).
+    const GATED_FLAGS: [(&str, &str); 2] = [
+        ("decisions_match", "the modes no longer reach identical decisions"),
+        ("live_set_bounded", "the retention live set grows with history"),
+    ];
+    for (wanted, meaning) in GATED_FLAGS {
+        let mut flags = Vec::new();
+        bool_flags(fresh, "", wanted, &mut flags);
+        for (path, flag) in flags {
+            if !flag {
+                report.violations.push(TrajectoryViolation {
+                    file: file.to_string(),
+                    what: format!("{path} is false — {meaning}"),
+                });
+            }
         }
     }
 
@@ -238,6 +247,31 @@ mod tests {
         let mut report = TrajectoryReport::default();
         check_document("BENCH_y.json", &nested, &nested, 0.25, &mut report);
         assert_eq!(report.violations.len(), 2);
+    }
+
+    #[test]
+    fn false_live_set_bounded_flags_fail() {
+        let doc_with = |bounded: bool| -> serde_json::Value {
+            serde_json::from_str(&format!(
+                r#"{{"summary":{{"live_set_speedup":3.0,"live_set_bounded":{bounded},"decisions_match":true}}}}"#
+            ))
+            .unwrap()
+        };
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_r.json", &doc_with(true), &doc_with(true), 0.25, &mut report);
+        assert!(!report.failed());
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_r.json", &doc_with(false), &doc_with(true), 0.25, &mut report);
+        assert!(report.failed());
+        assert!(format!("{report}").contains("live set"));
+        // The live-set speedup is also regression-gated like any speedup.
+        let shrunk: serde_json::Value = serde_json::from_str(
+            r#"{"summary":{"live_set_speedup":1.0,"live_set_bounded":true,"decisions_match":true}}"#,
+        )
+        .unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_r.json", &shrunk, &doc_with(true), 0.25, &mut report);
+        assert!(report.failed());
     }
 
     #[test]

@@ -91,6 +91,21 @@ impl<S: UpdateStore> CdssSystem<S> {
         Ok(id)
     }
 
+    /// Retires a participant: removes it from the confederation and tells
+    /// the store, which keeps its durable decision record (decisions are
+    /// final) but stops offering it candidates and — crucially for
+    /// retention — stops letting it pin the convergence horizon. A laggard
+    /// that will never reconcile again must be retired for `ConvergedOnly`
+    /// pruning to make progress. Returns the removed participant, whose
+    /// local instance the caller may archive.
+    pub fn retire_participant(&mut self, id: ParticipantId) -> Result<Participant> {
+        if !self.participants.contains_key(&id) {
+            return Err(unknown_participant(id));
+        }
+        self.store.retire_participant(id)?;
+        Ok(self.participants.remove(&id).expect("checked above"))
+    }
+
     /// The identities of all participants, in order.
     pub fn participant_ids(&self) -> Vec<ParticipantId> {
         self.participants.keys().copied().collect()
@@ -326,6 +341,27 @@ mod tests {
         assert!(system.reconcile(p(9)).is_err());
         assert!(system.reconcile_each(&[p(9)]).is_err());
         assert!(system.reconcile_each_parallel(&[p(9)]).is_err());
+    }
+
+    #[test]
+    fn retirement_removes_the_participant_everywhere() {
+        let mut system = fully_trusting_system(3);
+        system
+            .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
+            .unwrap();
+        system.publish_and_reconcile(p(1)).unwrap();
+        let retired = system.retire_participant(p(3)).unwrap();
+        assert_eq!(retired.id(), p(3));
+        assert_eq!(system.len(), 2);
+        assert_eq!(system.participant_ids(), vec![p(1), p(2)]);
+        // The store forgot the registration (but not the decision record);
+        // further driving of the retired id errors at the system.
+        assert_eq!(system.store().catalog().participants(), vec![p(1), p(2)]);
+        assert!(system.reconcile(p(3)).is_err());
+        assert!(system.retire_participant(p(3)).is_err());
+        assert!(system.retire_participant(p(9)).is_err());
+        // The survivors keep working.
+        system.publish_and_reconcile(p(2)).unwrap();
     }
 
     #[test]

@@ -108,7 +108,20 @@ impl EpochRegistry {
         Epoch(self.stable)
     }
 
-    /// Number of allocated epochs.
+    /// Drops the publication records of every epoch at or below `through`,
+    /// keeping the allocation counter and the stable frontier intact — the
+    /// retention layer calls this for epochs below the convergence horizon,
+    /// which are always finished (the horizon never passes the stable
+    /// frontier). Returns the number of records removed. Pruned epochs
+    /// answer [`EpochRegistry::status`] / [`EpochRegistry::publisher`] with
+    /// `None`, exactly like never-allocated ones.
+    pub fn prune_through(&mut self, through: Epoch) -> u64 {
+        let before = self.records.len();
+        self.records.retain(|&e, _| e > through.as_u64());
+        (before - self.records.len()) as u64
+    }
+
+    /// Number of live (unpruned) epoch records.
     pub fn len(&self) -> usize {
         self.records.len()
     }
@@ -173,6 +186,26 @@ mod tests {
         reg.finish_publish(e).unwrap();
         assert_eq!(reg.status(e), Some(PublicationStatus::Finished));
         assert_eq!(reg.status(Epoch(99)), None);
+    }
+
+    #[test]
+    fn pruning_keeps_the_counter_and_frontier() {
+        let mut reg = EpochRegistry::new();
+        for i in 1..=4u32 {
+            let e = reg.begin_publish(p(i));
+            reg.finish_publish(e).unwrap();
+        }
+        assert_eq!(reg.prune_through(Epoch(2)), 2);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.status(Epoch(1)), None);
+        assert_eq!(reg.publisher(Epoch(2)), None);
+        assert_eq!(reg.publisher(Epoch(3)), Some(p(3)));
+        // Allocation continues where it left off; stability is unaffected.
+        assert_eq!(reg.largest_stable_epoch(), Epoch(4));
+        assert_eq!(reg.begin_publish(p(9)), Epoch(5));
+        assert_eq!(reg.latest_allocated(), Epoch(5));
+        // Pruning the same range again is a no-op.
+        assert_eq!(reg.prune_through(Epoch(2)), 0);
     }
 
     #[test]

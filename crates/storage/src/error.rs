@@ -46,6 +46,9 @@ pub enum StorageError {
     /// A reconciliation-session operation referenced an unknown, expired or
     /// foreign session handle.
     Session(String),
+    /// A retention operation was invalid (retiring an unknown participant,
+    /// pruning past the convergence horizon, ...).
+    Retention(String),
 }
 
 impl fmt::Display for StorageError {
@@ -66,6 +69,7 @@ impl fmt::Display for StorageError {
             StorageError::TransactionLog(msg) => write!(f, "transaction log error: {msg}"),
             StorageError::Persistence(msg) => write!(f, "persistence error: {msg}"),
             StorageError::Session(msg) => write!(f, "reconciliation session error: {msg}"),
+            StorageError::Retention(msg) => write!(f, "retention error: {msg}"),
         }
     }
 }

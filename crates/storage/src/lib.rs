@@ -23,6 +23,10 @@
 //!   CRC-checked [`WalRecord`] frames plus a compacting [`StoreSnapshot`]
 //!   format, from which `orchestra_store::StoreCatalog::recover` rebuilds the
 //!   exact durable store state after a crash.
+//! * [`retention`] — convergence-horizon retention: the [`RetentionPolicy`]
+//!   knob and [`PruneReport`] accounting behind the bounded-memory store
+//!   (`orchestra_store::StoreCatalog::prune_to_horizon`), plus the
+//!   pinned-ancestor machinery in [`TransactionLog`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +37,7 @@ pub mod epoch;
 pub mod error;
 pub mod log;
 pub mod persist;
+pub mod retention;
 pub mod snapshot;
 pub mod table;
 pub mod wal;
@@ -42,6 +47,7 @@ pub use decisions::{Decision, DecisionLog, ParticipantRecord};
 pub use epoch::{EpochRegistry, PublicationStatus};
 pub use error::{Result, StorageError};
 pub use log::{LogEntry, TransactionLog};
+pub use retention::{PruneReport, RetentionPolicy};
 pub use snapshot::{ParticipantSnapshot, StoreSnapshot};
 pub use table::Table;
-pub use wal::{FrameLog, WalRecord};
+pub use wal::{FlushPolicy, FrameLog, WalRecord};

@@ -7,6 +7,19 @@
 //! b", to resolve transaction identifiers, and to chase antecedent chains
 //! (which transaction wrote the tuple value this transaction modifies or
 //! deletes?).
+//!
+//! # Positions and retention
+//!
+//! Every published transaction is assigned a permanent, monotonically
+//! increasing **log position**. Positions are the publication order the
+//! antecedent chase and the replay streams rely on, so they never change —
+//! retention ([`TransactionLog::prune_below`]) removes entries but leaves the
+//! surviving positions untouched, which is why the entries live in a sparse
+//! ordered map rather than a dense vector. A pruned log answers every query
+//! exactly like the unpruned one *for the transactions that can still be
+//! reached*: the [`TransactionLog::pinned_ancestors`] closure computes the
+//! set of sub-horizon entries that future antecedent chases can still reach,
+//! and pruning retains exactly those.
 
 use crate::error::{Result, StorageError};
 use orchestra_model::{Epoch, ParticipantId, RelName, Schema, Transaction, TransactionId, Tuple};
@@ -30,27 +43,36 @@ pub struct LogEntry {
 }
 
 /// Append-only log of published transactions with epoch, id and
-/// written-tuple indexes.
+/// written-tuple indexes, supporting convergence-horizon retention.
 #[derive(Clone, Default, Serialize, Deserialize)]
 pub struct TransactionLog {
-    entries: Vec<LogEntry>,
+    /// Live entries keyed by permanent log position (publication order).
+    /// Dense until the first prune, sparse afterwards.
+    entries: BTreeMap<u64, LogEntry>,
+    /// The next position to assign — the number of transactions ever
+    /// published, including pruned ones.
+    next_pos: u64,
     #[serde(skip)]
-    by_id: FxHashMap<TransactionId, usize>,
+    by_id: FxHashMap<TransactionId, u64>,
     #[serde(skip)]
-    by_epoch: BTreeMap<u64, Vec<usize>>,
+    by_epoch: BTreeMap<u64, Vec<u64>>,
     /// For each (relation, tuple value) ever written, the log positions of the
-    /// transactions that wrote it, in publication order.
+    /// live transactions that wrote it, in publication order.
     #[serde(skip)]
-    writers: FxHashMap<(RelName, Tuple), Vec<usize>>,
+    writers: FxHashMap<(RelName, Tuple), Vec<u64>>,
 }
 
 impl fmt::Debug for TransactionLog {
-    /// Canonical rendering: only the entries themselves (publication order)
-    /// are printed. The lookup indexes are derived state whose hash-map
-    /// layout depends on insertion history; excluding them keeps the output
-    /// identical between a live log and one rebuilt by crash recovery.
+    /// Canonical rendering: only the entries themselves (position order) and
+    /// the position counter are printed. The lookup indexes are derived state
+    /// whose hash-map layout depends on insertion history; excluding them
+    /// keeps the output identical between a live log and one rebuilt by crash
+    /// recovery — including a pruned one.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TransactionLog").field("entries", &self.entries).finish_non_exhaustive()
+        f.debug_struct("TransactionLog")
+            .field("entries", &self.entries)
+            .field("next_pos", &self.next_pos)
+            .finish_non_exhaustive()
     }
 }
 
@@ -60,24 +82,30 @@ impl TransactionLog {
         TransactionLog::default()
     }
 
-    /// Rebuilds the derived indexes (used after deserialisation).
+    /// Rebuilds the derived indexes (used after deserialisation and after a
+    /// prune).
     pub fn rebuild_indexes(&mut self) {
         self.by_id.clear();
         self.by_epoch.clear();
         self.writers.clear();
-        for i in 0..self.entries.len() {
-            self.index_entry(i);
+        let positions: Vec<u64> = self.entries.keys().copied().collect();
+        for pos in positions {
+            self.index_entry(pos);
         }
     }
 
-    fn index_entry(&mut self, pos: usize) {
-        let entry = &self.entries[pos];
+    fn index_entry(&mut self, pos: u64) {
+        let entry = &self.entries[&pos];
         self.by_id.insert(entry.transaction.id(), pos);
         self.by_epoch.entry(entry.epoch.as_u64()).or_default().push(pos);
-        for u in entry.transaction.updates() {
-            if let Some(written) = u.written_tuple() {
-                self.writers.entry((u.relation.clone(), written.clone())).or_default().push(pos);
-            }
+        let updates: Vec<(RelName, Tuple)> = entry
+            .transaction
+            .updates()
+            .iter()
+            .filter_map(|u| u.written_tuple().map(|w| (u.relation.clone(), w.clone())))
+            .collect();
+        for key in updates {
+            self.writers.entry(key).or_default().push(pos);
         }
     }
 
@@ -90,46 +118,58 @@ impl TransactionLog {
                 transaction.id()
             )));
         }
-        let pos = self.entries.len();
-        self.entries.push(LogEntry { epoch, transaction: Arc::new(transaction) });
+        let pos = self.next_pos;
+        self.next_pos += 1;
+        self.entries.insert(pos, LogEntry { epoch, transaction: Arc::new(transaction) });
         self.index_entry(pos);
         Ok(())
     }
 
-    /// Number of published transactions.
+    /// Number of *live* (unpruned) transactions in the log.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Returns true if nothing has been published.
+    /// Returns true if the log holds no live transactions.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// Number of transactions ever published, including pruned ones.
+    pub fn total_published(&self) -> u64 {
+        self.next_pos
+    }
+
+    /// Number of entries removed by retention so far.
+    pub fn pruned_entries(&self) -> u64 {
+        self.next_pos - self.entries.len() as u64
+    }
+
     /// Looks up a transaction by id.
     pub fn get(&self, id: TransactionId) -> Option<&Transaction> {
-        self.by_id.get(&id).map(|&i| self.entries[i].transaction.as_ref())
+        self.by_id.get(&id).map(|pos| self.entries[pos].transaction.as_ref())
     }
 
     /// Looks up a transaction by id, returning a shared handle (a
     /// reference-count bump, never a deep copy).
     pub fn get_arc(&self, id: TransactionId) -> Option<Arc<Transaction>> {
-        self.by_id.get(&id).map(|&i| Arc::clone(&self.entries[i].transaction))
+        self.by_id.get(&id).map(|pos| Arc::clone(&self.entries[pos].transaction))
     }
 
     /// The epoch in which a transaction was published.
     pub fn epoch_of(&self, id: TransactionId) -> Option<Epoch> {
-        self.by_id.get(&id).map(|&i| self.entries[i].epoch)
+        self.by_id.get(&id).map(|pos| self.entries[pos].epoch)
     }
 
-    /// The log position (publication order) of a transaction.
-    pub fn position_of(&self, id: TransactionId) -> Option<usize> {
+    /// The log position (publication order) of a transaction. Positions are
+    /// permanent: they survive pruning unchanged.
+    pub fn position_of(&self, id: TransactionId) -> Option<u64> {
         self.by_id.get(&id).copied()
     }
 
-    /// All entries, in publication order.
-    pub fn entries(&self) -> &[LogEntry] {
-        &self.entries
+    /// All live entries, in publication order.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> + '_ {
+        self.entries.values()
     }
 
     /// Transactions published in the given epoch, in publication order.
@@ -137,7 +177,7 @@ impl TransactionLog {
         self.by_epoch
             .get(&epoch.as_u64())
             .map(|positions| {
-                positions.iter().map(|&i| self.entries[i].transaction.as_ref()).collect()
+                positions.iter().map(|pos| self.entries[pos].transaction.as_ref()).collect()
             })
             .unwrap_or_default()
     }
@@ -151,8 +191,8 @@ impl TransactionLog {
             return out;
         }
         for (_, positions) in self.by_epoch.range((after.as_u64() + 1)..=(up_to.as_u64())) {
-            for &i in positions {
-                out.push(self.entries[i].transaction.as_ref());
+            for pos in positions {
+                out.push(self.entries[pos].transaction.as_ref());
             }
         }
         out
@@ -161,29 +201,16 @@ impl TransactionLog {
     /// Transactions published by a specific participant, in publication order.
     pub fn by_participant(&self, participant: ParticipantId) -> Vec<&Transaction> {
         self.entries
-            .iter()
+            .values()
             .filter(|e| e.transaction.origin() == participant)
             .map(|e| e.transaction.as_ref())
             .collect()
     }
 
-    /// The direct antecedents of a transaction (Definition 3's `ante(X)`):
-    /// for each tuple value that `txn` deletes or modifies, the most recently
-    /// published transaction that inserted that tuple value or modified some
-    /// tuple into it.
-    ///
-    /// `before` bounds the search to transactions published strictly before
-    /// the given log position (pass `self.len()` for a transaction not yet in
-    /// the log, or its own position for a published one).
-    pub fn antecedents_of(
-        &self,
-        txn: &Transaction,
-        schema: &Schema,
-        before: usize,
-    ) -> Vec<TransactionId> {
-        let _ = schema; // antecedent chasing is on exact tuple values
-        let mut out: Vec<TransactionId> = Vec::new();
-        let mut seen: FxHashSet<TransactionId> = FxHashSet::default();
+    /// The positions of the direct antecedents of a transaction (see
+    /// [`TransactionLog::antecedents_of`]).
+    fn antecedent_positions(&self, txn: &Transaction, before: u64) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
         for u in txn.updates() {
             let Some(read) = u.read_tuple() else { continue };
             let Some(writers) = self.writers.get(&(u.relation.clone(), read.clone())) else {
@@ -193,15 +220,36 @@ impl TransactionLog {
             // transaction itself.
             if let Some(&pos) = writers
                 .iter()
-                .rfind(|&&p| p < before && self.entries[p].transaction.id() != txn.id())
+                .rfind(|&&p| p < before && self.entries[&p].transaction.id() != txn.id())
             {
-                let id = self.entries[pos].transaction.id();
-                if seen.insert(id) {
-                    out.push(id);
+                if !out.contains(&pos) {
+                    out.push(pos);
                 }
             }
         }
         out
+    }
+
+    /// The direct antecedents of a transaction (Definition 3's `ante(X)`):
+    /// for each tuple value that `txn` deletes or modifies, the most recently
+    /// published transaction that inserted that tuple value or modified some
+    /// tuple into it.
+    ///
+    /// `before` bounds the search to transactions published strictly before
+    /// the given log position (pass `self.total_published()` for a
+    /// transaction not yet in the log, or its own position for a published
+    /// one).
+    pub fn antecedents_of(
+        &self,
+        txn: &Transaction,
+        schema: &Schema,
+        before: u64,
+    ) -> Vec<TransactionId> {
+        let _ = schema; // antecedent chasing is on exact tuple values
+        self.antecedent_positions(txn, before)
+            .into_iter()
+            .map(|pos| self.entries[&pos].transaction.id())
+            .collect()
     }
 
     /// The transaction extension of Definition 3: the transitive closure of a
@@ -216,9 +264,9 @@ impl TransactionLog {
         schema: &Schema,
         already_applied: &FxHashSet<TransactionId>,
     ) -> Vec<TransactionId> {
-        let root_pos = self.position_of(root.id()).unwrap_or(self.entries.len());
+        let root_pos = self.position_of(root.id()).unwrap_or(self.next_pos);
         let mut members: FxHashSet<TransactionId> = FxHashSet::default();
-        let mut stack: Vec<(TransactionId, usize)> = Vec::new();
+        let mut stack: Vec<(TransactionId, u64)> = Vec::new();
         for ante in self.antecedents_of(root, schema, root_pos) {
             if !already_applied.contains(&ante) && members.insert(ante) {
                 if let Some(pos) = self.position_of(ante) {
@@ -239,9 +287,70 @@ impl TransactionLog {
             }
         }
         let mut ordered: Vec<TransactionId> = members.into_iter().collect();
-        ordered.sort_by_key(|id| self.position_of(*id).unwrap_or(usize::MAX));
+        ordered.sort_by_key(|id| self.position_of(*id).unwrap_or(u64::MAX));
         ordered.push(root.id());
         ordered
+    }
+
+    /// The positions at or below `horizon` that future log queries can still
+    /// reach — the **pinned-ancestor set** of convergence-horizon retention:
+    ///
+    /// * the most recent writer of every distinct tuple value ever written
+    ///   (a transaction executed against any instance in the future reads a
+    ///   value some past transaction wrote, and its antecedent is that
+    ///   value's last writer);
+    /// * the direct antecedents of every retained (post-horizon) entry (the
+    ///   extensions of still-live candidates chase through them);
+    /// * transitively, the antecedents of everything pinned (the chase
+    ///   recurses per member at the member's own position).
+    ///
+    /// Pruning everything at or below the horizon *except* this set leaves
+    /// every future antecedent chase — and therefore every future candidate
+    /// extension and every future decision — exactly as the unpruned log
+    /// would have produced it.
+    pub fn pinned_ancestors(&self, schema: &Schema, horizon: Epoch) -> FxHashSet<u64> {
+        let mut pinned: FxHashSet<u64> = FxHashSet::default();
+        let mut stack: Vec<u64> = Vec::new();
+        let pin = |pos: u64, pinned: &mut FxHashSet<u64>, stack: &mut Vec<u64>| {
+            if self.entries[&pos].epoch <= horizon && pinned.insert(pos) {
+                stack.push(pos);
+            }
+        };
+        // Seed 1: the last writer of every distinct written tuple value.
+        for positions in self.writers.values() {
+            if let Some(&last) = positions.last() {
+                pin(last, &mut pinned, &mut stack);
+            }
+        }
+        // Seed 2: the direct antecedents of every retained entry.
+        for (&pos, entry) in self.entries.iter().filter(|(_, e)| e.epoch > horizon) {
+            for ante in self.antecedent_positions(&entry.transaction, pos) {
+                pin(ante, &mut pinned, &mut stack);
+            }
+        }
+        // Transitive closure over antecedent links.
+        while let Some(pos) = stack.pop() {
+            let txn = Arc::clone(&self.entries[&pos].transaction);
+            let _ = schema; // antecedent chasing is on exact tuple values
+            for ante in self.antecedent_positions(&txn, pos) {
+                pin(ante, &mut pinned, &mut stack);
+            }
+        }
+        pinned
+    }
+
+    /// Removes every entry at or below `horizon` whose position is not in
+    /// `pinned`, rebuilding the derived indexes over the survivors. Returns
+    /// the number of entries removed. Positions of surviving entries are
+    /// unchanged.
+    pub fn prune_below(&mut self, horizon: Epoch, pinned: &FxHashSet<u64>) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|pos, entry| entry.epoch > horizon || pinned.contains(pos));
+        let removed = (before - self.entries.len()) as u64;
+        if removed > 0 {
+            self.rebuild_indexes();
+        }
+        removed
     }
 }
 
@@ -270,6 +379,8 @@ mod tests {
         log.publish(Epoch(1), x.clone()).unwrap();
         assert_eq!(log.len(), 1);
         assert!(!log.is_empty());
+        assert_eq!(log.total_published(), 1);
+        assert_eq!(log.pruned_entries(), 0);
         assert_eq!(log.get(x.id()).unwrap(), &x);
         assert_eq!(log.epoch_of(x.id()), Some(Epoch(1)));
         assert_eq!(log.position_of(x.id()), Some(0));
@@ -410,8 +521,123 @@ mod tests {
         let mut back: TransactionLog = serde_json::from_str(&json).unwrap();
         back.rebuild_indexes();
         assert_eq!(back.len(), 2);
+        assert_eq!(back.total_published(), 2);
         assert_eq!(back.get(x0.id()).unwrap(), &x0);
         let ext = back.transaction_extension(&x1, &schema, &FxHashSet::default());
         assert_eq!(ext.len(), 2);
+    }
+
+    /// A three-link modify chain: the pinned set keeps the whole lineage of
+    /// the live value, and the extension of a post-horizon transaction is
+    /// identical before and after pruning.
+    #[test]
+    fn pinned_ancestors_preserve_extensions_across_pruning() {
+        let schema = bioinformatics_schema();
+        let mut log = TransactionLog::new();
+        let x0 = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))]);
+        let x1 = txn(
+            2,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "a"),
+                func("rat", "prot1", "b"),
+                p(2),
+            )],
+        );
+        // An unrelated, fully superseded value: its last writer still pins.
+        let y0 = txn(1, 1, vec![Update::insert("Function", func("dog", "prot9", "z"), p(1))]);
+        let x2 = txn(
+            3,
+            0,
+            vec![Update::modify(
+                "Function",
+                func("rat", "prot1", "b"),
+                func("rat", "prot1", "c"),
+                p(3),
+            )],
+        );
+        log.publish(Epoch(1), x0.clone()).unwrap();
+        log.publish(Epoch(2), x1.clone()).unwrap();
+        log.publish(Epoch(3), y0.clone()).unwrap();
+        log.publish(Epoch(4), x2.clone()).unwrap();
+
+        let unpruned = log.transaction_extension(&x2, &schema, &FxHashSet::default());
+
+        // Horizon 3: x0, x1 and y0 are candidates for pruning, but all three
+        // are pinned — x1 as x2's antecedent (and last writer of "b"), x0 as
+        // x1's antecedent (and last writer of "a"), y0 as last writer of "z".
+        let pinned = log.pinned_ancestors(&schema, Epoch(3));
+        assert_eq!(pinned.len(), 3);
+        let removed = log.prune_below(Epoch(3), &pinned);
+        assert_eq!(removed, 0);
+
+        // With a fresh write superseding y0's value, y0's pin shifts to the
+        // new writer and y0 itself is pruned.
+        let y1 = txn(
+            2,
+            1,
+            vec![Update::modify(
+                "Function",
+                func("dog", "prot9", "z"),
+                func("dog", "prot9", "w"),
+                p(2),
+            )],
+        );
+        log.publish(Epoch(5), y1.clone()).unwrap();
+        // Now prune to horizon 4: y0 is pinned as y1's antecedent, so still
+        // nothing goes; prune to horizon 3 with y1's chain pinned keeps all.
+        let pinned = log.pinned_ancestors(&schema, Epoch(4));
+        assert!(pinned.contains(&log.position_of(y0.id()).unwrap()));
+
+        // Pruning never changes the extension of a live transaction.
+        let after = log.transaction_extension(&x2, &schema, &FxHashSet::default());
+        assert_eq!(unpruned, after);
+    }
+
+    /// A value chain that is fully superseded and whose lineage ends below
+    /// the horizon in a *dead* value gets pruned, while live lineage stays.
+    #[test]
+    fn prune_below_removes_unreachable_entries_and_keeps_positions() {
+        let schema = bioinformatics_schema();
+        let mut log = TransactionLog::new();
+        // Dead chain: insert v then delete v — nothing reads v afterwards,
+        // but the delete is the last writer of nothing (deletes write no
+        // tuple), and the insert is *not* the last writer pin for any live
+        // value once a later insert writes v again and stays live.
+        let d0 = txn(1, 0, vec![Update::insert("Function", func("x", "k", "v"), p(1))]);
+        let d1 = txn(1, 1, vec![Update::delete("Function", func("x", "k", "v"), p(1))]);
+        let d2 = txn(2, 0, vec![Update::insert("Function", func("x", "k", "v"), p(2))]);
+        let live = txn(3, 0, vec![Update::insert("Function", func("y", "k2", "w"), p(3))]);
+        log.publish(Epoch(1), d0.clone()).unwrap();
+        log.publish(Epoch(2), d1.clone()).unwrap();
+        log.publish(Epoch(3), d2.clone()).unwrap();
+        log.publish(Epoch(4), live.clone()).unwrap();
+
+        let pinned = log.pinned_ancestors(&schema, Epoch(3));
+        // d2 is the last writer of value v: pinned. Its antecedent is d1?
+        // No — d1 *deleted* v (writes nothing); d2's read set is empty (an
+        // insert), so the chain stops. d0 and d1 are unreachable.
+        assert!(pinned.contains(&log.position_of(d2.id()).unwrap()));
+        assert!(!pinned.contains(&log.position_of(d0.id()).unwrap()));
+        let removed = log.prune_below(Epoch(3), &pinned);
+        assert_eq!(removed, 2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_published(), 4);
+        assert_eq!(log.pruned_entries(), 2);
+        // Surviving positions are unchanged; pruned ids resolve to nothing.
+        assert_eq!(log.position_of(d2.id()), Some(2));
+        assert_eq!(log.position_of(live.id()), Some(3));
+        assert!(log.get(d0.id()).is_none());
+        assert!(log.epoch_of(d1.id()).is_none());
+        assert!(log.in_epoch(Epoch(1)).is_empty());
+        assert_eq!(log.in_range(Epoch(0), Epoch(4)).len(), 2);
+        // A sparse log round-trips through serde with positions intact.
+        let json = serde_json::to_string(&log).unwrap();
+        let mut back: TransactionLog = serde_json::from_str(&json).unwrap();
+        back.rebuild_indexes();
+        assert_eq!(back.position_of(d2.id()), Some(2));
+        assert_eq!(back.total_published(), 4);
+        assert_eq!(format!("{back:?}"), format!("{log:?}"));
     }
 }

@@ -57,8 +57,16 @@ pub struct ParticipantSnapshot {
     pub policy: TrustPolicy,
     /// Whether the participant explicitly registered the policy.
     pub registered: bool,
+    /// Whether the participant has been retired (it keeps its decision
+    /// record but no longer pins the convergence horizon).
+    pub retired: bool,
     /// The epoch cursor of its last committed reconciliation, if any.
     pub cursor: Option<Epoch>,
+    /// Relevance-index entries exist only for epochs strictly above this
+    /// floor (raised by the membership frontier at registration time and by
+    /// every prune). Recovery rebuilds the index from the log restricted to
+    /// the floor, reproducing the live slice exactly.
+    pub relevance_floor: Epoch,
     /// Its durable decision and reconciliation record.
     pub record: ParticipantRecord,
 }
@@ -72,6 +80,10 @@ pub struct StoreSnapshot {
     pub registry: EpochRegistry,
     /// The published-transaction log (indexes re-derived after loading).
     pub log: TransactionLog,
+    /// The membership frontier: late registrants see only history above it.
+    pub membership_frontier: Epoch,
+    /// Epochs at or below this have been pruned by retention.
+    pub pruned_through: Epoch,
     /// Every participant shard, in participant order.
     pub participants: Vec<ParticipantSnapshot>,
     /// The WAL generation that continues after this snapshot: recovery
@@ -159,11 +171,15 @@ mod tests {
             schema: bioinformatics_schema(),
             registry,
             log,
+            membership_frontier: Epoch(2),
+            pruned_through: Epoch::ZERO,
             participants: vec![ParticipantSnapshot {
                 id: p,
                 policy: TrustPolicy::new(p).trusting(ParticipantId(2), 1u32),
                 registered: true,
+                retired: false,
                 cursor: Some(epoch),
+                relevance_floor: Epoch::ZERO,
                 record,
             }],
             wal_generation: 3,
@@ -180,11 +196,15 @@ mod tests {
         assert_eq!(back.wal_generation, 3);
         assert_eq!(back.schema, snapshot.schema);
         assert_eq!(back.registry.largest_stable_epoch(), Epoch(1));
+        assert_eq!(back.membership_frontier, Epoch(2));
+        assert_eq!(back.pruned_through, Epoch::ZERO);
         back.log.rebuild_indexes();
         assert_eq!(back.log.len(), 1);
         let participant = &mut back.participants[0];
         assert!(participant.registered);
+        assert!(!participant.retired);
         assert_eq!(participant.cursor, Some(Epoch(1)));
+        assert_eq!(participant.relevance_floor, Epoch::ZERO);
         participant.record.rebuild_sets();
         assert_eq!(participant.record.accepted_set().len(), 1);
         assert_eq!(participant.record.last_reconciliation(), Some((ReconciliationId(1), Epoch(1))));

@@ -22,10 +22,15 @@
 //! WAL. Payloads are JSON ([`WalRecord::encode`]) so the log stays
 //! inspectable with standard tools.
 //!
-//! The crash model is process death: appends reach the operating system
-//! before the call returns (one `write` syscall per frame), but the log is
-//! not `fsync`ed per record — media-failure durability would add
-//! `File::sync_data` at the cost of dominating every store call.
+//! The default crash model is process death: appends reach the operating
+//! system before the call returns (one `write` syscall per frame), but the
+//! log is not `fsync`ed per record. Callers that need media-failure
+//! durability pick a [`FlushPolicy`]: `EveryAppend` syncs each record (the
+//! classic one-fsync-per-commit), while the **group-commit** policies
+//! (`EveryN`, `Interval`) batch many appends behind one `fsync`, amortising
+//! the dominant cost without changing the record order — WAL order still
+//! equals apply order, and a torn tail past the last intact frame is
+//! truncated on the next open exactly as before.
 
 use crate::error::{Result, StorageError};
 use orchestra_model::{
@@ -35,6 +40,7 @@ use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Upper bound on a single frame payload (guards against interpreting a
 /// corrupt length prefix as a multi-gigabyte allocation).
@@ -98,6 +104,29 @@ pub fn decode_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
     (frames, pos)
 }
 
+/// When the log `fsync`s what it has appended.
+///
+/// The knob behind group commit: `EveryN` and `Interval` batch many appends
+/// behind one `fsync`. A policy only adds syncs — it never delays or reorders
+/// the appends themselves, so replay order is identical under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Never `fsync` on append (the default): frames reach the operating
+    /// system per append, surviving process death but not media failure.
+    /// Callers may still [`FrameLog::sync`] explicitly.
+    #[default]
+    OsBuffered,
+    /// `fsync` after every append — one sync per record, the classic
+    /// durability/latency trade.
+    EveryAppend,
+    /// Group commit by count: `fsync` once every `n` appends (`n` is clamped
+    /// to at least 1).
+    EveryN(u64),
+    /// Group commit by time: `fsync` on the first append after this much
+    /// time has passed since the last sync.
+    Interval(Duration),
+}
+
 /// An append-only, file-backed log of CRC-checked frames.
 ///
 /// Opening an existing file validates every frame and truncates a torn tail,
@@ -108,6 +137,11 @@ pub struct FrameLog {
     path: PathBuf,
     records: u64,
     bytes: u64,
+    flush: FlushPolicy,
+    /// Records appended since the last sync (drives the group-commit
+    /// policies).
+    unsynced: u64,
+    last_sync: Instant,
 }
 
 impl FrameLog {
@@ -137,6 +171,9 @@ impl FrameLog {
             path: path.to_path_buf(),
             records: frames.len() as u64,
             bytes: valid as u64,
+            flush: FlushPolicy::default(),
+            unsynced: 0,
+            last_sync: Instant::now(),
         };
         Ok((log, frames))
     }
@@ -150,11 +187,35 @@ impl FrameLog {
             .truncate(true)
             .open(path)
             .map_err(|e| StorageError::Persistence(format!("create {}: {e}", path.display())))?;
-        Ok(FrameLog { file, path: path.to_path_buf(), records: 0, bytes: 0 })
+        Ok(FrameLog {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            bytes: 0,
+            flush: FlushPolicy::default(),
+            unsynced: 0,
+            last_sync: Instant::now(),
+        })
+    }
+
+    /// Sets when appends `fsync` (see [`FlushPolicy`]).
+    pub fn set_flush_policy(&mut self, policy: FlushPolicy) {
+        self.flush = policy;
+    }
+
+    /// The current flush policy.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.flush
+    }
+
+    /// Records appended since the last `fsync` (0 under `EveryAppend`).
+    pub fn unsynced_records(&self) -> u64 {
+        self.unsynced
     }
 
     /// Appends one frame. The frame is handed to the operating system in a
-    /// single write before the call returns.
+    /// single write before the call returns, and `fsync`ed when the flush
+    /// policy says so.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
         let frame = encode_frame(payload);
         self.file.write_all(&frame).map_err(|e| {
@@ -162,13 +223,27 @@ impl FrameLog {
         })?;
         self.records += 1;
         self.bytes += frame.len() as u64;
+        self.unsynced += 1;
+        let due = match self.flush {
+            FlushPolicy::OsBuffered => false,
+            FlushPolicy::EveryAppend => true,
+            FlushPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FlushPolicy::Interval(window) => self.last_sync.elapsed() >= window,
+        };
+        if due {
+            self.sync()?;
+        }
         Ok(())
     }
 
-    /// Flushes the log to stable storage (`fsync`). Not called per append —
-    /// see the module docs for the crash model.
+    /// Flushes the log to stable storage (`fsync`) and resets the
+    /// group-commit counters. Called by `append` per the flush policy, or
+    /// explicitly by the owner.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync_data().map_err(|e| StorageError::Persistence(format!("sync: {e}")))
+        self.file.sync_data().map_err(|e| StorageError::Persistence(format!("sync: {e}")))?;
+        self.unsynced = 0;
+        self.last_sync = Instant::now();
+        Ok(())
     }
 
     /// Number of intact records in the log.
@@ -238,6 +313,27 @@ pub enum WalRecord {
         accepted: Vec<TransactionId>,
         /// Transactions rejected by the resolution.
         rejected: Vec<TransactionId>,
+    },
+    /// The membership frontier advanced: the operator declared that no
+    /// participant registering after this point needs relevance entries at
+    /// or below `epoch` (late joiners see only post-frontier history).
+    MembershipFrontier {
+        /// The new frontier (monotone; `u64::MAX` means membership closed).
+        epoch: Epoch,
+    },
+    /// A participant was retired: it stops pinning the convergence horizon
+    /// and receives no further candidates. Its decision record stays.
+    RetireParticipant {
+        /// The retired participant.
+        participant: ParticipantId,
+    },
+    /// Converged history at or below `horizon` was pruned. The pinned
+    /// ancestors are not recorded: replay re-derives them with the same
+    /// deterministic closure over the same state, so recover-then-prune and
+    /// prune-then-recover are byte-identical.
+    Prune {
+        /// The epoch pruned through.
+        horizon: Epoch,
     },
 }
 
@@ -354,6 +450,65 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_batches_fsyncs_without_reordering() {
+        let path = tmp("group-commit");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut log, _) = FrameLog::open(&path).unwrap();
+            assert_eq!(log.flush_policy(), FlushPolicy::OsBuffered);
+            log.set_flush_policy(FlushPolicy::EveryN(3));
+            for i in 0..7u8 {
+                log.append(&[i]).unwrap();
+            }
+            // Two batches of three synced; one record still buffered.
+            assert_eq!(log.unsynced_records(), 1);
+        }
+        // Reopen: every record is intact and in append order regardless of
+        // which sync batch it fell into — WAL order equals apply order.
+        let (mut log, frames) = FrameLog::open(&path).unwrap();
+        assert_eq!(frames, (0..7u8).map(|i| vec![i]).collect::<Vec<_>>());
+
+        // EveryAppend leaves nothing unsynced; an explicit sync resets the
+        // counter under any policy.
+        log.set_flush_policy(FlushPolicy::EveryAppend);
+        log.append(b"synced").unwrap();
+        assert_eq!(log.unsynced_records(), 0);
+        log.set_flush_policy(FlushPolicy::OsBuffered);
+        log.append(b"buffered").unwrap();
+        assert_eq!(log.unsynced_records(), 1);
+        log.sync().unwrap();
+        assert_eq!(log.unsynced_records(), 0);
+
+        // A zero-length interval syncs on the next append.
+        log.set_flush_policy(FlushPolicy::Interval(Duration::ZERO));
+        log.append(b"interval").unwrap();
+        assert_eq!(log.unsynced_records(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncation_survives_group_commit() {
+        let path = tmp("group-torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut log, _) = FrameLog::open(&path).unwrap();
+            log.set_flush_policy(FlushPolicy::EveryN(2));
+            log.append(b"a").unwrap();
+            log.append(b"b").unwrap();
+            log.append(b"c").unwrap(); // unsynced tail record
+        }
+        // A crash mid-append leaves garbage past the last intact frame.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[42, 0, 0, 0, 9]).unwrap();
+        }
+        let (log, frames) = FrameLog::open(&path).unwrap();
+        assert_eq!(frames, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(log.records(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn create_truncates_an_existing_log() {
         let path = tmp("create");
         {
@@ -394,6 +549,9 @@ mod tests {
                 accepted: vec![],
                 rejected: vec![txn.id()],
             },
+            WalRecord::MembershipFrontier { epoch: Epoch(u64::MAX) },
+            WalRecord::RetireParticipant { participant: ParticipantId(2) },
+            WalRecord::Prune { horizon: Epoch(7) },
         ];
         for record in records {
             let back = WalRecord::decode(&record.encode()).unwrap();

@@ -172,6 +172,14 @@ pub trait UpdateStore: Send + Sync {
     /// handle is consumed. Aborting an unknown session is a no-op.
     fn abort_reconciliation(&self, session: SessionId) -> Result<()>;
 
+    /// Retires a registered participant: its durable decision record stays
+    /// (decisions are final), but it stops pinning the retention layer's
+    /// convergence horizon, receives no further relevance entries and can no
+    /// longer open reconciliation sessions. A laggard that will never
+    /// reconcile again must be retired for `ConvergedOnly` retention to make
+    /// progress. Re-registering the same id rejoins it as a late member.
+    fn retire_participant(&self, participant: ParticipantId) -> Result<()>;
+
     /// Records accept/reject decisions outside a session (conflict
     /// resolution between reconciliations).
     fn record_decisions(

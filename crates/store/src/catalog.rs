@@ -27,9 +27,11 @@
 //!   durable changes until a session commits, so aborting one leaves the
 //!   catalogue byte-identical.
 //!
-//! Lock order is strictly `log → shard map → shard`; the session table is
-//! never held across another lock. That discipline makes the catalogue
-//! deadlock-free by construction.
+//! Lock order is strictly `log → shard map → shard`, with the session table
+//! innermost: it may be taken while catalogue locks are held (session open
+//! does, so a new session is visible to a concurrent prune before the log
+//! lock is released), but no catalogue lock is ever acquired while holding
+//! it. That discipline makes the catalogue deadlock-free by construction.
 //!
 //! # Incremental, paged retrieval
 //!
@@ -44,6 +46,24 @@
 //! — peak memory is bounded by the page size, not by history. The pre-cursor
 //! full-log path survives as the `rescan` session mode purely as the churn
 //! benchmark's baseline.
+//!
+//! # Convergence-horizon retention
+//!
+//! Left alone, the log, the relevance index and the durable state grow with
+//! history. Under a non-default [`RetentionPolicy`] the catalogue prunes the
+//! **converged prefix**: [`StoreCatalog::prune_to_horizon`] computes the
+//! largest epoch `H` such that every registered, unretired participant's
+//! cursor has passed `H` and every trusted relevant entry at or below `H` is
+//! decided, caps it by the **membership frontier** (the operator's
+//! declaration of how much history a late registrant may still need — see
+//! [`StoreCatalog::advance_membership_frontier`]) and by any open session's
+//! lower bound, and then removes everything at or below `H` except the
+//! pinned-ancestor set
+//! ([`orchestra_storage::TransactionLog::pinned_ancestors`]). Decision sets
+//! always stay. Pruning is decision-invariant, WAL-logged (replayed
+//! deterministically on recovery) and runs under the full
+//! `log → shard map → shard` write-lock set, so no session or publish ever
+//! observes a half-pruned catalogue.
 
 use crate::api::{SessionId, SessionInfo};
 use crate::durability::{Durability, FileWalBackend};
@@ -55,7 +75,8 @@ use orchestra_recon::CandidateTransaction;
 use orchestra_storage::snapshot::{self, ParticipantSnapshot, StoreSnapshot};
 use orchestra_storage::wal::WalRecord;
 use orchestra_storage::{
-    Decision, EpochRegistry, FrameLog, ParticipantRecord, Result, StorageError, TransactionLog,
+    Decision, EpochRegistry, FrameLog, ParticipantRecord, PruneReport, Result, RetentionPolicy,
+    StorageError, TransactionLog,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
@@ -70,11 +91,19 @@ use std::sync::{Arc, Mutex, RwLock};
 /// DHT cost model still charges a request/notification round trip for them.
 type RelevanceEntry = (TransactionId, Priority);
 
-/// The globally shared shard: epoch registry plus publication log.
+/// The globally shared shard: epoch registry plus publication log, plus the
+/// retention frontiers (all durable state — rendered by the canonical
+/// `Debug` and carried by snapshots).
 #[derive(Debug, Clone, Default)]
 struct LogShard {
     registry: EpochRegistry,
     log: TransactionLog,
+    /// No participant registering after this epoch needs relevance entries
+    /// at or below it; the convergence horizon never passes it. `ZERO` (the
+    /// default) means membership is open and nothing is prunable.
+    membership_frontier: Epoch,
+    /// Epochs at or below this have been pruned by retention.
+    pruned_through: Epoch,
 }
 
 /// One participant's shard: policy, relevance index slice, epoch cursor and
@@ -84,10 +113,21 @@ struct ParticipantShard {
     policy: TrustPolicy,
     /// False for shards auto-created on behalf of a publisher that never
     /// registered a policy; such shards hold decisions but no relevance
-    /// index and are not listed as participants.
+    /// index and are not listed as participants. Also false again after the
+    /// participant retires.
     registered: bool,
+    /// True once the participant has been retired: it keeps its decision
+    /// record but no longer pins the convergence horizon, receives no
+    /// relevance entries and cannot open sessions (re-registering rejoins it
+    /// as a late member).
+    retired: bool,
     /// Per-epoch trust-evaluated candidates.
     relevance: BTreeMap<u64, Vec<RelevanceEntry>>,
+    /// Relevance entries exist only for epochs strictly above this floor.
+    /// Raised to the membership frontier at (late) registration and to the
+    /// horizon at every prune, so a recovered shard's rebuilt index matches
+    /// the live one exactly.
+    relevance_floor: Epoch,
     /// The epoch of the last committed reconciliation (`None` until the
     /// first commit; falls back to the decision record's history).
     cursor: Option<Epoch>,
@@ -99,7 +139,9 @@ impl ParticipantShard {
         ParticipantShard {
             policy,
             registered,
+            retired: false,
             relevance: BTreeMap::new(),
+            relevance_floor: Epoch::ZERO,
             cursor: None,
             record: ParticipantRecord::new(),
         }
@@ -118,6 +160,12 @@ struct SessionState {
     participant: ParticipantId,
     recno: ReconciliationId,
     epoch: Epoch,
+    /// The cursor the session opened against (exclusive lower bound of its
+    /// pinned entries). Open sessions pin the convergence horizon here, so a
+    /// concurrent prune can never remove an entry a session still streams.
+    /// (Defence in depth: the horizon is also capped by the owner's cursor,
+    /// which cannot move while its one allowed session is open.)
+    previous: Epoch,
     /// Undecided relevant entries pinned at open, in publication order
     /// (untrusted entries included for the DHT notification accounting).
     pending: Vec<RelevanceEntry>,
@@ -184,6 +232,10 @@ pub struct StoreCatalog {
     /// Appends happen under the lock guarding the mutated state, so WAL
     /// order always matches apply order.
     durability: Durability,
+    /// How aggressively converged history is pruned. Configuration, not
+    /// durable state: a recovered catalogue starts at the default
+    /// (`KeepAll`) until the operator sets it again.
+    retention: RwLock<RetentionPolicy>,
 }
 
 impl StoreCatalog {
@@ -201,7 +253,19 @@ impl StoreCatalog {
             sessions: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(1),
             durability,
+            retention: RwLock::new(RetentionPolicy::default()),
         }
+    }
+
+    /// The catalogue's retention policy.
+    pub fn retention(&self) -> RetentionPolicy {
+        *self.retention.read().expect("retention lock")
+    }
+
+    /// Sets the retention policy. Takes effect at the next
+    /// [`StoreCatalog::prune_to_horizon`]; nothing is pruned eagerly.
+    pub fn set_retention(&self, policy: RetentionPolicy) {
+        *self.retention.write().expect("retention lock") = policy;
     }
 
     /// The catalogue's durability backend.
@@ -259,14 +323,33 @@ impl StoreCatalog {
         let participant = policy.owner();
         // Lock order: log before shard map.
         let log = self.log.read().expect("log lock");
-        let index = relevance_slice(&log.log, &self.schema, &policy);
         let record = (durable && self.durability.is_durable())
             .then(|| WalRecord::RegisterPolicy { policy: policy.clone() });
         let shard = self.ensure_shard(participant);
         let mut shard = shard.write().expect("shard lock");
+        // Every registration — first-time, rejoin after retirement, or a
+        // policy replacement — sees only history above the membership
+        // frontier (clamped to the epochs that actually exist): it joins
+        // "at" the frontier. The rule is deliberately uniform. A policy
+        // *change* re-evaluates relevance over history, and an entry that
+        // was untrusted under the old policy (untrusted entries never pin
+        // the horizon) may be trusted under the new one; if re-registration
+        // looked below the frontier, an unpruned store would resurface such
+        // an entry while a pruned store could not — the one way pruning
+        // could change a decision. Flooring every registration at the
+        // frontier keeps the two byte-for-byte interchangeable: the floor
+        // depends only on the frontier and the allocated epochs (identical
+        // on both), and `pruned_through ≤ frontier` always, so the final
+        // `max` never differs either. With the default open membership
+        // (frontier zero) this is the full history, exactly as before.
+        let joined =
+            Epoch(log.membership_frontier.as_u64().min(log.registry.latest_allocated().as_u64()));
+        let floor = joined.max(log.pruned_through);
+        shard.relevance = relevance_slice(&log.log, &self.schema, &policy, floor);
+        shard.relevance_floor = floor;
         shard.policy = policy;
         shard.registered = true;
-        shard.relevance = index;
+        shard.retired = false;
         if let Some(record) = record {
             // Appended inside the log read + shard write locks, so the WAL
             // interleaves registrations and publishes in apply order.
@@ -352,7 +435,7 @@ impl StoreCatalog {
         // section should stay as short as possible.
         for (other, shard) in &shards {
             let mut shard = shard.write().expect("shard lock");
-            if !shard.registered {
+            if !shard.registered || shard.retired {
                 continue;
             }
             let mut entries: Vec<RelevanceEntry> = Vec::new();
@@ -426,6 +509,11 @@ impl StoreCatalog {
         // Lock order: log before shard.
         let log = self.log.read().expect("log lock");
         let shard = shard_arc.read().expect("shard lock");
+        if shard.retired {
+            return Err(StorageError::Retention(format!(
+                "participant {participant} is retired and cannot reconcile"
+            )));
+        }
         let recno = shard.record.next_reconciliation_id();
         let previous = shard.epoch_cursor();
         let epoch = log.registry.largest_stable_epoch();
@@ -443,7 +531,6 @@ impl StoreCatalog {
             let pending: Vec<RelevanceEntry> = log
                 .log
                 .entries()
-                .iter()
                 .filter(|e| e.epoch > previous && e.epoch <= epoch)
                 .map(|e| e.transaction.as_ref())
                 .filter(|t| t.origin() != participant)
@@ -472,7 +559,16 @@ impl StoreCatalog {
             (pending, shard.record.accepted_snapshot())
         };
 
-        let state = SessionState { participant, recno, epoch, pending, next: 0, accepted, rescan };
+        let state = SessionState {
+            participant,
+            recno,
+            epoch,
+            previous,
+            pending,
+            next: 0,
+            accepted,
+            rescan,
+        };
         let handle = self.next_session.fetch_add(1, Ordering::Relaxed);
         let opened = OpenedSession {
             session: SessionId(handle),
@@ -481,17 +577,26 @@ impl StoreCatalog {
             epoch,
             pending: state.pending.len(),
         };
+        // Check-and-insert atomically under the session-table lock, so two
+        // racing opens for the same participant cannot both succeed — and
+        // *while still holding the log lock*: the moment the log lock is
+        // released a concurrent `prune_to_horizon` may read its session
+        // floor, and this session must already be visible to it. (For a
+        // registered participant the cursor pins the horizon anyway; an
+        // unregistered participant's session has only this pin.) The session
+        // table is the innermost lock — no path acquires a catalogue lock
+        // while holding it — so this nesting cannot deadlock.
+        {
+            let mut sessions = self.sessions.lock().expect("session table lock");
+            if sessions.values().any(|s| s.participant == participant) {
+                return Err(StorageError::Session(format!(
+                    "participant {participant} already has an open reconciliation session"
+                )));
+            }
+            sessions.insert(handle, state);
+        }
         drop(shard);
         drop(log);
-        // Check-and-insert atomically under the session-table lock, so two
-        // racing opens for the same participant cannot both succeed.
-        let mut sessions = self.sessions.lock().expect("session table lock");
-        if sessions.values().any(|s| s.participant == participant) {
-            return Err(StorageError::Session(format!(
-                "participant {participant} already has an open reconciliation session"
-            )));
-        }
-        sessions.insert(handle, state);
         Ok(opened)
     }
 
@@ -508,8 +613,8 @@ impl StoreCatalog {
         let max = max_candidates.max(1);
         // Take the page's entries under the session lock, then build
         // candidates under the log lock alone (the accepted snapshot was
-        // pinned at open) — the session table is never held across another
-        // lock.
+        // pinned at open) — no catalogue lock is acquired while the session
+        // table is held.
         let (participant, entries, accepted, rescan, exhausted) = {
             let mut sessions = self.sessions.lock().expect("session table lock");
             let state = sessions.get_mut(&session.as_u64()).ok_or_else(|| {
@@ -627,6 +732,254 @@ impl StoreCatalog {
         Ok(())
     }
 
+    /// The membership frontier: no participant registering from now on needs
+    /// relevance entries at or below it (late joiners see only post-frontier
+    /// history). `Epoch::ZERO` (the initial value) means membership is open
+    /// and the convergence horizon — and with it all pruning — is pinned at
+    /// zero.
+    pub fn membership_frontier(&self) -> Epoch {
+        self.log.read().expect("log lock").membership_frontier
+    }
+
+    /// The epoch the catalogue has pruned through (`Epoch::ZERO` before the
+    /// first effective prune).
+    pub fn pruned_through(&self) -> Epoch {
+        self.log.read().expect("log lock").pruned_through
+    }
+
+    /// Transactions ever published, including pruned ones (the log-length
+    /// axis a KeepAll store's memory follows; compare
+    /// [`StoreCatalog::log_len`], the live set).
+    pub fn log_total_published(&self) -> u64 {
+        self.log.read().expect("log lock").log.total_published()
+    }
+
+    /// Live relevance-index entries summed over every shard (the second
+    /// component of the retention live set).
+    pub fn relevance_len(&self) -> usize {
+        let map = self.shards.read().expect("shard map lock");
+        map.values()
+            .map(|shard| {
+                let shard = shard.read().expect("shard lock");
+                shard.relevance.values().map(Vec::len).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Advances the membership frontier to `epoch` (monotone; smaller values
+    /// are a no-op). This is the operator's declaration that any participant
+    /// registering *after* this call — including an existing participant
+    /// re-registering a changed policy, which re-evaluates relevance — is
+    /// content to see only history above `epoch`: its relevance index is
+    /// floored there even on a KeepAll store, so the declaration (not the
+    /// pruning) fixes the semantics and pruned and unpruned stores keep
+    /// making identical decisions. Returns the frontier now in force.
+    pub fn advance_membership_frontier(&self, epoch: Epoch) -> Result<Epoch> {
+        self.advance_membership_frontier_impl(epoch, true)
+    }
+
+    fn advance_membership_frontier_impl(&self, epoch: Epoch, durable: bool) -> Result<Epoch> {
+        let mut log = self.log.write().expect("log lock");
+        if epoch <= log.membership_frontier {
+            return Ok(log.membership_frontier);
+        }
+        let record = (durable && self.durability.is_durable())
+            .then_some(WalRecord::MembershipFrontier { epoch });
+        log.membership_frontier = epoch;
+        if let Some(record) = record {
+            self.durability.append(&record)?;
+        }
+        Ok(epoch)
+    }
+
+    /// Closes membership entirely: any participant registering later joins
+    /// at the then-current epoch and sees no earlier history. Equivalent to
+    /// advancing the frontier to `u64::MAX`; with membership closed, the
+    /// convergence horizon is limited only by cursors and undecided entries.
+    pub fn close_membership(&self) -> Result<Epoch> {
+        self.advance_membership_frontier(Epoch(u64::MAX))
+    }
+
+    /// Retires a registered participant: it keeps its durable decision
+    /// record (decisions are final) but stops pinning the convergence
+    /// horizon, receives no further relevance entries and can no longer open
+    /// reconciliation sessions. Re-registering a policy for the same id
+    /// rejoins it as a late member (post-frontier history only). Erroring on
+    /// unknown or unregistered participants keeps the WAL record stream
+    /// replayable.
+    pub fn retire_participant(&self, participant: ParticipantId) -> Result<()> {
+        self.retire_participant_impl(participant, true)
+    }
+
+    fn retire_participant_impl(&self, participant: ParticipantId, durable: bool) -> Result<()> {
+        let Some(shard) = self.shard_of(participant) else {
+            return Err(StorageError::Retention(format!(
+                "cannot retire unknown participant {participant}"
+            )));
+        };
+        let record = (durable && self.durability.is_durable())
+            .then_some(WalRecord::RetireParticipant { participant });
+        let mut shard = shard.write().expect("shard lock");
+        if !shard.registered {
+            return Err(StorageError::Retention(format!(
+                "cannot retire participant {participant}: not registered"
+            )));
+        }
+        shard.registered = false;
+        shard.retired = true;
+        shard.relevance.clear();
+        if let Some(record) = record {
+            // Appended inside the shard write lock: the retirement lands in
+            // the participant's record stream in apply order.
+            self.durability.append(&record)?;
+        }
+        Ok(())
+    }
+
+    /// The smallest lower bound of any open session (`u64::MAX` when none):
+    /// an open reconciliation pins the horizon at the cursor it opened
+    /// against, so it never observes pruning. Sessions insert themselves
+    /// into the table *before* `open_session` releases the log lock, so a
+    /// session mid-open is either visible here or still holds the log lock
+    /// the prune needs — there is no window in which it is neither.
+    fn session_floor(&self) -> Epoch {
+        self.sessions
+            .lock()
+            .expect("session table lock")
+            .values()
+            .map(|s| s.previous)
+            .min()
+            .unwrap_or(Epoch(u64::MAX))
+    }
+
+    /// Computes the (uncapped) convergence horizon together with the stable
+    /// frontier, under the full read-lock set — lock order `log → shard map
+    /// → shards` (sorted, matching every other multi-shard locker). This is
+    /// the *advisory* read path: read locks do not exclude a session that is
+    /// concurrently mid-open, so the value can be momentarily optimistic.
+    /// The prune recomputes the horizon authoritatively under the write-lock
+    /// set (where the session-visibility argument in
+    /// [`StoreCatalog::session_floor`] does hold), so it never trusts a
+    /// number from here.
+    fn horizon_snapshot(&self) -> (Epoch, Epoch) {
+        let log = self.log.read().expect("log lock");
+        let map = self.shards.read().expect("shard map lock");
+        let mut ids: Vec<ParticipantId> = map.keys().copied().collect();
+        ids.sort();
+        let guards: Vec<_> = ids
+            .iter()
+            .map(|id| map.get(id).expect("listed shard").read().expect("shard lock"))
+            .collect();
+        let session_floor = self.session_floor();
+        let horizon = converged_horizon(&log, guards.iter().map(|g| &**g), session_floor);
+        (horizon, log.registry.largest_stable_epoch())
+    }
+
+    /// Runs `f` under the catalogue's full *write*-lock set — the log write
+    /// lock plus every shard's write lock, acquired in the same total order
+    /// as [`StoreCatalog::horizon_snapshot`] and [`StoreCatalog::snapshot`].
+    /// The prune paths go through here so the lock discipline lives in one
+    /// place.
+    fn with_all_shards_write<R>(
+        &self,
+        f: impl FnOnce(&mut LogShard, &mut [std::sync::RwLockWriteGuard<'_, ParticipantShard>]) -> R,
+    ) -> R {
+        let mut log = self.log.write().expect("log lock");
+        let map = self.shards.read().expect("shard map lock");
+        let mut ids: Vec<ParticipantId> = map.keys().copied().collect();
+        ids.sort();
+        let mut guards: Vec<_> = ids
+            .iter()
+            .map(|id| map.get(id).expect("listed shard").write().expect("shard lock"))
+            .collect();
+        f(&mut log, &mut guards)
+    }
+
+    /// The current convergence horizon: the largest epoch `H` such that
+    /// every registered, unretired participant's cursor has passed `H` and
+    /// every trusted relevant entry at or below `H` is decided by its
+    /// participant — capped by the membership frontier and by open sessions.
+    /// Below `H`, nothing can ever be offered as a candidate again. This is
+    /// the raw horizon; [`StoreCatalog::advance_horizon`] applies the
+    /// retention policy on top.
+    pub fn convergence_horizon(&self) -> Epoch {
+        self.horizon_snapshot().0
+    }
+
+    /// The epoch the next [`StoreCatalog::prune_to_horizon`] would prune
+    /// through: the convergence horizon capped by the retention policy
+    /// (`Epoch::ZERO` under `KeepAll`). A **read-only preview** — nothing is
+    /// pruned and nothing is logged; call
+    /// [`StoreCatalog::prune_to_horizon`] to actually prune. Advisory too:
+    /// the prune recomputes the horizon under its write locks, so a session
+    /// opening concurrently with this call can make the actual prune stop
+    /// earlier.
+    pub fn advance_horizon(&self) -> Epoch {
+        let policy = self.retention();
+        let (horizon, stable) = self.horizon_snapshot();
+        policy.cap(horizon, stable)
+    }
+
+    /// Prunes everything at or below the policy-capped convergence horizon,
+    /// except the pinned-ancestor set: log entries, per-epoch relevance
+    /// slices and epoch publication records go; decision sets stay. Runs
+    /// under the log write lock plus every shard's write lock (sorted — the
+    /// same total order as [`StoreCatalog::snapshot`]), so sessions,
+    /// publishes and commits never observe a half-pruned catalogue; the WAL
+    /// `Prune` record is appended under those locks, so replay prunes at
+    /// exactly this point in the record stream. A pass that finds nothing
+    /// newly prunable returns a no-op report.
+    pub fn prune_to_horizon(&self) -> Result<PruneReport> {
+        let policy = self.retention();
+        if policy == RetentionPolicy::KeepAll {
+            return Ok(PruneReport {
+                live_log_entries: self.log_len() as u64,
+                ..PruneReport::default()
+            });
+        }
+        self.with_all_shards_write(|log, guards| {
+            // The session floor is read *after* the write locks are held:
+            // any session mid-open either finished inserting itself before
+            // releasing the log lock (visible here) or is still blocked
+            // behind this prune and will open against the pruned state.
+            let session_floor = self.session_floor();
+            let horizon = converged_horizon(log, guards.iter().map(|g| &**g), session_floor);
+            let target = policy.cap(horizon, log.registry.largest_stable_epoch());
+            if target <= log.pruned_through {
+                return Ok(PruneReport {
+                    horizon: log.pruned_through,
+                    live_log_entries: log.log.len() as u64,
+                    ..PruneReport::default()
+                });
+            }
+            let record =
+                self.durability.is_durable().then_some(WalRecord::Prune { horizon: target });
+            let report = prune_locked(log, guards, target, &self.schema);
+            if let Some(record) = record {
+                self.durability.append(&record)?;
+            }
+            Ok(report)
+        })
+    }
+
+    /// Replays a recorded prune at the recorded horizon — no recomputation,
+    /// mirroring how `Publish` replays assert the recorded epoch. The prune
+    /// closure itself is deterministic over durable state, so
+    /// recover-then-prune and prune-then-recover are byte-identical.
+    fn replay_prune(&self, horizon: Epoch) -> Result<()> {
+        self.with_all_shards_write(|log, guards| {
+            if horizon <= log.pruned_through {
+                return Err(StorageError::Persistence(format!(
+                    "WAL replay diverged: Prune record horizon {horizon} at or below \
+                     already-pruned {}",
+                    log.pruned_through
+                )));
+            }
+            prune_locked(log, guards, horizon, &self.schema);
+            Ok(())
+        })
+    }
+
     /// The participant's most recent committed reconciliation number.
     pub fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
         self.shard_of(participant)
@@ -711,7 +1064,7 @@ impl StoreCatalog {
         let mut current_ids: FxHashSet<TransactionId> = FxHashSet::default();
         for id in order {
             let Some(txn) = log.log.get_arc(id) else { continue };
-            let pos = log.log.position_of(id).unwrap_or(usize::MAX);
+            let pos = log.log.position_of(id).unwrap_or(u64::MAX);
             let antecedents = log.log.antecedents_of(&txn, &self.schema, pos);
             let joins = !current.is_empty() && antecedents.iter().any(|a| current_ids.contains(a));
             if !joins && !current.is_empty() {
@@ -802,7 +1155,15 @@ impl StoreCatalog {
     /// derived structures: log indexes, `Arc`-snapshot decision sets, and the
     /// relevance-index slice of every registered participant.
     fn from_snapshot(snap: StoreSnapshot) -> Result<StoreCatalog> {
-        let StoreSnapshot { schema, registry, mut log, participants, .. } = snap;
+        let StoreSnapshot {
+            schema,
+            registry,
+            mut log,
+            membership_frontier,
+            pruned_through,
+            participants,
+            ..
+        } = snap;
         log.rebuild_indexes();
         let mut shards: FxHashMap<ParticipantId, Arc<RwLock<ParticipantShard>>> =
             FxHashMap::default();
@@ -810,7 +1171,7 @@ impl StoreCatalog {
             let mut record = p.record;
             record.rebuild_sets();
             let relevance = if p.registered {
-                relevance_slice(&log, &schema, &p.policy)
+                relevance_slice(&log, &schema, &p.policy, p.relevance_floor)
             } else {
                 BTreeMap::new()
             };
@@ -819,7 +1180,9 @@ impl StoreCatalog {
                 Arc::new(RwLock::new(ParticipantShard {
                     policy: p.policy,
                     registered: p.registered,
+                    retired: p.retired,
                     relevance,
+                    relevance_floor: p.relevance_floor,
                     cursor: p.cursor,
                     record,
                 })),
@@ -827,11 +1190,12 @@ impl StoreCatalog {
         }
         Ok(StoreCatalog {
             schema,
-            log: RwLock::new(LogShard { registry, log }),
+            log: RwLock::new(LogShard { registry, log, membership_frontier, pruned_through }),
             shards: RwLock::new(shards),
             sessions: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(1),
             durability: Durability::Ephemeral,
+            retention: RwLock::new(RetentionPolicy::default()),
         })
     }
 
@@ -865,6 +1229,15 @@ impl StoreCatalog {
                     shard.record.record(id, Decision::Rejected);
                 }
             }
+            WalRecord::MembershipFrontier { epoch } => {
+                self.advance_membership_frontier_impl(epoch, false)?;
+            }
+            WalRecord::RetireParticipant { participant } => {
+                self.retire_participant_impl(participant, false)?;
+            }
+            WalRecord::Prune { horizon } => {
+                self.replay_prune(horizon)?;
+            }
         }
         Ok(())
     }
@@ -897,7 +1270,9 @@ impl StoreCatalog {
                 id: *id,
                 policy: shard.policy.clone(),
                 registered: shard.registered,
+                retired: shard.retired,
                 cursor: shard.cursor,
+                relevance_floor: shard.relevance_floor,
                 record: shard.record.clone(),
             })
             .collect();
@@ -905,6 +1280,8 @@ impl StoreCatalog {
             schema: self.schema.clone(),
             registry: log.registry.clone(),
             log: log.log.clone(),
+            membership_frontier: log.membership_frontier,
+            pruned_through: log.pruned_through,
             participants,
             wal_generation: 0, // stamped by install_snapshot
         };
@@ -913,19 +1290,25 @@ impl StoreCatalog {
 }
 
 /// Builds a participant's slice of the per-epoch relevance index from the
-/// full publication log — used both when a policy is registered late and when
-/// recovery re-derives the index a snapshot does not carry. The slice skips
-/// the participant's own transactions (by *origin*, matching the publish-time
-/// extension) and keeps untrusted entries for the DHT notification
-/// accounting.
+/// publication log restricted to epochs above `floor` — used when a policy is
+/// registered late (the floor is the membership frontier) and when recovery
+/// re-derives the index a snapshot does not carry (the floor is the shard's
+/// recorded one, so a pruned store's pinned sub-horizon entries do not leak
+/// back in). The slice skips the participant's own transactions (by
+/// *origin*, matching the publish-time extension) and keeps untrusted
+/// entries for the DHT notification accounting.
 fn relevance_slice(
     log: &TransactionLog,
     schema: &Schema,
     policy: &TrustPolicy,
+    floor: Epoch,
 ) -> BTreeMap<u64, Vec<RelevanceEntry>> {
     let participant = policy.owner();
     let mut index: BTreeMap<u64, Vec<RelevanceEntry>> = BTreeMap::new();
     for entry in log.entries() {
+        if entry.epoch <= floor {
+            continue;
+        }
         let txn = entry.transaction.as_ref();
         if txn.origin() == participant {
             continue;
@@ -934,6 +1317,90 @@ fn relevance_slice(
         index.entry(entry.epoch.as_u64()).or_default().push((txn.id(), priority));
     }
     index
+}
+
+/// Computes the convergence horizon over already-guarded state: the minimum
+/// of the membership frontier, the stable frontier, every open session's
+/// lower bound, every registered participant's cursor, and — per registered
+/// participant — one epoch short of its earliest undecided trusted relevance
+/// entry. Unregistered (and retired) shards never receive candidates and do
+/// not pin. Monotone in time: cursors and decisions only advance, so the
+/// horizon never moves backwards.
+fn converged_horizon<'a>(
+    log: &LogShard,
+    shards: impl Iterator<Item = &'a ParticipantShard>,
+    session_floor: Epoch,
+) -> Epoch {
+    let mut h = log
+        .membership_frontier
+        .as_u64()
+        .min(log.registry.largest_stable_epoch().as_u64())
+        .min(session_floor.as_u64());
+    for shard in shards {
+        if !shard.registered || shard.retired {
+            continue;
+        }
+        h = h.min(shard.epoch_cursor().as_u64());
+        if h == 0 {
+            return Epoch::ZERO;
+        }
+        // The relevance index is scanned in epoch order; the first epoch
+        // holding an undecided trusted entry caps the horizon just below it.
+        // Everything below the shard's floor was decided before the floor
+        // rose (registration floors start empty, prune floors require full
+        // decision), so the scan is over the live slice only.
+        for (&epoch, entries) in shard.relevance.range(..=h) {
+            let undecided = entries.iter().any(|(id, priority)| {
+                !priority.is_untrusted() && shard.record.decision(*id).is_none()
+            });
+            if undecided {
+                h = epoch - 1;
+                break;
+            }
+        }
+        if h == 0 {
+            return Epoch::ZERO;
+        }
+    }
+    Epoch(h)
+}
+
+/// Prunes the guarded state through `horizon`: drops sub-horizon log entries
+/// outside the pinned-ancestor closure, sub-horizon epoch publication
+/// records, and every shard's sub-horizon relevance slices; raises the
+/// relevance floors and the pruned-through mark. Deterministic over durable
+/// state — live pruning and WAL replay share this exact function.
+fn prune_locked(
+    log: &mut LogShard,
+    shards: &mut [std::sync::RwLockWriteGuard<'_, ParticipantShard>],
+    horizon: Epoch,
+    schema: &Schema,
+) -> PruneReport {
+    let pinned = log.log.pinned_ancestors(schema, horizon);
+    let pinned_count = pinned.len() as u64;
+    let pruned_log_entries = log.log.prune_below(horizon, &pinned);
+    let pruned_epoch_records = log.registry.prune_through(horizon);
+    let mut pruned_relevance_entries = 0u64;
+    for shard in shards.iter_mut() {
+        if !shard.relevance.is_empty() {
+            let keep = shard.relevance.split_off(&(horizon.as_u64() + 1));
+            pruned_relevance_entries +=
+                shard.relevance.values().map(|v| v.len() as u64).sum::<u64>();
+            shard.relevance = keep;
+        }
+        if shard.registered {
+            shard.relevance_floor = shard.relevance_floor.max(horizon);
+        }
+    }
+    log.pruned_through = horizon;
+    PruneReport {
+        horizon,
+        pruned_log_entries,
+        pruned_relevance_entries,
+        pruned_epoch_records,
+        pinned: pinned_count,
+        live_log_entries: log.log.len() as u64,
+    }
 }
 
 /// Applies a committed reconciliation to a participant shard: decisions,
@@ -1013,6 +1480,7 @@ impl Clone for StoreCatalog {
             sessions: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(1),
             durability: Durability::Ephemeral,
+            retention: RwLock::new(self.retention()),
         }
     }
 }
@@ -1414,6 +1882,381 @@ mod tests {
         assert!(cat.undecided_candidates(p(9)).is_empty());
         assert_eq!(cat.epoch_of(x3.id()), Some(Epoch(1)));
         assert_eq!(cat.epoch_of(TransactionId::new(p(9), 9)), None);
+    }
+
+    /// A fully trusting confederation of `n` participants (everyone trusts
+    /// everyone at priority 1), used by the retention tests so every
+    /// published transaction is relevant to every other participant.
+    fn fully_trusting(n: u32) -> StoreCatalog {
+        let cat = StoreCatalog::new(bioinformatics_schema());
+        for i in 1..=n {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            cat.register_policy(policy);
+        }
+        cat
+    }
+
+    /// Opens a session, accepts every streamed candidate (roots and
+    /// members) and commits.
+    fn reconcile_accept_all(cat: &StoreCatalog, participant: ParticipantId) {
+        let opened = cat.open_session(participant, false).unwrap();
+        let mut accepted = Vec::new();
+        loop {
+            let batch = cat.batch(opened.session, 64).unwrap();
+            for (cand, _) in &batch.candidates {
+                accepted.extend(cand.members.iter().map(|(id, _)| *id));
+            }
+            if batch.exhausted {
+                break;
+            }
+        }
+        cat.commit_session(opened.session, &accepted, &[]).unwrap();
+    }
+
+    /// insert → delete → re-insert of one value: after everyone converges,
+    /// only the final insert is reachable (the delete writes nothing and the
+    /// first insert is superseded), so pruning removes exactly two entries.
+    fn converged_insert_delete_insert(cat: &StoreCatalog) -> (Transaction, Transaction) {
+        let x1 = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(1))]);
+        let x2 = txn(2, 0, vec![Update::delete("Function", func("rat", "prot1", "v1"), p(2))]);
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "v1"), p(3))]);
+        cat.publish(p(1), vec![x1.clone()]).unwrap();
+        cat.publish(p(2), vec![x2]).unwrap();
+        cat.publish(p(3), vec![x3.clone()]).unwrap();
+        for i in 1..=3 {
+            reconcile_accept_all(cat, p(i));
+        }
+        (x1, x3)
+    }
+
+    #[test]
+    fn horizon_needs_frontier_cursors_and_decisions() {
+        let cat = fully_trusting(3);
+        // Membership open: nothing is ever prunable.
+        assert_eq!(cat.convergence_horizon(), Epoch::ZERO);
+        cat.close_membership().unwrap();
+        assert_eq!(cat.membership_frontier(), Epoch(u64::MAX));
+        // Empty store: stable frontier caps at zero.
+        assert_eq!(cat.convergence_horizon(), Epoch::ZERO);
+
+        let x = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))]);
+        cat.publish(p(1), vec![x.clone()]).unwrap();
+        // Cursors still at zero.
+        assert_eq!(cat.convergence_horizon(), Epoch::ZERO);
+        reconcile_accept_all(&cat, p(1));
+        reconcile_accept_all(&cat, p(2));
+        // p3 has not reconciled: its cursor pins the horizon.
+        assert_eq!(cat.convergence_horizon(), Epoch::ZERO);
+        reconcile_accept_all(&cat, p(3));
+        assert_eq!(cat.convergence_horizon(), Epoch(1));
+
+        // An undecided trusted entry below a cursor pins the horizon even
+        // after every cursor has passed: p1 defers (commits no decision).
+        let y = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+        cat.publish(p(2), vec![y.clone()]).unwrap();
+        let opened = cat.open_session(p(1), false).unwrap();
+        cat.commit_session(opened.session, &[], &[]).unwrap(); // deferred
+        reconcile_accept_all(&cat, p(2));
+        reconcile_accept_all(&cat, p(3));
+        assert_eq!(cat.convergence_horizon(), Epoch(1));
+        // Once p1 decides out of session (conflict resolution), it unpins.
+        cat.record_decisions(p(1), &[], &[y.id()]).unwrap();
+        assert_eq!(cat.convergence_horizon(), Epoch(2));
+
+        // Under KeepAll the policy-capped horizon stays zero.
+        assert_eq!(cat.retention(), RetentionPolicy::KeepAll);
+        assert_eq!(cat.advance_horizon(), Epoch::ZERO);
+        cat.set_retention(RetentionPolicy::ConvergedOnly);
+        assert_eq!(cat.advance_horizon(), Epoch(2));
+    }
+
+    #[test]
+    fn open_sessions_pin_the_horizon() {
+        let cat = fully_trusting(2);
+        cat.close_membership().unwrap();
+        let x = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))]);
+        cat.publish(p(1), vec![x]).unwrap();
+        reconcile_accept_all(&cat, p(1));
+        reconcile_accept_all(&cat, p(2));
+        assert_eq!(cat.convergence_horizon(), Epoch(1));
+        // An unregistered participant's session pins at its (zero) cursor —
+        // the session opened against the pre-horizon state.
+        let opened = cat.open_session(p(9), false).unwrap();
+        assert_eq!(cat.convergence_horizon(), Epoch::ZERO);
+        cat.abort_session(opened.session);
+        assert_eq!(cat.convergence_horizon(), Epoch(1));
+    }
+
+    #[test]
+    fn prune_drops_converged_history_and_preserves_decisions() {
+        let cat = fully_trusting(3);
+        cat.set_retention(RetentionPolicy::ConvergedOnly);
+        cat.close_membership().unwrap();
+        let (x1, x3) = converged_insert_delete_insert(&cat);
+
+        // Keep an unpruned twin: every later decision must match it.
+        let unpruned = cat.clone();
+        unpruned.set_retention(RetentionPolicy::KeepAll);
+
+        assert_eq!(cat.advance_horizon(), Epoch(3));
+        let report = cat.prune_to_horizon().unwrap();
+        assert_eq!(report.horizon, Epoch(3));
+        assert_eq!(report.pruned_log_entries, 2);
+        assert_eq!(report.pinned, 1, "the live value's last writer is pinned");
+        assert_eq!(report.live_log_entries, 1);
+        assert!(report.pruned_relevance_entries > 0);
+        assert_eq!(report.pruned_epoch_records, 3);
+        assert_eq!(cat.pruned_through(), Epoch(3));
+        assert_eq!(cat.log_len(), 1);
+        assert_eq!(cat.log_total_published(), 3);
+        assert_eq!(cat.relevance_len(), 0);
+
+        // Decisions survive pruning even for pruned transactions.
+        assert!(cat.accepted_set(p(2)).contains(&x1.id()));
+        assert!(cat.transaction(x1.id()).is_none(), "pruned entry is gone");
+        assert!(cat.transaction(x3.id()).is_some(), "pinned entry stays");
+
+        // A second pass with nothing new is a no-op.
+        let again = cat.prune_to_horizon().unwrap();
+        assert!(again.is_noop());
+
+        // The schedule continues identically on both stores: a delete of the
+        // live value must chase to the pinned writer on each.
+        let x4 = txn(2, 1, vec![Update::delete("Function", func("rat", "prot1", "v1"), p(2))]);
+        for store in [&cat, &unpruned] {
+            store.publish(p(2), vec![x4.clone()]).unwrap();
+        }
+        for participant in [p(1), p(3)] {
+            let collect = |store: &StoreCatalog| {
+                let opened = store.open_session(participant, false).unwrap();
+                let batch = store.batch(opened.session, 64).unwrap();
+                store.abort_session(opened.session);
+                batch
+                    .candidates
+                    .iter()
+                    .map(|(c, _)| (c.id, c.members.iter().map(|(id, _)| *id).collect::<Vec<_>>()))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(collect(&cat), collect(&unpruned), "candidates diverged after pruning");
+        }
+    }
+
+    #[test]
+    fn keep_last_n_holds_back_a_recent_window() {
+        let cat = fully_trusting(2);
+        cat.set_retention(RetentionPolicy::KeepLastN(2));
+        cat.close_membership().unwrap();
+        for i in 0..4u64 {
+            let x = txn(
+                1,
+                i,
+                vec![Update::insert("Function", func("rat", &format!("prot{i}"), "a"), p(1))],
+            );
+            cat.publish(p(1), vec![x]).unwrap();
+        }
+        reconcile_accept_all(&cat, p(1));
+        reconcile_accept_all(&cat, p(2));
+        assert_eq!(cat.convergence_horizon(), Epoch(4));
+        // Converged through 4, but the last 2 epochs are held back.
+        assert_eq!(cat.advance_horizon(), Epoch(2));
+        let report = cat.prune_to_horizon().unwrap();
+        assert_eq!(report.horizon, Epoch(2));
+        assert_eq!(cat.pruned_through(), Epoch(2));
+    }
+
+    #[test]
+    fn laggards_pin_and_retirement_releases() {
+        let cat = fully_trusting(3);
+        cat.set_retention(RetentionPolicy::ConvergedOnly);
+        cat.close_membership().unwrap();
+        let x = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))]);
+        cat.publish(p(1), vec![x.clone()]).unwrap();
+        reconcile_accept_all(&cat, p(1));
+        reconcile_accept_all(&cat, p(2));
+
+        // p3 never reconciles: the horizon sits at its cursor and pruning is
+        // a no-op.
+        assert_eq!(cat.convergence_horizon(), Epoch::ZERO);
+        assert!(cat.prune_to_horizon().unwrap().is_noop());
+
+        // Retiring the laggard releases the pin; its decisions (none) and
+        // the others' stay. It can no longer reconcile, is not listed, and
+        // receives no relevance for later publishes.
+        cat.retire_participant(p(3)).unwrap();
+        assert_eq!(cat.participants(), vec![p(1), p(2)]);
+        assert!(matches!(cat.open_session(p(3), false), Err(StorageError::Retention(_))));
+        assert_eq!(cat.convergence_horizon(), Epoch(1));
+        let report = cat.prune_to_horizon().unwrap();
+        assert_eq!(report.horizon, Epoch(1));
+
+        let y = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+        cat.publish(p(2), vec![y]).unwrap();
+        assert_eq!(cat.relevance_len(), 1, "only p1 indexes the new epoch");
+
+        // Retiring twice, or retiring an unknown/unregistered participant,
+        // errors.
+        assert!(matches!(cat.retire_participant(p(3)), Err(StorageError::Retention(_))));
+        assert!(matches!(cat.retire_participant(p(42)), Err(StorageError::Retention(_))));
+    }
+
+    #[test]
+    fn late_registration_is_floored_at_the_frontier_on_pruned_and_unpruned_stores() {
+        let build = |prune: bool| {
+            let cat = fully_trusting(2);
+            cat.set_retention(RetentionPolicy::ConvergedOnly);
+            let x = txn(1, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))]);
+            cat.publish(p(1), vec![x]).unwrap();
+            reconcile_accept_all(&cat, p(1));
+            reconcile_accept_all(&cat, p(2));
+            cat.advance_membership_frontier(Epoch(1)).unwrap();
+            if prune {
+                assert_eq!(cat.prune_to_horizon().unwrap().horizon, Epoch(1));
+            }
+            // p3 joins late: on both stores its index starts above the
+            // frontier — the declaration, not the pruning, fixes this.
+            let mut policy = TrustPolicy::new(p(3));
+            for j in 1..=2 {
+                policy = policy.trusting(p(j), 1u32);
+            }
+            cat.register_policy(policy);
+            let y = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+            cat.publish(p(2), vec![y]).unwrap();
+            session_entries(&cat, p(3))
+        };
+        let pruned = build(true);
+        let unpruned = build(false);
+        assert_eq!(pruned, unpruned);
+        assert_eq!(pruned.len(), 1, "only the post-frontier epoch is offered");
+    }
+
+    #[test]
+    fn policy_change_reregistration_is_invariant_under_pruning() {
+        // An entry untrusted under a participant's old policy never pins the
+        // horizon, so its log entry can be pruned while the participant
+        // never decided it. If the participant then re-registers a *broader*
+        // policy, the rebuild must not resurface the entry on an unpruned
+        // store when a pruned one cannot offer it — every registration is
+        // floored at the membership frontier, so both behave identically.
+        let build = |prune: bool| {
+            let cat = StoreCatalog::new(bioinformatics_schema());
+            cat.register_policy(TrustPolicy::new(p(1)).trusting(p(2), 1u32).trusting(p(3), 1u32));
+            cat.register_policy(TrustPolicy::new(p(2)).trusting(p(1), 1u32).trusting(p(3), 1u32));
+            // p3 initially distrusts p2.
+            cat.register_policy(TrustPolicy::new(p(3)).trusting(p(1), 1u32));
+            cat.set_retention(RetentionPolicy::ConvergedOnly);
+            cat.close_membership().unwrap();
+            // T from p2 is untrusted for p3; it is later superseded (delete +
+            // re-insert) so it leaves the pinned-ancestor set.
+            let t = txn(2, 0, vec![Update::insert("Function", func("rat", "prot1", "v"), p(2))]);
+            let del = txn(1, 0, vec![Update::delete("Function", func("rat", "prot1", "v"), p(1))]);
+            let re = txn(1, 1, vec![Update::insert("Function", func("rat", "prot1", "v"), p(1))]);
+            cat.publish(p(2), vec![t.clone()]).unwrap();
+            cat.publish(p(1), vec![del]).unwrap();
+            cat.publish(p(1), vec![re]).unwrap();
+            for i in 1..=3 {
+                reconcile_accept_all(&cat, p(i));
+            }
+            if prune {
+                let report = cat.prune_to_horizon().unwrap();
+                assert!(report.pruned_log_entries > 0, "T must actually be pruned");
+                assert!(cat.transaction(t.id()).is_none());
+            }
+            // p3 re-registers, now trusting p2: the rebuild floors at the
+            // frontier on both stores, so the long-decided-by-everyone-else
+            // (but never by p3) transaction T is not resurfaced anywhere.
+            cat.register_policy(TrustPolicy::new(p(3)).trusting(p(1), 1u32).trusting(p(2), 1u32));
+            session_entries(&cat, p(3))
+        };
+        assert_eq!(build(true), build(false));
+    }
+
+    #[test]
+    fn frontier_advances_are_monotone() {
+        let cat = fully_trusting(2);
+        assert_eq!(cat.advance_membership_frontier(Epoch(5)).unwrap(), Epoch(5));
+        // A smaller value is a no-op, not a rollback.
+        assert_eq!(cat.advance_membership_frontier(Epoch(3)).unwrap(), Epoch(5));
+        assert_eq!(cat.membership_frontier(), Epoch(5));
+    }
+
+    #[test]
+    fn pruned_durable_state_recovers_byte_identically() {
+        for snapshot_after_prune in [false, true] {
+            let dir = tmp_dir(&format!("retention-{snapshot_after_prune}"));
+            let cat = {
+                let schema = bioinformatics_schema();
+                let backend = FileWalBackend::create(&dir, &schema).unwrap();
+                let cat = StoreCatalog::with_durability(schema, Durability::FileWal(backend));
+                for i in 1..=3 {
+                    let mut policy = TrustPolicy::new(p(i));
+                    for j in 1..=3 {
+                        if i != j {
+                            policy = policy.trusting(p(j), 1u32);
+                        }
+                    }
+                    cat.register_policy(policy);
+                }
+                cat
+            };
+            cat.set_retention(RetentionPolicy::ConvergedOnly);
+            cat.close_membership().unwrap();
+            converged_insert_delete_insert(&cat);
+            cat.retire_participant(p(3)).unwrap();
+            let report = cat.prune_to_horizon().unwrap();
+            assert!(report.pruned_log_entries > 0);
+            if snapshot_after_prune {
+                cat.snapshot().unwrap();
+            }
+            // Post-prune activity lands after the Prune record (or in the
+            // fresh generation).
+            let z = txn(2, 1, vec![Update::insert("Function", func("owl", "prot7", "w"), p(2))]);
+            cat.publish(p(2), vec![z]).unwrap();
+            let live = format!("{cat:?}");
+            drop(cat);
+            let recovered = StoreCatalog::recover(&dir).unwrap();
+            assert_eq!(format!("{recovered:?}"), live, "pruned recovery diverged");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn recover_then_prune_equals_prune_then_recover() {
+        let dir = tmp_dir("prune-order");
+        let schema = bioinformatics_schema();
+        let backend = FileWalBackend::create(&dir, &schema).unwrap();
+        let cat = StoreCatalog::with_durability(schema, Durability::FileWal(backend));
+        for i in 1..=3 {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=3 {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            cat.register_policy(policy);
+        }
+        cat.set_retention(RetentionPolicy::ConvergedOnly);
+        cat.close_membership().unwrap();
+        converged_insert_delete_insert(&cat);
+
+        // Path A: prune the live store (twin of what a pre-crash prune
+        // would leave), rendered from an ephemeral clone so the durable
+        // directory stays at the pre-prune point for path B.
+        let twin = cat.clone();
+        twin.prune_to_horizon().unwrap();
+        let pruned_live = format!("{twin:?}");
+        drop(cat);
+
+        // Path B: crash before the prune, recover, then prune.
+        let recovered = StoreCatalog::recover(&dir).unwrap();
+        recovered.set_retention(RetentionPolicy::ConvergedOnly);
+        recovered.prune_to_horizon().unwrap();
+        assert_eq!(format!("{recovered:?}"), pruned_live, "prune/recover order changed state");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

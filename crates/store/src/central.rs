@@ -103,6 +103,31 @@ impl CentralStore {
         self.catalog.snapshot()
     }
 
+    /// Sets the retention policy (see
+    /// [`orchestra_storage::RetentionPolicy`]); builder form for
+    /// construction chains.
+    pub fn with_retention(self, policy: orchestra_storage::RetentionPolicy) -> Self {
+        self.catalog.set_retention(policy);
+        self
+    }
+
+    /// Sets the retention policy. Takes effect at the next
+    /// [`CentralStore::prune_to_horizon`].
+    pub fn set_retention(&self, policy: orchestra_storage::RetentionPolicy) {
+        self.catalog.set_retention(policy);
+    }
+
+    /// The retention policy in force.
+    pub fn retention(&self) -> orchestra_storage::RetentionPolicy {
+        self.catalog.retention()
+    }
+
+    /// Prunes converged history per the retention policy (see
+    /// [`StoreCatalog::prune_to_horizon`]).
+    pub fn prune_to_horizon(&self) -> Result<orchestra_storage::PruneReport> {
+        self.catalog.prune_to_horizon()
+    }
+
     /// Creates an empty central store that blocks for `latency` on every
     /// mutating or retrieving call, emulating the LAN round trip to the
     /// paper's RDBMS-backed store. The latency is charged to the call's
@@ -192,6 +217,10 @@ impl UpdateStore for CentralStore {
     fn abort_reconciliation(&self, session: SessionId) -> Result<()> {
         self.catalog.abort_session(session);
         Ok(())
+    }
+
+    fn retire_participant(&self, participant: ParticipantId) -> Result<()> {
+        self.catalog.retire_participant(participant)
     }
 
     fn record_decisions(

@@ -70,6 +70,25 @@ impl DhtStore {
         &self.catalog
     }
 
+    /// Sets the retention policy. The DHT store shares the catalogue's
+    /// retention machinery: epoch controllers drop their pruned epochs'
+    /// state, transaction controllers their pruned transactions'.
+    pub fn set_retention(&self, policy: orchestra_storage::RetentionPolicy) {
+        self.catalog.set_retention(policy);
+    }
+
+    /// The retention policy in force.
+    pub fn retention(&self) -> orchestra_storage::RetentionPolicy {
+        self.catalog.retention()
+    }
+
+    /// Prunes converged history per the retention policy (see
+    /// [`StoreCatalog::prune_to_horizon`]). Not charged to the cost model:
+    /// in a real deployment each controller prunes its own slice locally.
+    pub fn prune_to_horizon(&self) -> Result<orchestra_storage::PruneReport> {
+        self.catalog.prune_to_horizon()
+    }
+
     /// Cumulative network statistics (messages, hops, bytes, latency).
     pub fn network_stats(&self) -> NetworkStats {
         self.network.lock().expect("network lock").stats()
@@ -263,6 +282,12 @@ impl UpdateStore for DhtStore {
     fn abort_reconciliation(&self, session: SessionId) -> Result<()> {
         self.catalog.abort_session(session);
         Ok(())
+    }
+
+    fn retire_participant(&self, participant: ParticipantId) -> Result<()> {
+        // Like registration, retirement is an out-of-band membership step and
+        // is not charged to the reconciliation cost model.
+        self.catalog.retire_participant(participant)
     }
 
     fn record_decisions(

@@ -86,6 +86,25 @@ impl FileWalBackend {
         self.state.lock().expect("wal lock").generation
     }
 
+    /// Sets when WAL appends `fsync` (see
+    /// [`orchestra_storage::FlushPolicy`]): `EveryAppend` for one sync per
+    /// record, `EveryN`/`Interval` for group commit. The policy survives
+    /// snapshot compaction (it is re-applied to each new generation's log).
+    pub fn set_flush_policy(&self, policy: orchestra_storage::FlushPolicy) {
+        self.state.lock().expect("wal lock").log.set_flush_policy(policy);
+    }
+
+    /// The WAL's current flush policy.
+    pub fn flush_policy(&self) -> orchestra_storage::FlushPolicy {
+        self.state.lock().expect("wal lock").log.flush_policy()
+    }
+
+    /// Records appended since the WAL's last `fsync` (the group-commit
+    /// window still at risk under media failure).
+    pub fn unsynced_records(&self) -> u64 {
+        self.state.lock().expect("wal lock").log.unsynced_records()
+    }
+
     /// Records appended to the current generation's WAL (including the
     /// `Init` record on generation 0).
     pub fn wal_records(&self) -> u64 {
@@ -118,7 +137,10 @@ impl FileWalBackend {
         let next = state.generation + 1;
         snapshot.wal_generation = next;
         snapshot::write_snapshot(&self.dir, &snapshot)?;
-        let new_log = FrameLog::create(&snapshot::wal_path(&self.dir, next))?;
+        let mut new_log = FrameLog::create(&snapshot::wal_path(&self.dir, next))?;
+        // The flush (group-commit) policy is a property of the backend, not
+        // of one generation's file: carry it over.
+        new_log.set_flush_policy(state.log.flush_policy());
         let old = snapshot::wal_path(&self.dir, state.generation);
         state.generation = next;
         state.log = new_log;

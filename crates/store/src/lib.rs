@@ -57,3 +57,6 @@ pub use central::{CentralStore, RetrievalMode};
 pub use dht::DhtStore;
 pub use durability::{Durability, FileWalBackend};
 pub use network_centric::NetworkCentricPlan;
+// Retention and group-commit knobs, re-exported so drivers need not depend
+// on `orchestra-storage` directly.
+pub use orchestra_storage::{FlushPolicy, PruneReport, RetentionPolicy};

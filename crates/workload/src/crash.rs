@@ -104,7 +104,10 @@ pub struct CrashChurnReport {
     pub recover_micros: u64,
 }
 
-fn make_generators(config: &ChurnConfig, ids: &[ParticipantId]) -> Vec<WorkloadGenerator> {
+pub(crate) fn make_generators(
+    config: &ChurnConfig,
+    ids: &[ParticipantId],
+) -> Vec<WorkloadGenerator> {
     // Same per-participant seed derivation as `run_churn_scenario`, so the
     // schedules (and therefore the trajectories) stay comparable.
     ids.iter()
@@ -120,7 +123,7 @@ fn make_generators(config: &ChurnConfig, ids: &[ParticipantId]) -> Vec<WorkloadG
 /// One participant's actions in one round of the churn schedule: execute and
 /// publish a batch, reconcile if due, resolve deferred conflicts if due.
 /// Mirrors `run_churn_scenario` exactly.
-fn step(
+pub(crate) fn step(
     system: &mut CdssSystem<CentralStore>,
     generators: &mut [WorkloadGenerator],
     config: &ChurnConfig,
@@ -162,7 +165,7 @@ fn step(
     }
 }
 
-fn reconcile_one(
+pub(crate) fn reconcile_one(
     system: &mut CdssSystem<CentralStore>,
     id: ParticipantId,
     totals: &mut ChurnTotals,
@@ -174,7 +177,7 @@ fn reconcile_one(
     totals.deferred += report.deferred.len();
 }
 
-fn fresh_system(store: CentralStore, config: &ChurnConfig) -> CdssSystem<CentralStore> {
+pub(crate) fn fresh_system(store: CentralStore, config: &ChurnConfig) -> CdssSystem<CentralStore> {
     let mut system = CdssSystem::new(bioinformatics_schema(), store);
     for policy in mutual_trust_policies(config.participants, 1) {
         system.add_participant(ParticipantConfig::new(policy)).expect("unique participants");

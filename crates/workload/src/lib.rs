@@ -15,12 +15,16 @@
 
 pub mod crash;
 pub mod generator;
+pub mod retention;
 pub mod scenario;
 pub mod swissprot;
 pub mod zipf;
 
 pub use crash::{run_crash_restart_scenario, ChurnTotals, CrashChurnConfig, CrashChurnReport};
 pub use generator::{WorkloadConfig, WorkloadGenerator};
+pub use retention::{
+    run_retention_scenario, RetentionChurnConfig, RetentionChurnResult, RetentionSample,
+};
 pub use scenario::{
     run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig, ChurnResult, ChurnSample,
     ConcurrentChurnResult, ReconcileDriver, ScenarioConfig, ScenarioResult,

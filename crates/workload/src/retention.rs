@@ -1,0 +1,291 @@
+//! The long-horizon retention scenario: the churn schedule with periodic
+//! convergence-horizon pruning, sampling the store's **live set** as history
+//! grows.
+//!
+//! The live set is what a bounded-memory store actually has to hold: live
+//! transaction-log entries plus live relevance-index entries. Under
+//! [`RetentionPolicy::KeepAll`] both grow linearly with history; under
+//! [`RetentionPolicy::ConvergedOnly`] the converged prefix is pruned down to
+//! the pinned-ancestor set, so the live set tracks the size of the *data*
+//! (live value lineage + undecided suffix), not the length of the history.
+//! Decisions must be identical between the two policies — pruning is
+//! decision-invariant by construction, and the benchmark gate
+//! (`BENCH_churn_retention.json`) checks both that and the boundedness of
+//! the `ConvergedOnly` live set.
+
+use crate::crash::{fresh_system, make_generators, reconcile_one, step};
+use crate::scenario::ChurnConfig;
+use crate::ChurnTotals;
+use orchestra::CdssSystem;
+use orchestra_model::ParticipantId;
+use orchestra_store::{CentralStore, RetentionPolicy};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Configuration of one retention run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetentionChurnConfig {
+    /// The underlying churn schedule (participants, rounds, workload, seed).
+    pub churn: ChurnConfig,
+    /// The retention policy the store runs under.
+    pub retention: RetentionPolicy,
+    /// Call `prune_to_horizon` every this many rounds (0 = never; the
+    /// final catch-up prune still runs unless the policy is `KeepAll`).
+    pub prune_every_rounds: usize,
+}
+
+impl RetentionChurnConfig {
+    /// A run over the given schedule and policy, pruning roughly a dozen
+    /// times over the history.
+    pub fn for_churn(churn: ChurnConfig, retention: RetentionPolicy) -> Self {
+        RetentionChurnConfig { prune_every_rounds: (churn.rounds / 12).max(1), retention, churn }
+    }
+}
+
+/// One per-round sample of the store's memory footprint.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RetentionSample {
+    /// The round just finished.
+    pub round: usize,
+    /// Transactions ever published (the history-length axis).
+    pub total_published: u64,
+    /// Live transaction-log entries.
+    pub live_log_entries: usize,
+    /// Live relevance-index entries, summed over shards.
+    pub live_relevance_entries: usize,
+    /// The epoch pruned through so far.
+    pub pruned_through: u64,
+}
+
+impl RetentionSample {
+    /// Log plus relevance entries — the store's live set.
+    pub fn live_set(&self) -> usize {
+        self.live_log_entries + self.live_relevance_entries
+    }
+}
+
+/// Aggregate results of one retention run.
+#[derive(Debug, Clone, Default)]
+pub struct RetentionChurnResult {
+    /// Decision totals (must be identical across retention policies).
+    pub totals: ChurnTotals,
+    /// Effective (non-no-op) prune passes.
+    pub prunes: usize,
+    /// Log entries removed across all passes.
+    pub pruned_log_entries: u64,
+    /// Relevance entries removed across all passes.
+    pub pruned_relevance_entries: u64,
+    /// Sub-horizon entries retained as pinned ancestors by the last
+    /// effective pass.
+    pub last_pinned: u64,
+    /// Largest live set observed at any sample.
+    pub peak_live_set: usize,
+    /// Transactions ever published by the end of the run.
+    pub total_published: u64,
+    /// Store-side time summed over every participant.
+    pub store_time: Duration,
+    /// Local (client algorithm) time summed over every participant.
+    pub local_time: Duration,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Per-round samples, in order, plus one final post-catch-up sample.
+    pub samples: Vec<RetentionSample>,
+}
+
+impl RetentionChurnResult {
+    /// The live set at the sample closest to the given fraction of the run
+    /// (0.5 = mid-history). Used by the boundedness gate: a bounded live set
+    /// stops growing between mid-history and the end.
+    pub fn live_set_at(&self, fraction: f64) -> usize {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let idx = ((self.samples.len() - 1) as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
+        self.samples[idx].live_set()
+    }
+
+    /// The final live set (after catch-up reconciliation, resolution and the
+    /// last prune).
+    pub fn final_live_set(&self) -> usize {
+        self.samples.last().map(|s| s.live_set()).unwrap_or(0)
+    }
+}
+
+fn sample(system: &CdssSystem<CentralStore>, round: usize) -> RetentionSample {
+    let catalog = system.store().catalog();
+    RetentionSample {
+        round,
+        total_published: catalog.log_total_published(),
+        live_log_entries: catalog.log_len(),
+        live_relevance_entries: catalog.relevance_len(),
+        pruned_through: catalog.pruned_through().as_u64(),
+    }
+}
+
+fn prune_pass(system: &mut CdssSystem<CentralStore>, result: &mut RetentionChurnResult) {
+    let report = system.store().prune_to_horizon().expect("prune succeeds");
+    if !report.is_noop() {
+        result.prunes += 1;
+        result.pruned_log_entries += report.pruned_log_entries;
+        result.pruned_relevance_entries += report.pruned_relevance_entries;
+        result.last_pinned = report.pinned;
+        // Client-side counterpart: shrink every participant's extension
+        // cache to its still-deferred chains.
+        for id in system.participant_ids() {
+            if let Some(participant) = system.participant_mut(id) {
+                participant.prune_caches();
+            }
+        }
+    }
+}
+
+/// Resolves every open conflict group at every participant, keeping the
+/// first option — the curation pass that lets the horizon reach the end of
+/// the schedule.
+fn resolve_everything(system: &mut CdssSystem<CentralStore>, totals: &mut ChurnTotals) {
+    for id in system.participant_ids() {
+        let groups: Vec<_> = system
+            .participant(id)
+            .expect("participant exists")
+            .deferred_conflicts()
+            .iter()
+            .map(|g| g.key.clone())
+            .collect();
+        if groups.is_empty() {
+            continue;
+        }
+        let choices: Vec<orchestra_recon::ResolutionChoice> = groups
+            .into_iter()
+            .map(|key| orchestra_recon::ResolutionChoice { group: key, chosen_option: Some(0) })
+            .collect();
+        system.resolve_conflicts(id, &choices).expect("resolution succeeds");
+        totals.resolutions += 1;
+    }
+}
+
+/// Runs the retention scenario: the interleaved churn schedule with periodic
+/// pruning, then a catch-up phase (reconcile all → resolve all → reconcile
+/// all → final prune) so the last sample shows the fully converged live set.
+pub fn run_retention_scenario(
+    store: CentralStore,
+    config: &RetentionChurnConfig,
+) -> RetentionChurnResult {
+    store.set_retention(config.retention);
+    let churn = &config.churn;
+    let start = Instant::now();
+    let mut system = fresh_system(store, churn);
+    // Every participant of the run is registered up front: declare the
+    // membership closed, otherwise the horizon is pinned at zero forever.
+    system.store().catalog().close_membership().expect("close membership");
+    let ids: Vec<ParticipantId> = system.participant_ids();
+    let mut generators = make_generators(churn, &ids);
+
+    let mut result = RetentionChurnResult::default();
+    let mut totals = ChurnTotals::default();
+    for round in 0..churn.rounds {
+        for (idx, &id) in ids.iter().enumerate() {
+            step(&mut system, &mut generators, churn, round, idx, id, &mut totals);
+        }
+        if config.prune_every_rounds > 0 && (round + 1) % config.prune_every_rounds == 0 {
+            prune_pass(&mut system, &mut result);
+        }
+        let s = sample(&system, round);
+        result.peak_live_set = result.peak_live_set.max(s.live_set());
+        result.samples.push(s);
+    }
+
+    // Catch-up: everyone sees the full history, leftover conflicts are
+    // curated away, and one more reconcile wave records the rerun decisions
+    // before the final prune.
+    for &id in &ids {
+        reconcile_one(&mut system, id, &mut totals);
+    }
+    resolve_everything(&mut system, &mut totals);
+    for &id in &ids {
+        reconcile_one(&mut system, id, &mut totals);
+    }
+    prune_pass(&mut system, &mut result);
+    let last = sample(&system, churn.rounds);
+    result.peak_live_set = result.peak_live_set.max(last.live_set());
+    result.samples.push(last);
+
+    totals.state_ratio = system.state_ratio_for("Function");
+    result.totals = totals;
+    result.total_published = system.store().catalog().log_total_published();
+    for id in system.participant_ids() {
+        let timing = system.participant(id).expect("participant exists").total_timing();
+        result.store_time += timing.store;
+        result.local_time += timing.local;
+    }
+    result.wall = start.elapsed();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadConfig;
+    use orchestra_model::schema::bioinformatics_schema;
+
+    fn tiny_churn() -> ChurnConfig {
+        ChurnConfig {
+            participants: 4,
+            rounds: 12,
+            transactions_per_publish: 1,
+            max_reconcile_interval: 3,
+            resolve_every: 3,
+            workload: WorkloadConfig {
+                transaction_size: 1,
+                key_universe: 12,
+                function_pool: 6,
+                value_zipf_exponent: 1.5,
+                key_zipf_exponent: 1.2,
+                xref_mean: 7.3,
+            },
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn converged_only_prunes_and_matches_keepall_decisions() {
+        let keepall = run_retention_scenario(
+            CentralStore::new(bioinformatics_schema()),
+            &RetentionChurnConfig::for_churn(tiny_churn(), RetentionPolicy::KeepAll),
+        );
+        let converged = run_retention_scenario(
+            CentralStore::new(bioinformatics_schema()),
+            &RetentionChurnConfig::for_churn(tiny_churn(), RetentionPolicy::ConvergedOnly),
+        );
+        // Pruning must be invisible to the algorithm.
+        assert_eq!(keepall.totals, converged.totals, "retention changed decisions");
+        assert!(keepall.totals.accepted > 0, "churn must share data");
+        // KeepAll never prunes; ConvergedOnly actually removed history.
+        assert_eq!(keepall.prunes, 0);
+        assert_eq!(keepall.final_live_set(), keepall.peak_live_set);
+        assert!(converged.prunes > 0, "schedule must converge enough to prune");
+        assert!(converged.pruned_log_entries > 0);
+        assert!(converged.final_live_set() < keepall.final_live_set());
+        assert_eq!(converged.total_published, keepall.total_published);
+        // Samples cover every round plus the final catch-up.
+        assert_eq!(converged.samples.len(), tiny_churn().rounds + 1);
+        assert!(converged.samples.last().unwrap().pruned_through > 0);
+    }
+
+    #[test]
+    fn keep_last_n_prunes_less_than_converged_only() {
+        let window = run_retention_scenario(
+            CentralStore::new(bioinformatics_schema()),
+            &RetentionChurnConfig::for_churn(tiny_churn(), RetentionPolicy::KeepLastN(8)),
+        );
+        let converged = run_retention_scenario(
+            CentralStore::new(bioinformatics_schema()),
+            &RetentionChurnConfig::for_churn(tiny_churn(), RetentionPolicy::ConvergedOnly),
+        );
+        assert_eq!(window.totals, converged.totals);
+        assert!(window.final_live_set() >= converged.final_live_set());
+        assert!(
+            window.samples.last().unwrap().pruned_through
+                <= converged.samples.last().unwrap().pruned_through
+        );
+    }
+}
