@@ -46,6 +46,8 @@ fn main() {
         .map(|r| {
             vec![
                 r.mode.clone(),
+                r.codec.clone(),
+                format!("{}", r.segments),
                 format!("{}", r.reconciliations),
                 format!("{}", r.epochs),
                 format!("{:.4}", r.store_seconds),
@@ -62,6 +64,8 @@ fn main() {
             "Durable churn: ephemeral vs WAL-backed store",
             &[
                 "mode",
+                "codec",
+                "segs",
                 "recons",
                 "epochs",
                 "store s",
@@ -78,10 +82,13 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
+                r.codec.clone(),
                 format!("{}", r.rounds),
                 format!("{}", r.epochs),
+                format!("{}", r.segments),
                 format!("{}", r.wal_records),
                 format!("{:.2}", r.replay_ms),
+                format!("{:.2}", r.decode_ms),
                 format!("{:.2}", r.snapshot_ms),
                 format!("{}", r.snapshot_bytes),
                 format!("{}", r.recovered_identical),
@@ -93,10 +100,13 @@ fn main() {
         render_table(
             "Recovery latency vs log length",
             &[
+                "codec",
                 "rounds",
                 "epochs",
+                "segs",
                 "wal recs",
                 "replay ms",
+                "decode ms",
                 "snapshot ms",
                 "snap bytes",
                 "identical"
@@ -104,9 +114,38 @@ fn main() {
             &recovery_rows,
         )
     );
+    let stress_rows: Vec<Vec<String>> = report
+        .commit_stress
+        .iter()
+        .map(|r| {
+            vec![
+                r.layout.clone(),
+                format!("{}", r.threads),
+                format!("{}", r.commits),
+                format!("{:.3}", r.wall_seconds),
+                format!("{:.0}", r.commits_per_second),
+                format!("{}", r.segments),
+            ]
+        })
+        .collect();
     println!(
-        "wal wall overhead: {:.2}x   snapshot recovery ratio: {:.2}x   decisions match: {}   crash-restart match: {}",
+        "{}",
+        render_table(
+            "Parallel durable commits (fsync per append)",
+            &["layout", "threads", "commits", "wall s", "commits/s", "segs"],
+            &stress_rows,
+        )
+    );
+    println!(
+        "wal wall overhead: {:.2}x   replay speedup (binary vs json): {:.2}x   codec decode speedup: {:.2}x   wal shrink: {:.2}x",
         report.summary.wal_wall_overhead,
+        report.summary.replay_speedup,
+        report.summary.codec_decode_speedup,
+        report.summary.wal_shrink,
+    );
+    println!(
+        "commit scaling (per-shard vs single): {:.2}x   snapshot recovery ratio: {:.2}x   decisions match: {}   crash-restart match: {}",
+        report.summary.commit_scaling,
         report.summary.snapshot_recovery_ratio,
         report.summary.decisions_match,
         report.summary.crash_restart_decisions_match

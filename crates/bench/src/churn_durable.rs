@@ -2,23 +2,30 @@
 //! what it buys at recovery time.
 //!
 //! This is the `BENCH_churn_durable.json` entry of the repository's
-//! benchmark trajectory. The same churn schedule runs twice — over the
-//! ephemeral in-memory store and over a WAL-backed one — so the per-call
-//! store-time overhead of logging every publish and decision commit is
-//! measured directly (decisions must be identical; durability is invisible
-//! to the algorithm). Recovery cost is then measured against log length:
-//! histories of increasing size are recovered once by replaying the full WAL
-//! and once from a compacting snapshot plus an (empty) WAL tail, pinning
-//! down the latency the snapshot saves. Finally the crash-restart scenario
+//! benchmark trajectory. The same churn schedule runs over the ephemeral
+//! in-memory store and over WAL-backed stores in each codec × segment-layout
+//! combination — so the per-call store-time overhead of logging every
+//! publish and decision commit is measured directly (decisions must be
+//! identical; durability is invisible to the algorithm). Recovery cost is
+//! then measured against log length *per codec*: histories of increasing
+//! size are recovered by replaying the full WAL and from a compacting
+//! snapshot, pinning down both the latency the snapshot saves and the replay
+//! speedup the binary codec buys over the JSON debug codec. An 8-thread
+//! commit stress compares per-shard segments against the single-segment
+//! layout under per-append `fsync`. Finally the crash-restart scenario
 //! ([`orchestra_workload::run_crash_restart_scenario`]) runs end to end,
 //! asserting that a mid-wave crash recovers to byte-identical durable state
 //! and finishes the schedule with decisions identical to an uninterrupted
 //! run.
 
 use orchestra_model::schema::bioinformatics_schema;
-use orchestra_store::CentralStore;
+use orchestra_model::{ParticipantId, Transaction, Tuple, Update};
+use orchestra_store::{
+    CentralStore, Codec, FlushPolicy, ReconciliationSession, UpdateStore, WalOptions,
+};
 use orchestra_workload::{
-    run_churn_scenario, run_crash_restart_scenario, ChurnConfig, ChurnResult, CrashChurnConfig,
+    mutual_trust_policies, run_churn_scenario, run_crash_restart_scenario, ChurnConfig,
+    ChurnResult, CrashChurnConfig,
 };
 use serde::Serialize;
 use std::io;
@@ -32,8 +39,13 @@ use crate::figures::FigureScale;
 /// over the full schedule.
 #[derive(Debug, Clone, Serialize)]
 pub struct ChurnDurableRow {
-    /// `"ephemeral"` or `"wal"`.
+    /// `"ephemeral"`, `"wal"` (binary, per-shard), `"wal_single"` (binary,
+    /// one segment) or `"wal_json"` (JSON inspection mode, per-shard).
     pub mode: String,
+    /// WAL codec of the run (`"-"` for the ephemeral store).
+    pub codec: String,
+    /// Live WAL segments at the end of the run (0 for the ephemeral store).
+    pub segments: usize,
     /// Reconciliations performed.
     pub reconciliations: usize,
     /// Epochs published over the run.
@@ -63,20 +75,31 @@ pub struct ChurnDurableRow {
 }
 
 /// One recovery measurement: the same history recovered by full WAL replay
-/// and from a compacting snapshot.
+/// and from a compacting snapshot, in one codec.
 #[derive(Debug, Clone, Serialize)]
 pub struct RecoveryRow {
+    /// WAL codec the history was written in.
+    pub codec: String,
     /// Publish rounds of the history (the log-length axis).
     pub rounds: usize,
     /// Epochs in the history.
     pub epochs: u64,
+    /// WAL segments merged on the replay-only path.
+    pub segments: usize,
     /// WAL records replayed on the replay-only path.
     pub wal_records: u64,
     /// WAL bytes replayed on the replay-only path.
     pub wal_bytes: u64,
-    /// Milliseconds to recover by replaying the full WAL.
+    /// Milliseconds to recover by replaying the full WAL (best of three —
+    /// recovery is read-only, so it can repeat).
     pub replay_ms: f64,
-    /// Milliseconds to recover from the snapshot (plus the empty WAL tail).
+    /// Milliseconds of the codec-side share of that replay: opening every
+    /// segment and decoding all records to `WalRecord`s, without applying
+    /// them (best of three). `replay_ms − decode_ms` is the apply cost,
+    /// which is codec-independent.
+    pub decode_ms: f64,
+    /// Milliseconds to recover from the snapshot (plus the empty WAL tail),
+    /// best of three.
     pub snapshot_ms: f64,
     /// Snapshot size in bytes.
     pub snapshot_bytes: u64,
@@ -85,21 +108,63 @@ pub struct RecoveryRow {
     pub recovered_identical: bool,
 }
 
+/// One row of the parallel durable-commit stress: `threads` participants
+/// committing reconciliations concurrently against one shared WAL-backed
+/// store with per-append `fsync`.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommitStressRow {
+    /// `"per_shard"` or `"single_segment"`.
+    pub layout: String,
+    /// Committing threads (one per participant).
+    pub threads: usize,
+    /// Reconciliation commits performed in total.
+    pub commits: u64,
+    /// Wall-clock seconds of the commit phase.
+    pub wall_seconds: f64,
+    /// Commits per second across all threads.
+    pub commits_per_second: f64,
+    /// Live WAL segments at the end of the run.
+    pub segments: usize,
+}
+
 /// Headline comparison.
 #[derive(Debug, Clone, Serialize)]
 pub struct ChurnDurableSummary {
     /// WAL-run wall clock divided by ephemeral wall clock — the end-to-end
     /// price of durability (expected a little above 1).
     pub wal_wall_overhead: f64,
+    /// JSON-codec replay time divided by binary-codec replay time on the
+    /// longest history: what the length-prefixed binary codec buys at
+    /// recovery, end to end. Replay applies every record through the live
+    /// store paths, and that apply cost is codec-independent, so this ratio
+    /// is Amdahl-capped well below the pure codec speedup — see
+    /// `codec_decode_speedup` for the codec-side ratio. Trajectory-gated
+    /// (may not regress more than the tolerance below the committed value).
+    pub replay_speedup: f64,
+    /// JSON-codec decode time divided by binary-codec decode time on the
+    /// longest history (segment open + every record decoded, nothing
+    /// applied): the codec-for-codec replay speedup with the shared,
+    /// codec-independent apply cost factored out. Trajectory-gated.
+    pub codec_decode_speedup: f64,
+    /// JSON-codec WAL bytes divided by binary-codec WAL bytes on the longest
+    /// history: the on-disk shrink the binary codec buys. Deterministic for
+    /// a fixed schedule.
+    pub wal_shrink: f64,
+    /// Per-shard commit throughput divided by single-segment commit
+    /// throughput in the 8-thread stress. Deliberately *not* named with a
+    /// `speedup` suffix: parallel `fsync` timing is too host-sensitive to
+    /// regression-gate, so it is reported un-gated.
+    pub commit_scaling: f64,
     /// Full-WAL-replay recovery time divided by snapshot recovery time on
-    /// the longest history. Informative rather than gated: with this
+    /// the longest binary history. Informative rather than gated: with this
     /// workload's state growing as fast as its history (the log retains
     /// every transaction), snapshot load parses as many bytes as a full
     /// replay, so the ratio hovers near 1 — what compaction robustly buys
     /// here is the bounded on-disk footprint, not restart latency.
     pub snapshot_recovery_ratio: f64,
-    /// Whether the ephemeral and WAL-backed runs reached identical
-    /// accept/reject/defer totals and state ratio (they must).
+    /// Whether every WAL-backed run reached accept/reject/defer totals and
+    /// state ratio identical to the ephemeral run's, and every recovery row
+    /// recovered byte-identically (they must).
     pub decisions_match: bool,
     /// Whether the crash-restart scenario recovered byte-identical durable
     /// state *and* finished with decisions identical to the uninterrupted
@@ -115,8 +180,10 @@ pub struct ChurnDurableSummary {
 pub struct ChurnDurableReport {
     /// Per-mode rows.
     pub rows: Vec<ChurnDurableRow>,
-    /// Recovery latency vs. log length.
+    /// Recovery latency vs. log length, per codec.
     pub recovery: Vec<RecoveryRow>,
+    /// The parallel commit stress, per segment layout.
+    pub commit_stress: Vec<CommitStressRow>,
     /// Headline comparison.
     pub summary: ChurnDurableSummary,
 }
@@ -127,8 +194,11 @@ pub fn churn_durable_config(scale: FigureScale) -> ChurnConfig {
     churn_config(scale)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn row(
     mode: &str,
+    codec: &str,
+    segments: usize,
     result: &ChurnResult,
     wall: Duration,
     wal_records: u64,
@@ -136,6 +206,8 @@ fn row(
 ) -> ChurnDurableRow {
     ChurnDurableRow {
         mode: mode.to_string(),
+        codec: codec.to_string(),
+        segments,
         reconciliations: result.reconciliations,
         epochs: result.epochs,
         store_seconds: result.store_time.as_secs_f64(),
@@ -158,22 +230,52 @@ fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Measures recovery latency for one history length: replay-only, then
-/// snapshot-based.
-fn measure_recovery(config: &ChurnConfig, rounds: usize) -> RecoveryRow {
+/// Recovers `dir` `repeats` times, returning the best wall-clock
+/// milliseconds and the last recovered store (recovery is read-only, so
+/// repeating it is sound — `recovery_is_idempotent` in the integration suite
+/// pins that down).
+fn timed_recover(dir: &Path, repeats: usize) -> (f64, CentralStore) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let recovered = CentralStore::recover(dir).expect("recovery succeeds");
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(recovered);
+    }
+    (best_ms, last.expect("at least one recovery"))
+}
+
+/// Measures recovery latency for one history length in one codec:
+/// replay-only, then snapshot-based.
+fn measure_recovery(config: &ChurnConfig, rounds: usize, codec: Codec) -> RecoveryRow {
     let mut config = config.clone();
     config.rounds = rounds;
-    let dir = scratch_dir(&format!("recover-{rounds}"));
-    let store = CentralStore::durable(bioinformatics_schema(), &dir).expect("fresh scratch dir");
+    let dir = scratch_dir(&format!("recover-{}-{rounds}", codec.label()));
+    let options = WalOptions { codec, per_shard: true };
+    let store = CentralStore::durable_with(bioinformatics_schema(), &dir, options)
+        .expect("fresh scratch dir");
     let result = run_churn_scenario(store, &config);
 
     // Replay-only: the WAL still holds the entire history.
-    let replay_start = Instant::now();
-    let replayed = CentralStore::recover(&dir).expect("replay recovery");
-    let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+    let (replay_ms, replayed) = timed_recover(&dir, 3);
     let live = format!("{:?}", replayed.catalog());
     let backend = replayed.catalog().durability().file_backend().expect("durable");
     let (wal_records, wal_bytes) = (backend.wal_records(), backend.wal_bytes());
+    let segments = backend.segment_count();
+    let generation = backend.generation();
+
+    // Codec-side share of that replay: merge the segments and decode every
+    // record, applying none of them.
+    let mut decode_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (_, records) =
+            orchestra_storage::segment::SegmentedWal::open(backend.dir(), generation, None, true)
+                .expect("segments open");
+        decode_ms = decode_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(records.len() as u64, wal_records, "decode saw every record");
+    }
 
     // Snapshot-based: compact, then recover again from the snapshot plus an
     // empty WAL tail.
@@ -182,22 +284,109 @@ fn measure_recovery(config: &ChurnConfig, rounds: usize) -> RecoveryRow {
         .map(|m| m.len())
         .unwrap_or(0);
     drop(replayed);
-    let snap_start = Instant::now();
-    let snapped = CentralStore::recover(&dir).expect("snapshot recovery");
-    let snapshot_ms = snap_start.elapsed().as_secs_f64() * 1e3;
+    let (snapshot_ms, snapped) = timed_recover(&dir, 3);
     let recovered_identical = format!("{:?}", snapped.catalog()) == live;
     drop(snapped);
     std::fs::remove_dir_all(&dir).ok();
     RecoveryRow {
+        codec: codec.label().to_string(),
         rounds,
         epochs: result.epochs,
+        segments,
         wal_records,
         wal_bytes,
         replay_ms,
+        decode_ms,
         snapshot_ms,
         snapshot_bytes,
         recovered_identical,
     }
+}
+
+/// Threads of the parallel commit stress (the benchmark's headline uses 8).
+pub const STRESS_THREADS: usize = 8;
+
+/// Runs the parallel durable-commit stress for one segment layout:
+/// `STRESS_THREADS` participants each committing `commits_per_thread`
+/// reconciliations against one shared store under per-append `fsync` — the
+/// flush is what a shared segment serialises on, so this is the
+/// layout-sensitive part of a durable commit.
+fn run_commit_stress(per_shard: bool, commits_per_thread: usize) -> CommitStressRow {
+    let layout = if per_shard { "per_shard" } else { "single_segment" };
+    let dir = scratch_dir(&format!("stress-{layout}"));
+    let options = WalOptions { codec: Codec::Binary, per_shard };
+    let store = CentralStore::durable_with(bioinformatics_schema(), &dir, options)
+        .expect("fresh scratch dir");
+    for policy in mutual_trust_policies(STRESS_THREADS, 1) {
+        store.register_participant(policy);
+    }
+    store
+        .catalog()
+        .durability()
+        .file_backend()
+        .expect("durable")
+        .set_flush_policy(FlushPolicy::EveryAppend);
+    // A little published history so every session pins a non-zero epoch
+    // (untimed — the stress measures the commit path alone).
+    for i in 0..STRESS_THREADS as u32 {
+        let publisher = ParticipantId(i + 1);
+        let tuple = Tuple::of_text(&["rat", &format!("prot{i}"), "stress"]);
+        let txn = Transaction::from_parts(
+            publisher,
+            0,
+            vec![Update::insert("Function", tuple, publisher)],
+        )
+        .expect("valid transaction");
+        store.publish(publisher, vec![txn]).expect("publish succeeds");
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..STRESS_THREADS as u32 {
+            let store = &store;
+            scope.spawn(move || {
+                let participant = ParticipantId(i + 1);
+                for _ in 0..commits_per_thread {
+                    let session =
+                        ReconciliationSession::open(store, participant).expect("session opens");
+                    // An empty commit still durably records the
+                    // reconciliation (recno + cursor) — one WAL append +
+                    // fsync on the participant's shard.
+                    session.commit(&[], &[]).expect("commit succeeds");
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let commits = (STRESS_THREADS * commits_per_thread) as u64;
+    let segments = store.catalog().durability().file_backend().expect("durable").segment_count();
+    drop(store);
+    std::fs::remove_dir_all(&dir).ok();
+    CommitStressRow {
+        layout: layout.to_string(),
+        threads: STRESS_THREADS,
+        commits,
+        wall_seconds: wall.as_secs_f64(),
+        commits_per_second: commits as f64 / wall.as_secs_f64().max(f64::EPSILON),
+        segments,
+    }
+}
+
+/// Runs one WAL-backed churn schedule and probes its durable footprint.
+fn run_wal_mode(mode: &str, options: WalOptions, config: &ChurnConfig) -> ChurnDurableRow {
+    let dir = scratch_dir(&format!("overhead-{mode}"));
+    let store = CentralStore::durable_with(bioinformatics_schema(), &dir, options)
+        .expect("fresh scratch dir");
+    let wal_start = Instant::now();
+    let result = run_churn_scenario(store, config);
+    let wall = wal_start.elapsed();
+    let probe = CentralStore::recover(&dir).expect("footprint probe");
+    let backend = probe.catalog().durability().file_backend().expect("durable");
+    let (wal_records, wal_bytes) = (backend.wal_records(), backend.wal_bytes());
+    let segments = backend.segment_count();
+    drop(probe);
+    std::fs::remove_dir_all(&dir).ok();
+    row(mode, options.codec.label(), segments, &result, wall, wal_records, wal_bytes)
 }
 
 /// Runs the durable-churn benchmark over an explicit configuration.
@@ -209,24 +398,37 @@ pub fn run_churn_durable_bench_with(config: &ChurnConfig) -> ChurnDurableReport 
     let eph_start = Instant::now();
     let ephemeral = run_churn_scenario(CentralStore::new(bioinformatics_schema()), config);
     let eph_wall = eph_start.elapsed();
+    let eph_row = row("ephemeral", "-", 0, &ephemeral, eph_wall, 0, 0);
 
-    let dir = scratch_dir("overhead");
-    let store = CentralStore::durable(bioinformatics_schema(), &dir).expect("fresh scratch dir");
-    let wal_start = Instant::now();
-    let durable = run_churn_scenario(store, config);
-    let wal_wall = wal_start.elapsed();
-    let probe = CentralStore::recover(&dir).expect("footprint probe");
-    let backend = probe.catalog().durability().file_backend().expect("durable");
-    let (wal_records, wal_bytes) = (backend.wal_records(), backend.wal_bytes());
-    drop(probe);
-    std::fs::remove_dir_all(&dir).ok();
+    // WAL-backed runs across the codec × layout matrix. The binary
+    // per-shard run is the default mode the overhead headline uses.
+    let wal_rows = vec![
+        run_wal_mode("wal", WalOptions { codec: Codec::Binary, per_shard: true }, config),
+        run_wal_mode("wal_single", WalOptions { codec: Codec::Binary, per_shard: false }, config),
+        run_wal_mode("wal_json", WalOptions { codec: Codec::Json, per_shard: true }, config),
+    ];
 
-    // Recovery latency against growing histories: thirds of the schedule.
-    let recovery: Vec<RecoveryRow> = [config.rounds / 3, 2 * config.rounds / 3, config.rounds]
+    // Recovery latency against growing histories, per codec: thirds of the
+    // schedule.
+    let lengths: Vec<usize> = [config.rounds / 3, 2 * config.rounds / 3, config.rounds]
         .into_iter()
         .filter(|&r| r > 0)
-        .map(|rounds| measure_recovery(config, rounds))
         .collect();
+    let mut recovery = Vec::new();
+    for codec in [Codec::Binary, Codec::Json] {
+        for &rounds in &lengths {
+            recovery.push(measure_recovery(config, rounds, codec));
+        }
+    }
+
+    // The 8-thread parallel commit stress, both layouts. Scale the per-
+    // thread commit count with the schedule so reduced test configurations
+    // stay fast.
+    let commits_per_thread = config.rounds.clamp(10, 60);
+    let commit_stress = vec![
+        run_commit_stress(true, commits_per_thread),
+        run_commit_stress(false, commits_per_thread),
+    ];
 
     // The crash-restart scenario end to end, at the benchmark scale.
     let crash_dir = scratch_dir("crash");
@@ -234,23 +436,42 @@ pub fn run_churn_durable_bench_with(config: &ChurnConfig) -> ChurnDurableReport 
         run_crash_restart_scenario(&crash_dir, &CrashChurnConfig::for_churn(config.clone()));
     std::fs::remove_dir_all(&crash_dir).ok();
 
-    let eph_row = row("ephemeral", &ephemeral, eph_wall, 0, 0);
-    let wal_row = row("wal", &durable, wal_wall, wal_records, wal_bytes);
-    let longest = recovery.last();
+    let longest = |codec: &str| -> Option<&RecoveryRow> {
+        recovery.iter().filter(|r| r.codec == codec).max_by_key(|r| r.rounds)
+    };
+    let (replay_speedup, codec_decode_speedup, wal_shrink) =
+        match (longest("binary"), longest("json")) {
+            (Some(binary), Some(json)) => (
+                json.replay_ms / binary.replay_ms.max(f64::EPSILON),
+                json.decode_ms / binary.decode_ms.max(f64::EPSILON),
+                json.wal_bytes as f64 / (binary.wal_bytes as f64).max(f64::EPSILON),
+            ),
+            _ => (1.0, 1.0, 1.0),
+        };
+    let commit_scaling =
+        commit_stress[0].commits_per_second / commit_stress[1].commits_per_second.max(f64::EPSILON);
+    let wal_row = &wal_rows[0];
     let summary = ChurnDurableSummary {
         wal_wall_overhead: wal_row.wall_seconds / eph_row.wall_seconds.max(f64::EPSILON),
-        snapshot_recovery_ratio: longest
+        replay_speedup,
+        codec_decode_speedup,
+        wal_shrink,
+        commit_scaling,
+        snapshot_recovery_ratio: longest("binary")
             .map(|r| r.replay_ms / r.snapshot_ms.max(f64::EPSILON))
             .unwrap_or(1.0),
-        decisions_match: eph_row.accepted == wal_row.accepted
-            && eph_row.rejected == wal_row.rejected
-            && eph_row.deferred == wal_row.deferred
-            && eph_row.state_ratio == wal_row.state_ratio
-            && recovery.iter().all(|r| r.recovered_identical),
+        decisions_match: wal_rows.iter().all(|r| {
+            eph_row.accepted == r.accepted
+                && eph_row.rejected == r.rejected
+                && eph_row.deferred == r.deferred
+                && eph_row.state_ratio == r.state_ratio
+        }) && recovery.iter().all(|r| r.recovered_identical),
         crash_restart_decisions_match: crash.decisions_match && crash.durable_state_identical,
         crash_recover_micros: crash.recover_micros,
     };
-    ChurnDurableReport { rows: vec![eph_row, wal_row], recovery, summary }
+    let mut rows = vec![eph_row];
+    rows.extend(wal_rows);
+    ChurnDurableReport { rows, recovery, commit_stress, summary }
 }
 
 /// Runs the durable-churn benchmark at the given scale.
@@ -260,7 +481,7 @@ pub fn run_churn_durable_bench(scale: FigureScale) -> ChurnDurableReport {
 
 /// Writes the benchmark document as pretty-printed JSON: `{"benchmark":
 /// "churn_durable", "meta": {...}, "rows": [...], "recovery": [...],
-/// "summary": {...}}`.
+/// "commit_stress": [...], "summary": {...}}`.
 pub fn write_churn_durable_json(path: &Path, report: &ChurnDurableReport) -> io::Result<()> {
     let mut doc = serde_json::Map::new();
     doc.insert("benchmark".to_string(), serde_json::Value::String("churn_durable".to_string()));
@@ -278,6 +499,16 @@ pub fn write_churn_durable_json(path: &Path, report: &ChurnDurableReport) -> io:
                 .recovery
                 .iter()
                 .map(|r| serde_json::to_value(r).expect("recovery rows serialise"))
+                .collect(),
+        ),
+    );
+    doc.insert(
+        "commit_stress".to_string(),
+        serde_json::Value::Array(
+            report
+                .commit_stress
+                .iter()
+                .map(|r| serde_json::to_value(r).expect("stress rows serialise"))
                 .collect(),
         ),
     );
@@ -319,13 +550,40 @@ mod tests {
             seed: 20060627,
         };
         let report = run_churn_durable_bench_with(&config);
-        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows.len(), 4, "ephemeral + three WAL modes");
         assert!(report.summary.decisions_match, "modes diverged: {report:?}");
         assert!(report.summary.crash_restart_decisions_match, "crash diverged: {report:?}");
-        assert!(report.rows[1].wal_records > 0);
-        assert!(report.rows[1].wal_bytes > 0);
-        assert_eq!(report.recovery.len(), 3);
+        for wal_row in &report.rows[1..] {
+            assert!(wal_row.wal_records > 0);
+            assert!(wal_row.wal_bytes > 0);
+        }
+        // The binary WAL is smaller than the JSON one for the same schedule.
+        let by_mode =
+            |mode: &str| report.rows.iter().find(|r| r.mode == mode).expect("mode row present");
+        assert!(by_mode("wal").wal_bytes < by_mode("wal_json").wal_bytes);
+        assert_eq!(by_mode("wal").wal_records, by_mode("wal_json").wal_records);
+        // Both layouts log the same records; only the file layout differs.
+        assert_eq!(by_mode("wal").wal_records, by_mode("wal_single").wal_records);
+        assert!(by_mode("wal").segments > by_mode("wal_single").segments);
+
+        assert_eq!(report.recovery.len(), 6, "three lengths x two codecs");
         assert!(report.recovery.iter().all(|r| r.recovered_identical));
         assert!(report.recovery.iter().all(|r| r.replay_ms > 0.0 && r.snapshot_ms > 0.0));
+        assert!(report.recovery.iter().all(|r| r.decode_ms > 0.0 && r.decode_ms < r.replay_ms));
+        assert!(report.summary.replay_speedup > 1.0, "binary replay not faster: {report:?}");
+        assert!(
+            report.summary.codec_decode_speedup > report.summary.replay_speedup,
+            "decode-only ratio should beat the apply-diluted one: {report:?}"
+        );
+        assert!(report.summary.wal_shrink > 1.0, "binary WAL not smaller: {report:?}");
+
+        assert_eq!(report.commit_stress.len(), 2);
+        let stress_commits = (STRESS_THREADS * 18) as u64;
+        for stress in &report.commit_stress {
+            assert_eq!(stress.commits, stress_commits);
+            assert!(stress.commits_per_second > 0.0);
+        }
+        assert!(report.commit_stress[0].segments > report.commit_stress[1].segments);
+        assert!(report.summary.commit_scaling > 0.0);
     }
 }

@@ -100,11 +100,14 @@ pub fn check_document(
     report.documents += 1;
 
     // Rule 1: every gated boolean flag in the fresh document must hold —
-    // decisions_match (the modes reached identical decisions) and
-    // live_set_bounded (a retention policy's live set stopped growing).
-    const GATED_FLAGS: [(&str, &str); 2] = [
+    // decisions_match (the modes reached identical decisions),
+    // live_set_bounded (a retention policy's live set stopped growing) and
+    // recovered_identical (every recovery path rebuilt byte-identical
+    // durable state).
+    const GATED_FLAGS: [(&str, &str); 3] = [
         ("decisions_match", "the modes no longer reach identical decisions"),
         ("live_set_bounded", "the retention live set grows with history"),
+        ("recovered_identical", "recovery no longer rebuilds byte-identical state"),
     ];
     for (wanted, meaning) in GATED_FLAGS {
         let mut flags = Vec::new();
@@ -271,6 +274,33 @@ mod tests {
         .unwrap();
         let mut report = TrajectoryReport::default();
         check_document("BENCH_r.json", &shrunk, &doc_with(true), 0.25, &mut report);
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn false_recovered_identical_flags_fail() {
+        let doc_with = |identical: bool| -> serde_json::Value {
+            serde_json::from_str(&format!(
+                r#"{{"recovery":[{{"recovered_identical":true}},{{"recovered_identical":{identical}}}],
+                    "summary":{{"replay_speedup":10.0,"decisions_match":true}}}}"#
+            ))
+            .unwrap()
+        };
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_d.json", &doc_with(true), &doc_with(true), 0.25, &mut report);
+        assert!(!report.failed());
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_d.json", &doc_with(false), &doc_with(true), 0.25, &mut report);
+        assert!(report.failed());
+        assert!(format!("{report}").contains("byte-identical"));
+        // The replay speedup is regression-gated like any summary speedup.
+        let slower: serde_json::Value = serde_json::from_str(
+            r#"{"recovery":[{"recovered_identical":true}],
+                "summary":{"replay_speedup":5.0,"decisions_match":true}}"#,
+        )
+        .unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_d.json", &slower, &doc_with(true), 0.25, &mut report);
         assert!(report.failed());
     }
 

@@ -1,0 +1,1185 @@
+//! Binary record codec for the write-ahead log and snapshots.
+//!
+//! The durability layer originally serialised every [`WalRecord`] and
+//! [`StoreSnapshot`] as JSON. That keeps the log inspectable, but the
+//! vendored JSON codec dominates both append and replay cost once histories
+//! grow. This module adds a compact binary encoding and keeps JSON available
+//! as a debug/inspection mode ([`Codec::Json`]); the two are interchangeable
+//! record by record because every payload is *sniffable*.
+//!
+//! # Payload format
+//!
+//! A binary WAL-record payload is
+//!
+//! ```text
+//! ┌──────┬─────┬─────────────────────────┐
+//! │ 0xC1 │ tag │ varint/interned fields  │
+//! └──────┴─────┴─────────────────────────┘
+//! ```
+//!
+//! and a binary snapshot payload starts with `0xC5` instead. A JSON payload
+//! starts with `{` (0x7B), so the first byte of any payload names its codec
+//! — [`decode_record`] and [`decode_snapshot`] dispatch on it, which is what
+//! makes Json↔Binary cross-generation recovery work without configuration.
+//!
+//! Integers are LEB128 varints (signed ones zigzag-encoded), floats are raw
+//! IEEE-754 bits, strings are length-prefixed UTF-8. Relation names — by far
+//! the most repeated strings in a publish-heavy log — are interned *per
+//! payload*: the first occurrence writes marker `0` plus the name and appends
+//! it to the payload's table, later occurrences write `table index + 1`.
+//! Hash-backed maps are written in sorted key order so the encoding of equal
+//! states is byte-identical regardless of insertion history.
+//!
+//! CRC-32 framing is unchanged: payloads produced here still travel inside
+//! the [`crate::wal::FrameLog`] frame format, torn tails and bit flips are
+//! detected exactly as before.
+
+use crate::decisions::{Decision, ParticipantRecord};
+use crate::epoch::{EpochRecord, EpochRegistry, PublicationStatus};
+use crate::error::{Result, StorageError};
+use crate::log::{LogEntry, TransactionLog};
+use crate::snapshot::{ParticipantSnapshot, StoreSnapshot};
+use crate::wal::WalRecord;
+use orchestra_model::schema::{ColumnDef, RelationSchema};
+use orchestra_model::{
+    AcceptanceRule, Constraint, Epoch, ParticipantId, Predicate, Priority, ReconciliationId,
+    RelName, Schema, Transaction, TransactionId, TrustPolicy, Tuple, Update, UpdateKind, UpdateOp,
+    Value, ValueType,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// First byte of a binary WAL-record payload (not a valid JSON start byte).
+pub(crate) const WAL_MAGIC: u8 = 0xC1;
+/// First byte of a binary snapshot payload.
+pub(crate) const SNAPSHOT_MAGIC: u8 = 0xC5;
+
+/// How WAL records and snapshots are serialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Codec {
+    /// Compact binary payloads: varint integers, per-payload interned
+    /// relation names. The default.
+    #[default]
+    Binary,
+    /// JSON payloads — the debug/inspection mode; the log stays readable
+    /// with standard text tools. Decoding always accepts both codecs.
+    Json,
+}
+
+impl Codec {
+    /// Stable lowercase name (used in benchmark rows and `wal_dump` output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Codec::Binary => "binary",
+            Codec::Json => "json",
+        }
+    }
+}
+
+impl std::fmt::Display for Codec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The codec a payload was written with, from its first byte.
+pub fn payload_codec(payload: &[u8]) -> Codec {
+    match payload.first() {
+        Some(&WAL_MAGIC) | Some(&SNAPSHOT_MAGIC) => Codec::Binary,
+        _ => Codec::Json,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+/// Appends a LEB128 varint.
+pub(crate) fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, advancing `pos`.
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| StorageError::Persistence("binary payload truncated".to_string()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StorageError::Persistence("varint overflows u64".to_string()));
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Binary payload writer: a byte buffer plus the payload's relation-name
+/// intern table.
+struct Enc {
+    buf: Vec<u8>,
+    rels: Vec<RelName>,
+}
+
+impl Enc {
+    fn new(magic: u8) -> Self {
+        let mut buf = Vec::with_capacity(128);
+        buf.push(magic);
+        Enc { buf, rels: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u64(&mut self, v: u64) {
+        write_varint(&mut self.buf, v);
+    }
+
+    fn i64(&mut self, v: i64) {
+        write_varint(&mut self.buf, zigzag(v));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Interned relation name: `0` + string on first use, `index + 1` after.
+    fn rel(&mut self, name: &RelName) {
+        // The table stays small (a handful of relations per schema), so a
+        // linear probe beats a hash map on both time and code.
+        if let Some(idx) = self.rels.iter().position(|r| r == name) {
+            self.u64(idx as u64 + 1);
+        } else {
+            self.u64(0);
+            self.str(name.as_str());
+            self.rels.push(name.clone());
+        }
+    }
+}
+
+/// Binary payload reader, mirroring [`Enc`].
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    rels: Vec<RelName>,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0, rels: Vec::new() }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        let byte = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| StorageError::Persistence("binary payload truncated".to_string()))?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        read_varint(self.bytes, &mut self.pos)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        u32::try_from(self.u64()?)
+            .map_err(|_| StorageError::Persistence("u32 field out of range".to_string()))
+    }
+
+    fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        // Bound collection lengths by the remaining payload: every element
+        // needs at least one byte, so anything larger is corruption, not a
+        // huge allocation.
+        let len = usize::try_from(v)
+            .map_err(|_| StorageError::Persistence("length field out of range".to_string()))?;
+        if len > self.bytes.len().saturating_sub(self.pos) {
+            return Err(StorageError::Persistence(format!(
+                "length {len} exceeds remaining payload"
+            )));
+        }
+        Ok(len)
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(unzigzag(self.u64()?))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 8)
+            .ok_or_else(|| StorageError::Persistence("binary payload truncated".to_string()))?;
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(slice.try_into().expect("8 bytes"))))
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StorageError::Persistence(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.usize()?;
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + len)
+            .ok_or_else(|| StorageError::Persistence("binary payload truncated".to_string()))?;
+        self.pos += len;
+        String::from_utf8(slice.to_vec())
+            .map_err(|e| StorageError::Persistence(format!("string is not UTF-8: {e}")))
+    }
+
+    fn rel(&mut self) -> Result<RelName> {
+        match self.u64()? {
+            0 => {
+                let name = RelName::new(&self.str()?);
+                self.rels.push(name.clone());
+                Ok(name)
+            }
+            idx => {
+                self.rels.get(idx as usize - 1).cloned().ok_or_else(|| {
+                    StorageError::Persistence(format!("relation index {idx} unknown"))
+                })
+            }
+        }
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(StorageError::Persistence(format!(
+                "{} trailing byte(s) after binary payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model types
+// ---------------------------------------------------------------------------
+
+fn enc_participant(e: &mut Enc, p: ParticipantId) {
+    e.u64(u64::from(p.as_u32()));
+}
+
+fn dec_participant(d: &mut Dec<'_>) -> Result<ParticipantId> {
+    Ok(ParticipantId(d.u32()?))
+}
+
+fn enc_txn_id(e: &mut Enc, id: TransactionId) {
+    enc_participant(e, id.participant);
+    e.u64(id.local);
+}
+
+fn dec_txn_id(d: &mut Dec<'_>) -> Result<TransactionId> {
+    let participant = dec_participant(d)?;
+    let local = d.u64()?;
+    Ok(TransactionId::new(participant, local))
+}
+
+fn enc_txn_ids(e: &mut Enc, ids: &[TransactionId]) {
+    e.u64(ids.len() as u64);
+    for id in ids {
+        enc_txn_id(e, *id);
+    }
+}
+
+fn dec_txn_ids(d: &mut Dec<'_>) -> Result<Vec<TransactionId>> {
+    let len = d.usize()?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(dec_txn_id(d)?);
+    }
+    Ok(out)
+}
+
+fn enc_value(e: &mut Enc, value: &Value) {
+    match value {
+        Value::Null => e.u8(0),
+        Value::Int(v) => {
+            e.u8(1);
+            e.i64(*v);
+        }
+        Value::Float(v) => {
+            e.u8(2);
+            e.f64(*v);
+        }
+        Value::Text(s) => {
+            e.u8(3);
+            e.str(s);
+        }
+        Value::Bool(b) => {
+            e.u8(4);
+            e.bool(*b);
+        }
+    }
+}
+
+fn dec_value(d: &mut Dec<'_>) -> Result<Value> {
+    Ok(match d.u8()? {
+        0 => Value::Null,
+        1 => Value::Int(d.i64()?),
+        2 => Value::Float(d.f64()?),
+        3 => Value::Text(d.str()?),
+        4 => Value::Bool(d.bool()?),
+        other => return Err(StorageError::Persistence(format!("invalid value tag {other}"))),
+    })
+}
+
+fn enc_tuple(e: &mut Enc, tuple: &Tuple) {
+    e.u64(tuple.arity() as u64);
+    for value in tuple.values() {
+        enc_value(e, value);
+    }
+}
+
+fn dec_tuple(d: &mut Dec<'_>) -> Result<Tuple> {
+    let arity = d.usize()?;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(dec_value(d)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+fn enc_update(e: &mut Enc, update: &Update) {
+    e.rel(&update.relation);
+    match &update.op {
+        UpdateOp::Insert(tuple) => {
+            e.u8(0);
+            enc_tuple(e, tuple);
+        }
+        UpdateOp::Delete(tuple) => {
+            e.u8(1);
+            enc_tuple(e, tuple);
+        }
+        UpdateOp::Modify { from, to } => {
+            e.u8(2);
+            enc_tuple(e, from);
+            enc_tuple(e, to);
+        }
+    }
+    enc_participant(e, update.origin);
+}
+
+fn dec_update(d: &mut Dec<'_>) -> Result<Update> {
+    let relation = d.rel()?;
+    let op = match d.u8()? {
+        0 => UpdateOp::Insert(dec_tuple(d)?),
+        1 => UpdateOp::Delete(dec_tuple(d)?),
+        2 => {
+            let from = dec_tuple(d)?;
+            let to = dec_tuple(d)?;
+            UpdateOp::Modify { from, to }
+        }
+        other => return Err(StorageError::Persistence(format!("invalid update tag {other}"))),
+    };
+    let origin = dec_participant(d)?;
+    Ok(Update { relation, op, origin })
+}
+
+fn enc_transaction(e: &mut Enc, txn: &Transaction) {
+    enc_txn_id(e, txn.id());
+    e.u64(txn.updates().len() as u64);
+    for update in txn.updates() {
+        enc_update(e, update);
+    }
+}
+
+fn dec_transaction(d: &mut Dec<'_>) -> Result<Transaction> {
+    let id = dec_txn_id(d)?;
+    let len = d.usize()?;
+    let mut updates = Vec::with_capacity(len);
+    for _ in 0..len {
+        updates.push(dec_update(d)?);
+    }
+    Transaction::new(id, updates)
+        .map_err(|e| StorageError::Persistence(format!("decoded transaction invalid: {e}")))
+}
+
+fn enc_predicate(e: &mut Enc, predicate: &Predicate) {
+    match predicate {
+        Predicate::True => e.u8(0),
+        Predicate::False => e.u8(1),
+        Predicate::FromParticipant(p) => {
+            e.u8(2);
+            enc_participant(e, *p);
+        }
+        Predicate::FromAnyOf(ps) => {
+            e.u8(3);
+            e.u64(ps.len() as u64);
+            for p in ps {
+                enc_participant(e, *p);
+            }
+        }
+        Predicate::OverRelation(name) => {
+            e.u8(4);
+            e.str(name);
+        }
+        Predicate::OfKind(kind) => {
+            e.u8(5);
+            e.u8(match kind {
+                UpdateKind::Insert => 0,
+                UpdateKind::Delete => 1,
+                UpdateKind::Modify => 2,
+            });
+        }
+        Predicate::WritesValue { column, equals } => {
+            e.u8(6);
+            e.str(column);
+            enc_value(e, equals);
+        }
+        Predicate::And(ps) => {
+            e.u8(7);
+            e.u64(ps.len() as u64);
+            for p in ps {
+                enc_predicate(e, p);
+            }
+        }
+        Predicate::Or(ps) => {
+            e.u8(8);
+            e.u64(ps.len() as u64);
+            for p in ps {
+                enc_predicate(e, p);
+            }
+        }
+        Predicate::Not(p) => {
+            e.u8(9);
+            enc_predicate(e, p);
+        }
+    }
+}
+
+fn dec_predicate(d: &mut Dec<'_>) -> Result<Predicate> {
+    Ok(match d.u8()? {
+        0 => Predicate::True,
+        1 => Predicate::False,
+        2 => Predicate::FromParticipant(dec_participant(d)?),
+        3 => {
+            let len = d.usize()?;
+            let mut ps = Vec::with_capacity(len);
+            for _ in 0..len {
+                ps.push(dec_participant(d)?);
+            }
+            Predicate::FromAnyOf(ps)
+        }
+        4 => Predicate::OverRelation(d.str()?),
+        5 => Predicate::OfKind(match d.u8()? {
+            0 => UpdateKind::Insert,
+            1 => UpdateKind::Delete,
+            2 => UpdateKind::Modify,
+            other => return Err(StorageError::Persistence(format!("invalid update kind {other}"))),
+        }),
+        6 => {
+            let column = d.str()?;
+            let equals = dec_value(d)?;
+            Predicate::WritesValue { column, equals }
+        }
+        7 => {
+            let len = d.usize()?;
+            let mut ps = Vec::with_capacity(len);
+            for _ in 0..len {
+                ps.push(dec_predicate(d)?);
+            }
+            Predicate::And(ps)
+        }
+        8 => {
+            let len = d.usize()?;
+            let mut ps = Vec::with_capacity(len);
+            for _ in 0..len {
+                ps.push(dec_predicate(d)?);
+            }
+            Predicate::Or(ps)
+        }
+        9 => Predicate::Not(Box::new(dec_predicate(d)?)),
+        other => return Err(StorageError::Persistence(format!("invalid predicate tag {other}"))),
+    })
+}
+
+fn enc_policy(e: &mut Enc, policy: &TrustPolicy) {
+    enc_participant(e, policy.owner());
+    e.u64(policy.rules().len() as u64);
+    for rule in policy.rules() {
+        enc_predicate(e, &rule.predicate);
+        e.u64(u64::from(rule.priority.0));
+    }
+}
+
+fn dec_policy(d: &mut Dec<'_>) -> Result<TrustPolicy> {
+    let owner = dec_participant(d)?;
+    let mut policy = TrustPolicy::new(owner);
+    let rules = d.usize()?;
+    for _ in 0..rules {
+        let predicate = dec_predicate(d)?;
+        let priority = Priority(d.u32()?);
+        policy.add_rule(AcceptanceRule::new(predicate, priority));
+    }
+    Ok(policy)
+}
+
+fn enc_schema(e: &mut Enc, schema: &Schema) {
+    let relations: Vec<&RelationSchema> = schema.relations().collect();
+    e.u64(relations.len() as u64);
+    for rel in relations {
+        e.str(rel.name());
+        e.u64(rel.columns().len() as u64);
+        for column in rel.columns() {
+            e.str(&column.name);
+            e.u8(match column.ty {
+                ValueType::Int => 0,
+                ValueType::Float => 1,
+                ValueType::Text => 2,
+                ValueType::Bool => 3,
+            });
+            e.bool(column.nullable);
+        }
+        e.u64(rel.key_indexes().len() as u64);
+        for &idx in rel.key_indexes() {
+            e.u64(idx as u64);
+        }
+    }
+    e.u64(schema.constraints().len() as u64);
+    for constraint in schema.constraints() {
+        match constraint {
+            Constraint::ForeignKey { relation, columns, ref_relation, ref_columns } => {
+                e.u8(0);
+                e.str(relation);
+                enc_strs(e, columns);
+                e.str(ref_relation);
+                enc_strs(e, ref_columns);
+            }
+            Constraint::Unique { relation, columns } => {
+                e.u8(1);
+                e.str(relation);
+                enc_strs(e, columns);
+            }
+        }
+    }
+}
+
+fn enc_strs(e: &mut Enc, strs: &[String]) {
+    e.u64(strs.len() as u64);
+    for s in strs {
+        e.str(s);
+    }
+}
+
+fn dec_strs(d: &mut Dec<'_>) -> Result<Vec<String>> {
+    let len = d.usize()?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(d.str()?);
+    }
+    Ok(out)
+}
+
+fn dec_schema(d: &mut Dec<'_>) -> Result<Schema> {
+    let mut schema = Schema::new();
+    let relations = d.usize()?;
+    for _ in 0..relations {
+        let name = d.str()?;
+        let columns_len = d.usize()?;
+        let mut columns = Vec::with_capacity(columns_len);
+        for _ in 0..columns_len {
+            let col_name = d.str()?;
+            let ty = match d.u8()? {
+                0 => ValueType::Int,
+                1 => ValueType::Float,
+                2 => ValueType::Text,
+                3 => ValueType::Bool,
+                other => {
+                    return Err(StorageError::Persistence(format!("invalid value type {other}")))
+                }
+            };
+            let nullable = d.bool()?;
+            columns.push(if nullable {
+                ColumnDef::nullable(col_name, ty)
+            } else {
+                ColumnDef::new(col_name, ty)
+            });
+        }
+        let key_len = d.usize()?;
+        let mut key_indexes = Vec::with_capacity(key_len);
+        for _ in 0..key_len {
+            // A key *index* is a value, not a length — don't bound it by the
+            // remaining payload.
+            let idx = usize::try_from(d.u64()?).map_err(|_| {
+                StorageError::Persistence("key column index out of range".to_string())
+            })?;
+            key_indexes.push(idx);
+        }
+        let key_names: Vec<&str> = key_indexes
+            .iter()
+            .map(|&idx| {
+                columns.get(idx).map(|c: &ColumnDef| c.name.as_str()).ok_or_else(|| {
+                    StorageError::Persistence(format!("key column index {idx} out of range"))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let relation = RelationSchema::new(name, columns.clone(), &key_names)
+            .map_err(|e| StorageError::Persistence(format!("decoded relation invalid: {e}")))?;
+        schema
+            .add_relation(relation)
+            .map_err(|e| StorageError::Persistence(format!("decoded schema invalid: {e}")))?;
+    }
+    let constraints = d.usize()?;
+    for _ in 0..constraints {
+        let constraint = match d.u8()? {
+            0 => {
+                let relation = d.str()?;
+                let columns = dec_strs(d)?;
+                let ref_relation = d.str()?;
+                let ref_columns = dec_strs(d)?;
+                Constraint::ForeignKey { relation, columns, ref_relation, ref_columns }
+            }
+            1 => {
+                let relation = d.str()?;
+                let columns = dec_strs(d)?;
+                Constraint::Unique { relation, columns }
+            }
+            other => {
+                return Err(StorageError::Persistence(format!("invalid constraint tag {other}")))
+            }
+        };
+        schema
+            .add_constraint(constraint)
+            .map_err(|e| StorageError::Persistence(format!("decoded constraint invalid: {e}")))?;
+    }
+    Ok(schema)
+}
+
+// ---------------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------------
+
+/// Serialises a WAL record as a frame payload in the given codec.
+pub fn encode_record(record: &WalRecord, codec: Codec) -> Vec<u8> {
+    match codec {
+        Codec::Json => serde_json::to_string(record).expect("WAL records serialise").into_bytes(),
+        Codec::Binary => {
+            let mut e = Enc::new(WAL_MAGIC);
+            match record {
+                WalRecord::Init { schema } => {
+                    e.u8(0);
+                    enc_schema(&mut e, schema);
+                }
+                WalRecord::RegisterPolicy { policy } => {
+                    e.u8(1);
+                    enc_policy(&mut e, policy);
+                }
+                WalRecord::Publish { participant, epoch, transactions } => {
+                    e.u8(2);
+                    enc_participant(&mut e, *participant);
+                    e.u64(epoch.as_u64());
+                    e.u64(transactions.len() as u64);
+                    for txn in transactions {
+                        enc_transaction(&mut e, txn);
+                    }
+                }
+                WalRecord::CommitReconciliation {
+                    participant,
+                    recno,
+                    epoch,
+                    accepted,
+                    rejected,
+                } => {
+                    e.u8(3);
+                    enc_participant(&mut e, *participant);
+                    e.u64(recno.0);
+                    e.u64(epoch.as_u64());
+                    enc_txn_ids(&mut e, accepted);
+                    enc_txn_ids(&mut e, rejected);
+                }
+                WalRecord::Decisions { participant, accepted, rejected } => {
+                    e.u8(4);
+                    enc_participant(&mut e, *participant);
+                    enc_txn_ids(&mut e, accepted);
+                    enc_txn_ids(&mut e, rejected);
+                }
+                WalRecord::MembershipFrontier { epoch } => {
+                    e.u8(5);
+                    e.u64(epoch.as_u64());
+                }
+                WalRecord::RetireParticipant { participant } => {
+                    e.u8(6);
+                    enc_participant(&mut e, *participant);
+                }
+                WalRecord::Prune { horizon } => {
+                    e.u8(7);
+                    e.u64(horizon.as_u64());
+                }
+            }
+            e.buf
+        }
+    }
+}
+
+/// Deserialises a WAL record from a frame payload, sniffing the codec from
+/// the payload's first byte (see the module docs).
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord> {
+    if payload.first() != Some(&WAL_MAGIC) {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| StorageError::Persistence(format!("WAL record is not UTF-8: {e}")))?;
+        return serde_json::from_str(text)
+            .map_err(|e| StorageError::Persistence(format!("WAL record parse: {e}")));
+    }
+    let mut d = Dec::new(&payload[1..]);
+    let record = match d.u8()? {
+        0 => WalRecord::Init { schema: dec_schema(&mut d)? },
+        1 => WalRecord::RegisterPolicy { policy: dec_policy(&mut d)? },
+        2 => {
+            let participant = dec_participant(&mut d)?;
+            let epoch = Epoch(d.u64()?);
+            let len = d.usize()?;
+            let mut transactions = Vec::with_capacity(len);
+            for _ in 0..len {
+                transactions.push(dec_transaction(&mut d)?);
+            }
+            WalRecord::Publish { participant, epoch, transactions }
+        }
+        3 => {
+            let participant = dec_participant(&mut d)?;
+            let recno = ReconciliationId(d.u64()?);
+            let epoch = Epoch(d.u64()?);
+            let accepted = dec_txn_ids(&mut d)?;
+            let rejected = dec_txn_ids(&mut d)?;
+            WalRecord::CommitReconciliation { participant, recno, epoch, accepted, rejected }
+        }
+        4 => {
+            let participant = dec_participant(&mut d)?;
+            let accepted = dec_txn_ids(&mut d)?;
+            let rejected = dec_txn_ids(&mut d)?;
+            WalRecord::Decisions { participant, accepted, rejected }
+        }
+        5 => WalRecord::MembershipFrontier { epoch: Epoch(d.u64()?) },
+        6 => WalRecord::RetireParticipant { participant: dec_participant(&mut d)? },
+        7 => WalRecord::Prune { horizon: Epoch(d.u64()?) },
+        other => return Err(StorageError::Persistence(format!("invalid record tag {other}"))),
+    };
+    d.finish()?;
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+fn enc_record_map(e: &mut Enc, record: &ParticipantRecord) {
+    // The decision map is hash-backed: write it sorted by transaction id so
+    // equal records encode byte-identically.
+    let decisions: BTreeMap<TransactionId, Decision> =
+        record.decisions.iter().map(|(&id, &d)| (id, d)).collect();
+    e.u64(decisions.len() as u64);
+    for (id, decision) in decisions {
+        enc_txn_id(e, id);
+        e.u8(match decision {
+            Decision::Accepted => 0,
+            Decision::Rejected => 1,
+        });
+    }
+    enc_txn_ids(e, &record.accepted_order);
+    e.u64(record.reconciliations.len() as u64);
+    for (recno, epoch) in &record.reconciliations {
+        e.u64(recno.0);
+        e.u64(epoch.as_u64());
+    }
+}
+
+fn dec_record_map(d: &mut Dec<'_>) -> Result<ParticipantRecord> {
+    let mut record = ParticipantRecord::new();
+    let decisions = d.usize()?;
+    for _ in 0..decisions {
+        let id = dec_txn_id(d)?;
+        let decision = match d.u8()? {
+            0 => Decision::Accepted,
+            1 => Decision::Rejected,
+            other => {
+                return Err(StorageError::Persistence(format!("invalid decision tag {other}")))
+            }
+        };
+        record.decisions.insert(id, decision);
+    }
+    record.accepted_order = dec_txn_ids(d)?;
+    let reconciliations = d.usize()?;
+    for _ in 0..reconciliations {
+        let recno = ReconciliationId(d.u64()?);
+        let epoch = Epoch(d.u64()?);
+        record.reconciliations.push((recno, epoch));
+    }
+    // Derived sets stay empty: the caller rebuilds them, exactly as after a
+    // JSON deserialisation.
+    Ok(record)
+}
+
+/// Serialises a snapshot as a frame payload in the given codec.
+pub fn encode_snapshot(snapshot: &StoreSnapshot, codec: Codec) -> Result<Vec<u8>> {
+    match codec {
+        Codec::Json => serde_json::to_string(snapshot)
+            .map(String::into_bytes)
+            .map_err(|e| StorageError::Persistence(format!("snapshot serialise: {e}"))),
+        Codec::Binary => {
+            let mut e = Enc::new(SNAPSHOT_MAGIC);
+            enc_schema(&mut e, &snapshot.schema);
+            e.u64(snapshot.registry.records.len() as u64);
+            for (&epoch, record) in &snapshot.registry.records {
+                e.u64(epoch);
+                enc_participant(&mut e, record.publisher);
+                e.u8(match record.status {
+                    PublicationStatus::Started => 0,
+                    PublicationStatus::Finished => 1,
+                });
+            }
+            e.u64(snapshot.registry.next);
+            e.u64(snapshot.registry.stable);
+            e.u64(snapshot.log.entries.len() as u64);
+            for (&pos, entry) in &snapshot.log.entries {
+                e.u64(pos);
+                e.u64(entry.epoch.as_u64());
+                enc_transaction(&mut e, &entry.transaction);
+            }
+            e.u64(snapshot.log.next_pos);
+            e.u64(snapshot.membership_frontier.as_u64());
+            e.u64(snapshot.pruned_through.as_u64());
+            e.u64(snapshot.participants.len() as u64);
+            for p in &snapshot.participants {
+                enc_participant(&mut e, p.id);
+                enc_policy(&mut e, &p.policy);
+                e.bool(p.registered);
+                e.bool(p.retired);
+                match p.cursor {
+                    Some(cursor) => {
+                        e.u8(1);
+                        e.u64(cursor.as_u64());
+                    }
+                    None => e.u8(0),
+                }
+                e.u64(p.relevance_floor.as_u64());
+                enc_record_map(&mut e, &p.record);
+            }
+            e.u64(snapshot.wal_generation);
+            Ok(e.buf)
+        }
+    }
+}
+
+/// Deserialises a snapshot from a frame payload, sniffing the codec from the
+/// first byte. Returns the snapshot together with the codec it was written
+/// in (so recovery can keep appending in the same codec). Derived indexes
+/// and sets are *not* rebuilt — callers do that, as after JSON decoding.
+pub fn decode_snapshot(payload: &[u8]) -> Result<(StoreSnapshot, Codec)> {
+    if payload.first() != Some(&SNAPSHOT_MAGIC) {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| StorageError::Persistence(format!("snapshot is not UTF-8: {e}")))?;
+        let snapshot = serde_json::from_str(text)
+            .map_err(|e| StorageError::Persistence(format!("snapshot parse: {e}")))?;
+        return Ok((snapshot, Codec::Json));
+    }
+    let mut d = Dec::new(&payload[1..]);
+    let schema = dec_schema(&mut d)?;
+    let mut registry = EpochRegistry::new();
+    let records = d.usize()?;
+    for _ in 0..records {
+        let epoch = d.u64()?;
+        let publisher = dec_participant(&mut d)?;
+        let status = match d.u8()? {
+            0 => PublicationStatus::Started,
+            1 => PublicationStatus::Finished,
+            other => return Err(StorageError::Persistence(format!("invalid status tag {other}"))),
+        };
+        registry.records.insert(epoch, EpochRecord { publisher, status });
+    }
+    registry.next = d.u64()?;
+    registry.stable = d.u64()?;
+    let mut log = TransactionLog::new();
+    let entries = d.usize()?;
+    for _ in 0..entries {
+        let pos = d.u64()?;
+        let epoch = Epoch(d.u64()?);
+        let transaction = Arc::new(dec_transaction(&mut d)?);
+        log.entries.insert(pos, LogEntry { epoch, transaction });
+    }
+    log.next_pos = d.u64()?;
+    let membership_frontier = Epoch(d.u64()?);
+    let pruned_through = Epoch(d.u64()?);
+    let participants_len = d.usize()?;
+    let mut participants = Vec::with_capacity(participants_len);
+    for _ in 0..participants_len {
+        let id = dec_participant(&mut d)?;
+        let policy = dec_policy(&mut d)?;
+        let registered = d.bool()?;
+        let retired = d.bool()?;
+        let cursor = match d.u8()? {
+            0 => None,
+            1 => Some(Epoch(d.u64()?)),
+            other => return Err(StorageError::Persistence(format!("invalid cursor tag {other}"))),
+        };
+        let relevance_floor = Epoch(d.u64()?);
+        let record = dec_record_map(&mut d)?;
+        participants.push(ParticipantSnapshot {
+            id,
+            policy,
+            registered,
+            retired,
+            cursor,
+            relevance_floor,
+            record,
+        });
+    }
+    let wal_generation = d.u64()?;
+    d.finish()?;
+    Ok((
+        StoreSnapshot {
+            schema,
+            registry,
+            log,
+            membership_frontier,
+            pruned_through,
+            participants,
+            wal_generation,
+        },
+        Codec::Binary,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_model::schema::bioinformatics_schema;
+
+    fn sample_transaction(participant: u32, local: u64) -> Transaction {
+        let p = ParticipantId(participant);
+        Transaction::from_parts(
+            p,
+            local,
+            vec![
+                Update::insert("Function", Tuple::of_text(&["rat", "prot1", "a"]), p),
+                Update::modify(
+                    "Function",
+                    Tuple::of_text(&["rat", "prot1", "a"]),
+                    Tuple::new(vec![Value::Text("rat".into()), Value::Int(-7), Value::Float(1.5)]),
+                    p,
+                ),
+                Update::delete("Term", Tuple::new(vec![Value::Null, Value::Bool(true)]), p),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        let p = ParticipantId(3);
+        let txn = sample_transaction(3, 0);
+        let policy =
+            TrustPolicy::new(p).trusting(ParticipantId(2), 4u32).with_rule(AcceptanceRule::new(
+                Predicate::And(vec![
+                    Predicate::OverRelation("Function".to_string()),
+                    Predicate::Not(Box::new(Predicate::OfKind(UpdateKind::Delete))),
+                    Predicate::Or(vec![
+                        Predicate::FromAnyOf(vec![ParticipantId(1), ParticipantId(2)]),
+                        Predicate::WritesValue {
+                            column: "function".to_string(),
+                            equals: Value::Text("immune".to_string()),
+                        },
+                        Predicate::True,
+                        Predicate::False,
+                    ]),
+                ]),
+                9u32,
+            ));
+        vec![
+            WalRecord::Init { schema: bioinformatics_schema() },
+            WalRecord::RegisterPolicy { policy },
+            WalRecord::Publish { participant: p, epoch: Epoch(1), transactions: vec![txn.clone()] },
+            WalRecord::CommitReconciliation {
+                participant: ParticipantId(2),
+                recno: ReconciliationId(1),
+                epoch: Epoch(1),
+                accepted: vec![txn.id()],
+                rejected: vec![TransactionId::new(ParticipantId(9), 4)],
+            },
+            WalRecord::Decisions {
+                participant: ParticipantId(2),
+                accepted: vec![],
+                rejected: vec![txn.id()],
+            },
+            WalRecord::MembershipFrontier { epoch: Epoch(u64::MAX) },
+            WalRecord::RetireParticipant { participant: ParticipantId(2) },
+            WalRecord::Prune { horizon: Epoch(7) },
+        ]
+    }
+
+    #[test]
+    fn varints_round_trip_across_the_range() {
+        let mut buf = Vec::new();
+        let values =
+            [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        for &v in &values {
+            buf.clear();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // A truncated varint errors instead of looping.
+        assert!(read_varint(&[0x80], &mut 0).is_err());
+        // An over-long varint errors instead of silently wrapping.
+        assert!(read_varint(&[0xFF; 11], &mut 0).is_err());
+    }
+
+    #[test]
+    fn records_round_trip_in_both_codecs_and_sniff() {
+        for record in sample_records() {
+            let json = encode_record(&record, Codec::Json);
+            let binary = encode_record(&record, Codec::Binary);
+            assert_eq!(payload_codec(&json), Codec::Json);
+            assert_eq!(payload_codec(&binary), Codec::Binary);
+            assert_eq!(decode_record(&json).unwrap(), record, "json round trip");
+            assert_eq!(decode_record(&binary).unwrap(), record, "binary round trip");
+            assert!(binary.len() < json.len(), "binary should be smaller than JSON");
+        }
+    }
+
+    #[test]
+    fn binary_encoding_is_deterministic() {
+        for record in sample_records() {
+            assert_eq!(
+                encode_record(&record, Codec::Binary),
+                encode_record(&record, Codec::Binary)
+            );
+        }
+    }
+
+    #[test]
+    fn relation_interning_pays_off_on_repeated_names() {
+        let p = ParticipantId(1);
+        let updates: Vec<Update> = (0..20)
+            .map(|i| {
+                Update::insert("Function", Tuple::of_text(&["rat", &format!("prot{i}"), "fn"]), p)
+            })
+            .collect();
+        let txn = Transaction::from_parts(p, 0, updates).unwrap();
+        let record =
+            WalRecord::Publish { participant: p, epoch: Epoch(1), transactions: vec![txn] };
+        let binary = encode_record(&record, Codec::Binary);
+        // The relation name appears once; 19 references are one varint each.
+        let occurrences = binary.windows(8).filter(|w| *w == b"Function").count();
+        assert_eq!(occurrences, 1);
+    }
+
+    #[test]
+    fn corrupt_binary_payloads_error_cleanly() {
+        let record = sample_records().remove(2);
+        let binary = encode_record(&record, Codec::Binary);
+        // Truncations at every prefix either error or decode to the original
+        // (never panic, never a different record).
+        for cut in 1..binary.len() {
+            if let Ok(back) = decode_record(&binary[..cut]) {
+                assert_eq!(back, record);
+            }
+        }
+        // Trailing garbage is rejected.
+        let mut padded = binary.clone();
+        padded.push(0);
+        assert!(decode_record(&padded).is_err());
+        // An unknown record tag is rejected.
+        assert!(decode_record(&[WAL_MAGIC, 0xEE]).is_err());
+    }
+
+    #[test]
+    fn snapshots_round_trip_in_both_codecs() {
+        let p = ParticipantId(1);
+        let mut registry = EpochRegistry::new();
+        let e1 = registry.begin_publish(p);
+        registry.finish_publish(e1).unwrap();
+        registry.begin_publish(ParticipantId(2));
+        let mut log = TransactionLog::new();
+        let txn = sample_transaction(1, 0);
+        log.publish(e1, txn.clone()).unwrap();
+        let mut record = ParticipantRecord::new();
+        record.record(txn.id(), Decision::Accepted);
+        record.record(TransactionId::new(ParticipantId(2), 0), Decision::Rejected);
+        record.record_reconciliation(ReconciliationId(1), e1);
+        let snapshot = StoreSnapshot {
+            schema: bioinformatics_schema(),
+            registry,
+            log,
+            membership_frontier: Epoch(2),
+            pruned_through: Epoch::ZERO,
+            participants: vec![ParticipantSnapshot {
+                id: p,
+                policy: TrustPolicy::new(p).trusting(ParticipantId(2), 1u32),
+                registered: true,
+                retired: false,
+                cursor: Some(e1),
+                relevance_floor: Epoch::ZERO,
+                record,
+            }],
+            wal_generation: 5,
+        };
+        for codec in [Codec::Binary, Codec::Json] {
+            let payload = encode_snapshot(&snapshot, codec).unwrap();
+            let (mut back, sniffed) = decode_snapshot(&payload).unwrap();
+            assert_eq!(sniffed, codec);
+            back.log.rebuild_indexes();
+            for p in &mut back.participants {
+                p.record.rebuild_sets();
+            }
+            assert_eq!(back.wal_generation, 5);
+            assert_eq!(back.schema, snapshot.schema);
+            assert_eq!(back.registry.largest_stable_epoch(), Epoch(1));
+            assert_eq!(back.registry.latest_allocated(), Epoch(2));
+            assert_eq!(back.log.get(txn.id()).unwrap(), &txn);
+            assert_eq!(back.participants.len(), 1);
+            assert_eq!(back.participants[0].record.accepted_set().len(), 1);
+            assert_eq!(back.participants[0].record.rejected_set().len(), 1);
+            assert_eq!(
+                back.participants[0].record.last_reconciliation(),
+                Some((ReconciliationId(1), Epoch(1)))
+            );
+            // The full rendering (decision maps, orders, cursors) matches.
+            assert_eq!(
+                format!("{:?}", back.participants[0].record),
+                format!("{:?}", snapshot.participants[0].record)
+            );
+        }
+    }
+}

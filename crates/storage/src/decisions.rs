@@ -42,7 +42,10 @@ pub enum Decision {
 /// than with total history.
 #[derive(Clone, Default, Serialize, Deserialize)]
 pub struct ParticipantRecord {
-    decisions: FxHashMap<TransactionId, Decision>,
+    /// Authoritative decision map. `pub(crate)` (like the other serialised
+    /// fields) so the binary snapshot codec ([`crate::codec`]) can serialise
+    /// and rebuild the record; the derived sets stay skip-and-rebuild.
+    pub(crate) decisions: FxHashMap<TransactionId, Decision>,
     /// Transaction ids in the order the participant first *accepted* them.
     /// This is the order the participant's instance applied their effects
     /// (own transactions at execute/publish time, remote ones as their
@@ -53,8 +56,8 @@ pub struct ParticipantRecord {
     /// makes the instance reconstructible from the store (the paper's
     /// soft-state property); replaying in publication order diverges on
     /// exactly those interleavings.
-    accepted_order: Vec<TransactionId>,
-    reconciliations: Vec<(ReconciliationId, Epoch)>,
+    pub(crate) accepted_order: Vec<TransactionId>,
+    pub(crate) reconciliations: Vec<(ReconciliationId, Epoch)>,
     #[serde(skip)]
     accepted: Arc<FxHashSet<TransactionId>>,
     #[serde(skip)]

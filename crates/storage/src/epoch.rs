@@ -25,21 +25,24 @@ pub enum PublicationStatus {
 }
 
 /// One allocated epoch and who is publishing in it.
+///
+/// Fields are `pub(crate)` so the binary codec ([`crate::codec`]) can
+/// serialise and rebuild records without an intermediate representation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-struct EpochRecord {
-    publisher: ParticipantId,
-    status: PublicationStatus,
+pub(crate) struct EpochRecord {
+    pub(crate) publisher: ParticipantId,
+    pub(crate) status: PublicationStatus,
 }
 
 /// The epoch sequence plus per-epoch publication records.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpochRegistry {
-    records: BTreeMap<u64, EpochRecord>,
-    next: u64,
+    pub(crate) records: BTreeMap<u64, EpochRecord>,
+    pub(crate) next: u64,
     /// The stable frontier, advanced incrementally as publications finish so
     /// that [`EpochRegistry::largest_stable_epoch`] is O(1) instead of a scan
     /// over every epoch ever allocated.
-    stable: u64,
+    pub(crate) stable: u64,
 }
 
 impl Default for EpochRegistry {

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod database;
 pub mod decisions;
 pub mod epoch;
@@ -38,16 +39,19 @@ pub mod error;
 pub mod log;
 pub mod persist;
 pub mod retention;
+pub mod segment;
 pub mod snapshot;
 pub mod table;
 pub mod wal;
 
+pub use codec::Codec;
 pub use database::Database;
 pub use decisions::{Decision, DecisionLog, ParticipantRecord};
 pub use epoch::{EpochRegistry, PublicationStatus};
 pub use error::{Result, StorageError};
 pub use log::{LogEntry, TransactionLog};
 pub use retention::{PruneReport, RetentionPolicy};
+pub use segment::SegmentedWal;
 pub use snapshot::{ParticipantSnapshot, StoreSnapshot};
 pub use table::Table;
 pub use wal::{FlushPolicy, FrameLog, WalRecord};

@@ -47,19 +47,24 @@ pub struct LogEntry {
 #[derive(Clone, Default, Serialize, Deserialize)]
 pub struct TransactionLog {
     /// Live entries keyed by permanent log position (publication order).
-    /// Dense until the first prune, sparse afterwards.
-    entries: BTreeMap<u64, LogEntry>,
+    /// Dense until the first prune, sparse afterwards. `pub(crate)` for the
+    /// binary snapshot codec ([`crate::codec`]), which rebuilds the log field
+    /// by field and re-derives the indexes.
+    pub(crate) entries: BTreeMap<u64, LogEntry>,
     /// The next position to assign — the number of transactions ever
     /// published, including pruned ones.
-    next_pos: u64,
+    pub(crate) next_pos: u64,
     #[serde(skip)]
     by_id: FxHashMap<TransactionId, u64>,
     #[serde(skip)]
     by_epoch: BTreeMap<u64, Vec<u64>>,
-    /// For each (relation, tuple value) ever written, the log positions of the
-    /// live transactions that wrote it, in publication order.
+    /// For each relation, then each tuple value ever written in it, the log
+    /// positions of the live transactions that wrote it, in publication
+    /// order. Two levels so lookups borrow the update's relation and tuple —
+    /// the hot paths (indexing a publish, chasing antecedents) never clone a
+    /// tuple except the first time a value is written.
     #[serde(skip)]
-    writers: FxHashMap<(RelName, Tuple), Vec<u64>>,
+    writers: FxHashMap<RelName, FxHashMap<Tuple, Vec<u64>>>,
 }
 
 impl fmt::Debug for TransactionLog {
@@ -98,14 +103,21 @@ impl TransactionLog {
         let entry = &self.entries[&pos];
         self.by_id.insert(entry.transaction.id(), pos);
         self.by_epoch.entry(entry.epoch.as_u64()).or_default().push(pos);
-        let updates: Vec<(RelName, Tuple)> = entry
-            .transaction
-            .updates()
-            .iter()
-            .filter_map(|u| u.written_tuple().map(|w| (u.relation.clone(), w.clone())))
-            .collect();
-        for key in updates {
-            self.writers.entry(key).or_default().push(pos);
+        let transaction = Arc::clone(&entry.transaction);
+        for update in transaction.updates() {
+            let Some(written) = update.written_tuple() else { continue };
+            let by_tuple = match self.writers.get_mut(&update.relation) {
+                Some(by_tuple) => by_tuple,
+                None => self.writers.entry(update.relation.clone()).or_default(),
+            };
+            // Clone the tuple only on the first write of this value —
+            // repeats (the common case under a Zipfian workload) just push.
+            match by_tuple.get_mut(written) {
+                Some(positions) => positions.push(pos),
+                None => {
+                    by_tuple.insert(written.clone(), vec![pos]);
+                }
+            }
         }
     }
 
@@ -213,7 +225,7 @@ impl TransactionLog {
         let mut out: Vec<u64> = Vec::new();
         for u in txn.updates() {
             let Some(read) = u.read_tuple() else { continue };
-            let Some(writers) = self.writers.get(&(u.relation.clone(), read.clone())) else {
+            let Some(writers) = self.writers.get(&u.relation).and_then(|m| m.get(read)) else {
                 continue;
             };
             // Most recent writer strictly before `before`, excluding the
@@ -317,7 +329,7 @@ impl TransactionLog {
             }
         };
         // Seed 1: the last writer of every distinct written tuple value.
-        for positions in self.writers.values() {
+        for positions in self.writers.values().flat_map(|by_tuple| by_tuple.values()) {
             if let Some(&last) = positions.last() {
                 pin(last, &mut pinned, &mut stack);
             }

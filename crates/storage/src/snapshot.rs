@@ -18,6 +18,7 @@
 //! place, so a crash mid-snapshot leaves the previous snapshot (and its WAL
 //! generation) intact.
 
+use crate::codec::Codec;
 use crate::decisions::ParticipantRecord;
 use crate::epoch::EpochRegistry;
 use crate::error::{Result, StorageError};
@@ -31,14 +32,24 @@ use std::path::{Path, PathBuf};
 /// File name of the snapshot inside a durability directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.orc";
 
-/// File name of the WAL for a given generation.
+/// File name of the WAL's log-shard segment for a given generation.
 pub fn wal_file_name(generation: u64) -> String {
     format!("wal.{generation}.log")
 }
 
-/// Path of the WAL for a given generation inside a durability directory.
+/// File name of a participant shard's WAL segment for a given generation.
+pub fn shard_wal_file_name(generation: u64, participant: ParticipantId) -> String {
+    format!("wal.{generation}.p{}.log", participant.as_u32())
+}
+
+/// Path of the WAL's log-shard segment inside a durability directory.
 pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(wal_file_name(generation))
+}
+
+/// Path of a participant shard's WAL segment inside a durability directory.
+pub fn shard_wal_path(dir: &Path, generation: u64, participant: ParticipantId) -> PathBuf {
+    dir.join(shard_wal_file_name(generation, participant))
 }
 
 /// Path of the snapshot inside a durability directory.
@@ -91,14 +102,13 @@ pub struct StoreSnapshot {
     pub wal_generation: u64,
 }
 
-/// Writes a snapshot as a single CRC-checked frame, atomically (temp file +
-/// rename), then syncs it to stable storage.
-pub fn write_snapshot(dir: &Path, snapshot: &StoreSnapshot) -> Result<()> {
+/// Writes a snapshot as a single CRC-checked frame in the given codec,
+/// atomically (temp file + rename), then syncs it to stable storage.
+pub fn write_snapshot(dir: &Path, snapshot: &StoreSnapshot, codec: Codec) -> Result<()> {
     std::fs::create_dir_all(dir)
         .map_err(|e| StorageError::Persistence(format!("create {}: {e}", dir.display())))?;
-    let payload = serde_json::to_string(snapshot)
-        .map_err(|e| StorageError::Persistence(format!("snapshot serialise: {e}")))?;
-    let frame = encode_frame(payload.as_bytes());
+    let payload = crate::codec::encode_snapshot(snapshot, codec)?;
+    let frame = encode_frame(&payload);
     let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     {
         let mut file = std::fs::File::create(&tmp)
@@ -115,6 +125,13 @@ pub fn write_snapshot(dir: &Path, snapshot: &StoreSnapshot) -> Result<()> {
 /// state still carries un-derived indexes — callers rebuild them (the store
 /// does so inside `recover`).
 pub fn read_snapshot(dir: &Path) -> Result<Option<StoreSnapshot>> {
+    Ok(read_snapshot_with_codec(dir)?.map(|(snapshot, _)| snapshot))
+}
+
+/// Like [`read_snapshot`], but also reports the codec the snapshot was
+/// written in (sniffed from the payload), so recovery can keep appending new
+/// records in the same codec.
+pub fn read_snapshot_with_codec(dir: &Path) -> Result<Option<(StoreSnapshot, Codec)>> {
     let path = snapshot_path(dir);
     let bytes = match std::fs::read(&path) {
         Ok(bytes) => bytes,
@@ -130,11 +147,7 @@ pub fn read_snapshot(dir: &Path) -> Result<Option<StoreSnapshot>> {
             bytes.len()
         )));
     }
-    let text = std::str::from_utf8(&frames[0])
-        .map_err(|e| StorageError::Persistence(format!("snapshot is not UTF-8: {e}")))?;
-    let snapshot = serde_json::from_str(text)
-        .map_err(|e| StorageError::Persistence(format!("snapshot parse: {e}")))?;
-    Ok(Some(snapshot))
+    crate::codec::decode_snapshot(&frames[0]).map(Some)
 }
 
 #[cfg(test)]
@@ -191,7 +204,12 @@ mod tests {
         let dir = tmp_dir("roundtrip");
         assert!(read_snapshot(&dir).unwrap().is_none());
         let snapshot = sample_snapshot();
-        write_snapshot(&dir, &snapshot).unwrap();
+        write_snapshot(&dir, &snapshot, Codec::Json).unwrap();
+        let (_, codec) = read_snapshot_with_codec(&dir).unwrap().unwrap();
+        assert_eq!(codec, Codec::Json);
+        write_snapshot(&dir, &snapshot, Codec::Binary).unwrap();
+        let (_, codec) = read_snapshot_with_codec(&dir).unwrap().unwrap();
+        assert_eq!(codec, Codec::Binary);
         let mut back = read_snapshot(&dir).unwrap().unwrap();
         assert_eq!(back.wal_generation, 3);
         assert_eq!(back.schema, snapshot.schema);
@@ -215,9 +233,9 @@ mod tests {
     fn rewriting_replaces_atomically() {
         let dir = tmp_dir("rewrite");
         let mut snapshot = sample_snapshot();
-        write_snapshot(&dir, &snapshot).unwrap();
+        write_snapshot(&dir, &snapshot, Codec::Binary).unwrap();
         snapshot.wal_generation = 9;
-        write_snapshot(&dir, &snapshot).unwrap();
+        write_snapshot(&dir, &snapshot, Codec::Binary).unwrap();
         assert_eq!(read_snapshot(&dir).unwrap().unwrap().wal_generation, 9);
         // No stray temp file is left behind.
         assert!(!dir.join(format!("{SNAPSHOT_FILE}.tmp")).exists());
@@ -227,7 +245,7 @@ mod tests {
     #[test]
     fn corrupt_snapshots_are_reported_not_half_loaded() {
         let dir = tmp_dir("corrupt");
-        write_snapshot(&dir, &sample_snapshot()).unwrap();
+        write_snapshot(&dir, &sample_snapshot(), Codec::Binary).unwrap();
         let path = snapshot_path(&dir);
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
@@ -242,6 +260,7 @@ mod tests {
         let dir = Path::new("/x");
         assert_eq!(wal_path(dir, 0), Path::new("/x/wal.0.log"));
         assert_eq!(wal_path(dir, 12), Path::new("/x/wal.12.log"));
+        assert_eq!(shard_wal_path(dir, 3, ParticipantId(7)), Path::new("/x/wal.3.p7.log"));
         assert_eq!(snapshot_path(dir), Path::new("/x/snapshot.orc"));
     }
 }

@@ -75,7 +75,7 @@ use orchestra_recon::CandidateTransaction;
 use orchestra_storage::snapshot::{self, ParticipantSnapshot, StoreSnapshot};
 use orchestra_storage::wal::WalRecord;
 use orchestra_storage::{
-    Decision, EpochRegistry, FrameLog, ParticipantRecord, PruneReport, Result, RetentionPolicy,
+    Decision, EpochRegistry, ParticipantRecord, PruneReport, Result, RetentionPolicy, SegmentedWal,
     StorageError, TransactionLog,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -426,31 +426,40 @@ impl StoreCatalog {
                 )));
             }
         }
-        let shards: Vec<(ParticipantId, Arc<RwLock<ParticipantShard>>)> = {
-            let map = self.shards.read().expect("shard map lock");
-            map.iter().map(|(id, shard)| (*id, Arc::clone(shard))).collect()
-        };
-        // Each shard is locked once per *batch*, not once per transaction —
-        // the whole block runs inside the log write lock, so the serialised
-        // section should stay as short as possible.
-        for (other, shard) in &shards {
-            let mut shard = shard.write().expect("shard lock");
-            if !shard.registered || shard.retired {
-                continue;
-            }
-            let mut entries: Vec<RelevanceEntry> = Vec::new();
-            for txn in &transactions {
-                // Skip by transaction *origin* (not by publisher), matching
-                // the relevance filter and `register_policy`'s rebuild: a
-                // participant is never offered its own transactions even if
-                // someone else published them on its behalf.
-                if txn.origin() == *other {
+        // Replay skips the per-shard relevance extension: the index is
+        // derived state, and `recover` batch-rebuilds every shard's slice
+        // from the final log in one pass at the end (exactly as a snapshot
+        // load derives it) instead of re-evaluating trust shard by shard at
+        // every replayed publish.
+        if replay_epoch.is_none() {
+            let shards: Vec<(ParticipantId, Arc<RwLock<ParticipantShard>>)> = {
+                let map = self.shards.read().expect("shard map lock");
+                map.iter().map(|(id, shard)| (*id, Arc::clone(shard))).collect()
+            };
+            // Each shard is locked once per *batch*, not once per
+            // transaction — the whole block runs inside the log write lock,
+            // so the serialised section should stay as short as possible.
+            for (other, shard) in &shards {
+                let mut shard = shard.write().expect("shard lock");
+                if !shard.registered || shard.retired {
                     continue;
                 }
-                entries.push((txn.id(), shard.policy.priority_of_transaction(txn, &self.schema)));
-            }
-            if !entries.is_empty() {
-                shard.relevance.entry(epoch.as_u64()).or_default().extend(entries);
+                let mut entries: Vec<RelevanceEntry> = Vec::new();
+                for txn in &transactions {
+                    // Skip by transaction *origin* (not by publisher),
+                    // matching the relevance filter and `register_policy`'s
+                    // rebuild: a participant is never offered its own
+                    // transactions even if someone else published them on
+                    // its behalf.
+                    if txn.origin() == *other {
+                        continue;
+                    }
+                    entries
+                        .push((txn.id(), shard.policy.priority_of_transaction(txn, &self.schema)));
+                }
+                if !entries.is_empty() {
+                    shard.relevance.entry(epoch.as_u64()).or_default().extend(entries);
+                }
             }
         }
         {
@@ -1120,7 +1129,10 @@ impl StoreCatalog {
     /// to the same log. The result is byte-identical durable state — the
     /// recovery tests pin this down through the canonical `Debug` rendering.
     pub fn recover(dir: &Path) -> Result<StoreCatalog> {
-        let snap = snapshot::read_snapshot(dir)?;
+        let (snap, snap_codec) = match snapshot::read_snapshot_with_codec(dir)? {
+            Some((snap, codec)) => (Some(snap), Some(codec)),
+            None => (None, None),
+        };
         let generation = snap.as_ref().map(|s| s.wal_generation).unwrap_or(0);
         let wal_file = snapshot::wal_path(dir, generation);
         if snap.is_none() && !wal_file.exists() {
@@ -1129,12 +1141,17 @@ impl StoreCatalog {
                 dir.display()
             )));
         }
-        let (wal, frames) = FrameLog::open(&wal_file)?;
-        let mut records = frames.iter().map(|f| WalRecord::decode(f));
+        // Open every segment of the generation and replay the merged
+        // `(epoch, seq)` order — deterministic regardless of how many
+        // segments the records were spread over. New appends continue in the
+        // snapshot's codec, or the codec of the generation's first record
+        // when there is no snapshot.
+        let (wal, records) = SegmentedWal::open(dir, generation, snap_codec, true)?;
+        let mut records = records.into_iter();
 
         let catalog = match snap {
             Some(snap) => StoreCatalog::from_snapshot(snap)?,
-            None => match records.next().transpose()? {
+            None => match records.next() {
                 Some(WalRecord::Init { schema }) => StoreCatalog::new(schema),
                 other => {
                     return Err(StorageError::Persistence(format!(
@@ -1144,16 +1161,50 @@ impl StoreCatalog {
             },
         };
         for record in records {
-            catalog.replay(record?)?;
+            catalog.replay(record)?;
         }
+        // Relevance indexes are derived state: replay defers them entirely
+        // (see `publish_impl`) and one pass over the final log rebuilds every
+        // registered shard's slice — byte-identical to the incrementally
+        // maintained live index, as the recovery-equivalence tests pin down.
+        catalog.rebuild_relevance();
         let mut catalog = catalog;
-        catalog.durability = Durability::FileWal(FileWalBackend::reattach(dir, generation, wal));
+        catalog.durability = Durability::FileWal(FileWalBackend::reattach(dir, wal));
         Ok(catalog)
     }
 
+    /// Rebuilds every registered shard's relevance-index slice from the log
+    /// in a single pass (unregistered and retired shards hold none). The
+    /// per-epoch entry order matches the publish-time extension because log
+    /// positions are assigned in publication order and each epoch's
+    /// transactions occupy a contiguous position range.
+    fn rebuild_relevance(&self) {
+        let log = self.log.read().expect("log lock");
+        let map = self.shards.read().expect("shard map lock");
+        let mut guards: Vec<std::sync::RwLockWriteGuard<'_, ParticipantShard>> =
+            map.values().map(|shard| shard.write().expect("shard lock")).collect();
+        for shard in guards.iter_mut() {
+            shard.relevance = BTreeMap::new();
+        }
+        for entry in log.log.entries() {
+            let txn = entry.transaction.as_ref();
+            for shard in guards.iter_mut() {
+                if !shard.registered
+                    || entry.epoch <= shard.relevance_floor
+                    || txn.origin() == shard.policy.owner()
+                {
+                    continue;
+                }
+                let priority = shard.policy.priority_of_transaction(txn, &self.schema);
+                shard.relevance.entry(entry.epoch.as_u64()).or_default().push((txn.id(), priority));
+            }
+        }
+    }
+
     /// Builds the in-memory state a snapshot describes, re-deriving the
-    /// derived structures: log indexes, `Arc`-snapshot decision sets, and the
-    /// relevance-index slice of every registered participant.
+    /// derived structures: log indexes and `Arc`-snapshot decision sets.
+    /// Relevance-index slices are left empty — `recover` (the only caller)
+    /// rebuilds them in one pass once the WAL tail has replayed.
     fn from_snapshot(snap: StoreSnapshot) -> Result<StoreCatalog> {
         let StoreSnapshot {
             schema,
@@ -1170,18 +1221,15 @@ impl StoreCatalog {
         for p in participants {
             let mut record = p.record;
             record.rebuild_sets();
-            let relevance = if p.registered {
-                relevance_slice(&log, &schema, &p.policy, p.relevance_floor)
-            } else {
-                BTreeMap::new()
-            };
             shards.insert(
                 p.id,
                 Arc::new(RwLock::new(ParticipantShard {
                     policy: p.policy,
                     registered: p.registered,
                     retired: p.retired,
-                    relevance,
+                    // Rebuilt by `recover`'s final `rebuild_relevance` pass,
+                    // after the WAL tail has replayed on top.
+                    relevance: BTreeMap::new(),
                     relevance_floor: p.relevance_floor,
                     cursor: p.cursor,
                     record,

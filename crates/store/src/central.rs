@@ -78,10 +78,23 @@ impl CentralStore {
     }
 
     /// Creates an empty central store whose state is made durable in `dir`
-    /// through a file-backed write-ahead log. Refuses to clobber an existing
-    /// durable store — use [`CentralStore::recover`] for that.
+    /// through a file-backed write-ahead log, with the default
+    /// [`crate::WalOptions`] (binary codec, per-shard segments). Refuses to
+    /// clobber an existing durable store — use [`CentralStore::recover`] for
+    /// that.
     pub fn durable(schema: Schema, dir: &std::path::Path) -> Result<Self> {
-        let backend = crate::FileWalBackend::create(dir, &schema)?;
+        CentralStore::durable_with(schema, dir, crate::WalOptions::default())
+    }
+
+    /// Like [`CentralStore::durable`], but with explicit [`crate::WalOptions`]
+    /// — e.g. `Codec::Json` for a log inspectable with text tools, or
+    /// `per_shard: false` for the single-segment layout.
+    pub fn durable_with(
+        schema: Schema,
+        dir: &std::path::Path,
+        options: crate::WalOptions,
+    ) -> Result<Self> {
+        let backend = crate::FileWalBackend::create_with(dir, &schema, options)?;
         Ok(CentralStore::with_durability(schema, crate::Durability::FileWal(backend)))
     }
 

@@ -65,6 +65,62 @@ impl DhtStore {
         }
     }
 
+    /// Creates an empty DHT store over an explicit durability backend (see
+    /// [`crate::Durability`]), with the paper's default latency. In a real
+    /// deployment each controller would persist its own slice; the simulated
+    /// store persists the shared catalogue, which holds the same logical
+    /// contents.
+    pub fn with_durability(schema: Schema, durability: crate::Durability) -> Self {
+        DhtStore {
+            catalog: StoreCatalog::with_durability(schema, durability),
+            network: Mutex::new(SimNetwork::with_latency(
+                Vec::new(),
+                Duration::from_micros(SimNetwork::PAPER_LATENCY_US),
+            )),
+            allocator_key: NodeId::hash_str("orchestra/epoch-allocator"),
+        }
+    }
+
+    /// Creates an empty DHT store whose state is made durable in `dir`
+    /// through the file-backed write-ahead log, with the default
+    /// [`crate::WalOptions`]. Refuses to clobber an existing durable store —
+    /// use [`DhtStore::recover`] for that.
+    pub fn durable(schema: Schema, dir: &std::path::Path) -> Result<Self> {
+        DhtStore::durable_with(schema, dir, crate::WalOptions::default())
+    }
+
+    /// Like [`DhtStore::durable`], but with explicit [`crate::WalOptions`].
+    pub fn durable_with(
+        schema: Schema,
+        dir: &std::path::Path,
+        options: crate::WalOptions,
+    ) -> Result<Self> {
+        let backend = crate::FileWalBackend::create_with(dir, &schema, options)?;
+        Ok(DhtStore::with_durability(schema, crate::Durability::FileWal(backend)))
+    }
+
+    /// Reopens a durable DHT store from its durability directory, exactly
+    /// like [`crate::CentralStore::recover`]: snapshot load plus merged
+    /// segment replay rebuild byte-identical catalogue state, and the store
+    /// keeps appending to the same segments. The simulated network restarts
+    /// empty (message statistics are not durable state).
+    pub fn recover(dir: &std::path::Path) -> Result<Self> {
+        Ok(DhtStore {
+            catalog: StoreCatalog::recover(dir)?,
+            network: Mutex::new(SimNetwork::with_latency(
+                Vec::new(),
+                Duration::from_micros(SimNetwork::PAPER_LATENCY_US),
+            )),
+            allocator_key: NodeId::hash_str("orchestra/epoch-allocator"),
+        })
+    }
+
+    /// Takes a compacting snapshot of a durable store (see
+    /// [`StoreCatalog::snapshot`]). Returns the new WAL generation.
+    pub fn snapshot(&self) -> Result<u64> {
+        self.catalog.snapshot()
+    }
+
     /// The underlying catalogue (for inspection in tests and tools).
     pub fn catalog(&self) -> &StoreCatalog {
         &self.catalog

@@ -3,49 +3,89 @@
 //! The catalogue logs every state-changing operation through a
 //! [`Durability`] value: [`Durability::Ephemeral`] (the default) drops the
 //! records and keeps the store purely in-memory, while
-//! [`Durability::FileWal`] appends them to a generation-numbered
-//! [`orchestra_storage::FrameLog`] inside a durability directory, from which
-//! [`crate::StoreCatalog::recover`] rebuilds the exact durable state.
+//! [`Durability::FileWal`] appends them to a generation of per-shard
+//! [`orchestra_storage::SegmentedWal`] segments inside a durability
+//! directory, from which [`crate::StoreCatalog::recover`] rebuilds the exact
+//! durable state.
 //!
-//! A durability directory holds at most two things:
+//! A durability directory holds:
 //!
-//! * `wal.<generation>.log` — the append-only record log of the current
-//!   generation;
+//! * `wal.<generation>.log` — the log-shard segment of the current
+//!   generation (publishes, policy registrations, retention records);
+//! * `wal.<generation>.p<id>.log` — one segment per participant shard
+//!   (reconciliation commits and decisions), created on first use;
 //! * `snapshot.orc` — the most recent compacting snapshot
 //!   ([`orchestra_storage::StoreSnapshot`]), which names the generation that
 //!   continues after it.
 //!
 //! Appends happen while the catalogue holds the lock guarding the state the
 //! record describes (the log shard's write lock for publishes, the
-//! participant shard's write lock for decision commits), so WAL order always
-//! matches apply order; the backend's own mutex is the innermost lock and is
-//! never held across catalogue locks.
+//! participant shard's write lock for decision commits), so each segment's
+//! order always matches apply order, and commits on *different* shards write
+//! to different segments concurrently — the backend no longer funnels them
+//! through one mutex. Recovery merges the segments by their `(epoch, seq)`
+//! stamps (see [`orchestra_storage::segment`]).
+//!
+//! Records are written in the codec chosen at creation time
+//! ([`WalOptions::codec`]): the compact binary codec by default, or JSON as
+//! a debug/inspection mode. Reading always sniffs per record, so recovery
+//! handles either codec — or a mix, e.g. after flipping the codec between
+//! generations.
 
+use orchestra_storage::codec::Codec;
+use orchestra_storage::segment::{self, SegmentedWal};
 use orchestra_storage::snapshot::{self, StoreSnapshot};
 use orchestra_storage::wal::WalRecord;
-use orchestra_storage::{FrameLog, Result, StorageError};
+use orchestra_storage::{Result, StorageError};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::RwLock;
+
+/// Configuration of a file-backed WAL: which codec records are written in
+/// and whether reconciliation commits get per-participant segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// The codec new records and snapshots are written in.
+    pub codec: Codec,
+    /// Whether reconciliation commits and decisions are routed to
+    /// per-participant segments (`true`, the default) or everything shares
+    /// the log-shard segment (`false` — the pre-segmentation layout, kept
+    /// for comparison benchmarks). Both layouts recover identically.
+    pub per_shard: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions { codec: Codec::Binary, per_shard: true }
+    }
+}
 
 /// The write side of a file-backed durability directory.
 #[derive(Debug)]
 pub struct FileWalBackend {
     dir: PathBuf,
-    state: Mutex<WalState>,
-}
-
-#[derive(Debug)]
-struct WalState {
-    generation: u64,
-    log: FrameLog,
+    /// The current generation's segments. Appends hold the read side (they
+    /// synchronise per segment inside), so commits on different shards run
+    /// in parallel; only snapshot installation takes the write side to swap
+    /// generations.
+    wal: RwLock<SegmentedWal>,
 }
 
 impl FileWalBackend {
+    /// Starts a *fresh* durability directory for a new store with the
+    /// default [`WalOptions`] (binary codec, per-shard segments).
+    pub fn create(dir: &Path, schema: &orchestra_model::Schema) -> Result<Self> {
+        FileWalBackend::create_with(dir, schema, WalOptions::default())
+    }
+
     /// Starts a *fresh* durability directory for a new store: creates the
     /// directory, refuses to clobber existing durable state (use
     /// [`crate::StoreCatalog::recover`] for that), and writes the
     /// [`WalRecord::Init`] record pinning the schema.
-    pub fn create(dir: &Path, schema: &orchestra_model::Schema) -> Result<Self> {
+    pub fn create_with(
+        dir: &Path,
+        schema: &orchestra_model::Schema,
+        options: WalOptions,
+    ) -> Result<Self> {
         std::fs::create_dir_all(dir)
             .map_err(|e| StorageError::Persistence(format!("create {}: {e}", dir.display())))?;
         if snapshot::snapshot_path(dir).exists() {
@@ -55,25 +95,24 @@ impl FileWalBackend {
             )));
         }
         let wal_path = snapshot::wal_path(dir, 0);
-        if wal_path.exists() && std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0) > 0 {
+        if (wal_path.exists() && std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0) > 0)
+            || !segment::list_shard_segments(dir, 0)?.is_empty()
+        {
             return Err(StorageError::Persistence(format!(
                 "{} already holds a WAL; recover the existing store instead",
                 dir.display()
             )));
         }
-        let mut log = FrameLog::create(&wal_path)?;
-        log.append(&WalRecord::Init { schema: schema.clone() }.encode())?;
-        Ok(FileWalBackend {
-            dir: dir.to_path_buf(),
-            state: Mutex::new(WalState { generation: 0, log }),
-        })
+        let wal = SegmentedWal::create(dir, 0, options.codec, options.per_shard)?;
+        wal.append(&WalRecord::Init { schema: schema.clone() })?;
+        Ok(FileWalBackend { dir: dir.to_path_buf(), wal: RwLock::new(wal) })
     }
 
     /// Reattaches the write side to a directory whose state has just been
-    /// recovered: continues appending to the WAL of the given generation
-    /// (`log` is the handle recovery opened, positioned at the end).
-    pub(crate) fn reattach(dir: &Path, generation: u64, log: FrameLog) -> Self {
-        FileWalBackend { dir: dir.to_path_buf(), state: Mutex::new(WalState { generation, log }) }
+    /// recovered: continues appending to the segments recovery opened
+    /// (positioned at their ends, stamps continuing where they left off).
+    pub(crate) fn reattach(dir: &Path, wal: SegmentedWal) -> Self {
+        FileWalBackend { dir: dir.to_path_buf(), wal: RwLock::new(wal) }
     }
 
     /// The durability directory.
@@ -83,71 +122,96 @@ impl FileWalBackend {
 
     /// The current WAL generation.
     pub fn generation(&self) -> u64 {
-        self.state.lock().expect("wal lock").generation
+        self.wal.read().expect("wal lock").generation()
+    }
+
+    /// The codec records are written in (reading sniffs per record).
+    pub fn codec(&self) -> Codec {
+        self.wal.read().expect("wal lock").codec()
+    }
+
+    /// Whether reconciliation commits get per-participant segments.
+    pub fn per_shard(&self) -> bool {
+        self.wal.read().expect("wal lock").per_shard()
+    }
+
+    /// Switches the codec for future appends and generations — e.g. flipping
+    /// a long-lived store into JSON inspection mode and back. Frames already
+    /// on disk keep their codec; recovery sniffs per record, so generations
+    /// with mixed codecs replay fine.
+    pub fn set_codec(&self, codec: Codec) {
+        self.wal.write().expect("wal lock").set_codec(codec);
+    }
+
+    /// Number of live segments in the current generation (1 log shard plus
+    /// one per participant shard that has committed).
+    pub fn segment_count(&self) -> usize {
+        self.wal.read().expect("wal lock").segment_count()
     }
 
     /// Sets when WAL appends `fsync` (see
     /// [`orchestra_storage::FlushPolicy`]): `EveryAppend` for one sync per
-    /// record, `EveryN`/`Interval` for group commit. The policy survives
-    /// snapshot compaction (it is re-applied to each new generation's log).
+    /// record, `EveryN`/`Interval` for group commit — applied per segment,
+    /// so each shard's segment batches its own commits. The policy survives
+    /// snapshot compaction (it is re-applied to each new generation's
+    /// segments).
     pub fn set_flush_policy(&self, policy: orchestra_storage::FlushPolicy) {
-        self.state.lock().expect("wal lock").log.set_flush_policy(policy);
+        self.wal.read().expect("wal lock").set_flush_policy(policy);
     }
 
     /// The WAL's current flush policy.
     pub fn flush_policy(&self) -> orchestra_storage::FlushPolicy {
-        self.state.lock().expect("wal lock").log.flush_policy()
+        self.wal.read().expect("wal lock").flush_policy()
     }
 
     /// Records appended since the WAL's last `fsync` (the group-commit
-    /// window still at risk under media failure).
+    /// window still at risk under media failure), across all segments.
     pub fn unsynced_records(&self) -> u64 {
-        self.state.lock().expect("wal lock").log.unsynced_records()
+        self.wal.read().expect("wal lock").unsynced_records()
     }
 
-    /// Records appended to the current generation's WAL (including the
-    /// `Init` record on generation 0).
+    /// Records appended to the current generation, across all segments
+    /// (including the `Init` record on generation 0).
     pub fn wal_records(&self) -> u64 {
-        self.state.lock().expect("wal lock").log.records()
+        self.wal.read().expect("wal lock").records()
     }
 
-    /// Bytes in the current generation's WAL.
+    /// Bytes in the current generation, across all segments.
     pub fn wal_bytes(&self) -> u64 {
-        self.state.lock().expect("wal lock").log.bytes()
+        self.wal.read().expect("wal lock").bytes()
     }
 
-    /// Appends one already-encoded record.
-    pub(crate) fn append(&self, payload: &[u8]) -> Result<()> {
-        self.state.lock().expect("wal lock").log.append(payload)
+    /// Appends one record to its shard's segment.
+    pub(crate) fn append(&self, record: &WalRecord) -> Result<()> {
+        self.wal.read().expect("wal lock").append(record)
     }
 
-    /// Flushes the WAL to stable storage.
+    /// Flushes every segment to stable storage.
     pub fn sync(&self) -> Result<()> {
-        self.state.lock().expect("wal lock").log.sync()
+        self.wal.read().expect("wal lock").sync()
     }
 
     /// Installs a compacting snapshot: writes `snapshot` (stamped with the
-    /// *next* generation) atomically, starts a fresh WAL for that generation,
-    /// and deletes the old generation's log. The caller must hold whatever
-    /// catalogue locks make `snapshot` a consistent cut — records appended
-    /// after this call belong to the new generation and replay on top of the
-    /// snapshot.
+    /// *next* generation, in the backend's codec) atomically, starts fresh
+    /// segments for that generation, and deletes the old generation's
+    /// segment files. The caller must hold whatever catalogue locks make
+    /// `snapshot` a consistent cut — records appended after this call belong
+    /// to the new generation and replay on top of the snapshot.
     pub(crate) fn install_snapshot(&self, mut snapshot: StoreSnapshot) -> Result<u64> {
-        let mut state = self.state.lock().expect("wal lock");
-        let next = state.generation + 1;
+        let mut wal = self.wal.write().expect("wal lock");
+        let old = wal.generation();
+        let next = old + 1;
         snapshot.wal_generation = next;
-        snapshot::write_snapshot(&self.dir, &snapshot)?;
-        let mut new_log = FrameLog::create(&snapshot::wal_path(&self.dir, next))?;
+        snapshot::write_snapshot(&self.dir, &snapshot, wal.codec())?;
+        let new_wal = SegmentedWal::create(&self.dir, next, wal.codec(), wal.per_shard())?;
         // The flush (group-commit) policy is a property of the backend, not
-        // of one generation's file: carry it over.
-        new_log.set_flush_policy(state.log.flush_policy());
-        let old = snapshot::wal_path(&self.dir, state.generation);
-        state.generation = next;
-        state.log = new_log;
-        drop(state);
+        // of one generation's files: carry it over.
+        new_wal.set_flush_policy(wal.flush_policy());
+        *wal = new_wal;
+        drop(wal);
         // Best-effort: the old generation is unreachable (the snapshot names
         // the new one), so a failed delete only wastes disk.
-        std::fs::remove_file(old).ok();
+        segment::delete_generation(&self.dir, old).ok();
         Ok(next)
     }
 }
@@ -182,7 +246,7 @@ impl Durability {
     pub(crate) fn append(&self, record: &WalRecord) -> Result<()> {
         match self {
             Durability::Ephemeral => Ok(()),
-            Durability::FileWal(backend) => backend.append(&record.encode()),
+            Durability::FileWal(backend) => backend.append(record),
         }
     }
 }
@@ -204,6 +268,9 @@ mod tests {
         let dir = tmp_dir("fresh");
         let backend = FileWalBackend::create(&dir, &bioinformatics_schema()).unwrap();
         assert_eq!(backend.generation(), 0);
+        assert_eq!(backend.codec(), Codec::Binary);
+        assert!(backend.per_shard());
+        assert_eq!(backend.segment_count(), 1);
         assert_eq!(backend.wal_records(), 1);
         assert!(backend.wal_bytes() > 0);
         assert_eq!(backend.dir(), dir.as_path());
@@ -215,6 +282,20 @@ mod tests {
             FileWalBackend::create(&dir, &bioinformatics_schema()),
             Err(StorageError::Persistence(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_mode_writes_inspectable_records() {
+        let dir = tmp_dir("json");
+        let options = WalOptions { codec: Codec::Json, per_shard: true };
+        let backend = FileWalBackend::create_with(&dir, &bioinformatics_schema(), options).unwrap();
+        assert_eq!(backend.codec(), Codec::Json);
+        drop(backend);
+        // The record bytes (after the frame header and stamp) are JSON.
+        let bytes = std::fs::read(dir.join("wal.0.log")).unwrap();
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.contains("Init"), "JSON mode should be greppable: {text:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

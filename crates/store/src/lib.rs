@@ -50,13 +50,15 @@ pub mod central;
 pub mod dht;
 pub mod durability;
 pub mod network_centric;
+pub mod pruner;
 
 pub use api::{ReconciliationSession, SessionId, SessionInfo, StoreTiming, Timed, UpdateStore};
 pub use catalog::{OpenedSession, SessionBatch, StoreCatalog};
 pub use central::{CentralStore, RetrievalMode};
 pub use dht::DhtStore;
-pub use durability::{Durability, FileWalBackend};
+pub use durability::{Durability, FileWalBackend, WalOptions};
 pub use network_centric::NetworkCentricPlan;
+pub use pruner::AutoPruner;
 // Retention and group-commit knobs, re-exported so drivers need not depend
 // on `orchestra-storage` directly.
-pub use orchestra_storage::{FlushPolicy, PruneReport, RetentionPolicy};
+pub use orchestra_storage::{Codec, FlushPolicy, PruneReport, RetentionPolicy};

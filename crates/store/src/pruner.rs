@@ -1,0 +1,170 @@
+//! Scheduled auto-pruning of converged history.
+//!
+//! PR 5 added bounded-memory retention —
+//! [`prune_to_horizon`](crate::StoreCatalog::prune_to_horizon) drops history
+//! every reconciled participant has converged past — but left *when* to
+//! prune to the caller. The
+//! [`AutoPruner`] runs that call on a background thread at a fixed interval,
+//! so long-lived stores stay bounded without the application threading
+//! pruning through its own control flow.
+//!
+//! The pruner is deliberately closure-based: it captures whatever pruning
+//! entry point fits the deployment (a `CentralStore` behind an `Arc`, a
+//! `DhtStore`, a bare catalogue) rather than imposing a store type. Shutdown
+//! is clean and prompt — dropping the pruner (or calling
+//! [`AutoPruner::stop`]) wakes the thread through a condvar and joins it, so
+//! no prune runs after the handle is gone.
+
+use orchestra_storage::{PruneReport, Result};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shared stop flag: the mutex guards the flag, the condvar wakes the
+/// sleeper early on stop.
+struct Signal {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A background thread that prunes converged history on a fixed interval.
+///
+/// ```no_run
+/// use orchestra_store::{AutoPruner, CentralStore, RetentionPolicy};
+/// use orchestra_model::Schema;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let store = Arc::new(CentralStore::new(Schema::new()));
+/// store.set_retention(RetentionPolicy::KeepLastN(64));
+/// let pruner = {
+///     let store = Arc::clone(&store);
+///     AutoPruner::spawn(Duration::from_secs(30), move || store.prune_to_horizon())
+/// };
+/// // ... publish / reconcile ...
+/// pruner.stop(); // or just drop it
+/// ```
+#[derive(Debug)]
+pub struct AutoPruner {
+    signal: Arc<Signal>,
+    thread: Option<JoinHandle<()>>,
+    /// Reports of completed prune rounds (errors are retained too, so an
+    /// operator can notice a persistently failing prune).
+    history: Arc<Mutex<Vec<Result<PruneReport>>>>,
+}
+
+impl std::fmt::Debug for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signal")
+            .field("stopped", &*self.stopped.lock().expect("pruner stop flag"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl AutoPruner {
+    /// Spawns the pruning thread: every `interval` it runs `prune` (e.g.
+    /// `move || store.prune_to_horizon()`, which advances the convergence
+    /// horizon under the store's [`orchestra_storage::RetentionPolicy`] and
+    /// prunes to it). The first run happens one full interval after spawn.
+    pub fn spawn(
+        interval: Duration,
+        mut prune: impl FnMut() -> Result<PruneReport> + Send + 'static,
+    ) -> AutoPruner {
+        let signal = Arc::new(Signal { stopped: Mutex::new(false), wake: Condvar::new() });
+        let history: Arc<Mutex<Vec<Result<PruneReport>>>> = Arc::new(Mutex::new(Vec::new()));
+        let thread_signal = Arc::clone(&signal);
+        let thread_history = Arc::clone(&history);
+        let thread = std::thread::Builder::new()
+            .name("orchestra-auto-pruner".to_string())
+            .spawn(move || loop {
+                let stopped = thread_signal.stopped.lock().expect("pruner stop flag");
+                let (stopped, timeout) = thread_signal
+                    .wake
+                    .wait_timeout_while(stopped, interval, |stopped| !*stopped)
+                    .expect("pruner stop flag");
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                if timeout.timed_out() {
+                    let report = prune();
+                    thread_history.lock().expect("pruner history").push(report);
+                }
+            })
+            .expect("spawn auto-pruner thread");
+        AutoPruner { signal, thread: Some(thread), history }
+    }
+
+    /// Number of prune rounds completed so far (including failed ones).
+    pub fn rounds(&self) -> usize {
+        self.history.lock().expect("pruner history").len()
+    }
+
+    /// Drains the reports of completed prune rounds, oldest first.
+    pub fn take_reports(&self) -> Vec<Result<PruneReport>> {
+        std::mem::take(&mut *self.history.lock().expect("pruner history"))
+    }
+
+    /// Stops the thread and waits for it: any in-flight prune finishes, no
+    /// new one starts. Idempotent; also invoked by `Drop`.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(thread) = self.thread.take() else { return };
+        *self.signal.stopped.lock().expect("pruner stop flag") = true;
+        self.signal.wake.notify_all();
+        thread.join().expect("auto-pruner thread panicked");
+    }
+}
+
+impl Drop for AutoPruner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn prunes_repeatedly_until_stopped() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&runs);
+        let pruner = AutoPruner::spawn(Duration::from_millis(5), move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(PruneReport::default())
+        });
+        while runs.load(Ordering::SeqCst) < 3 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(pruner.rounds() >= 1);
+        pruner.stop();
+        let after_stop = runs.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(runs.load(Ordering::SeqCst), after_stop, "no prune after stop");
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_a_long_interval() {
+        let pruner = AutoPruner::spawn(Duration::from_secs(3600), || Ok(PruneReport::default()));
+        let start = std::time::Instant::now();
+        drop(pruner); // Drop path: wakes the hour-long sleep immediately.
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn reports_are_collected_and_drainable() {
+        let pruner = AutoPruner::spawn(Duration::from_millis(3), || Ok(PruneReport::default()));
+        while pruner.rounds() < 2 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let reports = pruner.take_reports();
+        assert!(reports.len() >= 2);
+        assert!(reports.iter().all(|r| r.is_ok()));
+        pruner.stop();
+    }
+}

@@ -26,8 +26,9 @@ pub use retention::{
     run_retention_scenario, RetentionChurnConfig, RetentionChurnResult, RetentionSample,
 };
 pub use scenario::{
-    run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig, ChurnResult, ChurnSample,
-    ConcurrentChurnResult, ReconcileDriver, ScenarioConfig, ScenarioResult,
+    mutual_trust_policies, run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig,
+    ChurnResult, ChurnSample, ConcurrentChurnResult, ReconcileDriver, ScenarioConfig,
+    ScenarioResult,
 };
 pub use swissprot::SwissProtPools;
 pub use zipf::ZipfSampler;

@@ -1,0 +1,232 @@
+//! Property tests of the WAL codecs: arbitrary records and snapshots must
+//! round-trip byte-exactly through both the length-prefixed binary codec and
+//! the JSON debug codec, the binary encoding must actually be smaller, and
+//! the CRC framing must turn torn tails and bit flips into clean truncation —
+//! never into a silently wrong record.
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{
+    AcceptanceRule, Epoch, ParticipantId, Predicate, ReconciliationId, Schema, Transaction,
+    TransactionId, TrustPolicy, Tuple, Update, UpdateKind, Value,
+};
+use orchestra_storage::codec::{decode_record, encode_record, payload_codec};
+use orchestra_storage::wal::{decode_frames, encode_frame, WalRecord};
+use orchestra_storage::Codec;
+use proptest::prelude::*;
+
+fn pid() -> impl Strategy<Value = ParticipantId> {
+    (1u32..6).prop_map(ParticipantId)
+}
+
+fn word() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..9)
+        .prop_map(|cs| cs.into_iter().map(|c| char::from(b'a' + c)).collect())
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u32..1).prop_map(|_| Value::Null),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        // Eighths keep the floats exact in both codecs (no NaN, no rounding),
+        // while still exercising non-integer bit patterns.
+        (-40_000i64..40_000).prop_map(|n| Value::Float(n as f64 / 8.0)),
+        word().prop_map(Value::Text),
+        (0u32..2).prop_map(|b| Value::Bool(b == 1)),
+    ]
+}
+
+fn tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(value(), 1..5).prop_map(Tuple::new)
+}
+
+fn relation() -> impl Strategy<Value = String> {
+    (0u32..3).prop_map(|i| ["Function", "XRef", "Notes"][i as usize].to_string())
+}
+
+fn update() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (relation(), tuple(), pid()).prop_map(|(r, t, p)| Update::insert(r, t, p)),
+        (relation(), tuple(), pid()).prop_map(|(r, t, p)| Update::delete(r, t, p)),
+        (relation(), tuple(), tuple(), pid())
+            .prop_map(|(r, from, to, p)| Update::modify(r, from, to, p)),
+    ]
+}
+
+fn transaction() -> impl Strategy<Value = Transaction> {
+    (pid(), 0u64..100, prop::collection::vec(update(), 1..5)).prop_map(|(p, local, mut updates)| {
+        // A transaction's updates must all carry its originator.
+        for update in &mut updates {
+            update.origin = p;
+        }
+        Transaction::from_parts(p, local, updates).expect("non-empty, origin-consistent")
+    })
+}
+
+fn txn_id() -> impl Strategy<Value = TransactionId> {
+    (pid(), 0u64..100).prop_map(|(p, local)| TransactionId::new(p, local))
+}
+
+fn predicate(depth: u32) -> BoxedStrategy<Predicate> {
+    let leaf = || {
+        prop_oneof![
+            (0u32..1).prop_map(|_| Predicate::True),
+            (0u32..1).prop_map(|_| Predicate::False),
+            pid().prop_map(Predicate::FromParticipant),
+            prop::collection::vec(pid(), 0..4).prop_map(Predicate::FromAnyOf),
+            relation().prop_map(Predicate::OverRelation),
+            (0u32..3).prop_map(|k| Predicate::OfKind(
+                [UpdateKind::Insert, UpdateKind::Delete, UpdateKind::Modify][k as usize]
+            )),
+            (word(), value())
+                .prop_map(|(column, equals)| Predicate::WritesValue { column, equals }),
+        ]
+    };
+    if depth == 0 {
+        leaf().boxed()
+    } else {
+        let inner = move || predicate(depth - 1);
+        prop_oneof![
+            leaf(),
+            prop::collection::vec(inner(), 0..3).prop_map(Predicate::And),
+            prop::collection::vec(inner(), 0..3).prop_map(Predicate::Or),
+            inner().prop_map(|p| Predicate::Not(Box::new(p))),
+        ]
+        .boxed()
+    }
+}
+
+fn policy() -> impl Strategy<Value = TrustPolicy> {
+    (pid(), prop::collection::vec((predicate(2), 0u32..10), 0..4)).prop_map(|(owner, rules)| {
+        rules.into_iter().fold(TrustPolicy::new(owner), |policy, (predicate, priority)| {
+            policy.with_rule(AcceptanceRule::new(predicate, priority))
+        })
+    })
+}
+
+fn record() -> impl Strategy<Value = WalRecord> {
+    prop_oneof![
+        (0u32..2).prop_map(|i| WalRecord::Init {
+            schema: if i == 0 { Schema::new() } else { bioinformatics_schema() },
+        }),
+        policy().prop_map(|policy| WalRecord::RegisterPolicy { policy }),
+        (pid(), 1u64..1000, prop::collection::vec(transaction(), 1..4)).prop_map(
+            |(participant, epoch, transactions)| WalRecord::Publish {
+                participant,
+                epoch: Epoch(epoch),
+                transactions,
+            }
+        ),
+        (pid(), 0u64..100, 1u64..1000, prop::collection::vec(txn_id(), 0..5),).prop_map(
+            |(participant, recno, epoch, accepted)| {
+                // Rejected ids reuse the accepted strategy's shape via a
+                // deterministic twist, staying within the 4-tuple limit of
+                // the vendored strategy combinators.
+                let rejected = accepted
+                    .iter()
+                    .map(|id| TransactionId::new(id.participant, id.local + 1))
+                    .collect();
+                WalRecord::CommitReconciliation {
+                    participant,
+                    recno: ReconciliationId(recno),
+                    epoch: Epoch(epoch),
+                    accepted,
+                    rejected,
+                }
+            }
+        ),
+        (pid(), prop::collection::vec(txn_id(), 0..5), prop::collection::vec(txn_id(), 0..5))
+            .prop_map(|(participant, accepted, rejected)| WalRecord::Decisions {
+                participant,
+                accepted,
+                rejected,
+            }),
+        (0u64..u64::MAX / 2).prop_map(|e| WalRecord::MembershipFrontier { epoch: Epoch(e) }),
+        pid().prop_map(|participant| WalRecord::RetireParticipant { participant }),
+        (0u64..1000).prop_map(|e| WalRecord::Prune { horizon: Epoch(e) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every record round-trips byte-exactly through both codecs, each
+    /// encoding is sniffed back to the codec that produced it, and the
+    /// binary encoding is strictly smaller than the JSON one.
+    #[test]
+    fn records_round_trip_through_both_codecs(record in record()) {
+        let binary = encode_record(&record, Codec::Binary);
+        let json = encode_record(&record, Codec::Json);
+        prop_assert_eq!(payload_codec(&binary), Codec::Binary);
+        prop_assert_eq!(payload_codec(&json), Codec::Json);
+        prop_assert_eq!(&decode_record(&binary).expect("binary decodes"), &record);
+        prop_assert_eq!(&decode_record(&json).expect("json decodes"), &record);
+        prop_assert!(
+            binary.len() < json.len(),
+            "binary ({}) not smaller than json ({}) for {:?}",
+            binary.len(),
+            json.len(),
+            record
+        );
+    }
+
+    /// Encoding is deterministic: two encodes of one record are identical,
+    /// and decode-then-re-encode reproduces the bytes. (Replay and the
+    /// byte-identical-recovery gate both rely on this.)
+    #[test]
+    fn binary_encoding_is_deterministic(record in record()) {
+        let first = encode_record(&record, Codec::Binary);
+        prop_assert_eq!(&encode_record(&record, Codec::Binary), &first);
+        let decoded = decode_record(&first).expect("decodes");
+        prop_assert_eq!(&encode_record(&decoded, Codec::Binary), &first);
+    }
+
+    /// A log truncated at an arbitrary byte (a torn tail) yields exactly the
+    /// frames that fit whole before the cut — decoded records match the
+    /// originals, and nothing partial leaks through.
+    #[test]
+    fn torn_tails_truncate_to_whole_frames(
+        records in prop::collection::vec(record(), 1..6),
+        cut_seed in 0usize..10_000,
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = Vec::new(); // cumulative end offset of each frame
+        for record in &records {
+            bytes.extend_from_slice(&encode_frame(&encode_record(record, Codec::Binary)));
+            boundaries.push(bytes.len());
+        }
+        let cut = cut_seed % bytes.len();
+        let expect_intact = boundaries.iter().filter(|&&end| end <= cut).count();
+        let (frames, consumed) = decode_frames(&bytes[..cut]);
+        prop_assert_eq!(frames.len(), expect_intact);
+        prop_assert_eq!(consumed, boundaries.get(expect_intact.wrapping_sub(1)).copied().unwrap_or(0));
+        for (frame, record) in frames.iter().zip(&records) {
+            prop_assert_eq!(&decode_record(frame).expect("intact frame decodes"), record);
+        }
+    }
+
+    /// A single flipped bit anywhere in the log is caught by the CRC: replay
+    /// stops at the damaged frame and every frame before it decodes to its
+    /// original record. No bit flip ever produces a *different* record.
+    #[test]
+    fn bit_flips_are_caught_by_the_crc(
+        records in prop::collection::vec(record(), 1..6),
+        flip_seed in 0usize..100_000,
+        codec_json in 0u32..2,
+    ) {
+        let codec = if codec_json == 1 { Codec::Json } else { Codec::Binary };
+        let mut bytes = Vec::new();
+        let mut boundaries = Vec::new();
+        for record in &records {
+            bytes.extend_from_slice(&encode_frame(&encode_record(record, codec)));
+            boundaries.push(bytes.len());
+        }
+        let flip_at = flip_seed % (bytes.len() * 8);
+        bytes[flip_at / 8] ^= 1 << (flip_at % 8);
+        let damaged_frame = boundaries.iter().filter(|&&end| end * 8 <= flip_at).count();
+        let (frames, _) = decode_frames(&bytes);
+        prop_assert_eq!(frames.len(), damaged_frame);
+        for (frame, record) in frames.iter().zip(&records) {
+            prop_assert_eq!(&decode_record(frame).expect("undamaged frame decodes"), record);
+        }
+    }
+}
