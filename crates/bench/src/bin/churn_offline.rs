@@ -1,0 +1,97 @@
+//! Runs the offline-churn benchmark (scalar versus causal epoch mode, a
+//! partitioned causal run with heal, and the concurrent-publish
+//! microbenchmark) and writes the benchmark-trajectory document.
+//!
+//! Usage:
+//!
+//! ```text
+//! churn_offline [--full] [--out FILE]
+//! ```
+//!
+//! The default output path is `BENCH_churn_offline.json` in the current
+//! directory.
+
+use orchestra_bench::{
+    render_table, run_churn_offline_bench, write_churn_offline_json, FigureScale,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = FigureScale::Quick;
+    let mut out = PathBuf::from("BENCH_churn_offline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = FigureScale::Full,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: churn_offline [--full] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_churn_offline_bench(scale);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{}", r.publishes),
+                format!("{}/{}/{}", r.accepted, r.rejected, r.deferred),
+                format!("{:.3}", r.state_ratio),
+                format!("{}", r.partitions),
+                format!("{}", r.healed_batches),
+                format!("{}", r.final_epoch),
+                format!("{}", r.convergence_horizon),
+                format!("{:.3}", r.wall_seconds),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Offline churn: scalar vs causal epochs, partition and heal",
+            &[
+                "mode",
+                "publishes",
+                "acc/rej/def",
+                "ratio",
+                "partitions",
+                "healed",
+                "stable",
+                "horizon",
+                "wall s"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "decisions match: {}   converged after heal: {}   publish concurrency speedup: {:.2}x \
+         (scalar {:.3}s vs causal {:.3}s)",
+        report.summary.decisions_match,
+        report.summary.converged_after_heal,
+        report.summary.publish_concurrency_speedup,
+        report.summary.scalar_publish_wall_seconds,
+        report.summary.causal_publish_wall_seconds,
+    );
+    if !report.summary.decisions_match {
+        eprintln!("FATAL: epoch modes disagreed on decisions over the same schedule");
+        std::process::exit(1);
+    }
+    if !report.summary.converged_after_heal {
+        eprintln!("FATAL: the partitioned run did not converge after healing");
+        std::process::exit(1);
+    }
+    write_churn_offline_json(&out, &report).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,335 @@
+//! The offline-churn benchmark: is the causal-DAG epoch mode free when
+//! nobody partitions, does a partitioned confederation converge after
+//! healing, and does client-side stamp allocation actually buy publish
+//! concurrency?
+//!
+//! This is the `BENCH_churn_offline.json` entry of the repository's
+//! benchmark trajectory. Three runs of the same schedule plus one
+//! microbenchmark:
+//!
+//! * `decisions_match` — the unpartitioned schedule over a scalar-epoch
+//!   store and over a causal-DAG store reaches identical decision totals
+//!   (accept / reject / defer / resolution counts and the final state
+//!   ratio). The mode switch must not change a single decision.
+//! * `converged_after_heal` — a causal run with rolling partitions: offline
+//!   participants buffer stamped publications client-side and deliver them
+//!   at heal time; after the last heal and a catch-up pass nobody is
+//!   offline, no batch is buffered, and the store's convergence horizon has
+//!   caught up to the largest stable epoch.
+//! * `publish_concurrency_speedup` — concurrent publishers with a simulated
+//!   epoch-allocation latency. Scalar mode pays the latency inside the
+//!   store's commit lock (publishes serialise); causal mode stamps
+//!   client-side before taking any lock (latencies overlap). Gated against
+//!   regression by `trajectory_check` like every `*speedup`.
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{
+    AntichainClock, CausalStamp, ParticipantId, StampId, Transaction, Tuple, Update,
+};
+use orchestra_store::{CentralStore, UpdateStore};
+use orchestra_workload::{
+    mutual_trust_policies, run_offline_scenario, ChurnConfig, EpochMode, OfflineChurnConfig,
+    OfflineChurnResult, WorkloadConfig,
+};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::figures::FigureScale;
+
+/// One row of the offline benchmark: one run of the schedule.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnOfflineRow {
+    /// `"scalar"`, `"causal"` or `"causal-partitioned"`.
+    pub mode: String,
+    /// Reconciliations performed.
+    pub reconciliations: usize,
+    /// Online publish calls that committed an epoch.
+    pub publishes: usize,
+    /// Root transactions accepted.
+    pub accepted: usize,
+    /// Root transactions rejected.
+    pub rejected: usize,
+    /// Root transactions deferred.
+    pub deferred: usize,
+    /// Conflict-resolution rounds.
+    pub resolutions: usize,
+    /// Final state ratio over `Function`.
+    pub state_ratio: f64,
+    /// Partition windows opened during the run.
+    pub partitions: usize,
+    /// Batches published while offline and delivered at heal time.
+    pub healed_batches: usize,
+    /// Largest stable epoch at the end of the run.
+    pub final_epoch: u64,
+    /// Convergence horizon after the catch-up pass.
+    pub convergence_horizon: u64,
+    /// The store's causal frontier (empty in scalar mode).
+    pub final_frontier: String,
+    /// Wall-clock seconds of the whole run.
+    pub wall_seconds: f64,
+}
+
+/// Headline answers of the offline benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnOfflineSummary {
+    /// Whether the scalar and causal runs of the same unpartitioned schedule
+    /// reached identical decision totals (they must — the mode switch is
+    /// decision-invariant). `trajectory_check` fails the build when false.
+    pub decisions_match: bool,
+    /// Whether the partitioned causal run fully converged after the last
+    /// heal (nobody offline, nothing buffered, horizon == stable epoch).
+    /// `trajectory_check` fails the build when false.
+    pub converged_after_heal: bool,
+    /// Scalar concurrent-publish wall clock divided by the causal one under
+    /// the same simulated allocation latency. Gated against regression.
+    pub publish_concurrency_speedup: f64,
+    /// Wall seconds of the scalar concurrent-publish microbenchmark.
+    pub scalar_publish_wall_seconds: f64,
+    /// Wall seconds of the causal concurrent-publish microbenchmark.
+    pub causal_publish_wall_seconds: f64,
+    /// Partition windows in the partitioned run.
+    pub partitions: usize,
+    /// Offline batches delivered at heal time in the partitioned run.
+    pub healed_batches: usize,
+}
+
+/// The whole benchmark document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnOfflineReport {
+    /// Per-run rows.
+    pub rows: Vec<ChurnOfflineRow>,
+    /// Headline answers.
+    pub summary: ChurnOfflineSummary,
+}
+
+/// Concurrent-publish microbenchmark shape.
+#[derive(Debug, Clone, Copy)]
+pub struct PublishConcurrencyConfig {
+    /// Concurrent publishers.
+    pub publishers: u32,
+    /// Sequential batches each publisher commits.
+    pub batches: u64,
+    /// Simulated epoch-allocation latency per publish.
+    pub latency: Duration,
+}
+
+/// The schedule and partition cadence used at each scale.
+pub fn churn_offline_config(scale: FigureScale) -> OfflineChurnConfig {
+    let (participants, rounds) = match scale {
+        FigureScale::Quick => (8, 120),
+        FigureScale::Full => (12, 320),
+    };
+    OfflineChurnConfig::for_churn(ChurnConfig {
+        participants,
+        rounds,
+        transactions_per_publish: 2,
+        max_reconcile_interval: 4,
+        resolve_every: 3,
+        workload: WorkloadConfig {
+            transaction_size: 1,
+            key_universe: 64,
+            function_pool: 24,
+            value_zipf_exponent: 1.5,
+            key_zipf_exponent: 0.9,
+            xref_mean: 7.3,
+        },
+        seed: 20060627,
+    })
+}
+
+/// The microbenchmark shape used at each scale.
+pub fn publish_concurrency_config(scale: FigureScale) -> PublishConcurrencyConfig {
+    match scale {
+        FigureScale::Quick => PublishConcurrencyConfig {
+            publishers: 6,
+            batches: 3,
+            latency: Duration::from_millis(20),
+        },
+        FigureScale::Full => PublishConcurrencyConfig {
+            publishers: 8,
+            batches: 4,
+            latency: Duration::from_millis(25),
+        },
+    }
+}
+
+fn row(mode: &str, result: &OfflineChurnResult) -> ChurnOfflineRow {
+    ChurnOfflineRow {
+        mode: mode.to_string(),
+        reconciliations: result.totals.reconciliations,
+        publishes: result.totals.publishes,
+        accepted: result.totals.accepted,
+        rejected: result.totals.rejected,
+        deferred: result.totals.deferred,
+        resolutions: result.totals.resolutions,
+        state_ratio: result.totals.state_ratio,
+        partitions: result.partitions,
+        healed_batches: result.healed_batches,
+        final_epoch: result.final_epoch,
+        convergence_horizon: result.convergence_horizon,
+        final_frontier: result.final_frontier.clone(),
+        wall_seconds: result.wall.as_secs_f64(),
+    }
+}
+
+/// Times `publishers` threads each committing `batches` single-transaction
+/// publishes under a simulated allocation latency. In scalar mode the store
+/// sleeps while holding its commit lock (the real allocator round trip sits
+/// on the critical path); in causal mode the stamp is allocated client-side
+/// and the sleep happens before any lock is taken, so the latencies of
+/// concurrent publishers overlap.
+pub fn time_concurrent_publishes(causal: bool, config: &PublishConcurrencyConfig) -> Duration {
+    let store = CentralStore::new(bioinformatics_schema());
+    for policy in mutual_trust_policies(config.publishers as usize, 1) {
+        store.register_participant(policy);
+    }
+    if causal {
+        store.enable_causal_mode().expect("fresh store accepts causal mode");
+    }
+    store.catalog().set_alloc_latency(config.latency);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 1..=config.publishers {
+            let store = &store;
+            let batches = config.batches;
+            scope.spawn(move || {
+                let id = ParticipantId(i);
+                for seq in 1..=batches {
+                    let tuple =
+                        Tuple::of_text(&[&format!("org{i}"), &format!("prot{i}_{seq}"), "fn"]);
+                    let txn = Transaction::from_parts(
+                        id,
+                        seq,
+                        vec![Update::insert("Function", tuple, id)],
+                    )
+                    .expect("valid transaction");
+                    if causal {
+                        let parents = if seq == 1 {
+                            AntichainClock::new()
+                        } else {
+                            AntichainClock::from_stamps([StampId::new(id, seq - 1)])
+                        };
+                        store
+                            .publish_stamped(CausalStamp::new(id, seq, parents), vec![txn])
+                            .expect("stamped publish succeeds");
+                    } else {
+                        store.publish(id, vec![txn]).expect("publish succeeds");
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Runs the offline benchmark over an explicit schedule and microbenchmark
+/// shape.
+pub fn run_churn_offline_bench_with(
+    config: &OfflineChurnConfig,
+    concurrency: &PublishConcurrencyConfig,
+) -> ChurnOfflineReport {
+    let baseline = config.unpartitioned();
+    let scalar = run_offline_scenario(
+        CentralStore::new(bioinformatics_schema()),
+        EpochMode::Scalar,
+        &baseline,
+    );
+    let causal = run_offline_scenario(
+        CentralStore::new(bioinformatics_schema()),
+        EpochMode::Causal,
+        &baseline,
+    );
+    let partitioned =
+        run_offline_scenario(CentralStore::new(bioinformatics_schema()), EpochMode::Causal, config);
+
+    // Best of two runs per mode: the walls are sleep-dominated by design,
+    // so the minimum is the stable signal and scheduler hiccups on a busy
+    // CI host cannot fake a speedup regression.
+    let scalar_wall = time_concurrent_publishes(false, concurrency)
+        .min(time_concurrent_publishes(false, concurrency));
+    let causal_wall = time_concurrent_publishes(true, concurrency)
+        .min(time_concurrent_publishes(true, concurrency));
+
+    let summary = ChurnOfflineSummary {
+        decisions_match: scalar.totals == causal.totals,
+        converged_after_heal: partitioned.converged_after_heal
+            && partitioned.partitions > 0
+            && partitioned.healed_batches > 0,
+        publish_concurrency_speedup: scalar_wall.as_secs_f64()
+            / causal_wall.as_secs_f64().max(f64::EPSILON),
+        scalar_publish_wall_seconds: scalar_wall.as_secs_f64(),
+        causal_publish_wall_seconds: causal_wall.as_secs_f64(),
+        partitions: partitioned.partitions,
+        healed_batches: partitioned.healed_batches,
+    };
+    ChurnOfflineReport {
+        rows: vec![
+            row("scalar", &scalar),
+            row("causal", &causal),
+            row("causal-partitioned", &partitioned),
+        ],
+        summary,
+    }
+}
+
+/// Runs the offline benchmark at the given scale.
+pub fn run_churn_offline_bench(scale: FigureScale) -> ChurnOfflineReport {
+    run_churn_offline_bench_with(&churn_offline_config(scale), &publish_concurrency_config(scale))
+}
+
+/// Writes the benchmark document as pretty-printed JSON:
+/// `{"benchmark": "churn_offline", "meta": {...}, "rows": [...],
+/// "summary": {...}}`.
+pub fn write_churn_offline_json(path: &Path, report: &ChurnOfflineReport) -> io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("benchmark".to_string(), serde_json::Value::String("churn_offline".to_string()));
+    doc.insert("meta".to_string(), crate::output::meta_value());
+    doc.insert(
+        "rows".to_string(),
+        serde_json::Value::Array(
+            report.rows.iter().map(|r| serde_json::to_value(r).expect("rows serialise")).collect(),
+        ),
+    );
+    doc.insert(
+        "summary".to_string(),
+        serde_json::to_value(&report.summary).expect("summary serialises"),
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("document serialises");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_offline_bench_matches_and_converges() {
+        let mut config = churn_offline_config(FigureScale::Quick);
+        config.churn.participants = 4;
+        config.churn.rounds = 24;
+        config.partition_every = 6;
+        config.partition_rounds = 2;
+        config.partition_size = 1;
+        let concurrency = PublishConcurrencyConfig {
+            publishers: 3,
+            batches: 1,
+            latency: Duration::from_millis(5),
+        };
+        let report = run_churn_offline_bench_with(&config, &concurrency);
+        assert!(report.summary.decisions_match, "mode switch is decision-invariant");
+        assert!(report.summary.converged_after_heal, "partitioned run converges");
+        assert!(
+            report.summary.publish_concurrency_speedup > 1.0,
+            "client-side stamping overlaps allocation latency (speedup {})",
+            report.summary.publish_concurrency_speedup
+        );
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.rows[1].final_frontier.contains("p1:"));
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod churn;
 pub mod churn_durable;
+pub mod churn_offline;
 pub mod churn_parallel;
 pub mod churn_retention;
 pub mod figures;
@@ -32,6 +33,11 @@ pub use churn_durable::{
     churn_durable_config, run_churn_durable_bench, run_churn_durable_bench_with,
     write_churn_durable_json, ChurnDurableReport, ChurnDurableRow, ChurnDurableSummary,
     RecoveryRow,
+};
+pub use churn_offline::{
+    churn_offline_config, publish_concurrency_config, run_churn_offline_bench,
+    run_churn_offline_bench_with, time_concurrent_publishes, write_churn_offline_json,
+    ChurnOfflineReport, ChurnOfflineRow, ChurnOfflineSummary, PublishConcurrencyConfig,
 };
 pub use churn_parallel::{
     churn_parallel_config, run_churn_parallel_bench, run_churn_parallel_bench_with,

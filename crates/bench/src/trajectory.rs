@@ -104,10 +104,11 @@ pub fn check_document(
     // live_set_bounded (a retention policy's live set stopped growing) and
     // recovered_identical (every recovery path rebuilt byte-identical
     // durable state).
-    const GATED_FLAGS: [(&str, &str); 3] = [
+    const GATED_FLAGS: [(&str, &str); 4] = [
         ("decisions_match", "the modes no longer reach identical decisions"),
         ("live_set_bounded", "the retention live set grows with history"),
         ("recovered_identical", "recovery no longer rebuilds byte-identical state"),
+        ("converged_after_heal", "a healed partition no longer reconverges"),
     ];
     for (wanted, meaning) in GATED_FLAGS {
         let mut flags = Vec::new();
@@ -301,6 +302,34 @@ mod tests {
         .unwrap();
         let mut report = TrajectoryReport::default();
         check_document("BENCH_d.json", &slower, &doc_with(true), 0.25, &mut report);
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn false_converged_after_heal_flags_fail() {
+        let doc_with = |converged: bool| -> serde_json::Value {
+            serde_json::from_str(&format!(
+                r#"{{"summary":{{"publish_concurrency_speedup":5.0,
+                    "converged_after_heal":{converged},"decisions_match":true}}}}"#
+            ))
+            .unwrap()
+        };
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_o.json", &doc_with(true), &doc_with(true), 0.25, &mut report);
+        assert!(!report.failed());
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_o.json", &doc_with(false), &doc_with(true), 0.25, &mut report);
+        assert!(report.failed());
+        assert!(format!("{report}").contains("reconverges"));
+        // The publish-concurrency speedup is regression-gated like any
+        // summary speedup.
+        let slower: serde_json::Value = serde_json::from_str(
+            r#"{"summary":{"publish_concurrency_speedup":3.0,
+                "converged_after_heal":true,"decisions_match":true}}"#,
+        )
+        .unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_o.json", &slower, &doc_with(true), 0.25, &mut report);
         assert!(report.failed());
     }
 

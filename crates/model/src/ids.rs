@@ -1,6 +1,7 @@
 //! Identifiers used throughout the CDSS: participants, transactions, epochs,
-//! reconciliations, and trust priorities.
+//! reconciliations, causal stamps, and trust priorities.
 
+use crate::causal::{AntichainClock, StampId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -86,6 +87,46 @@ impl Epoch {
 impl fmt::Display for Epoch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "e{}", self.0)
+    }
+}
+
+/// A causal publication stamp: the multi-writer replacement for a scalar
+/// [`Epoch`].
+///
+/// In causal mode every published batch is stamped by its *publisher* with
+/// its own per-publisher sequence number (no shared counter) plus the
+/// [`AntichainClock`] frontier the batch causally descends from — the
+/// events the publisher had observed when it published. Stamps of one
+/// publisher form a chain (`seq` is 1-based and gapless), so the store can
+/// ingest them in any interleaving, and a partitioned publisher can keep
+/// stamping offline; the DAG spanned by `parents` is what
+/// [`crate::causal::compare_clocks`] walks to order or merge histories.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CausalStamp {
+    /// The publishing participant.
+    pub publisher: ParticipantId,
+    /// Its per-publisher sequence number (1-based, allocated by the
+    /// publisher itself).
+    pub seq: u64,
+    /// The frontier of events this publication causally descends from.
+    pub parents: AntichainClock,
+}
+
+impl CausalStamp {
+    /// Creates a stamp.
+    pub fn new(publisher: ParticipantId, seq: u64, parents: AntichainClock) -> Self {
+        CausalStamp { publisher, seq, parents }
+    }
+
+    /// The stamp's identity in the causal DAG.
+    pub fn id(&self) -> StampId {
+        StampId::new(self.publisher, self.seq)
+    }
+}
+
+impl fmt::Display for CausalStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}<-{}", self.publisher, self.seq, self.parents)
     }
 }
 

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod causal;
 pub mod conflict;
 pub mod constraint;
 pub mod error;
@@ -37,11 +38,12 @@ pub mod tuple;
 pub mod update;
 pub mod value;
 
+pub use causal::{compare_clocks, AntichainClock, CausalRelation, StampId};
 pub use conflict::{ConflictKey, ConflictKind};
 pub use constraint::{Constraint, InstanceView};
 pub use error::{ModelError, Result};
 pub use flatten::flatten;
-pub use ids::{Epoch, ParticipantId, Priority, ReconciliationId, TransactionId};
+pub use ids::{CausalStamp, Epoch, ParticipantId, Priority, ReconciliationId, TransactionId};
 pub use intern::RelName;
 pub use schema::{ColumnDef, RelationSchema, Schema};
 pub use transaction::Transaction;

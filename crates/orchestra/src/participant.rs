@@ -10,12 +10,15 @@
 //! engine, and the decisions are committed atomically with the session.
 
 use crate::report::{ReconcileReport, ResolutionReport, TimingBreakdown};
-use orchestra_model::{ParticipantId, Schema, Transaction, TransactionId, TrustPolicy, Update};
+use orchestra_model::{
+    AntichainClock, CausalStamp, ParticipantId, Schema, Transaction, TransactionId, TrustPolicy,
+    Update,
+};
 use orchestra_recon::{
     resolution::resolve_conflicts, CandidateTransaction, ConflictGroup, ReconcileEngine,
     ReconcileInput, ResolutionChoice, SoftState,
 };
-use orchestra_storage::{Database, Result, StorageError};
+use orchestra_storage::{Database, InstanceCheckpoint, Result, StorageError};
 use orchestra_store::{ReconciliationSession, StoreTiming, UpdateStore};
 use std::time::Instant;
 
@@ -80,6 +83,21 @@ pub struct Participant {
     /// decisions afterwards, so steady-state reconciliations never re-read
     /// the whole rejected record. Shared (`Arc`) with the engine per run.
     rejected_cache: Option<std::sync::Arc<rustc_hash::FxHashSet<TransactionId>>>,
+    /// True while the participant is partitioned from the store: publishing
+    /// stamps and buffers batches locally, reconciliation is refused until
+    /// [`Participant::rejoin`].
+    offline: bool,
+    /// Causally stamped batches published while offline, in stamp order,
+    /// drained into the store on rejoin.
+    buffered: Vec<(CausalStamp, Vec<Transaction>)>,
+    /// The per-publisher sequence number the participant's next causal stamp
+    /// will carry (1-based; resynchronised from the store before each online
+    /// stamped publish).
+    causal_seq: u64,
+    /// The causal frontier this participant has observed — its own stamps
+    /// plus the store frontier merged in at each reconciliation. The next
+    /// stamp names it as its parent set.
+    observed: AntichainClock,
 }
 
 impl Participant {
@@ -99,6 +117,10 @@ impl Participant {
             last_published_updates: Vec::new(),
             total_timing: TimingBreakdown::default(),
             rejected_cache: None,
+            offline: false,
+            buffered: Vec::new(),
+            causal_seq: 1,
+            observed: AntichainClock::new(),
         }
     }
 
@@ -119,6 +141,13 @@ impl Participant {
     ///   earlier reconciliations deferred, so the dirty-value set and the
     ///   conflict groups are rebuilt from them — a crash no longer silently
     ///   drops conflicts awaiting user resolution.
+    ///
+    /// When the store holds an [`InstanceCheckpoint`] for this participant
+    /// (see [`Participant::checkpoint_to_store`]), the instance starts from
+    /// the checkpointed tuples and only the acceptance-order *suffix* past
+    /// `accepted_through` is replayed — so the rebuild survives
+    /// `ConvergedOnly` retention having pruned the transactions the prefix
+    /// was built from.
     pub fn rebuild_from_store<S: UpdateStore + ?Sized>(
         schema: Schema,
         config: ParticipantConfig,
@@ -126,7 +155,20 @@ impl Participant {
     ) -> Result<Self> {
         let mut participant = Participant::new(schema.clone(), config);
         let cursor = store.epoch_cursor(participant.id);
-        let mut max_local = 0u64;
+        let mut skip = 0u64;
+        if let Some(checkpoint) = store.instance_checkpoint(participant.id) {
+            for (relation, tuples) in &checkpoint.relations {
+                for tuple in tuples {
+                    Self::apply_lenient(
+                        &mut participant.instance,
+                        &Update::insert(relation, tuple.clone(), participant.id),
+                    );
+                }
+            }
+            participant.next_local_txn = checkpoint.next_local;
+            skip = checkpoint.accepted_through;
+        }
+        let mut max_local = participant.next_local_txn;
         let mut own_delta: Vec<Update> = Vec::new();
         // Replay unit by unit: each unit is the newly accepted slice of one
         // candidate extension and was originally applied as one *flattened*
@@ -138,7 +180,7 @@ impl Participant {
         // session pins always covers every finished epoch, so an own
         // publication past the cursor is exactly one no reconciliation has
         // consumed yet.
-        for unit in store.accepted_replay_units(participant.id) {
+        for unit in store.accepted_replay_units_after(participant.id, skip) {
             for txn in &unit {
                 if txn.origin() == participant.id {
                     max_local = max_local.max(txn.id().local + 1);
@@ -155,6 +197,8 @@ impl Participant {
         }
         participant.next_local_txn = max_local;
         participant.last_published_updates = own_delta;
+        participant.causal_seq = store.next_publisher_seq(participant.id);
+        participant.observed.merge(&store.causal_frontier());
 
         let deferred = store.undecided_candidates(participant.id);
         if !deferred.is_empty() {
@@ -307,6 +351,13 @@ impl Participant {
 
     /// Publishes all pending transactions to the update store as one epoch.
     /// Returns `None` if there was nothing to publish.
+    ///
+    /// In causal mode the participant allocates its own [`CausalStamp`]
+    /// (per-publisher sequence plus its observed frontier as the parent set)
+    /// and publishes through [`UpdateStore::publish_stamped`] — no central
+    /// allocation round trip. While [offline](Participant::go_offline) the
+    /// stamped batch is buffered locally instead and `None` is returned; it
+    /// reaches the store when the participant [rejoins](Participant::rejoin).
     pub fn publish<S: UpdateStore + ?Sized>(
         &mut self,
         store: &S,
@@ -319,12 +370,112 @@ impl Participant {
         // must keep the first batch in the own-delta, or a trusted remote
         // transaction conflicting with it would wrongly be accepted.
         self.last_published_updates.extend(batch.iter().flat_map(|t| t.updates().iter().cloned()));
-        let published = store.publish(self.id, batch)?;
+        if self.offline {
+            let stamp = self.next_stamp();
+            self.buffered.push((stamp, batch));
+            return Ok(None);
+        }
+        let published = if store.causal_mode() {
+            // Resynchronise the client-side sequence (a participant built
+            // with `new` against a store that already holds its stamps would
+            // otherwise replay a taken sequence number).
+            self.causal_seq = self.causal_seq.max(store.next_publisher_seq(self.id));
+            let stamp = self.next_stamp();
+            store.publish_stamped(stamp, batch)?
+        } else {
+            store.publish(self.id, batch)?
+        };
         self.total_timing.accumulate(TimingBreakdown {
             store: published.timing.total(),
             local: std::time::Duration::ZERO,
         });
         Ok(Some(published.value))
+    }
+
+    /// Allocates the participant's next causal stamp: its own next sequence
+    /// number over its observed frontier, which then advances to include the
+    /// new stamp (so consecutive own stamps chain).
+    fn next_stamp(&mut self) -> CausalStamp {
+        let stamp = CausalStamp::new(self.id, self.causal_seq, self.observed.clone());
+        self.causal_seq += 1;
+        self.observed.insert(stamp.id());
+        stamp
+    }
+
+    /// True while the participant is partitioned from the store.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// The causally stamped batches buffered while offline, in stamp order.
+    pub fn buffered_publications(&self) -> &[(CausalStamp, Vec<Transaction>)] {
+        &self.buffered
+    }
+
+    /// Partitions the participant from the store: until
+    /// [`Participant::rejoin`], publications are causally stamped and
+    /// buffered locally and reconciliation is refused. Local transaction
+    /// execution keeps working — that is the point of offline publishing.
+    pub fn go_offline(&mut self) {
+        self.offline = true;
+    }
+
+    /// Rejoins after a partition: drains the buffered publications into the
+    /// store in stamp order and returns the arrival epochs they were
+    /// assigned. The store must be in causal mode (the buffered batches
+    /// carry causal stamps). On an error the failing batch and its
+    /// successors stay buffered and the participant stays offline, so the
+    /// rejoin can be retried.
+    pub fn rejoin<S: UpdateStore + ?Sized>(
+        &mut self,
+        store: &S,
+    ) -> Result<Vec<orchestra_model::Epoch>> {
+        let mut epochs = Vec::with_capacity(self.buffered.len());
+        while let Some((stamp, batch)) = self.buffered.first() {
+            let published = store.publish_stamped(stamp.clone(), batch.clone())?;
+            self.buffered.remove(0);
+            self.total_timing.accumulate(TimingBreakdown {
+                store: published.timing.total(),
+                local: std::time::Duration::ZERO,
+            });
+            epochs.push(published.value);
+        }
+        self.offline = false;
+        self.observed.merge(&store.causal_frontier());
+        Ok(epochs)
+    }
+
+    /// Records the participant's materialised instance at the store as an
+    /// [`InstanceCheckpoint`], so a later [`Participant::rebuild_from_store`]
+    /// survives `ConvergedOnly` retention pruning the transactions the
+    /// instance was built from. Call at a quiescent point: unpublished local
+    /// transactions would be baked into the checkpoint without being in the
+    /// store, so the call refuses while any are pending.
+    pub fn checkpoint_to_store<S: UpdateStore + ?Sized>(&self, store: &S) -> Result<()> {
+        if !self.pending_publish.is_empty() {
+            return Err(StorageError::Causal(format!(
+                "participant {} has {} unpublished transactions; publish before checkpointing",
+                self.id,
+                self.pending_publish.len()
+            )));
+        }
+        let mut relations = std::collections::BTreeMap::new();
+        for name in self.instance.schema().relation_names() {
+            let mut tuples: Vec<orchestra_model::Tuple> =
+                self.instance.relation_contents(name).into_iter().map(|(_, t)| t).collect();
+            if tuples.is_empty() {
+                continue;
+            }
+            tuples.sort();
+            relations.insert(name.to_string(), tuples);
+        }
+        let checkpoint = InstanceCheckpoint {
+            relations,
+            next_local: self.next_local_txn,
+            epoch: store.epoch_cursor(self.id),
+            accepted_through: store.accepted_set(self.id).len() as u64,
+        };
+        store.record_instance_checkpoint(self.id, checkpoint)
     }
 
     /// Reconciles against the update store: opens a session, streams the
@@ -333,6 +484,7 @@ impl Participant {
     /// instance, and commits the session (decisions plus reconciliation
     /// record) back at the store.
     pub fn reconcile<S: UpdateStore + ?Sized>(&mut self, store: &S) -> Result<ReconcileReport> {
+        self.require_online()?;
         let mut session = ReconciliationSession::open(store, self.id)?;
         let candidates = session.drain(self.reconcile_batch_size)?;
         self.finish_reconcile(store, session, candidates, None)
@@ -348,6 +500,7 @@ impl Participant {
         &mut self,
         store: &orchestra_store::DhtStore,
     ) -> Result<ReconcileReport> {
+        self.require_online()?;
         let timed = store.begin_network_centric_reconciliation(self.id)?;
         let retrieval = timed.timing;
         let plan = timed.value;
@@ -360,6 +513,17 @@ impl Participant {
             plan.candidates,
             Some(plan.conflicts),
         )
+    }
+
+    /// Refuses store-touching operations while partitioned.
+    fn require_online(&self) -> Result<()> {
+        if self.offline {
+            return Err(StorageError::Causal(format!(
+                "participant {} is offline; rejoin before reconciling",
+                self.id
+            )));
+        }
+        Ok(())
     }
 
     /// Shared tail of the session-based reconciliation: run the engine over
@@ -432,6 +596,10 @@ impl Participant {
             }
         };
         self.extend_rejected_cache(&outcome.rejected);
+        // The session's candidates covered everything at or behind the
+        // store's causal frontier, so the participant has now observed it
+        // (a no-op merge on scalar stores, whose frontier is empty).
+        self.observed.merge(&store.causal_frontier());
 
         let mut store_time = retrieval;
         store_time.accumulate(commit_timing);
@@ -466,6 +634,7 @@ impl Participant {
         store: &S,
         choices: &[ResolutionChoice],
     ) -> Result<ResolutionReport> {
+        self.require_online()?;
         let previously_rejected = self.rejected_set_cached(store);
         let previously_accepted = store.accepted_set(self.id);
         let recno = store.current_reconciliation(self.id);
@@ -730,6 +899,149 @@ mod tests {
             .unwrap();
         p1.prune_caches();
         assert_eq!(p1.engine_cache_len(), 0);
+    }
+
+    #[test]
+    fn causal_mode_publishes_with_client_side_stamps() {
+        let (store, mut p1, mut p2) = setup_pair();
+        store.enable_causal_mode().unwrap();
+        p1.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "immune"),
+            p(1),
+        )])
+        .unwrap();
+        let epoch = p1.publish(&store).unwrap();
+        assert_eq!(epoch, Some(orchestra_model::Epoch(1)));
+        let report = p2.publish_and_reconcile(&store).unwrap();
+        assert_eq!(report.accepted.len(), 1);
+        assert!(p2.instance().contains_tuple_exact("Function", &func("rat", "prot1", "immune")));
+        // The reconciliation merged the store frontier into p2's observed
+        // clock: its next stamp names p1's publication as a parent.
+        p2.execute_transaction(vec![Update::insert(
+            "Function",
+            func("mouse", "prot2", "ligase"),
+            p(2),
+        )])
+        .unwrap();
+        p2.publish(&store).unwrap();
+        let frontier = store.causal_frontier();
+        assert_eq!(frontier.seq_of(p(1)), Some(1));
+        assert_eq!(frontier.seq_of(p(2)), Some(1));
+    }
+
+    #[test]
+    fn offline_publications_buffer_and_rejoin_delivers_them() {
+        let (store, mut p1, mut p2) = setup_pair();
+        store.enable_causal_mode().unwrap();
+        p1.go_offline();
+        assert!(p1.is_offline());
+        for (prot, f) in [("prot1", "immune"), ("prot2", "ligase")] {
+            p1.execute_transaction(vec![Update::insert("Function", func("rat", prot, f), p(1))])
+                .unwrap();
+            assert_eq!(p1.publish(&store).unwrap(), None, "offline publish buffers");
+        }
+        // Both batches are stamped, the second chaining on the first; the
+        // store has seen none of it and reconciliation is refused.
+        let buffered = p1.buffered_publications();
+        assert_eq!(buffered.len(), 2);
+        assert_eq!(buffered[0].0.id(), orchestra_model::StampId::new(p(1), 1));
+        assert_eq!(buffered[1].0.id(), orchestra_model::StampId::new(p(1), 2));
+        assert!(buffered[1].0.parents.covers(buffered[0].0.id()));
+        assert!(store.causal_frontier().is_empty());
+        let err = p1.reconcile(&store).unwrap_err();
+        assert!(err.to_string().contains("offline"), "got {err}");
+
+        let epochs = p1.rejoin(&store).unwrap();
+        assert_eq!(epochs, vec![orchestra_model::Epoch(1), orchestra_model::Epoch(2)]);
+        assert!(!p1.is_offline());
+        assert!(p1.buffered_publications().is_empty());
+        assert_eq!(store.causal_frontier().seq_of(p(1)), Some(2));
+
+        let report = p2.publish_and_reconcile(&store).unwrap();
+        assert_eq!(report.accepted.len(), 2);
+        // The rejoined participant still prefers its own (already applied)
+        // versions on its next reconciliation.
+        p1.reconcile(&store).unwrap();
+        assert_eq!(p1.instance().total_tuples(), 2);
+    }
+
+    #[test]
+    fn rejoin_on_a_scalar_store_keeps_the_buffer_and_stays_offline() {
+        let (store, mut p1, _) = setup_pair();
+        p1.go_offline();
+        p1.execute_transaction(vec![Update::insert(
+            "Function",
+            func("rat", "prot1", "immune"),
+            p(1),
+        )])
+        .unwrap();
+        p1.publish(&store).unwrap();
+        // The store is not in causal mode: the stamped batch is refused, the
+        // buffer survives, the participant stays offline for a retry.
+        assert!(p1.rejoin(&store).is_err());
+        assert!(p1.is_offline());
+        assert_eq!(p1.buffered_publications().len(), 1);
+        store.enable_causal_mode().unwrap();
+        assert_eq!(p1.rejoin(&store).unwrap(), vec![orchestra_model::Epoch(1)]);
+        assert!(!p1.is_offline());
+    }
+
+    #[test]
+    fn checkpoint_rebuild_survives_converged_pruning() {
+        use orchestra_storage::RetentionPolicy;
+        let (store, mut p1, mut p2) = setup_pair();
+        // Superseded history — an insert later deleted — is what
+        // `ConvergedOnly` pruning can actually drop (still-live effects stay
+        // pinned), and exactly what a checkpoint-less rebuild would need.
+        let step = |p1: &mut Participant, p2: &mut Participant, update: Update| {
+            p1.execute_transaction(vec![update]).unwrap();
+            p1.publish_and_reconcile(&store).unwrap();
+            p2.reconcile(&store).unwrap();
+        };
+        step(&mut p1, &mut p2, Update::insert("Function", func("rat", "prot1", "v1"), p(1)));
+        step(&mut p1, &mut p2, Update::delete("Function", func("rat", "prot1", "v1"), p(1)));
+        step(&mut p1, &mut p2, Update::insert("Function", func("rat", "prot1", "v2"), p(1)));
+
+        // A checkpoint with unpublished local transactions is refused.
+        p1.execute_transaction(vec![Update::insert("Function", func("cow", "prot3", "x"), p(1))])
+            .unwrap();
+        assert!(p1.checkpoint_to_store(&store).is_err());
+        p1.publish_and_reconcile(&store).unwrap();
+        p2.reconcile(&store).unwrap();
+        p1.checkpoint_to_store(&store).unwrap();
+
+        // One more accepted unit after the checkpoint: the rebuild must
+        // apply it on top of the checkpointed prefix.
+        step(&mut p1, &mut p2, Update::insert("Function", func("cow", "prot4", "y"), p(1)));
+
+        // Prune everything converged: the superseded insert/delete pair
+        // leaves the log for good.
+        store.catalog().close_membership().unwrap();
+        store.catalog().set_retention(RetentionPolicy::ConvergedOnly);
+        let report = store.catalog().prune_to_horizon().unwrap();
+        assert!(report.pruned_log_entries > 0, "prune must drop history: {report:?}");
+
+        let rebuilt = Participant::rebuild_from_store(
+            bioinformatics_schema(),
+            ParticipantConfig::new(p1.policy().clone()),
+            &store,
+        )
+        .unwrap();
+        assert_eq!(
+            rebuilt.instance().relation_contents("Function"),
+            p1.instance().relation_contents("Function"),
+            "checkpointed rebuild must reproduce the live instance"
+        );
+        assert_eq!(rebuilt.pending_publications().len(), 0);
+        // The next local transaction id continues where the live
+        // participant left off (no id reuse after recovery).
+        let id = rebuilt.clone().execute_transaction(vec![Update::insert(
+            "Function",
+            func("cow", "prot5", "z"),
+            p(1),
+        )]);
+        assert_eq!(id.unwrap().local, 5);
     }
 
     #[test]

@@ -211,6 +211,59 @@ impl<S: UpdateStore> CdssSystem<S> {
         participant.resolve_conflicts(store, choices)
     }
 
+    /// Switches the shared store to causal mode: participants allocate their
+    /// own [`orchestra_model::CausalStamp`]s when publishing and can publish
+    /// while [partitioned](CdssSystem::partition). Idempotent and one-way.
+    pub fn enable_causal_mode(&self) -> Result<()> {
+        self.store.enable_causal_mode()
+    }
+
+    /// Partitions the given participants from the store: until
+    /// [`CdssSystem::heal`] they buffer causally stamped publications
+    /// locally and refuse to reconcile. Every id is validated before any
+    /// participant is taken offline.
+    pub fn partition(&mut self, ids: &[ParticipantId]) -> Result<()> {
+        if let Some(missing) = ids.iter().find(|id| !self.participants.contains_key(id)) {
+            return Err(unknown_participant(*missing));
+        }
+        for id in ids {
+            self.participants.get_mut(id).expect("validated above").go_offline();
+        }
+        Ok(())
+    }
+
+    /// The participants currently partitioned from the store, in id order.
+    pub fn offline_ids(&self) -> Vec<ParticipantId> {
+        self.participants
+            .iter()
+            .filter(|(_, participant)| participant.is_offline())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Heals the partition: every offline participant rejoins in id order,
+    /// draining its buffered publications into the store. Returns, per
+    /// rejoined participant, the arrival epochs its buffered batches were
+    /// assigned. A failing rejoin leaves that participant (and any not yet
+    /// processed) offline with its buffer intact.
+    pub fn heal(&mut self) -> Result<Vec<(ParticipantId, Vec<orchestra_model::Epoch>)>> {
+        let store = &self.store;
+        let mut out = Vec::new();
+        for (id, participant) in self.participants.iter_mut() {
+            if participant.is_offline() {
+                out.push((*id, participant.rejoin(store)?));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Records a participant's instance checkpoint at the store (see
+    /// [`Participant::checkpoint_to_store`]).
+    pub fn checkpoint_participant(&mut self, id: ParticipantId) -> Result<()> {
+        let (store, participant) = self.store_and_participant(id)?;
+        participant.checkpoint_to_store(store)
+    }
+
     /// The current database instances of every participant, in id order.
     pub fn instances(&self) -> Vec<&Database> {
         self.participants.values().map(Participant::instance).collect()
@@ -407,6 +460,66 @@ mod tests {
             (accepted, system.state_ratio_for("Function"))
         };
         assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn partition_heal_reconverges_the_confederation() {
+        let mut system = fully_trusting_system(3);
+        system.enable_causal_mode().unwrap();
+        system.partition(&[p(2), p(3)]).unwrap();
+        assert_eq!(system.offline_ids(), vec![p(2), p(3)]);
+        // Unknown ids are rejected before anyone is taken offline.
+        assert!(system.partition(&[p(1), p(9)]).is_err());
+        assert!(!system.participant(p(1)).unwrap().is_offline());
+
+        // The connected participant publishes; the partitioned ones keep
+        // executing and buffering.
+        system
+            .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
+            .unwrap();
+        system.publish(p(1)).unwrap();
+        for i in [2u32, 3] {
+            system
+                .execute(
+                    p(i),
+                    vec![Update::insert(
+                        "Function",
+                        func("human", &format!("prot{i}"), "dna-repair"),
+                        p(i),
+                    )],
+                )
+                .unwrap();
+            assert_eq!(system.publish(p(i)).unwrap(), None, "offline publish buffers");
+            assert!(system.reconcile(p(i)).is_err(), "offline reconcile is refused");
+        }
+
+        let healed = system.heal().unwrap();
+        assert_eq!(healed.len(), 2);
+        assert!(healed.iter().all(|(_, epochs)| epochs.len() == 1));
+        assert!(system.offline_ids().is_empty());
+
+        // After healing everyone reconciles to the same state.
+        system.reconcile_all().unwrap();
+        system.reconcile_all().unwrap();
+        assert!((system.state_ratio() - 1.0).abs() < 1e-9, "ratio {}", system.state_ratio());
+        for id in system.participant_ids() {
+            assert_eq!(system.participant(id).unwrap().instance().total_tuples(), 3);
+        }
+    }
+
+    #[test]
+    fn checkpoint_participant_records_at_the_store() {
+        let mut system = fully_trusting_system(2);
+        system
+            .execute(p(1), vec![Update::insert("Function", func("rat", "prot1", "a"), p(1))])
+            .unwrap();
+        system.publish_and_reconcile(p(1)).unwrap();
+        system.publish_and_reconcile(p(2)).unwrap();
+        system.checkpoint_participant(p(1)).unwrap();
+        let checkpoint = orchestra_store::UpdateStore::instance_checkpoint(system.store(), p(1))
+            .expect("checkpoint recorded");
+        assert_eq!(checkpoint.relations["Function"].len(), 1);
+        assert!(system.checkpoint_participant(p(9)).is_err());
     }
 
     #[test]

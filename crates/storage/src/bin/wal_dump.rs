@@ -119,13 +119,16 @@ fn dump_file(path: &Path) -> Result<(), String> {
 /// Prints the stamp and a one-line summary of a WAL-segment frame payload.
 fn describe_record(payload: &[u8]) {
     match parse_stamp(payload) {
-        Ok((epoch, seq, record_bytes)) => {
+        Ok((stamp, record_bytes)) => {
+            let causal = match stamp.stamp {
+                Some(id) => format!(", causal {id}"),
+                None => String::new(),
+            };
+            let note = format!("stamp (epoch {}, seq {}{causal})", stamp.epoch, stamp.seq);
             let codec = payload_codec(record_bytes);
             match decode_record(record_bytes) {
-                Ok(record) => {
-                    println!(", stamp (epoch {epoch}, seq {seq}), {codec}: {}", summarise(&record))
-                }
-                Err(e) => println!(", stamp (epoch {epoch}, seq {seq}), {codec}: undecodable: {e}"),
+                Ok(record) => println!(", {note}, {codec}: {}", summarise(&record)),
+                Err(e) => println!(", {note}, {codec}: undecodable: {e}"),
             }
         }
         Err(e) => println!(", unstamped or corrupt payload: {e}"),
@@ -146,6 +149,14 @@ fn describe_snapshot(payload: &[u8]) {
                 snap.membership_frontier.as_u64(),
                 snap.pruned_through.as_u64(),
             );
+            let causal = snap.registry.causal();
+            if causal.is_enabled() {
+                println!(
+                    "    causal mode: frontier {}, {} live DAG node(s)",
+                    causal.frontier(),
+                    causal.len(),
+                );
+            }
             for p in &snap.participants {
                 let accepted = p.record.with_decision(Decision::Accepted).len();
                 let rejected = p.record.with_decision(Decision::Rejected).len();
@@ -199,5 +210,26 @@ fn summarise(record: &WalRecord) -> String {
             format!("RetireParticipant p{}", participant.as_u32())
         }
         WalRecord::Prune { horizon } => format!("Prune through epoch {}", horizon.as_u64()),
+        WalRecord::EpochMode { causal } => {
+            format!("EpochMode {}", if *causal { "causal" } else { "scalar" })
+        }
+        WalRecord::PublishCausal { epoch, stamp, transactions } => format!(
+            "PublishCausal {} arrival epoch {} ({} txn(s), {} update(s)); parents {}",
+            stamp.id(),
+            epoch.as_u64(),
+            transactions.len(),
+            transactions.iter().map(|t| t.updates().len()).sum::<usize>(),
+            stamp.parents,
+        ),
+        WalRecord::InstanceCheckpoint { participant, checkpoint } => format!(
+            "InstanceCheckpoint p{} through epoch {} ({} relation(s), {} tuple(s), \
+             next local {}, accepted through {})",
+            participant.as_u32(),
+            checkpoint.epoch.as_u64(),
+            checkpoint.relations.len(),
+            checkpoint.relations.values().map(Vec::len).sum::<usize>(),
+            checkpoint.next_local,
+            checkpoint.accepted_through,
+        ),
     }
 }

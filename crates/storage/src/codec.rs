@@ -35,16 +35,16 @@
 //! detected exactly as before.
 
 use crate::decisions::{Decision, ParticipantRecord};
-use crate::epoch::{EpochRecord, EpochRegistry, PublicationStatus};
+use crate::epoch::{CausalNode, EpochRecord, EpochRegistry, PublicationStatus};
 use crate::error::{Result, StorageError};
 use crate::log::{LogEntry, TransactionLog};
-use crate::snapshot::{ParticipantSnapshot, StoreSnapshot};
+use crate::snapshot::{InstanceCheckpoint, ParticipantSnapshot, StoreSnapshot};
 use crate::wal::WalRecord;
 use orchestra_model::schema::{ColumnDef, RelationSchema};
 use orchestra_model::{
-    AcceptanceRule, Constraint, Epoch, ParticipantId, Predicate, Priority, ReconciliationId,
-    RelName, Schema, Transaction, TransactionId, TrustPolicy, Tuple, Update, UpdateKind, UpdateOp,
-    Value, ValueType,
+    AcceptanceRule, AntichainClock, CausalStamp, Constraint, Epoch, ParticipantId, Predicate,
+    Priority, ReconciliationId, RelName, Schema, StampId, Transaction, TransactionId, TrustPolicy,
+    Tuple, Update, UpdateKind, UpdateOp, Value, ValueType,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -434,6 +434,78 @@ fn dec_transaction(d: &mut Dec<'_>) -> Result<Transaction> {
         .map_err(|e| StorageError::Persistence(format!("decoded transaction invalid: {e}")))
 }
 
+fn enc_stamp_id(e: &mut Enc, id: StampId) {
+    enc_participant(e, id.publisher);
+    e.u64(id.seq);
+}
+
+fn dec_stamp_id(d: &mut Dec<'_>) -> Result<StampId> {
+    let publisher = dec_participant(d)?;
+    let seq = d.u64()?;
+    Ok(StampId::new(publisher, seq))
+}
+
+fn enc_clock(e: &mut Enc, clock: &AntichainClock) {
+    e.u64(clock.len() as u64);
+    for &id in clock.members() {
+        enc_stamp_id(e, id);
+    }
+}
+
+fn dec_clock(d: &mut Dec<'_>) -> Result<AntichainClock> {
+    let len = d.usize()?;
+    let mut clock = AntichainClock::new();
+    for _ in 0..len {
+        clock.insert(dec_stamp_id(d)?);
+    }
+    Ok(clock)
+}
+
+fn enc_causal_stamp(e: &mut Enc, stamp: &CausalStamp) {
+    enc_participant(e, stamp.publisher);
+    e.u64(stamp.seq);
+    enc_clock(e, &stamp.parents);
+}
+
+fn dec_causal_stamp(d: &mut Dec<'_>) -> Result<CausalStamp> {
+    let publisher = dec_participant(d)?;
+    let seq = d.u64()?;
+    let parents = dec_clock(d)?;
+    Ok(CausalStamp::new(publisher, seq, parents))
+}
+
+fn enc_checkpoint(e: &mut Enc, checkpoint: &InstanceCheckpoint) {
+    e.u64(checkpoint.relations.len() as u64);
+    for (relation, tuples) in &checkpoint.relations {
+        e.str(relation);
+        e.u64(tuples.len() as u64);
+        for tuple in tuples {
+            enc_tuple(e, tuple);
+        }
+    }
+    e.u64(checkpoint.next_local);
+    e.u64(checkpoint.epoch.as_u64());
+    e.u64(checkpoint.accepted_through);
+}
+
+fn dec_checkpoint(d: &mut Dec<'_>) -> Result<InstanceCheckpoint> {
+    let relations_len = d.usize()?;
+    let mut relations = BTreeMap::new();
+    for _ in 0..relations_len {
+        let relation = d.str()?;
+        let tuples_len = d.usize()?;
+        let mut tuples = Vec::with_capacity(tuples_len);
+        for _ in 0..tuples_len {
+            tuples.push(dec_tuple(d)?);
+        }
+        relations.insert(relation, tuples);
+    }
+    let next_local = d.u64()?;
+    let epoch = Epoch(d.u64()?);
+    let accepted_through = d.u64()?;
+    Ok(InstanceCheckpoint { relations, next_local, epoch, accepted_through })
+}
+
 fn enc_predicate(e: &mut Enc, predicate: &Predicate) {
     match predicate {
         Predicate::True => e.u8(0),
@@ -745,6 +817,24 @@ pub fn encode_record(record: &WalRecord, codec: Codec) -> Vec<u8> {
                     e.u8(7);
                     e.u64(horizon.as_u64());
                 }
+                WalRecord::EpochMode { causal } => {
+                    e.u8(8);
+                    e.bool(*causal);
+                }
+                WalRecord::PublishCausal { epoch, stamp, transactions } => {
+                    e.u8(9);
+                    e.u64(epoch.as_u64());
+                    enc_causal_stamp(&mut e, stamp);
+                    e.u64(transactions.len() as u64);
+                    for txn in transactions {
+                        enc_transaction(&mut e, txn);
+                    }
+                }
+                WalRecord::InstanceCheckpoint { participant, checkpoint } => {
+                    e.u8(10);
+                    enc_participant(&mut e, *participant);
+                    enc_checkpoint(&mut e, checkpoint);
+                }
             }
             e.buf
         }
@@ -791,6 +881,22 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord> {
         5 => WalRecord::MembershipFrontier { epoch: Epoch(d.u64()?) },
         6 => WalRecord::RetireParticipant { participant: dec_participant(&mut d)? },
         7 => WalRecord::Prune { horizon: Epoch(d.u64()?) },
+        8 => WalRecord::EpochMode { causal: d.bool()? },
+        9 => {
+            let epoch = Epoch(d.u64()?);
+            let stamp = dec_causal_stamp(&mut d)?;
+            let len = d.usize()?;
+            let mut transactions = Vec::with_capacity(len);
+            for _ in 0..len {
+                transactions.push(dec_transaction(&mut d)?);
+            }
+            WalRecord::PublishCausal { epoch, stamp, transactions }
+        }
+        10 => {
+            let participant = dec_participant(&mut d)?;
+            let checkpoint = dec_checkpoint(&mut d)?;
+            WalRecord::InstanceCheckpoint { participant, checkpoint }
+        }
         other => return Err(StorageError::Persistence(format!("invalid record tag {other}"))),
     };
     d.finish()?;
@@ -868,6 +974,15 @@ pub fn encode_snapshot(snapshot: &StoreSnapshot, codec: Codec) -> Result<Vec<u8>
             }
             e.u64(snapshot.registry.next);
             e.u64(snapshot.registry.stable);
+            let causal = &snapshot.registry.causal;
+            e.bool(causal.enabled);
+            e.u64(causal.nodes.len() as u64);
+            for (&id, node) in &causal.nodes {
+                enc_stamp_id(&mut e, id);
+                enc_clock(&mut e, &node.parents);
+                e.u64(node.epoch.as_u64());
+            }
+            enc_clock(&mut e, &causal.frontier);
             e.u64(snapshot.log.entries.len() as u64);
             for (&pos, entry) in &snapshot.log.entries {
                 e.u64(pos);
@@ -892,6 +1007,13 @@ pub fn encode_snapshot(snapshot: &StoreSnapshot, codec: Codec) -> Result<Vec<u8>
                 }
                 e.u64(p.relevance_floor.as_u64());
                 enc_record_map(&mut e, &p.record);
+                match &p.checkpoint {
+                    Some(checkpoint) => {
+                        e.u8(1);
+                        enc_checkpoint(&mut e, checkpoint);
+                    }
+                    None => e.u8(0),
+                }
             }
             e.u64(snapshot.wal_generation);
             Ok(e.buf)
@@ -927,6 +1049,18 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<(StoreSnapshot, Codec)> {
     }
     registry.next = d.u64()?;
     registry.stable = d.u64()?;
+    {
+        let causal = registry.causal_mut();
+        causal.enabled = d.bool()?;
+        let nodes = d.usize()?;
+        for _ in 0..nodes {
+            let id = dec_stamp_id(&mut d)?;
+            let parents = dec_clock(&mut d)?;
+            let epoch = Epoch(d.u64()?);
+            causal.nodes.insert(id, CausalNode { parents, epoch });
+        }
+        causal.frontier = dec_clock(&mut d)?;
+    }
     let mut log = TransactionLog::new();
     let entries = d.usize()?;
     for _ in 0..entries {
@@ -952,6 +1086,13 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<(StoreSnapshot, Codec)> {
         };
         let relevance_floor = Epoch(d.u64()?);
         let record = dec_record_map(&mut d)?;
+        let checkpoint = match d.u8()? {
+            0 => None,
+            1 => Some(dec_checkpoint(&mut d)?),
+            other => {
+                return Err(StorageError::Persistence(format!("invalid checkpoint tag {other}")))
+            }
+        };
         participants.push(ParticipantSnapshot {
             id,
             policy,
@@ -960,6 +1101,7 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<(StoreSnapshot, Codec)> {
             cursor,
             relevance_floor,
             record,
+            checkpoint,
         });
     }
     let wal_generation = d.u64()?;
@@ -1041,6 +1183,31 @@ mod tests {
             WalRecord::MembershipFrontier { epoch: Epoch(u64::MAX) },
             WalRecord::RetireParticipant { participant: ParticipantId(2) },
             WalRecord::Prune { horizon: Epoch(7) },
+            WalRecord::EpochMode { causal: true },
+            WalRecord::PublishCausal {
+                epoch: Epoch(2),
+                stamp: CausalStamp::new(
+                    p,
+                    4,
+                    AntichainClock::from_stamps([
+                        StampId::new(ParticipantId(1), 2),
+                        StampId::new(p, 3),
+                    ]),
+                ),
+                transactions: vec![sample_transaction(3, 1)],
+            },
+            WalRecord::InstanceCheckpoint {
+                participant: p,
+                checkpoint: InstanceCheckpoint {
+                    relations: BTreeMap::from([
+                        ("Function".to_string(), vec![Tuple::of_text(&["rat", "prot1", "a"])]),
+                        ("Term".to_string(), vec![]),
+                    ]),
+                    next_local: 5,
+                    epoch: Epoch(2),
+                    accepted_through: 3,
+                },
+            },
         ]
     }
 
@@ -1131,6 +1298,8 @@ mod tests {
         let e1 = registry.begin_publish(p);
         registry.finish_publish(e1).unwrap();
         registry.begin_publish(ParticipantId(2));
+        registry.causal_mut().enable();
+        registry.causal_mut().ingest(&CausalStamp::new(p, 1, AntichainClock::new()), e1).unwrap();
         let mut log = TransactionLog::new();
         let txn = sample_transaction(1, 0);
         log.publish(e1, txn.clone()).unwrap();
@@ -1152,6 +1321,15 @@ mod tests {
                 cursor: Some(e1),
                 relevance_floor: Epoch::ZERO,
                 record,
+                checkpoint: Some(InstanceCheckpoint {
+                    relations: BTreeMap::from([(
+                        "Function".to_string(),
+                        vec![Tuple::of_text(&["rat", "prot1", "a"])],
+                    )]),
+                    next_local: 1,
+                    epoch: e1,
+                    accepted_through: 1,
+                }),
             }],
             wal_generation: 5,
         };
@@ -1167,6 +1345,14 @@ mod tests {
             assert_eq!(back.schema, snapshot.schema);
             assert_eq!(back.registry.largest_stable_epoch(), Epoch(1));
             assert_eq!(back.registry.latest_allocated(), Epoch(2));
+            assert!(back.registry.causal().is_enabled());
+            assert_eq!(back.registry.causal().last_seq(p), 1);
+            assert_eq!(
+                back.registry.causal().epoch_of(StampId::new(p, 1)),
+                Some(Epoch(1)),
+                "causal DAG node survives the snapshot"
+            );
+            assert_eq!(back.participants[0].checkpoint, snapshot.participants[0].checkpoint);
             assert_eq!(back.log.get(txn.id()).unwrap(), &txn);
             assert_eq!(back.participants.len(), 1);
             assert_eq!(back.participants[0].record.accepted_set().len(), 1);

@@ -49,6 +49,9 @@ pub enum StorageError {
     /// A retention operation was invalid (retiring an unknown participant,
     /// pruning past the convergence horizon, ...).
     Retention(String),
+    /// A causal stamp was rejected (out-of-order per-publisher sequence,
+    /// unknown parent, or a causal operation in scalar mode).
+    Causal(String),
 }
 
 impl fmt::Display for StorageError {
@@ -70,6 +73,7 @@ impl fmt::Display for StorageError {
             StorageError::Persistence(msg) => write!(f, "persistence error: {msg}"),
             StorageError::Session(msg) => write!(f, "reconciliation session error: {msg}"),
             StorageError::Retention(msg) => write!(f, "retention error: {msg}"),
+            StorageError::Causal(msg) => write!(f, "causal stamp error: {msg}"),
         }
     }
 }

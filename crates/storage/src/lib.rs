@@ -47,11 +47,11 @@ pub mod wal;
 pub use codec::Codec;
 pub use database::Database;
 pub use decisions::{Decision, DecisionLog, ParticipantRecord};
-pub use epoch::{EpochRegistry, PublicationStatus};
+pub use epoch::{CausalNode, CausalRegistry, EpochRegistry, PublicationStatus};
 pub use error::{Result, StorageError};
 pub use log::{LogEntry, TransactionLog};
 pub use retention::{PruneReport, RetentionPolicy};
-pub use segment::SegmentedWal;
-pub use snapshot::{ParticipantSnapshot, StoreSnapshot};
+pub use segment::{FrameStamp, SegmentedWal};
+pub use snapshot::{InstanceCheckpoint, ParticipantSnapshot, StoreSnapshot};
 pub use table::Table;
 pub use wal::{FlushPolicy, FrameLog, WalRecord};

@@ -24,47 +24,100 @@
 //! Every frame payload therefore carries a stamp ahead of the record bytes:
 //!
 //! ```text
-//! varint(epoch) | varint(seq) | record payload (either codec)
+//! varint(epoch) | varint(seq) | varint(publisher+1) | varint(pubseq) | record
 //! ```
 //!
 //! `seq` comes from one atomic counter, so it is unique and any two appends
 //! ordered by happens-before (through the catalogue's lock order) get
 //! increasing values. `epoch` is the segment manager's *epoch watermark*:
-//! publishes raise it to their own epoch, every other record reads it. The
-//! watermark is monotone, and a record's stamp dominates the stamps of every
-//! record it causally depends on — a reconciliation pinned to epoch `e` is
-//! only possible after the publishes through `e` were appended, so its stamp
-//! epoch is `≥ e` and its `seq` larger than theirs.
+//! publishes (scalar and causal) raise it to their own arrival epoch, every
+//! other record reads it. The watermark is monotone, and a record's stamp
+//! dominates the stamps of every record it causally depends on — a
+//! reconciliation pinned to epoch `e` is only possible after the publishes
+//! through `e` were appended, so its stamp epoch is `≥ e` and its `seq`
+//! larger than theirs.
 //!
-//! Recovery opens all segments of the generation and replays the union
-//! sorted by `(epoch, seq)`. By the argument above that order is consistent
-//! with causality; records that are incomparable (commits on different
-//! shards) commute under replay, so the merged replay reproduces the durable
-//! state byte for byte — and does so identically whether the generation was
-//! written with one segment or many.
+//! The last two varints carry the *causal* identity of a causal-mode publish
+//! (`publisher + 1` so that `0` means "no causal stamp", `pubseq` its
+//! per-publisher sequence). Recovery opens all segments of the generation and
+//! replays the union sorted by `(epoch, seq)` with ties broken by the
+//! deterministic causal tie-break ([`StampId::tie_break`]: deeper
+//! per-publisher chain first, then the smaller publisher). Within one
+//! manager's lifetime `seq` never collides, so the tie-break only decides
+//! between segments written by independent sequencers — and it decides them
+//! identically on every replica, which is what makes the merged replay a
+//! deterministic linear extension of the causal order rather than an
+//! arrival-order accident.
 
 use crate::codec::{read_varint, write_varint, Codec};
 use crate::error::{Result, StorageError};
 use crate::snapshot::{shard_wal_path, wal_path};
 use crate::wal::{FlushPolicy, FrameLog, WalRecord};
-use orchestra_model::ParticipantId;
+use orchestra_model::{ParticipantId, StampId};
 use rustc_hash::FxHashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Splits a stamped frame payload into `(epoch, seq, record_bytes)`.
-pub fn parse_stamp(payload: &[u8]) -> Result<(u64, u64, &[u8])> {
+/// The replay-ordering stamp carried ahead of every frame payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameStamp {
+    /// The epoch watermark at append time (a publish's own arrival epoch).
+    pub epoch: u64,
+    /// The manager's global append sequence.
+    pub seq: u64,
+    /// The causal identity of a causal-mode publish (`None` for scalar-mode
+    /// and non-publish records).
+    pub stamp: Option<StampId>,
+}
+
+impl FrameStamp {
+    /// The deterministic merge order: `(epoch, seq)` first, causal tie-break
+    /// ([`StampId::tie_break`]) on collisions, stamped records ahead of
+    /// stampless ones so the order is total either way.
+    pub fn merge_cmp(&self, other: &FrameStamp) -> std::cmp::Ordering {
+        (self.epoch, self.seq).cmp(&(other.epoch, other.seq)).then_with(|| {
+            match (self.stamp, other.stamp) {
+                (Some(a), Some(b)) => a.tie_break(b),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            }
+        })
+    }
+}
+
+/// Splits a stamped frame payload into its [`FrameStamp`] and record bytes.
+pub fn parse_stamp(payload: &[u8]) -> Result<(FrameStamp, &[u8])> {
     let mut pos = 0;
     let epoch = read_varint(payload, &mut pos)?;
     let seq = read_varint(payload, &mut pos)?;
-    Ok((epoch, seq, &payload[pos..]))
+    let publisher_plus_1 = read_varint(payload, &mut pos)?;
+    let pubseq = read_varint(payload, &mut pos)?;
+    let stamp = if publisher_plus_1 == 0 {
+        None
+    } else {
+        let publisher = u32::try_from(publisher_plus_1 - 1)
+            .map_err(|_| StorageError::Persistence("frame stamp publisher overflow".to_string()))?;
+        Some(StampId::new(ParticipantId(publisher), pubseq))
+    };
+    Ok((FrameStamp { epoch, seq, stamp }, &payload[pos..]))
 }
 
-fn stamp_payload(epoch: u64, seq: u64, record: &[u8]) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(record.len() + 12);
-    write_varint(&mut payload, epoch);
-    write_varint(&mut payload, seq);
+fn stamp_payload(stamp: FrameStamp, record: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(record.len() + 24);
+    write_varint(&mut payload, stamp.epoch);
+    write_varint(&mut payload, stamp.seq);
+    match stamp.stamp {
+        Some(id) => {
+            write_varint(&mut payload, u64::from(id.publisher.as_u32()) + 1);
+            write_varint(&mut payload, id.seq);
+        }
+        None => {
+            write_varint(&mut payload, 0);
+            write_varint(&mut payload, 0);
+        }
+    }
     payload.extend_from_slice(record);
     payload
 }
@@ -81,7 +134,12 @@ enum SegmentId {
 fn route(record: &WalRecord) -> SegmentId {
     match record {
         WalRecord::CommitReconciliation { participant, .. }
-        | WalRecord::Decisions { participant, .. } => SegmentId::Participant(*participant),
+        | WalRecord::Decisions { participant, .. }
+        | WalRecord::InstanceCheckpoint { participant, .. } => SegmentId::Participant(*participant),
+        // Causal publishes carry their own ordering identity, so they need
+        // no log-shard serialisation: they append to the publisher's own
+        // segment, which is what lets distinct publishers commit in parallel.
+        WalRecord::PublishCausal { stamp, .. } => SegmentId::Participant(stamp.publisher),
         _ => SegmentId::Log,
     }
 }
@@ -143,25 +201,25 @@ impl SegmentedWal {
         codec: Option<Codec>,
         per_shard: bool,
     ) -> Result<(Self, Vec<WalRecord>)> {
-        let mut stamped: Vec<(u64, u64, WalRecord)> = Vec::new();
+        let mut stamped: Vec<(FrameStamp, WalRecord)> = Vec::new();
         let mut max_seq = 0u64;
         let mut max_epoch = 0u64;
-        let mut first: Option<(u64, u64, Codec)> = None;
+        let mut first: Option<(FrameStamp, Codec)> = None;
         let mut read_segment = |path: &Path| -> Result<FrameLog> {
             let (log, frames) = FrameLog::open(path)?;
             for frame in &frames {
-                let (epoch, seq, record_bytes) = parse_stamp(frame)?;
+                let (stamp, record_bytes) = parse_stamp(frame)?;
                 let record = WalRecord::decode(record_bytes)?;
-                max_seq = max_seq.max(seq + 1);
-                max_epoch = max_epoch.max(epoch);
+                max_seq = max_seq.max(stamp.seq + 1);
+                max_epoch = max_epoch.max(stamp.epoch);
                 let earliest = match first {
-                    Some((e, s, _)) => (epoch, seq) < (e, s),
+                    Some((s, _)) => stamp.merge_cmp(&s).is_lt(),
                     None => true,
                 };
                 if earliest {
-                    first = Some((epoch, seq, crate::codec::payload_codec(record_bytes)));
+                    first = Some((stamp, crate::codec::payload_codec(record_bytes)));
                 }
-                stamped.push((epoch, seq, record));
+                stamped.push((stamp, record));
             }
             Ok(log)
         };
@@ -171,9 +229,9 @@ impl SegmentedWal {
             let shard_log = read_segment(&shard_wal_path(dir, generation, id))?;
             shards.insert(id.as_u32(), Arc::new(Mutex::new(shard_log)));
         }
-        stamped.sort_by_key(|&(epoch, seq, _)| (epoch, seq));
-        let records = stamped.into_iter().map(|(_, _, record)| record).collect();
-        let codec = codec.or(first.map(|(_, _, c)| c)).unwrap_or_default();
+        stamped.sort_by(|(a, _), (b, _)| a.merge_cmp(b));
+        let records = stamped.into_iter().map(|(_, record)| record).collect();
+        let codec = codec.or(first.map(|(_, c)| c)).unwrap_or_default();
         Ok((
             SegmentedWal {
                 dir: dir.to_path_buf(),
@@ -196,15 +254,20 @@ impl SegmentedWal {
     /// taken before the write; the write itself holds only the target
     /// segment's mutex.
     pub fn append(&self, record: &WalRecord) -> Result<()> {
-        let epoch = match record {
+        let (epoch, causal) = match record {
             WalRecord::Publish { epoch, .. } => {
                 self.epoch_watermark.fetch_max(epoch.as_u64(), Ordering::SeqCst);
-                epoch.as_u64()
+                (epoch.as_u64(), None)
             }
-            _ => self.epoch_watermark.load(Ordering::SeqCst),
+            WalRecord::PublishCausal { epoch, stamp, .. } => {
+                self.epoch_watermark.fetch_max(epoch.as_u64(), Ordering::SeqCst);
+                (epoch.as_u64(), Some(stamp.id()))
+            }
+            _ => (self.epoch_watermark.load(Ordering::SeqCst), None),
         };
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
-        let payload = stamp_payload(epoch, seq, &record.encode(self.codec));
+        let payload =
+            stamp_payload(FrameStamp { epoch, seq, stamp: causal }, &record.encode(self.codec));
         let segment = match route(record) {
             SegmentId::Participant(p) if self.per_shard => self.shard_segment(p)?,
             _ => Arc::clone(&self.log),
@@ -384,11 +447,53 @@ mod tests {
 
     #[test]
     fn stamps_round_trip() {
-        let payload = stamp_payload(300, 7, b"record");
-        let (epoch, seq, rest) = parse_stamp(&payload).unwrap();
-        assert_eq!((epoch, seq), (300, 7));
+        let bare = FrameStamp { epoch: 300, seq: 7, stamp: None };
+        let payload = stamp_payload(bare, b"record");
+        let (stamp, rest) = parse_stamp(&payload).unwrap();
+        assert_eq!(stamp, bare);
         assert_eq!(rest, b"record");
+        let causal =
+            FrameStamp { epoch: 2, seq: 9, stamp: Some(StampId::new(ParticipantId(4), 3)) };
+        let payload = stamp_payload(causal, b"x");
+        let (stamp, rest) = parse_stamp(&payload).unwrap();
+        assert_eq!(stamp, causal);
+        assert_eq!(rest, b"x");
         assert!(parse_stamp(&[0x80]).is_err());
+    }
+
+    #[test]
+    fn merge_cmp_breaks_ties_causally_and_deterministically() {
+        let base = FrameStamp { epoch: 3, seq: 5, stamp: None };
+        let a = FrameStamp { epoch: 3, seq: 5, stamp: Some(StampId::new(ParticipantId(1), 4)) };
+        let b = FrameStamp { epoch: 3, seq: 5, stamp: Some(StampId::new(ParticipantId(2), 9)) };
+        // Epoch, then seq, dominate.
+        assert!(FrameStamp { epoch: 2, seq: 9, stamp: None }.merge_cmp(&base).is_lt());
+        assert!(FrameStamp { epoch: 3, seq: 4, stamp: None }.merge_cmp(&base).is_lt());
+        // On a full collision the deeper chain wins, stamped before
+        // stampless, and the order is antisymmetric.
+        assert!(b.merge_cmp(&a).is_lt());
+        assert!(a.merge_cmp(&b).is_gt());
+        assert!(a.merge_cmp(&base).is_lt());
+        assert!(base.merge_cmp(&a).is_gt());
+        assert!(base.merge_cmp(&base).is_eq());
+    }
+
+    #[test]
+    fn causal_publishes_route_to_the_publisher_segment() {
+        let dir = tmp_dir("causal-routing");
+        let wal = SegmentedWal::create(&dir, 0, Codec::Binary, true).unwrap();
+        let stamp = orchestra_model::CausalStamp::new(
+            ParticipantId(3),
+            1,
+            orchestra_model::AntichainClock::new(),
+        );
+        let record = WalRecord::PublishCausal { epoch: Epoch(1), stamp, transactions: vec![] };
+        wal.append(&record).unwrap();
+        assert!(dir.join("wal.0.p3.log").exists());
+        drop(wal);
+        let (_, replay) = SegmentedWal::open(&dir, 0, Some(Codec::Binary), true).unwrap();
+        assert_eq!(replay, vec![record]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

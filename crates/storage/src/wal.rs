@@ -33,8 +33,10 @@
 //! truncated on the next open exactly as before.
 
 use crate::error::{Result, StorageError};
+use crate::snapshot::InstanceCheckpoint;
 use orchestra_model::{
-    Epoch, ParticipantId, ReconciliationId, Schema, Transaction, TransactionId, TrustPolicy,
+    CausalStamp, Epoch, ParticipantId, ReconciliationId, Schema, Transaction, TransactionId,
+    TrustPolicy,
 };
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
@@ -363,6 +365,34 @@ pub enum WalRecord {
         /// The epoch pruned through.
         horizon: Epoch,
     },
+    /// The store switched epoch modes. Durable so that replay re-derives the
+    /// same allocation behaviour (causal mode is one-way; see
+    /// [`crate::epoch::CausalRegistry`]).
+    EpochMode {
+        /// True when the store entered causal mode.
+        causal: bool,
+    },
+    /// A batch of transactions published under a causal stamp (causal mode's
+    /// [`WalRecord::Publish`]). The stamp is the publisher-allocated ground
+    /// truth; `epoch` is the arrival slot the store assigned on ingest.
+    PublishCausal {
+        /// The arrival epoch — the stamp's slot in the store's linear
+        /// extension of the causal order.
+        epoch: Epoch,
+        /// The publisher-allocated causal stamp (its `publisher` names the
+        /// participant).
+        stamp: CausalStamp,
+        /// The published transactions, in batch order.
+        transactions: Vec<Transaction>,
+    },
+    /// A participant checkpointed its materialised local instance into the
+    /// store, so `rebuild_from_store` survives ConvergedOnly pruning.
+    InstanceCheckpoint {
+        /// The checkpointing participant.
+        participant: ParticipantId,
+        /// The materialised instance (replaces any earlier checkpoint).
+        checkpoint: InstanceCheckpoint,
+    },
 }
 
 impl WalRecord {
@@ -579,6 +609,31 @@ mod tests {
             WalRecord::MembershipFrontier { epoch: Epoch(u64::MAX) },
             WalRecord::RetireParticipant { participant: ParticipantId(2) },
             WalRecord::Prune { horizon: Epoch(7) },
+            WalRecord::EpochMode { causal: true },
+            WalRecord::PublishCausal {
+                epoch: Epoch(2),
+                stamp: CausalStamp::new(
+                    p,
+                    1,
+                    orchestra_model::AntichainClock::from_stamps([orchestra_model::StampId::new(
+                        ParticipantId(1),
+                        3,
+                    )]),
+                ),
+                transactions: vec![txn.clone()],
+            },
+            WalRecord::InstanceCheckpoint {
+                participant: p,
+                checkpoint: InstanceCheckpoint {
+                    relations: std::collections::BTreeMap::from([(
+                        "Function".to_string(),
+                        vec![Tuple::of_text(&["rat", "prot1", "a"])],
+                    )]),
+                    next_local: 2,
+                    epoch: Epoch(1),
+                    accepted_through: 2,
+                },
+            },
         ];
         for record in records {
             for codec in [crate::codec::Codec::Binary, crate::codec::Codec::Json] {

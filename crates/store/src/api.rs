@@ -30,10 +30,11 @@
 //! on drop if neither finaliser ran.
 
 use orchestra_model::{
-    Epoch, ParticipantId, ReconciliationId, Transaction, TransactionId, TrustPolicy,
+    AntichainClock, CausalStamp, Epoch, ParticipantId, ReconciliationId, Transaction,
+    TransactionId, TrustPolicy,
 };
 use orchestra_recon::CandidateTransaction;
-use orchestra_storage::Result;
+use orchestra_storage::{InstanceCheckpoint, Result, StorageError};
 use rustc_hash::FxHashSet;
 use std::sync::Arc;
 use std::time::Duration;
@@ -241,6 +242,94 @@ pub trait UpdateStore: Send + Sync {
     /// all local state rebuild both its instance *and* its deferred conflict
     /// state from the store. Recovery path; not charged to the cost model.
     fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction>;
+
+    // --- Causal mode -----------------------------------------------------
+    //
+    // Default implementations keep scalar-only stores valid trait impls:
+    // `causal_mode` reports `false` and the stamped entry points error. The
+    // bundled stores override the lot by delegating to their catalogue.
+
+    /// Whether the store is in causal mode (client-side stamp allocation;
+    /// see [`UpdateStore::publish_stamped`]). Scalar-only stores report
+    /// `false`.
+    fn causal_mode(&self) -> bool {
+        false
+    }
+
+    /// Switches the store to causal mode: publishers allocate their own
+    /// [`CausalStamp`]s and publish through [`UpdateStore::publish_stamped`];
+    /// scalar [`UpdateStore::publish`] is rejected from then on. Idempotent
+    /// and one-way. The default errors (scalar-only store).
+    fn enable_causal_mode(&self) -> Result<()> {
+        Err(StorageError::Causal("this store does not support causal mode".to_string()))
+    }
+
+    /// The store's causal ingest frontier: the deepest ingested stamp per
+    /// publisher (empty for scalar-only stores). A reconciling participant
+    /// merges this into its observed clock — the store holds everything at
+    /// or behind its frontier.
+    fn causal_frontier(&self) -> AntichainClock {
+        AntichainClock::default()
+    }
+
+    /// The sequence number the participant's next causal stamp must carry
+    /// (per-publisher FIFO, starting at 1). A participant rebuilt from the
+    /// store resynchronises its client-side sequence from this.
+    fn next_publisher_seq(&self, participant: ParticipantId) -> u64 {
+        let _ = participant;
+        1
+    }
+
+    /// Publishes a causally stamped batch (causal mode only): the stamp was
+    /// allocated client-side, so no central sequence round trip serialises
+    /// concurrent publishers. Returns the batch's *arrival epoch* — the
+    /// store's linear extension of the causal order. The default errors
+    /// (scalar-only store).
+    fn publish_stamped(
+        &self,
+        stamp: CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let _ = (stamp, transactions);
+        Err(StorageError::Causal("this store does not support causal stamps".to_string()))
+    }
+
+    /// Durably records a participant's materialised instance checkpoint, so
+    /// rebuilding from the store survives retention pruning the transactions
+    /// the instance was built from. The default errors (store without
+    /// checkpoint support).
+    fn record_instance_checkpoint(
+        &self,
+        participant: ParticipantId,
+        checkpoint: InstanceCheckpoint,
+    ) -> Result<()> {
+        let _ = (participant, checkpoint);
+        Err(StorageError::Causal("this store does not support instance checkpoints".to_string()))
+    }
+
+    /// The participant's latest instance checkpoint, if it has recorded one.
+    fn instance_checkpoint(&self, participant: ParticipantId) -> Option<InstanceCheckpoint> {
+        let _ = participant;
+        None
+    }
+
+    /// Like [`UpdateStore::accepted_replay_units`], but skipping the first
+    /// `skip` entries of the participant's acceptance order — the prefix an
+    /// [`InstanceCheckpoint`] already folds in. `skip` counts acceptance
+    /// *order* entries (pruned ones included), which only the store can index
+    /// correctly, so there is deliberately no default in terms of
+    /// `accepted_replay_units` (that would over-skip on a pruned store).
+    /// Recovery path; not charged to the cost model.
+    fn accepted_replay_units_after(
+        &self,
+        participant: ParticipantId,
+        skip: u64,
+    ) -> Vec<Vec<Arc<Transaction>>> {
+        if skip == 0 {
+            return self.accepted_replay_units(participant);
+        }
+        Vec::new()
+    }
 }
 
 /// Compile-time proof that the trait stays object-safe.

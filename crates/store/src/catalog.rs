@@ -68,15 +68,15 @@
 use crate::api::{SessionId, SessionInfo};
 use crate::durability::{Durability, FileWalBackend};
 use orchestra_model::{
-    Epoch, ParticipantId, Priority, ReconciliationId, Schema, Transaction, TransactionId,
-    TrustPolicy,
+    AntichainClock, CausalStamp, Epoch, ParticipantId, Priority, ReconciliationId, Schema,
+    Transaction, TransactionId, TrustPolicy,
 };
 use orchestra_recon::CandidateTransaction;
 use orchestra_storage::snapshot::{self, ParticipantSnapshot, StoreSnapshot};
 use orchestra_storage::wal::WalRecord;
 use orchestra_storage::{
-    Decision, EpochRegistry, ParticipantRecord, PruneReport, Result, RetentionPolicy, SegmentedWal,
-    StorageError, TransactionLog,
+    Decision, EpochRegistry, InstanceCheckpoint, ParticipantRecord, PruneReport, Result,
+    RetentionPolicy, SegmentedWal, StorageError, TransactionLog,
 };
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
@@ -84,6 +84,7 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// One entry of the per-epoch relevance index: a transaction some participant
 /// may need to consider, with the priority its policy assigned at publication
@@ -132,6 +133,11 @@ struct ParticipantShard {
     /// first commit; falls back to the decision record's history).
     cursor: Option<Epoch>,
     record: ParticipantRecord,
+    /// The participant's latest materialised instance checkpoint, if it has
+    /// taken one (durable — carried by snapshots and the WAL, rendered by
+    /// `Debug`). Lets `rebuild_from_store` survive ConvergedOnly pruning of
+    /// the transactions the instance was built from.
+    checkpoint: Option<InstanceCheckpoint>,
 }
 
 impl ParticipantShard {
@@ -144,6 +150,7 @@ impl ParticipantShard {
             relevance_floor: Epoch::ZERO,
             cursor: None,
             record: ParticipantRecord::new(),
+            checkpoint: None,
         }
     }
 
@@ -236,6 +243,13 @@ pub struct StoreCatalog {
     /// durable state: a recovered catalogue starts at the default
     /// (`KeepAll`) until the operator sets it again.
     retention: RwLock<RetentionPolicy>,
+    /// Simulated latency of one epoch-allocation round trip (configuration,
+    /// like `retention` — not durable, not rendered by `Debug`). Scalar
+    /// publishes pay it *inside* the log write lock (the central allocator is
+    /// held across the round trip, so concurrent publishers serialise on it);
+    /// causal publishes pay it before taking any lock (stamps are allocated
+    /// client-side, so the waits overlap). Replay never pays it.
+    alloc_latency: RwLock<Duration>,
 }
 
 impl StoreCatalog {
@@ -254,6 +268,7 @@ impl StoreCatalog {
             next_session: AtomicU64::new(1),
             durability,
             retention: RwLock::new(RetentionPolicy::default()),
+            alloc_latency: RwLock::new(Duration::ZERO),
         }
     }
 
@@ -266,6 +281,66 @@ impl StoreCatalog {
     /// [`StoreCatalog::prune_to_horizon`]; nothing is pruned eagerly.
     pub fn set_retention(&self, policy: RetentionPolicy) {
         *self.retention.write().expect("retention lock") = policy;
+    }
+
+    /// The simulated epoch-allocation round-trip latency.
+    pub fn alloc_latency(&self) -> Duration {
+        *self.alloc_latency.read().expect("alloc latency lock")
+    }
+
+    /// Sets the simulated epoch-allocation round-trip latency. Scalar
+    /// publishes sleep this long while holding the log write lock (the
+    /// paper's central sequence round trip); causal publishes sleep it
+    /// before locking anything, so publishes from distinct participants
+    /// overlap their waits.
+    pub fn set_alloc_latency(&self, latency: Duration) {
+        *self.alloc_latency.write().expect("alloc latency lock") = latency;
+    }
+
+    /// Whether the catalogue is in causal mode (see
+    /// [`StoreCatalog::enable_causal_mode`]).
+    pub fn causal_mode(&self) -> bool {
+        self.log.read().expect("log lock").registry.causal().is_enabled()
+    }
+
+    /// Switches the catalogue to causal mode: publishers allocate their own
+    /// [`CausalStamp`]s client-side and publish through
+    /// [`StoreCatalog::publish_causal`]; scalar [`StoreCatalog::publish`] is
+    /// rejected from then on. Idempotent, durable (WAL-logged), and one-way —
+    /// arrival epochs keep being allocated as the linear extension either
+    /// way, so cursors, sessions and retention are unaffected.
+    pub fn enable_causal_mode(&self) -> Result<()> {
+        self.enable_causal_mode_impl(true)
+    }
+
+    fn enable_causal_mode_impl(&self, durable: bool) -> Result<()> {
+        let mut log = self.log.write().expect("log lock");
+        if log.registry.causal().is_enabled() {
+            return Ok(());
+        }
+        let record = (durable && self.durability.is_durable())
+            .then_some(WalRecord::EpochMode { causal: true });
+        log.registry.causal_mut().enable();
+        if let Some(record) = record {
+            // Under the log write lock: every record after this one in the
+            // stream was appended with causal mode already on.
+            self.durability.append(&record)?;
+        }
+        Ok(())
+    }
+
+    /// The store's causal ingest frontier: the deepest ingested stamp per
+    /// publisher. Participants merge this into their observed clock after
+    /// reconciling (the store has everything at or behind its frontier).
+    pub fn causal_frontier(&self) -> AntichainClock {
+        self.log.read().expect("log lock").registry.causal().frontier().clone()
+    }
+
+    /// The sequence number the participant's next causal stamp must carry
+    /// (per-publisher FIFO; 1 if it has never published). A rebuilt
+    /// participant resynchronises its client-side sequence from this.
+    pub fn next_publisher_seq(&self, participant: ParticipantId) -> u64 {
+        self.log.read().expect("log lock").registry.causal().next_seq(participant)
     }
 
     /// The catalogue's durability backend.
@@ -388,26 +463,62 @@ impl StoreCatalog {
         participant: ParticipantId,
         transactions: Vec<Transaction>,
     ) -> Result<Epoch> {
-        self.publish_impl(participant, transactions, None)
+        self.publish_impl(participant, transactions, None, None)
     }
 
-    /// The publish path shared by live callers and WAL replay. Live calls
-    /// (`replay_epoch` = `None`) append a [`WalRecord::Publish`] inside the
-    /// log write lock once the batch has fully applied; replay calls skip the
-    /// append and instead assert that the re-derived epoch matches the
-    /// recorded one.
+    /// Publishes a causally stamped batch (causal mode only). The stamp was
+    /// allocated client-side — the store validates its per-publisher FIFO
+    /// sequence and parent frontier, ingests it into the causal DAG, and
+    /// assigns the arrival epoch exactly as a scalar publish would. Because
+    /// no central sequence round trip happens inside the log lock, the
+    /// simulated allocation latency is paid *before* locking: publishes from
+    /// distinct participants overlap their waits instead of serialising.
+    pub fn publish_causal(
+        &self,
+        stamp: CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        let latency = self.alloc_latency();
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        self.publish_impl(stamp.publisher, transactions, None, Some(&stamp))
+    }
+
+    /// The publish path shared by scalar and causal publishes, live callers
+    /// and WAL replay. Live calls (`replay_epoch` = `None`) append a
+    /// [`WalRecord::Publish`] (or [`WalRecord::PublishCausal`] when `stamp`
+    /// is given) inside the log write lock once the batch has fully applied;
+    /// replay calls skip the append and instead assert that the re-derived
+    /// epoch matches the recorded one.
     fn publish_impl(
         &self,
         participant: ParticipantId,
         transactions: Vec<Transaction>,
         replay_epoch: Option<Epoch>,
+        stamp: Option<&CausalStamp>,
     ) -> Result<Epoch> {
         let durable = replay_epoch.is_none() && self.durability.is_durable();
         let publisher = self.ensure_shard(participant);
         let mut log = self.log.write().expect("log lock");
 
-        // Validate the whole batch before mutating anything, so a duplicate
-        // id cannot leave a half-published epoch behind.
+        // Validate everything before mutating anything, so a rejected batch
+        // cannot leave a half-published epoch (or a dangling started epoch,
+        // or a half-ingested stamp) behind.
+        match stamp {
+            // In causal mode the scalar path is closed: a scalar epoch
+            // interleaved among stamped ones would be invisible to the
+            // causal order.
+            None => {
+                if log.registry.causal().is_enabled() {
+                    return Err(StorageError::Causal(format!(
+                        "store is in causal mode; participant {participant} must publish \
+                         with a causal stamp"
+                    )));
+                }
+            }
+            Some(stamp) => log.registry.causal().validate(stamp)?,
+        }
         let mut batch_ids: FxHashSet<TransactionId> = FxHashSet::default();
         for txn in &transactions {
             if log.log.get(txn.id()).is_some() || !batch_ids.insert(txn.id()) {
@@ -418,6 +529,16 @@ impl StoreCatalog {
             }
         }
 
+        // The scalar allocator's simulated round trip happens *here*, with
+        // the log write lock held — concurrent scalar publishers queue on
+        // the central sequence exactly as they do in the paper's store.
+        if replay_epoch.is_none() && stamp.is_none() {
+            let latency = self.alloc_latency();
+            if !latency.is_zero() {
+                std::thread::sleep(latency);
+            }
+        }
+
         let epoch = log.registry.begin_publish(participant);
         if let Some(expected) = replay_epoch {
             if epoch != expected {
@@ -425,6 +546,11 @@ impl StoreCatalog {
                     "WAL replay diverged: re-derived epoch {epoch}, log recorded {expected}"
                 )));
             }
+        }
+        if let Some(stamp) = stamp {
+            // Cannot fail: the stamp was validated above, before any
+            // mutation, and the log lock has been held throughout.
+            log.registry.causal_mut().ingest(stamp, epoch)?;
         }
         // Replay skips the per-shard relevance extension: the index is
         // derived state, and `recover` batch-rebuilds every shard's slice
@@ -467,10 +593,15 @@ impl StoreCatalog {
             for txn in &transactions {
                 publisher.record.record(txn.id(), Decision::Accepted);
             }
-            let record = durable.then(|| WalRecord::Publish {
-                participant,
-                epoch,
-                transactions: transactions.clone(),
+            let record = durable.then(|| match stamp {
+                Some(stamp) => WalRecord::PublishCausal {
+                    epoch,
+                    stamp: stamp.clone(),
+                    transactions: transactions.clone(),
+                },
+                None => {
+                    WalRecord::Publish { participant, epoch, transactions: transactions.clone() }
+                }
             });
             for txn in transactions {
                 log.log.publish(epoch, txn)?;
@@ -1062,10 +1193,24 @@ impl StoreCatalog {
     /// entirely from durable state: the acceptance order and the log's
     /// antecedent index.
     pub fn accepted_replay_units(&self, participant: ParticipantId) -> Vec<Vec<Arc<Transaction>>> {
+        self.accepted_replay_units_after(participant, 0)
+    }
+
+    /// Like [`StoreCatalog::accepted_replay_units`], but skipping the first
+    /// `skip` entries of the acceptance order — the prefix an
+    /// [`InstanceCheckpoint`] already folds in. The skip counts *acceptance
+    /// order* entries, pruned ones included: the grouping below silently
+    /// drops ids the log no longer holds, so skipping against the returned
+    /// units would over-skip live transactions on a pruned store.
+    pub fn accepted_replay_units_after(
+        &self,
+        participant: ParticipantId,
+        skip: u64,
+    ) -> Vec<Vec<Arc<Transaction>>> {
         let Some(shard) = self.shard_of(participant) else { return Vec::new() };
         let order: Vec<TransactionId> = {
             let shard = shard.read().expect("shard lock");
-            shard.record.accepted_in_order().to_vec()
+            shard.record.accepted_in_order().iter().skip(skip as usize).copied().collect()
         };
         let log = self.log.read().expect("log lock");
         let mut units: Vec<Vec<Arc<Transaction>>> = Vec::new();
@@ -1087,6 +1232,45 @@ impl StoreCatalog {
             units.push(current);
         }
         units
+    }
+
+    /// Records a participant's instance checkpoint, replacing any earlier
+    /// one. The checkpoint is durable state (WAL-logged, carried by
+    /// snapshots): after ConvergedOnly retention has pruned the transactions
+    /// an instance was built from, `rebuild_from_store` restarts from the
+    /// checkpoint and replays only the acceptance-order suffix.
+    pub fn record_instance_checkpoint(
+        &self,
+        participant: ParticipantId,
+        checkpoint: InstanceCheckpoint,
+    ) -> Result<()> {
+        self.record_instance_checkpoint_impl(participant, checkpoint, true)
+    }
+
+    fn record_instance_checkpoint_impl(
+        &self,
+        participant: ParticipantId,
+        checkpoint: InstanceCheckpoint,
+        durable: bool,
+    ) -> Result<()> {
+        let record = (durable && self.durability.is_durable())
+            .then(|| WalRecord::InstanceCheckpoint { participant, checkpoint: checkpoint.clone() });
+        let shard = self.ensure_shard(participant);
+        let mut shard = shard.write().expect("shard lock");
+        shard.checkpoint = Some(checkpoint);
+        if let Some(record) = record {
+            // Inside the shard write lock: the checkpoint lands in the
+            // participant's record stream in apply order, after every
+            // decision it folds in.
+            self.durability.append(&record)?;
+        }
+        Ok(())
+    }
+
+    /// The participant's latest instance checkpoint, if it has taken one.
+    pub fn instance_checkpoint(&self, participant: ParticipantId) -> Option<InstanceCheckpoint> {
+        self.shard_of(participant)
+            .and_then(|shard| shard.read().expect("shard lock").checkpoint.clone())
     }
 
     /// The relevant, trusted transactions at or before the participant's
@@ -1233,6 +1417,7 @@ impl StoreCatalog {
                     relevance_floor: p.relevance_floor,
                     cursor: p.cursor,
                     record,
+                    checkpoint: p.checkpoint,
                 })),
             );
         }
@@ -1244,6 +1429,7 @@ impl StoreCatalog {
             next_session: AtomicU64::new(1),
             durability: Durability::Ephemeral,
             retention: RwLock::new(RetentionPolicy::default()),
+            alloc_latency: RwLock::new(Duration::ZERO),
         })
     }
 
@@ -1260,7 +1446,7 @@ impl StoreCatalog {
             }
             WalRecord::RegisterPolicy { policy } => self.register_policy_impl(policy, false),
             WalRecord::Publish { participant, epoch, transactions } => {
-                self.publish_impl(participant, transactions, Some(epoch))?;
+                self.publish_impl(participant, transactions, Some(epoch), None)?;
             }
             WalRecord::CommitReconciliation { participant, recno, epoch, accepted, rejected } => {
                 let shard = self.ensure_shard(participant);
@@ -1285,6 +1471,17 @@ impl StoreCatalog {
             }
             WalRecord::Prune { horizon } => {
                 self.replay_prune(horizon)?;
+            }
+            WalRecord::EpochMode { causal } => {
+                if causal {
+                    self.enable_causal_mode_impl(false)?;
+                }
+            }
+            WalRecord::PublishCausal { epoch, stamp, transactions } => {
+                self.publish_impl(stamp.publisher, transactions, Some(epoch), Some(&stamp))?;
+            }
+            WalRecord::InstanceCheckpoint { participant, checkpoint } => {
+                self.record_instance_checkpoint_impl(participant, checkpoint, false)?;
             }
         }
         Ok(())
@@ -1322,6 +1519,7 @@ impl StoreCatalog {
                 cursor: shard.cursor,
                 relevance_floor: shard.relevance_floor,
                 record: shard.record.clone(),
+                checkpoint: shard.checkpoint.clone(),
             })
             .collect();
         let snap = StoreSnapshot {
@@ -1529,6 +1727,7 @@ impl Clone for StoreCatalog {
             next_session: AtomicU64::new(1),
             durability: Durability::Ephemeral,
             retention: RwLock::new(self.retention()),
+            alloc_latency: RwLock::new(self.alloc_latency()),
         }
     }
 }
@@ -2322,5 +2521,205 @@ mod tests {
         copy.record_decisions(p(1), &[x.id()], &[]).unwrap();
         assert!(!cat.accepted_set(p(1)).contains(&x.id()));
         cat.abort_session(opened.session);
+    }
+
+    fn stamp(cat: &StoreCatalog, publisher: ParticipantId) -> CausalStamp {
+        CausalStamp::new(publisher, cat.next_publisher_seq(publisher), cat.causal_frontier())
+    }
+
+    #[test]
+    fn causal_mode_closes_the_scalar_path_and_vice_versa() {
+        let cat = catalog_with_policies();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        // Scalar mode rejects stamped publishes.
+        assert!(!cat.causal_mode());
+        let premature = CausalStamp::new(p(3), 1, AntichainClock::default());
+        assert!(matches!(
+            cat.publish_causal(premature, vec![x.clone()]),
+            Err(StorageError::Causal(_))
+        ));
+        cat.publish(p(3), vec![x]).unwrap();
+
+        cat.enable_causal_mode().unwrap();
+        cat.enable_causal_mode().unwrap(); // idempotent
+        assert!(cat.causal_mode());
+        // Causal mode rejects scalar publishes, atomically.
+        let before = format!("{cat:?}");
+        let y = txn(3, 1, vec![Update::insert("Function", func("rat", "prot2", "b"), p(3))]);
+        assert!(matches!(cat.publish(p(3), vec![y.clone()]), Err(StorageError::Causal(_))));
+        assert_eq!(format!("{cat:?}"), before, "rejected scalar publish mutated the catalogue");
+        // The stamped path works and keeps allocating arrival epochs.
+        let epoch = cat.publish_causal(stamp(&cat, p(3)), vec![y]).unwrap();
+        assert_eq!(epoch, Epoch(2));
+        assert_eq!(cat.largest_stable_epoch(), Epoch(2));
+        assert_eq!(cat.causal_frontier().to_string(), "{p3:1}");
+        assert_eq!(cat.next_publisher_seq(p(3)), 2);
+    }
+
+    #[test]
+    fn out_of_order_stamps_are_rejected_atomically() {
+        let cat = catalog_with_policies();
+        cat.enable_causal_mode().unwrap();
+        let x = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        cat.publish_causal(stamp(&cat, p(3)), vec![x]).unwrap();
+        let before = format!("{cat:?}");
+        // A sequence gap, a replayed sequence and an unknown parent all fail
+        // without allocating an epoch or leaking a relevance entry.
+        let y = txn(3, 1, vec![Update::insert("Function", func("rat", "prot2", "b"), p(3))]);
+        for bad in [
+            CausalStamp::new(p(3), 3, cat.causal_frontier()),
+            CausalStamp::new(p(3), 1, cat.causal_frontier()),
+            CausalStamp::new(
+                p(3),
+                2,
+                AntichainClock::from_stamps([orchestra_model::StampId::new(p(1), 7)]),
+            ),
+        ] {
+            assert!(matches!(
+                cat.publish_causal(bad, vec![y.clone()]),
+                Err(StorageError::Causal(_))
+            ));
+        }
+        assert_eq!(format!("{cat:?}"), before, "rejected stamp mutated the catalogue");
+        assert_eq!(cat.largest_stable_epoch(), Epoch(1));
+    }
+
+    #[test]
+    fn causal_history_recovers_byte_identically() {
+        let dir = tmp_dir("causal-replay");
+        let cat = durable_catalog(&dir);
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        cat.publish(p(3), vec![x3.clone()]).unwrap();
+        cat.enable_causal_mode().unwrap();
+        let x2 = txn(2, 0, vec![Update::insert("Function", func("mouse", "prot2", "b"), p(2))]);
+        cat.publish_causal(stamp(&cat, p(2)), vec![x2.clone()]).unwrap();
+        let opened = cat.open_session(p(1), false).unwrap();
+        cat.commit_session(opened.session, &[x3.id()], &[x2.id()]).unwrap();
+        let x1 = txn(1, 0, vec![Update::insert("Function", func("dog", "prot9", "z"), p(1))]);
+        cat.publish_causal(stamp(&cat, p(1)), vec![x1]).unwrap();
+        let live = format!("{cat:?}");
+        drop(cat);
+
+        let recovered = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(format!("{recovered:?}"), live, "recovered causal state diverged");
+        assert!(recovered.causal_mode());
+        assert_eq!(recovered.next_publisher_seq(p(2)), 2);
+        // The recovered store keeps accepting stamped publishes — and the
+        // mode switch survives a snapshot compaction too.
+        recovered.snapshot().unwrap();
+        let y = txn(2, 1, vec![Update::insert("Function", func("cat", "prot5", "q"), p(2))]);
+        recovered.publish_causal(stamp(&recovered, p(2)), vec![y]).unwrap();
+        let live2 = format!("{recovered:?}");
+        drop(recovered);
+        let recovered2 = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(format!("{recovered2:?}"), live2);
+        assert!(recovered2.causal_mode());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn instance_checkpoints_are_durable_and_survive_compaction() {
+        let dir = tmp_dir("checkpoint");
+        let cat = durable_catalog(&dir);
+        let x3 = txn(3, 0, vec![Update::insert("Function", func("rat", "prot1", "a"), p(3))]);
+        cat.publish(p(3), vec![x3.clone()]).unwrap();
+        let checkpoint = InstanceCheckpoint {
+            relations: BTreeMap::from([("Function".to_string(), vec![func("rat", "prot1", "a")])]),
+            next_local: 1,
+            epoch: Epoch(1),
+            accepted_through: 1,
+        };
+        cat.record_instance_checkpoint(p(3), checkpoint.clone()).unwrap();
+        assert_eq!(cat.instance_checkpoint(p(3)), Some(checkpoint.clone()));
+        assert_eq!(cat.instance_checkpoint(p(1)), None);
+        let live = format!("{cat:?}");
+        drop(cat);
+
+        // WAL replay restores the checkpoint…
+        let recovered = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(format!("{recovered:?}"), live);
+        assert_eq!(recovered.instance_checkpoint(p(3)), Some(checkpoint.clone()));
+        // …and so does a snapshot compaction.
+        recovered.snapshot().unwrap();
+        drop(recovered);
+        let recovered2 = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(recovered2.instance_checkpoint(p(3)), Some(checkpoint));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_units_after_skip_count_pruned_entries() {
+        // Acceptance order [x1, x2, x3] where pruning removes x1 and x2 (the
+        // superseded insert and the delete). A checkpoint through the first
+        // two acceptance entries must still replay x3: the skip indexes the
+        // full acceptance order, not the surviving units.
+        let cat = fully_trusting(3);
+        cat.set_retention(RetentionPolicy::ConvergedOnly);
+        cat.close_membership().unwrap();
+        let (_, x3) = converged_insert_delete_insert(&cat);
+        let order: Vec<TransactionId> = {
+            let shard = cat.shard_of(p(1)).unwrap();
+            let shard = shard.read().expect("shard lock");
+            shard.record.accepted_in_order().to_vec()
+        };
+        assert_eq!(order.len(), 3);
+        let report = cat.prune_to_horizon().unwrap();
+        assert!(report.pruned_log_entries > 0);
+        let after = cat.accepted_replay_units_after(p(1), 2);
+        let ids: Vec<TransactionId> = after.iter().flatten().map(|t| t.id()).collect();
+        assert_eq!(ids, vec![x3.id()]);
+        // Skipping the full prefix leaves nothing.
+        assert!(cat.accepted_replay_units_after(p(1), 3).is_empty());
+    }
+
+    #[test]
+    fn scalar_alloc_latency_serialises_and_causal_overlaps() {
+        use std::time::Instant;
+        let latency = Duration::from_millis(40);
+        let elapsed_publishing = |cat: &StoreCatalog, causal: bool| {
+            cat.set_alloc_latency(latency);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for i in 1..=3u32 {
+                    let cat = &*cat;
+                    scope.spawn(move || {
+                        let t = txn(
+                            i,
+                            0,
+                            vec![Update::insert(
+                                "Function",
+                                func("rat", &format!("prot{i}"), "a"),
+                                p(i),
+                            )],
+                        );
+                        if causal {
+                            // Stamp against whatever frontier is current;
+                            // retry on FIFO races is unnecessary: distinct
+                            // publishers never contend on sequences.
+                            cat.publish_causal(stamp(cat, p(i)), vec![t]).unwrap();
+                        } else {
+                            cat.publish(p(i), vec![t]).unwrap();
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        };
+
+        let scalar = catalog_with_policies();
+        let scalar_elapsed = elapsed_publishing(&scalar, false);
+        // Three publishers queue on the central allocator: ≥ 3 round trips.
+        assert!(scalar_elapsed >= latency * 3, "scalar publishes overlapped: {scalar_elapsed:?}");
+
+        let causal = catalog_with_policies();
+        causal.enable_causal_mode().unwrap();
+        let causal_elapsed = elapsed_publishing(&causal, true);
+        // Client-side stamping pays the round trip outside any lock: the
+        // waits overlap, so the wall clock stays well under 3 round trips.
+        assert!(
+            causal_elapsed < latency * 3,
+            "causal publishes serialised their allocation waits: {causal_elapsed:?}"
+        );
+        assert_eq!(causal.log_len(), 3);
     }
 }

@@ -281,6 +281,55 @@ impl UpdateStore for CentralStore {
     fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction> {
         self.catalog.undecided_candidates(participant)
     }
+
+    fn causal_mode(&self) -> bool {
+        self.catalog.causal_mode()
+    }
+
+    fn enable_causal_mode(&self) -> Result<()> {
+        self.catalog.enable_causal_mode()
+    }
+
+    fn causal_frontier(&self) -> orchestra_model::AntichainClock {
+        self.catalog.causal_frontier()
+    }
+
+    fn next_publisher_seq(&self, participant: ParticipantId) -> u64 {
+        self.catalog.next_publisher_seq(participant)
+    }
+
+    fn publish_stamped(
+        &self,
+        stamp: orchestra_model::CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let timed = self.timed(|cat| cat.publish_causal(stamp, transactions));
+        let timing = timed.timing;
+        timed.value.map(|epoch| Timed::new(epoch, timing))
+    }
+
+    fn record_instance_checkpoint(
+        &self,
+        participant: ParticipantId,
+        checkpoint: orchestra_storage::InstanceCheckpoint,
+    ) -> Result<()> {
+        self.catalog.record_instance_checkpoint(participant, checkpoint)
+    }
+
+    fn instance_checkpoint(
+        &self,
+        participant: ParticipantId,
+    ) -> Option<orchestra_storage::InstanceCheckpoint> {
+        self.catalog.instance_checkpoint(participant)
+    }
+
+    fn accepted_replay_units_after(
+        &self,
+        participant: ParticipantId,
+        skip: u64,
+    ) -> Vec<Vec<Arc<Transaction>>> {
+        self.catalog.accepted_replay_units_after(participant, skip)
+    }
 }
 
 #[cfg(test)]

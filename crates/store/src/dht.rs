@@ -399,6 +399,76 @@ impl UpdateStore for DhtStore {
     fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction> {
         self.catalog.undecided_candidates(participant)
     }
+
+    fn causal_mode(&self) -> bool {
+        self.catalog.causal_mode()
+    }
+
+    fn enable_causal_mode(&self) -> Result<()> {
+        self.catalog.enable_causal_mode()
+    }
+
+    fn causal_frontier(&self) -> orchestra_model::AntichainClock {
+        self.catalog.causal_frontier()
+    }
+
+    fn next_publisher_seq(&self, participant: ParticipantId) -> u64 {
+        self.catalog.next_publisher_seq(participant)
+    }
+
+    fn publish_stamped(
+        &self,
+        stamp: orchestra_model::CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let participant = stamp.publisher;
+        let peer = self.peer_node(participant);
+        let start = Instant::now();
+        let txn_refs: Vec<(TransactionId, u64)> =
+            transactions.iter().map(|t| (t.id(), DhtStore::txn_bytes(t))).collect();
+        let epoch = self.catalog.publish_causal(stamp, transactions)?;
+        let compute = start.elapsed();
+
+        let ((), network) = self.charged(|net| {
+            // Causal publication skips Figure 6's allocation round trip (the
+            // stamp was allocated client-side): the peer publishes the id
+            // list straight at the arrival epoch's controller and then each
+            // transaction at its controller.
+            let id_bytes = REQUEST_BYTES + 16 * txn_refs.len() as u64;
+            let controller =
+                net.send_to_key(peer, DhtStore::epoch_key(epoch), id_bytes).unwrap_or(peer);
+            net.send_direct(controller, peer, REQUEST_BYTES);
+            for (id, bytes) in &txn_refs {
+                net.send_to_key(peer, DhtStore::txn_key(*id), *bytes);
+            }
+        });
+        Ok(Timed::new(epoch, StoreTiming { compute, network }))
+    }
+
+    fn record_instance_checkpoint(
+        &self,
+        participant: ParticipantId,
+        checkpoint: orchestra_storage::InstanceCheckpoint,
+    ) -> Result<()> {
+        // A recovery/setup path like registration: not charged to the
+        // reconciliation cost model.
+        self.catalog.record_instance_checkpoint(participant, checkpoint)
+    }
+
+    fn instance_checkpoint(
+        &self,
+        participant: ParticipantId,
+    ) -> Option<orchestra_storage::InstanceCheckpoint> {
+        self.catalog.instance_checkpoint(participant)
+    }
+
+    fn accepted_replay_units_after(
+        &self,
+        participant: ParticipantId,
+        skip: u64,
+    ) -> Vec<Vec<Arc<Transaction>>> {
+        self.catalog.accepted_replay_units_after(participant, skip)
+    }
 }
 
 #[cfg(test)]

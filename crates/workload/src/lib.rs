@@ -15,6 +15,7 @@
 
 pub mod crash;
 pub mod generator;
+pub mod offline;
 pub mod retention;
 pub mod scenario;
 pub mod swissprot;
@@ -22,6 +23,7 @@ pub mod zipf;
 
 pub use crash::{run_crash_restart_scenario, ChurnTotals, CrashChurnConfig, CrashChurnReport};
 pub use generator::{WorkloadConfig, WorkloadGenerator};
+pub use offline::{run_offline_scenario, EpochMode, OfflineChurnConfig, OfflineChurnResult};
 pub use retention::{
     run_retention_scenario, RetentionChurnConfig, RetentionChurnResult, RetentionSample,
 };

@@ -141,22 +141,24 @@ fn prune_pass(system: &mut CdssSystem<CentralStore>, result: &mut RetentionChurn
 
 /// Resolves every open conflict group at every participant, keeping the
 /// first option — the curation pass that lets the horizon reach the end of
-/// the schedule.
-fn resolve_everything(system: &mut CdssSystem<CentralStore>, totals: &mut ChurnTotals) {
+/// the schedule. Participants can also hold deferred transactions that
+/// belong to *no* conflict group (a candidate deferred over a dirty value
+/// whose only relatives subsume it never forms a group of its own); an
+/// empty-choices resolution re-runs the whole deferred set and decides
+/// those too, so the pass fires whenever anything at all is deferred.
+pub(crate) fn resolve_everything(system: &mut CdssSystem<CentralStore>, totals: &mut ChurnTotals) {
     for id in system.participant_ids() {
-        let groups: Vec<_> = system
-            .participant(id)
-            .expect("participant exists")
-            .deferred_conflicts()
-            .iter()
-            .map(|g| g.key.clone())
-            .collect();
-        if groups.is_empty() {
+        let participant = system.participant(id).expect("participant exists");
+        if participant.soft_state().deferred().is_empty() {
             continue;
         }
-        let choices: Vec<orchestra_recon::ResolutionChoice> = groups
-            .into_iter()
-            .map(|key| orchestra_recon::ResolutionChoice { group: key, chosen_option: Some(0) })
+        let choices: Vec<orchestra_recon::ResolutionChoice> = participant
+            .deferred_conflicts()
+            .iter()
+            .map(|g| orchestra_recon::ResolutionChoice {
+                group: g.key.clone(),
+                chosen_option: Some(0),
+            })
             .collect();
         system.resolve_conflicts(id, &choices).expect("resolution succeeds");
         totals.resolutions += 1;
