@@ -1,0 +1,98 @@
+//! Runs the confederation-scale service benchmark (store-service driver
+//! versus thread-per-participant and sequential drivers) and writes the
+//! benchmark-trajectory document.
+//!
+//! Usage:
+//!
+//! ```text
+//! churn_scale [--full] [--out FILE]
+//! ```
+//!
+//! The default output path is `BENCH_churn_scale.json` in the current
+//! directory. `--full` runs the committed trajectory scale (1024
+//! participants, ≈ 209k published updates).
+
+use orchestra_bench::{render_table, run_churn_scale_bench, write_churn_scale_json, FigureScale};
+use std::path::PathBuf;
+
+fn main() {
+    let mut scale = FigureScale::Quick;
+    let mut out = PathBuf::from("BENCH_churn_scale.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = FigureScale::Full,
+            "--out" => {
+                if let Some(path) = args.next() {
+                    out = PathBuf::from(path);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: churn_scale [--full] [--out FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_churn_scale_bench(scale);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.driver.clone(),
+                format!("{}", r.sessions),
+                format!("{}", r.updates),
+                format!("{:.4}", r.reconcile_wall_seconds),
+                format!("{:.4}", r.total_wall_seconds),
+                format!("{}", r.requests),
+                format!("{}", r.busy_rejections),
+                r.decision_fingerprint.clone(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Churn at confederation scale: sequential vs threads vs store service",
+            &[
+                "driver",
+                "sessions",
+                "updates",
+                "recon wall s",
+                "total wall s",
+                "requests",
+                "busy",
+                "fingerprint"
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "service {:.0} req/s, session latency p50 {:.1} ms / p99 {:.1} ms (virtual), \
+         reconcile throughput service {:.0} vs threads {:.0} sessions/s ({:.2}x), \
+         batching {:.1} frames/wake-up, {} Begins shed, decisions match: {}",
+        report.summary.requests_per_second,
+        report.summary.session_p50_ms,
+        report.summary.session_p99_ms,
+        report.summary.service_sessions_per_second,
+        report.summary.threads_sessions_per_second,
+        report.summary.service_vs_threads_reconcile_ratio,
+        report.summary.batching_factor,
+        report.summary.busy_rejections,
+        report.summary.decisions_match,
+    );
+    if !report.summary.decisions_match {
+        eprintln!("FATAL: drivers disagreed on decisions");
+        std::process::exit(1);
+    }
+    if report.summary.service_vs_threads_reconcile_ratio < 1.0 {
+        eprintln!("WARNING: service driver fell below thread-per-participant throughput");
+    }
+    write_churn_scale_json(&out, &report).expect("write benchmark JSON");
+    println!("wrote {}", out.display());
+}

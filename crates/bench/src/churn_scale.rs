@@ -1,0 +1,284 @@
+//! The confederation-scale service benchmark: the store-service driver
+//! versus the thread-per-participant and sequential drivers on the same
+//! churn schedule at ≥ 1000 participants.
+//!
+//! This is the `BENCH_churn_scale.json` entry of the repository's benchmark
+//! trajectory. All three drivers run the *same* Zipf-skewed publish/
+//! reconcile schedule ([`orchestra_workload::run_churn_scale`]) and must
+//! reach bit-identical decision fingerprints:
+//!
+//! * **sequential** runs against a plain in-memory store with no simulated
+//!   latency — decisions are latency-independent, so this is the cheap
+//!   decision baseline;
+//! * **threads** runs against a store that sleeps the full frame round trip
+//!   (`2 × frame_latency + store_latency`) on every call — the
+//!   pre-service deployment model, one OS thread per due participant
+//!   overlapping those real sleeps;
+//! * **service** runs through the framed store service on the
+//!   single-threaded runtime, where the same latencies are charged to the
+//!   *virtual* clock: real wall-clock pays only the compute, and the
+//!   virtual session latencies (begin to commit, including queueing and
+//!   admission-control backoff) come out of the run as a distribution.
+//!
+//! The headline comparison is reconcile throughput (sessions per wall
+//! second) service versus threads, plus the service's request rate and its
+//! virtual session-latency percentiles.
+
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_store::CentralStore;
+use orchestra_workload::{run_churn_scale, ScaleConfig, ScaleDriver, ScaleRunResult};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::figures::FigureScale;
+
+/// One row of the churn-scale benchmark: a driver's aggregate cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnScaleRow {
+    /// `"sequential"`, `"threads"` or `"service"`.
+    pub driver: String,
+    /// Reconciliation sessions completed.
+    pub sessions: u64,
+    /// Publishes that assigned an epoch.
+    pub publishes: u64,
+    /// Transactions published.
+    pub transactions: u64,
+    /// Updates published.
+    pub updates: u64,
+    /// Wall-clock seconds of the reconciliation waves alone.
+    pub reconcile_wall_seconds: f64,
+    /// Wall-clock seconds of the whole run.
+    pub total_wall_seconds: f64,
+    /// Service request frames served (service row only, else 0).
+    pub requests: u64,
+    /// `Begin` frames shed by admission control (service row only).
+    pub busy_rejections: u64,
+    /// Worker wake-ups (service row only); `requests / batches` is the
+    /// achieved batching factor.
+    pub batches: u64,
+    /// Simulated-network messages (service row only).
+    pub net_messages: u64,
+    /// Simulated-network bytes (service row only).
+    pub net_bytes: u64,
+    /// Virtual milliseconds consumed by the service rounds (service row
+    /// only).
+    pub virtual_elapsed_ms: f64,
+    /// Order-invariant decision fingerprint, hex (must match across rows).
+    pub decision_fingerprint: String,
+    /// Final state ratio over `Function` (must match across rows).
+    pub state_ratio: f64,
+}
+
+/// Headline comparison of the drivers.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnScaleSummary {
+    /// Confederation size.
+    pub participants: usize,
+    /// Publish/reconcile rounds.
+    pub rounds: usize,
+    /// Updates published per driver run.
+    pub published_updates: u64,
+    /// Reconciliation sessions per driver run.
+    pub sessions_per_driver: u64,
+    /// Service request frames served per real wall-clock second of the
+    /// whole service run.
+    pub requests_per_second: f64,
+    /// Median virtual session latency (begin to commit, including queueing
+    /// and admission backoff), milliseconds.
+    pub session_p50_ms: f64,
+    /// 99th-percentile virtual session latency, milliseconds. Gated
+    /// lower-is-better by the trajectory check.
+    pub session_p99_ms: f64,
+    /// Service reconcile throughput: sessions per wall second of the
+    /// reconciliation waves.
+    pub service_sessions_per_second: f64,
+    /// Thread-per-participant reconcile throughput, same schedule.
+    pub threads_sessions_per_second: f64,
+    /// Service reconcile throughput divided by the threaded driver's (the
+    /// acceptance bar is ≥ 1 at full scale).
+    pub service_vs_threads_reconcile_ratio: f64,
+    /// Frames served per worker wake-up.
+    pub batching_factor: f64,
+    /// `Begin` frames shed by admission control across the service run.
+    pub busy_rejections: u64,
+    /// Whether all three drivers reached identical decision fingerprints,
+    /// session counts and state ratio (they must).
+    pub decisions_match: bool,
+    /// One-way frame latency charged per message, microseconds.
+    pub frame_latency_us: u64,
+    /// Store access latency charged per worker batch, microseconds.
+    pub store_latency_us: u64,
+    /// Hardware threads available to the run (context: on a single-core
+    /// host the threaded driver overlaps only its sleeps, not its compute).
+    pub available_parallelism: usize,
+}
+
+/// The whole benchmark document.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChurnScaleReport {
+    /// Per-driver rows.
+    pub rows: Vec<ChurnScaleRow>,
+    /// Headline comparison.
+    pub summary: ChurnScaleSummary,
+}
+
+/// The churn-scale configuration used at each scale: [`ScaleConfig::quick`]
+/// for CI, [`ScaleConfig::full`] (1024 participants, ≈ 209k updates) for
+/// the committed trajectory document.
+pub fn churn_scale_config(scale: FigureScale) -> ScaleConfig {
+    match scale {
+        FigureScale::Quick => ScaleConfig::quick(),
+        FigureScale::Full => ScaleConfig::full(),
+    }
+}
+
+fn row(driver: &str, result: &ScaleRunResult) -> ChurnScaleRow {
+    ChurnScaleRow {
+        driver: driver.to_string(),
+        sessions: result.sessions,
+        publishes: result.publishes,
+        transactions: result.transactions,
+        updates: result.updates,
+        reconcile_wall_seconds: result.reconcile_wall.as_secs_f64(),
+        total_wall_seconds: result.total_wall.as_secs_f64(),
+        requests: result.requests,
+        busy_rejections: result.busy_rejections,
+        batches: result.batches,
+        net_messages: result.net_messages,
+        net_bytes: result.net_bytes,
+        virtual_elapsed_ms: result.virtual_elapsed_us as f64 / 1_000.0,
+        decision_fingerprint: format!("{:016x}", result.decision_fingerprint),
+        state_ratio: result.state_ratio,
+    }
+}
+
+/// Virtual-latency percentile (nearest-rank on the sorted sample), in
+/// milliseconds.
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1_000.0
+}
+
+/// Runs the benchmark over an explicit configuration (used by tests and by
+/// callers that want custom scales).
+pub fn run_churn_scale_bench_with(config: &ScaleConfig) -> ChurnScaleReport {
+    // The per-call sleep the threaded driver pays is the latency the
+    // service charges virtually per request: the frame round trip plus the
+    // store access (amortised to one call here — a *favourable* model for
+    // the threaded driver, which the service must beat anyway).
+    let per_call = Duration::from_micros(2 * config.frame_latency_us + config.store_latency_us);
+
+    let sequential = run_churn_scale(
+        CentralStore::new(bioinformatics_schema()),
+        config,
+        ScaleDriver::Sequential,
+    );
+    let threads = run_churn_scale(
+        CentralStore::with_simulated_latency(bioinformatics_schema(), per_call),
+        config,
+        ScaleDriver::Threads,
+    );
+    let service =
+        run_churn_scale(CentralStore::new(bioinformatics_schema()), config, ScaleDriver::Service);
+
+    let mut latencies = service.latencies_us.clone();
+    latencies.sort_unstable();
+
+    let seq_row = row("sequential", &sequential);
+    let thr_row = row("threads", &threads);
+    let svc_row = row("service", &service);
+    let summary = ChurnScaleSummary {
+        participants: config.participants,
+        rounds: config.rounds,
+        published_updates: svc_row.updates,
+        sessions_per_driver: svc_row.sessions,
+        requests_per_second: svc_row.requests as f64 / svc_row.total_wall_seconds.max(f64::EPSILON),
+        session_p50_ms: percentile_ms(&latencies, 0.50),
+        session_p99_ms: percentile_ms(&latencies, 0.99),
+        service_sessions_per_second: svc_row.sessions as f64
+            / svc_row.reconcile_wall_seconds.max(f64::EPSILON),
+        threads_sessions_per_second: thr_row.sessions as f64
+            / thr_row.reconcile_wall_seconds.max(f64::EPSILON),
+        service_vs_threads_reconcile_ratio: thr_row.reconcile_wall_seconds
+            / svc_row.reconcile_wall_seconds.max(f64::EPSILON),
+        batching_factor: svc_row.requests as f64 / (svc_row.batches as f64).max(1.0),
+        busy_rejections: svc_row.busy_rejections,
+        decisions_match: seq_row.decision_fingerprint == thr_row.decision_fingerprint
+            && seq_row.decision_fingerprint == svc_row.decision_fingerprint
+            && seq_row.sessions == thr_row.sessions
+            && seq_row.sessions == svc_row.sessions
+            && seq_row.state_ratio == thr_row.state_ratio
+            && seq_row.state_ratio == svc_row.state_ratio,
+        frame_latency_us: config.frame_latency_us,
+        store_latency_us: config.store_latency_us,
+        available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    };
+    ChurnScaleReport { rows: vec![seq_row, thr_row, svc_row], summary }
+}
+
+/// Runs the churn-scale benchmark at the given scale.
+pub fn run_churn_scale_bench(scale: FigureScale) -> ChurnScaleReport {
+    run_churn_scale_bench_with(&churn_scale_config(scale))
+}
+
+/// Writes the benchmark document as pretty-printed JSON:
+/// `{"benchmark": "churn_scale", "rows": [...], "summary": {...}}`.
+pub fn write_churn_scale_json(path: &Path, report: &ChurnScaleReport) -> io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert("benchmark".to_string(), serde_json::Value::String("churn_scale".to_string()));
+    doc.insert("meta".to_string(), crate::output::meta_value());
+    doc.insert(
+        "rows".to_string(),
+        serde_json::Value::Array(
+            report.rows.iter().map(|r| serde_json::to_value(r).expect("rows serialise")).collect(),
+        ),
+    );
+    doc.insert(
+        "summary".to_string(),
+        serde_json::to_value(&report.summary).expect("summary serialises"),
+    );
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("document serialises");
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_scale_bench_matches_decisions_and_reports_latencies() {
+        // A reduced schedule so the test stays fast in debug builds; the
+        // committed BENCH_churn_scale.json records the full-scale run
+        // (1024 participants).
+        let mut config = ScaleConfig::quick();
+        config.participants = 16;
+        config.rounds = 2;
+        config.service_max_open_sessions = 16;
+        let report = run_churn_scale_bench_with(&config);
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.summary.decisions_match, "drivers diverged: {report:?}");
+        assert!(report.summary.published_updates > 0);
+        assert!(report.summary.sessions_per_driver > 0);
+        assert!(report.summary.requests_per_second > 0.0);
+        assert!(report.summary.session_p99_ms >= report.summary.session_p50_ms);
+        assert!(report.summary.session_p50_ms > 0.0);
+        assert!(report.summary.batching_factor >= 1.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).map(|v| v * 1_000).collect();
+        assert!((percentile_ms(&sorted, 0.50) - 50.0).abs() < 1.5);
+        assert!((percentile_ms(&sorted, 0.99) - 99.0).abs() < 1.5);
+        assert_eq!(percentile_ms(&[], 0.99), 0.0);
+    }
+}

@@ -21,6 +21,7 @@ pub mod churn_durable;
 pub mod churn_offline;
 pub mod churn_parallel;
 pub mod churn_retention;
+pub mod churn_scale;
 pub mod figures;
 pub mod output;
 pub mod trajectory;
@@ -46,6 +47,10 @@ pub use churn_parallel::{
 pub use churn_retention::{
     churn_retention_config, run_churn_retention_bench, run_churn_retention_bench_with,
     write_churn_retention_json, ChurnRetentionReport, ChurnRetentionRow, ChurnRetentionSummary,
+};
+pub use churn_scale::{
+    churn_scale_config, run_churn_scale_bench, run_churn_scale_bench_with, write_churn_scale_json,
+    ChurnScaleReport, ChurnScaleRow, ChurnScaleSummary,
 };
 pub use figures::{
     fig08_transaction_size, fig09_recon_interval_ratio, fig10_recon_interval_time,

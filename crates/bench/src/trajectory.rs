@@ -71,14 +71,14 @@ fn bool_flags(value: &serde_json::Value, path: &str, wanted: &str, out: &mut Vec
     }
 }
 
-/// The numeric `summary` fields whose names end in `speedup`.
-fn summary_speedups(doc: &serde_json::Value) -> Vec<(String, f64)> {
+/// The numeric `summary` fields whose names end in `suffix`.
+fn summary_metrics(doc: &serde_json::Value, suffix: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(summary) =
         doc.as_object().and_then(|o| o.get("summary")).and_then(|s| s.as_object())
     {
         for (key, value) in summary.iter() {
-            if key.ends_with("speedup") {
+            if key.ends_with(suffix) {
                 if let Some(v) = value.as_f64() {
                     out.push((key.clone(), v));
                 }
@@ -125,8 +125,8 @@ pub fn check_document(
 
     // Rule 2: summary speedups may not regress past the tolerance. The
     // committed value is the reference; fresh >= committed * (1 - tolerance).
-    let committed_speedups = summary_speedups(committed);
-    let fresh_speedups = summary_speedups(fresh);
+    let committed_speedups = summary_metrics(committed, "speedup");
+    let fresh_speedups = summary_metrics(fresh, "speedup");
     for (key, reference) in committed_speedups {
         match fresh_speedups.iter().find(|(k, _)| *k == key) {
             Some((_, measured)) => {
@@ -140,6 +140,37 @@ pub fn check_document(
                         what: format!(
                             "summary.{key} regressed: committed {reference:.3}, fresh \
                              {measured:.3} (> {:.0}% below)",
+                            tolerance * 100.0
+                        ),
+                    });
+                }
+            }
+            None => report.violations.push(TrajectoryViolation {
+                file: file.to_string(),
+                what: format!("summary.{key} disappeared from the fresh document"),
+            }),
+        }
+    }
+
+    // Rule 3: tail latencies are gated the other way round — a summary
+    // field ending in `p99_ms` is lower-is-better, so the fresh value must
+    // stay within fresh <= committed * (1 + tolerance).
+    let committed_tails = summary_metrics(committed, "p99_ms");
+    let fresh_tails = summary_metrics(fresh, "p99_ms");
+    for (key, reference) in committed_tails {
+        match fresh_tails.iter().find(|(k, _)| *k == key) {
+            Some((_, measured)) => {
+                let ceiling = reference * (1.0 + tolerance);
+                report.comparisons.push(format!(
+                    "{file}: {key} committed {reference:.3} fresh {measured:.3} \
+                     (ceiling {ceiling:.3})"
+                ));
+                if *measured > ceiling {
+                    report.violations.push(TrajectoryViolation {
+                        file: file.to_string(),
+                        what: format!(
+                            "summary.{key} regressed: committed {reference:.3} ms, fresh \
+                             {measured:.3} ms (> {:.0}% above)",
                             tolerance * 100.0
                         ),
                     });
@@ -331,6 +362,47 @@ mod tests {
         let mut report = TrajectoryReport::default();
         check_document("BENCH_o.json", &slower, &doc_with(true), 0.25, &mut report);
         assert!(report.failed());
+    }
+
+    #[test]
+    fn tail_latencies_are_gated_lower_is_better() {
+        let doc_with = |p99: f64| -> serde_json::Value {
+            serde_json::from_str(&format!(
+                r#"{{"summary":{{"session_p99_ms":{p99},"session_p50_ms":1.0,
+                    "decisions_match":true}}}}"#
+            ))
+            .unwrap()
+        };
+        // Equal and *improved* (lower) tails pass.
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_s.json", &doc_with(8.0), &doc_with(8.0), 0.25, &mut report);
+        check_document("BENCH_s.json", &doc_with(2.0), &doc_with(8.0), 0.25, &mut report);
+        assert!(!report.failed());
+        assert!(format!("{report}").contains("ceiling"));
+        // 8 -> 9.5 is a 19% rise: inside the 25% tolerance.
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_s.json", &doc_with(9.5), &doc_with(8.0), 0.25, &mut report);
+        assert!(!report.failed());
+        // 8 -> 11 is a 37% rise: regression.
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_s.json", &doc_with(11.0), &doc_with(8.0), 0.25, &mut report);
+        assert!(report.failed());
+        assert!(format!("{report}").contains("above"));
+        // A vanished tail metric is a violation too.
+        let gone: serde_json::Value =
+            serde_json::from_str(r#"{"summary":{"decisions_match":true}}"#).unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_s.json", &gone, &doc_with(8.0), 0.25, &mut report);
+        assert!(report.failed());
+        assert!(format!("{report}").contains("disappeared"));
+        // Only the p99 tail is gated; p50 is informational.
+        let p50_worse: serde_json::Value = serde_json::from_str(
+            r#"{"summary":{"session_p99_ms":8.0,"session_p50_ms":99.0,"decisions_match":true}}"#,
+        )
+        .unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_s.json", &p50_worse, &doc_with(8.0), 0.25, &mut report);
+        assert!(!report.failed());
     }
 
     #[test]

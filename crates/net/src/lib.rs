@@ -22,4 +22,4 @@ pub mod simnet;
 
 pub use node::NodeId;
 pub use ring::{Ring, RoutePath};
-pub use simnet::{NetworkStats, SimNetwork};
+pub use simnet::{NetworkStats, PeerTraffic, SimNetwork};

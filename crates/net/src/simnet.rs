@@ -1,9 +1,18 @@
 //! Virtual-time network simulation: per-message latency charging and
 //! message/byte accounting.
+//!
+//! Accounting is interior-mutable: every charge method takes `&self` and
+//! updates atomics, so many concurrent service sessions can charge traffic
+//! through one shared network without a global lock. Per-peer counters live
+//! behind an `RwLock`ed map that is only write-locked the first time a peer
+//! is seen; the hot path takes the read lock and bumps atomics.
 
 use crate::node::NodeId;
 use crate::ring::Ring;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 use std::time::Duration;
 
 /// Cumulative statistics of a simulated network.
@@ -26,6 +35,66 @@ impl NetworkStats {
     }
 }
 
+/// Per-peer traffic counters, as returned by [`SimNetwork::peer_traffic`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerTraffic {
+    /// Messages this peer originated.
+    pub sent: u64,
+    /// Messages delivered to this peer.
+    pub received: u64,
+    /// Bytes this peer originated.
+    pub bytes_out: u64,
+    /// Bytes delivered to this peer.
+    pub bytes_in: u64,
+}
+
+/// Atomic counterpart of [`NetworkStats`].
+#[derive(Debug, Default)]
+struct AtomicStats {
+    messages: AtomicU64,
+    hops: AtomicU64,
+    bytes: AtomicU64,
+    latency_us: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> NetworkStats {
+        NetworkStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            hops: self.hops.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            latency_us: self.latency_us.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.hops.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.latency_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Atomic counterpart of [`PeerTraffic`].
+#[derive(Debug, Default)]
+struct PeerCounters {
+    sent: AtomicU64,
+    received: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+impl PeerCounters {
+    fn snapshot(&self) -> PeerTraffic {
+        PeerTraffic {
+            sent: self.sent.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A deterministic virtual-time network over a DHT overlay.
 ///
 /// Every message charged through the network adds `latency_per_message` per
@@ -33,11 +102,12 @@ impl NetworkStats {
 /// message (and reply) transmission is delayed by at least 500 µs. Replies are
 /// modelled as direct (single-hop) messages, as in Pastry, where the reply is
 /// sent straight back to the requester.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct SimNetwork {
     ring: Ring,
     latency_per_message_us: u64,
-    stats: NetworkStats,
+    stats: AtomicStats,
+    peers: RwLock<BTreeMap<NodeId, PeerCounters>>,
 }
 
 impl SimNetwork {
@@ -55,7 +125,8 @@ impl SimNetwork {
         SimNetwork {
             ring: Ring::new(members),
             latency_per_message_us: latency.as_micros() as u64,
-            stats: NetworkStats::default(),
+            stats: AtomicStats::default(),
+            peers: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -76,39 +147,75 @@ impl SimNetwork {
 
     /// Cumulative statistics so far.
     pub fn stats(&self) -> NetworkStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Per-peer traffic counters so far, keyed by peer identifier.
+    pub fn peer_traffic(&self) -> BTreeMap<NodeId, PeerTraffic> {
+        let peers = self.peers.read().expect("peer lock");
+        peers.iter().map(|(node, counters)| (*node, counters.snapshot())).collect()
+    }
+
+    /// Traffic counters of a single peer (zero if the peer never moved a
+    /// message).
+    pub fn peer_traffic_for(&self, node: NodeId) -> PeerTraffic {
+        let peers = self.peers.read().expect("peer lock");
+        peers.get(&node).map(PeerCounters::snapshot).unwrap_or_default()
     }
 
     /// Resets the statistics (e.g. between measured reconciliations).
-    pub fn reset_stats(&mut self) {
-        self.stats = NetworkStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+        self.peers.write().expect("peer lock").clear();
+    }
+
+    fn with_peer(&self, node: NodeId, f: impl Fn(&PeerCounters)) {
+        {
+            let peers = self.peers.read().expect("peer lock");
+            if let Some(counters) = peers.get(&node) {
+                f(counters);
+                return;
+            }
+        }
+        let mut peers = self.peers.write().expect("peer lock");
+        f(peers.entry(node).or_default());
+    }
+
+    fn charge(&self, from: NodeId, to: NodeId, hops: u64, bytes: u64) {
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.hops.fetch_add(hops, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.latency_us.fetch_add(hops * self.latency_per_message_us, Ordering::Relaxed);
+        self.with_peer(from, |c| {
+            c.sent.fetch_add(1, Ordering::Relaxed);
+            c.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        });
+        self.with_peer(to, |c| {
+            c.received.fetch_add(1, Ordering::Relaxed);
+            c.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        });
     }
 
     /// Charges a request routed from `from` to the owner of `key`, returning
     /// the owner. Each overlay hop counts as one message transmission.
-    pub fn send_to_key(&mut self, from: NodeId, key: NodeId, bytes: u64) -> Option<NodeId> {
+    pub fn send_to_key(&self, from: NodeId, key: NodeId, bytes: u64) -> Option<NodeId> {
         let path = self.ring.route(from, key)?;
         let hops = path.hop_count() as u64;
-        self.stats.messages += 1;
-        self.stats.hops += hops;
-        self.stats.bytes += bytes;
-        self.stats.latency_us += hops * self.latency_per_message_us;
-        path.destination()
+        let destination = path.destination()?;
+        self.charge(from, destination, hops, bytes);
+        Some(destination)
     }
 
     /// Charges a direct (single-hop) message from one node to another, e.g. a
-    /// reply to a request.
-    pub fn send_direct(&mut self, _from: NodeId, _to: NodeId, bytes: u64) {
-        self.stats.messages += 1;
-        self.stats.hops += 1;
-        self.stats.bytes += bytes;
-        self.stats.latency_us += self.latency_per_message_us;
+    /// reply to a request or a framed service request.
+    pub fn send_direct(&self, from: NodeId, to: NodeId, bytes: u64) {
+        self.charge(from, to, 1, bytes);
     }
 
     /// Charges a request/reply round trip: a routed request to the owner of
     /// `key` followed by a direct reply. Returns the owner.
     pub fn round_trip(
-        &mut self,
+        &self,
         from: NodeId,
         key: NodeId,
         request_bytes: u64,
@@ -117,6 +224,40 @@ impl SimNetwork {
         let owner = self.send_to_key(from, key, request_bytes)?;
         self.send_direct(owner, from, reply_bytes);
         Some(owner)
+    }
+}
+
+impl Clone for SimNetwork {
+    fn clone(&self) -> SimNetwork {
+        SimNetwork {
+            ring: self.ring.clone(),
+            latency_per_message_us: self.latency_per_message_us,
+            stats: AtomicStats {
+                messages: AtomicU64::new(self.stats.messages.load(Ordering::Relaxed)),
+                hops: AtomicU64::new(self.stats.hops.load(Ordering::Relaxed)),
+                bytes: AtomicU64::new(self.stats.bytes.load(Ordering::Relaxed)),
+                latency_us: AtomicU64::new(self.stats.latency_us.load(Ordering::Relaxed)),
+            },
+            peers: RwLock::new(
+                self.peers
+                    .read()
+                    .expect("peer lock")
+                    .iter()
+                    .map(|(node, counters)| {
+                        let t = counters.snapshot();
+                        (
+                            *node,
+                            PeerCounters {
+                                sent: AtomicU64::new(t.sent),
+                                received: AtomicU64::new(t.received),
+                                bytes_out: AtomicU64::new(t.bytes_out),
+                                bytes_in: AtomicU64::new(t.bytes_in),
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+        }
     }
 }
 
@@ -136,7 +277,7 @@ mod tests {
 
     #[test]
     fn sending_accumulates_stats() {
-        let mut net = network(8);
+        let net = network(8);
         let from = net.ring().members()[0];
         let owner = net.send_to_key(from, NodeId::hash_u64(7), 100).unwrap();
         assert_eq!(Some(owner), net.ring().owner_of(NodeId::hash_u64(7)));
@@ -149,7 +290,7 @@ mod tests {
 
     #[test]
     fn round_trip_counts_request_and_reply() {
-        let mut net = network(8);
+        let net = network(8);
         let from = net.ring().members()[0];
         net.round_trip(from, NodeId::hash_u64(9), 64, 256).unwrap();
         let stats = net.stats();
@@ -161,17 +302,19 @@ mod tests {
 
     #[test]
     fn reset_clears_stats() {
-        let mut net = network(4);
+        let net = network(4);
         let from = net.ring().members()[0];
         net.round_trip(from, NodeId::hash_u64(1), 1, 1);
         assert!(net.stats().messages > 0);
+        assert!(!net.peer_traffic().is_empty());
         net.reset_stats();
         assert_eq!(net.stats(), NetworkStats::default());
+        assert!(net.peer_traffic().is_empty());
     }
 
     #[test]
     fn custom_latency_is_charged() {
-        let mut net = SimNetwork::with_latency(
+        let net = SimNetwork::with_latency(
             (0..4).map(NodeId::hash_u64).collect(),
             Duration::from_millis(2),
         );
@@ -186,5 +329,63 @@ mod tests {
         assert_eq!(net.ring().len(), 2);
         net.join(NodeId::hash_str("late-joiner"));
         assert_eq!(net.ring().len(), 3);
+    }
+
+    #[test]
+    fn send_direct_records_both_peers() {
+        let net = network(4);
+        let a = net.ring().members()[0];
+        let b = net.ring().members()[1];
+        net.send_direct(a, b, 64);
+        net.send_direct(a, b, 16);
+        net.send_direct(b, a, 8);
+
+        let from_a = net.peer_traffic_for(a);
+        assert_eq!(from_a.sent, 2);
+        assert_eq!(from_a.received, 1);
+        assert_eq!(from_a.bytes_out, 80);
+        assert_eq!(from_a.bytes_in, 8);
+
+        let from_b = net.peer_traffic_for(b);
+        assert_eq!(from_b.sent, 1);
+        assert_eq!(from_b.received, 2);
+        assert_eq!(from_b.bytes_out, 8);
+        assert_eq!(from_b.bytes_in, 80);
+    }
+
+    #[test]
+    fn routed_sends_credit_the_destination_peer() {
+        let net = network(8);
+        let from = net.ring().members()[0];
+        let owner = net.send_to_key(from, NodeId::hash_u64(3), 32).unwrap();
+        assert_eq!(net.peer_traffic_for(from).sent, 1);
+        if owner != from {
+            assert_eq!(net.peer_traffic_for(owner).received, 1);
+        }
+        let traffic = net.peer_traffic();
+        let total_sent: u64 = traffic.values().map(|t| t.sent).sum();
+        assert_eq!(total_sent, net.stats().messages);
+    }
+
+    #[test]
+    fn concurrent_sessions_charge_through_a_shared_reference() {
+        let net = network(4);
+        let a = net.ring().members()[0];
+        let b = net.ring().members()[1];
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        net.send_direct(a, b, 10);
+                    }
+                });
+            }
+        });
+        let stats = net.stats();
+        assert_eq!(stats.messages, 800);
+        assert_eq!(stats.bytes, 8_000);
+        assert_eq!(stats.latency_us, 800 * 500);
+        assert_eq!(net.peer_traffic_for(a).sent, 800);
+        assert_eq!(net.peer_traffic_for(b).received, 800);
     }
 }

@@ -16,11 +16,11 @@ use orchestra_model::{
 };
 use orchestra_recon::{
     resolution::resolve_conflicts, CandidateTransaction, ConflictGroup, ReconcileEngine,
-    ReconcileInput, ResolutionChoice, SoftState,
+    ReconcileInput, ReconcileOutcome, ResolutionChoice, SoftState,
 };
 use orchestra_storage::{Database, InstanceCheckpoint, Result, StorageError};
-use orchestra_store::{ReconciliationSession, StoreTiming, UpdateStore};
-use std::time::Instant;
+use orchestra_store::{ReconciliationSession, ServiceClient, StoreTiming, UpdateStore};
+use std::time::{Duration, Instant};
 
 /// Default page size for session-based candidate retrieval: bounds the
 /// store-side working set materialised per `next_batch` call.
@@ -362,19 +362,9 @@ impl Participant {
         &mut self,
         store: &S,
     ) -> Result<Option<orchestra_model::Epoch>> {
-        if self.pending_publish.is_empty() {
+        let Some(batch) = self.stage_publish_batch() else {
             return Ok(None);
-        }
-        let batch = std::mem::take(&mut self.pending_publish);
-        // Accumulate, do not overwrite: publishing twice before reconciling
-        // must keep the first batch in the own-delta, or a trusted remote
-        // transaction conflicting with it would wrongly be accepted.
-        self.last_published_updates.extend(batch.iter().flat_map(|t| t.updates().iter().cloned()));
-        if self.offline {
-            let stamp = self.next_stamp();
-            self.buffered.push((stamp, batch));
-            return Ok(None);
-        }
+        };
         let published = if store.causal_mode() {
             // Resynchronise the client-side sequence (a participant built
             // with `new` against a store that already holds its stamps would
@@ -385,11 +375,58 @@ impl Participant {
         } else {
             store.publish(self.id, batch)?
         };
-        self.total_timing.accumulate(TimingBreakdown {
-            store: published.timing.total(),
-            local: std::time::Duration::ZERO,
-        });
+        self.total_timing
+            .accumulate(TimingBreakdown { store: published.timing.total(), local: Duration::ZERO });
         Ok(Some(published.value))
+    }
+
+    /// [`Participant::publish`] over the store service: the batch travels as
+    /// a framed `Publish`/`PublishStamped` request through the
+    /// [`ServiceClient`], with frame latency charged to the driver's virtual
+    /// clock. Decisions and store state end up identical to the in-process
+    /// path.
+    pub async fn publish_service<S: UpdateStore + ?Sized>(
+        &mut self,
+        store: &S,
+        client: &ServiceClient,
+    ) -> Result<Option<orchestra_model::Epoch>> {
+        let Some(batch) = self.stage_publish_batch() else {
+            return Ok(None);
+        };
+        let start_us = client.clock().now_us();
+        let epoch = if store.causal_mode() {
+            self.causal_seq = self.causal_seq.max(store.next_publisher_seq(self.id));
+            let stamp = self.next_stamp();
+            client.publish_stamped(stamp, batch).await?
+        } else {
+            client.publish(batch).await?
+        };
+        self.total_timing.accumulate(TimingBreakdown {
+            store: Duration::from_micros(client.clock().now_us() - start_us),
+            local: Duration::ZERO,
+        });
+        Ok(Some(epoch))
+    }
+
+    /// Shared head of the publish paths: takes the pending batch, folds it
+    /// into the own-delta, and buffers it with a causal stamp while offline.
+    /// Returns the batch to send, or `None` when nothing reaches the store
+    /// (nothing pending, or offline-buffered).
+    fn stage_publish_batch(&mut self) -> Option<Vec<Transaction>> {
+        if self.pending_publish.is_empty() {
+            return None;
+        }
+        let batch = std::mem::take(&mut self.pending_publish);
+        // Accumulate, do not overwrite: publishing twice before reconciling
+        // must keep the first batch in the own-delta, or a trusted remote
+        // transaction conflicting with it would wrongly be accepted.
+        self.last_published_updates.extend(batch.iter().flat_map(|t| t.updates().iter().cloned()));
+        if self.offline {
+            let stamp = self.next_stamp();
+            self.buffered.push((stamp, batch));
+            return None;
+        }
+        Some(batch)
     }
 
     /// Allocates the participant's next causal stamp: its own next sequence
@@ -569,6 +606,36 @@ impl Participant {
             rustc_hash::FxHashMap<TransactionId, rustc_hash::FxHashSet<TransactionId>>,
         >,
     ) -> Result<ReconcileReport> {
+        let (outcome, local_elapsed) =
+            self.run_engine(store, recno, candidates, precomputed_conflicts);
+
+        let commit_timing = match store.commit_reconciliation(
+            session,
+            &outcome.accepted_members,
+            &outcome.rejected,
+        ) {
+            Ok(timing) => timing,
+            Err(e) => {
+                let _ = store.abort_reconciliation(session);
+                return Err(e);
+            }
+        };
+        Ok(self.absorb_commit(store, outcome, retrieval, commit_timing, epoch, local_elapsed))
+    }
+
+    /// Runs the client-centric engine over the streamed candidates against
+    /// the participant's soft-state snapshots. Shared by the in-process and
+    /// service reconciliation paths so their decisions are computed by the
+    /// exact same code.
+    fn run_engine<S: UpdateStore + ?Sized>(
+        &mut self,
+        store: &S,
+        recno: orchestra_model::ReconciliationId,
+        candidates: Vec<CandidateTransaction>,
+        precomputed_conflicts: Option<
+            rustc_hash::FxHashMap<TransactionId, rustc_hash::FxHashSet<TransactionId>>,
+        >,
+    ) -> (ReconcileOutcome, Duration) {
         let previously_rejected = self.rejected_set_cached(store);
         let previously_accepted = store.accepted_set(self.id);
 
@@ -582,19 +649,21 @@ impl Participant {
             precomputed_conflicts,
         };
         let outcome = self.engine.reconcile(input, &mut self.instance, &mut self.soft);
-        let local_elapsed = local_start.elapsed();
+        (outcome, local_start.elapsed())
+    }
 
-        let commit_timing = match store.commit_reconciliation(
-            session,
-            &outcome.accepted_members,
-            &outcome.rejected,
-        ) {
-            Ok(timing) => timing,
-            Err(e) => {
-                let _ = store.abort_reconciliation(session);
-                return Err(e);
-            }
-        };
+    /// Absorbs a committed reconciliation into the participant's caches and
+    /// timing, and builds the report. Shared commit tail of the in-process
+    /// and service paths.
+    fn absorb_commit<S: UpdateStore + ?Sized>(
+        &mut self,
+        store: &S,
+        outcome: ReconcileOutcome,
+        retrieval: StoreTiming,
+        commit_timing: StoreTiming,
+        epoch: orchestra_model::Epoch,
+        local_elapsed: Duration,
+    ) -> ReconcileReport {
         self.extend_rejected_cache(&outcome.rejected);
         // The session's candidates covered everything at or behind the
         // store's causal frontier, so the participant has now observed it
@@ -606,7 +675,7 @@ impl Participant {
         let timing = TimingBreakdown { store: store_time.total(), local: local_elapsed };
         self.total_timing.accumulate(timing);
 
-        Ok(ReconcileReport {
+        ReconcileReport {
             recno: outcome.recno,
             epoch,
             accepted: outcome.accepted_roots,
@@ -614,7 +683,45 @@ impl Participant {
             deferred: outcome.deferred,
             conflict_groups: outcome.conflict_groups,
             timing,
-        })
+        }
+    }
+
+    /// [`Participant::reconcile`] over the store service: the paged session
+    /// protocol travels as framed requests through the [`ServiceClient`] —
+    /// begin (with admission-control retry), page streaming, commit (or
+    /// error-path abort) — while the engine runs locally on the exact same
+    /// code as the in-process path, so the decisions are identical. Store
+    /// cost is the *virtual* time the frames took, which under a concurrent
+    /// driver includes queueing at the service.
+    pub async fn reconcile_service<S: UpdateStore + ?Sized>(
+        &mut self,
+        store: &S,
+        client: &ServiceClient,
+    ) -> Result<ReconcileReport> {
+        self.require_online()?;
+        let clock = client.clock().clone();
+        let retrieval_start = clock.now_us();
+        let info = client.begin_session().await?;
+        let candidates = client.drain_candidates(info.session, self.reconcile_batch_size).await?;
+        let retrieval = StoreTiming {
+            compute: Duration::ZERO,
+            network: Duration::from_micros(clock.now_us() - retrieval_start),
+        };
+
+        let (outcome, local_elapsed) = self.run_engine(store, info.recno, candidates, None);
+
+        let commit_start = clock.now_us();
+        if let Err(e) =
+            client.commit(info.session, &outcome.accepted_members, &outcome.rejected).await
+        {
+            let _ = client.abort(info.session).await;
+            return Err(e);
+        }
+        let commit_timing = StoreTiming {
+            compute: Duration::ZERO,
+            network: Duration::from_micros(clock.now_us() - commit_start),
+        };
+        Ok(self.absorb_commit(store, outcome, retrieval, commit_timing, info.epoch, local_elapsed))
     }
 
     /// Publishes pending transactions (if any) and then reconciles — the

@@ -328,6 +328,167 @@ impl<S: UpdateStore + Sync> CdssSystem<S> {
     }
 }
 
+/// What one service-driven round produced: reports in id order, per-session
+/// virtual latencies, and the service/network counters of the round.
+#[derive(Debug)]
+pub struct ServiceDriveReport {
+    /// Reconciliation reports, in participant-id order.
+    pub results: Vec<(ParticipantId, ReconcileReport)>,
+    /// Epochs assigned to the round's publishes, in publish order (`None`
+    /// when a participant had nothing pending).
+    pub published: Vec<(ParticipantId, Option<orchestra_model::Epoch>)>,
+    /// Virtual end-to-end session latency per reconciling participant
+    /// (begin to commit, *including* queueing at the service), in
+    /// microseconds, in participant-id order.
+    pub latencies_us: Vec<u64>,
+    /// Service counters accumulated over the round's phases.
+    pub stats: orchestra_store::ServiceStats,
+    /// Frame traffic charged to the simulated network.
+    pub net: orchestra_net::NetworkStats,
+    /// Virtual time consumed by the round, in microseconds.
+    pub virtual_elapsed_us: u64,
+}
+
+impl<S: UpdateStore> CdssSystem<S> {
+    /// Drives one confederation round through the [`StoreService`]: the
+    /// `publish_ids` participants publish their pending batches (sequential,
+    /// so epoch assignment is deterministic), then the `reconcile_ids`
+    /// participants all reconcile **concurrently** — thousands of framed
+    /// sessions multiplexed onto the service's bounded worker pool on a
+    /// single OS thread, with latency modelled in virtual time.
+    ///
+    /// Decisions are identical to [`CdssSystem::reconcile_each`] /
+    /// [`CdssSystem::reconcile_each_parallel`] over the same schedule: the
+    /// service serialises store calls per participant, and a session's
+    /// outcome depends only on the published log and the reconciler's own
+    /// record.
+    ///
+    /// [`StoreService`]: orchestra_store::StoreService
+    pub fn run_service_round(
+        &mut self,
+        publish_ids: &[ParticipantId],
+        reconcile_ids: &[ParticipantId],
+        config: &orchestra_store::ServiceConfig,
+    ) -> Result<ServiceDriveReport> {
+        use orchestra_rt::{LocalExecutor, VirtualClock};
+        use orchestra_store::StoreService;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        if let Some(missing) =
+            publish_ids.iter().chain(reconcile_ids).find(|id| !self.participants.contains_key(id))
+        {
+            return Err(unknown_participant(*missing));
+        }
+        let store = &self.store;
+        let clock = VirtualClock::new();
+        let net = Rc::new(orchestra_net::SimNetwork::new(vec![StoreService::server_node()]));
+        let mut stats = orchestra_store::ServiceStats::default();
+
+        // Publish phase: one task, sequential awaits — the epoch order is
+        // the id order, exactly as the in-process drivers produce it.
+        let mut published = Vec::new();
+        if !publish_ids.is_empty() {
+            let mut ex = LocalExecutor::new(clock.clone());
+            let service = StoreService::start(store, config, &mut ex, Rc::clone(&net));
+            let outcomes = Rc::new(RefCell::new(Vec::new()));
+            let mut publishers: Vec<_> = self
+                .participants
+                .iter_mut()
+                .filter(|(id, _)| publish_ids.contains(id))
+                .map(|(id, participant)| (*id, participant, service.client_for(*id)))
+                .collect();
+            let task_outcomes = Rc::clone(&outcomes);
+            ex.spawn(async move {
+                for (id, participant, client) in &mut publishers {
+                    let result = participant.publish_service(store, client).await;
+                    task_outcomes.borrow_mut().push((*id, result));
+                }
+            });
+            ex.run();
+            service.shutdown();
+            if ex.run() != 0 {
+                return Err(StorageError::Session(
+                    "service publish phase left tasks blocked".to_string(),
+                ));
+            }
+            stats.absorb(service.stats());
+            for (id, result) in
+                Rc::try_unwrap(outcomes).expect("publish tasks finished").into_inner()
+            {
+                published.push((id, result?));
+            }
+        }
+
+        // Reconcile phase: one client task per participant, all in flight at
+        // once against the worker pool.
+        let mut outcomes = {
+            let mut ex = LocalExecutor::new(clock.clone());
+            let service = StoreService::start(store, config, &mut ex, Rc::clone(&net));
+            let outcomes = Rc::new(RefCell::new(Vec::new()));
+            for (id, participant) in
+                self.participants.iter_mut().filter(|(id, _)| reconcile_ids.contains(id))
+            {
+                let id = *id;
+                let client = service.client_for(id);
+                let task_clock = clock.clone();
+                let task_outcomes = Rc::clone(&outcomes);
+                ex.spawn(async move {
+                    let start_us = task_clock.now_us();
+                    let result = participant.reconcile_service(store, &client).await;
+                    let latency_us = task_clock.now_us() - start_us;
+                    task_outcomes.borrow_mut().push((id, result, latency_us));
+                });
+            }
+            ex.run();
+            service.shutdown();
+            if ex.run() != 0 {
+                return Err(StorageError::Session(
+                    "service reconcile phase left tasks blocked".to_string(),
+                ));
+            }
+            stats.absorb(service.stats());
+            Rc::try_unwrap(outcomes).expect("reconcile tasks finished").into_inner()
+        };
+
+        outcomes.sort_by_key(|(id, _, _)| *id);
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut latencies_us = Vec::with_capacity(outcomes.len());
+        for (id, result, latency_us) in outcomes {
+            results.push((id, result?));
+            latencies_us.push(latency_us);
+        }
+        Ok(ServiceDriveReport {
+            results,
+            published,
+            latencies_us,
+            stats,
+            net: net.stats(),
+            virtual_elapsed_us: clock.now_us(),
+        })
+    }
+
+    /// Reconciles the given participants through the store service (no
+    /// publish phase; see [`CdssSystem::run_service_round`]).
+    pub fn reconcile_each_service(
+        &mut self,
+        ids: &[ParticipantId],
+        config: &orchestra_store::ServiceConfig,
+    ) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        Ok(self.run_service_round(&[], ids, config)?.results)
+    }
+
+    /// Reconciles every participant through the store service (see
+    /// [`CdssSystem::run_service_round`]).
+    pub fn reconcile_all_service(
+        &mut self,
+        config: &orchestra_store::ServiceConfig,
+    ) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        let ids = self.participant_ids();
+        self.reconcile_each_service(&ids, config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -460,6 +621,58 @@ mod tests {
             (accepted, system.state_ratio_for("Function"))
         };
         assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn service_driver_matches_sequential_decisions_and_serves_publishes() {
+        let seed = |system: &mut CdssSystem<CentralStore>| {
+            for i in 1..=4u32 {
+                system
+                    .execute(
+                        p(i),
+                        vec![Update::insert(
+                            "Function",
+                            func("human", &format!("prot{i}"), "dna-repair"),
+                            p(i),
+                        )],
+                    )
+                    .unwrap();
+            }
+        };
+        // Sequential reference: publish in id order, then reconcile all.
+        let mut reference = fully_trusting_system(4);
+        seed(&mut reference);
+        for i in 1..=4u32 {
+            reference.publish(p(i)).unwrap();
+        }
+        let sequential = reference.reconcile_all().unwrap();
+
+        // Service-driven: publishes AND reconciliations travel as frames
+        // through the bounded worker pool.
+        let mut served = fully_trusting_system(4);
+        seed(&mut served);
+        let ids = served.participant_ids();
+        let config = orchestra_store::ServiceConfig::default();
+        let report = served.run_service_round(&ids, &ids, &config).unwrap();
+
+        assert_eq!(report.published.iter().filter(|(_, e)| e.is_some()).count(), 4);
+        assert_eq!(report.results.len(), sequential.len());
+        for ((id_a, a), (id_b, b)) in report.results.iter().zip(&sequential) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(a.accepted, b.accepted, "participant {id_a}");
+            assert_eq!(a.rejected, b.rejected);
+            assert_eq!(a.deferred, b.deferred);
+        }
+        assert_eq!(report.latencies_us.len(), 4);
+        assert!(report.latencies_us.iter().all(|&l| l > 0), "frame latency is charged");
+        assert!(report.virtual_elapsed_us > 0);
+        // 4 publishes + 4 × (begin + pages + commit).
+        assert!(report.stats.requests >= 4 + 4 * 3);
+        assert!(report.net.messages >= report.stats.requests, "every frame is charged");
+        assert!((served.state_ratio() - reference.state_ratio()).abs() < 1e-9);
+        // Unknown ids are rejected up front.
+        assert!(served.reconcile_each_service(&[p(9)], &config).is_err());
+        assert!(served.run_service_round(&[p(9)], &[], &config).is_err());
     }
 
     #[test]

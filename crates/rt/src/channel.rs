@@ -1,0 +1,384 @@
+//! Single-threaded async channels: a oneshot reply slot and a bounded mpsc
+//! queue.
+//!
+//! The bounded channel is the service's backpressure primitive: `send` on a
+//! full queue parks the sending task until the consumer drains an item, so a
+//! slow worker pushes back on its producers instead of buffering without
+//! bound. Everything is `Rc`-based — these channels only connect tasks on
+//! the same [`LocalExecutor`](crate::LocalExecutor).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+// ---------------------------------------------------------------------------
+// Oneshot
+// ---------------------------------------------------------------------------
+
+struct OneshotInner<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_alive: bool,
+}
+
+/// Creates a oneshot channel: a single value handed from one task to another,
+/// typically a response to a framed request.
+pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
+    let inner =
+        Rc::new(RefCell::new(OneshotInner { value: None, waker: None, sender_alive: true }));
+    (OneshotSender { inner: Rc::clone(&inner) }, OneshotReceiver { inner })
+}
+
+/// Sending half of a [`oneshot`] channel.
+pub struct OneshotSender<T> {
+    inner: Rc<RefCell<OneshotInner<T>>>,
+}
+
+impl<T> OneshotSender<T> {
+    /// Delivers the value, waking the receiver. Errors with the value back
+    /// if the receiver is gone.
+    pub fn send(self, value: T) -> Result<(), T> {
+        // `self` is consumed; the Drop impl handles the no-send case.
+        if Rc::strong_count(&self.inner) == 1 {
+            return Err(value);
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.value = Some(value);
+        if let Some(waker) = inner.waker.take() {
+            waker.wake();
+        }
+        Ok(())
+    }
+}
+
+impl<T> Drop for OneshotSender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.sender_alive = false;
+        if let Some(waker) = inner.waker.take() {
+            waker.wake();
+        }
+    }
+}
+
+/// Receiving half of a [`oneshot`] channel. Resolves to `None` if the sender
+/// was dropped without sending.
+pub struct OneshotReceiver<T> {
+    inner: Rc<RefCell<OneshotInner<T>>>,
+}
+
+impl<T> Future for OneshotReceiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(value) = inner.value.take() {
+            return Poll::Ready(Some(value));
+        }
+        if !inner.sender_alive {
+            return Poll::Ready(None);
+        }
+        inner.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded mpsc
+// ---------------------------------------------------------------------------
+
+struct ChannelInner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    recv_waker: Option<Waker>,
+    send_wakers: VecDeque<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Creates a bounded multi-producer single-consumer channel. `capacity` must
+/// be at least 1; `send` awaits while the queue is full.
+pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "bounded channel capacity must be at least 1");
+    let inner = Rc::new(RefCell::new(ChannelInner {
+        queue: VecDeque::new(),
+        capacity,
+        recv_waker: None,
+        send_wakers: VecDeque::new(),
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (Sender { inner: Rc::clone(&inner) }, Receiver { inner })
+}
+
+/// The error returned when sending into a channel whose receiver is gone;
+/// carries the undelivered value.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Sending half of a bounded [`channel`].
+pub struct Sender<T> {
+    inner: Rc<RefCell<ChannelInner<T>>>,
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value, awaiting while the queue is full. Errors with the
+    /// value back if the receiver is gone.
+    pub fn send(&self, value: T) -> Send<'_, T> {
+        Send { sender: self, value: Some(value) }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.inner.borrow_mut().senders += 1;
+        Sender { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            if let Some(waker) = inner.recv_waker.take() {
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// Future returned by [`Sender::send`].
+pub struct Send<'a, T> {
+    sender: &'a Sender<T>,
+    value: Option<T>,
+}
+
+// No self-references: the future is a borrow plus a by-value slot.
+impl<T> Unpin for Send<'_, T> {}
+
+impl<T> Future for Send<'_, T> {
+    type Output = Result<(), SendError<T>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Result<(), SendError<T>>> {
+        let this = self.get_mut();
+        let mut inner = this.sender.inner.borrow_mut();
+        let value = this.value.take().expect("Send polled after completion");
+        if !inner.receiver_alive {
+            return Poll::Ready(Err(SendError(value)));
+        }
+        if inner.queue.len() < inner.capacity {
+            inner.queue.push_back(value);
+            if let Some(waker) = inner.recv_waker.take() {
+                waker.wake();
+            }
+            Poll::Ready(Ok(()))
+        } else {
+            inner.send_wakers.push_back(cx.waker().clone());
+            drop(inner);
+            this.value = Some(value);
+            Poll::Pending
+        }
+    }
+}
+
+/// Receiving half of a bounded [`channel`].
+pub struct Receiver<T> {
+    inner: Rc<RefCell<ChannelInner<T>>>,
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next value, awaiting while the queue is empty. Resolves
+    /// to `None` once every sender is gone and the queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    /// Dequeues a value only if one is already queued — the worker-side
+    /// batching primitive (drain whatever is there, then await).
+    pub fn try_recv(&mut self) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        let value = inner.queue.pop_front();
+        if value.is_some() {
+            if let Some(waker) = inner.send_wakers.pop_front() {
+                waker.wake();
+            }
+        }
+        value
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.receiver_alive = false;
+        for waker in inner.send_wakers.drain(..) {
+            waker.wake();
+        }
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut inner = self.receiver.inner.borrow_mut();
+        if let Some(value) = inner.queue.pop_front() {
+            if let Some(waker) = inner.send_wakers.pop_front() {
+                waker.wake();
+            }
+            return Poll::Ready(Some(value));
+        }
+        if inner.senders == 0 {
+            return Poll::Ready(None);
+        }
+        inner.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::executor::LocalExecutor;
+    use std::cell::RefCell;
+
+    #[test]
+    fn oneshot_delivers_and_reports_dropped_senders() {
+        let clock = VirtualClock::new();
+        let results = RefCell::new(Vec::new());
+        let mut ex = LocalExecutor::new(clock);
+
+        let (tx, rx) = oneshot::<u32>();
+        let results_ref = &results;
+        ex.spawn(async move {
+            let value = rx.await;
+            results_ref.borrow_mut().push(value);
+        });
+        ex.spawn(async move {
+            tx.send(7).unwrap();
+        });
+
+        let (tx2, rx2) = oneshot::<u32>();
+        ex.spawn(async move {
+            let value = rx2.await;
+            results_ref.borrow_mut().push(value);
+        });
+        drop(tx2);
+
+        assert_eq!(ex.run(), 0);
+        drop(ex);
+        // The dropped-sender receiver resolves on its first poll; the live
+        // one re-polls only after the send wakes it.
+        assert_eq!(results.into_inner(), vec![None, Some(7)]);
+    }
+
+    #[test]
+    fn bounded_send_parks_until_the_consumer_drains() {
+        let clock = VirtualClock::new();
+        let log = RefCell::new(Vec::new());
+        let mut ex = LocalExecutor::new(clock.clone());
+        let (tx, mut rx) = channel::<u32>(2);
+        {
+            let log = &log;
+            let clock2 = clock.clone();
+            ex.spawn(async move {
+                for i in 0..4u32 {
+                    tx.send(i).await.unwrap();
+                    log.borrow_mut().push(format!("sent {i}"));
+                }
+            });
+            ex.spawn(async move {
+                clock2.sleep_us(100).await;
+                while let Some(v) = rx.recv().await {
+                    log.borrow_mut().push(format!("got {v}"));
+                }
+            });
+        }
+        assert_eq!(ex.run(), 0);
+        drop(ex);
+        let log = log.into_inner();
+        // The first two sends fill the queue without waiting; the third and
+        // fourth park until the consumer starts draining at t=100.
+        assert_eq!(&log[..2], &["sent 0".to_string(), "sent 1".to_string()]);
+        assert!(log.contains(&"got 3".to_string()));
+        assert_eq!(log.len(), 8);
+    }
+
+    #[test]
+    fn receiver_none_after_all_senders_drop() {
+        let clock = VirtualClock::new();
+        let seen = RefCell::new(Vec::new());
+        let mut ex = LocalExecutor::new(clock);
+        let (tx, mut rx) = channel::<u32>(4);
+        let tx2 = tx.clone();
+        {
+            let seen = &seen;
+            ex.spawn(async move {
+                tx.send(1).await.unwrap();
+            });
+            ex.spawn(async move {
+                tx2.send(2).await.unwrap();
+            });
+            ex.spawn(async move {
+                while let Some(v) = rx.recv().await {
+                    seen.borrow_mut().push(v);
+                }
+                seen.borrow_mut().push(99);
+            });
+        }
+        assert_eq!(ex.run(), 0);
+        drop(ex);
+        assert_eq!(seen.into_inner(), vec![1, 2, 99]);
+    }
+
+    #[test]
+    fn sending_to_a_dropped_receiver_errors_with_the_value() {
+        let clock = VirtualClock::new();
+        let err = RefCell::new(None);
+        let mut ex = LocalExecutor::new(clock);
+        let (tx, rx) = channel::<u32>(1);
+        drop(rx);
+        {
+            let err = &err;
+            ex.spawn(async move {
+                if let Err(SendError(v)) = tx.send(5).await {
+                    *err.borrow_mut() = Some(v);
+                }
+            });
+        }
+        assert_eq!(ex.run(), 0);
+        drop(ex);
+        assert_eq!(err.into_inner(), Some(5));
+    }
+
+    #[test]
+    fn try_recv_drains_without_blocking() {
+        let clock = VirtualClock::new();
+        let mut ex = LocalExecutor::new(clock);
+        let (tx, mut rx) = channel::<u32>(4);
+        ex.spawn(async move {
+            tx.send(1).await.unwrap();
+            tx.send(2).await.unwrap();
+        });
+        assert_eq!(ex.run(), 0);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), None);
+    }
+}

@@ -96,6 +96,10 @@ pub struct PruneReport {
     pub pinned: u64,
     /// Live log entries remaining after the pass.
     pub live_log_entries: u64,
+    /// Superseded instance checkpoints dropped by this pass (checkpoints of
+    /// retired or unregistered participants whose epoch fell behind the
+    /// horizon — nothing will ever rebuild from them).
+    pub pruned_checkpoints: u64,
 }
 
 impl PruneReport {
@@ -104,6 +108,7 @@ impl PruneReport {
         self.pruned_log_entries == 0
             && self.pruned_relevance_entries == 0
             && self.pruned_epoch_records == 0
+            && self.pruned_checkpoints == 0
     }
 }
 

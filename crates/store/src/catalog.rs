@@ -1627,6 +1627,7 @@ fn prune_locked(
     let pruned_log_entries = log.log.prune_below(horizon, &pinned);
     let pruned_epoch_records = log.registry.prune_through(horizon);
     let mut pruned_relevance_entries = 0u64;
+    let mut pruned_checkpoints = 0u64;
     for shard in shards.iter_mut() {
         if !shard.relevance.is_empty() {
             let keep = shard.relevance.split_off(&(horizon.as_u64() + 1));
@@ -1637,6 +1638,18 @@ fn prune_locked(
         if shard.registered {
             shard.relevance_floor = shard.relevance_floor.max(horizon);
         }
+        // A checkpoint of a retired (or never-completed-registration) shard is
+        // superseded once the horizon passes it: retirement is final — a
+        // returning participant re-registers as a late member floored at the
+        // membership frontier — so nothing will ever rebuild from the old
+        // instance image. Registered shards keep theirs: it is the rebuild
+        // base under ConvergedOnly retention.
+        if (!shard.registered || shard.retired)
+            && shard.checkpoint.as_ref().is_some_and(|c| c.epoch <= horizon)
+        {
+            shard.checkpoint = None;
+            pruned_checkpoints += 1;
+        }
     }
     log.pruned_through = horizon;
     PruneReport {
@@ -1646,6 +1659,7 @@ fn prune_locked(
         pruned_epoch_records,
         pinned: pinned_count,
         live_log_entries: log.log.len() as u64,
+        pruned_checkpoints,
     }
 }
 
@@ -2644,6 +2658,65 @@ mod tests {
         drop(recovered);
         let recovered2 = StoreCatalog::recover(&dir).unwrap();
         assert_eq!(recovered2.instance_checkpoint(p(3)), Some(checkpoint));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retired_checkpoints_prune_past_the_horizon_and_commute_with_recovery() {
+        let dir = tmp_dir("checkpoint-prune");
+        let cat = {
+            let schema = bioinformatics_schema();
+            let backend = FileWalBackend::create(&dir, &schema).unwrap();
+            let cat = StoreCatalog::with_durability(schema, Durability::FileWal(backend));
+            for i in 1..=4 {
+                let mut policy = TrustPolicy::new(p(i));
+                for j in 1..=4 {
+                    if i != j {
+                        policy = policy.trusting(p(j), 1u32);
+                    }
+                }
+                cat.register_policy(policy);
+            }
+            cat
+        };
+        cat.set_retention(RetentionPolicy::ConvergedOnly);
+        cat.close_membership().unwrap();
+        converged_insert_delete_insert(&cat);
+        reconcile_accept_all(&cat, p(4));
+        let checkpoint = |epoch: u64| InstanceCheckpoint {
+            relations: BTreeMap::new(),
+            next_local: 0,
+            epoch: Epoch(epoch),
+            accepted_through: 0,
+        };
+        // Three checkpoints at the converged point: a registered shard (kept
+        // — it is the ConvergedOnly rebuild base), a retired shard behind the
+        // horizon (superseded — dropped), and a retired shard whose
+        // checkpoint claims an epoch past the horizon (kept until the
+        // horizon passes it).
+        cat.record_instance_checkpoint(p(2), checkpoint(3)).unwrap();
+        cat.record_instance_checkpoint(p(3), checkpoint(3)).unwrap();
+        cat.record_instance_checkpoint(p(4), checkpoint(9)).unwrap();
+        cat.retire_participant(p(3)).unwrap();
+        cat.retire_participant(p(4)).unwrap();
+
+        let report = cat.prune_to_horizon().unwrap();
+        assert_eq!(report.horizon, Epoch(3));
+        assert_eq!(report.pruned_checkpoints, 1);
+        assert_eq!(cat.instance_checkpoint(p(3)), None);
+        assert!(cat.instance_checkpoint(p(2)).is_some(), "registered rebuild base kept");
+        assert!(cat.instance_checkpoint(p(4)).is_some(), "post-horizon checkpoint kept");
+
+        // A second pass with an unchanged horizon is a no-op.
+        assert!(cat.prune_to_horizon().unwrap().is_noop());
+
+        // The WAL-replayed prune drops exactly the same checkpoint.
+        let live = format!("{cat:?}");
+        drop(cat);
+        let recovered = StoreCatalog::recover(&dir).unwrap();
+        assert_eq!(format!("{recovered:?}"), live, "replayed prune diverged from the live one");
+        assert_eq!(recovered.instance_checkpoint(p(3)), None);
+        assert!(recovered.instance_checkpoint(p(2)).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

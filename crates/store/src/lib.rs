@@ -19,6 +19,11 @@
 //!   Section 5.2.2), with an epoch allocator, per-epoch epoch controllers and
 //!   per-transaction transaction controllers, charging one simulated message
 //!   per protocol step of the paper's Figures 6 and 7.
+//! * [`StoreService`] — the store served as a confederation service:
+//!   the paged session protocol and publishes become framed
+//!   request/response messages over a simulated network, handled by a
+//!   bounded worker pool on the hand-rolled `orchestra-rt` runtime, with
+//!   per-participant FIFO routing, admission control and request batching.
 //! * [`Durability`] — the pluggable persistence backend of the shared
 //!   [`StoreCatalog`]: [`Durability::Ephemeral`] (default) keeps the store
 //!   in-memory, [`Durability::FileWal`] appends every publish, decision
@@ -51,6 +56,7 @@ pub mod dht;
 pub mod durability;
 pub mod network_centric;
 pub mod pruner;
+pub mod service;
 
 pub use api::{ReconciliationSession, SessionId, SessionInfo, StoreTiming, Timed, UpdateStore};
 pub use catalog::{OpenedSession, SessionBatch, StoreCatalog};
@@ -59,6 +65,9 @@ pub use dht::DhtStore;
 pub use durability::{Durability, FileWalBackend, WalOptions};
 pub use network_centric::NetworkCentricPlan;
 pub use pruner::AutoPruner;
+pub use service::{
+    ServiceClient, ServiceConfig, ServiceStats, StoreRequest, StoreResponse, StoreService,
+};
 // Retention and group-commit knobs, re-exported so drivers need not depend
 // on `orchestra-storage` directly.
 pub use orchestra_storage::{Codec, FlushPolicy, PruneReport, RetentionPolicy};

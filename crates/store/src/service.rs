@@ -1,0 +1,995 @@
+//! Confederation-as-a-service: the update store served over framed
+//! request/response messages.
+//!
+//! Until PR 8 every driver called the [`UpdateStore`] trait in-process and a
+//! confederation-scale run needed one OS thread per reconciling participant.
+//! This module turns the store into a *service*: the paged session protocol
+//! ([`UpdateStore::begin_reconciliation`] / [`UpdateStore::next_batch`] /
+//! [`UpdateStore::commit_reconciliation`] / [`UpdateStore::abort_reconciliation`])
+//! plus [`UpdateStore::publish`] / [`UpdateStore::publish_stamped`] become
+//! [`StoreRequest`] / [`StoreResponse`] frames carried over a
+//! [`SimNetwork`], served by a **bounded worker pool** on the hand-rolled
+//! [`orchestra_rt`] runtime.
+//!
+//! # Architecture
+//!
+//! * Requests are routed to `participant % workers`, one bounded inbox per
+//!   worker, so every participant's frames are handled **FIFO** by a single
+//!   worker while distinct participants spread across the pool.
+//! * Inboxes are bounded: a full inbox *parks* the sending client task until
+//!   the worker drains (real backpressure, not a simulated flag).
+//! * Workers drain their inbox in batches (up to
+//!   [`ServiceConfig::max_batch`] frames per wake-up) and pay the simulated
+//!   store access latency **once per batch** — the request-batching win.
+//! * Admission control: at most [`ServiceConfig::max_open_sessions`]
+//!   reconciliation sessions may be open at once. A `Begin` past the cap is
+//!   answered with the retryable [`StoreResponse::Busy`];
+//!   [`ServiceClient::begin_session`] retries with linear virtual backoff.
+//! * Latency is virtual: each frame costs
+//!   [`ServiceConfig::frame_latency_us`] on the driver's
+//!   [`VirtualClock`], so thousands of in-flight sessions overlap their
+//!   wait time on one OS thread.
+//!
+//! A retention [`AutoPruner`] can be attached to the service
+//! ([`StoreService::attach_pruner`]); it is stopped (thread joined) when the
+//! service shuts down or is dropped, tying the background prune loop to the
+//! server lifecycle.
+
+use crate::api::{SessionId, SessionInfo, UpdateStore};
+use crate::dht::{REQUEST_BYTES, UPDATE_BYTES};
+use crate::pruner::AutoPruner;
+use orchestra_model::{CausalStamp, Epoch, ParticipantId, Transaction, TransactionId};
+use orchestra_net::{NodeId, SimNetwork};
+use orchestra_recon::CandidateTransaction;
+use orchestra_rt::{
+    channel, oneshot, LocalExecutor, OneshotSender, Receiver, Sender, VirtualClock,
+};
+use orchestra_storage::{PruneReport, Result, StorageError};
+use rustc_hash::FxHashSet;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Tuning knobs for a [`StoreService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker tasks serving requests. Participants are sharded across
+    /// workers by id, so this bounds store-call concurrency.
+    pub workers: usize,
+    /// Frames a worker inbox holds before senders park (backpressure).
+    pub inbox_capacity: usize,
+    /// Admission-control cap: reconciliation sessions open at once before
+    /// `Begin` is answered [`StoreResponse::Busy`].
+    pub max_open_sessions: usize,
+    /// Frames a worker drains per wake-up, amortising one store access
+    /// latency over the batch.
+    pub max_batch: usize,
+    /// Virtual one-way latency per frame, in microseconds. The default is
+    /// the paper's 500 µs per message.
+    pub frame_latency_us: u64,
+    /// Virtual store access latency a worker pays per drained batch, in
+    /// microseconds.
+    pub store_latency_us: u64,
+    /// Base backoff before a client retries a [`StoreResponse::Busy`]
+    /// `Begin`; attempt `n` waits `n * busy_backoff_us` of virtual time.
+    pub busy_backoff_us: u64,
+    /// `Busy` retries before [`ServiceClient::begin_session`] gives up with
+    /// an admission-control error.
+    pub busy_retries: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            inbox_capacity: 64,
+            max_open_sessions: 1024,
+            max_batch: 16,
+            frame_latency_us: SimNetwork::PAPER_LATENCY_US,
+            store_latency_us: 0,
+            busy_backoff_us: SimNetwork::PAPER_LATENCY_US,
+            busy_retries: 10_000,
+        }
+    }
+}
+
+/// A request frame: one paged-session or publish protocol step.
+#[derive(Debug, Clone)]
+pub enum StoreRequest {
+    /// Open a reconciliation session (subject to admission control).
+    Begin {
+        /// The reconciling participant.
+        participant: ParticipantId,
+    },
+    /// Stream the next page of candidates for an open session.
+    NextBatch {
+        /// The session handle from [`StoreResponse::Began`].
+        session: SessionId,
+        /// Page size; a short page means the stream is exhausted.
+        max_candidates: usize,
+    },
+    /// Commit a session with its accept/reject decisions.
+    Commit {
+        /// The session handle.
+        session: SessionId,
+        /// Accepted member transaction ids.
+        accepted: Vec<TransactionId>,
+        /// Rejected member transaction ids.
+        rejected: Vec<TransactionId>,
+    },
+    /// Abort a session, leaving durable state untouched.
+    Abort {
+        /// The session handle.
+        session: SessionId,
+    },
+    /// Publish a batch of transactions as one epoch.
+    Publish {
+        /// The publishing participant.
+        participant: ParticipantId,
+        /// The batch.
+        transactions: Vec<Transaction>,
+    },
+    /// Publish a causally stamped batch (causal mode).
+    PublishStamped {
+        /// The client-allocated stamp.
+        stamp: CausalStamp,
+        /// The batch.
+        transactions: Vec<Transaction>,
+    },
+}
+
+impl StoreRequest {
+    /// Approximate wire size of the frame, using the same accounting model
+    /// as the DHT store (fixed header per message, per-id and per-update
+    /// payload costs).
+    pub fn frame_bytes(&self) -> u64 {
+        match self {
+            StoreRequest::Begin { .. } | StoreRequest::Abort { .. } => REQUEST_BYTES,
+            StoreRequest::NextBatch { .. } => REQUEST_BYTES,
+            StoreRequest::Commit { accepted, rejected, .. } => {
+                REQUEST_BYTES + 16 * (accepted.len() + rejected.len()) as u64
+            }
+            StoreRequest::Publish { transactions, .. }
+            | StoreRequest::PublishStamped { transactions, .. } => {
+                REQUEST_BYTES
+                    + transactions
+                        .iter()
+                        .map(|t| REQUEST_BYTES + UPDATE_BYTES * t.len() as u64)
+                        .sum::<u64>()
+            }
+        }
+    }
+}
+
+/// A response frame.
+#[derive(Debug, Clone)]
+pub enum StoreResponse {
+    /// The session is open.
+    Began(SessionInfo),
+    /// A page of candidates (short page = stream exhausted).
+    Batch(Vec<CandidateTransaction>),
+    /// The session committed.
+    Committed,
+    /// The session aborted (durable state untouched).
+    Aborted,
+    /// The publish was assigned this epoch.
+    Published(Epoch),
+    /// Admission control rejected a `Begin`: the service is at its open
+    /// session cap. Retryable — back off and try again.
+    Busy,
+    /// The store returned an error; the message carries its rendering.
+    Failed(String),
+}
+
+impl StoreResponse {
+    /// Approximate wire size of the frame (same model as
+    /// [`StoreRequest::frame_bytes`]).
+    pub fn frame_bytes(&self) -> u64 {
+        match self {
+            StoreResponse::Batch(candidates) => {
+                REQUEST_BYTES
+                    + candidates
+                        .iter()
+                        .map(|c| {
+                            REQUEST_BYTES
+                                + c.members
+                                    .iter()
+                                    .map(|(_, updates)| {
+                                        REQUEST_BYTES + UPDATE_BYTES * updates.len() as u64
+                                    })
+                                    .sum::<u64>()
+                        })
+                        .sum::<u64>()
+            }
+            StoreResponse::Failed(message) => REQUEST_BYTES + message.len() as u64,
+            _ => REQUEST_BYTES,
+        }
+    }
+
+    /// Short label for protocol-error messages.
+    fn label(&self) -> &'static str {
+        match self {
+            StoreResponse::Began(_) => "Began",
+            StoreResponse::Batch(_) => "Batch",
+            StoreResponse::Committed => "Committed",
+            StoreResponse::Aborted => "Aborted",
+            StoreResponse::Published(_) => "Published",
+            StoreResponse::Busy => "Busy",
+            StoreResponse::Failed(_) => "Failed",
+        }
+    }
+}
+
+/// A frame in flight: the request plus the reply slot and the sender's
+/// overlay node (for reply-frame accounting).
+struct Envelope {
+    from: NodeId,
+    request: StoreRequest,
+    reply: OneshotSender<StoreResponse>,
+}
+
+/// Counters and admission state shared by the workers and the handle.
+struct ServiceShared {
+    open_sessions: RefCell<FxHashSet<SessionId>>,
+    max_open_sessions: usize,
+    requests: Cell<u64>,
+    busy_rejections: Cell<u64>,
+    batches: Cell<u64>,
+}
+
+/// A snapshot of the service's request counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Request frames served (excluding `Busy` rejections).
+    pub requests: u64,
+    /// `Begin` frames rejected by admission control.
+    pub busy_rejections: u64,
+    /// Worker wake-ups; `requests / batches` is the achieved batching
+    /// factor.
+    pub batches: u64,
+    /// Sessions open right now.
+    pub open_sessions: u64,
+}
+
+impl ServiceStats {
+    /// Folds another snapshot's counters into this one (drivers that start
+    /// one service per phase accumulate across phases). `open_sessions` is
+    /// point-in-time and taken from `other`.
+    pub fn absorb(&mut self, other: ServiceStats) {
+        self.requests += other.requests;
+        self.busy_rejections += other.busy_rejections;
+        self.batches += other.batches;
+        self.open_sessions = other.open_sessions;
+    }
+}
+
+/// The server half: a bounded worker pool serving [`StoreRequest`] frames
+/// against an [`UpdateStore`], spawned onto a [`LocalExecutor`].
+///
+/// The handle is not generic over the store: workers capture the store
+/// reference at [`StoreService::start`] time. Dropping the handle (or calling
+/// [`StoreService::shutdown`]) closes the routes — workers drain what is
+/// queued, then exit when the last [`ServiceClient`] is gone — and stops any
+/// attached [`AutoPruner`].
+pub struct StoreService {
+    server: NodeId,
+    clock: VirtualClock,
+    net: Rc<SimNetwork>,
+    routes: RefCell<Option<Rc<Vec<Sender<Envelope>>>>>,
+    shared: Rc<ServiceShared>,
+    frame_latency_us: u64,
+    busy_backoff_us: u64,
+    busy_retries: u32,
+    pruner: RefCell<Option<AutoPruner>>,
+}
+
+impl StoreService {
+    /// The server's overlay node id.
+    pub fn server_node() -> NodeId {
+        NodeId::hash_str("store-service")
+    }
+
+    /// The overlay node id a participant's client frames originate from.
+    pub fn client_node(participant: ParticipantId) -> NodeId {
+        NodeId::hash_u64(0x5e51_0000_0000u64 + u64::from(participant.as_u32()))
+    }
+
+    /// Starts the service: spawns `config.workers` worker tasks onto `ex`,
+    /// each serving its own bounded inbox against `store`. Frame traffic is
+    /// charged to `net`; latencies use the executor's [`VirtualClock`].
+    pub fn start<'a, S: UpdateStore + ?Sized>(
+        store: &'a S,
+        config: &ServiceConfig,
+        ex: &mut LocalExecutor<'a>,
+        net: Rc<SimNetwork>,
+    ) -> StoreService {
+        assert!(config.workers >= 1, "a store service needs at least one worker");
+        assert!(config.max_batch >= 1, "a worker batch holds at least one frame");
+        let clock = ex.clock();
+        let server = StoreService::server_node();
+        let shared = Rc::new(ServiceShared {
+            open_sessions: RefCell::new(FxHashSet::default()),
+            max_open_sessions: config.max_open_sessions,
+            requests: Cell::new(0),
+            busy_rejections: Cell::new(0),
+            batches: Cell::new(0),
+        });
+        let mut routes = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = channel(config.inbox_capacity);
+            routes.push(tx);
+            ex.spawn(worker(
+                store,
+                rx,
+                Rc::clone(&shared),
+                Rc::clone(&net),
+                server,
+                clock.clone(),
+                config.store_latency_us,
+                config.max_batch,
+            ));
+        }
+        StoreService {
+            server,
+            clock,
+            net,
+            routes: RefCell::new(Some(Rc::new(routes))),
+            shared,
+            frame_latency_us: config.frame_latency_us,
+            busy_backoff_us: config.busy_backoff_us,
+            busy_retries: config.busy_retries,
+            pruner: RefCell::new(None),
+        }
+    }
+
+    /// A client bound to `participant`. Panics after
+    /// [`StoreService::shutdown`].
+    pub fn client_for(&self, participant: ParticipantId) -> ServiceClient {
+        let routes = self.routes.borrow();
+        let routes = routes.as_ref().expect("store service is shut down");
+        ServiceClient {
+            participant,
+            node: StoreService::client_node(participant),
+            server: self.server,
+            clock: self.clock.clone(),
+            net: Rc::clone(&self.net),
+            routes: Rc::clone(routes),
+            frame_latency_us: self.frame_latency_us,
+            busy_backoff_us: self.busy_backoff_us,
+            busy_retries: self.busy_retries,
+        }
+    }
+
+    /// A snapshot of the request counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.shared.requests.get(),
+            busy_rejections: self.shared.busy_rejections.get(),
+            batches: self.shared.batches.get(),
+            open_sessions: self.shared.open_sessions.borrow().len() as u64,
+        }
+    }
+
+    /// Attaches a retention pruner to the service lifecycle: it keeps
+    /// pruning in the background and is stopped (thread joined) by
+    /// [`StoreService::shutdown`] or drop. Replaces (and stops) any
+    /// previously attached pruner.
+    pub fn attach_pruner(&self, pruner: AutoPruner) {
+        *self.pruner.borrow_mut() = Some(pruner);
+    }
+
+    /// Completed prune rounds of the attached pruner (`0` if none).
+    pub fn prune_rounds(&self) -> usize {
+        self.pruner.borrow().as_ref().map_or(0, AutoPruner::rounds)
+    }
+
+    /// Drains the attached pruner's reports (empty if none attached).
+    pub fn take_prune_reports(&self) -> Vec<Result<PruneReport>> {
+        self.pruner.borrow().as_ref().map_or_else(Vec::new, AutoPruner::take_reports)
+    }
+
+    /// Closes the service: drops the routes (workers exit once the queued
+    /// frames and the last live client are gone) and stops the attached
+    /// pruner, joining its thread. Idempotent; also run on drop.
+    pub fn shutdown(&self) {
+        self.routes.borrow_mut().take();
+        if let Some(pruner) = self.pruner.borrow_mut().take() {
+            pruner.stop();
+        }
+    }
+}
+
+impl Drop for StoreService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: drain the inbox in batches, pay the store latency once per
+/// batch, serve each frame synchronously against the store, reply through
+/// the envelope's oneshot.
+#[allow(clippy::too_many_arguments)]
+async fn worker<S: UpdateStore + ?Sized>(
+    store: &S,
+    mut inbox: Receiver<Envelope>,
+    shared: Rc<ServiceShared>,
+    net: Rc<SimNetwork>,
+    server: NodeId,
+    clock: VirtualClock,
+    store_latency_us: u64,
+    max_batch: usize,
+) {
+    while let Some(first) = inbox.recv().await {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match inbox.try_recv() {
+                Some(envelope) => batch.push(envelope),
+                None => break,
+            }
+        }
+        shared.batches.set(shared.batches.get() + 1);
+        if store_latency_us > 0 {
+            clock.sleep_us(store_latency_us).await;
+        }
+        for envelope in batch {
+            let response = serve(store, &shared, envelope.request);
+            net.send_direct(server, envelope.from, response.frame_bytes());
+            // A send error means the client gave up on the reply; the
+            // store-side effect stands either way.
+            let _ = envelope.reply.send(response);
+        }
+    }
+}
+
+/// Serves one frame against the store (synchronous store call).
+fn serve<S: UpdateStore + ?Sized>(
+    store: &S,
+    shared: &ServiceShared,
+    request: StoreRequest,
+) -> StoreResponse {
+    if let StoreRequest::Begin { .. } = request {
+        if shared.open_sessions.borrow().len() >= shared.max_open_sessions {
+            shared.busy_rejections.set(shared.busy_rejections.get() + 1);
+            return StoreResponse::Busy;
+        }
+    }
+    shared.requests.set(shared.requests.get() + 1);
+    match request {
+        StoreRequest::Begin { participant } => match store.begin_reconciliation(participant) {
+            Ok(timed) => {
+                shared.open_sessions.borrow_mut().insert(timed.value.session);
+                StoreResponse::Began(timed.value)
+            }
+            Err(error) => StoreResponse::Failed(error.to_string()),
+        },
+        StoreRequest::NextBatch { session, max_candidates } => {
+            match store.next_batch(session, max_candidates) {
+                Ok(timed) => StoreResponse::Batch(timed.value),
+                Err(error) => StoreResponse::Failed(error.to_string()),
+            }
+        }
+        StoreRequest::Commit { session, accepted, rejected } => {
+            match store.commit_reconciliation(session, &accepted, &rejected) {
+                Ok(_) => {
+                    shared.open_sessions.borrow_mut().remove(&session);
+                    StoreResponse::Committed
+                }
+                // The session stays open on a failed commit: the client
+                // aborts it, releasing the admission slot then.
+                Err(error) => StoreResponse::Failed(error.to_string()),
+            }
+        }
+        StoreRequest::Abort { session } => match store.abort_reconciliation(session) {
+            Ok(()) => {
+                shared.open_sessions.borrow_mut().remove(&session);
+                StoreResponse::Aborted
+            }
+            Err(error) => StoreResponse::Failed(error.to_string()),
+        },
+        StoreRequest::Publish { participant, transactions } => {
+            match store.publish(participant, transactions) {
+                Ok(timed) => StoreResponse::Published(timed.value),
+                Err(error) => StoreResponse::Failed(error.to_string()),
+            }
+        }
+        StoreRequest::PublishStamped { stamp, transactions } => {
+            match store.publish_stamped(stamp, transactions) {
+                Ok(timed) => StoreResponse::Published(timed.value),
+                Err(error) => StoreResponse::Failed(error.to_string()),
+            }
+        }
+    }
+}
+
+fn remote_error(message: String) -> StorageError {
+    StorageError::Session(format!("service: {message}"))
+}
+
+fn protocol_error(expected: &str, got: &StoreResponse) -> StorageError {
+    StorageError::Session(format!("protocol error: expected {expected}, got {}", got.label()))
+}
+
+/// The client half: issues framed requests for one participant, charging
+/// frame traffic to the [`SimNetwork`] and frame latency to the
+/// [`VirtualClock`]. Cloning is cheap; clones share the routes.
+#[derive(Clone)]
+pub struct ServiceClient {
+    participant: ParticipantId,
+    node: NodeId,
+    server: NodeId,
+    clock: VirtualClock,
+    net: Rc<SimNetwork>,
+    routes: Rc<Vec<Sender<Envelope>>>,
+    frame_latency_us: u64,
+    busy_backoff_us: u64,
+    busy_retries: u32,
+}
+
+impl ServiceClient {
+    /// The participant this client issues frames for.
+    pub fn participant(&self) -> ParticipantId {
+        self.participant
+    }
+
+    /// The virtual clock the client's latencies accrue on.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Issues one framed request and awaits its response. Charges the
+    /// request frame, sleeps the one-way frame latency, parks while the
+    /// worker inbox is full (backpressure), then sleeps the reply frame's
+    /// latency once the worker answers.
+    pub async fn request(&self, request: StoreRequest) -> Result<StoreResponse> {
+        self.net.send_direct(self.node, self.server, request.frame_bytes());
+        self.clock.sleep_us(self.frame_latency_us).await;
+        let (reply, response) = oneshot();
+        let worker = self.participant.as_u32() as usize % self.routes.len();
+        self.routes[worker]
+            .send(Envelope { from: self.node, request, reply })
+            .await
+            .map_err(|_| StorageError::Session("store service is shut down".to_string()))?;
+        let response = response.await.ok_or_else(|| {
+            StorageError::Session("store service dropped the request".to_string())
+        })?;
+        self.clock.sleep_us(self.frame_latency_us).await;
+        Ok(response)
+    }
+
+    /// Opens a reconciliation session, retrying [`StoreResponse::Busy`]
+    /// admission rejections with linear virtual backoff.
+    pub async fn begin_session(&self) -> Result<SessionInfo> {
+        let mut attempt = 0u32;
+        loop {
+            match self.request(StoreRequest::Begin { participant: self.participant }).await? {
+                StoreResponse::Began(info) => return Ok(info),
+                StoreResponse::Busy => {
+                    if attempt >= self.busy_retries {
+                        return Err(StorageError::Session(
+                            "admission control: service stayed at capacity through every retry"
+                                .to_string(),
+                        ));
+                    }
+                    attempt += 1;
+                    self.clock.sleep_us(self.busy_backoff_us * u64::from(attempt)).await;
+                }
+                StoreResponse::Failed(message) => return Err(remote_error(message)),
+                other => return Err(protocol_error("Began or Busy", &other)),
+            }
+        }
+    }
+
+    /// Streams one page of candidates.
+    pub async fn next_batch(
+        &self,
+        session: SessionId,
+        max_candidates: usize,
+    ) -> Result<Vec<CandidateTransaction>> {
+        match self.request(StoreRequest::NextBatch { session, max_candidates }).await? {
+            StoreResponse::Batch(candidates) => Ok(candidates),
+            StoreResponse::Failed(message) => Err(remote_error(message)),
+            other => Err(protocol_error("Batch", &other)),
+        }
+    }
+
+    /// Drains the session's candidate stream in pages of `batch_size`,
+    /// stopping at the first short page (the [`UpdateStore::next_batch`]
+    /// end-of-stream contract).
+    pub async fn drain_candidates(
+        &self,
+        session: SessionId,
+        batch_size: usize,
+    ) -> Result<Vec<CandidateTransaction>> {
+        let batch_size = batch_size.max(1);
+        let mut candidates = Vec::new();
+        loop {
+            let page = self.next_batch(session, batch_size).await?;
+            let exhausted = page.len() < batch_size;
+            candidates.extend(page);
+            if exhausted {
+                return Ok(candidates);
+            }
+        }
+    }
+
+    /// Commits the session with its decisions.
+    pub async fn commit(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<()> {
+        let request = StoreRequest::Commit {
+            session,
+            accepted: accepted.to_vec(),
+            rejected: rejected.to_vec(),
+        };
+        match self.request(request).await? {
+            StoreResponse::Committed => Ok(()),
+            StoreResponse::Failed(message) => Err(remote_error(message)),
+            other => Err(protocol_error("Committed", &other)),
+        }
+    }
+
+    /// Aborts the session.
+    pub async fn abort(&self, session: SessionId) -> Result<()> {
+        match self.request(StoreRequest::Abort { session }).await? {
+            StoreResponse::Aborted => Ok(()),
+            StoreResponse::Failed(message) => Err(remote_error(message)),
+            other => Err(protocol_error("Aborted", &other)),
+        }
+    }
+
+    /// Publishes a batch, returning its epoch.
+    pub async fn publish(&self, transactions: Vec<Transaction>) -> Result<Epoch> {
+        let request = StoreRequest::Publish { participant: self.participant, transactions };
+        match self.request(request).await? {
+            StoreResponse::Published(epoch) => Ok(epoch),
+            StoreResponse::Failed(message) => Err(remote_error(message)),
+            other => Err(protocol_error("Published", &other)),
+        }
+    }
+
+    /// Publishes a causally stamped batch, returning its arrival epoch.
+    pub async fn publish_stamped(
+        &self,
+        stamp: CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        match self.request(StoreRequest::PublishStamped { stamp, transactions }).await? {
+            StoreResponse::Published(epoch) => Ok(epoch),
+            StoreResponse::Failed(message) => Err(remote_error(message)),
+            other => Err(protocol_error("Published", &other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::central::CentralStore;
+    use crate::ReconciliationSession;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{TrustPolicy, Tuple, Update};
+    use orchestra_storage::RetentionPolicy;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn txn(i: u32, j: u64, key: &str) -> Transaction {
+        let tuple = Tuple::of_text(&["org", key, "f"]);
+        Transaction::from_parts(p(i), j, vec![Update::insert("Function", tuple, p(i))]).unwrap()
+    }
+
+    /// A store where participants `1..=n` all trust each other at priority 1.
+    fn mutual_store(n: u32) -> CentralStore {
+        let s = CentralStore::new(bioinformatics_schema());
+        for i in 1..=n {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            s.register_participant(policy);
+        }
+        s
+    }
+
+    fn all_member_ids(candidates: &[CandidateTransaction]) -> Vec<TransactionId> {
+        let mut seen = FxHashSet::default();
+        let mut ids = Vec::new();
+        for candidate in candidates {
+            for (id, _) in &candidate.members {
+                if seen.insert(*id) {
+                    ids.push(*id);
+                }
+            }
+        }
+        ids
+    }
+
+    /// Drives `net`-framed traffic: publishes from 1 and 2, accept-all
+    /// reconciliations for everyone, all through the service; returns the
+    /// virtual completion times of the reconcile sessions.
+    fn serve_round(s: &CentralStore, config: &ServiceConfig, n: u32) -> (ServiceStats, u64) {
+        let clock = VirtualClock::new();
+        let mut ex = LocalExecutor::new(clock.clone());
+        let net = Rc::new(SimNetwork::new(vec![StoreService::server_node()]));
+        let service = StoreService::start(s, config, &mut ex, Rc::clone(&net));
+
+        let publisher = service.client_for(p(1));
+        let publisher2 = service.client_for(p(2));
+        ex.spawn(async move {
+            publisher.publish(vec![txn(1, 0, "k1")]).await.unwrap();
+            publisher2.publish(vec![txn(2, 0, "k2")]).await.unwrap();
+        });
+        assert_eq!(ex.run(), config.workers);
+
+        for i in 1..=n {
+            let client = service.client_for(p(i));
+            ex.spawn(async move {
+                let info = client.begin_session().await.unwrap();
+                let candidates = client.drain_candidates(info.session, 8).await.unwrap();
+                let accepted = all_member_ids(&candidates);
+                client.commit(info.session, &accepted, &[]).await.unwrap();
+            });
+        }
+        assert_eq!(ex.run(), config.workers);
+
+        let stats = service.stats();
+        service.shutdown();
+        assert_eq!(ex.run(), 0);
+        (stats, clock.now_us())
+    }
+
+    #[test]
+    fn framed_protocol_matches_direct_store_access() {
+        let served = mutual_store(3);
+        let (stats, elapsed_us) = serve_round(&served, &ServiceConfig::default(), 3);
+
+        // The same schedule driven through the in-process trait.
+        let direct = mutual_store(3);
+        direct.publish(p(1), vec![txn(1, 0, "k1")]).unwrap();
+        direct.publish(p(2), vec![txn(2, 0, "k2")]).unwrap();
+        for i in 1..=3 {
+            let mut session = ReconciliationSession::open(&direct, p(i)).unwrap();
+            let candidates = session.drain(8).unwrap();
+            let accepted = all_member_ids(&candidates);
+            session.commit(&accepted, &[]).unwrap();
+        }
+
+        for i in 1..=3 {
+            assert_eq!(served.accepted_set(p(i)), direct.accepted_set(p(i)), "participant {i}");
+            assert_eq!(served.epoch_cursor(p(i)), direct.epoch_cursor(p(i)));
+            assert_eq!(served.current_reconciliation(p(i)), direct.current_reconciliation(p(i)));
+        }
+        // 2 publishes + 3 × (begin + one page + commit) frames were served.
+        assert_eq!(stats.requests, 2 + 3 * 3);
+        assert_eq!(stats.open_sessions, 0);
+        assert!(elapsed_us > 0, "frame latency must advance virtual time");
+    }
+
+    #[test]
+    fn admission_cap_answers_busy_and_retries_succeed() {
+        let s = mutual_store(3);
+        s.publish(p(1), vec![txn(1, 0, "k1")]).unwrap();
+
+        let config = ServiceConfig { workers: 1, max_open_sessions: 1, ..ServiceConfig::default() };
+        let clock = VirtualClock::new();
+        let mut ex = LocalExecutor::new(clock.clone());
+        let net = Rc::new(SimNetwork::new(vec![StoreService::server_node()]));
+        let service = StoreService::start(&s, &config, &mut ex, net);
+        let done = Rc::new(Cell::new(0u32));
+        for i in 1..=3 {
+            let client = service.client_for(p(i));
+            let done = Rc::clone(&done);
+            ex.spawn(async move {
+                let info = client.begin_session().await.unwrap();
+                let candidates = client.drain_candidates(info.session, 8).await.unwrap();
+                client.commit(info.session, &all_member_ids(&candidates), &[]).await.unwrap();
+                done.set(done.get() + 1);
+            });
+        }
+        assert_eq!(ex.run(), 1);
+        assert_eq!(done.get(), 3, "every session eventually got an admission slot");
+        let stats = service.stats();
+        assert!(stats.busy_rejections >= 2, "the cap of 1 must have turned sessions away");
+        assert_eq!(stats.open_sessions, 0);
+    }
+
+    #[test]
+    fn exhausted_admission_retries_surface_a_retryable_error() {
+        let s = mutual_store(2);
+        let config = ServiceConfig {
+            workers: 1,
+            max_open_sessions: 1,
+            busy_retries: 0,
+            ..ServiceConfig::default()
+        };
+        let clock = VirtualClock::new();
+        let mut ex = LocalExecutor::new(clock.clone());
+        let net = Rc::new(SimNetwork::new(vec![StoreService::server_node()]));
+        let service = StoreService::start(&s, &config, &mut ex, net);
+
+        let holder = service.client_for(p(1));
+        let holder_clock = clock.clone();
+        ex.spawn(async move {
+            let info = holder.begin_session().await.unwrap();
+            holder_clock.sleep_us(1_000_000).await;
+            holder.abort(info.session).await.unwrap();
+        });
+        let rejected = Rc::new(RefCell::new(None));
+        let latecomer = service.client_for(p(2));
+        let rejected_slot = Rc::clone(&rejected);
+        let late_clock = clock.clone();
+        ex.spawn(async move {
+            late_clock.sleep_us(10_000).await;
+            *rejected_slot.borrow_mut() = Some(latecomer.begin_session().await);
+        });
+        assert_eq!(ex.run(), 1);
+        let error = rejected.borrow_mut().take().expect("latecomer ran").unwrap_err();
+        assert!(
+            error.to_string().contains("admission control"),
+            "expected an admission-control error, got: {error}"
+        );
+        assert!(service.stats().busy_rejections >= 1);
+    }
+
+    #[test]
+    fn one_participants_frames_are_served_in_issue_order() {
+        let s = mutual_store(1);
+        let config = ServiceConfig { workers: 1, ..ServiceConfig::default() };
+        let clock = VirtualClock::new();
+        let mut ex = LocalExecutor::new(clock.clone());
+        let net = Rc::new(SimNetwork::new(vec![StoreService::server_node()]));
+        let service = StoreService::start(&s, &config, &mut ex, net);
+
+        // Three concurrent publish tasks for the same participant hit the
+        // same worker inbox; their frames enqueue in task order and the
+        // worker must serve them FIFO, so epochs come back in issue order.
+        let epochs = Rc::new(RefCell::new(vec![Epoch::ZERO; 3]));
+        for slot in 0..3u64 {
+            let client = service.client_for(p(1));
+            let epochs = Rc::clone(&epochs);
+            ex.spawn(async move {
+                let epoch = client.publish(vec![txn(1, slot, "k")]).await.unwrap();
+                epochs.borrow_mut()[slot as usize] = epoch;
+            });
+        }
+        assert_eq!(ex.run(), 1);
+        assert_eq!(*epochs.borrow(), vec![Epoch(1), Epoch(2), Epoch(3)]);
+    }
+
+    #[test]
+    fn bounded_inboxes_park_producers_and_batches_amortise_latency() {
+        // Capacity-1 inboxes: every frame is its own batch, and producers
+        // beyond the first park until the worker drains.
+        let s = mutual_store(8);
+        let tight = ServiceConfig {
+            workers: 1,
+            inbox_capacity: 1,
+            max_batch: 16,
+            store_latency_us: 1_000,
+            ..ServiceConfig::default()
+        };
+        let (stats, _) = serve_round(&s, &tight, 8);
+        assert_eq!(stats.batches, stats.requests, "capacity 1 leaves nothing to batch");
+
+        // Roomy inboxes under the same load: concurrent sessions pile
+        // frames into the inbox while the worker sleeps on the store
+        // latency, so batching must kick in.
+        let s = mutual_store(8);
+        let roomy = ServiceConfig {
+            workers: 1,
+            inbox_capacity: 64,
+            max_batch: 16,
+            store_latency_us: 1_000,
+            ..ServiceConfig::default()
+        };
+        let (stats, _) = serve_round(&s, &roomy, 8);
+        assert!(
+            stats.batches < stats.requests,
+            "expected batching: {} batches for {} requests",
+            stats.batches,
+            stats.requests
+        );
+    }
+
+    #[test]
+    fn attached_pruner_stops_with_the_service() {
+        let s = Arc::new(mutual_store(2));
+        let clock = VirtualClock::new();
+        let mut ex = LocalExecutor::new(clock);
+        let net = Rc::new(SimNetwork::new(vec![StoreService::server_node()]));
+        let service = StoreService::start(&*s, &ServiceConfig::default(), &mut ex, net);
+
+        let rounds = Arc::new(AtomicU64::new(0));
+        let pruner_rounds = Arc::clone(&rounds);
+        let pruner_store = Arc::clone(&s);
+        service.attach_pruner(AutoPruner::spawn(Duration::from_millis(2), move || {
+            pruner_rounds.fetch_add(1, Ordering::SeqCst);
+            pruner_store.prune_to_horizon()
+        }));
+        while rounds.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        service.shutdown();
+        // `shutdown` joins the pruner thread, so no further round can start.
+        let at_shutdown = rounds.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rounds.load(Ordering::SeqCst), at_shutdown);
+        assert_eq!(service.prune_rounds(), 0, "the pruner is detached after shutdown");
+    }
+
+    #[test]
+    fn pruning_under_live_traffic_never_breaks_an_open_session() {
+        let served = mutual_store(3);
+        served.set_retention(RetentionPolicy::ConvergedOnly);
+        served.catalog().close_membership().unwrap();
+        let reference = mutual_store(3);
+        reference.catalog().close_membership().unwrap();
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            // Hammer the retention layer from a real thread while the
+            // service multiplexes sessions: an open session pins the
+            // convergence horizon, so every prune pass must observe it.
+            scope.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    served.prune_to_horizon().unwrap();
+                }
+            });
+            for round in 0..12u32 {
+                let clock = VirtualClock::new();
+                let mut ex = LocalExecutor::new(clock.clone());
+                let net = Rc::new(SimNetwork::new(vec![StoreService::server_node()]));
+                let config = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+                let service = StoreService::start(&served, &config, &mut ex, net);
+                let publisher = service.client_for(p(1 + round % 3));
+                let key = format!("k{round}");
+                let batch = vec![txn(1 + round % 3, u64::from(round), &key)];
+                ex.spawn(async move {
+                    publisher.publish(batch).await.unwrap();
+                });
+                assert_eq!(ex.run(), config.workers);
+                for i in 1..=3 {
+                    let client = service.client_for(p(i));
+                    ex.spawn(async move {
+                        let info = client.begin_session().await.unwrap();
+                        let candidates = client.drain_candidates(info.session, 4).await.unwrap();
+                        client
+                            .commit(info.session, &all_member_ids(&candidates), &[])
+                            .await
+                            .unwrap();
+                    });
+                }
+                assert_eq!(ex.run(), config.workers);
+                service.shutdown();
+                assert_eq!(ex.run(), 0);
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+
+        // The same schedule, unserved and unpruned, decides identically.
+        for round in 0..12u32 {
+            let key = format!("k{round}");
+            reference
+                .publish(p(1 + round % 3), vec![txn(1 + round % 3, u64::from(round), &key)])
+                .unwrap();
+            for i in 1..=3 {
+                let mut session = ReconciliationSession::open(&reference, p(i)).unwrap();
+                let candidates = session.drain(4).unwrap();
+                let accepted = all_member_ids(&candidates);
+                session.commit(&accepted, &[]).unwrap();
+            }
+        }
+        for i in 1..=3 {
+            assert_eq!(served.accepted_set(p(i)), reference.accepted_set(p(i)));
+            assert_eq!(served.epoch_cursor(p(i)), reference.epoch_cursor(p(i)));
+        }
+    }
+}

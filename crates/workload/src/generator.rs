@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Parameters of the synthetic workload, matching Section 6 of the paper
 /// where specified (Zipf exponent 1.5 over the function pool, 7.3
@@ -52,7 +53,10 @@ impl Default for WorkloadConfig {
 #[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
     config: WorkloadConfig,
-    pools: SwissProtPools,
+    /// Shared so that confederations with one generator per participant pay
+    /// for the key universe once — the pools are a pure function of
+    /// `(key_universe, function_pool)`, never of the seed.
+    pools: Arc<SwissProtPools>,
     value_sampler: ZipfSampler,
     key_sampler: ZipfSampler,
     rng: StdRng,
@@ -62,7 +66,25 @@ impl WorkloadGenerator {
     /// Creates a generator with the given configuration and seed. The same
     /// seed produces the same update stream.
     pub fn new(config: WorkloadConfig, seed: u64) -> Self {
-        let pools = SwissProtPools::new(config.key_universe, config.function_pool);
+        let pools = Arc::new(SwissProtPools::new(config.key_universe, config.function_pool));
+        Self::with_shared_pools(config, pools, seed)
+    }
+
+    /// Creates a generator that borrows an already-built pool set instead of
+    /// materialising its own. At confederation scale (a thousand generators
+    /// over millions of keys) the pools dominate memory, and they are
+    /// identical across participants, so build them once and share.
+    ///
+    /// # Panics
+    /// Panics if the pool dimensions do not match the configuration — a
+    /// mismatch would silently change which keys the samplers can reach.
+    pub fn with_shared_pools(
+        config: WorkloadConfig,
+        pools: Arc<SwissProtPools>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(pools.key_count(), config.key_universe, "shared pool key universe mismatch");
+        assert_eq!(pools.function_count(), config.function_pool, "shared pool function mismatch");
         let value_sampler = ZipfSampler::new(config.function_pool, config.value_zipf_exponent);
         let key_sampler = ZipfSampler::new(config.key_universe, config.key_zipf_exponent);
         WorkloadGenerator {
@@ -290,6 +312,29 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(a.next_transaction(p(1), &db), b.next_transaction(p(1), &db));
         }
+    }
+
+    #[test]
+    fn shared_pools_reproduce_the_owned_stream() {
+        let schema = bioinformatics_schema();
+        let db = Database::new(schema);
+        let config = small_config();
+        let pools = Arc::new(SwissProtPools::new(config.key_universe, config.function_pool));
+        let mut owned = WorkloadGenerator::new(config.clone(), 99);
+        let mut shared = WorkloadGenerator::with_shared_pools(config, Arc::clone(&pools), 99);
+        for _ in 0..20 {
+            assert_eq!(owned.next_transaction(p(1), &db), shared.next_transaction(p(1), &db));
+        }
+        // The sharing is real: no per-generator copy was made.
+        assert_eq!(Arc::strong_count(&pools), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared pool key universe mismatch")]
+    fn mismatched_shared_pools_are_rejected() {
+        let config = small_config();
+        let pools = Arc::new(SwissProtPools::new(config.key_universe + 1, config.function_pool));
+        let _ = WorkloadGenerator::with_shared_pools(config, pools, 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod crash;
 pub mod generator;
 pub mod offline;
 pub mod retention;
+pub mod scale;
 pub mod scenario;
 pub mod swissprot;
 pub mod zipf;
@@ -27,6 +28,7 @@ pub use offline::{run_offline_scenario, EpochMode, OfflineChurnConfig, OfflineCh
 pub use retention::{
     run_retention_scenario, RetentionChurnConfig, RetentionChurnResult, RetentionSample,
 };
+pub use scale::{run_churn_scale, zipf_fanin_policies, ScaleConfig, ScaleDriver, ScaleRunResult};
 pub use scenario::{
     mutual_trust_policies, run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig,
     ChurnResult, ChurnSample, ConcurrentChurnResult, ReconcileDriver, ScenarioConfig,

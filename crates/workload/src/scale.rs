@@ -1,0 +1,512 @@
+//! The `churn_scale` scenario: confederation-scale churn through the store
+//! service.
+//!
+//! Where [`crate::scenario::run_churn_concurrent`] compares reconciliation
+//! drivers on a handful of participants, this module stresses the *service*
+//! deployment model at the paper's confederation scale: a thousand-plus
+//! participants publishing hundreds of thousands of updates while sustained
+//! waves of reconciliation sessions are multiplexed through the framed store
+//! service ([`orchestra_store::StoreService`]).
+//!
+//! Relevance is Zipf-skewed: each participant trusts a small set of
+//! publishers drawn from a Zipf distribution over the confederation
+//! ([`zipf_fanin_policies`]), so a few popular publishers are relevant to
+//! most of the confederation while the long tail is relevant to almost
+//! nobody — the interest skew the paper observes in bioinformatics sharing.
+//!
+//! Three drivers run the *same* publish/reconcile schedule:
+//!
+//! * [`ScaleDriver::Sequential`] — one session after another; the decision
+//!   baseline.
+//! * [`ScaleDriver::Threads`] — the thread-per-participant driver
+//!   (`reconcile_each_parallel`), the pre-service deployment model.
+//! * [`ScaleDriver::Service`] — sessions multiplexed through the bounded
+//!   worker pool of the store service on the single-threaded runtime.
+//!
+//! Because publishes are schedule-ordered in every driver and a wave pins
+//! the log, all three reach identical decisions; the run result carries an
+//! order-invariant [`ScaleRunResult::decision_fingerprint`] so a benchmark
+//! can assert that equivalence cheaply at full scale.
+
+use crate::generator::{WorkloadConfig, WorkloadGenerator};
+use crate::swissprot::SwissProtPools;
+use crate::zipf::ZipfSampler;
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{ParticipantId, TransactionId, TrustPolicy};
+use orchestra_store::{ServiceConfig, UpdateStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rustc_hash::{FxHashSet, FxHasher};
+use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one `churn_scale` run.
+///
+/// The service knobs mirror [`ServiceConfig`] field for field (that struct
+/// carries no serde impls; this one must be serialisable into benchmark
+/// metadata) — [`ScaleConfig::service_config`] converts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleConfig {
+    /// Confederation size.
+    pub participants: usize,
+    /// Publish/reconcile rounds.
+    pub rounds: usize,
+    /// Transactions each participant publishes per round.
+    pub transactions_per_publish: usize,
+    /// Publishers each participant trusts (drawn Zipf-skewed).
+    pub trusted_publishers: usize,
+    /// Zipf exponent of publisher popularity.
+    pub zipf_s: f64,
+    /// Reconciliation stagger: participant `idx` reconciles every
+    /// `1 + idx % max_reconcile_interval` rounds.
+    pub max_reconcile_interval: usize,
+    /// Workload generator parameters.
+    pub workload: WorkloadConfig,
+    /// Base random seed.
+    pub seed: u64,
+    /// Mirrors [`ServiceConfig::workers`].
+    pub service_workers: usize,
+    /// Mirrors [`ServiceConfig::inbox_capacity`].
+    pub service_inbox_capacity: usize,
+    /// Mirrors [`ServiceConfig::max_open_sessions`].
+    pub service_max_open_sessions: usize,
+    /// Mirrors [`ServiceConfig::max_batch`].
+    pub service_max_batch: usize,
+    /// Mirrors [`ServiceConfig::frame_latency_us`].
+    pub frame_latency_us: u64,
+    /// Mirrors [`ServiceConfig::store_latency_us`].
+    pub store_latency_us: u64,
+}
+
+impl ScaleConfig {
+    /// Reduced scale for tests and the CI quick benchmark: tens of
+    /// participants, hundreds of updates, the same schedule shape.
+    pub fn quick() -> ScaleConfig {
+        ScaleConfig {
+            participants: 64,
+            rounds: 3,
+            transactions_per_publish: 1,
+            trusted_publishers: 4,
+            zipf_s: 1.1,
+            max_reconcile_interval: 3,
+            workload: WorkloadConfig {
+                transaction_size: 4,
+                key_universe: 400,
+                function_pool: 60,
+                value_zipf_exponent: 1.5,
+                key_zipf_exponent: 0.9,
+                xref_mean: 0.0,
+            },
+            seed: 42,
+            service_workers: 4,
+            service_inbox_capacity: 64,
+            service_max_open_sessions: 48,
+            service_max_batch: 16,
+            frame_latency_us: 500,
+            store_latency_us: 200,
+        }
+    }
+
+    /// Full scale: 1024 participants × 6 rounds × 34-update transactions
+    /// ≈ 209k published updates, with an admission cap below the largest
+    /// wave so the service sheds and re-admits load under pressure.
+    ///
+    /// The key universe is huge and uniform (`key_zipf_exponent: 0`) so
+    /// that most updates are *inserts*: an insert has no antecedent, which
+    /// keeps candidate extension closures small. A skewed universe at this
+    /// volume makes nearly every update a modify, each 34-update
+    /// transaction then carries ~30 antecedent edges, and closures grow
+    /// towards the whole history — quadratic reconciliation that drowns
+    /// the service-versus-threads comparison this scenario exists for.
+    /// (Relevance skew is still Zipf — it lives in the trust fan-in, not
+    /// the keys.)
+    pub fn full() -> ScaleConfig {
+        ScaleConfig {
+            participants: 1024,
+            rounds: 6,
+            transactions_per_publish: 1,
+            trusted_publishers: 8,
+            zipf_s: 1.1,
+            max_reconcile_interval: 3,
+            workload: WorkloadConfig {
+                transaction_size: 34,
+                key_universe: 4_000_000,
+                function_pool: 500,
+                value_zipf_exponent: 1.5,
+                key_zipf_exponent: 0.0,
+                xref_mean: 0.0,
+            },
+            seed: 42,
+            service_workers: 8,
+            service_inbox_capacity: 128,
+            service_max_open_sessions: 512,
+            service_max_batch: 16,
+            frame_latency_us: 500,
+            store_latency_us: 1_000,
+        }
+    }
+
+    /// The [`ServiceConfig`] these knobs describe.
+    pub fn service_config(&self) -> ServiceConfig {
+        ServiceConfig {
+            workers: self.service_workers,
+            inbox_capacity: self.service_inbox_capacity,
+            max_open_sessions: self.service_max_open_sessions,
+            max_batch: self.service_max_batch,
+            frame_latency_us: self.frame_latency_us,
+            store_latency_us: self.store_latency_us,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// How a `churn_scale` run drives its reconciliation waves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleDriver {
+    /// One session after another (decision baseline).
+    Sequential,
+    /// One OS thread per due participant against the shared store.
+    Threads,
+    /// Sessions multiplexed through the framed store service.
+    Service,
+}
+
+/// Aggregate results of one `churn_scale` run.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleRunResult {
+    /// Reconciliation sessions completed.
+    pub sessions: u64,
+    /// Publishes that assigned an epoch.
+    pub publishes: u64,
+    /// Transactions generated (= published; every round publishes).
+    pub transactions: u64,
+    /// Updates generated across all transactions.
+    pub updates: u64,
+    /// Wall clock of the reconciliation waves alone.
+    pub reconcile_wall: Duration,
+    /// Wall clock of the whole run.
+    pub total_wall: Duration,
+    /// Per-session virtual latency (begin to commit, including queueing),
+    /// microseconds. Populated by the service driver only.
+    pub latencies_us: Vec<u64>,
+    /// Service request frames served (service driver only).
+    pub requests: u64,
+    /// `Begin` frames shed by admission control (service driver only).
+    pub busy_rejections: u64,
+    /// Worker wake-ups; `requests / batches` is the achieved batching
+    /// factor (service driver only).
+    pub batches: u64,
+    /// Simulated-network messages (service driver only).
+    pub net_messages: u64,
+    /// Simulated-network bytes (service driver only).
+    pub net_bytes: u64,
+    /// Virtual time consumed by the service rounds, microseconds.
+    pub virtual_elapsed_us: u64,
+    /// Order-invariant hash of every participant's accepted and rejected
+    /// sets; equal fingerprints ⇒ identical decisions.
+    pub decision_fingerprint: u64,
+    /// Final state ratio over the `Function` relation.
+    pub state_ratio: f64,
+}
+
+/// Builds the Zipf-skewed fan-in trust policies: participant popularity
+/// follows a Zipf distribution (participant 1 the most popular), and each
+/// participant trusts `trusted_publishers` *distinct* publishers, at
+/// priority 1, sampled from it.
+pub fn zipf_fanin_policies(
+    participants: usize,
+    trusted_publishers: usize,
+    zipf_s: f64,
+    seed: u64,
+) -> Vec<TrustPolicy> {
+    assert!(participants >= 2, "a confederation needs at least 2 participants");
+    let sampler = ZipfSampler::new(participants, zipf_s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let want = trusted_publishers.min(participants - 1);
+    (1..=participants as u32)
+        .map(|me| {
+            let mut policy = TrustPolicy::new(ParticipantId(me));
+            let mut chosen: FxHashSet<u32> = FxHashSet::default();
+            // Rejection-sample distinct publishers; under heavy skew the
+            // popular ranks repeat, so cap the attempts and top up from the
+            // head of the popularity order (never from `me` itself).
+            let mut attempts = 0usize;
+            while chosen.len() < want && attempts < 64 * want.max(1) {
+                attempts += 1;
+                let publisher = sampler.sample(&mut rng) as u32 + 1;
+                if publisher != me && chosen.insert(publisher) {
+                    policy = policy.trusting(ParticipantId(publisher), 1u32);
+                }
+            }
+            let mut rank = 1u32;
+            while chosen.len() < want {
+                if rank != me && chosen.insert(rank) {
+                    policy = policy.trusting(ParticipantId(rank), 1u32);
+                }
+                rank += 1;
+            }
+            policy
+        })
+        .collect()
+}
+
+/// Order-invariant fingerprint of every participant's decision record.
+fn decision_fingerprint<S: UpdateStore>(store: &S, ids: &[ParticipantId]) -> u64 {
+    let mut combined = 0u64;
+    for &id in ids {
+        let mut hasher = FxHasher::default();
+        id.as_u32().hash(&mut hasher);
+        for decisions in [store.accepted_set(id), store.rejected_set(id)] {
+            let mut sorted: Vec<TransactionId> = decisions.iter().copied().collect();
+            sorted.sort();
+            sorted.hash(&mut hasher);
+        }
+        combined = combined.wrapping_add(hasher.finish());
+    }
+    combined
+}
+
+/// Runs the `churn_scale` scenario: every round, every participant executes
+/// and publishes a workload batch, then the round's due participants (same
+/// stagger as the churn scenarios) reconcile as one wave under the chosen
+/// [`ScaleDriver`]; a final catch-up wave converges everybody.
+pub fn run_churn_scale<S: UpdateStore + Sync>(
+    store: S,
+    config: &ScaleConfig,
+    driver: ScaleDriver,
+) -> ScaleRunResult {
+    let schema = bioinformatics_schema();
+    let mut system = CdssSystem::new(schema, store);
+    let policies = zipf_fanin_policies(
+        config.participants,
+        config.trusted_publishers,
+        config.zipf_s,
+        config.seed.wrapping_add(0x9e37_79b9),
+    );
+    for policy in policies {
+        system.add_participant(ParticipantConfig::new(policy)).expect("unique participants");
+    }
+    let ids = system.participant_ids();
+
+    // One pool set for the whole confederation: pools depend only on the
+    // universe sizes, and a per-participant copy of a multi-million-key
+    // universe would dwarf the store itself.
+    let pools =
+        Arc::new(SwissProtPools::new(config.workload.key_universe, config.workload.function_pool));
+    let mut generators: Vec<WorkloadGenerator> = ids
+        .iter()
+        .map(|id| {
+            WorkloadGenerator::with_shared_pools(
+                config.workload.clone(),
+                Arc::clone(&pools),
+                config.seed.wrapping_add(u64::from(id.as_u32()) * 6151),
+            )
+        })
+        .collect();
+
+    let service_config = config.service_config();
+    let mut result = ScaleRunResult::default();
+    let run_start = Instant::now();
+
+    for round in 0..config.rounds {
+        // Phase 1: everyone executes its batch. Publishes follow in id
+        // order under every driver, so epochs — and decisions — are
+        // schedule-determined.
+        for (idx, &id) in ids.iter().enumerate() {
+            let batch = {
+                let participant = system.participant(id).expect("participant exists");
+                generators[idx].next_batch(
+                    id,
+                    participant.instance(),
+                    config.transactions_per_publish,
+                )
+            };
+            for updates in batch {
+                result.transactions += 1;
+                result.updates += updates.len() as u64;
+                let _ = system.execute(id, updates);
+            }
+        }
+        match driver {
+            ScaleDriver::Sequential | ScaleDriver::Threads => {
+                for &id in &ids {
+                    if system.publish(id).expect("publish succeeds").is_some() {
+                        result.publishes += 1;
+                    }
+                }
+            }
+            ScaleDriver::Service => {
+                let report = system
+                    .run_service_round(&ids, &[], &service_config)
+                    .expect("service publish phase succeeds");
+                result.publishes +=
+                    report.published.iter().filter(|(_, epoch)| epoch.is_some()).count() as u64;
+                absorb_service_report(&mut result, &report);
+            }
+        }
+
+        // Phase 2: the round's due participants reconcile as one wave.
+        let due: Vec<ParticipantId> = ids
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| {
+                let interval = 1 + idx % config.max_reconcile_interval.max(1);
+                (round + idx) % interval == 0
+            })
+            .map(|(_, &id)| id)
+            .collect();
+        reconcile_wave(&mut system, &mut result, &due, driver, &service_config);
+    }
+
+    // Final catch-up wave: everyone reconciles once more, so every driver
+    // ends at the same converged frontier.
+    reconcile_wave(&mut system, &mut result, &ids, driver, &service_config);
+
+    result.total_wall = run_start.elapsed();
+    result.state_ratio = system.state_ratio_for("Function");
+    result.decision_fingerprint = decision_fingerprint(system.store(), &ids);
+    result
+}
+
+fn reconcile_wave<S: UpdateStore + Sync>(
+    system: &mut CdssSystem<S>,
+    result: &mut ScaleRunResult,
+    due: &[ParticipantId],
+    driver: ScaleDriver,
+    service_config: &ServiceConfig,
+) {
+    if due.is_empty() {
+        return;
+    }
+    let wave_start = Instant::now();
+    match driver {
+        ScaleDriver::Sequential => {
+            let reports = system.reconcile_each(due).expect("sequential wave succeeds");
+            result.sessions += reports.len() as u64;
+        }
+        ScaleDriver::Threads => {
+            let reports = system.reconcile_each_parallel(due).expect("threaded wave succeeds");
+            result.sessions += reports.len() as u64;
+        }
+        ScaleDriver::Service => {
+            let report =
+                system.run_service_round(&[], due, service_config).expect("service wave succeeds");
+            result.sessions += report.results.len() as u64;
+            result.latencies_us.extend_from_slice(&report.latencies_us);
+            absorb_service_report(result, &report);
+        }
+    }
+    result.reconcile_wall += wave_start.elapsed();
+}
+
+fn absorb_service_report(result: &mut ScaleRunResult, report: &orchestra::ServiceDriveReport) {
+    result.requests += report.stats.requests;
+    result.busy_rejections += report.stats.busy_rejections;
+    result.batches += report.stats.batches;
+    result.net_messages += report.net.messages;
+    result.net_bytes += report.net.bytes;
+    result.virtual_elapsed_us += report.virtual_elapsed_us;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orchestra_store::CentralStore;
+
+    fn quick() -> ScaleConfig {
+        ScaleConfig::quick()
+    }
+
+    #[test]
+    fn zipf_fanin_policies_are_distinct_skewed_and_never_self_trusting() {
+        use orchestra_model::{Tuple, Update};
+        let n = 64;
+        let schema = bioinformatics_schema();
+        let policies = zipf_fanin_policies(n, 4, 1.1, 7);
+        assert_eq!(policies.len(), n);
+        let update_from = |p: ParticipantId| {
+            Update::insert("Function", Tuple::of_text(&["rat", "prot", "immune"]), p)
+        };
+        let mut trust_counts = vec![0usize; n + 1];
+        for (idx, policy) in policies.iter().enumerate() {
+            let me = ParticipantId(idx as u32 + 1);
+            assert_eq!(policy.owner(), me);
+            let trusted: Vec<ParticipantId> = (1..=n as u32)
+                .map(ParticipantId)
+                .filter(|&p| {
+                    p != me && policy.priority_of_update(&update_from(p), &schema).is_trusted()
+                })
+                .collect();
+            assert_eq!(trusted.len(), 4, "participant {me:?} trusts exactly 4 publishers");
+            for p in trusted {
+                trust_counts[p.as_u32() as usize] += 1;
+            }
+        }
+        // Zipf skew: the head of the popularity order is trusted far more
+        // often than the tail.
+        let head: usize = trust_counts[1..=4].iter().sum();
+        let tail: usize = trust_counts[n - 3..=n].iter().sum();
+        assert!(head > 4 * tail.max(1), "expected skew, head={head} tail={tail}");
+    }
+
+    #[test]
+    fn all_three_drivers_reach_identical_decisions_at_reduced_scale() {
+        let config = quick();
+        let sequential = run_churn_scale(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ScaleDriver::Sequential,
+        );
+        let threads = run_churn_scale(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ScaleDriver::Threads,
+        );
+        let service = run_churn_scale(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ScaleDriver::Service,
+        );
+
+        assert!(sequential.transactions > 0 && sequential.updates > 0);
+        assert_eq!(sequential.transactions, threads.transactions);
+        assert_eq!(sequential.transactions, service.transactions);
+        assert_eq!(sequential.publishes, service.publishes);
+        assert_eq!(sequential.sessions, service.sessions);
+        assert_eq!(sequential.decision_fingerprint, threads.decision_fingerprint);
+        assert_eq!(sequential.decision_fingerprint, service.decision_fingerprint);
+        assert_eq!(sequential.state_ratio, service.state_ratio);
+
+        // Only the service driver reports frame traffic and latencies.
+        assert_eq!(sequential.requests, 0);
+        assert!(service.requests > 0);
+        assert_eq!(service.latencies_us.len() as u64, service.sessions);
+        assert!(service.latencies_us.iter().all(|&us| us > 0));
+        assert!(service.virtual_elapsed_us > 0);
+        assert!(service.net_messages >= service.requests);
+    }
+
+    #[test]
+    fn tight_admission_cap_sheds_load_but_still_converges() {
+        let mut config = quick();
+        config.participants = 24;
+        config.rounds = 2;
+        config.service_max_open_sessions = 2;
+        let service = run_churn_scale(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ScaleDriver::Service,
+        );
+        let sequential = run_churn_scale(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ScaleDriver::Sequential,
+        );
+        assert!(service.busy_rejections > 0, "cap of 2 must shed some Begins");
+        assert_eq!(service.sessions, sequential.sessions, "every session still completes");
+        assert_eq!(service.decision_fingerprint, sequential.decision_fingerprint);
+    }
+}

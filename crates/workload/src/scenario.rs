@@ -354,6 +354,10 @@ pub enum ReconcileDriver {
     /// One thread per due participant, all against the one shared store
     /// (`CdssSystem::reconcile_each_parallel`).
     Parallel,
+    /// One async session per due participant, multiplexed through the framed
+    /// store service on the single-threaded runtime
+    /// (`CdssSystem::reconcile_each_service` with default service knobs).
+    Service,
 }
 
 /// Aggregate results of one concurrent-churn run.
@@ -391,10 +395,10 @@ pub struct ConcurrentChurnResult {
 /// [`ReconcileDriver`] executes — serially, or with one thread per due
 /// participant against the shared store.
 ///
-/// Publishes stay sequential in both drivers, so the epoch order (and with
+/// Publishes stay sequential in every driver, so the epoch order (and with
 /// it every decision) is deterministic; within a wave no publish intervenes,
 /// so a participant's session depends only on the pinned log and its own
-/// decision record and the two drivers reach **identical decisions** — the
+/// decision record and all drivers reach **identical decisions** — the
 /// equivalence the parallel-driver proptest asserts. What changes is the
 /// wall clock: the parallel driver overlaps the store latency and the local
 /// engine work of all due participants.
@@ -433,6 +437,9 @@ pub fn run_churn_concurrent<S: UpdateStore + Sync>(
         let reports = match driver {
             ReconcileDriver::Sequential => system.reconcile_each(due),
             ReconcileDriver::Parallel => system.reconcile_each_parallel(due),
+            ReconcileDriver::Service => {
+                system.reconcile_each_service(due, &orchestra_store::ServiceConfig::default())
+            }
         }
         .expect("reconcile wave succeeds");
         result.reconcile_wall += wave_start.elapsed();
@@ -447,7 +454,7 @@ pub fn run_churn_concurrent<S: UpdateStore + Sync>(
     };
 
     for round in 0..config.rounds {
-        // Phase 1 (sequential in both drivers): everyone executes its batch
+        // Phase 1 (sequential in every driver): everyone executes its batch
         // and publishes, so the epoch order is schedule-determined.
         for (idx, &id) in ids.iter().enumerate() {
             let batch = {
@@ -634,11 +641,18 @@ mod tests {
             &config,
             ReconcileDriver::Parallel,
         );
-        assert_eq!(sequential.reconciliations, parallel.reconciliations);
-        assert_eq!(sequential.accepted, parallel.accepted);
-        assert_eq!(sequential.rejected, parallel.rejected);
-        assert_eq!(sequential.deferred, parallel.deferred);
-        assert_eq!(sequential.state_ratio, parallel.state_ratio);
+        let service = run_churn_concurrent(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ReconcileDriver::Service,
+        );
+        for other in [&parallel, &service] {
+            assert_eq!(sequential.reconciliations, other.reconciliations);
+            assert_eq!(sequential.accepted, other.accepted);
+            assert_eq!(sequential.rejected, other.rejected);
+            assert_eq!(sequential.deferred, other.deferred);
+            assert_eq!(sequential.state_ratio, other.state_ratio);
+        }
         assert!(sequential.accepted > 0, "churn must share data");
         assert!(parallel.reconcile_wall > Duration::ZERO);
         assert!(parallel.total_wall >= parallel.reconcile_wall);

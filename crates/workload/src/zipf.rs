@@ -12,17 +12,27 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct ZipfSampler {
     /// Cumulative distribution over ranks (index `k-1` holds `P(rank <= k)`).
+    /// Left empty for the uniform (`s == 0`) fast path, where materialising
+    /// a CDF over a huge rank space would cost `8n` bytes per sampler for no
+    /// information.
     cdf: Vec<f64>,
+    /// The number of ranks.
+    n: usize,
 }
 
 impl ZipfSampler {
-    /// Creates a sampler over `n` ranks with exponent `s`.
+    /// Creates a sampler over `n` ranks with exponent `s`. `s == 0` is the
+    /// uniform distribution and is served without materialising the CDF, so
+    /// rank spaces in the millions stay cheap.
     ///
     /// # Panics
     /// Panics if `n == 0` or `s` is not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf sampler needs at least one rank");
         assert!(s.is_finite(), "Zipf exponent must be finite");
+        if s == 0.0 {
+            return ZipfSampler { cdf: Vec::new(), n };
+        }
         let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
@@ -34,21 +44,25 @@ impl ZipfSampler {
         if let Some(last) = weights.last_mut() {
             *last = 1.0;
         }
-        ZipfSampler { cdf: weights }
+        ZipfSampler { cdf: weights, n }
     }
 
     /// The number of ranks.
     pub fn len(&self) -> usize {
-        self.cdf.len()
+        self.n
     }
 
-    /// Returns true if the sampler has exactly one rank (degenerate).
+    /// Returns true if the sampler has no ranks (never: `new` requires at
+    /// least one).
     pub fn is_empty(&self) -> bool {
-        self.cdf.is_empty()
+        self.n == 0
     }
 
     /// Samples a rank in `0..n` (0 is the most popular rank).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        if self.cdf.is_empty() {
+            return rng.gen_range(0..self.n);
+        }
         let u: f64 = rng.gen_range(0.0..1.0);
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf")) {
             Ok(i) => i,
@@ -58,8 +72,11 @@ impl ZipfSampler {
 
     /// The probability of a given rank (0-based).
     pub fn probability(&self, rank: usize) -> f64 {
-        if rank >= self.cdf.len() {
+        if rank >= self.n {
             return 0.0;
+        }
+        if self.cdf.is_empty() {
+            return 1.0 / self.n as f64;
         }
         if rank == 0 {
             self.cdf[0]
@@ -120,6 +137,25 @@ mod tests {
             assert!(sa < 7);
             assert_eq!(sa, sb);
         }
+    }
+
+    #[test]
+    fn uniform_fast_path_skips_the_cdf_and_covers_every_rank() {
+        let z = ZipfSampler::new(1_000_000, 0.0);
+        assert_eq!(z.len(), 1_000_000);
+        assert!(!z.is_empty());
+        assert!((z.probability(0) - 1e-6).abs() < 1e-12);
+        assert_eq!(z.probability(0), z.probability(999_999));
+        assert_eq!(z.probability(1_000_000), 0.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let small = ZipfSampler::new(8, 0.0);
+        let mut seen = [0usize; 8];
+        for _ in 0..4_000 {
+            let rank = small.sample(&mut rng);
+            seen[rank] += 1;
+        }
+        // Uniform: every rank hit, no rank dominating.
+        assert!(seen.iter().all(|&c| c > 300), "counts {seen:?}");
     }
 
     #[test]

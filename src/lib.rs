@@ -8,6 +8,7 @@ pub use orchestra;
 pub use orchestra_model as model;
 pub use orchestra_net as net;
 pub use orchestra_recon as recon;
+pub use orchestra_rt as rt;
 pub use orchestra_storage as storage;
 pub use orchestra_store as store;
 pub use orchestra_workload as workload;
