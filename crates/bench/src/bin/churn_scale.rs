@@ -1,6 +1,6 @@
-//! Runs the confederation-scale service benchmark (store-service driver
-//! versus thread-per-participant and sequential drivers) and writes the
-//! benchmark-trajectory document.
+//! Runs the confederation-scale service benchmark (store-service and
+//! sharded-fabric drivers versus thread-per-participant and sequential
+//! drivers) and writes the benchmark-trajectory document.
 //!
 //! Usage:
 //!
@@ -9,8 +9,8 @@
 //! ```
 //!
 //! The default output path is `BENCH_churn_scale.json` in the current
-//! directory. `--full` runs the committed trajectory scale (1024
-//! participants, ≈ 209k published updates).
+//! directory. `--full` runs the committed trajectory scale (4096
+//! participants across a 4-shard fabric, ≈ 213k published updates).
 
 use orchestra_bench::{render_table, run_churn_scale_bench, write_churn_scale_json, FigureScale};
 use std::path::PathBuf;
@@ -58,7 +58,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            "Churn at confederation scale: sequential vs threads vs store service",
+            "Churn at confederation scale: sequential vs threads vs service vs fabric",
             &[
                 "driver",
                 "sessions",
@@ -85,6 +85,16 @@ fn main() {
         report.summary.batching_factor,
         report.summary.busy_rejections,
         report.summary.decisions_match,
+    );
+    println!(
+        "fabric ({} shards) {:.0} req/s, session latency p50 {:.1} ms / p99 {:.1} ms (virtual), \
+         {:.0} sessions/s, shard frames {:?}",
+        report.summary.fabric_shards,
+        report.summary.fabric_requests_per_second,
+        report.summary.fabric_p50_ms,
+        report.summary.fabric_p99_ms,
+        report.summary.fabric_sessions_per_second,
+        report.summary.fabric_shard_frames,
     );
     if !report.summary.decisions_match {
         eprintln!("FATAL: drivers disagreed on decisions");

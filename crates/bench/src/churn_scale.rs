@@ -1,9 +1,9 @@
-//! The confederation-scale service benchmark: the store-service driver
-//! versus the thread-per-participant and sequential drivers on the same
-//! churn schedule at ≥ 1000 participants.
+//! The confederation-scale service benchmark: the store-service and
+//! sharded-fabric drivers versus the thread-per-participant and sequential
+//! drivers on the same churn schedule at ≥ 4000 participants.
 //!
 //! This is the `BENCH_churn_scale.json` entry of the repository's benchmark
-//! trajectory. All three drivers run the *same* Zipf-skewed publish/
+//! trajectory. All four drivers run the *same* Zipf-skewed publish/
 //! reconcile schedule ([`orchestra_workload::run_churn_scale`]) and must
 //! reach bit-identical decision fingerprints:
 //!
@@ -18,15 +18,24 @@
 //!   single-threaded runtime, where the same latencies are charged to the
 //!   *virtual* clock: real wall-clock pays only the compute, and the
 //!   virtual session latencies (begin to commit, including queueing and
-//!   admission-control backoff) come out of the run as a distribution.
+//!   admission-control backoff) come out of the run as a distribution;
+//! * **fabric** runs through a confederation of shard services
+//!   ([`orchestra_workload::run_churn_scale_fabric`]): the publication log
+//!   is replicated across [`ScaleConfig::fabric_shards`] store services,
+//!   relevance is partitioned by home shard, publishes fan out to every
+//!   replica, and each session pages candidates from every shard into one
+//!   virtual timeline.
 //!
 //! The headline comparison is reconcile throughput (sessions per wall
-//! second) service versus threads, plus the service's request rate and its
-//! virtual session-latency percentiles.
+//! second) service versus threads, plus the service's and the fabric's
+//! request rates and virtual session-latency percentiles; the fabric's p99
+//! (`fabric_p99_ms`) is gated lower-is-better by the trajectory check.
 
 use orchestra_model::schema::bioinformatics_schema;
 use orchestra_store::CentralStore;
-use orchestra_workload::{run_churn_scale, ScaleConfig, ScaleDriver, ScaleRunResult};
+use orchestra_workload::{
+    run_churn_scale, run_churn_scale_fabric, ScaleConfig, ScaleDriver, ScaleRunResult,
+};
 use serde::Serialize;
 use std::io;
 use std::path::Path;
@@ -37,7 +46,7 @@ use crate::figures::FigureScale;
 /// One row of the churn-scale benchmark: a driver's aggregate cost.
 #[derive(Debug, Clone, Serialize)]
 pub struct ChurnScaleRow {
-    /// `"sequential"`, `"threads"` or `"service"`.
+    /// `"sequential"`, `"threads"`, `"service"` or `"fabric"`.
     pub driver: String,
     /// Reconciliation sessions completed.
     pub sessions: u64,
@@ -65,6 +74,9 @@ pub struct ChurnScaleRow {
     /// Virtual milliseconds consumed by the service rounds (service row
     /// only).
     pub virtual_elapsed_ms: f64,
+    /// Frames delivered to each shard's server endpoint (fabric row only);
+    /// the spread is the shard-load skew.
+    pub shard_frames: Vec<u64>,
     /// Order-invariant decision fingerprint, hex (must match across rows).
     pub decision_fingerprint: String,
     /// Final state ratio over `Function` (must match across rows).
@@ -103,7 +115,24 @@ pub struct ChurnScaleSummary {
     pub batching_factor: f64,
     /// `Begin` frames shed by admission control across the service run.
     pub busy_rejections: u64,
-    /// Whether all three drivers reached identical decision fingerprints,
+    /// Shards in the store fabric.
+    pub fabric_shards: usize,
+    /// Request frames served across all shard services per real wall-clock
+    /// second of the whole fabric run.
+    pub fabric_requests_per_second: f64,
+    /// Median virtual session latency of the fabric driver (begin to
+    /// commit across every shard), milliseconds.
+    pub fabric_p50_ms: f64,
+    /// 99th-percentile virtual session latency of the fabric driver,
+    /// milliseconds. Gated lower-is-better by the trajectory check.
+    pub fabric_p99_ms: f64,
+    /// Fabric reconcile throughput: sessions per wall second of the
+    /// reconciliation waves.
+    pub fabric_sessions_per_second: f64,
+    /// Frames delivered to each shard's server endpoint across the fabric
+    /// run; the spread is the shard-load skew.
+    pub fabric_shard_frames: Vec<u64>,
+    /// Whether all four drivers reached identical decision fingerprints,
     /// session counts and state ratio (they must).
     pub decisions_match: bool,
     /// One-way frame latency charged per message, microseconds.
@@ -125,8 +154,8 @@ pub struct ChurnScaleReport {
 }
 
 /// The churn-scale configuration used at each scale: [`ScaleConfig::quick`]
-/// for CI, [`ScaleConfig::full`] (1024 participants, ≈ 209k updates) for
-/// the committed trajectory document.
+/// for CI, [`ScaleConfig::full`] (4096 participants across 4 shards,
+/// ≈ 213k updates) for the committed trajectory document.
 pub fn churn_scale_config(scale: FigureScale) -> ScaleConfig {
     match scale {
         FigureScale::Quick => ScaleConfig::quick(),
@@ -149,6 +178,7 @@ fn row(driver: &str, result: &ScaleRunResult) -> ChurnScaleRow {
         net_messages: result.net_messages,
         net_bytes: result.net_bytes,
         virtual_elapsed_ms: result.virtual_elapsed_us as f64 / 1_000.0,
+        shard_frames: result.shard_frames.clone(),
         decision_fingerprint: format!("{:016x}", result.decision_fingerprint),
         state_ratio: result.state_ratio,
     }
@@ -185,13 +215,17 @@ pub fn run_churn_scale_bench_with(config: &ScaleConfig) -> ChurnScaleReport {
     );
     let service =
         run_churn_scale(CentralStore::new(bioinformatics_schema()), config, ScaleDriver::Service);
+    let fabric = run_churn_scale_fabric(config);
 
     let mut latencies = service.latencies_us.clone();
     latencies.sort_unstable();
+    let mut fabric_latencies = fabric.latencies_us.clone();
+    fabric_latencies.sort_unstable();
 
     let seq_row = row("sequential", &sequential);
     let thr_row = row("threads", &threads);
     let svc_row = row("service", &service);
+    let fab_row = row("fabric", &fabric);
     let summary = ChurnScaleSummary {
         participants: config.participants,
         rounds: config.rounds,
@@ -208,17 +242,28 @@ pub fn run_churn_scale_bench_with(config: &ScaleConfig) -> ChurnScaleReport {
             / svc_row.reconcile_wall_seconds.max(f64::EPSILON),
         batching_factor: svc_row.requests as f64 / (svc_row.batches as f64).max(1.0),
         busy_rejections: svc_row.busy_rejections,
+        fabric_shards: config.fabric_shards,
+        fabric_requests_per_second: fab_row.requests as f64
+            / fab_row.total_wall_seconds.max(f64::EPSILON),
+        fabric_p50_ms: percentile_ms(&fabric_latencies, 0.50),
+        fabric_p99_ms: percentile_ms(&fabric_latencies, 0.99),
+        fabric_sessions_per_second: fab_row.sessions as f64
+            / fab_row.reconcile_wall_seconds.max(f64::EPSILON),
+        fabric_shard_frames: fab_row.shard_frames.clone(),
         decisions_match: seq_row.decision_fingerprint == thr_row.decision_fingerprint
             && seq_row.decision_fingerprint == svc_row.decision_fingerprint
+            && seq_row.decision_fingerprint == fab_row.decision_fingerprint
             && seq_row.sessions == thr_row.sessions
             && seq_row.sessions == svc_row.sessions
+            && seq_row.sessions == fab_row.sessions
             && seq_row.state_ratio == thr_row.state_ratio
-            && seq_row.state_ratio == svc_row.state_ratio,
+            && seq_row.state_ratio == svc_row.state_ratio
+            && seq_row.state_ratio == fab_row.state_ratio,
         frame_latency_us: config.frame_latency_us,
         store_latency_us: config.store_latency_us,
         available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     };
-    ChurnScaleReport { rows: vec![seq_row, thr_row, svc_row], summary }
+    ChurnScaleReport { rows: vec![seq_row, thr_row, svc_row, fab_row], summary }
 }
 
 /// Runs the churn-scale benchmark at the given scale.
@@ -264,7 +309,7 @@ mod tests {
         config.rounds = 2;
         config.service_max_open_sessions = 16;
         let report = run_churn_scale_bench_with(&config);
-        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows.len(), 4);
         assert!(report.summary.decisions_match, "drivers diverged: {report:?}");
         assert!(report.summary.published_updates > 0);
         assert!(report.summary.sessions_per_driver > 0);
@@ -272,6 +317,11 @@ mod tests {
         assert!(report.summary.session_p99_ms >= report.summary.session_p50_ms);
         assert!(report.summary.session_p50_ms > 0.0);
         assert!(report.summary.batching_factor >= 1.0);
+        assert!(report.summary.fabric_requests_per_second > 0.0);
+        assert!(report.summary.fabric_p99_ms >= report.summary.fabric_p50_ms);
+        assert!(report.summary.fabric_p50_ms > 0.0);
+        assert_eq!(report.summary.fabric_shard_frames.len(), config.fabric_shards);
+        assert!(report.summary.fabric_shard_frames.iter().all(|&frames| frames > 0));
     }
 
     #[test]

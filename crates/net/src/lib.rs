@@ -12,6 +12,9 @@
 //!   latency per message hop and counts messages, so a store built on it can
 //!   report the communication component of reconciliation time exactly the
 //!   way the paper's Figures 10 and 12 do.
+//! * [`Transport`] — the seam under the framed service protocol: one method
+//!   to charge a framed message between two endpoints, implemented by
+//!   [`SimNetwork`] today and by real sockets later.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,7 +22,9 @@
 pub mod node;
 pub mod ring;
 pub mod simnet;
+pub mod transport;
 
 pub use node::NodeId;
 pub use ring::{Ring, RoutePath};
-pub use simnet::{NetworkStats, PeerTraffic, SimNetwork};
+pub use simnet::{LinkTraffic, NetworkStats, PeerTraffic, SimNetwork};
+pub use transport::Transport;

@@ -48,6 +48,21 @@ pub struct PeerTraffic {
     pub bytes_in: u64,
 }
 
+/// Per-link traffic counters for one directed `(from, to)` endpoint pair, as
+/// returned by [`SimNetwork::link_traffic`].
+///
+/// [`PeerTraffic`] aggregates everything a node sent or received regardless
+/// of the other endpoint; per-link counters keep each directed pair separate,
+/// which is what a sharded deployment needs to report traffic *skew* (how
+/// unevenly clients load each shard server).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTraffic {
+    /// Messages sent from the link's source to its destination.
+    pub messages: u64,
+    /// Bytes sent from the link's source to its destination.
+    pub bytes: u64,
+}
+
 /// Atomic counterpart of [`NetworkStats`].
 #[derive(Debug, Default)]
 struct AtomicStats {
@@ -95,6 +110,22 @@ impl PeerCounters {
     }
 }
 
+/// Atomic counterpart of [`LinkTraffic`].
+#[derive(Debug, Default)]
+struct LinkCounters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl LinkCounters {
+    fn snapshot(&self) -> LinkTraffic {
+        LinkTraffic {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A deterministic virtual-time network over a DHT overlay.
 ///
 /// Every message charged through the network adds `latency_per_message` per
@@ -108,6 +139,7 @@ pub struct SimNetwork {
     latency_per_message_us: u64,
     stats: AtomicStats,
     peers: RwLock<BTreeMap<NodeId, PeerCounters>>,
+    links: RwLock<BTreeMap<(NodeId, NodeId), LinkCounters>>,
 }
 
 impl SimNetwork {
@@ -127,6 +159,7 @@ impl SimNetwork {
             latency_per_message_us: latency.as_micros() as u64,
             stats: AtomicStats::default(),
             peers: RwLock::new(BTreeMap::new()),
+            links: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -163,10 +196,25 @@ impl SimNetwork {
         peers.get(&node).map(PeerCounters::snapshot).unwrap_or_default()
     }
 
+    /// Per-link traffic counters so far, keyed by directed `(from, to)`
+    /// endpoint pair.
+    pub fn link_traffic(&self) -> BTreeMap<(NodeId, NodeId), LinkTraffic> {
+        let links = self.links.read().expect("link lock");
+        links.iter().map(|(link, counters)| (*link, counters.snapshot())).collect()
+    }
+
+    /// Traffic counters of a single directed link (zero if no message ever
+    /// travelled from `from` to `to`).
+    pub fn link_traffic_for(&self, from: NodeId, to: NodeId) -> LinkTraffic {
+        let links = self.links.read().expect("link lock");
+        links.get(&(from, to)).map(LinkCounters::snapshot).unwrap_or_default()
+    }
+
     /// Resets the statistics (e.g. between measured reconciliations).
     pub fn reset_stats(&self) {
         self.stats.reset();
         self.peers.write().expect("peer lock").clear();
+        self.links.write().expect("link lock").clear();
     }
 
     fn with_peer(&self, node: NodeId, f: impl Fn(&PeerCounters)) {
@@ -181,6 +229,18 @@ impl SimNetwork {
         f(peers.entry(node).or_default());
     }
 
+    fn with_link(&self, from: NodeId, to: NodeId, f: impl Fn(&LinkCounters)) {
+        {
+            let links = self.links.read().expect("link lock");
+            if let Some(counters) = links.get(&(from, to)) {
+                f(counters);
+                return;
+            }
+        }
+        let mut links = self.links.write().expect("link lock");
+        f(links.entry((from, to)).or_default());
+    }
+
     fn charge(&self, from: NodeId, to: NodeId, hops: u64, bytes: u64) {
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         self.stats.hops.fetch_add(hops, Ordering::Relaxed);
@@ -193,6 +253,10 @@ impl SimNetwork {
         self.with_peer(to, |c| {
             c.received.fetch_add(1, Ordering::Relaxed);
             c.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+        });
+        self.with_link(from, to, |c| {
+            c.messages.fetch_add(1, Ordering::Relaxed);
+            c.bytes.fetch_add(bytes, Ordering::Relaxed);
         });
     }
 
@@ -252,6 +316,23 @@ impl Clone for SimNetwork {
                                 received: AtomicU64::new(t.received),
                                 bytes_out: AtomicU64::new(t.bytes_out),
                                 bytes_in: AtomicU64::new(t.bytes_in),
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+            links: RwLock::new(
+                self.links
+                    .read()
+                    .expect("link lock")
+                    .iter()
+                    .map(|(link, counters)| {
+                        let t = counters.snapshot();
+                        (
+                            *link,
+                            LinkCounters {
+                                messages: AtomicU64::new(t.messages),
+                                bytes: AtomicU64::new(t.bytes),
                             },
                         )
                     })
@@ -351,6 +432,48 @@ mod tests {
         assert_eq!(from_b.received, 2);
         assert_eq!(from_b.bytes_out, 8);
         assert_eq!(from_b.bytes_in, 80);
+    }
+
+    #[test]
+    fn link_counters_keep_directions_separate() {
+        let net = network(4);
+        let a = net.ring().members()[0];
+        let b = net.ring().members()[1];
+        let c = net.ring().members()[2];
+        net.send_direct(a, b, 64);
+        net.send_direct(a, b, 16);
+        net.send_direct(b, a, 8);
+        net.send_direct(a, c, 4);
+
+        let ab = net.link_traffic_for(a, b);
+        assert_eq!(ab.messages, 2);
+        assert_eq!(ab.bytes, 80);
+        let ba = net.link_traffic_for(b, a);
+        assert_eq!(ba.messages, 1);
+        assert_eq!(ba.bytes, 8);
+        assert_eq!(net.link_traffic_for(a, c).bytes, 4);
+        assert_eq!(net.link_traffic_for(c, a), LinkTraffic::default());
+
+        // The link map partitions the peer aggregates: summing every link a
+        // node originates reproduces its PeerTraffic sent counters.
+        let links = net.link_traffic();
+        let a_out: u64 = links.iter().filter(|((f, _), _)| *f == a).map(|(_, t)| t.bytes).sum();
+        assert_eq!(a_out, net.peer_traffic_for(a).bytes_out);
+
+        net.reset_stats();
+        assert!(net.link_traffic().is_empty());
+    }
+
+    #[test]
+    fn clone_preserves_link_counters() {
+        let net = network(4);
+        let a = net.ring().members()[0];
+        let b = net.ring().members()[1];
+        net.send_direct(a, b, 32);
+        let copy = net.clone();
+        net.send_direct(a, b, 32);
+        assert_eq!(copy.link_traffic_for(a, b).messages, 1);
+        assert_eq!(net.link_traffic_for(a, b).messages, 2);
     }
 
     #[test]

@@ -63,4 +63,4 @@ pub mod system;
 pub use metrics::{state_ratio, state_ratio_for_relation};
 pub use participant::{Participant, ParticipantConfig};
 pub use report::{ReconcileReport, ResolutionReport, TimingBreakdown};
-pub use system::{CdssSystem, ServiceDriveReport};
+pub use system::{CdssSystem, FabricDriveReport, ServiceDriveReport};

@@ -19,7 +19,7 @@ use orchestra_recon::{
     ReconcileInput, ReconcileOutcome, ResolutionChoice, SoftState,
 };
 use orchestra_storage::{Database, InstanceCheckpoint, Result, StorageError};
-use orchestra_store::{ReconciliationSession, ServiceClient, StoreTiming, UpdateStore};
+use orchestra_store::{ReconciliationSession, SessionClient, StoreTiming, UpdateStore};
 use std::time::{Duration, Instant};
 
 /// Default page size for session-based candidate retrieval: bounds the
@@ -381,14 +381,16 @@ impl Participant {
     }
 
     /// [`Participant::publish`] over the store service: the batch travels as
-    /// a framed `Publish`/`PublishStamped` request through the
-    /// [`ServiceClient`], with frame latency charged to the driver's virtual
-    /// clock. Decisions and store state end up identical to the in-process
-    /// path.
-    pub async fn publish_service<S: UpdateStore + ?Sized>(
+    /// a framed `Publish`/`PublishStamped` request through a
+    /// [`SessionClient`] — a single service's
+    /// [`ServiceClient`](orchestra_store::ServiceClient) or a whole
+    /// fabric's [`FabricClient`](orchestra_store::FabricClient) — with frame
+    /// latency charged to the driver's virtual clock. Decisions and store
+    /// state end up identical to the in-process path.
+    pub async fn publish_service<S: UpdateStore + ?Sized, C: SessionClient>(
         &mut self,
         store: &S,
-        client: &ServiceClient,
+        client: &C,
     ) -> Result<Option<orchestra_model::Epoch>> {
         let Some(batch) = self.stage_publish_batch() else {
             return Ok(None);
@@ -687,16 +689,18 @@ impl Participant {
     }
 
     /// [`Participant::reconcile`] over the store service: the paged session
-    /// protocol travels as framed requests through the [`ServiceClient`] —
+    /// protocol travels as framed requests through a [`SessionClient`] —
     /// begin (with admission-control retry), page streaming, commit (or
     /// error-path abort) — while the engine runs locally on the exact same
     /// code as the in-process path, so the decisions are identical. Store
     /// cost is the *virtual* time the frames took, which under a concurrent
-    /// driver includes queueing at the service.
-    pub async fn reconcile_service<S: UpdateStore + ?Sized>(
+    /// driver includes queueing at the service. Over a
+    /// [`FabricClient`](orchestra_store::FabricClient) the session spans one
+    /// shard session per store shard, merged into one candidate timeline.
+    pub async fn reconcile_service<S: UpdateStore + ?Sized, C: SessionClient>(
         &mut self,
         store: &S,
-        client: &ServiceClient,
+        client: &C,
     ) -> Result<ReconcileReport> {
         self.require_online()?;
         let clock = client.clock().clone();

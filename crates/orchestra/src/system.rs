@@ -390,7 +390,12 @@ impl<S: UpdateStore> CdssSystem<S> {
         let mut published = Vec::new();
         if !publish_ids.is_empty() {
             let mut ex = LocalExecutor::new(clock.clone());
-            let service = StoreService::start(store, config, &mut ex, Rc::clone(&net));
+            let service = StoreService::start(
+                store,
+                config,
+                &mut ex,
+                Rc::clone(&net) as Rc<dyn orchestra_net::Transport>,
+            );
             let outcomes = Rc::new(RefCell::new(Vec::new()));
             let mut publishers: Vec<_> = self
                 .participants
@@ -424,7 +429,12 @@ impl<S: UpdateStore> CdssSystem<S> {
         // once against the worker pool.
         let mut outcomes = {
             let mut ex = LocalExecutor::new(clock.clone());
-            let service = StoreService::start(store, config, &mut ex, Rc::clone(&net));
+            let service = StoreService::start(
+                store,
+                config,
+                &mut ex,
+                Rc::clone(&net) as Rc<dyn orchestra_net::Transport>,
+            );
             let outcomes = Rc::new(RefCell::new(Vec::new()));
             for (id, participant) in
                 self.participants.iter_mut().filter(|(id, _)| reconcile_ids.contains(id))
@@ -486,6 +496,229 @@ impl<S: UpdateStore> CdssSystem<S> {
     ) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
         let ids = self.participant_ids();
         self.reconcile_each_service(&ids, config)
+    }
+}
+
+/// What one fabric-driven round produced: reports in id order, per-session
+/// virtual latencies, and per-shard service/traffic counters.
+#[derive(Debug)]
+pub struct FabricDriveReport {
+    /// Reconciliation reports, in participant-id order.
+    pub results: Vec<(ParticipantId, ReconcileReport)>,
+    /// Epochs assigned to the round's publishes, in publish order (`None`
+    /// when a participant had nothing pending).
+    pub published: Vec<(ParticipantId, Option<orchestra_model::Epoch>)>,
+    /// Virtual end-to-end session latency per reconciling participant
+    /// (begin at the first shard to commit at the last, *including* queueing
+    /// at the shard services), in microseconds, in participant-id order.
+    pub latencies_us: Vec<u64>,
+    /// Per-shard service counters accumulated over the round's phases, in
+    /// shard order.
+    pub shard_stats: Vec<orchestra_store::ServiceStats>,
+    /// Frame traffic charged to the simulated network (all shards).
+    pub net: orchestra_net::NetworkStats,
+    /// Request frames that arrived at each shard's server node, in shard
+    /// order — the fabric's traffic skew.
+    pub shard_frames: Vec<u64>,
+    /// Virtual time consumed by the round, in microseconds.
+    pub virtual_elapsed_us: u64,
+}
+
+impl CdssSystem<orchestra_store::StoreFabric> {
+    /// Drives one confederation round through a **sharded store fabric**:
+    /// one [`StoreService`] per shard of the system's
+    /// [`StoreFabric`], all on one simulated network. The `publish_ids`
+    /// participants publish sequentially (primary at the home shard, pinned
+    /// replicas everywhere else, so every shard logs the same global epoch
+    /// order), then the `reconcile_ids` participants reconcile
+    /// **concurrently**, each through a
+    /// [`FabricClient`](orchestra_store::FabricClient) that merges one
+    /// session per shard into a single candidate timeline.
+    ///
+    /// Decisions are identical to the sequential and single-service drivers
+    /// over the same schedule — the `fabric_driver` integration tests prove
+    /// it property-based.
+    ///
+    /// [`StoreService`]: orchestra_store::StoreService
+    /// [`StoreFabric`]: orchestra_store::StoreFabric
+    pub fn run_fabric_round(
+        &mut self,
+        publish_ids: &[ParticipantId],
+        reconcile_ids: &[ParticipantId],
+        config: &orchestra_store::FabricConfig,
+    ) -> Result<FabricDriveReport> {
+        use orchestra_net::Transport;
+        use orchestra_rt::{LocalExecutor, VirtualClock};
+        use orchestra_store::{FabricClient, StoreService};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        if let Some(missing) =
+            publish_ids.iter().chain(reconcile_ids).find(|id| !self.participants.contains_key(id))
+        {
+            return Err(unknown_participant(*missing));
+        }
+        let fabric = &self.store;
+        let shards = fabric.router().shards();
+        if shards != config.shards {
+            return Err(StorageError::Session(format!(
+                "fabric config speaks {} shards but the store fabric has {shards}",
+                config.shards
+            )));
+        }
+        let clock = VirtualClock::new();
+        let server_nodes: Vec<_> = (0..shards).map(StoreService::shard_server_node).collect();
+        let net = Rc::new(orchestra_net::SimNetwork::new(server_nodes.clone()));
+        let mut shard_stats = vec![orchestra_store::ServiceStats::default(); shards];
+
+        fn start_services<'a>(
+            fabric: &'a orchestra_store::StoreFabric,
+            config: &orchestra_store::FabricConfig,
+            net: &Rc<orchestra_net::SimNetwork>,
+            ex: &mut LocalExecutor<'a>,
+        ) -> Vec<StoreService> {
+            (0..fabric.router().shards())
+                .map(|shard| {
+                    StoreService::start_at(
+                        fabric.shard(shard),
+                        &config.service,
+                        ex,
+                        Rc::clone(net) as Rc<dyn Transport>,
+                        StoreService::shard_server_node(shard),
+                    )
+                })
+                .collect()
+        }
+        let fabric_client = |services: &[StoreService], id: ParticipantId| -> FabricClient {
+            FabricClient::new(
+                fabric.router(),
+                services.iter().map(|service| service.client_for(id)).collect(),
+            )
+        };
+
+        // Publish phase: one task, sequential awaits — every shard logs the
+        // round's publishes in id order, so the pinned replica epochs always
+        // match their primaries.
+        let mut published = Vec::new();
+        if !publish_ids.is_empty() {
+            let mut ex = LocalExecutor::new(clock.clone());
+            let services = start_services(fabric, config, &net, &mut ex);
+            let outcomes = Rc::new(RefCell::new(Vec::new()));
+            let mut publishers: Vec<_> = self
+                .participants
+                .iter_mut()
+                .filter(|(id, _)| publish_ids.contains(id))
+                .map(|(id, participant)| (*id, participant, fabric_client(&services, *id)))
+                .collect();
+            let task_outcomes = Rc::clone(&outcomes);
+            ex.spawn(async move {
+                for (id, participant, client) in &mut publishers {
+                    let result = participant.publish_service(fabric, client).await;
+                    task_outcomes.borrow_mut().push((*id, result));
+                }
+            });
+            ex.run();
+            for service in &services {
+                service.shutdown();
+            }
+            if ex.run() != 0 {
+                return Err(StorageError::Session(
+                    "fabric publish phase left tasks blocked".to_string(),
+                ));
+            }
+            for (shard, service) in services.iter().enumerate() {
+                shard_stats[shard].absorb(service.stats());
+            }
+            for (id, result) in
+                Rc::try_unwrap(outcomes).expect("publish tasks finished").into_inner()
+            {
+                published.push((id, result?));
+            }
+        }
+
+        // Reconcile phase: one client task per participant, each holding one
+        // session per shard, all multiplexed onto the shard worker pools.
+        let mut outcomes = {
+            let mut ex = LocalExecutor::new(clock.clone());
+            let services = start_services(fabric, config, &net, &mut ex);
+            let outcomes = Rc::new(RefCell::new(Vec::new()));
+            for (id, participant) in
+                self.participants.iter_mut().filter(|(id, _)| reconcile_ids.contains(id))
+            {
+                let id = *id;
+                let client = fabric_client(&services, id);
+                let task_clock = clock.clone();
+                let task_outcomes = Rc::clone(&outcomes);
+                ex.spawn(async move {
+                    let start_us = task_clock.now_us();
+                    let result = participant.reconcile_service(fabric, &client).await;
+                    let latency_us = task_clock.now_us() - start_us;
+                    task_outcomes.borrow_mut().push((id, result, latency_us));
+                });
+            }
+            ex.run();
+            for service in &services {
+                service.shutdown();
+            }
+            if ex.run() != 0 {
+                return Err(StorageError::Session(
+                    "fabric reconcile phase left tasks blocked".to_string(),
+                ));
+            }
+            for (shard, service) in services.iter().enumerate() {
+                shard_stats[shard].absorb(service.stats());
+            }
+            Rc::try_unwrap(outcomes).expect("reconcile tasks finished").into_inner()
+        };
+
+        outcomes.sort_by_key(|(id, _, _)| *id);
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut latencies_us = Vec::with_capacity(outcomes.len());
+        for (id, result, latency_us) in outcomes {
+            results.push((id, result?));
+            latencies_us.push(latency_us);
+        }
+        // Per-shard skew: request frames that *arrived at* each shard server.
+        let link_traffic = net.link_traffic();
+        let shard_frames = server_nodes
+            .iter()
+            .map(|server| {
+                link_traffic
+                    .iter()
+                    .filter(|((_, to), _)| to == server)
+                    .map(|(_, traffic)| traffic.messages)
+                    .sum()
+            })
+            .collect();
+        Ok(FabricDriveReport {
+            results,
+            published,
+            latencies_us,
+            shard_stats,
+            net: net.stats(),
+            shard_frames,
+            virtual_elapsed_us: clock.now_us(),
+        })
+    }
+
+    /// Reconciles the given participants through the store fabric (no
+    /// publish phase; see [`CdssSystem::run_fabric_round`]).
+    pub fn reconcile_each_fabric(
+        &mut self,
+        ids: &[ParticipantId],
+        config: &orchestra_store::FabricConfig,
+    ) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        Ok(self.run_fabric_round(&[], ids, config)?.results)
+    }
+
+    /// Reconciles every participant through the store fabric (see
+    /// [`CdssSystem::run_fabric_round`]).
+    pub fn reconcile_all_fabric(
+        &mut self,
+        config: &orchestra_store::FabricConfig,
+    ) -> Result<Vec<(ParticipantId, ReconcileReport)>> {
+        let ids = self.participant_ids();
+        self.reconcile_each_fabric(&ids, config)
     }
 }
 

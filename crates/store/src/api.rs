@@ -85,7 +85,9 @@ impl<T> Timed<T> {
 }
 
 /// An opaque handle naming one open reconciliation session at a store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct SessionId(pub u64);
 
 impl SessionId {
@@ -98,7 +100,7 @@ impl SessionId {
 /// Metadata of a freshly opened reconciliation session: the reconciliation
 /// number the store will assign at commit, the epoch the session is pinned
 /// to, and an upper bound on the candidates still to stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SessionInfo {
     /// The session handle for the follow-up `next_batch` / `commit` /
     /// `abort` calls.
@@ -292,6 +294,43 @@ pub trait UpdateStore: Send + Sync {
     ) -> Result<Timed<Epoch>> {
         let _ = (stamp, transactions);
         Err(StorageError::Causal("this store does not support causal stamps".to_string()))
+    }
+
+    // --- Fabric replication ----------------------------------------------
+    //
+    // Default implementations keep standalone stores valid trait impls: the
+    // replica entry points error. A store that can serve as a fabric shard
+    // (the central store) overrides them.
+
+    /// Appends a batch already published at another fabric shard to this
+    /// store's log under the epoch the home shard assigned. Replication
+    /// keeps every shard's log identical — same transactions, same epoch
+    /// numbering — while only the *home* shard extends its relevance index
+    /// for the batch (the epoch's candidates are served from there). Errors
+    /// if this store would derive a different epoch (the fabric fan-out got
+    /// out of order) or if it does not support replication (the default).
+    fn publish_replica(
+        &self,
+        participant: ParticipantId,
+        epoch: Epoch,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let _ = (participant, epoch, transactions);
+        Err(StorageError::Persistence("this store does not support fabric replication".to_string()))
+    }
+
+    /// Causal-mode counterpart of [`UpdateStore::publish_replica`]: appends
+    /// a causally stamped batch under the home shard's epoch, validating and
+    /// ingesting the stamp exactly as the home shard did. The default
+    /// errors.
+    fn publish_replica_stamped(
+        &self,
+        stamp: CausalStamp,
+        epoch: Epoch,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let _ = (stamp, epoch, transactions);
+        Err(StorageError::Persistence("this store does not support fabric replication".to_string()))
     }
 
     /// Durably records a participant's materialised instance checkpoint, so

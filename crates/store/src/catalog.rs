@@ -485,6 +485,36 @@ impl StoreCatalog {
         self.publish_impl(stamp.publisher, transactions, None, Some(&stamp))
     }
 
+    /// Appends a batch already published at another fabric shard, pinned to
+    /// the epoch that shard assigned. The batch takes the replay path:
+    /// no allocation latency (the home shard already paid it), no WAL append
+    /// (fabric shards are ephemeral; a replica is not this store's publish),
+    /// and **no relevance extension** — the epoch's candidates are served by
+    /// its home shard, this store merely keeps its log and epoch numbering
+    /// identical. The publisher's own-accept record *is* written, exactly as
+    /// a local publish would. Errors if this store derives a different epoch
+    /// — the fabric's fan-out reached shards in different orders.
+    pub fn publish_replica(
+        &self,
+        participant: ParticipantId,
+        epoch: Epoch,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        self.publish_impl(participant, transactions, Some(epoch), None)
+    }
+
+    /// Causal-mode counterpart of [`StoreCatalog::publish_replica`]: the
+    /// stamp is validated and ingested exactly as the home shard did, so
+    /// every shard's causal registry stays identical.
+    pub fn publish_replica_stamped(
+        &self,
+        stamp: &CausalStamp,
+        epoch: Epoch,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        self.publish_impl(stamp.publisher, transactions, Some(epoch), Some(stamp))
+    }
+
     /// The publish path shared by scalar and causal publishes, live callers
     /// and WAL replay. Live calls (`replay_epoch` = `None`) append a
     /// [`WalRecord::Publish`] (or [`WalRecord::PublishCausal`] when `stamp`
@@ -543,7 +573,8 @@ impl StoreCatalog {
         if let Some(expected) = replay_epoch {
             if epoch != expected {
                 return Err(StorageError::Persistence(format!(
-                    "WAL replay diverged: re-derived epoch {epoch}, log recorded {expected}"
+                    "replayed publish diverged: re-derived epoch {epoch}, caller \
+                     expected {expected}"
                 )));
             }
         }

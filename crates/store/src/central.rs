@@ -308,6 +308,28 @@ impl UpdateStore for CentralStore {
         timed.value.map(|epoch| Timed::new(epoch, timing))
     }
 
+    fn publish_replica(
+        &self,
+        participant: ParticipantId,
+        epoch: Epoch,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let timed = self.timed(|cat| cat.publish_replica(participant, epoch, transactions));
+        let timing = timed.timing;
+        timed.value.map(|epoch| Timed::new(epoch, timing))
+    }
+
+    fn publish_replica_stamped(
+        &self,
+        stamp: orchestra_model::CausalStamp,
+        epoch: Epoch,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let timed = self.timed(|cat| cat.publish_replica_stamped(&stamp, epoch, transactions));
+        let timing = timed.timing;
+        timed.value.map(|epoch| Timed::new(epoch, timing))
+    }
+
     fn record_instance_checkpoint(
         &self,
         participant: ParticipantId,

@@ -1,0 +1,1015 @@
+//! The sharded store fabric: one confederation served by N store shards.
+//!
+//! A single [`StoreService`](crate::StoreService) bounds a confederation by
+//! one store's worker pool. The fabric splits the load across `N`
+//! [`CentralStore`] shards while keeping the paper's *decision semantics*
+//! exactly those of one store:
+//!
+//! * **The publication log is replicated; the relevance index is
+//!   partitioned.** Every publish lands on every shard in the same order
+//!   (primary publish at the publisher's home shard, pinned *replica*
+//!   publishes everywhere else via
+//!   [`UpdateStore::publish_replica`]), so all shards agree on the global
+//!   epoch numbering. Only the home shard extends its relevance index for
+//!   the new epoch, so each epoch's candidates are served by exactly one
+//!   shard.
+//! * **A fabric session is N shard sessions merged into one virtual
+//!   timeline.** [`FabricClient::begin_session`] opens a session at every
+//!   shard (in shard order, so concurrent sessions cannot deadlock on
+//!   admission slots); [`FabricClient::drain_candidates`] drains each
+//!   shard's stream and k-way merges by `(epoch, shard)` — epochs are
+//!   globally unique, so the merge reproduces the exact candidate order a
+//!   single store would have streamed.
+//! * **Commits fan the full decision lists to every shard.** Each shard
+//!   records the complete accepted/rejected sets, keeping every shard's
+//!   decision record, epoch cursors and reconciliation numbers identical —
+//!   required, because a shard's antecedent exclusion must see accepts that
+//!   happened on candidates homed elsewhere.
+//!
+//! The fabric therefore decides *byte-identically* to a single store (the
+//! `fabric_driver` integration tests prove it property-based), while
+//! publishes and candidate streaming spread across N worker pools.
+//!
+//! Routing is pluggable through [`ShardRouter`]; [`FabricConfig`] bundles
+//! the shard count with the per-shard [`ServiceConfig`]. [`StoreFabric`]
+//! owns the shard stores for in-process use; [`FabricClient`] is the
+//! framed-protocol client driving one service per shard. Both the fabric
+//! client and the single-service [`ServiceClient`] implement the
+//! [`SessionClient`] trait, so drivers are generic over "one store or
+//! many".
+
+use crate::api::{SessionId, SessionInfo, StoreTiming, Timed, UpdateStore};
+use crate::central::CentralStore;
+use crate::service::{ServiceClient, ServiceConfig};
+use orchestra_model::schema::Schema;
+use orchestra_model::{
+    AntichainClock, CausalStamp, Epoch, ParticipantId, ReconciliationId, Transaction,
+    TransactionId, TrustPolicy,
+};
+use orchestra_recon::CandidateTransaction;
+use orchestra_rt::VirtualClock;
+use orchestra_storage::{InstanceCheckpoint, Result, StorageError};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Maps participants to their home shard.
+///
+/// The home shard is where a participant's publishes are *primary* (relevance
+/// extension happens there) and where its per-participant reads resolve. The
+/// routing must be deterministic and agreed by every client — it is pure
+/// arithmetic over the participant id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards. Panics if `shards` is zero.
+    pub fn new(shards: usize) -> ShardRouter {
+        assert!(shards >= 1, "a store fabric needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// The number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The home shard of `participant`.
+    pub fn home_of(&self, participant: ParticipantId) -> usize {
+        participant.as_u32() as usize % self.shards
+    }
+}
+
+/// Configuration of a store fabric: how many shards, and how each shard's
+/// service is tuned.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Number of store shards.
+    pub shards: usize,
+    /// The per-shard service configuration (every shard uses the same).
+    pub service: ServiceConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> FabricConfig {
+        FabricConfig { shards: 4, service: ServiceConfig::default() }
+    }
+}
+
+impl FabricConfig {
+    /// The router induced by this config's shard count.
+    pub fn router(&self) -> ShardRouter {
+        ShardRouter::new(self.shards)
+    }
+}
+
+/// N [`CentralStore`] shards owned as one confederation store.
+///
+/// The fabric keeps the shards' logs identical (replicated log) and their
+/// relevance indexes disjoint (partitioned by home shard) — see the
+/// [module docs](crate::fabric). Shard stores are exposed through
+/// [`StoreFabric::shard_stores`] so a driver can front each with its own
+/// [`StoreService`](crate::StoreService).
+///
+/// # Registration order
+///
+/// Every participant must be registered **before the first publish**. A late
+/// registration would rebuild the participant's relevance from each shard's
+/// *full replicated log*, duplicating candidates that are supposed to be
+/// homed at exactly one shard. [`StoreFabric::register_participant`] panics
+/// if a publish has already happened.
+pub struct StoreFabric {
+    router: ShardRouter,
+    shards: Vec<CentralStore>,
+    /// Held across the primary + replica fan-out of one publish so every
+    /// shard's log receives all publishes in the same global order.
+    publish_lock: Mutex<()>,
+    published: AtomicBool,
+    /// Open fabric-level sessions: synthetic handle → per-shard state.
+    /// Synthetic because two shards can hand out the same raw session
+    /// number; shard handles are only unique per shard.
+    sessions: Mutex<FxHashMap<SessionId, FabricSession>>,
+    next_session: AtomicU64,
+}
+
+/// Per-shard state of one in-process fabric session.
+struct FabricSession {
+    /// The shard session handles, in shard order.
+    shards: Vec<SessionId>,
+    /// The merged candidate stream, buffered on the first `next_batch` (each
+    /// shard streams only the epochs homed there; the merge restores global
+    /// publication order).
+    merged: Option<VecDeque<CandidateTransaction>>,
+}
+
+impl StoreFabric {
+    /// A fabric of `shards` empty stores over `schema`.
+    pub fn new(schema: Schema, shards: usize) -> StoreFabric {
+        let router = ShardRouter::new(shards);
+        let shards = (0..shards).map(|_| CentralStore::new(schema.clone())).collect();
+        StoreFabric {
+            router,
+            shards,
+            publish_lock: Mutex::new(()),
+            published: AtomicBool::new(false),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(0),
+        }
+    }
+
+    /// The fabric's router.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The shard stores, in shard order.
+    pub fn shard_stores(&self) -> &[CentralStore] {
+        &self.shards
+    }
+
+    /// Shard `index`'s store.
+    pub fn shard(&self, index: usize) -> &CentralStore {
+        &self.shards[index]
+    }
+
+    /// The home shard store of `participant`.
+    pub fn home_store(&self, participant: ParticipantId) -> &CentralStore {
+        &self.shards[self.router.home_of(participant)]
+    }
+
+    /// Closes membership at every shard (see `StoreCatalog::close_membership`).
+    pub fn close_membership(&self) -> Result<()> {
+        for store in &self.shards {
+            store.catalog().close_membership()?;
+        }
+        Ok(())
+    }
+
+    fn unknown_session(session: SessionId) -> StorageError {
+        StorageError::Session(format!(
+            "fabric session {}: unknown or already closed",
+            session.as_u64()
+        ))
+    }
+
+    /// Merges every shard's candidate stream for one session into global
+    /// publication order, paging each shard with `page`-sized batches.
+    fn merge_streams(
+        &self,
+        shard_sessions: &[SessionId],
+        page: usize,
+        timing: &mut StoreTiming,
+    ) -> Result<VecDeque<CandidateTransaction>> {
+        let mut merged: Vec<(Epoch, usize, CandidateTransaction)> = Vec::new();
+        for (shard, (store, shard_session)) in self.shards.iter().zip(shard_sessions).enumerate() {
+            loop {
+                let batch = store.next_batch(*shard_session, page)?;
+                timing.accumulate(batch.timing);
+                let exhausted = batch.value.len() < page;
+                for candidate in batch.value {
+                    let epoch = store.epoch_of(candidate.id).ok_or_else(|| {
+                        StorageError::Session(format!(
+                            "candidate {:?} has no publication epoch",
+                            candidate.id
+                        ))
+                    })?;
+                    merged.push((epoch, shard, candidate));
+                }
+                if exhausted {
+                    break;
+                }
+            }
+        }
+        merged.sort_by_key(|entry| (entry.0, entry.1));
+        Ok(merged.into_iter().map(|(_, _, candidate)| candidate).collect())
+    }
+}
+
+impl UpdateStore for StoreFabric {
+    /// Registers the participant's trust policy at **every** shard (all
+    /// shards hold the full log, so all need the policy to evaluate trust
+    /// and record decisions).
+    ///
+    /// Panics if a publish has already gone through the fabric — a late
+    /// registration would rebuild relevance from each shard's *replicated*
+    /// log and home the same candidates at every shard.
+    fn register_participant(&self, policy: TrustPolicy) {
+        assert!(
+            !self.published.load(Ordering::SeqCst),
+            "fabric registration must happen before the first publish \
+             (a late registration would home the same candidates at every shard)"
+        );
+        for store in &self.shards {
+            store.register_participant(policy.clone());
+        }
+    }
+
+    /// Primary publish at the publisher's home shard, then pinned replicas
+    /// at every other shard, all under the fabric's publish lock so shards
+    /// log publishes in one global order. The returned cost is the home
+    /// shard's (a real fabric replicates off the publisher's critical path).
+    fn publish(
+        &self,
+        participant: ParticipantId,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let _order = self.publish_lock.lock().expect("fabric publish lock poisoned");
+        self.published.store(true, Ordering::SeqCst);
+        let home = self.router.home_of(participant);
+        let published = self.shards[home].publish(participant, transactions.clone())?;
+        for (index, store) in self.shards.iter().enumerate() {
+            if index != home {
+                store.publish_replica(participant, published.value, transactions.clone())?;
+            }
+        }
+        Ok(published)
+    }
+
+    /// Opens one session per shard and merges them behind a single synthetic
+    /// handle: the home shard's reconciliation number (they advance in
+    /// lockstep), the largest pinned epoch, and the summed candidate bound.
+    fn begin_reconciliation(&self, participant: ParticipantId) -> Result<Timed<SessionInfo>> {
+        let mut timing = StoreTiming::default();
+        let mut infos: Vec<SessionInfo> = Vec::with_capacity(self.shards.len());
+        for store in &self.shards {
+            match store.begin_reconciliation(participant) {
+                Ok(timed) => {
+                    timing.accumulate(timed.timing);
+                    infos.push(timed.value);
+                }
+                Err(error) => {
+                    for (shard, info) in infos.iter().enumerate() {
+                        let _ = self.shards[shard].abort_reconciliation(info.session);
+                    }
+                    return Err(error);
+                }
+            }
+        }
+        let home = self.router.home_of(participant);
+        let handle = SessionId(self.next_session.fetch_add(1, Ordering::SeqCst) + 1);
+        let merged = SessionInfo {
+            session: handle,
+            recno: infos[home].recno,
+            epoch: infos.iter().map(|info| info.epoch).max().unwrap_or(Epoch::ZERO),
+            pending: infos.iter().map(|info| info.pending).sum(),
+        };
+        let state =
+            FabricSession { shards: infos.iter().map(|info| info.session).collect(), merged: None };
+        self.sessions.lock().expect("fabric session table poisoned").insert(handle, state);
+        Ok(Timed::new(merged, timing))
+    }
+
+    /// Pages the merged stream: the first call drains every shard session
+    /// (each serves only the epochs homed there) and k-way merges by
+    /// `(epoch, shard)` — exactly the publication order a single store would
+    /// stream — then batches are served from the merged buffer.
+    fn next_batch(
+        &self,
+        session: SessionId,
+        max_candidates: usize,
+    ) -> Result<Timed<Vec<CandidateTransaction>>> {
+        let mut sessions = self.sessions.lock().expect("fabric session table poisoned");
+        let state = sessions.get_mut(&session).ok_or_else(|| Self::unknown_session(session))?;
+        let mut timing = StoreTiming::default();
+        if state.merged.is_none() {
+            let shard_sessions = state.shards.clone();
+            let page = max_candidates.max(1);
+            state.merged = Some(self.merge_streams(&shard_sessions, page, &mut timing)?);
+        }
+        let buffer = state.merged.as_mut().expect("merged stream just filled");
+        let take = max_candidates.min(buffer.len());
+        Ok(Timed::new(buffer.drain(..take).collect(), timing))
+    }
+
+    /// Commits every shard session with the **full** decision lists. Every
+    /// shard needs the complete record: antecedent exclusion on a shard's
+    /// own candidates must see accepts homed at other shards. A failed shard
+    /// commit leaves the fabric session open, as the single-store contract
+    /// requires (the client aborts it).
+    fn commit_reconciliation(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<StoreTiming> {
+        let shard_sessions = {
+            let sessions = self.sessions.lock().expect("fabric session table poisoned");
+            sessions.get(&session).ok_or_else(|| Self::unknown_session(session))?.shards.clone()
+        };
+        let mut timing = StoreTiming::default();
+        for (store, shard_session) in self.shards.iter().zip(&shard_sessions) {
+            timing.accumulate(store.commit_reconciliation(*shard_session, accepted, rejected)?);
+        }
+        self.sessions.lock().expect("fabric session table poisoned").remove(&session);
+        Ok(timing)
+    }
+
+    /// Aborts every shard session. Aborting an unknown fabric session is a
+    /// no-op, matching the single-store contract.
+    fn abort_reconciliation(&self, session: SessionId) -> Result<()> {
+        let Some(state) =
+            self.sessions.lock().expect("fabric session table poisoned").remove(&session)
+        else {
+            return Ok(());
+        };
+        for (store, shard_session) in self.shards.iter().zip(&state.shards) {
+            store.abort_reconciliation(*shard_session)?;
+        }
+        Ok(())
+    }
+
+    fn retire_participant(&self, participant: ParticipantId) -> Result<()> {
+        for store in &self.shards {
+            store.retire_participant(participant)?;
+        }
+        Ok(())
+    }
+
+    fn record_decisions(
+        &self,
+        participant: ParticipantId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<StoreTiming> {
+        let mut timing = StoreTiming::default();
+        for store in &self.shards {
+            timing.accumulate(store.record_decisions(participant, accepted, rejected)?);
+        }
+        Ok(timing)
+    }
+
+    fn current_reconciliation(&self, participant: ParticipantId) -> ReconciliationId {
+        self.home_store(participant).current_reconciliation(participant)
+    }
+
+    fn rejected_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
+        self.home_store(participant).rejected_set(participant)
+    }
+
+    fn accepted_set(&self, participant: ParticipantId) -> Arc<FxHashSet<TransactionId>> {
+        self.home_store(participant).accepted_set(participant)
+    }
+
+    fn transaction(&self, id: TransactionId) -> Option<Arc<Transaction>> {
+        // The log is replicated; any shard can answer.
+        self.shards[0].transaction(id)
+    }
+
+    fn accepted_transactions(&self, participant: ParticipantId) -> Vec<Arc<Transaction>> {
+        self.home_store(participant).accepted_transactions(participant)
+    }
+
+    fn epoch_of(&self, id: TransactionId) -> Option<Epoch> {
+        self.shards[0].epoch_of(id)
+    }
+
+    fn accepted_replay_units(&self, participant: ParticipantId) -> Vec<Vec<Arc<Transaction>>> {
+        self.home_store(participant).accepted_replay_units(participant)
+    }
+
+    fn epoch_cursor(&self, participant: ParticipantId) -> Epoch {
+        self.home_store(participant).epoch_cursor(participant)
+    }
+
+    /// A participant's deferred candidates live on every shard (an epoch's
+    /// relevance is homed at its *publisher's* shard), so the recovery read
+    /// merges across shards into publication order.
+    fn undecided_candidates(&self, participant: ParticipantId) -> Vec<CandidateTransaction> {
+        let mut merged: Vec<(Epoch, usize, CandidateTransaction)> = Vec::new();
+        for (shard, store) in self.shards.iter().enumerate() {
+            for candidate in store.undecided_candidates(participant) {
+                let epoch = store.epoch_of(candidate.id).unwrap_or(Epoch::ZERO);
+                merged.push((epoch, shard, candidate));
+            }
+        }
+        merged.sort_by_key(|entry| (entry.0, entry.1));
+        merged.into_iter().map(|(_, _, candidate)| candidate).collect()
+    }
+
+    fn causal_mode(&self) -> bool {
+        self.shards[0].causal_mode()
+    }
+
+    fn enable_causal_mode(&self) -> Result<()> {
+        for store in &self.shards {
+            store.enable_causal_mode()?;
+        }
+        Ok(())
+    }
+
+    fn causal_frontier(&self) -> AntichainClock {
+        // Every shard ingests every stamp, so the frontiers are identical.
+        self.shards[0].causal_frontier()
+    }
+
+    fn next_publisher_seq(&self, participant: ParticipantId) -> u64 {
+        self.home_store(participant).next_publisher_seq(participant)
+    }
+
+    /// Causal-mode counterpart of [`UpdateStore::publish`] on the fabric:
+    /// primary stamped publish at the publisher's home shard, pinned stamped
+    /// replicas everywhere else, under the publish lock.
+    fn publish_stamped(
+        &self,
+        stamp: CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Timed<Epoch>> {
+        let _order = self.publish_lock.lock().expect("fabric publish lock poisoned");
+        self.published.store(true, Ordering::SeqCst);
+        let home = self.router.home_of(stamp.publisher);
+        let published = self.shards[home].publish_stamped(stamp.clone(), transactions.clone())?;
+        for (index, store) in self.shards.iter().enumerate() {
+            if index != home {
+                store.publish_replica_stamped(
+                    stamp.clone(),
+                    published.value,
+                    transactions.clone(),
+                )?;
+            }
+        }
+        Ok(published)
+    }
+
+    fn record_instance_checkpoint(
+        &self,
+        participant: ParticipantId,
+        checkpoint: InstanceCheckpoint,
+    ) -> Result<()> {
+        for store in &self.shards {
+            store.record_instance_checkpoint(participant, checkpoint.clone())?;
+        }
+        Ok(())
+    }
+
+    fn instance_checkpoint(&self, participant: ParticipantId) -> Option<InstanceCheckpoint> {
+        self.home_store(participant).instance_checkpoint(participant)
+    }
+
+    fn accepted_replay_units_after(
+        &self,
+        participant: ParticipantId,
+        skip: u64,
+    ) -> Vec<Vec<Arc<Transaction>>> {
+        self.home_store(participant).accepted_replay_units_after(participant, skip)
+    }
+}
+
+/// The session-protocol surface a reconciliation driver needs, abstracted
+/// over "one service" ([`ServiceClient`]) vs "one service per shard"
+/// ([`FabricClient`]). Drivers written against this trait run unchanged on a
+/// single store service or a whole fabric.
+#[allow(async_fn_in_trait)]
+pub trait SessionClient {
+    /// The participant this client acts for.
+    fn participant(&self) -> ParticipantId;
+
+    /// The virtual clock the client's latencies accrue on.
+    fn clock(&self) -> &VirtualClock;
+
+    /// Opens a reconciliation session (fabric: one per shard, merged into a
+    /// single handle).
+    async fn begin_session(&self) -> Result<SessionInfo>;
+
+    /// Drains the session's candidate stream in pages of `batch_size`,
+    /// returning all candidates in publication (epoch) order.
+    async fn drain_candidates(
+        &self,
+        session: SessionId,
+        batch_size: usize,
+    ) -> Result<Vec<CandidateTransaction>>;
+
+    /// Commits the session with the full decision lists.
+    async fn commit(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<()>;
+
+    /// Aborts the session.
+    async fn abort(&self, session: SessionId) -> Result<()>;
+
+    /// Publishes a batch, returning its epoch.
+    async fn publish(&self, transactions: Vec<Transaction>) -> Result<Epoch>;
+
+    /// Publishes a causally stamped batch, returning its arrival epoch.
+    async fn publish_stamped(
+        &self,
+        stamp: CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch>;
+}
+
+impl SessionClient for ServiceClient {
+    fn participant(&self) -> ParticipantId {
+        ServiceClient::participant(self)
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        ServiceClient::clock(self)
+    }
+
+    async fn begin_session(&self) -> Result<SessionInfo> {
+        ServiceClient::begin_session(self).await
+    }
+
+    async fn drain_candidates(
+        &self,
+        session: SessionId,
+        batch_size: usize,
+    ) -> Result<Vec<CandidateTransaction>> {
+        ServiceClient::drain_candidates(self, session, batch_size).await
+    }
+
+    async fn commit(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<()> {
+        ServiceClient::commit(self, session, accepted, rejected).await
+    }
+
+    async fn abort(&self, session: SessionId) -> Result<()> {
+        ServiceClient::abort(self, session).await
+    }
+
+    async fn publish(&self, transactions: Vec<Transaction>) -> Result<Epoch> {
+        ServiceClient::publish(self, transactions).await
+    }
+
+    async fn publish_stamped(
+        &self,
+        stamp: CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        ServiceClient::publish_stamped(self, stamp, transactions).await
+    }
+}
+
+/// One participant's client onto a whole fabric: one [`ServiceClient`] per
+/// shard, presenting the N shard sessions as a single virtual session.
+///
+/// Sessions are opened in shard order (all concurrent fabric sessions
+/// acquire admission slots in the same order, so a starved shard delays but
+/// never deadlocks them), candidate streams are merged by `(epoch, shard)`,
+/// and commits fan the full decision lists to every shard.
+pub struct FabricClient {
+    router: ShardRouter,
+    clients: Vec<ServiceClient>,
+    /// Open fabric sessions: home-shard session handle → per-shard handles.
+    sessions: RefCell<FxHashMap<SessionId, Vec<SessionId>>>,
+}
+
+impl FabricClient {
+    /// A fabric client over one [`ServiceClient`] per shard (in shard
+    /// order), all bound to the same participant.
+    ///
+    /// Panics if the client count does not match the router's shard count or
+    /// the clients disagree on the participant.
+    pub fn new(router: ShardRouter, clients: Vec<ServiceClient>) -> FabricClient {
+        assert_eq!(
+            clients.len(),
+            router.shards(),
+            "a fabric client needs exactly one service client per shard"
+        );
+        let participant = clients[0].participant();
+        assert!(
+            clients.iter().all(|c| c.participant() == participant),
+            "every shard client must act for the same participant"
+        );
+        FabricClient { router, clients, sessions: RefCell::new(FxHashMap::default()) }
+    }
+
+    /// The home shard of this client's participant.
+    pub fn home_shard(&self) -> usize {
+        self.router.home_of(self.participant())
+    }
+
+    fn shard_sessions(&self, session: SessionId) -> Result<Vec<SessionId>> {
+        self.sessions.borrow().get(&session).cloned().ok_or_else(|| {
+            StorageError::Session(format!(
+                "fabric session {}: unknown or already closed",
+                session.as_u64()
+            ))
+        })
+    }
+}
+
+impl SessionClient for FabricClient {
+    fn participant(&self) -> ParticipantId {
+        self.clients[0].participant()
+    }
+
+    fn clock(&self) -> &VirtualClock {
+        self.clients[0].clock()
+    }
+
+    /// Opens one session per shard, in shard order. The returned info uses
+    /// the **home shard's** handle and reconciliation number (they advance in
+    /// lockstep across shards), the largest pinned epoch, and the summed
+    /// candidate bound.
+    async fn begin_session(&self) -> Result<SessionInfo> {
+        let mut infos: Vec<SessionInfo> = Vec::with_capacity(self.clients.len());
+        for client in &self.clients {
+            match client.begin_session().await {
+                Ok(info) => infos.push(info),
+                Err(error) => {
+                    // Release the shard sessions already opened so a failed
+                    // open does not leak admission slots.
+                    for (shard, info) in infos.iter().enumerate() {
+                        let _ = self.clients[shard].abort(info.session).await;
+                    }
+                    return Err(error);
+                }
+            }
+        }
+        let home = self.home_shard();
+        let handle = infos[home].session;
+        let merged = SessionInfo {
+            session: handle,
+            recno: infos[home].recno,
+            epoch: infos.iter().map(|info| info.epoch).max().unwrap_or(Epoch::ZERO),
+            pending: infos.iter().map(|info| info.pending).sum(),
+        };
+        let shard_sessions = infos.iter().map(|info| info.session).collect();
+        self.sessions.borrow_mut().insert(handle, shard_sessions);
+        Ok(merged)
+    }
+
+    /// Drains every shard's stream (each shard serves only the epochs homed
+    /// there) and k-way merges by `(epoch, shard)`. Epochs are globally
+    /// unique across the fabric, so the merge is exactly the publication
+    /// order a single store would stream.
+    async fn drain_candidates(
+        &self,
+        session: SessionId,
+        batch_size: usize,
+    ) -> Result<Vec<CandidateTransaction>> {
+        let shard_sessions = self.shard_sessions(session)?;
+        let batch_size = batch_size.max(1);
+        let mut merged: Vec<(Epoch, usize, CandidateTransaction)> = Vec::new();
+        for (shard, (client, shard_session)) in self.clients.iter().zip(&shard_sessions).enumerate()
+        {
+            loop {
+                let (candidates, epochs) =
+                    client.next_batch_with_epochs(*shard_session, batch_size).await?;
+                let exhausted = candidates.len() < batch_size;
+                for (candidate, epoch) in candidates.into_iter().zip(epochs) {
+                    merged.push((epoch, shard, candidate));
+                }
+                if exhausted {
+                    break;
+                }
+            }
+        }
+        merged.sort_by_key(|entry| (entry.0, entry.1));
+        Ok(merged.into_iter().map(|(_, _, candidate)| candidate).collect())
+    }
+
+    /// Commits every shard session with the **full** accepted/rejected
+    /// lists. Every shard needs the complete record: antecedent exclusion on
+    /// a shard's own candidates must see accepts homed at other shards.
+    async fn commit(
+        &self,
+        session: SessionId,
+        accepted: &[TransactionId],
+        rejected: &[TransactionId],
+    ) -> Result<()> {
+        let shard_sessions = self.shard_sessions(session)?;
+        for (client, shard_session) in self.clients.iter().zip(&shard_sessions) {
+            client.commit(*shard_session, accepted, rejected).await?;
+        }
+        self.sessions.borrow_mut().remove(&session);
+        Ok(())
+    }
+
+    async fn abort(&self, session: SessionId) -> Result<()> {
+        let shard_sessions = self.shard_sessions(session)?;
+        for (client, shard_session) in self.clients.iter().zip(&shard_sessions) {
+            client.abort(*shard_session).await?;
+        }
+        self.sessions.borrow_mut().remove(&session);
+        Ok(())
+    }
+
+    /// Primary publish at the home shard, then pinned replicas everywhere
+    /// else. The driver must serialise fabric publishes (one publisher task)
+    /// so every shard logs them in the same global order; a divergent order
+    /// fails loudly with a pinned-epoch mismatch.
+    async fn publish(&self, transactions: Vec<Transaction>) -> Result<Epoch> {
+        let home = self.home_shard();
+        let epoch = self.clients[home].publish(transactions.clone()).await?;
+        for (shard, client) in self.clients.iter().enumerate() {
+            if shard != home {
+                client.replicate(epoch, transactions.clone()).await?;
+            }
+        }
+        Ok(epoch)
+    }
+
+    async fn publish_stamped(
+        &self,
+        stamp: CausalStamp,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        let home = self.router.home_of(stamp.publisher);
+        let epoch = self.clients[home].publish_stamped(stamp.clone(), transactions.clone()).await?;
+        for (shard, client) in self.clients.iter().enumerate() {
+            if shard != home {
+                client.replicate_stamped(stamp.clone(), epoch, transactions.clone()).await?;
+            }
+        }
+        Ok(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::StoreService;
+    use crate::ReconciliationSession;
+    use orchestra_model::schema::bioinformatics_schema;
+    use orchestra_model::{Tuple, Update};
+    use orchestra_net::SimNetwork;
+    use orchestra_rt::LocalExecutor;
+    use std::rc::Rc;
+
+    fn p(i: u32) -> ParticipantId {
+        ParticipantId(i)
+    }
+
+    fn txn(i: u32, j: u64, key: &str) -> Transaction {
+        let tuple = Tuple::of_text(&["org", key, "f"]);
+        Transaction::from_parts(p(i), j, vec![Update::insert("Function", tuple, p(i))]).unwrap()
+    }
+
+    fn mutual_fabric(n: u32, shards: usize) -> StoreFabric {
+        let fabric = StoreFabric::new(bioinformatics_schema(), shards);
+        for i in 1..=n {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            fabric.register_participant(policy);
+        }
+        fabric
+    }
+
+    fn mutual_store(n: u32) -> CentralStore {
+        let s = CentralStore::new(bioinformatics_schema());
+        for i in 1..=n {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            s.register_participant(policy);
+        }
+        s
+    }
+
+    fn all_member_ids(candidates: &[CandidateTransaction]) -> Vec<TransactionId> {
+        let mut seen = rustc_hash::FxHashSet::default();
+        let mut ids = Vec::new();
+        for candidate in candidates {
+            for (id, _) in &candidate.members {
+                if seen.insert(*id) {
+                    ids.push(*id);
+                }
+            }
+        }
+        ids
+    }
+
+    #[test]
+    fn router_is_deterministic_and_total() {
+        let router = ShardRouter::new(4);
+        assert_eq!(router.shards(), 4);
+        for i in 0..64 {
+            let home = router.home_of(p(i));
+            assert!(home < 4);
+            assert_eq!(home, router.home_of(p(i)), "routing must be stable");
+        }
+        assert_ne!(router.home_of(p(1)), router.home_of(p(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_router_is_rejected() {
+        let _ = ShardRouter::new(0);
+    }
+
+    #[test]
+    fn replicated_log_agrees_on_epochs_across_shards() {
+        let fabric = mutual_fabric(4, 3);
+        let e1 = fabric.publish(p(1), vec![txn(1, 0, "a")]).unwrap().value;
+        let e2 = fabric.publish(p(2), vec![txn(2, 0, "b")]).unwrap().value;
+        let e3 = fabric.publish(p(3), vec![txn(3, 0, "c")]).unwrap().value;
+        assert_eq!((e1, e2, e3), (Epoch(1), Epoch(2), Epoch(3)));
+        // Every shard holds the full log under the same epochs.
+        for store in fabric.shard_stores() {
+            for (i, epoch) in [(1u32, e1), (2, e2), (3, e3)] {
+                let id = txn(i, 0, "x").id();
+                assert_eq!(store.epoch_of(id), Some(epoch), "shard log diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first publish")]
+    fn late_registration_panics() {
+        let fabric = mutual_fabric(2, 2);
+        fabric.publish(p(1), vec![txn(1, 0, "a")]).unwrap();
+        fabric.register_participant(TrustPolicy::new(p(9)));
+    }
+
+    /// Drives a full framed round over a fabric of `shards` services and
+    /// checks the decisions against a single in-process store fed the same
+    /// schedule.
+    fn fabric_round_matches_single_store(shards: usize) {
+        let n = 5u32;
+        let fabric = mutual_fabric(n, shards);
+        // Publish in-process (the driver's framed path is exercised in the
+        // fabric_driver integration tests; here we isolate session merging).
+        for i in 1..=n {
+            fabric.publish(p(i), vec![txn(i, 0, &format!("k{i}"))]).unwrap();
+        }
+
+        let clock = VirtualClock::new();
+        let mut ex = LocalExecutor::new(clock.clone());
+        let nodes: Vec<_> = (0..shards).map(StoreService::shard_server_node).collect();
+        let net = Rc::new(SimNetwork::new(nodes));
+        let config = ServiceConfig { workers: 2, ..ServiceConfig::default() };
+        let services: Vec<_> = (0..shards)
+            .map(|shard| {
+                StoreService::start_at(
+                    fabric.shard(shard),
+                    &config,
+                    &mut ex,
+                    Rc::clone(&net) as Rc<dyn orchestra_net::Transport>,
+                    StoreService::shard_server_node(shard),
+                )
+            })
+            .collect();
+
+        for i in 1..=n {
+            let client = FabricClient::new(
+                fabric.router(),
+                services.iter().map(|s| s.client_for(p(i))).collect(),
+            );
+            let fabric = &fabric;
+            ex.spawn(async move {
+                let info = client.begin_session().await.unwrap();
+                let candidates = client.drain_candidates(info.session, 2).await.unwrap();
+                // The merged stream must be in global publication order.
+                let epochs: Vec<_> =
+                    candidates.iter().map(|c| fabric.shard(0).epoch_of(c.id).unwrap()).collect();
+                let mut sorted = epochs.clone();
+                sorted.sort();
+                assert_eq!(epochs, sorted, "merge must restore publication order");
+                let accepted = all_member_ids(&candidates);
+                client.commit(info.session, &accepted, &[]).await.unwrap();
+            });
+        }
+        assert_eq!(ex.run(), shards * config.workers);
+        for service in &services {
+            service.shutdown();
+        }
+        assert_eq!(ex.run(), 0);
+
+        // The same schedule through one in-process store.
+        let single = mutual_store(n);
+        for i in 1..=n {
+            single.publish(p(i), vec![txn(i, 0, &format!("k{i}"))]).unwrap();
+        }
+        for i in 1..=n {
+            let mut session = ReconciliationSession::open(&single, p(i)).unwrap();
+            let candidates = session.drain(2).unwrap();
+            let accepted = all_member_ids(&candidates);
+            session.commit(&accepted, &[]).unwrap();
+        }
+        for i in 1..=n {
+            for store in fabric.shard_stores() {
+                assert_eq!(store.accepted_set(p(i)), single.accepted_set(p(i)));
+                assert_eq!(store.rejected_set(p(i)), single.rejected_set(p(i)));
+                assert_eq!(store.epoch_cursor(p(i)), single.epoch_cursor(p(i)));
+                assert_eq!(store.current_reconciliation(p(i)), single.current_reconciliation(p(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_sessions_decide_like_a_single_store() {
+        fabric_round_matches_single_store(3);
+    }
+
+    #[test]
+    fn one_shard_fabric_degenerates_to_a_single_service() {
+        fabric_round_matches_single_store(1);
+    }
+
+    /// The in-process `UpdateStore` impl: paged sessions over the fabric
+    /// must stream the same candidates in the same order as a single store,
+    /// page boundaries included, and decide identically.
+    #[test]
+    fn in_process_fabric_sessions_page_like_a_single_store() {
+        let n = 6u32;
+        let fabric = mutual_fabric(n, 4);
+        let single = mutual_store(n);
+        for round in 0..3u64 {
+            for i in 1..=n {
+                let batch = vec![txn(i, round, &format!("k{i}-{round}"))];
+                fabric.publish(p(i), batch.clone()).unwrap();
+                single.publish(p(i), batch).unwrap();
+            }
+        }
+        for i in 1..=n {
+            let mut fabric_session = ReconciliationSession::open(&fabric, p(i)).unwrap();
+            let mut single_session = ReconciliationSession::open(&single, p(i)).unwrap();
+            // Page with a size that straddles shard boundaries.
+            loop {
+                let fabric_page = fabric_session.next_batch(4).unwrap();
+                let single_page = single_session.next_batch(4).unwrap();
+                assert_eq!(
+                    fabric_page.iter().map(|c| c.id).collect::<Vec<_>>(),
+                    single_page.iter().map(|c| c.id).collect::<Vec<_>>(),
+                    "page diverged for participant {i}"
+                );
+                if fabric_page.len() < 4 {
+                    break;
+                }
+            }
+            fabric_session.commit(&[], &[]).unwrap();
+            single_session.commit(&[], &[]).unwrap();
+            assert_eq!(fabric.epoch_cursor(p(i)), single.epoch_cursor(p(i)));
+        }
+    }
+
+    /// An aborted fabric session leaves every shard byte-identical, and the
+    /// handle is consumed (a second abort is a no-op).
+    #[test]
+    fn aborting_a_fabric_session_is_a_no_op_everywhere() {
+        let fabric = mutual_fabric(3, 2);
+        fabric.publish(p(1), vec![txn(1, 0, "a")]).unwrap();
+        let before: Vec<_> = (1..=3)
+            .map(|i| (fabric.epoch_cursor(p(i)), fabric.current_reconciliation(p(i))))
+            .collect();
+        let info = fabric.begin_reconciliation(p(2)).unwrap().value;
+        let _ = fabric.next_batch(info.session, 2).unwrap();
+        fabric.abort_reconciliation(info.session).unwrap();
+        fabric.abort_reconciliation(info.session).unwrap();
+        let after: Vec<_> = (1..=3)
+            .map(|i| (fabric.epoch_cursor(p(i)), fabric.current_reconciliation(p(i))))
+            .collect();
+        assert_eq!(before, after);
+        assert!(fabric.next_batch(info.session, 2).is_err(), "the handle is consumed");
+    }
+}

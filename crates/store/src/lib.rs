@@ -54,7 +54,9 @@ pub mod catalog;
 pub mod central;
 pub mod dht;
 pub mod durability;
+pub mod fabric;
 pub mod network_centric;
+pub mod protocol;
 pub mod pruner;
 pub mod service;
 
@@ -63,11 +65,11 @@ pub use catalog::{OpenedSession, SessionBatch, StoreCatalog};
 pub use central::{CentralStore, RetrievalMode};
 pub use dht::DhtStore;
 pub use durability::{Durability, FileWalBackend, WalOptions};
+pub use fabric::{FabricClient, FabricConfig, SessionClient, ShardRouter, StoreFabric};
 pub use network_centric::NetworkCentricPlan;
+pub use protocol::{StoreRequest, StoreResponse, PROTOCOL_VERSION};
 pub use pruner::AutoPruner;
-pub use service::{
-    ServiceClient, ServiceConfig, ServiceStats, StoreRequest, StoreResponse, StoreService,
-};
+pub use service::{ServiceClient, ServiceConfig, ServiceConfigBuilder, ServiceStats, StoreService};
 // Retention and group-commit knobs, re-exported so drivers need not depend
 // on `orchestra-storage` directly.
 pub use orchestra_storage::{Codec, FlushPolicy, PruneReport, RetentionPolicy};

@@ -36,10 +36,10 @@
 //! server lifecycle.
 
 use crate::api::{SessionId, SessionInfo, UpdateStore};
-use crate::dht::{REQUEST_BYTES, UPDATE_BYTES};
+use crate::protocol::{StoreRequest, StoreResponse};
 use crate::pruner::AutoPruner;
 use orchestra_model::{CausalStamp, Epoch, ParticipantId, Transaction, TransactionId};
-use orchestra_net::{NodeId, SimNetwork};
+use orchestra_net::{NodeId, SimNetwork, Transport};
 use orchestra_recon::CandidateTransaction;
 use orchestra_rt::{
     channel, oneshot, LocalExecutor, OneshotSender, Receiver, Sender, VirtualClock,
@@ -92,135 +92,123 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A request frame: one paged-session or publish protocol step.
+impl ServiceConfig {
+    /// Starts building a config from the defaults; see
+    /// [`ServiceConfigBuilder`]. Invariants are validated once at
+    /// [`ServiceConfigBuilder::build`] time.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder { config: ServiceConfig::default() }
+    }
+
+    /// Checks the config's invariants: at least one worker, at least one
+    /// frame per worker batch, a non-zero inbox and a non-zero session cap.
+    pub fn validate(&self) -> Result<()> {
+        fn invalid(what: &str) -> StorageError {
+            StorageError::Session(format!("service config: {what}"))
+        }
+        if self.workers < 1 {
+            return Err(invalid("a store service needs at least one worker"));
+        }
+        if self.max_batch < 1 {
+            return Err(invalid("a worker batch holds at least one frame"));
+        }
+        if self.inbox_capacity < 1 {
+            return Err(invalid("a worker inbox holds at least one frame"));
+        }
+        if self.max_open_sessions < 1 {
+            return Err(invalid("admission control needs at least one session slot"));
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`ServiceConfig`], validating invariants (workers ≥ 1,
+/// max_batch ≥ 1, inbox_capacity ≥ 1, max_open_sessions ≥ 1) once at
+/// [`ServiceConfigBuilder::build`] time instead of panicking inside
+/// [`StoreService::start`]:
+///
+/// ```
+/// use orchestra_store::ServiceConfig;
+/// let config = ServiceConfig::builder()
+///     .workers(4)
+///     .max_open_sessions(64)
+///     .store_latency_us(1_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.workers, 4);
+/// assert!(ServiceConfig::builder().workers(0).build().is_err());
+/// ```
 #[derive(Debug, Clone)]
-pub enum StoreRequest {
-    /// Open a reconciliation session (subject to admission control).
-    Begin {
-        /// The reconciling participant.
-        participant: ParticipantId,
-    },
-    /// Stream the next page of candidates for an open session.
-    NextBatch {
-        /// The session handle from [`StoreResponse::Began`].
-        session: SessionId,
-        /// Page size; a short page means the stream is exhausted.
-        max_candidates: usize,
-    },
-    /// Commit a session with its accept/reject decisions.
-    Commit {
-        /// The session handle.
-        session: SessionId,
-        /// Accepted member transaction ids.
-        accepted: Vec<TransactionId>,
-        /// Rejected member transaction ids.
-        rejected: Vec<TransactionId>,
-    },
-    /// Abort a session, leaving durable state untouched.
-    Abort {
-        /// The session handle.
-        session: SessionId,
-    },
-    /// Publish a batch of transactions as one epoch.
-    Publish {
-        /// The publishing participant.
-        participant: ParticipantId,
-        /// The batch.
-        transactions: Vec<Transaction>,
-    },
-    /// Publish a causally stamped batch (causal mode).
-    PublishStamped {
-        /// The client-allocated stamp.
-        stamp: CausalStamp,
-        /// The batch.
-        transactions: Vec<Transaction>,
-    },
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
 }
 
-impl StoreRequest {
-    /// Approximate wire size of the frame, using the same accounting model
-    /// as the DHT store (fixed header per message, per-id and per-update
-    /// payload costs).
-    pub fn frame_bytes(&self) -> u64 {
-        match self {
-            StoreRequest::Begin { .. } | StoreRequest::Abort { .. } => REQUEST_BYTES,
-            StoreRequest::NextBatch { .. } => REQUEST_BYTES,
-            StoreRequest::Commit { accepted, rejected, .. } => {
-                REQUEST_BYTES + 16 * (accepted.len() + rejected.len()) as u64
-            }
-            StoreRequest::Publish { transactions, .. }
-            | StoreRequest::PublishStamped { transactions, .. } => {
-                REQUEST_BYTES
-                    + transactions
-                        .iter()
-                        .map(|t| REQUEST_BYTES + UPDATE_BYTES * t.len() as u64)
-                        .sum::<u64>()
-            }
-        }
+impl ServiceConfigBuilder {
+    /// Sets the number of worker tasks (must end up ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the per-worker inbox capacity (must end up ≥ 1).
+    pub fn inbox_capacity(mut self, capacity: usize) -> Self {
+        self.config.inbox_capacity = capacity;
+        self
+    }
+
+    /// Sets the admission-control session cap (must end up ≥ 1).
+    pub fn max_open_sessions(mut self, cap: usize) -> Self {
+        self.config.max_open_sessions = cap;
+        self
+    }
+
+    /// Sets the frames a worker drains per wake-up (must end up ≥ 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the virtual one-way frame latency, in microseconds.
+    pub fn frame_latency_us(mut self, latency_us: u64) -> Self {
+        self.config.frame_latency_us = latency_us;
+        self
+    }
+
+    /// Sets the virtual per-batch store access latency, in microseconds.
+    pub fn store_latency_us(mut self, latency_us: u64) -> Self {
+        self.config.store_latency_us = latency_us;
+        self
+    }
+
+    /// Sets the base backoff before a `Busy` retry, in microseconds.
+    pub fn busy_backoff_us(mut self, backoff_us: u64) -> Self {
+        self.config.busy_backoff_us = backoff_us;
+        self
+    }
+
+    /// Sets how many `Busy` rejections a `Begin` retries before giving up.
+    pub fn busy_retries(mut self, retries: u32) -> Self {
+        self.config.busy_retries = retries;
+        self
+    }
+
+    /// Validates the invariants and returns the config, or a typed error
+    /// naming the violated invariant.
+    pub fn build(self) -> Result<ServiceConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
-/// A response frame.
-#[derive(Debug, Clone)]
-pub enum StoreResponse {
-    /// The session is open.
-    Began(SessionInfo),
-    /// A page of candidates (short page = stream exhausted).
-    Batch(Vec<CandidateTransaction>),
-    /// The session committed.
-    Committed,
-    /// The session aborted (durable state untouched).
-    Aborted,
-    /// The publish was assigned this epoch.
-    Published(Epoch),
-    /// Admission control rejected a `Begin`: the service is at its open
-    /// session cap. Retryable — back off and try again.
-    Busy,
-    /// The store returned an error; the message carries its rendering.
-    Failed(String),
-}
-
-impl StoreResponse {
-    /// Approximate wire size of the frame (same model as
-    /// [`StoreRequest::frame_bytes`]).
-    pub fn frame_bytes(&self) -> u64 {
-        match self {
-            StoreResponse::Batch(candidates) => {
-                REQUEST_BYTES
-                    + candidates
-                        .iter()
-                        .map(|c| {
-                            REQUEST_BYTES
-                                + c.members
-                                    .iter()
-                                    .map(|(_, updates)| {
-                                        REQUEST_BYTES + UPDATE_BYTES * updates.len() as u64
-                                    })
-                                    .sum::<u64>()
-                        })
-                        .sum::<u64>()
-            }
-            StoreResponse::Failed(message) => REQUEST_BYTES + message.len() as u64,
-            _ => REQUEST_BYTES,
-        }
-    }
-
-    /// Short label for protocol-error messages.
-    fn label(&self) -> &'static str {
-        match self {
-            StoreResponse::Began(_) => "Began",
-            StoreResponse::Batch(_) => "Batch",
-            StoreResponse::Committed => "Committed",
-            StoreResponse::Aborted => "Aborted",
-            StoreResponse::Published(_) => "Published",
-            StoreResponse::Busy => "Busy",
-            StoreResponse::Failed(_) => "Failed",
-        }
-    }
-}
-
-/// A frame in flight: the request plus the reply slot and the sender's
-/// overlay node (for reply-frame accounting).
+/// A frame in flight through the in-process transport: the request plus the
+/// reply slot and the sender's overlay node (for reply-frame accounting).
+///
+/// The envelope is deliberately *not* the wire shape: the wire shape is the
+/// versioned [`StoreRequest`] / [`StoreResponse`] enums of the
+/// [`protocol`](crate::protocol) module, which encode and decode
+/// independently of how frames travel. The envelope only exists because the
+/// simulated transport delivers frames through in-process channels and needs
+/// a reply slot; a socket transport would carry the encoded frames instead.
 struct Envelope {
     from: NodeId,
     request: StoreRequest,
@@ -273,7 +261,7 @@ impl ServiceStats {
 pub struct StoreService {
     server: NodeId,
     clock: VirtualClock,
-    net: Rc<SimNetwork>,
+    net: Rc<dyn Transport>,
     routes: RefCell<Option<Rc<Vec<Sender<Envelope>>>>>,
     shared: Rc<ServiceShared>,
     frame_latency_us: u64,
@@ -288,24 +276,47 @@ impl StoreService {
         NodeId::hash_str("store-service")
     }
 
+    /// The overlay node id of fabric shard `shard`'s server.
+    pub fn shard_server_node(shard: usize) -> NodeId {
+        NodeId::hash_str(&format!("store-service/shard-{shard}"))
+    }
+
     /// The overlay node id a participant's client frames originate from.
     pub fn client_node(participant: ParticipantId) -> NodeId {
         NodeId::hash_u64(0x5e51_0000_0000u64 + u64::from(participant.as_u32()))
     }
 
-    /// Starts the service: spawns `config.workers` worker tasks onto `ex`,
-    /// each serving its own bounded inbox against `store`. Frame traffic is
-    /// charged to `net`; latencies use the executor's [`VirtualClock`].
+    /// Starts the service under the default server node; see
+    /// [`StoreService::start_at`].
     pub fn start<'a, S: UpdateStore + ?Sized>(
         store: &'a S,
         config: &ServiceConfig,
         ex: &mut LocalExecutor<'a>,
-        net: Rc<SimNetwork>,
+        net: Rc<dyn Transport>,
     ) -> StoreService {
-        assert!(config.workers >= 1, "a store service needs at least one worker");
-        assert!(config.max_batch >= 1, "a worker batch holds at least one frame");
+        StoreService::start_at(store, config, ex, net, StoreService::server_node())
+    }
+
+    /// Starts the service as overlay node `server`: spawns `config.workers`
+    /// worker tasks onto `ex`, each serving its own bounded inbox against
+    /// `store`. Frame traffic is charged to the `net` transport; latencies
+    /// use the executor's [`VirtualClock`]. A fabric starts one service per
+    /// shard, each under its own [`StoreService::shard_server_node`].
+    ///
+    /// Panics if the config violates its invariants; build configs through
+    /// [`ServiceConfig::builder`] to surface the violation as a typed error
+    /// instead.
+    pub fn start_at<'a, S: UpdateStore + ?Sized>(
+        store: &'a S,
+        config: &ServiceConfig,
+        ex: &mut LocalExecutor<'a>,
+        net: Rc<dyn Transport>,
+        server: NodeId,
+    ) -> StoreService {
+        if let Err(error) = config.validate() {
+            panic!("invalid service config: {error}");
+        }
         let clock = ex.clock();
-        let server = StoreService::server_node();
         let shared = Rc::new(ServiceShared {
             open_sessions: RefCell::new(FxHashSet::default()),
             max_open_sessions: config.max_open_sessions,
@@ -412,7 +423,7 @@ async fn worker<S: UpdateStore + ?Sized>(
     store: &S,
     mut inbox: Receiver<Envelope>,
     shared: Rc<ServiceShared>,
-    net: Rc<SimNetwork>,
+    net: Rc<dyn Transport>,
     server: NodeId,
     clock: VirtualClock,
     store_latency_us: u64,
@@ -432,7 +443,7 @@ async fn worker<S: UpdateStore + ?Sized>(
         }
         for envelope in batch {
             let response = serve(store, &shared, envelope.request);
-            net.send_direct(server, envelope.from, response.frame_bytes());
+            net.send_frame(server, envelope.from, response.frame_bytes());
             // A send error means the client gave up on the reply; the
             // store-side effect stands either way.
             let _ = envelope.reply.send(response);
@@ -463,7 +474,22 @@ fn serve<S: UpdateStore + ?Sized>(
         },
         StoreRequest::NextBatch { session, max_candidates } => {
             match store.next_batch(session, max_candidates) {
-                Ok(timed) => StoreResponse::Batch(timed.value),
+                Ok(timed) => {
+                    let candidates = timed.value;
+                    let mut epochs = Vec::with_capacity(candidates.len());
+                    for candidate in &candidates {
+                        match store.epoch_of(candidate.id) {
+                            Some(epoch) => epochs.push(epoch),
+                            None => {
+                                return StoreResponse::Failed(format!(
+                                    "candidate {:?} has no publication epoch",
+                                    candidate.id
+                                ))
+                            }
+                        }
+                    }
+                    StoreResponse::Batch { candidates, epochs }
+                }
                 Err(error) => StoreResponse::Failed(error.to_string()),
             }
         }
@@ -497,6 +523,18 @@ fn serve<S: UpdateStore + ?Sized>(
                 Err(error) => StoreResponse::Failed(error.to_string()),
             }
         }
+        StoreRequest::Replicate { participant, epoch, transactions } => {
+            match store.publish_replica(participant, epoch, transactions) {
+                Ok(timed) => StoreResponse::Published(timed.value),
+                Err(error) => StoreResponse::Failed(error.to_string()),
+            }
+        }
+        StoreRequest::ReplicateStamped { stamp, epoch, transactions } => {
+            match store.publish_replica_stamped(stamp, epoch, transactions) {
+                Ok(timed) => StoreResponse::Published(timed.value),
+                Err(error) => StoreResponse::Failed(error.to_string()),
+            }
+        }
     }
 }
 
@@ -517,7 +555,7 @@ pub struct ServiceClient {
     node: NodeId,
     server: NodeId,
     clock: VirtualClock,
-    net: Rc<SimNetwork>,
+    net: Rc<dyn Transport>,
     routes: Rc<Vec<Sender<Envelope>>>,
     frame_latency_us: u64,
     busy_backoff_us: u64,
@@ -540,7 +578,7 @@ impl ServiceClient {
     /// worker inbox is full (backpressure), then sleeps the reply frame's
     /// latency once the worker answers.
     pub async fn request(&self, request: StoreRequest) -> Result<StoreResponse> {
-        self.net.send_direct(self.node, self.server, request.frame_bytes());
+        self.net.send_frame(self.node, self.server, request.frame_bytes());
         self.clock.sleep_us(self.frame_latency_us).await;
         let (reply, response) = oneshot();
         let worker = self.participant.as_u32() as usize % self.routes.len();
@@ -584,8 +622,18 @@ impl ServiceClient {
         session: SessionId,
         max_candidates: usize,
     ) -> Result<Vec<CandidateTransaction>> {
+        Ok(self.next_batch_with_epochs(session, max_candidates).await?.0)
+    }
+
+    /// Streams one page of candidates together with the publication epoch of
+    /// each (parallel vectors). Fabric clients merge shard streams by epoch.
+    pub async fn next_batch_with_epochs(
+        &self,
+        session: SessionId,
+        max_candidates: usize,
+    ) -> Result<(Vec<CandidateTransaction>, Vec<Epoch>)> {
         match self.request(StoreRequest::NextBatch { session, max_candidates }).await? {
-            StoreResponse::Batch(candidates) => Ok(candidates),
+            StoreResponse::Batch { candidates, epochs } => Ok((candidates, epochs)),
             StoreResponse::Failed(message) => Err(remote_error(message)),
             other => Err(protocol_error("Batch", &other)),
         }
@@ -661,6 +709,33 @@ impl ServiceClient {
             other => Err(protocol_error("Published", &other)),
         }
     }
+
+    /// Replicates a batch already published at another shard, pinning it to
+    /// the epoch the home shard assigned.
+    pub async fn replicate(&self, epoch: Epoch, transactions: Vec<Transaction>) -> Result<Epoch> {
+        let request =
+            StoreRequest::Replicate { participant: self.participant, epoch, transactions };
+        match self.request(request).await? {
+            StoreResponse::Published(epoch) => Ok(epoch),
+            StoreResponse::Failed(message) => Err(remote_error(message)),
+            other => Err(protocol_error("Published", &other)),
+        }
+    }
+
+    /// Replicates a causally stamped batch already published at another
+    /// shard (causal counterpart of [`ServiceClient::replicate`]).
+    pub async fn replicate_stamped(
+        &self,
+        stamp: CausalStamp,
+        epoch: Epoch,
+        transactions: Vec<Transaction>,
+    ) -> Result<Epoch> {
+        match self.request(StoreRequest::ReplicateStamped { stamp, epoch, transactions }).await? {
+            StoreResponse::Published(epoch) => Ok(epoch),
+            StoreResponse::Failed(message) => Err(remote_error(message)),
+            other => Err(protocol_error("Published", &other)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -719,7 +794,7 @@ mod tests {
         let clock = VirtualClock::new();
         let mut ex = LocalExecutor::new(clock.clone());
         let net = Rc::new(SimNetwork::new(vec![StoreService::server_node()]));
-        let service = StoreService::start(s, config, &mut ex, Rc::clone(&net));
+        let service = StoreService::start(s, config, &mut ex, Rc::clone(&net) as Rc<dyn Transport>);
 
         let publisher = service.client_for(p(1));
         let publisher2 = service.client_for(p(2));

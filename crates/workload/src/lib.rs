@@ -28,7 +28,10 @@ pub use offline::{run_offline_scenario, EpochMode, OfflineChurnConfig, OfflineCh
 pub use retention::{
     run_retention_scenario, RetentionChurnConfig, RetentionChurnResult, RetentionSample,
 };
-pub use scale::{run_churn_scale, zipf_fanin_policies, ScaleConfig, ScaleDriver, ScaleRunResult};
+pub use scale::{
+    run_churn_scale, run_churn_scale_fabric, zipf_fanin_policies, ScaleConfig, ScaleDriver,
+    ScaleRunResult,
+};
 pub use scenario::{
     mutual_trust_policies, run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig,
     ChurnResult, ChurnSample, ConcurrentChurnResult, ReconcileDriver, ScenarioConfig,

@@ -14,7 +14,7 @@
 //! most of the confederation while the long tail is relevant to almost
 //! nobody — the interest skew the paper observes in bioinformatics sharing.
 //!
-//! Three drivers run the *same* publish/reconcile schedule:
+//! Four drivers run the *same* publish/reconcile schedule:
 //!
 //! * [`ScaleDriver::Sequential`] — one session after another; the decision
 //!   baseline.
@@ -22,9 +22,14 @@
 //!   (`reconcile_each_parallel`), the pre-service deployment model.
 //! * [`ScaleDriver::Service`] — sessions multiplexed through the bounded
 //!   worker pool of the store service on the single-threaded runtime.
+//! * the **fabric** driver ([`run_churn_scale_fabric`]) — the same sessions
+//!   against a confederation of [`ScaleConfig::fabric_shards`] store
+//!   services, each fronting one shard of an
+//!   [`orchestra_store::StoreFabric`]; every session merges candidates from
+//!   every shard into one virtual timeline.
 //!
 //! Because publishes are schedule-ordered in every driver and a wave pins
-//! the log, all three reach identical decisions; the run result carries an
+//! the log, all four reach identical decisions; the run result carries an
 //! order-invariant [`ScaleRunResult::decision_fingerprint`] so a benchmark
 //! can assert that equivalence cheaply at full scale.
 
@@ -34,7 +39,7 @@ use crate::zipf::ZipfSampler;
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
 use orchestra_model::{ParticipantId, TransactionId, TrustPolicy};
-use orchestra_store::{ServiceConfig, UpdateStore};
+use orchestra_store::{FabricConfig, ServiceConfig, StoreFabric, UpdateStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rustc_hash::{FxHashSet, FxHasher};
@@ -79,6 +84,9 @@ pub struct ScaleConfig {
     pub frame_latency_us: u64,
     /// Mirrors [`ServiceConfig::store_latency_us`].
     pub store_latency_us: u64,
+    /// Shards in the store fabric (the fabric driver only; mirrors
+    /// [`FabricConfig::shards`]).
+    pub fabric_shards: usize,
 }
 
 impl ScaleConfig {
@@ -107,12 +115,14 @@ impl ScaleConfig {
             service_max_batch: 16,
             frame_latency_us: 500,
             store_latency_us: 200,
+            fabric_shards: 4,
         }
     }
 
-    /// Full scale: 1024 participants × 6 rounds × 34-update transactions
-    /// ≈ 209k published updates, with an admission cap below the largest
-    /// wave so the service sheds and re-admits load under pressure.
+    /// Full scale: 4096 participants × 2 rounds × 26-update transactions
+    /// ≈ 213k published updates, with an admission cap below the largest
+    /// wave so the service sheds and re-admits load under pressure. The
+    /// fabric driver spreads the same confederation over 4 shard services.
     ///
     /// The key universe is huge and uniform (`key_zipf_exponent: 0`) so
     /// that most updates are *inserts*: an insert has no antecedent, which
@@ -125,14 +135,14 @@ impl ScaleConfig {
     /// the keys.)
     pub fn full() -> ScaleConfig {
         ScaleConfig {
-            participants: 1024,
-            rounds: 6,
+            participants: 4096,
+            rounds: 2,
             transactions_per_publish: 1,
             trusted_publishers: 8,
             zipf_s: 1.1,
             max_reconcile_interval: 3,
             workload: WorkloadConfig {
-                transaction_size: 34,
+                transaction_size: 26,
                 key_universe: 4_000_000,
                 function_pool: 500,
                 value_zipf_exponent: 1.5,
@@ -146,6 +156,7 @@ impl ScaleConfig {
             service_max_batch: 16,
             frame_latency_us: 500,
             store_latency_us: 1_000,
+            fabric_shards: 4,
         }
     }
 
@@ -161,9 +172,20 @@ impl ScaleConfig {
             ..ServiceConfig::default()
         }
     }
+
+    /// The [`FabricConfig`] these knobs describe: [`ScaleConfig::fabric_shards`]
+    /// shard services, each running [`ScaleConfig::service_config`].
+    pub fn fabric_config(&self) -> FabricConfig {
+        FabricConfig { shards: self.fabric_shards, service: self.service_config() }
+    }
 }
 
 /// How a `churn_scale` run drives its reconciliation waves.
+///
+/// The sharded fabric deployment is its own entry point
+/// ([`run_churn_scale_fabric`]) rather than a variant here: it needs to
+/// construct the [`StoreFabric`] itself, while [`run_churn_scale`] is
+/// generic over any caller-supplied store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ScaleDriver {
     /// One session after another (decision baseline).
@@ -205,6 +227,9 @@ pub struct ScaleRunResult {
     pub net_bytes: u64,
     /// Virtual time consumed by the service rounds, microseconds.
     pub virtual_elapsed_us: u64,
+    /// Frames delivered to each shard's server endpoint (fabric driver
+    /// only); the spread across entries is the shard-load skew.
+    pub shard_frames: Vec<u64>,
     /// Order-invariant hash of every participant's accepted and rejected
     /// sets; equal fingerprints ⇒ identical decisions.
     pub decision_fingerprint: u64,
@@ -278,6 +303,90 @@ pub fn run_churn_scale<S: UpdateStore + Sync>(
     config: &ScaleConfig,
     driver: ScaleDriver,
 ) -> ScaleRunResult {
+    let service_config = config.service_config();
+    run_churn_loop(
+        store,
+        config,
+        |system, ids, result| match driver {
+            ScaleDriver::Sequential | ScaleDriver::Threads => {
+                for &id in ids {
+                    if system.publish(id).expect("publish succeeds").is_some() {
+                        result.publishes += 1;
+                    }
+                }
+            }
+            ScaleDriver::Service => {
+                let report = system
+                    .run_service_round(ids, &[], &service_config)
+                    .expect("service publish phase succeeds");
+                result.publishes +=
+                    report.published.iter().filter(|(_, epoch)| epoch.is_some()).count() as u64;
+                absorb_service_report(result, &report);
+            }
+        },
+        |system, due, result| match driver {
+            ScaleDriver::Sequential => {
+                let reports = system.reconcile_each(due).expect("sequential wave succeeds");
+                result.sessions += reports.len() as u64;
+            }
+            ScaleDriver::Threads => {
+                let reports = system.reconcile_each_parallel(due).expect("threaded wave succeeds");
+                result.sessions += reports.len() as u64;
+            }
+            ScaleDriver::Service => {
+                let report = system
+                    .run_service_round(&[], due, &service_config)
+                    .expect("service wave succeeds");
+                result.sessions += report.results.len() as u64;
+                result.latencies_us.extend_from_slice(&report.latencies_us);
+                absorb_service_report(result, &report);
+            }
+        },
+    )
+}
+
+/// Runs the `churn_scale` schedule against a sharded [`StoreFabric`]: the
+/// confederation is spread over [`ScaleConfig::fabric_shards`] store
+/// services (one per shard of the publication log), publishes fan out from
+/// each participant's home shard to every replica, and each reconciliation
+/// session pages candidates from every shard into one virtual timeline.
+///
+/// The schedule — and therefore the decisions — is identical to
+/// [`run_churn_scale`]'s; [`ScaleRunResult::shard_frames`] additionally
+/// records the per-shard frame load.
+pub fn run_churn_scale_fabric(config: &ScaleConfig) -> ScaleRunResult {
+    let fabric_config = config.fabric_config();
+    run_churn_loop(
+        StoreFabric::new(bioinformatics_schema(), config.fabric_shards),
+        config,
+        |system, ids, result| {
+            let report = system
+                .run_fabric_round(ids, &[], &fabric_config)
+                .expect("fabric publish phase succeeds");
+            result.publishes +=
+                report.published.iter().filter(|(_, epoch)| epoch.is_some()).count() as u64;
+            absorb_fabric_report(result, &report);
+        },
+        |system, due, result| {
+            let report =
+                system.run_fabric_round(&[], due, &fabric_config).expect("fabric wave succeeds");
+            result.sessions += report.results.len() as u64;
+            result.latencies_us.extend_from_slice(&report.latencies_us);
+            absorb_fabric_report(result, &report);
+        },
+    )
+}
+
+/// The schedule every driver shares: per round, every participant executes
+/// a generated batch, `publish` pushes the round's pending transactions to
+/// the store, and `wave` reconciles the round's due participants; a final
+/// catch-up wave converges everybody.
+fn run_churn_loop<S: UpdateStore + Sync>(
+    store: S,
+    config: &ScaleConfig,
+    mut publish: impl FnMut(&mut CdssSystem<S>, &[ParticipantId], &mut ScaleRunResult),
+    mut wave: impl FnMut(&mut CdssSystem<S>, &[ParticipantId], &mut ScaleRunResult),
+) -> ScaleRunResult {
     let schema = bioinformatics_schema();
     let mut system = CdssSystem::new(schema, store);
     let policies = zipf_fanin_policies(
@@ -307,7 +416,6 @@ pub fn run_churn_scale<S: UpdateStore + Sync>(
         })
         .collect();
 
-    let service_config = config.service_config();
     let mut result = ScaleRunResult::default();
     let run_start = Instant::now();
 
@@ -330,23 +438,7 @@ pub fn run_churn_scale<S: UpdateStore + Sync>(
                 let _ = system.execute(id, updates);
             }
         }
-        match driver {
-            ScaleDriver::Sequential | ScaleDriver::Threads => {
-                for &id in &ids {
-                    if system.publish(id).expect("publish succeeds").is_some() {
-                        result.publishes += 1;
-                    }
-                }
-            }
-            ScaleDriver::Service => {
-                let report = system
-                    .run_service_round(&ids, &[], &service_config)
-                    .expect("service publish phase succeeds");
-                result.publishes +=
-                    report.published.iter().filter(|(_, epoch)| epoch.is_some()).count() as u64;
-                absorb_service_report(&mut result, &report);
-            }
-        }
+        publish(&mut system, &ids, &mut result);
 
         // Phase 2: the round's due participants reconcile as one wave.
         let due: Vec<ParticipantId> = ids
@@ -358,48 +450,23 @@ pub fn run_churn_scale<S: UpdateStore + Sync>(
             })
             .map(|(_, &id)| id)
             .collect();
-        reconcile_wave(&mut system, &mut result, &due, driver, &service_config);
+        if !due.is_empty() {
+            let wave_start = Instant::now();
+            wave(&mut system, &due, &mut result);
+            result.reconcile_wall += wave_start.elapsed();
+        }
     }
 
     // Final catch-up wave: everyone reconciles once more, so every driver
     // ends at the same converged frontier.
-    reconcile_wave(&mut system, &mut result, &ids, driver, &service_config);
+    let wave_start = Instant::now();
+    wave(&mut system, &ids, &mut result);
+    result.reconcile_wall += wave_start.elapsed();
 
     result.total_wall = run_start.elapsed();
     result.state_ratio = system.state_ratio_for("Function");
     result.decision_fingerprint = decision_fingerprint(system.store(), &ids);
     result
-}
-
-fn reconcile_wave<S: UpdateStore + Sync>(
-    system: &mut CdssSystem<S>,
-    result: &mut ScaleRunResult,
-    due: &[ParticipantId],
-    driver: ScaleDriver,
-    service_config: &ServiceConfig,
-) {
-    if due.is_empty() {
-        return;
-    }
-    let wave_start = Instant::now();
-    match driver {
-        ScaleDriver::Sequential => {
-            let reports = system.reconcile_each(due).expect("sequential wave succeeds");
-            result.sessions += reports.len() as u64;
-        }
-        ScaleDriver::Threads => {
-            let reports = system.reconcile_each_parallel(due).expect("threaded wave succeeds");
-            result.sessions += reports.len() as u64;
-        }
-        ScaleDriver::Service => {
-            let report =
-                system.run_service_round(&[], due, service_config).expect("service wave succeeds");
-            result.sessions += report.results.len() as u64;
-            result.latencies_us.extend_from_slice(&report.latencies_us);
-            absorb_service_report(result, &report);
-        }
-    }
-    result.reconcile_wall += wave_start.elapsed();
 }
 
 fn absorb_service_report(result: &mut ScaleRunResult, report: &orchestra::ServiceDriveReport) {
@@ -409,6 +476,23 @@ fn absorb_service_report(result: &mut ScaleRunResult, report: &orchestra::Servic
     result.net_messages += report.net.messages;
     result.net_bytes += report.net.bytes;
     result.virtual_elapsed_us += report.virtual_elapsed_us;
+}
+
+fn absorb_fabric_report(result: &mut ScaleRunResult, report: &orchestra::FabricDriveReport) {
+    for stats in &report.shard_stats {
+        result.requests += stats.requests;
+        result.busy_rejections += stats.busy_rejections;
+        result.batches += stats.batches;
+    }
+    result.net_messages += report.net.messages;
+    result.net_bytes += report.net.bytes;
+    result.virtual_elapsed_us += report.virtual_elapsed_us;
+    if result.shard_frames.len() < report.shard_frames.len() {
+        result.shard_frames.resize(report.shard_frames.len(), 0);
+    }
+    for (total, frames) in result.shard_frames.iter_mut().zip(&report.shard_frames) {
+        *total += frames;
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +571,44 @@ mod tests {
         assert!(service.latencies_us.iter().all(|&us| us > 0));
         assert!(service.virtual_elapsed_us > 0);
         assert!(service.net_messages >= service.requests);
+    }
+
+    #[test]
+    fn fabric_driver_matches_sequential_decisions_at_reduced_scale() {
+        let mut config = quick();
+        config.participants = 24;
+        config.rounds = 2;
+        let sequential = run_churn_scale(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ScaleDriver::Sequential,
+        );
+        let fabric = run_churn_scale_fabric(&config);
+
+        assert_eq!(fabric.transactions, sequential.transactions);
+        assert_eq!(fabric.publishes, sequential.publishes);
+        assert_eq!(fabric.sessions, sequential.sessions);
+        assert_eq!(fabric.decision_fingerprint, sequential.decision_fingerprint);
+        assert_eq!(fabric.state_ratio, sequential.state_ratio);
+
+        // Only the fabric driver reports per-shard frame load, and every
+        // shard of the confederation serves traffic.
+        assert_eq!(sequential.shard_frames.len(), 0);
+        assert_eq!(fabric.shard_frames.len(), config.fabric_shards);
+        assert!(fabric.shard_frames.iter().all(|&frames| frames > 0));
+        assert!(fabric.requests > 0);
+        assert_eq!(fabric.latencies_us.len() as u64, fabric.sessions);
+
+        // A store fabric also satisfies the plain in-process driver
+        // contract: driving it sequentially reaches the same decisions.
+        let in_process = run_churn_scale(
+            StoreFabric::new(bioinformatics_schema(), config.fabric_shards),
+            &config,
+            ScaleDriver::Sequential,
+        );
+        assert_eq!(in_process.sessions, sequential.sessions);
+        assert_eq!(in_process.decision_fingerprint, sequential.decision_fingerprint);
+        assert_eq!(in_process.state_ratio, sequential.state_ratio);
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Equivalence and starvation tests for the sharded fabric driver: on
+//! arbitrary publish/reconcile schedules — scalar *and* causal-DAG epoch
+//! mode — a multi-shard store fabric reaches decisions identical to both
+//! the sequential driver and the single-service driver, and a fabric whose
+//! every shard admits only one session at a time still completes every
+//! cross-shard session without changing a single decision.
+
+use orchestra::{CdssSystem, ParticipantConfig};
+use orchestra_model::schema::bioinformatics_schema;
+use orchestra_model::{KeyValue, ParticipantId, TransactionId, TrustPolicy, Tuple, Update};
+use orchestra_store::{CentralStore, FabricConfig, ServiceConfig, StoreFabric, UpdateStore};
+use proptest::prelude::*;
+
+fn p(i: u32) -> ParticipantId {
+    ParticipantId(i)
+}
+
+fn func(org: &str, prot: &str, f: &str) -> Tuple {
+    Tuple::of_text(&[org, prot, f])
+}
+
+fn mutual_policies(n: u32) -> Vec<TrustPolicy> {
+    (1..=n)
+        .map(|i| {
+            let mut policy = TrustPolicy::new(p(i));
+            for j in 1..=n {
+                if i != j {
+                    policy = policy.trusting(p(j), 1u32);
+                }
+            }
+            policy
+        })
+        .collect()
+}
+
+/// With 4 participants over 4 shards every participant is homed on a
+/// different shard, so every session is a cross-shard merge.
+const PARTICIPANTS: u32 = 4;
+const SHARDS: usize = 4;
+const KEY_POOL: usize = 6;
+const VALUE_POOL: usize = 4;
+
+/// One step of a schedule: `(participant, key, value, reconcile_wave)`.
+/// Every step executes a state-dependent edit and publishes it; when
+/// `reconcile_wave` is odd, all participants then reconcile as one wave.
+type Op = (usize, usize, usize, u8);
+
+/// Everything compared between the drivers, per participant: the final
+/// instance contents and the durable accepted/rejected records.
+type ParticipantSnapshot = (Vec<(KeyValue, Tuple)>, Vec<TransactionId>, Vec<TransactionId>);
+
+fn execute<S: UpdateStore>(
+    system: &mut CdssSystem<S>,
+    who: ParticipantId,
+    key: usize,
+    value: usize,
+) {
+    let prot = format!("prot{key}");
+    let new_tuple = func("org", &prot, &format!("f{value}"));
+    let existing = system
+        .participant(who)
+        .unwrap()
+        .instance()
+        .value_at("Function", &KeyValue::of_text(&["org", &prot]));
+    let update = match existing {
+        None => Update::insert("Function", new_tuple, who),
+        Some(current) => {
+            if current == new_tuple {
+                return;
+            }
+            Update::modify("Function", current, new_tuple, who)
+        }
+    };
+    let _ = system.execute(who, vec![update]);
+}
+
+fn snapshots<S: UpdateStore>(system: &CdssSystem<S>) -> Vec<ParticipantSnapshot> {
+    let sorted = |mut v: Vec<TransactionId>| {
+        v.sort();
+        v
+    };
+    system
+        .participant_ids()
+        .into_iter()
+        .map(|id| {
+            (
+                system.participant(id).unwrap().instance().relation_contents("Function"),
+                sorted(system.store().accepted_set(id).iter().copied().collect()),
+                sorted(system.store().rejected_set(id).iter().copied().collect()),
+            )
+        })
+        .collect()
+}
+
+/// The single-store deployment models the fabric is compared against.
+#[derive(Clone, Copy, PartialEq)]
+enum Driver {
+    Sequential,
+    Service,
+}
+
+/// Runs a schedule against one [`CentralStore`].
+fn run_single(ops: &[Op], driver: Driver, causal: bool) -> Vec<ParticipantSnapshot> {
+    let mut system =
+        CdssSystem::new(bioinformatics_schema(), CentralStore::new(bioinformatics_schema()));
+    for policy in mutual_policies(PARTICIPANTS) {
+        system.add_participant(ParticipantConfig::new(policy)).unwrap();
+    }
+    if causal {
+        system.enable_causal_mode().unwrap();
+    }
+    let config = ServiceConfig::default();
+    for &(who, key, value, reconcile_wave) in ops {
+        let who = p((who % PARTICIPANTS as usize) as u32 + 1);
+        execute(&mut system, who, key % KEY_POOL, value % VALUE_POOL);
+        match driver {
+            Driver::Sequential => {
+                system.publish(who).unwrap();
+            }
+            Driver::Service => {
+                system.run_service_round(&[who], &[], &config).unwrap();
+            }
+        }
+        if reconcile_wave % 2 == 1 {
+            match driver {
+                Driver::Sequential => system.reconcile_all().map(|_| ()).unwrap(),
+                Driver::Service => system.reconcile_all_service(&config).map(|_| ()).unwrap(),
+            }
+        }
+    }
+    match driver {
+        Driver::Sequential => system.reconcile_all().map(|_| ()).unwrap(),
+        Driver::Service => system.reconcile_all_service(&config).map(|_| ()).unwrap(),
+    }
+    snapshots(&system)
+}
+
+/// Runs the same schedule against a [`StoreFabric`]: publishes route to the
+/// participant's home shard and fan out to every replica, and each
+/// reconciliation session merges candidates from every shard into one
+/// virtual timeline.
+fn run_fabric(ops: &[Op], causal: bool) -> Vec<ParticipantSnapshot> {
+    let mut system =
+        CdssSystem::new(bioinformatics_schema(), StoreFabric::new(bioinformatics_schema(), SHARDS));
+    for policy in mutual_policies(PARTICIPANTS) {
+        system.add_participant(ParticipantConfig::new(policy)).unwrap();
+    }
+    if causal {
+        system.enable_causal_mode().unwrap();
+    }
+    let config = FabricConfig { shards: SHARDS, ..FabricConfig::default() };
+    for &(who, key, value, reconcile_wave) in ops {
+        let who = p((who % PARTICIPANTS as usize) as u32 + 1);
+        execute(&mut system, who, key % KEY_POOL, value % VALUE_POOL);
+        system.run_fabric_round(&[who], &[], &config).unwrap();
+        if reconcile_wave % 2 == 1 {
+            system.reconcile_all_fabric(&config).unwrap();
+        }
+    }
+    system.reconcile_all_fabric(&config).unwrap();
+    snapshots(&system)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scalar epochs: the fabric reaches decisions (accepted and rejected
+    /// sets, final instances) identical to both the sequential and the
+    /// single-service drivers on random publish/reconcile schedules,
+    /// including schedules that force genuine cross-shard conflicts.
+    #[test]
+    fn fabric_driver_is_equivalent_on_scalar_schedules(
+        ops in prop::collection::vec(
+            (0..PARTICIPANTS as usize, 0..KEY_POOL, 0..VALUE_POOL, 0..2u8),
+            1..24,
+        )
+    ) {
+        let sequential = run_single(&ops, Driver::Sequential, false);
+        let service = run_single(&ops, Driver::Service, false);
+        let fabric = run_fabric(&ops, false);
+        prop_assert_eq!(&sequential, &service, "single-service driver diverged");
+        prop_assert_eq!(&sequential, &fabric, "fabric driver diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Causal-DAG epochs: the same three-way equivalence with causal mode
+    /// enabled, so fabric publishes carry client causal stamps to the home
+    /// shard and replay them verbatim on every replica.
+    #[test]
+    fn fabric_driver_is_equivalent_on_causal_schedules(
+        ops in prop::collection::vec(
+            (0..PARTICIPANTS as usize, 0..KEY_POOL, 0..VALUE_POOL, 0..2u8),
+            1..16,
+        )
+    ) {
+        let sequential = run_single(&ops, Driver::Sequential, true);
+        let service = run_single(&ops, Driver::Service, true);
+        let fabric = run_fabric(&ops, true);
+        prop_assert_eq!(&sequential, &service, "single-service driver diverged");
+        prop_assert_eq!(&sequential, &fabric, "fabric driver diverged");
+    }
+}
+
+/// Every shard capped at one open session: every cross-shard fabric session
+/// still completes (ordered shard acquisition means `Busy` retries cannot
+/// deadlock) and the decisions are identical to an uncapped fabric.
+#[test]
+fn starved_shards_complete_every_cross_shard_session_with_identical_decisions() {
+    const N: u32 = 6;
+
+    let build = || {
+        let mut system = CdssSystem::new(
+            bioinformatics_schema(),
+            StoreFabric::new(bioinformatics_schema(), SHARDS),
+        );
+        for policy in mutual_policies(N) {
+            system.add_participant(ParticipantConfig::new(policy)).unwrap();
+        }
+        // Everyone publishes a conflicting edit of one shared key, so every
+        // session must merge candidates published on every home shard.
+        for i in 1..=N {
+            let who = p(i);
+            system
+                .execute(
+                    who,
+                    vec![Update::insert("Function", func("org", "shared", &format!("f{i}")), who)],
+                )
+                .unwrap();
+            system.publish(who).unwrap();
+        }
+        system
+    };
+
+    let mut starved = build();
+    let starved_config = FabricConfig {
+        shards: SHARDS,
+        service: ServiceConfig { max_open_sessions: 1, workers: 1, ..ServiceConfig::default() },
+    };
+    let ids = starved.participant_ids();
+    let report = starved.run_fabric_round(&[], &ids, &starved_config).unwrap();
+    assert_eq!(report.results.len(), ids.len(), "every session must complete");
+    let shed: u64 = report.shard_stats.iter().map(|stats| stats.busy_rejections).sum();
+    assert!(shed > 0, "a cap of 1 per shard over {N} concurrent sessions must shed Begins");
+    for (shard, stats) in report.shard_stats.iter().enumerate() {
+        assert_eq!(stats.open_sessions, 0, "shard {shard} leaked a session past the round");
+    }
+
+    let mut roomy = build();
+    roomy
+        .reconcile_all_fabric(&FabricConfig { shards: SHARDS, ..FabricConfig::default() })
+        .unwrap();
+    for &id in &ids {
+        assert_eq!(
+            starved.store().accepted_set(id),
+            roomy.store().accepted_set(id),
+            "per-shard admission control changed decisions for {id}"
+        );
+        assert_eq!(starved.store().rejected_set(id), roomy.store().rejected_set(id));
+    }
+}
