@@ -5,19 +5,26 @@
 //! Usage:
 //!
 //! ```text
-//! churn_scale [--full] [--out FILE]
+//! churn_scale [--full] [--out FILE] [--trace FILE]
 //! ```
 //!
 //! The default output path is `BENCH_churn_scale.json` in the current
 //! directory. `--full` runs the committed trajectory scale (4096
 //! participants across a 4-shard fabric, ≈ 213k published updates).
+//! `--trace FILE` additionally reruns the fabric driver with tracing
+//! enabled and writes the captured trace (v1 text format, stamped by the
+//! virtual clock) for `trace_dump` to render.
 
-use orchestra_bench::{render_table, run_churn_scale_bench, write_churn_scale_json, FigureScale};
+use orchestra_bench::{
+    capture_fabric_trace, churn_scale_config, render_table, run_churn_scale_bench,
+    write_churn_scale_json, FigureScale,
+};
 use std::path::PathBuf;
 
 fn main() {
     let mut scale = FigureScale::Quick;
     let mut out = PathBuf::from("BENCH_churn_scale.json");
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,8 +34,13 @@ fn main() {
                     out = PathBuf::from(path);
                 }
             }
+            "--trace" => {
+                if let Some(path) = args.next() {
+                    trace_out = Some(PathBuf::from(path));
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: churn_scale [--full] [--out FILE]");
+                println!("usage: churn_scale [--full] [--out FILE] [--trace FILE]");
                 return;
             }
             other => {
@@ -88,13 +100,14 @@ fn main() {
     );
     println!(
         "fabric ({} shards) {:.0} req/s, session latency p50 {:.1} ms / p99 {:.1} ms (virtual), \
-         {:.0} sessions/s, shard frames {:?}",
+         {:.0} sessions/s, shard frames {:?}, shard sheds {:?}",
         report.summary.fabric_shards,
         report.summary.fabric_requests_per_second,
         report.summary.fabric_p50_ms,
         report.summary.fabric_p99_ms,
         report.summary.fabric_sessions_per_second,
         report.summary.fabric_shard_frames,
+        report.summary.fabric_shard_busy,
     );
     if !report.summary.decisions_match {
         eprintln!("FATAL: drivers disagreed on decisions");
@@ -105,4 +118,12 @@ fn main() {
     }
     write_churn_scale_json(&out, &report).expect("write benchmark JSON");
     println!("wrote {}", out.display());
+    if let Some(trace_path) = trace_out {
+        let trace = capture_fabric_trace(&churn_scale_config(scale));
+        if let Some(parent) = trace_path.parent() {
+            std::fs::create_dir_all(parent).expect("create trace directory");
+        }
+        std::fs::write(&trace_path, trace).expect("write fabric trace");
+        println!("wrote {}", trace_path.display());
+    }
 }

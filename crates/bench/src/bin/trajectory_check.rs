@@ -10,7 +10,11 @@
 //! * any numeric `summary` field whose name ends in `speedup` dropped more
 //!   than the tolerance (default 25%) below the committed value. Ratios are
 //!   compared rather than absolute times, so the gate is meaningful across
-//!   hosts of different speeds.
+//!   hosts of different speeds;
+//! * any leaf key under a committed document's `metrics` section (metric
+//!   names and histogram quantiles from the observability registry) is
+//!   missing from the fresh document — instrumentation coverage may grow
+//!   but never silently shrink.
 //!
 //! Usage:
 //!

@@ -32,9 +32,11 @@
 //! (`fabric_p99_ms`) is gated lower-is-better by the trajectory check.
 
 use orchestra_model::schema::bioinformatics_schema;
+use orchestra_obs::{HistogramSnapshot, MetricsSnapshot, Obs};
 use orchestra_store::CentralStore;
 use orchestra_workload::{
-    run_churn_scale, run_churn_scale_fabric, ScaleConfig, ScaleDriver, ScaleRunResult,
+    run_churn_scale, run_churn_scale_fabric, run_churn_scale_fabric_observed, ScaleConfig,
+    ScaleDriver, ScaleRunResult,
 };
 use serde::Serialize;
 use std::io;
@@ -77,6 +79,10 @@ pub struct ChurnScaleRow {
     /// Frames delivered to each shard's server endpoint (fabric row only);
     /// the spread is the shard-load skew.
     pub shard_frames: Vec<u64>,
+    /// `Begin` frames shed by each shard's admission control (fabric row
+    /// only), counted directly by the shard services rather than inferred
+    /// from frame deltas.
+    pub shard_busy: Vec<u64>,
     /// Order-invariant decision fingerprint, hex (must match across rows).
     pub decision_fingerprint: String,
     /// Final state ratio over `Function` (must match across rows).
@@ -132,6 +138,11 @@ pub struct ChurnScaleSummary {
     /// Frames delivered to each shard's server endpoint across the fabric
     /// run; the spread is the shard-load skew.
     pub fabric_shard_frames: Vec<u64>,
+    /// `Begin` frames shed by each shard's admission control across the
+    /// fabric run. The fabric client opens its per-shard sessions in shard
+    /// order, so shard 0 acts as the admission gate and absorbs nearly all
+    /// of the sheds.
+    pub fabric_shard_busy: Vec<u64>,
     /// Whether all four drivers reached identical decision fingerprints,
     /// session counts and state ratio (they must).
     pub decisions_match: bool,
@@ -151,6 +162,17 @@ pub struct ChurnScaleReport {
     pub rows: Vec<ChurnScaleRow>,
     /// Headline comparison.
     pub summary: ChurnScaleSummary,
+    /// Metrics-registry snapshot of the service run (requests, sheds,
+    /// batches, network traffic, participant timing, batch-size histogram).
+    /// Serialised under the document's top-level `"metrics"` key — outside
+    /// `"summary"` so the numeric trajectory gates (Rules 2/3) do not bind
+    /// raw counters, while Rule 4 gates key presence.
+    #[serde(skip)]
+    pub service_metrics: MetricsSnapshot,
+    /// Metrics-registry snapshot of the fabric run; per-shard keys are
+    /// labelled `service.requests{shard=N}` and friends.
+    #[serde(skip)]
+    pub fabric_metrics: MetricsSnapshot,
 }
 
 /// The churn-scale configuration used at each scale: [`ScaleConfig::quick`]
@@ -179,6 +201,7 @@ fn row(driver: &str, result: &ScaleRunResult) -> ChurnScaleRow {
         net_bytes: result.net_bytes,
         virtual_elapsed_ms: result.virtual_elapsed_us as f64 / 1_000.0,
         shard_frames: result.shard_frames.clone(),
+        shard_busy: result.shard_busy.clone(),
         decision_fingerprint: format!("{:016x}", result.decision_fingerprint),
         state_ratio: result.state_ratio,
     }
@@ -250,6 +273,7 @@ pub fn run_churn_scale_bench_with(config: &ScaleConfig) -> ChurnScaleReport {
         fabric_sessions_per_second: fab_row.sessions as f64
             / fab_row.reconcile_wall_seconds.max(f64::EPSILON),
         fabric_shard_frames: fab_row.shard_frames.clone(),
+        fabric_shard_busy: fab_row.shard_busy.clone(),
         decisions_match: seq_row.decision_fingerprint == thr_row.decision_fingerprint
             && seq_row.decision_fingerprint == svc_row.decision_fingerprint
             && seq_row.decision_fingerprint == fab_row.decision_fingerprint
@@ -263,7 +287,63 @@ pub fn run_churn_scale_bench_with(config: &ScaleConfig) -> ChurnScaleReport {
         store_latency_us: config.store_latency_us,
         available_parallelism: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     };
-    ChurnScaleReport { rows: vec![seq_row, thr_row, svc_row, fab_row], summary }
+    ChurnScaleReport {
+        rows: vec![seq_row, thr_row, svc_row, fab_row],
+        summary,
+        service_metrics: service.metrics,
+        fabric_metrics: fabric.metrics,
+    }
+}
+
+/// Reruns the fabric driver with tracing enabled and returns the captured
+/// trace in the v1 text format (ready for `trace_dump`). The tracer is bound
+/// to the round's virtual clock inside the driver, so the capture is
+/// deterministic; enabling it does not change any decision (the bench's
+/// fingerprint tests assert as much).
+pub fn capture_fabric_trace(config: &ScaleConfig) -> String {
+    let obs = Obs::enabled();
+    let _ = run_churn_scale_fabric_observed(config, &obs);
+    obs.tracer.export()
+}
+
+fn number(value: u64) -> serde_json::Value {
+    serde_json::Value::Number(serde_json::Number::from_u64(value))
+}
+
+/// One histogram of the metrics snapshot as a JSON object: count, sum and
+/// the derived p50/p99/mean (the 65 raw power-of-two buckets stay out of the
+/// document; the quantiles are what the trajectory reads).
+fn histogram_value(histogram: &HistogramSnapshot) -> serde_json::Value {
+    let mut map = serde_json::Map::new();
+    map.insert("count".to_string(), number(histogram.count));
+    map.insert("sum".to_string(), number(histogram.sum));
+    map.insert("p50".to_string(), number(histogram.p50()));
+    map.insert("p99".to_string(), number(histogram.p99()));
+    map.insert("mean".to_string(), number(histogram.mean()));
+    serde_json::Value::Object(map)
+}
+
+/// A [`MetricsSnapshot`] as a JSON object with `counters`, `gauges` and
+/// `histograms` maps. `orchestra-obs` is dependency-free, so the conversion
+/// lives here rather than as a `Serialize` impl.
+pub fn metrics_snapshot_value(snapshot: &MetricsSnapshot) -> serde_json::Value {
+    let mut counters = serde_json::Map::new();
+    for (key, value) in &snapshot.counters {
+        counters.insert(key.clone(), number(*value));
+    }
+    let mut gauges = serde_json::Map::new();
+    for (key, value) in &snapshot.gauges {
+        gauges.insert(key.clone(), serde_json::Value::Number(serde_json::Number::from_i64(*value)));
+    }
+    let mut histograms = serde_json::Map::new();
+    for (key, histogram) in &snapshot.histograms {
+        histograms.insert(key.clone(), histogram_value(histogram));
+    }
+    let mut map = serde_json::Map::new();
+    map.insert("counters".to_string(), serde_json::Value::Object(counters));
+    map.insert("gauges".to_string(), serde_json::Value::Object(gauges));
+    map.insert("histograms".to_string(), serde_json::Value::Object(histograms));
+    serde_json::Value::Object(map)
 }
 
 /// Runs the churn-scale benchmark at the given scale.
@@ -272,7 +352,10 @@ pub fn run_churn_scale_bench(scale: FigureScale) -> ChurnScaleReport {
 }
 
 /// Writes the benchmark document as pretty-printed JSON:
-/// `{"benchmark": "churn_scale", "rows": [...], "summary": {...}}`.
+/// `{"benchmark": "churn_scale", "meta": {...}, "rows": [...],
+/// "summary": {...}, "metrics": {"service": {...}, "fabric": {...}}}`.
+/// Once committed, the leaf keys under `"metrics"` are gated by the
+/// trajectory check: a key that disappears from a fresh run fails the gate.
 pub fn write_churn_scale_json(path: &Path, report: &ChurnScaleReport) -> io::Result<()> {
     let mut doc = serde_json::Map::new();
     doc.insert("benchmark".to_string(), serde_json::Value::String("churn_scale".to_string()));
@@ -287,6 +370,10 @@ pub fn write_churn_scale_json(path: &Path, report: &ChurnScaleReport) -> io::Res
         "summary".to_string(),
         serde_json::to_value(&report.summary).expect("summary serialises"),
     );
+    let mut metrics = serde_json::Map::new();
+    metrics.insert("service".to_string(), metrics_snapshot_value(&report.service_metrics));
+    metrics.insert("fabric".to_string(), metrics_snapshot_value(&report.fabric_metrics));
+    doc.insert("metrics".to_string(), serde_json::Value::Object(metrics));
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
@@ -322,6 +409,77 @@ mod tests {
         assert!(report.summary.fabric_p50_ms > 0.0);
         assert_eq!(report.summary.fabric_shard_frames.len(), config.fabric_shards);
         assert!(report.summary.fabric_shard_frames.iter().all(|&frames| frames > 0));
+        // The per-shard shed counts are first-class now and reconcile with
+        // the fabric row's aggregate.
+        assert_eq!(report.summary.fabric_shard_busy.len(), config.fabric_shards);
+        let fab_row = &report.rows[3];
+        assert_eq!(fab_row.shard_busy.iter().sum::<u64>(), fab_row.busy_rejections);
+        // Both run snapshots populated (counters are live even without
+        // tracing) and the fabric's keys are shard-labelled.
+        assert!(report.service_metrics.counters.contains_key("service.requests"));
+        assert_eq!(report.service_metrics.counters["service.requests"], report.rows[2].requests);
+        assert!(report.fabric_metrics.counters.contains_key(&orchestra_obs::key_with(
+            "service.requests",
+            "shard",
+            0
+        )));
+    }
+
+    #[test]
+    fn json_document_carries_a_metrics_section() {
+        let mut config = ScaleConfig::quick();
+        config.participants = 8;
+        config.rounds = 1;
+        config.service_max_open_sessions = 8;
+        let report = run_churn_scale_bench_with(&config);
+        let dir = std::env::temp_dir().join("orchestra-bench-scale-test");
+        let path = dir.join("BENCH_churn_scale.json");
+        write_churn_scale_json(&path, &report).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let metrics = doc.as_object().unwrap().get("metrics").unwrap().as_object().unwrap();
+        let service = metrics.get("service").unwrap().as_object().unwrap();
+        let counters = service.get("counters").unwrap().as_object().unwrap();
+        assert!(counters.get("service.requests").unwrap().as_u64().unwrap() > 0);
+        assert!(service
+            .get("histograms")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .get("service.batch_frames")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .contains_key("p99"));
+        let fabric = metrics.get("fabric").unwrap().as_object().unwrap();
+        let fabric_counters = fabric.get("counters").unwrap().as_object().unwrap();
+        assert!(fabric_counters.contains_key("service.requests{shard=0}"));
+        // The fabric rows carry the per-shard shed counts too.
+        let rows = doc.as_object().unwrap().get("rows").unwrap().as_array().unwrap();
+        assert!(rows[3].as_object().unwrap().get("shard_busy").unwrap().as_array().is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn captured_fabric_traces_parse_and_name_every_shard() {
+        let mut config = ScaleConfig::quick();
+        config.participants = 8;
+        config.rounds = 1;
+        config.service_max_open_sessions = 8;
+        let trace = capture_fabric_trace(&config);
+        let events = orchestra_obs::export::parse_text(&trace).unwrap();
+        assert!(!events.is_empty());
+        // Per-shard service events are stamped with their shard.
+        for shard in 0..config.fabric_shards as u64 {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.fields.iter().any(|(k, v)| k.as_str() == "shard" && *v == shard)),
+                "no event stamped shard={shard}"
+            );
+        }
+        // Captures are deterministic: the virtual clock stamps them.
+        assert_eq!(trace, capture_fabric_trace(&config));
     }
 
     #[test]

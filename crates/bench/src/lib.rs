@@ -49,8 +49,9 @@ pub use churn_retention::{
     write_churn_retention_json, ChurnRetentionReport, ChurnRetentionRow, ChurnRetentionSummary,
 };
 pub use churn_scale::{
-    churn_scale_config, run_churn_scale_bench, run_churn_scale_bench_with, write_churn_scale_json,
-    ChurnScaleReport, ChurnScaleRow, ChurnScaleSummary,
+    capture_fabric_trace, churn_scale_config, metrics_snapshot_value, run_churn_scale_bench,
+    run_churn_scale_bench_with, write_churn_scale_json, ChurnScaleReport, ChurnScaleRow,
+    ChurnScaleSummary,
 };
 pub use figures::{
     fig08_transaction_size, fig09_recon_interval_ratio, fig10_recon_interval_time,

@@ -88,6 +88,27 @@ fn summary_metrics(doc: &serde_json::Value, suffix: &str) -> Vec<(String, f64)> 
     out
 }
 
+/// Recursively collects the `.`-joined path of every leaf (non-object)
+/// value under a JSON object tree. Metric names already contain dots and
+/// braces (`service.requests{shard=0}`), but both sides of the comparison
+/// are built by this same function, so whole-path equality is what matters,
+/// not separator parsing.
+fn leaf_paths(value: &serde_json::Value, path: &str, out: &mut Vec<String>) {
+    match value {
+        serde_json::Value::Object(map) => {
+            if map.is_empty() {
+                out.push(path.to_string());
+            }
+            for (key, child) in map.iter() {
+                let child_path =
+                    if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                leaf_paths(child, &child_path, out);
+            }
+        }
+        _ => out.push(path.to_string()),
+    }
+}
+
 /// Compares one fresh document against its committed counterpart, appending
 /// findings to `report`.
 pub fn check_document(
@@ -180,6 +201,29 @@ pub fn check_document(
                 file: file.to_string(),
                 what: format!("summary.{key} disappeared from the fresh document"),
             }),
+        }
+    }
+
+    // Rule 4: observability coverage may not silently shrink. Every leaf
+    // key under the committed document's `metrics` section (counter, gauge
+    // and histogram-quantile names) must still be present in the fresh
+    // document — an instrumented code path that stops reporting would
+    // otherwise drop out of the trajectory unnoticed. Values are not gated
+    // (they are raw counts, not ratios); only presence is.
+    if let Some(committed_metrics) = committed.as_object().and_then(|o| o.get("metrics")) {
+        let mut wanted = Vec::new();
+        leaf_paths(committed_metrics, "metrics", &mut wanted);
+        let mut present = Vec::new();
+        if let Some(fresh_metrics) = fresh.as_object().and_then(|o| o.get("metrics")) {
+            leaf_paths(fresh_metrics, "metrics", &mut present);
+        }
+        for path in wanted {
+            if !present.contains(&path) {
+                report.violations.push(TrajectoryViolation {
+                    file: file.to_string(),
+                    what: format!("{path} disappeared — an instrumented path stopped reporting"),
+                });
+            }
         }
     }
 }
@@ -402,6 +446,51 @@ mod tests {
         .unwrap();
         let mut report = TrajectoryReport::default();
         check_document("BENCH_s.json", &p50_worse, &doc_with(8.0), 0.25, &mut report);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn disappeared_metric_keys_fail_new_keys_and_changed_values_pass() {
+        let committed: serde_json::Value = serde_json::from_str(
+            r#"{"summary":{"decisions_match":true},
+                "metrics":{"service":{"counters":{"service.requests":100,
+                                                  "service.requests{shard=0}":40},
+                           "histograms":{"service.batch_frames":{"count":5,"p99":8}}}}}"#,
+        )
+        .unwrap();
+        // Same keys, different values, plus a brand-new counter: fine.
+        let grown: serde_json::Value = serde_json::from_str(
+            r#"{"summary":{"decisions_match":true},
+                "metrics":{"service":{"counters":{"service.requests":7,
+                                                  "service.requests{shard=0}":3,
+                                                  "wal.appends":1},
+                           "histograms":{"service.batch_frames":{"count":2,"p99":4}}}}}"#,
+        )
+        .unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_m.json", &grown, &committed, 0.25, &mut report);
+        assert!(!report.failed(), "{report}");
+        // A dropped counter and a dropped histogram quantile each fail.
+        let shrunk: serde_json::Value = serde_json::from_str(
+            r#"{"summary":{"decisions_match":true},
+                "metrics":{"service":{"counters":{"service.requests":7},
+                           "histograms":{"service.batch_frames":{"count":2}}}}}"#,
+        )
+        .unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_m.json", &shrunk, &committed, 0.25, &mut report);
+        assert_eq!(report.violations.len(), 2, "{report}");
+        assert!(format!("{report}").contains("service.requests{shard=0}"));
+        assert!(format!("{report}").contains("stopped reporting"));
+        // A fresh document with no metrics section at all loses every key.
+        let gone: serde_json::Value =
+            serde_json::from_str(r#"{"summary":{"decisions_match":true}}"#).unwrap();
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_m.json", &gone, &committed, 0.25, &mut report);
+        assert_eq!(report.violations.len(), 4);
+        // Committed documents without a metrics section gate nothing.
+        let mut report = TrajectoryReport::default();
+        check_document("BENCH_m.json", &gone, &gone, 0.25, &mut report);
         assert!(!report.failed());
     }
 

@@ -9,10 +9,11 @@
 
 use crate::node::NodeId;
 use crate::ring::Ring;
+use orchestra_obs::{Counter, MetricsRegistry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 use std::time::Duration;
 
 /// Cumulative statistics of a simulated network.
@@ -63,30 +64,60 @@ pub struct LinkTraffic {
     pub bytes: u64,
 }
 
-/// Atomic counterpart of [`NetworkStats`].
+/// Atomic counterpart of [`NetworkStats`], backed by `orchestra-obs`
+/// counters — either detached (the default) or, via
+/// [`SimNetwork::with_observability`], the shared cells a
+/// [`MetricsRegistry`] snapshots under `net.*` keys. A per-instance
+/// baseline keeps [`SimNetwork::stats`] / [`SimNetwork::reset_stats`]
+/// scoped to this network while the registry keeps cumulative totals.
 #[derive(Debug, Default)]
 struct AtomicStats {
-    messages: AtomicU64,
-    hops: AtomicU64,
-    bytes: AtomicU64,
-    latency_us: AtomicU64,
+    messages: Counter,
+    hops: Counter,
+    bytes: Counter,
+    latency_us: Counter,
+    base: Mutex<NetworkStats>,
 }
 
 impl AtomicStats {
-    fn snapshot(&self) -> NetworkStats {
+    fn resolved(registry: &MetricsRegistry) -> AtomicStats {
+        let stats = AtomicStats {
+            messages: registry.counter("net.messages"),
+            hops: registry.counter("net.hops"),
+            bytes: registry.counter("net.bytes"),
+            latency_us: registry.counter("net.latency_us"),
+            base: Mutex::new(NetworkStats::default()),
+        };
+        // The registry cells may already carry traffic from earlier
+        // networks; start this instance's view at zero.
+        let raw = stats.raw();
+        *stats.base.lock().expect("stats base lock") = raw;
+        stats
+    }
+
+    fn raw(&self) -> NetworkStats {
         NetworkStats {
-            messages: self.messages.load(Ordering::Relaxed),
-            hops: self.hops.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            latency_us: self.latency_us.load(Ordering::Relaxed),
+            messages: self.messages.get(),
+            hops: self.hops.get(),
+            bytes: self.bytes.get(),
+            latency_us: self.latency_us.get(),
+        }
+    }
+
+    fn snapshot(&self) -> NetworkStats {
+        let raw = self.raw();
+        let base = *self.base.lock().expect("stats base lock");
+        NetworkStats {
+            messages: raw.messages.saturating_sub(base.messages),
+            hops: raw.hops.saturating_sub(base.hops),
+            bytes: raw.bytes.saturating_sub(base.bytes),
+            latency_us: raw.latency_us.saturating_sub(base.latency_us),
         }
     }
 
     fn reset(&self) {
-        self.messages.store(0, Ordering::Relaxed);
-        self.hops.store(0, Ordering::Relaxed);
-        self.bytes.store(0, Ordering::Relaxed);
-        self.latency_us.store(0, Ordering::Relaxed);
+        let raw = self.raw();
+        *self.base.lock().expect("stats base lock") = raw;
     }
 }
 
@@ -158,6 +189,25 @@ impl SimNetwork {
             ring: Ring::new(members),
             latency_per_message_us: latency.as_micros() as u64,
             stats: AtomicStats::default(),
+            peers: RwLock::new(BTreeMap::new()),
+            links: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Like [`SimNetwork::with_latency`], but aggregate traffic counters are
+    /// the registry's `net.messages` / `net.hops` / `net.bytes` /
+    /// `net.latency_us` cells, so the network reports into the shared
+    /// metrics sink. [`SimNetwork::stats`] still reads only this instance's
+    /// traffic (the registry keeps cumulative totals across networks).
+    pub fn with_observability(
+        members: Vec<NodeId>,
+        latency: Duration,
+        registry: &MetricsRegistry,
+    ) -> SimNetwork {
+        SimNetwork {
+            ring: Ring::new(members),
+            latency_per_message_us: latency.as_micros() as u64,
+            stats: AtomicStats::resolved(registry),
             peers: RwLock::new(BTreeMap::new()),
             links: RwLock::new(BTreeMap::new()),
         }
@@ -242,10 +292,10 @@ impl SimNetwork {
     }
 
     fn charge(&self, from: NodeId, to: NodeId, hops: u64, bytes: u64) {
-        self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.stats.hops.fetch_add(hops, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.stats.latency_us.fetch_add(hops * self.latency_per_message_us, Ordering::Relaxed);
+        self.stats.messages.inc();
+        self.stats.hops.add(hops);
+        self.stats.bytes.add(bytes);
+        self.stats.latency_us.add(hops * self.latency_per_message_us);
         self.with_peer(from, |c| {
             c.sent.fetch_add(1, Ordering::Relaxed);
             c.bytes_out.fetch_add(bytes, Ordering::Relaxed);
@@ -293,15 +343,19 @@ impl SimNetwork {
 
 impl Clone for SimNetwork {
     fn clone(&self) -> SimNetwork {
+        // The clone gets detached counters seeded with this instance's
+        // visible values: it keeps the numbers but stops reporting into any
+        // registry the original was bound to (no double counting).
+        let snap = self.stats.snapshot();
+        let stats = AtomicStats::default();
+        stats.messages.set(snap.messages);
+        stats.hops.set(snap.hops);
+        stats.bytes.set(snap.bytes);
+        stats.latency_us.set(snap.latency_us);
         SimNetwork {
             ring: self.ring.clone(),
             latency_per_message_us: self.latency_per_message_us,
-            stats: AtomicStats {
-                messages: AtomicU64::new(self.stats.messages.load(Ordering::Relaxed)),
-                hops: AtomicU64::new(self.stats.hops.load(Ordering::Relaxed)),
-                bytes: AtomicU64::new(self.stats.bytes.load(Ordering::Relaxed)),
-                latency_us: AtomicU64::new(self.stats.latency_us.load(Ordering::Relaxed)),
-            },
+            stats,
             peers: RwLock::new(
                 self.peers
                     .read()
@@ -488,6 +542,32 @@ mod tests {
         let traffic = net.peer_traffic();
         let total_sent: u64 = traffic.values().map(|t| t.sent).sum();
         assert_eq!(total_sent, net.stats().messages);
+    }
+
+    #[test]
+    fn registry_backed_networks_report_into_the_shared_sink() {
+        let registry = MetricsRegistry::new();
+        let members: Vec<NodeId> = (0..4).map(NodeId::hash_u64).collect();
+        let net1 =
+            SimNetwork::with_observability(members.clone(), Duration::from_micros(500), &registry);
+        let a = net1.ring().members()[0];
+        let b = net1.ring().members()[1];
+        net1.send_direct(a, b, 10);
+        net1.send_direct(a, b, 10);
+        // A second network on the same registry starts its *view* at zero
+        // while the registry keeps the cumulative total.
+        let net2 = SimNetwork::with_observability(members, Duration::from_micros(500), &registry);
+        assert_eq!(net2.stats(), NetworkStats::default());
+        net2.send_direct(a, b, 5);
+        assert_eq!(net1.stats().messages, 3, "net1 sees its cells move");
+        assert_eq!(net2.stats().messages, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.messages"], 3);
+        assert_eq!(snap.counters["net.bytes"], 25);
+        // reset_stats rebaselines the view without clearing the registry.
+        net2.reset_stats();
+        assert_eq!(net2.stats(), NetworkStats::default());
+        assert_eq!(registry.snapshot().counters["net.messages"], 3);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Trace inspection tool — the `wal_dump` sibling for captured traces.
+//!
+//! Reads traces written by `Tracer::export` (the `orchestra-obs-trace v1`
+//! text format, e.g. `churn_scale --trace FILE`) and renders them three
+//! ways:
+//!
+//! ```text
+//! trace_dump <file>...             pretty-print events, indented by span depth
+//! trace_dump --timeline <file>...  per-shard timeline: events, sessions and
+//!                                  admission sheds per shard, with skew bars
+//! trace_dump --json <file>...      JSON array of events
+//! ```
+//!
+//! The timeline view is the one that answers "which shard is the admission
+//! gate": it counts `admission.shed` events per `shard` field value, so the
+//! shard-0 skew PR 9 had to infer from frame-count deltas is printed
+//! directly.
+
+use orchestra_obs::export::{export_json, parse_text, ParsedEvent};
+use orchestra_obs::EventKind;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: trace_dump [--timeline|--json] <trace-file>...");
+        eprintln!("  pretty-prints an orchestra-obs trace; --timeline groups by shard,");
+        eprintln!("  --json exports the events as a JSON array");
+        return if files.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+    let timeline = args.iter().any(|a| a == "--timeline");
+    let json = args.iter().any(|a| a == "--json");
+    let mut failed = false;
+    for file in files {
+        if let Err(e) = dump_file(Path::new(file), timeline, json) {
+            eprintln!("{file}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn dump_file(path: &Path, timeline: bool, json: bool) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let events = parse_text(&text)?;
+    if json {
+        println!("{}", export_json(&events));
+        return Ok(());
+    }
+    println!("== {} ({} event(s)) ==", path.display(), events.len());
+    if timeline {
+        print_timeline(&events);
+    } else {
+        print_pretty(&events);
+    }
+    println!();
+    Ok(())
+}
+
+/// Chronological listing, indented by span depth.
+fn print_pretty(events: &[ParsedEvent]) {
+    let mut depth: BTreeMap<u64, usize> = BTreeMap::new();
+    depth.insert(0, 0);
+    for e in events {
+        let parent_depth = depth.get(&e.parent).copied().unwrap_or(0);
+        let own_depth = match e.kind {
+            EventKind::Open => {
+                depth.insert(e.span, parent_depth + 1);
+                parent_depth
+            }
+            EventKind::Close => depth.remove(&e.span).map_or(parent_depth, |d| d - 1),
+            EventKind::Instant => depth.get(&e.span).copied().unwrap_or(parent_depth),
+        };
+        let marker = match e.kind {
+            EventKind::Open => "+",
+            EventKind::Close => "-",
+            EventKind::Instant => "*",
+        };
+        let fields: Vec<String> = e.fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "  {:>12} us {}{} {} {}",
+            e.at_us,
+            "  ".repeat(own_depth),
+            marker,
+            e.name,
+            fields.join(" ")
+        );
+    }
+}
+
+#[derive(Default)]
+struct ShardLine {
+    events: u64,
+    sessions: u64,
+    batches: u64,
+    sheds: u64,
+    publishes: u64,
+    first_us: Option<u64>,
+    last_us: u64,
+}
+
+/// Per-shard rollup: how each shard's traffic and admission sheds compare.
+fn print_timeline(events: &[ParsedEvent]) {
+    let mut shards: BTreeMap<u64, ShardLine> = BTreeMap::new();
+    let mut unsharded = 0u64;
+    for e in events {
+        let Some(shard) = e.field("shard") else {
+            unsharded += 1;
+            continue;
+        };
+        let line = shards.entry(shard).or_default();
+        line.events += 1;
+        line.first_us.get_or_insert(e.at_us);
+        line.last_us = line.last_us.max(e.at_us);
+        match e.name.as_str() {
+            "session.begin" => line.sessions += 1,
+            "session.batch" => line.batches += 1,
+            "admission.shed" => line.sheds += 1,
+            "publish" | "replicate" => line.publishes += 1,
+            _ => {}
+        }
+    }
+    if shards.is_empty() {
+        println!("  no shard-tagged events ({unsharded} unsharded event(s))");
+        return;
+    }
+    let max_sheds = shards.values().map(|l| l.sheds).max().unwrap_or(0);
+    let header = ["shard", "events", "sessions", "batches", "publishes", "sheds"];
+    println!(
+        "  {:>5} {:>8} {:>9} {:>8} {:>9} {:>7}  shed skew",
+        header[0], header[1], header[2], header[3], header[4], header[5]
+    );
+    for (shard, line) in &shards {
+        let bar_len = (line.sheds * 40).checked_div(max_sheds).unwrap_or(0) as usize;
+        println!(
+            "  {:>5} {:>8} {:>9} {:>8} {:>9} {:>7}  {}",
+            shard,
+            line.events,
+            line.sessions,
+            line.batches,
+            line.publishes,
+            line.sheds,
+            "#".repeat(bar_len)
+        );
+    }
+    let total_sheds: u64 = shards.values().map(|l| l.sheds).sum();
+    if total_sheds > 0 {
+        let (gate, gate_line) =
+            shards.iter().max_by_key(|(_, l)| l.sheds).expect("non-empty shard map");
+        println!(
+            "  admission gate: shard {gate} absorbed {}/{} shed(s) ({}%)",
+            gate_line.sheds,
+            total_sheds,
+            gate_line.sheds * 100 / total_sheds
+        );
+    }
+    if unsharded > 0 {
+        println!("  ({unsharded} event(s) without a shard field not shown)");
+    }
+}

@@ -14,6 +14,7 @@ use orchestra_model::{
     AntichainClock, CausalStamp, ParticipantId, Schema, Transaction, TransactionId, TrustPolicy,
     Update,
 };
+use orchestra_obs::Obs;
 use orchestra_recon::{
     resolution::resolve_conflicts, CandidateTransaction, ConflictGroup, ReconcileEngine,
     ReconcileInput, ReconcileOutcome, ResolutionChoice, SoftState,
@@ -78,6 +79,10 @@ pub struct Participant {
     last_published_updates: Vec<Update>,
     /// Cumulative timing across all operations.
     total_timing: TimingBreakdown,
+    /// Shared observability sink: every timing accumulation also bumps the
+    /// `participant.store_us` / `participant.local_us` counters there, and
+    /// publish / reconcile / resolution milestones emit trace events.
+    obs: Obs,
     /// Locally mirrored rejected set: loaded from the store once (on the
     /// first reconciliation) and extended with this participant's own
     /// decisions afterwards, so steady-state reconciliations never re-read
@@ -116,6 +121,7 @@ impl Participant {
             pending_publish: Vec::new(),
             last_published_updates: Vec::new(),
             total_timing: TimingBreakdown::default(),
+            obs: Obs::disabled(),
             rejected_cache: None,
             offline: false,
             buffered: Vec::new(),
@@ -273,6 +279,24 @@ impl Participant {
         self.total_timing
     }
 
+    /// Points the participant at a shared observability sink. Timing keeps
+    /// accumulating into [`Participant::total_timing`] (the view) while the
+    /// sink's `participant.store_us` / `participant.local_us` counters see
+    /// the same micros, and trace events are recorded when the sink's tracer
+    /// is enabled.
+    pub fn set_observability(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+    }
+
+    /// Accumulates one operation's timing into the cumulative view *and*
+    /// the shared metric counters — the single sink that replaced ad-hoc
+    /// `TimingBreakdown` summing in drivers.
+    fn record_timing(&mut self, timing: TimingBreakdown) {
+        self.total_timing.accumulate(timing);
+        self.obs.metrics.counter("participant.store_us").add(timing.store.as_micros() as u64);
+        self.obs.metrics.counter("participant.local_us").add(timing.local.as_micros() as u64);
+    }
+
     /// The page size used for session-based candidate retrieval.
     pub fn reconcile_batch_size(&self) -> usize {
         self.reconcile_batch_size
@@ -365,6 +389,7 @@ impl Participant {
         let Some(batch) = self.stage_publish_batch() else {
             return Ok(None);
         };
+        let txns = batch.len() as u64;
         let published = if store.causal_mode() {
             // Resynchronise the client-side sequence (a participant built
             // with `new` against a store that already holds its stamps would
@@ -375,8 +400,18 @@ impl Participant {
         } else {
             store.publish(self.id, batch)?
         };
-        self.total_timing
-            .accumulate(TimingBreakdown { store: published.timing.total(), local: Duration::ZERO });
+        self.record_timing(TimingBreakdown {
+            store: published.timing.total(),
+            local: Duration::ZERO,
+        });
+        self.obs.tracer.event(
+            "participant.publish",
+            &[
+                ("participant", u64::from(self.id.as_u32())),
+                ("epoch", published.value.as_u64()),
+                ("txns", txns),
+            ],
+        );
         Ok(Some(published.value))
     }
 
@@ -403,7 +438,7 @@ impl Participant {
         } else {
             client.publish(batch).await?
         };
-        self.total_timing.accumulate(TimingBreakdown {
+        self.record_timing(TimingBreakdown {
             store: Duration::from_micros(client.clock().now_us() - start_us),
             local: Duration::ZERO,
         });
@@ -473,7 +508,7 @@ impl Participant {
         while let Some((stamp, batch)) = self.buffered.first() {
             let published = store.publish_stamped(stamp.clone(), batch.clone())?;
             self.buffered.remove(0);
-            self.total_timing.accumulate(TimingBreakdown {
+            self.record_timing(TimingBreakdown {
                 store: published.timing.total(),
                 local: std::time::Duration::ZERO,
             });
@@ -481,6 +516,10 @@ impl Participant {
         }
         self.offline = false;
         self.observed.merge(&store.causal_frontier());
+        self.obs.tracer.event(
+            "participant.rejoin",
+            &[("participant", u64::from(self.id.as_u32())), ("batches", epochs.len() as u64)],
+        );
         Ok(epochs)
     }
 
@@ -524,6 +563,8 @@ impl Participant {
     /// record) back at the store.
     pub fn reconcile<S: UpdateStore + ?Sized>(&mut self, store: &S) -> Result<ReconcileReport> {
         self.require_online()?;
+        let _span =
+            self.obs.tracer.span("reconcile", &[("participant", u64::from(self.id.as_u32()))]);
         let mut session = ReconciliationSession::open(store, self.id)?;
         let candidates = session.drain(self.reconcile_batch_size)?;
         self.finish_reconcile(store, session, candidates, None)
@@ -675,7 +716,7 @@ impl Participant {
         let mut store_time = retrieval;
         store_time.accumulate(commit_timing);
         let timing = TimingBreakdown { store: store_time.total(), local: local_elapsed };
-        self.total_timing.accumulate(timing);
+        self.record_timing(timing);
 
         ReconcileReport {
             recno: outcome.recno,
@@ -703,6 +744,8 @@ impl Participant {
         client: &C,
     ) -> Result<ReconcileReport> {
         self.require_online()?;
+        let _span =
+            self.obs.tracer.span("reconcile", &[("participant", u64::from(self.id.as_u32()))]);
         let clock = client.clock().clone();
         let retrieval_start = clock.now_us();
         let info = client.begin_session().await?;
@@ -746,6 +789,10 @@ impl Participant {
         choices: &[ResolutionChoice],
     ) -> Result<ResolutionReport> {
         self.require_online()?;
+        let _span = self.obs.tracer.span(
+            "conflict.resolve",
+            &[("participant", u64::from(self.id.as_u32())), ("choices", choices.len() as u64)],
+        );
         let previously_rejected = self.rejected_set_cached(store);
         let previously_accepted = store.accepted_set(self.id);
         let recno = store.current_reconciliation(self.id);
@@ -769,7 +816,16 @@ impl Participant {
         self.extend_rejected_cache(&rejected_all);
 
         let timing = TimingBreakdown { store: record_timing.total(), local: local_elapsed };
-        self.total_timing.accumulate(timing);
+        self.record_timing(timing);
+        self.obs.tracer.event(
+            "conflict.resolved",
+            &[
+                ("participant", u64::from(self.id.as_u32())),
+                ("accepted", outcome.rerun.accepted_roots.len() as u64),
+                ("rejected", rejected_all.len() as u64),
+                ("deferred", outcome.rerun.deferred.len() as u64),
+            ],
+        );
 
         Ok(ResolutionReport {
             newly_rejected: rejected_all,

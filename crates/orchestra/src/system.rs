@@ -4,6 +4,7 @@ use crate::metrics;
 use crate::participant::{Participant, ParticipantConfig};
 use crate::report::ReconcileReport;
 use orchestra_model::{ParticipantId, Schema, TransactionId, Update};
+use orchestra_obs::Obs;
 use orchestra_storage::{Database, Result, StorageError};
 use orchestra_store::UpdateStore;
 use std::collections::BTreeMap;
@@ -37,12 +38,33 @@ pub struct CdssSystem<S: UpdateStore> {
     schema: Schema,
     store: S,
     participants: BTreeMap<ParticipantId, Participant>,
+    /// The shared observability sink the system's drivers report into:
+    /// round-phase spans, obs-backed simulated networks, and obs-injected
+    /// service configs all come from here. Defaults to a disabled tracer
+    /// with a private registry.
+    obs: Obs,
 }
 
 impl<S: UpdateStore> CdssSystem<S> {
     /// Creates a system over the given schema and update store.
     pub fn new(schema: Schema, store: S) -> Self {
-        CdssSystem { schema, store, participants: BTreeMap::new() }
+        CdssSystem { schema, store, participants: BTreeMap::new(), obs: Obs::disabled() }
+    }
+
+    /// Points the system — and every participant, current and future — at a
+    /// shared observability sink. The service and fabric drivers bind the
+    /// sink's tracer to their virtual clock, so captured traces are stamped
+    /// in deterministic simulated time.
+    pub fn set_observability(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        for participant in self.participants.values_mut() {
+            participant.set_observability(obs);
+        }
+    }
+
+    /// The system's observability sink.
+    pub fn observability(&self) -> &Obs {
+        &self.obs
     }
 
     /// The schema shared by all participants.
@@ -71,7 +93,9 @@ impl<S: UpdateStore> CdssSystem<S> {
             return Err(duplicate_participant(id));
         }
         self.store.register_participant(config.policy.clone());
-        self.participants.insert(id, Participant::new(self.schema.clone(), config));
+        let mut participant = Participant::new(self.schema.clone(), config);
+        participant.set_observability(&self.obs);
+        self.participants.insert(id, participant);
         Ok(id)
     }
 
@@ -82,11 +106,12 @@ impl<S: UpdateStore> CdssSystem<S> {
     /// relevance index), and re-registering would needlessly rebuild the
     /// index and append a duplicate record to a durable store's log.
     /// Adopting an id that is already present is an error.
-    pub fn adopt_participant(&mut self, participant: Participant) -> Result<ParticipantId> {
+    pub fn adopt_participant(&mut self, mut participant: Participant) -> Result<ParticipantId> {
         let id = participant.id();
         if self.participants.contains_key(&id) {
             return Err(duplicate_participant(id));
         }
+        participant.set_observability(&self.obs);
         self.participants.insert(id, participant);
         Ok(id)
     }
@@ -382,17 +407,33 @@ impl<S: UpdateStore> CdssSystem<S> {
         }
         let store = &self.store;
         let clock = VirtualClock::new();
-        let net = Rc::new(orchestra_net::SimNetwork::new(vec![StoreService::server_node()]));
+        // Trace in deterministic simulated time, and report the round's
+        // frame traffic and service counters into the shared sink.
+        self.obs.tracer.bind_virtual(clock.shared_now());
+        let net = Rc::new(orchestra_net::SimNetwork::with_observability(
+            vec![StoreService::server_node()],
+            std::time::Duration::from_micros(orchestra_net::SimNetwork::PAPER_LATENCY_US),
+            &self.obs.metrics,
+        ));
+        let config = {
+            let mut config = config.clone();
+            config.obs = self.obs.clone();
+            config
+        };
         let mut stats = orchestra_store::ServiceStats::default();
 
         // Publish phase: one task, sequential awaits — the epoch order is
         // the id order, exactly as the in-process drivers produce it.
         let mut published = Vec::new();
         if !publish_ids.is_empty() {
+            let _phase = self
+                .obs
+                .tracer
+                .span("service.publish_phase", &[("publishers", publish_ids.len() as u64)]);
             let mut ex = LocalExecutor::new(clock.clone());
             let service = StoreService::start(
                 store,
-                config,
+                &config,
                 &mut ex,
                 Rc::clone(&net) as Rc<dyn orchestra_net::Transport>,
             );
@@ -428,10 +469,14 @@ impl<S: UpdateStore> CdssSystem<S> {
         // Reconcile phase: one client task per participant, all in flight at
         // once against the worker pool.
         let mut outcomes = {
+            let _phase = self
+                .obs
+                .tracer
+                .span("service.reconcile_phase", &[("reconcilers", reconcile_ids.len() as u64)]);
             let mut ex = LocalExecutor::new(clock.clone());
             let service = StoreService::start(
                 store,
-                config,
+                &config,
                 &mut ex,
                 Rc::clone(&net) as Rc<dyn orchestra_net::Transport>,
             );
@@ -567,21 +612,36 @@ impl CdssSystem<orchestra_store::StoreFabric> {
             )));
         }
         let clock = VirtualClock::new();
+        // Trace in deterministic simulated time, and report frame traffic
+        // into the shared sink.
+        self.obs.tracer.bind_virtual(clock.shared_now());
         let server_nodes: Vec<_> = (0..shards).map(StoreService::shard_server_node).collect();
-        let net = Rc::new(orchestra_net::SimNetwork::new(server_nodes.clone()));
+        let net = Rc::new(orchestra_net::SimNetwork::with_observability(
+            server_nodes,
+            std::time::Duration::from_micros(orchestra_net::SimNetwork::PAPER_LATENCY_US),
+            &self.obs.metrics,
+        ));
         let mut shard_stats = vec![orchestra_store::ServiceStats::default(); shards];
 
         fn start_services<'a>(
             fabric: &'a orchestra_store::StoreFabric,
             config: &orchestra_store::FabricConfig,
+            obs: &Obs,
             net: &Rc<orchestra_net::SimNetwork>,
             ex: &mut LocalExecutor<'a>,
         ) -> Vec<StoreService> {
             (0..fabric.router().shards())
                 .map(|shard| {
+                    // Each shard service reports under its own metric keys
+                    // (`service.requests{shard=N}`) and stamps its trace
+                    // events with the shard, so per-shard skew — the
+                    // admission gate at shard 0 — is directly visible.
+                    let mut service_config = config.service.clone();
+                    service_config.obs = obs.clone();
+                    service_config.obs_shard = Some(shard as u64);
                     StoreService::start_at(
                         fabric.shard(shard),
-                        &config.service,
+                        &service_config,
                         ex,
                         Rc::clone(net) as Rc<dyn Transport>,
                         StoreService::shard_server_node(shard),
@@ -601,8 +661,12 @@ impl CdssSystem<orchestra_store::StoreFabric> {
         // match their primaries.
         let mut published = Vec::new();
         if !publish_ids.is_empty() {
+            let _phase = self
+                .obs
+                .tracer
+                .span("fabric.publish_phase", &[("publishers", publish_ids.len() as u64)]);
             let mut ex = LocalExecutor::new(clock.clone());
-            let services = start_services(fabric, config, &net, &mut ex);
+            let services = start_services(fabric, config, &self.obs, &net, &mut ex);
             let outcomes = Rc::new(RefCell::new(Vec::new()));
             let mut publishers: Vec<_> = self
                 .participants
@@ -639,8 +703,12 @@ impl CdssSystem<orchestra_store::StoreFabric> {
         // Reconcile phase: one client task per participant, each holding one
         // session per shard, all multiplexed onto the shard worker pools.
         let mut outcomes = {
+            let _phase = self
+                .obs
+                .tracer
+                .span("fabric.reconcile_phase", &[("reconcilers", reconcile_ids.len() as u64)]);
             let mut ex = LocalExecutor::new(clock.clone());
-            let services = start_services(fabric, config, &net, &mut ex);
+            let services = start_services(fabric, config, &self.obs, &net, &mut ex);
             let outcomes = Rc::new(RefCell::new(Vec::new()));
             for (id, participant) in
                 self.participants.iter_mut().filter(|(id, _)| reconcile_ids.contains(id))
@@ -678,18 +746,13 @@ impl CdssSystem<orchestra_store::StoreFabric> {
             results.push((id, result?));
             latencies_us.push(latency_us);
         }
-        // Per-shard skew: request frames that *arrived at* each shard server.
-        let link_traffic = net.link_traffic();
-        let shard_frames = server_nodes
-            .iter()
-            .map(|server| {
-                link_traffic
-                    .iter()
-                    .filter(|((_, to), _)| to == server)
-                    .map(|(_, traffic)| traffic.messages)
-                    .sum()
-            })
-            .collect();
+        // Per-shard skew: every frame that arrived at a shard server was
+        // either served (`requests`) or shed at admission
+        // (`busy_rejections`), so the service counters reproduce the old
+        // link-traffic derivation exactly — and expose the two components
+        // separately in `shard_stats`.
+        let shard_frames =
+            shard_stats.iter().map(|stats| stats.requests + stats.busy_rejections).collect();
         Ok(FabricDriveReport {
             results,
             published,
@@ -906,6 +969,43 @@ mod tests {
         // Unknown ids are rejected up front.
         assert!(served.reconcile_each_service(&[p(9)], &config).is_err());
         assert!(served.run_service_round(&[p(9)], &[], &config).is_err());
+    }
+
+    #[test]
+    fn observed_service_round_reports_into_the_shared_sink() {
+        let mut system = fully_trusting_system(3);
+        let obs = Obs::enabled();
+        system.set_observability(&obs);
+        for i in 1..=3u32 {
+            system
+                .execute(
+                    p(i),
+                    vec![Update::insert(
+                        "Function",
+                        func("human", &format!("prot{i}"), "dna-repair"),
+                        p(i),
+                    )],
+                )
+                .unwrap();
+        }
+        let ids = system.participant_ids();
+        let config = orchestra_store::ServiceConfig::default();
+        let report = system.run_service_round(&ids, &ids, &config).unwrap();
+
+        // The service counters land in the shared registry under the
+        // unlabelled keys (no fabric shard), matching the per-round view.
+        assert_eq!(obs.metrics.counter("service.requests").get(), report.stats.requests);
+        assert!(obs.metrics.counter("net.messages").get() >= report.stats.requests);
+        assert!(obs.metrics.counter("participant.store_us").get() > 0);
+
+        // The trace shows the round phases, the session protocol, and —
+        // stamped from the virtual clock — deterministic timestamps.
+        let trace = obs.tracer.export();
+        assert!(trace.contains("service.publish_phase"), "missing phase span: {trace}");
+        assert!(trace.contains("service.reconcile_phase"), "missing phase span: {trace}");
+        assert!(trace.contains("session.begin"), "missing session events: {trace}");
+        assert!(trace.contains("session.commit"), "missing commit events: {trace}");
+        assert!(trace.contains("publish"), "missing publish events: {trace}");
     }
 
     #[test]

@@ -12,6 +12,8 @@ use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
 
 struct TimerEntry {
@@ -42,6 +44,10 @@ struct ClockState {
     now_us: u64,
     next_seq: u64,
     timers: BinaryHeap<Reverse<TimerEntry>>,
+    /// `Send + Sync` mirror of `now_us`, updated whenever time advances, so
+    /// observers on other threads (or behind `Send` bounds, like a tracer's
+    /// time source) can read virtual time without holding the `Rc` clock.
+    shared_now: Arc<AtomicU64>,
 }
 
 /// A shared handle to the virtual clock. Cloning is cheap; all clones view
@@ -69,6 +75,13 @@ impl VirtualClock {
         Sleep { clock: self.clone(), deadline_us }
     }
 
+    /// A `Send + Sync` cell that mirrors the current virtual time. Updated
+    /// every time the clock advances; intended for observers that cannot
+    /// hold the (thread-local) clock itself, e.g. a tracer's time source.
+    pub fn shared_now(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.state.borrow().shared_now)
+    }
+
     /// True when at least one timer is pending.
     pub fn has_timers(&self) -> bool {
         !self.state.borrow().timers.is_empty()
@@ -85,6 +98,7 @@ impl VirtualClock {
         // Timers register strictly in the future, but a woken-then-re-polled
         // sleep can leave a stale entry at or below `now`; never step back.
         state.now_us = state.now_us.max(first.deadline_us);
+        state.shared_now.store(state.now_us, Ordering::Relaxed);
         let now = state.now_us;
         let mut due = vec![first.waker];
         while let Some(Reverse(next)) = state.timers.peek() {
@@ -178,6 +192,22 @@ mod tests {
         ex.run();
         drop(ex);
         assert_eq!(order.into_inner(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_now_mirrors_virtual_time_across_advances() {
+        let clock = VirtualClock::new();
+        let cell = clock.shared_now();
+        assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), 0);
+        let mut ex = LocalExecutor::new(clock.clone());
+        ex.spawn(async {
+            clock.sleep_us(250).await;
+            clock.sleep_us(250).await;
+        });
+        ex.run();
+        drop(ex);
+        assert_eq!(cell.load(std::sync::atomic::Ordering::Relaxed), 500);
+        assert_eq!(clock.now_us(), 500);
     }
 
     #[test]

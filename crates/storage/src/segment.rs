@@ -54,6 +54,7 @@ use crate::error::{Result, StorageError};
 use crate::snapshot::{shard_wal_path, wal_path};
 use crate::wal::{FlushPolicy, FrameLog, WalRecord};
 use orchestra_model::{ParticipantId, StampId};
+use orchestra_obs::Obs;
 use rustc_hash::FxHashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -165,6 +166,9 @@ pub struct SegmentedWal {
     flush: Mutex<FlushPolicy>,
     log: Arc<Mutex<FrameLog>>,
     shards: Mutex<FxHashMap<u32, Arc<Mutex<FrameLog>>>>,
+    /// The sink every current and future segment reports into
+    /// (disabled/private by default; see [`SegmentedWal::set_observability`]).
+    obs: Mutex<Obs>,
 }
 
 impl SegmentedWal {
@@ -184,6 +188,7 @@ impl SegmentedWal {
             flush: Mutex::new(FlushPolicy::default()),
             log: Arc::new(Mutex::new(log)),
             shards: Mutex::new(FxHashMap::default()),
+            obs: Mutex::new(Obs::disabled()),
         })
     }
 
@@ -243,9 +248,43 @@ impl SegmentedWal {
                 flush: Mutex::new(FlushPolicy::default()),
                 log: Arc::new(Mutex::new(log)),
                 shards: Mutex::new(shards),
+                obs: Mutex::new(Obs::disabled()),
             },
             records,
         ))
+    }
+
+    /// [`SegmentedWal::open`] with observability bound from the start: every
+    /// segment reports into `obs`, the merged replay is counted under
+    /// `wal.replayed_frames`, and a `wal.replay` trace event records it.
+    pub fn open_observed(
+        dir: &Path,
+        generation: u64,
+        codec: Option<Codec>,
+        per_shard: bool,
+        obs: &Obs,
+    ) -> Result<(Self, Vec<WalRecord>)> {
+        let (wal, records) = SegmentedWal::open(dir, generation, codec, per_shard)?;
+        wal.set_observability(obs);
+        obs.metrics.counter("wal.replayed_frames").add(records.len() as u64);
+        obs.tracer
+            .event("wal.replay", &[("frames", records.len() as u64), ("generation", generation)]);
+        Ok((wal, records))
+    }
+
+    /// Binds every current and future segment of this generation to a shared
+    /// observability sink (see [`FrameLog::set_observability`]).
+    pub fn set_observability(&self, obs: &Obs) {
+        *self.obs.lock().expect("wal obs lock") = obs.clone();
+        let _ = self.for_each_segment(|log| {
+            log.set_observability(obs);
+            Ok(())
+        });
+    }
+
+    /// The sink this generation's segments report into.
+    pub fn observability(&self) -> Obs {
+        self.obs.lock().expect("wal obs lock").clone()
     }
 
     /// Appends one record to its segment: publishes and other log-shard
@@ -285,6 +324,7 @@ impl SegmentedWal {
         }
         let mut log = FrameLog::create(&shard_wal_path(&self.dir, self.generation, participant))?;
         log.set_flush_policy(*self.flush.lock().expect("flush policy lock"));
+        log.set_observability(&self.obs.lock().expect("wal obs lock"));
         let segment = Arc::new(Mutex::new(log));
         shards.insert(participant.as_u32(), Arc::clone(&segment));
         Ok(segment)
@@ -633,6 +673,33 @@ mod tests {
         // A shard created after the policy was set inherits it.
         wal.append(&commit(2, 1, 0)).unwrap();
         assert_eq!(wal.unsynced_records(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn observability_reaches_every_segment_including_lazy_shards() {
+        let dir = tmp_dir("observed");
+        let obs = Obs::enabled();
+        {
+            let wal = SegmentedWal::create(&dir, 0, Codec::Binary, true).unwrap();
+            wal.set_observability(&obs);
+            wal.append(&publish(1, 1)).unwrap();
+            // A shard segment created after the bind inherits the sink.
+            wal.append(&commit(2, 1, 1)).unwrap();
+            wal.sync().unwrap();
+        }
+        assert_eq!(obs.metrics.counter("wal.appends").get(), 2);
+        assert!(obs.metrics.counter("wal.append_bytes").get() > 0);
+        // One sync per live segment (log shard + participant 2's shard).
+        assert_eq!(obs.metrics.counter("wal.syncs").get(), 2);
+
+        // Observed reopen counts the merged replay once.
+        let (wal, replay) =
+            SegmentedWal::open_observed(&dir, 0, Some(Codec::Binary), true, &obs).unwrap();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(obs.metrics.counter("wal.replayed_frames").get(), 2);
+        assert!(wal.observability().tracer.is_enabled());
+        assert!(obs.tracer.export().contains("wal.replay\tframes=2"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

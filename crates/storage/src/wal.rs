@@ -38,6 +38,7 @@ use orchestra_model::{
     CausalStamp, Epoch, ParticipantId, ReconciliationId, Schema, Transaction, TransactionId,
     TrustPolicy,
 };
+use orchestra_obs::{Counter, Obs, Tracer};
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -157,6 +158,31 @@ pub enum FlushPolicy {
     Interval(Duration),
 }
 
+/// Observability handles of one frame log: detached (free-standing
+/// counters, disabled tracer) until [`FrameLog::set_observability`] binds
+/// them to a shared sink, so an unobserved log pays only relaxed atomic
+/// increments.
+#[derive(Debug, Default)]
+struct WalObs {
+    appends: Counter,
+    append_bytes: Counter,
+    syncs: Counter,
+    replayed: Counter,
+    tracer: Tracer,
+}
+
+impl WalObs {
+    fn resolved(obs: &Obs) -> WalObs {
+        WalObs {
+            appends: obs.metrics.counter("wal.appends"),
+            append_bytes: obs.metrics.counter("wal.append_bytes"),
+            syncs: obs.metrics.counter("wal.syncs"),
+            replayed: obs.metrics.counter("wal.replayed_frames"),
+            tracer: obs.tracer.clone(),
+        }
+    }
+}
+
 /// An append-only, file-backed log of CRC-checked frames.
 ///
 /// Opening an existing file validates every frame and truncates a torn tail,
@@ -172,6 +198,7 @@ pub struct FrameLog {
     /// policies).
     unsynced: u64,
     last_sync: Instant,
+    obs: WalObs,
 }
 
 impl FrameLog {
@@ -204,7 +231,21 @@ impl FrameLog {
             flush: FlushPolicy::default(),
             unsynced: 0,
             last_sync: Instant::now(),
+            obs: WalObs::default(),
         };
+        Ok((log, frames))
+    }
+
+    /// [`FrameLog::open`] with observability bound from the start: the
+    /// recovered frames are counted under `wal.replayed_frames` and a
+    /// `wal.replay` trace event records the replay.
+    pub fn open_observed(path: &Path, obs: &Obs) -> Result<(FrameLog, Vec<Vec<u8>>)> {
+        let (mut log, frames) = FrameLog::open(path)?;
+        log.set_observability(obs);
+        log.obs.replayed.add(frames.len() as u64);
+        log.obs
+            .tracer
+            .event("wal.replay", &[("frames", frames.len() as u64), ("bytes", log.bytes)]);
         Ok((log, frames))
     }
 
@@ -225,7 +266,16 @@ impl FrameLog {
             flush: FlushPolicy::default(),
             unsynced: 0,
             last_sync: Instant::now(),
+            obs: WalObs::default(),
         })
+    }
+
+    /// Binds the log's counters (`wal.appends`, `wal.append_bytes`,
+    /// `wal.syncs`, `wal.replayed_frames`) and trace events to a shared
+    /// sink. Until this is called the counters are free-standing and the
+    /// tracer is disabled, so an unobserved log costs only relaxed atomics.
+    pub fn set_observability(&mut self, obs: &Obs) {
+        self.obs = WalObs::resolved(obs);
     }
 
     /// Sets when appends `fsync` (see [`FlushPolicy`]).
@@ -254,6 +304,8 @@ impl FrameLog {
         self.records += 1;
         self.bytes += frame.len() as u64;
         self.unsynced += 1;
+        self.obs.appends.inc();
+        self.obs.append_bytes.add(frame.len() as u64);
         let due = match self.flush {
             FlushPolicy::OsBuffered => false,
             FlushPolicy::EveryAppend => true,
@@ -270,7 +322,9 @@ impl FrameLog {
     /// group-commit counters. Called by `append` per the flush policy, or
     /// explicitly by the owner.
     pub fn sync(&mut self) -> Result<()> {
+        let _span = self.obs.tracer.span("wal.sync", &[("unsynced", self.unsynced)]);
         self.file.sync_data().map_err(|e| StorageError::Persistence(format!("sync: {e}")))?;
+        self.obs.syncs.inc();
         self.unsynced = 0;
         self.last_sync = Instant::now();
         Ok(())
@@ -562,6 +616,33 @@ mod tests {
         let (log, frames) = FrameLog::open(&path).unwrap();
         assert_eq!(frames, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
         assert_eq!(log.records(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn observed_logs_report_appends_syncs_and_replay() {
+        let path = tmp("observed");
+        std::fs::remove_file(&path).ok();
+        let obs = Obs::enabled();
+        {
+            let (mut log, _) = FrameLog::open_observed(&path, &obs).unwrap();
+            log.append(b"one").unwrap();
+            log.append(b"four").unwrap();
+            log.sync().unwrap();
+        }
+        assert_eq!(obs.metrics.counter("wal.appends").get(), 2);
+        assert_eq!(obs.metrics.counter("wal.append_bytes").get(), (8 + 3) + (8 + 4));
+        assert_eq!(obs.metrics.counter("wal.syncs").get(), 1);
+        assert_eq!(obs.metrics.counter("wal.replayed_frames").get(), 0);
+
+        // Reopen: the two intact frames count as replayed, and the sync
+        // span plus the replay event land in the trace.
+        let (_, frames) = FrameLog::open_observed(&path, &obs).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(obs.metrics.counter("wal.replayed_frames").get(), 2);
+        let trace = obs.tracer.export();
+        assert!(trace.contains("wal.sync"), "missing sync span: {trace}");
+        assert!(trace.contains("wal.replay\tframes=2"), "missing replay event: {trace}");
         std::fs::remove_file(&path).ok();
     }
 

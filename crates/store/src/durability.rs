@@ -32,6 +32,7 @@
 //! handles either codec — or a mix, e.g. after flipping the codec between
 //! generations.
 
+use orchestra_obs::Obs;
 use orchestra_storage::codec::Codec;
 use orchestra_storage::segment::{self, SegmentedWal};
 use orchestra_storage::snapshot::{self, StoreSnapshot};
@@ -149,6 +150,14 @@ impl FileWalBackend {
         self.wal.read().expect("wal lock").segment_count()
     }
 
+    /// Binds the WAL's segments — current and future generations — to a
+    /// shared observability sink: appends, syncs and replays count under the
+    /// `wal.*` metrics, and snapshot installs emit a `snapshot.install`
+    /// trace event plus the `snapshot.installs` counter.
+    pub fn set_observability(&self, obs: &Obs) {
+        self.wal.read().expect("wal lock").set_observability(obs);
+    }
+
     /// Sets when WAL appends `fsync` (see
     /// [`orchestra_storage::FlushPolicy`]): `EveryAppend` for one sync per
     /// record, `EveryN`/`Interval` for group commit — applied per segment,
@@ -204,9 +213,14 @@ impl FileWalBackend {
         snapshot.wal_generation = next;
         snapshot::write_snapshot(&self.dir, &snapshot, wal.codec())?;
         let new_wal = SegmentedWal::create(&self.dir, next, wal.codec(), wal.per_shard())?;
-        // The flush (group-commit) policy is a property of the backend, not
-        // of one generation's files: carry it over.
+        // The flush (group-commit) policy and the observability sink are
+        // properties of the backend, not of one generation's files: carry
+        // them over.
         new_wal.set_flush_policy(wal.flush_policy());
+        let obs = wal.observability();
+        new_wal.set_observability(&obs);
+        obs.metrics.counter("snapshot.installs").inc();
+        obs.tracer.event("snapshot.install", &[("generation", next)]);
         *wal = new_wal;
         drop(wal);
         // Best-effort: the old generation is unreachable (the snapshot names

@@ -741,8 +741,20 @@ impl SessionClient for FabricClient {
     /// else. The driver must serialise fabric publishes (one publisher task)
     /// so every shard logs them in the same global order; a divergent order
     /// fails loudly with a pinned-epoch mismatch.
+    ///
+    /// The whole fan-out is one `fabric.publish` trace span (on the home
+    /// shard client's tracer), so a trace shows the primary publish and its
+    /// replicas as a unit.
     async fn publish(&self, transactions: Vec<Transaction>) -> Result<Epoch> {
         let home = self.home_shard();
+        let _span = self.clients[home].tracer().span(
+            "fabric.publish",
+            &[
+                ("participant", u64::from(self.participant().as_u32())),
+                ("home", home as u64),
+                ("txns", transactions.len() as u64),
+            ],
+        );
         let epoch = self.clients[home].publish(transactions.clone()).await?;
         for (shard, client) in self.clients.iter().enumerate() {
             if shard != home {
@@ -758,6 +770,14 @@ impl SessionClient for FabricClient {
         transactions: Vec<Transaction>,
     ) -> Result<Epoch> {
         let home = self.router.home_of(stamp.publisher);
+        let _span = self.clients[home].tracer().span(
+            "fabric.publish",
+            &[
+                ("participant", u64::from(stamp.publisher.as_u32())),
+                ("home", home as u64),
+                ("txns", transactions.len() as u64),
+            ],
+        );
         let epoch = self.clients[home].publish_stamped(stamp.clone(), transactions.clone()).await?;
         for (shard, client) in self.clients.iter().enumerate() {
             if shard != home {

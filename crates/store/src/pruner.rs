@@ -15,6 +15,7 @@
 //! [`AutoPruner::stop`]) wakes the thread through a condvar and joins it, so
 //! no prune runs after the handle is gone.
 
+use orchestra_obs::Obs;
 use orchestra_storage::{PruneReport, Result};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -95,6 +96,29 @@ impl AutoPruner {
         AutoPruner { signal, thread: Some(thread), history }
     }
 
+    /// [`AutoPruner::spawn`] with observability: every round runs under a
+    /// `prune` trace span and bumps `pruner.rounds` (plus `pruner.errors`
+    /// when the closure fails). The tracer is `Send`, so the background
+    /// thread traces into the same sink as the simulated work.
+    pub fn spawn_observed(
+        interval: Duration,
+        obs: &Obs,
+        mut prune: impl FnMut() -> Result<PruneReport> + Send + 'static,
+    ) -> AutoPruner {
+        let rounds = obs.metrics.counter("pruner.rounds");
+        let errors = obs.metrics.counter("pruner.errors");
+        let tracer = obs.tracer.clone();
+        AutoPruner::spawn(interval, move || {
+            let _span = tracer.span("prune", &[]);
+            let report = prune();
+            rounds.inc();
+            if report.is_err() {
+                errors.inc();
+            }
+            report
+        })
+    }
+
     /// Number of prune rounds completed so far (including failed ones).
     pub fn rounds(&self) -> usize {
         self.history.lock().expect("pruner history").len()
@@ -154,6 +178,21 @@ mod tests {
         let start = std::time::Instant::now();
         drop(pruner); // Drop path: wakes the hour-long sleep immediately.
         assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn observed_pruner_counts_rounds_and_traces_them() {
+        let obs = Obs::enabled();
+        let pruner = AutoPruner::spawn_observed(Duration::from_millis(3), &obs, || {
+            Ok(PruneReport::default())
+        });
+        while pruner.rounds() < 2 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        pruner.stop();
+        assert!(obs.metrics.counter("pruner.rounds").get() >= 2);
+        assert_eq!(obs.metrics.counter("pruner.errors").get(), 0);
+        assert!(obs.tracer.export().contains("prune"), "rounds must run under a prune span");
     }
 
     #[test]

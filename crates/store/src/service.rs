@@ -40,13 +40,14 @@ use crate::protocol::{StoreRequest, StoreResponse};
 use crate::pruner::AutoPruner;
 use orchestra_model::{CausalStamp, Epoch, ParticipantId, Transaction, TransactionId};
 use orchestra_net::{NodeId, SimNetwork, Transport};
+use orchestra_obs::{key_with, Counter, Histogram, Obs, Tracer};
 use orchestra_recon::CandidateTransaction;
 use orchestra_rt::{
     channel, oneshot, LocalExecutor, OneshotSender, Receiver, Sender, VirtualClock,
 };
 use orchestra_storage::{PruneReport, Result, StorageError};
 use rustc_hash::FxHashSet;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Tuning knobs for a [`StoreService`].
@@ -75,6 +76,15 @@ pub struct ServiceConfig {
     /// `Busy` retries before [`ServiceClient::begin_session`] gives up with
     /// an admission-control error.
     pub busy_retries: u32,
+    /// The observability sink the service reports into: request/shed/batch
+    /// counters always, trace events when the sink's tracer is enabled. The
+    /// default is a private registry with a disabled tracer, so an
+    /// unobserved service costs only relaxed atomics.
+    pub obs: Obs,
+    /// The fabric shard this service is, if any: labels the service's
+    /// metric keys (`service.requests{shard=N}`) and stamps every trace
+    /// event with a `shard` field so per-shard skew is directly visible.
+    pub obs_shard: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +98,8 @@ impl Default for ServiceConfig {
             store_latency_us: 0,
             busy_backoff_us: SimNetwork::PAPER_LATENCY_US,
             busy_retries: 10_000,
+            obs: Obs::disabled(),
+            obs_shard: None,
         }
     }
 }
@@ -192,6 +204,18 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets the observability sink the service reports into.
+    pub fn observability(mut self, obs: Obs) -> Self {
+        self.config.obs = obs;
+        self
+    }
+
+    /// Labels the service as fabric shard `shard` in metrics and traces.
+    pub fn obs_shard(mut self, shard: u64) -> Self {
+        self.config.obs_shard = Some(shard);
+        self
+    }
+
     /// Validates the invariants and returns the config, or a typed error
     /// naming the violated invariant.
     pub fn build(self) -> Result<ServiceConfig> {
@@ -215,13 +239,53 @@ struct Envelope {
     reply: OneshotSender<StoreResponse>,
 }
 
+/// Formats a service metric key, labelled with the fabric shard when the
+/// service is one shard of a fabric.
+fn metric_key(name: &str, shard: Option<u64>) -> String {
+    match shard {
+        Some(shard) => key_with(name, "shard", shard),
+        None => name.to_string(),
+    }
+}
+
 /// Counters and admission state shared by the workers and the handle.
+///
+/// The counters are registry handles, so every service reporting into the
+/// same [`Obs`] accumulates into one sink; [`StoreService::stats`] reports
+/// the *delta* against the values captured at start, keeping the
+/// [`ServiceStats`] view per-service.
 struct ServiceShared {
     open_sessions: RefCell<FxHashSet<SessionId>>,
     max_open_sessions: usize,
-    requests: Cell<u64>,
-    busy_rejections: Cell<u64>,
-    batches: Cell<u64>,
+    requests: Counter,
+    busy_rejections: Counter,
+    batches: Counter,
+    /// Frames drained per worker wake-up — the observed queue depth.
+    batch_frames: Histogram,
+    /// Counter values when this service started (shared registries are
+    /// cumulative across services).
+    base: ServiceStats,
+    tracer: Tracer,
+    shard: Option<u64>,
+}
+
+impl ServiceShared {
+    /// Records an instant trace event, stamping the fabric shard when set.
+    /// A disabled tracer reduces this to one branch.
+    fn trace(&self, name: &'static str, fields: &[(&'static str, u64)]) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        match self.shard {
+            Some(shard) => {
+                let mut all = Vec::with_capacity(fields.len() + 1);
+                all.extend_from_slice(fields);
+                all.push(("shard", shard));
+                self.tracer.event(name, &all);
+            }
+            None => self.tracer.event(name, fields),
+        }
+    }
 }
 
 /// A snapshot of the service's request counters.
@@ -317,12 +381,28 @@ impl StoreService {
             panic!("invalid service config: {error}");
         }
         let clock = ex.clock();
+        let metrics = &config.obs.metrics;
+        let requests = metrics.counter(&metric_key("service.requests", config.obs_shard));
+        let busy_rejections =
+            metrics.counter(&metric_key("service.busy_rejections", config.obs_shard));
+        let batches = metrics.counter(&metric_key("service.batches", config.obs_shard));
+        let batch_frames = metrics.histogram(&metric_key("service.batch_frames", config.obs_shard));
+        let base = ServiceStats {
+            requests: requests.get(),
+            busy_rejections: busy_rejections.get(),
+            batches: batches.get(),
+            open_sessions: 0,
+        };
         let shared = Rc::new(ServiceShared {
             open_sessions: RefCell::new(FxHashSet::default()),
             max_open_sessions: config.max_open_sessions,
-            requests: Cell::new(0),
-            busy_rejections: Cell::new(0),
-            batches: Cell::new(0),
+            requests,
+            busy_rejections,
+            batches,
+            batch_frames,
+            base,
+            tracer: config.obs.tracer.clone(),
+            shard: config.obs_shard,
         });
         let mut routes = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
@@ -367,15 +447,22 @@ impl StoreService {
             frame_latency_us: self.frame_latency_us,
             busy_backoff_us: self.busy_backoff_us,
             busy_retries: self.busy_retries,
+            tracer: self.shared.tracer.clone(),
+            shard: self.shared.shard,
         }
     }
 
-    /// A snapshot of the request counters.
+    /// A snapshot of the request counters: this service's own traffic, i.e.
+    /// the delta against the shared sink since the service started.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            requests: self.shared.requests.get(),
-            busy_rejections: self.shared.busy_rejections.get(),
-            batches: self.shared.batches.get(),
+            requests: self.shared.requests.get().saturating_sub(self.shared.base.requests),
+            busy_rejections: self
+                .shared
+                .busy_rejections
+                .get()
+                .saturating_sub(self.shared.base.busy_rejections),
+            batches: self.shared.batches.get().saturating_sub(self.shared.base.batches),
             open_sessions: self.shared.open_sessions.borrow().len() as u64,
         }
     }
@@ -437,7 +524,8 @@ async fn worker<S: UpdateStore + ?Sized>(
                 None => break,
             }
         }
-        shared.batches.set(shared.batches.get() + 1);
+        shared.batches.inc();
+        shared.batch_frames.record(batch.len() as u64);
         if store_latency_us > 0 {
             clock.sleep_us(store_latency_us).await;
         }
@@ -457,17 +545,25 @@ fn serve<S: UpdateStore + ?Sized>(
     shared: &ServiceShared,
     request: StoreRequest,
 ) -> StoreResponse {
-    if let StoreRequest::Begin { .. } = request {
+    if let StoreRequest::Begin { participant } = &request {
         if shared.open_sessions.borrow().len() >= shared.max_open_sessions {
-            shared.busy_rejections.set(shared.busy_rejections.get() + 1);
+            shared.busy_rejections.inc();
+            shared.trace("admission.shed", &[("participant", u64::from(participant.as_u32()))]);
             return StoreResponse::Busy;
         }
     }
-    shared.requests.set(shared.requests.get() + 1);
+    shared.requests.inc();
     match request {
         StoreRequest::Begin { participant } => match store.begin_reconciliation(participant) {
             Ok(timed) => {
                 shared.open_sessions.borrow_mut().insert(timed.value.session);
+                shared.trace(
+                    "session.begin",
+                    &[
+                        ("participant", u64::from(participant.as_u32())),
+                        ("pending", timed.value.pending as u64),
+                    ],
+                );
                 StoreResponse::Began(timed.value)
             }
             Err(error) => StoreResponse::Failed(error.to_string()),
@@ -488,6 +584,7 @@ fn serve<S: UpdateStore + ?Sized>(
                             }
                         }
                     }
+                    shared.trace("session.batch", &[("frames", candidates.len() as u64)]);
                     StoreResponse::Batch { candidates, epochs }
                 }
                 Err(error) => StoreResponse::Failed(error.to_string()),
@@ -497,6 +594,10 @@ fn serve<S: UpdateStore + ?Sized>(
             match store.commit_reconciliation(session, &accepted, &rejected) {
                 Ok(_) => {
                     shared.open_sessions.borrow_mut().remove(&session);
+                    shared.trace(
+                        "session.commit",
+                        &[("accepted", accepted.len() as u64), ("rejected", rejected.len() as u64)],
+                    );
                     StoreResponse::Committed
                 }
                 // The session stays open on a failed commit: the client
@@ -512,26 +613,72 @@ fn serve<S: UpdateStore + ?Sized>(
             Err(error) => StoreResponse::Failed(error.to_string()),
         },
         StoreRequest::Publish { participant, transactions } => {
+            let txns = transactions.len() as u64;
             match store.publish(participant, transactions) {
-                Ok(timed) => StoreResponse::Published(timed.value),
+                Ok(timed) => {
+                    shared.trace(
+                        "publish",
+                        &[
+                            ("participant", u64::from(participant.as_u32())),
+                            ("epoch", timed.value.as_u64()),
+                            ("txns", txns),
+                        ],
+                    );
+                    StoreResponse::Published(timed.value)
+                }
                 Err(error) => StoreResponse::Failed(error.to_string()),
             }
         }
         StoreRequest::PublishStamped { stamp, transactions } => {
+            let publisher = stamp.publisher;
+            let txns = transactions.len() as u64;
             match store.publish_stamped(stamp, transactions) {
-                Ok(timed) => StoreResponse::Published(timed.value),
+                Ok(timed) => {
+                    shared.trace(
+                        "publish",
+                        &[
+                            ("participant", u64::from(publisher.as_u32())),
+                            ("epoch", timed.value.as_u64()),
+                            ("txns", txns),
+                        ],
+                    );
+                    StoreResponse::Published(timed.value)
+                }
                 Err(error) => StoreResponse::Failed(error.to_string()),
             }
         }
         StoreRequest::Replicate { participant, epoch, transactions } => {
+            let txns = transactions.len() as u64;
             match store.publish_replica(participant, epoch, transactions) {
-                Ok(timed) => StoreResponse::Published(timed.value),
+                Ok(timed) => {
+                    shared.trace(
+                        "replicate",
+                        &[
+                            ("participant", u64::from(participant.as_u32())),
+                            ("epoch", timed.value.as_u64()),
+                            ("txns", txns),
+                        ],
+                    );
+                    StoreResponse::Published(timed.value)
+                }
                 Err(error) => StoreResponse::Failed(error.to_string()),
             }
         }
         StoreRequest::ReplicateStamped { stamp, epoch, transactions } => {
+            let publisher = stamp.publisher;
+            let txns = transactions.len() as u64;
             match store.publish_replica_stamped(stamp, epoch, transactions) {
-                Ok(timed) => StoreResponse::Published(timed.value),
+                Ok(timed) => {
+                    shared.trace(
+                        "replicate",
+                        &[
+                            ("participant", u64::from(publisher.as_u32())),
+                            ("epoch", timed.value.as_u64()),
+                            ("txns", txns),
+                        ],
+                    );
+                    StoreResponse::Published(timed.value)
+                }
                 Err(error) => StoreResponse::Failed(error.to_string()),
             }
         }
@@ -560,6 +707,8 @@ pub struct ServiceClient {
     frame_latency_us: u64,
     busy_backoff_us: u64,
     busy_retries: u32,
+    tracer: Tracer,
+    shard: Option<u64>,
 }
 
 impl ServiceClient {
@@ -571,6 +720,12 @@ impl ServiceClient {
     /// The virtual clock the client's latencies accrue on.
     pub fn clock(&self) -> &VirtualClock {
         &self.clock
+    }
+
+    /// The trace sink this client's events are recorded into (the service's
+    /// tracer; disabled unless the service was configured with one).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Issues one framed request and awaits its response. Charges the
@@ -608,7 +763,19 @@ impl ServiceClient {
                         ));
                     }
                     attempt += 1;
-                    self.clock.sleep_us(self.busy_backoff_us * u64::from(attempt)).await;
+                    let wait_us = self.busy_backoff_us * u64::from(attempt);
+                    if self.tracer.is_enabled() {
+                        let mut fields = vec![
+                            ("participant", u64::from(self.participant.as_u32())),
+                            ("attempt", u64::from(attempt)),
+                            ("wait_us", wait_us),
+                        ];
+                        if let Some(shard) = self.shard {
+                            fields.push(("shard", shard));
+                        }
+                        self.tracer.event("admission.backoff", &fields);
+                    }
+                    self.clock.sleep_us(wait_us).await;
                 }
                 StoreResponse::Failed(message) => return Err(remote_error(message)),
                 other => return Err(protocol_error("Began or Busy", &other)),
@@ -746,6 +913,7 @@ mod tests {
     use orchestra_model::schema::bioinformatics_schema;
     use orchestra_model::{TrustPolicy, Tuple, Update};
     use orchestra_storage::RetentionPolicy;
+    use std::cell::Cell;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
@@ -972,6 +1140,55 @@ mod tests {
             stats.batches,
             stats.requests
         );
+    }
+
+    #[test]
+    fn observed_services_report_into_the_shared_sink() {
+        let obs = Obs::enabled();
+        let config =
+            ServiceConfig { obs: obs.clone(), obs_shard: Some(3), ..ServiceConfig::default() };
+        let (stats, _) = serve_round(&mutual_store(2), &config, 2);
+        assert_eq!(obs.metrics.counter("service.requests{shard=3}").get(), stats.requests);
+        assert_eq!(obs.metrics.counter("service.batches{shard=3}").get(), stats.batches);
+        let frames = obs.metrics.histogram("service.batch_frames{shard=3}").snapshot();
+        assert_eq!(frames.count, stats.batches, "one queue-depth sample per worker wake-up");
+
+        let trace = obs.tracer.export();
+        assert!(trace.contains("session.begin"), "missing session events: {trace}");
+        assert!(trace.contains("session.commit"), "missing commit events: {trace}");
+        assert!(trace.contains("publish"), "missing publish events: {trace}");
+        assert!(trace.contains("shard=3"), "events must carry the shard label: {trace}");
+
+        // A second service phase reporting into the same sink: the registry
+        // accumulates, the per-service stats stay per-service.
+        let (stats2, _) = serve_round(&mutual_store(2), &config, 2);
+        assert_eq!(stats2.requests, stats.requests, "identical phases serve identical traffic");
+        assert_eq!(
+            obs.metrics.counter("service.requests{shard=3}").get(),
+            stats.requests + stats2.requests
+        );
+    }
+
+    #[test]
+    fn shed_begins_emit_admission_events() {
+        let obs = Obs::enabled();
+        let config = ServiceConfig {
+            workers: 1,
+            max_open_sessions: 1,
+            obs: obs.clone(),
+            obs_shard: Some(0),
+            ..ServiceConfig::default()
+        };
+        let (stats, _) = serve_round(&mutual_store(3), &config, 3);
+        assert!(stats.busy_rejections >= 1, "the cap of 1 must shed sessions");
+        assert_eq!(
+            obs.metrics.counter("service.busy_rejections{shard=0}").get(),
+            stats.busy_rejections
+        );
+        let trace = obs.tracer.export();
+        let sheds = trace.lines().filter(|l| l.contains("admission.shed")).count() as u64;
+        assert_eq!(sheds, stats.busy_rejections, "one shed event per Busy rejection");
+        assert!(trace.contains("admission.backoff"), "retries must trace their backoff: {trace}");
     }
 
     #[test]

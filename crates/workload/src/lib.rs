@@ -29,8 +29,8 @@ pub use retention::{
     run_retention_scenario, RetentionChurnConfig, RetentionChurnResult, RetentionSample,
 };
 pub use scale::{
-    run_churn_scale, run_churn_scale_fabric, zipf_fanin_policies, ScaleConfig, ScaleDriver,
-    ScaleRunResult,
+    run_churn_scale, run_churn_scale_fabric, run_churn_scale_fabric_observed,
+    run_churn_scale_observed, zipf_fanin_policies, ScaleConfig, ScaleDriver, ScaleRunResult,
 };
 pub use scenario::{
     mutual_trust_policies, run_churn_concurrent, run_churn_scenario, run_scenario, ChurnConfig,

@@ -39,6 +39,7 @@ use crate::zipf::ZipfSampler;
 use orchestra::{CdssSystem, ParticipantConfig};
 use orchestra_model::schema::bioinformatics_schema;
 use orchestra_model::{ParticipantId, TransactionId, TrustPolicy};
+use orchestra_obs::{MetricsSnapshot, Obs};
 use orchestra_store::{FabricConfig, ServiceConfig, StoreFabric, UpdateStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -230,6 +231,14 @@ pub struct ScaleRunResult {
     /// Frames delivered to each shard's server endpoint (fabric driver
     /// only); the spread across entries is the shard-load skew.
     pub shard_frames: Vec<u64>,
+    /// `Begin` frames shed by each shard's admission control (fabric driver
+    /// only). PR 9 could only *infer* these from frame-count deltas; the
+    /// shard services now count them directly, making the shard-0 admission
+    /// gate visible without arithmetic.
+    pub shard_busy: Vec<u64>,
+    /// Snapshot of the run's metrics registry: service, network, WAL and
+    /// participant counters plus per-shard batch-size histograms.
+    pub metrics: MetricsSnapshot,
     /// Order-invariant hash of every participant's accepted and rejected
     /// sets; equal fingerprints ⇒ identical decisions.
     pub decision_fingerprint: u64,
@@ -303,10 +312,25 @@ pub fn run_churn_scale<S: UpdateStore + Sync>(
     config: &ScaleConfig,
     driver: ScaleDriver,
 ) -> ScaleRunResult {
+    run_churn_scale_observed(store, config, driver, &Obs::disabled())
+}
+
+/// [`run_churn_scale`] reporting into a caller-supplied observability sink:
+/// the whole stack (service, network, WAL, participants) shares the sink's
+/// registry, and — when its tracer is enabled — the service rounds record a
+/// trace stamped in deterministic virtual time. The disabled-sink delegate
+/// above measures identically (counters are always live).
+pub fn run_churn_scale_observed<S: UpdateStore + Sync>(
+    store: S,
+    config: &ScaleConfig,
+    driver: ScaleDriver,
+    obs: &Obs,
+) -> ScaleRunResult {
     let service_config = config.service_config();
     run_churn_loop(
         store,
         config,
+        obs,
         |system, ids, result| match driver {
             ScaleDriver::Sequential | ScaleDriver::Threads => {
                 for &id in ids {
@@ -355,10 +379,19 @@ pub fn run_churn_scale<S: UpdateStore + Sync>(
 /// [`run_churn_scale`]'s; [`ScaleRunResult::shard_frames`] additionally
 /// records the per-shard frame load.
 pub fn run_churn_scale_fabric(config: &ScaleConfig) -> ScaleRunResult {
+    run_churn_scale_fabric_observed(config, &Obs::disabled())
+}
+
+/// [`run_churn_scale_fabric`] reporting into a caller-supplied sink; the
+/// per-shard services label their metrics (`service.requests{shard=N}`) and
+/// stamp their trace events with the shard, so a captured trace shows the
+/// shard-0 admission gate directly.
+pub fn run_churn_scale_fabric_observed(config: &ScaleConfig, obs: &Obs) -> ScaleRunResult {
     let fabric_config = config.fabric_config();
     run_churn_loop(
         StoreFabric::new(bioinformatics_schema(), config.fabric_shards),
         config,
+        obs,
         |system, ids, result| {
             let report = system
                 .run_fabric_round(ids, &[], &fabric_config)
@@ -384,11 +417,13 @@ pub fn run_churn_scale_fabric(config: &ScaleConfig) -> ScaleRunResult {
 fn run_churn_loop<S: UpdateStore + Sync>(
     store: S,
     config: &ScaleConfig,
+    obs: &Obs,
     mut publish: impl FnMut(&mut CdssSystem<S>, &[ParticipantId], &mut ScaleRunResult),
     mut wave: impl FnMut(&mut CdssSystem<S>, &[ParticipantId], &mut ScaleRunResult),
 ) -> ScaleRunResult {
     let schema = bioinformatics_schema();
     let mut system = CdssSystem::new(schema, store);
+    system.set_observability(obs);
     let policies = zipf_fanin_policies(
         config.participants,
         config.trusted_publishers,
@@ -466,6 +501,7 @@ fn run_churn_loop<S: UpdateStore + Sync>(
     result.total_wall = run_start.elapsed();
     result.state_ratio = system.state_ratio_for("Function");
     result.decision_fingerprint = decision_fingerprint(system.store(), &ids);
+    result.metrics = obs.metrics.snapshot();
     result
 }
 
@@ -479,10 +515,14 @@ fn absorb_service_report(result: &mut ScaleRunResult, report: &orchestra::Servic
 }
 
 fn absorb_fabric_report(result: &mut ScaleRunResult, report: &orchestra::FabricDriveReport) {
-    for stats in &report.shard_stats {
+    if result.shard_busy.len() < report.shard_stats.len() {
+        result.shard_busy.resize(report.shard_stats.len(), 0);
+    }
+    for (shard, stats) in report.shard_stats.iter().enumerate() {
         result.requests += stats.requests;
         result.busy_rejections += stats.busy_rejections;
         result.batches += stats.batches;
+        result.shard_busy[shard] += stats.busy_rejections;
     }
     result.net_messages += report.net.messages;
     result.net_bytes += report.net.bytes;
@@ -609,6 +649,59 @@ mod tests {
         assert_eq!(in_process.sessions, sequential.sessions);
         assert_eq!(in_process.decision_fingerprint, sequential.decision_fingerprint);
         assert_eq!(in_process.state_ratio, sequential.state_ratio);
+    }
+
+    #[test]
+    fn service_driver_metrics_snapshot_matches_the_counters() {
+        let mut config = quick();
+        config.participants = 16;
+        config.rounds = 2;
+        let service = run_churn_scale(
+            CentralStore::new(bioinformatics_schema()),
+            &config,
+            ScaleDriver::Service,
+        );
+        // The registry snapshot carries the same totals the per-round
+        // absorption accumulated, plus the batch-size histogram.
+        assert_eq!(service.metrics.counters["service.requests"], service.requests);
+        assert_eq!(service.metrics.counters["service.batches"], service.batches);
+        assert_eq!(service.metrics.counters["net.messages"], service.net_messages);
+        assert_eq!(service.metrics.histograms["service.batch_frames"].count, service.batches);
+        assert!(service.metrics.counters["participant.store_us"] > 0);
+    }
+
+    #[test]
+    fn fabric_admission_gate_concentrates_sheds_on_shard_zero() {
+        // A tight admission cap forces sheds; the fabric client opens its
+        // per-shard sessions in shard order, so shard 0 is the gate every
+        // session must pass first — it absorbs the Busy retries. PR 9 had
+        // to infer this from frame-count deltas; `shard_busy` counts it.
+        let mut config = quick();
+        config.participants = 24;
+        config.rounds = 2;
+        config.service_max_open_sessions = 2;
+        let obs = Obs::enabled();
+        let fabric = run_churn_scale_fabric_observed(&config, &obs);
+
+        assert_eq!(fabric.shard_busy.len(), config.fabric_shards);
+        let gate = fabric.shard_busy[0];
+        assert!(gate > 0, "the cap of 2 must shed at shard 0: {:?}", fabric.shard_busy);
+        assert!(
+            fabric.shard_busy[1..].iter().all(|&busy| busy <= gate),
+            "shard 0 is the admission gate: {:?}",
+            fabric.shard_busy
+        );
+        assert_eq!(fabric.shard_busy.iter().sum::<u64>(), fabric.busy_rejections);
+        // The labelled registry key agrees with the per-shard view, and the
+        // captured trace shows the sheds carrying their shard label.
+        assert_eq!(
+            obs.metrics.counter("service.busy_rejections{shard=0}").get(),
+            gate,
+            "registry and report must agree"
+        );
+        let trace = obs.tracer.export();
+        assert!(trace.contains("admission.shed"), "sheds must be traced");
+        assert!(trace.contains("fabric.publish"), "publish fan-out must be traced");
     }
 
     #[test]
